@@ -1,0 +1,15 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``test_eN_*`` module regenerates one experiment table from
+DESIGN.md at reduced size (pytest-benchmark measures the run; assertions
+check the *shape* of the result -- who wins, roughly by how much).  Full
+sized tables come from ``python -m repro.experiments.run_all``.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_seeds():
+    """Seeds shared by all benchmark runs (small for speed)."""
+    return (0, 1)

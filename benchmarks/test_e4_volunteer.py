@@ -1,0 +1,41 @@
+"""Benchmark E4: volunteer composition awareness ordering (DESIGN.md E4).
+
+Shape check: random < static-rank < stimulus-aware < self-aware on
+request success rate, and the design-time ranking degrades late in the
+run as reliabilities drift away from their measured values.
+"""
+
+import pytest
+
+from repro.experiments import e4_volunteer
+
+SEEDS = (0, 1, 2)
+STEPS = 2000
+
+
+@pytest.fixture(scope="module")
+def table():
+    return e4_volunteer.run(seeds=SEEDS, steps=STEPS)
+
+
+def test_e4_benchmark(benchmark):
+    benchmark.pedantic(
+        lambda: e4_volunteer.run(seeds=(0,), steps=1000),
+        rounds=1, iterations=1)
+
+
+def test_awareness_ordering(table):
+    rates = {row["selector"]: row["success_rate"] for row in table.rows}
+    assert rates["self-aware"] > rates["stimulus-aware"]
+    assert rates["stimulus-aware"] > rates["static-rank"]
+    assert rates["static-rank"] > rates["random"]
+
+
+def test_self_aware_improvement_factor(table):
+    assert table.row_by("selector", "self-aware")["vs_random"] > 1.4
+
+
+def test_self_aware_keeps_its_edge_late(table):
+    aware = table.row_by("selector", "self-aware")["late_success_rate"]
+    stim = table.row_by("selector", "stimulus-aware")["late_success_rate"]
+    assert aware > stim

@@ -1,0 +1,56 @@
+"""Cognitive packet network: routing around a denial-of-service attack.
+
+The small-systems case study (paper refs [38], [39]): network nodes run
+a self-awareness loop -- smart packets measure route quality, nodes
+adapt next-hop choices with a simple learning scheme -- and the network
+stays resilient when the most central node is flooded.
+
+Run:  python examples/cpn_routing.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.cpn import (CPNetwork, CPNRouter, OracleRouter, StaticRouter,
+                       default_flows, run_routing)
+
+STEPS = 600
+ATTACK = (300.0, 450.0)
+
+
+def make_scenario(seed=0):
+    net = CPNetwork.random_geometric(n=30, seed=seed)
+    centrality = nx.betweenness_centrality(net.graph)
+    victim = max(centrality, key=centrality.get)
+    net.launch_attack(victim, start=ATTACK[0],
+                      duration=ATTACK[1] - ATTACK[0], loss_add=0.3)
+    return net, victim
+
+
+def main():
+    net, victim = make_scenario()
+    print(f"30-node network; DoS attack floods node {victim} (the most "
+          f"central) during t=[{ATTACK[0]:.0f}, {ATTACK[1]:.0f})\n")
+
+    for name, factory in [
+        ("static", lambda n: StaticRouter(n)),
+        ("cpn-self-aware", lambda n: CPNRouter(
+            n, epsilon=0.2, rng=np.random.default_rng(42))),
+        ("oracle", lambda n: OracleRouter(n)),
+    ]:
+        net, _ = make_scenario()
+        flows = default_flows(net, n_flows=6, seed=0)
+        result = run_routing(net, factory(net), flows, steps=STEPS)
+        print(f"  {name:15s} "
+              f"delivery: pre={result.delivery_rate(0, ATTACK[0]):.3f} "
+              f"attack={result.delivery_rate(*ATTACK):.3f} | "
+              f"delay: pre={result.mean_delay(0, ATTACK[0]):5.2f} "
+              f"attack={result.mean_delay(*ATTACK):5.2f}")
+
+    print("\nthe static (design-time) routes collapse when the hub is "
+          "flooded; the self-aware router pays a modest steady-state "
+          "overhead and keeps near-oracle delivery through the attack.")
+
+
+if __name__ == "__main__":
+    main()

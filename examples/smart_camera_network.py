@@ -1,0 +1,55 @@
+"""Smart-camera network: cameras learn to be different.
+
+Reproduces the heart of the "learning to be different" study (paper
+refs [11], [13]) as a runnable demo: a decentralised camera network
+tracks moving objects by trading them in handover auctions.  Every
+camera picks its own sociality strategy with a bandit, rewarded by its
+private tracking-vs-communication trade-off -- and the network ends up
+*heterogeneous*, close to the best homogeneous design without anyone
+having chosen it.
+
+Run:  python examples/smart_camera_network.py
+"""
+
+from collections import Counter
+
+from repro.smartcamera import (ALL_STRATEGIES, CameraSimConfig,
+                               run_homogeneous, run_self_aware)
+
+
+def main():
+    config_kwargs = dict(rows=3, cols=3, n_objects=8, object_speed=0.035,
+                         detection_rate=0.08, random_placement=True,
+                         comm_cost_weight=0.02, steps=800, seed=3)
+
+    print("homogeneous design-time assignments:")
+    best_name, best_eff = None, float("-inf")
+    for strategy in ALL_STRATEGIES:
+        result = run_homogeneous(CameraSimConfig(**config_kwargs), strategy)
+        eff = result.efficiency()
+        print(f"  {strategy.value:18s} efficiency={eff:6.3f} "
+              f"tracking={result.mean_tracking_utility():.3f} "
+              f"messages/step={result.mean_messages():6.1f}")
+        if eff > best_eff:
+            best_name, best_eff = strategy.value, eff
+
+    result = run_self_aware(CameraSimConfig(**config_kwargs), epsilon=0.05)
+    print("\nself-aware cameras (each learns its own strategy):")
+    print(f"  efficiency={result.efficiency():6.3f} "
+          f"({result.efficiency() / best_eff:.0%} of the best homogeneous "
+          f"assignment, '{best_name}')")
+    print(f"  strategy diversity: {result.diversity_bits():.2f} bits "
+          f"(0 = homogeneous, 2 = all four strategies equally)")
+
+    print("\nwhat each camera settled on:")
+    preferences = Counter()
+    for controller in result.controllers:
+        preferences[controller.preferred_strategy().value] += 1
+    for strategy, count in preferences.most_common():
+        print(f"  {count} camera(s) prefer {strategy}")
+    print("\nheterogeneity emerged: different cameras learned different "
+          "strategies suit their local situation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""pyselfaware: computational self-awareness, from psychology to engineering.
+
+A full reproduction of the framework described in Peter R. Lewis,
+*"Self-aware Computing Systems: From Psychology to Engineering"*
+(DATE 2017), together with simulators for every case-study substrate the
+paper grounds the framework in, and a benchmark suite testing the paper's
+central hypothesis: systems that engage in self-awareness can better
+manage trade-offs between goals at run time in complex, uncertain and
+dynamic environments.
+
+Subpackages
+-----------
+``repro.core``
+    The framework: levels, spans, knowledge, self-models, goals,
+    reasoners, self-expression, meta-self-awareness, self-explanation,
+    attention, collective self-awareness.
+``repro.learning``
+    Common learning techniques (bandits, Q-learning, RLS, forecasting,
+    drift detection, learning automata, ensembles).
+``repro.envgen``
+    Synthetic environment and workload generators (drift, shocks,
+    seasonality, Markov modulation).
+``repro.metrics``
+    Multi-objective evaluation: Pareto fronts, hypervolume, regret,
+    adaptation metrics, summary statistics.
+``repro.smartcamera`` / ``repro.cloud`` / ``repro.multicore`` /
+``repro.cpn`` / ``repro.sensornet`` / ``repro.swarm``
+    The case-study substrates, each with self-aware and baseline
+    controllers.
+``repro.experiments``
+    The experiment harness and one module per experiment in DESIGN.md.
+"""
+
+__version__ = "1.0.0"
+
+from . import core, learning
+
+__all__ = ["core", "learning", "__version__"]

@@ -1,0 +1,159 @@
+"""The elastic service cluster: the plant the autoscalers control.
+
+A time-stepped model of a horizontally scaled service: identical servers
+each serve ``capacity_per_server`` requests per step, newly requested
+servers take ``boot_delay`` steps to come online (the key friction that
+makes *time-awareness* -- anticipating demand -- valuable), and unserved
+requests queue in a bounded backlog (overflow is dropped).
+
+Quality of service per step is the fraction of offered work (new demand
+plus backlog) actually served; cost is the number of provisioned servers
+(booting ones bill too, as in real clouds).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ClusterMetrics:
+    """Telemetry for one step of the cluster."""
+
+    time: float
+    demand: float
+    served: float
+    dropped: float
+    backlog: float
+    n_active: int
+    n_booting: int
+    utilisation: float
+    qos: float
+    cost: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Raw metric vector for goal evaluation."""
+        return {
+            "demand": self.demand, "served": self.served,
+            "dropped": self.dropped, "backlog": self.backlog,
+            "n_active": float(self.n_active),
+            "n_booting": float(self.n_booting),
+            "utilisation": self.utilisation, "qos": self.qos,
+            "cost": self.cost,
+        }
+
+
+class ServiceCluster:
+    """Elastic pool of identical servers with boot latency.
+
+    Parameters
+    ----------
+    capacity_per_server:
+        Requests one active server serves per step.
+    boot_delay:
+        Steps between requesting a server and it becoming active.
+    min_servers, max_servers:
+        Hard scaling bounds.
+    backlog_limit:
+        Queue bound, in requests; overflow is dropped.
+    initial_servers:
+        Active servers at t=0.
+    cost_per_server:
+        Billing per provisioned (active or booting) server-step.
+    """
+
+    def __init__(
+        self,
+        capacity_per_server: float = 10.0,
+        boot_delay: int = 5,
+        min_servers: int = 1,
+        max_servers: int = 40,
+        backlog_limit: float = 400.0,
+        initial_servers: int = 4,
+        cost_per_server: float = 1.0,
+    ) -> None:
+        if capacity_per_server <= 0:
+            raise ValueError("capacity_per_server must be positive")
+        if boot_delay < 0:
+            raise ValueError("boot_delay must be non-negative")
+        if not 1 <= min_servers <= max_servers:
+            raise ValueError("need 1 <= min_servers <= max_servers")
+        if not min_servers <= initial_servers <= max_servers:
+            raise ValueError("initial_servers out of bounds")
+        if backlog_limit < 0:
+            raise ValueError("backlog_limit must be non-negative")
+        self.capacity_per_server = capacity_per_server
+        self.boot_delay = boot_delay
+        self.min_servers = min_servers
+        self.max_servers = max_servers
+        self.backlog_limit = backlog_limit
+        self.cost_per_server = cost_per_server
+        self.n_active = initial_servers
+        self._boot_queue: List[int] = []  # remaining boot steps per pending server
+        self.backlog = 0.0
+        self.total_cost = 0.0
+        self.total_dropped = 0.0
+
+    @property
+    def n_booting(self) -> int:
+        """Servers currently booting."""
+        return len(self._boot_queue)
+
+    @property
+    def n_provisioned(self) -> int:
+        """Active plus booting servers (what the bill is based on)."""
+        return self.n_active + self.n_booting
+
+    def request_scale(self, target: int) -> int:
+        """Ask for ``target`` provisioned servers; returns the granted target.
+
+        Scaling up enqueues boots; scaling down removes booting servers
+        first, then stops active ones immediately.  The target is clamped
+        to the configured bounds.
+        """
+        target = max(self.min_servers, min(self.max_servers, int(target)))
+        diff = target - self.n_provisioned
+        if diff > 0:
+            self._boot_queue.extend([self.boot_delay] * diff)
+        elif diff < 0:
+            to_remove = -diff
+            while to_remove > 0 and self._boot_queue:
+                self._boot_queue.pop()
+                to_remove -= 1
+            self.n_active = max(self.min_servers, self.n_active - to_remove)
+        return target
+
+    def step(self, time: float, demand: float) -> ClusterMetrics:
+        """Serve one step of ``demand``; returns the step telemetry."""
+        if demand < 0:
+            raise ValueError("demand must be non-negative")
+        # Boot progress (servers requested this step still need full delay).
+        matured = 0
+        next_queue = []
+        for remaining in self._boot_queue:
+            if remaining <= 1:
+                matured += 1
+            else:
+                next_queue.append(remaining - 1)
+        self._boot_queue = next_queue
+        self.n_active = min(self.max_servers, self.n_active + matured)
+
+        offered = demand + self.backlog
+        capacity = self.n_active * self.capacity_per_server
+        served = min(offered, capacity)
+        remainder = offered - served
+        dropped = max(0.0, remainder - self.backlog_limit)
+        self.backlog = remainder - dropped
+        self.total_dropped += dropped
+
+        cost = self.n_provisioned * self.cost_per_server
+        self.total_cost += cost
+        utilisation = served / capacity if capacity > 0 else 1.0
+        qos = served / offered if offered > 0 else 1.0
+        return ClusterMetrics(
+            time=time, demand=demand, served=served, dropped=dropped,
+            backlog=self.backlog, n_active=self.n_active,
+            n_booting=self.n_booting, utilisation=utilisation, qos=qos,
+            cost=cost)

@@ -1,0 +1,132 @@
+"""Self-expression: acting on the world on the basis of self-knowledge.
+
+In the Lewis et al. architecture, *self-expression* is the counterpart of
+self-awareness: behaviour -- adaptation, reconfiguration, communication --
+enacted because of what the system knows about itself.  An
+:class:`Actuator` binds an action name to an effect function; a
+:class:`Guard` can veto actuations (Winfield's argument that internal
+models should *moderate* action for safety is realised as guarded
+actuation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
+
+
+@dataclass
+class ActuationResult:
+    """What happened when an action was (or was not) applied."""
+
+    action: Hashable
+    applied: bool
+    vetoed_by: Optional[str] = None
+    cost: float = 0.0
+
+
+class Guard:
+    """A safety veto consulted before any actuation.
+
+    ``check`` returns ``None`` to allow the action or a human-readable
+    reason string to veto it.  Guards see the node's current context so
+    vetoes can depend on state ("do not scale down while the queue is
+    growing").
+    """
+
+    def __init__(self, name: str,
+                 check: Callable[[Hashable, Mapping[str, float]], Optional[str]]) -> None:
+        self.name = name
+        self._check = check
+        self.vetoes_issued = 0
+
+    def evaluate(self, action: Hashable, context: Mapping[str, float]) -> Optional[str]:
+        """Reason to veto ``action`` in ``context``, or ``None`` to allow."""
+        reason = self._check(action, context)
+        if reason is not None:
+            self.vetoes_issued += 1
+        return reason
+
+
+class Actuator:
+    """One effector the system can use to express itself.
+
+    Parameters
+    ----------
+    action:
+        The action this actuator realises.
+    effect:
+        Zero-argument callable that enacts the change on the substrate.
+    switching_cost:
+        Abstract cost charged when the action differs from the previously
+        applied one -- reconfiguration is rarely free, and several
+        experiments study how self-aware systems amortise it.
+    """
+
+    def __init__(self, action: Hashable, effect: Callable[[], None],
+                 switching_cost: float = 0.0) -> None:
+        self.action = action
+        self._effect = effect
+        self.switching_cost = switching_cost
+        self.invocations = 0
+
+    def apply(self) -> None:
+        """Enact the effect on the substrate."""
+        self.invocations += 1
+        self._effect()
+
+
+class ExpressionEngine:
+    """Dispatches decisions to actuators through the guard chain.
+
+    Tracks the currently expressed action so switching costs accrue only
+    on change, and counts vetoes for the self-explanation reports.
+    """
+
+    def __init__(self, actuators: Dict[Hashable, Actuator] = None,
+                 guards: List[Guard] = None) -> None:
+        self._actuators: Dict[Hashable, Actuator] = dict(actuators or {})
+        self.guards: List[Guard] = list(guards or [])
+        self.current_action: Optional[Hashable] = None
+        self.total_switching_cost = 0.0
+        self.switches = 0
+
+    def add_actuator(self, actuator: Actuator) -> None:
+        """Register an actuator; actions must be unique."""
+        if actuator.action in self._actuators:
+            raise ValueError(f"duplicate actuator for action {actuator.action!r}")
+        self._actuators[actuator.action] = actuator
+
+    def add_guard(self, guard: Guard) -> None:
+        """Append a guard to the veto chain."""
+        self.guards.append(guard)
+
+    def available_actions(self) -> List[Hashable]:
+        """All actions with a registered actuator."""
+        return list(self._actuators)
+
+    def express(self, action: Hashable,
+                context: Mapping[str, float]) -> ActuationResult:
+        """Apply ``action`` unless a guard vetoes it.
+
+        Re-applying the current action is a no-op with zero cost (idempotent
+        expression), so controllers may decide every step without thrashing.
+        """
+        if action not in self._actuators:
+            raise KeyError(f"no actuator for action {action!r}")
+        for guard in self.guards:
+            reason = guard.evaluate(action, context)
+            if reason is not None:
+                return ActuationResult(action=action, applied=False,
+                                       vetoed_by=f"{guard.name}: {reason}")
+        actuator = self._actuators[action]
+        cost = 0.0
+        if self.current_action is not None and action != self.current_action:
+            cost = actuator.switching_cost
+            self.total_switching_cost += cost
+            self.switches += 1
+        elif self.current_action == action:
+            return ActuationResult(action=action, applied=True, cost=0.0)
+        actuator.apply()
+        self.current_action = action
+        return ActuationResult(action=action, applied=True, cost=cost)

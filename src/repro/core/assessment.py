@@ -1,0 +1,108 @@
+"""Self-assessment: a node's structured report on its own condition.
+
+Kounev's *self-reflection* (Section III): a self-aware system holds
+models of itself that it can consult -- not only to act, but to report
+its own health.  :func:`assess` compiles what a node knows about itself
+into a :class:`SelfAssessment`: how complete and fresh its knowledge is,
+how much it has been exploring, how stable its behaviour is, and (for
+meta-self-aware nodes) how it judges its own strategies.
+
+This is the machine-readable sibling of self-explanation: explanation
+narrates single decisions; assessment summarises the system's state for
+dashboards, watchdogs, or other systems.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .levels import SelfAwarenessLevel
+from .meta import MetaReasoner
+from .node import SelfAwareNode
+
+
+@dataclass
+class SelfAssessment:
+    """A node's structured view of its own condition at one instant."""
+
+    node_name: str
+    time: float
+    levels: List[str]
+    #: Fraction of the sensor suite's scopes with at least one observation.
+    knowledge_coverage: float
+    #: Age of the stalest observed scope (inf when nothing observed).
+    worst_staleness: float
+    #: Fraction of journalled decisions that were exploratory.
+    exploration_rate: float
+    #: Fraction of consecutive journalled decisions keeping the action.
+    decision_stability: float
+    #: Decisions journalled so far.
+    decisions: int
+    #: Meta level only: the reasoner's own view of its strategies.
+    strategy_assessment: Optional[Dict[str, float]] = None
+    strategy_switches: Optional[int] = None
+
+    def healthy(self, max_staleness: float = math.inf,
+                min_coverage: float = 0.5) -> bool:
+        """A crude go/no-go: knowledge fresh and reasonably complete."""
+        return (self.knowledge_coverage >= min_coverage
+                and self.worst_staleness <= max_staleness)
+
+    def describe(self) -> str:
+        """One-paragraph narrative of the assessment."""
+        parts = [
+            f"node '{self.node_name}' at t={self.time:g}:",
+            f"levels [{', '.join(self.levels)}];",
+            f"knowledge covers {self.knowledge_coverage:.0%} of its sensors",
+        ]
+        if math.isfinite(self.worst_staleness):
+            parts.append(f"(stalest observation {self.worst_staleness:g} "
+                         "time units old);")
+        else:
+            parts.append("(nothing observed yet);")
+        parts.append(f"{self.decisions} decisions made, "
+                     f"{self.exploration_rate:.0%} exploratory, "
+                     f"stability {self.decision_stability:.0%}.")
+        if self.strategy_assessment is not None:
+            ranked = ", ".join(
+                f"{name}={value:.3f}" if not math.isnan(value) else f"{name}=?"
+                for name, value in self.strategy_assessment.items())
+            parts.append(f"Strategy self-assessment: {ranked} "
+                         f"({self.strategy_switches} switches).")
+        return " ".join(parts)
+
+
+def assess(node: SelfAwareNode, now: float) -> SelfAssessment:
+    """Compile ``node``'s self-assessment as of ``now``."""
+    expected = node.sensors.scopes()
+    coverage = node.knowledge.coverage(expected)
+    staleness_values = [node.knowledge.staleness(scope, now)
+                        for scope in expected if node.knowledge.has(scope)]
+    worst = max(staleness_values) if staleness_values else math.inf
+
+    steps = node.log.steps()
+    decisions = len(steps)
+    exploratory = sum(1 for s in steps if s.decision.explored)
+    changes = sum(1 for a, b in zip(steps, steps[1:])
+                  if a.decision.action != b.decision.action)
+    stability = 1.0 - changes / (decisions - 1) if decisions > 1 else 1.0
+
+    strategy_assessment = None
+    switches = None
+    if isinstance(node.reasoner, MetaReasoner):
+        strategy_assessment = node.reasoner.self_assessment()
+        switches = len(node.reasoner.switches)
+
+    return SelfAssessment(
+        node_name=node.name,
+        time=now,
+        levels=[lv.name.lower() for lv in node.profile],
+        knowledge_coverage=coverage,
+        worst_staleness=worst,
+        exploration_rate=exploratory / decisions if decisions else 0.0,
+        decision_stability=stability,
+        decisions=decisions,
+        strategy_assessment=strategy_assessment,
+        strategy_switches=switches)

@@ -1,0 +1,188 @@
+"""Attention: directing limited sensing resources among stimuli.
+
+Preden et al. (Section V) highlight the relationship between
+self-awareness and attention: a resource-constrained system cannot attend
+to everything, and must determine *for itself* how to direct limited
+resources across the vast set of things it could attend to.
+
+An :class:`AttentionPolicy` chooses, each step, which sensor scopes to
+sample given a budget.  The self-aware policy
+(:class:`SalienceAttention`) estimates the value of re-observing each
+scope from the node's own knowledge -- how volatile the phenomenon has
+been, how stale the current belief is, how relevant the scope is to the
+current goal -- and spends the budget on the most salient scopes.
+Baselines sample round-robin or uniformly at random.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .knowledge import KnowledgeBase
+from .sensors import SensorSuite
+from .spans import Scope
+
+
+class AttentionPolicy(ABC):
+    """Chooses which scopes to attend to (sample) under a budget."""
+
+    @abstractmethod
+    def select(self, suite: SensorSuite, kb: KnowledgeBase, now: float,
+               budget: float) -> List[Scope]:
+        """Scopes to sample now; their summed sensor cost must fit ``budget``."""
+
+
+def _fit_budget(ordered: Sequence[Scope], suite: SensorSuite, budget: float) -> List[Scope]:
+    """Greedily keep the prefix of ``ordered`` whose cost fits ``budget``.
+
+    Zero-cost sensors are always included.
+    """
+    chosen: List[Scope] = []
+    spent = 0.0
+    for scope in ordered:
+        cost = suite.sensor(scope).cost
+        if cost == 0.0 or spent + cost <= budget + 1e-12:
+            chosen.append(scope)
+            spent += cost
+    return chosen
+
+
+class FullAttention(AttentionPolicy):
+    """Sample everything the budget allows, in a fixed order.
+
+    With an unconstrained budget this is the "attend to everything"
+    baseline; under constraint it truncates arbitrarily (by scope name),
+    which is exactly the failure mode attention is meant to fix.
+    """
+
+    def select(self, suite: SensorSuite, kb: KnowledgeBase, now: float,
+               budget: float) -> List[Scope]:
+        return _fit_budget(suite.scopes(), suite, budget)
+
+
+class RoundRobinAttention(AttentionPolicy):
+    """Cycle through scopes fairly, budget permitting."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def select(self, suite: SensorSuite, kb: KnowledgeBase, now: float,
+               budget: float) -> List[Scope]:
+        scopes = suite.scopes()
+        if not scopes:
+            return []
+        rotated = scopes[self._cursor % len(scopes):] + scopes[:self._cursor % len(scopes)]
+        chosen = _fit_budget(rotated, suite, budget)
+        self._cursor = (self._cursor + max(1, len(chosen))) % len(scopes)
+        return chosen
+
+
+class RandomAttention(AttentionPolicy):
+    """Sample a uniformly random ordering each step, budget permitting."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def select(self, suite: SensorSuite, kb: KnowledgeBase, now: float,
+               budget: float) -> List[Scope]:
+        scopes = suite.scopes()
+        self._rng.shuffle(scopes)
+        return _fit_budget(scopes, suite, budget)
+
+
+class SalienceAttention(AttentionPolicy):
+    """Self-aware attention: spend the budget where information is worth most.
+
+    Salience of a scope combines three signals drawn from the node's own
+    knowledge base:
+
+    - **volatility** -- recent standard deviation of the phenomenon; a
+      stable signal need not be re-read often;
+    - **staleness** -- age of the newest observation; for a drifting
+      phenomenon the expected error grows like volatility times the
+      square root of the age, so the staleness term is *unbounded* --
+      even a quiet scope eventually becomes worth re-reading (a
+      saturating term would starve quiet scopes forever);
+    - **relevance** -- optional caller-supplied weight tying scopes to the
+      current goal (e.g. the metric currently binding a constraint).
+
+    Scopes are ranked by salience per unit cost and the budget is filled
+    greedily.  A ``novelty_bonus`` keeps never-observed scopes from
+    starving (their volatility is unknown, not zero).
+
+    Parameters
+    ----------
+    volatility_window:
+        Number of recent observations over which volatility is computed.
+    staleness_scale:
+        Time unit of the staleness term: salience equals
+        ``relevance * volatility`` at ``staleness == staleness_scale``.
+    relevance:
+        Optional mapping of scope -> goal-relevance weight (default 1).
+    novelty_bonus:
+        Salience assigned to scopes observed fewer than ``min_history``
+        times -- their volatility cannot be estimated yet, so they stay
+        maximally interesting until the estimate exists.
+    min_history:
+        Observations needed before the volatility estimate replaces the
+        novelty bonus.
+    """
+
+    def __init__(
+        self,
+        volatility_window: int = 16,
+        staleness_scale: float = 5.0,
+        relevance: Optional[Mapping[Scope, float]] = None,
+        novelty_bonus: float = 1.0,
+        min_history: int = 3,
+    ) -> None:
+        if staleness_scale <= 0:
+            raise ValueError("staleness_scale must be positive")
+        if min_history < 2:
+            raise ValueError("min_history must be at least 2")
+        self.volatility_window = volatility_window
+        self.staleness_scale = staleness_scale
+        self.relevance: Dict[Scope, float] = dict(relevance or {})
+        self.novelty_bonus = novelty_bonus
+        self.min_history = min_history
+
+    def set_relevance(self, scope: Scope, weight: float) -> None:
+        """Update the goal-relevance weight of a scope at run time."""
+        self.relevance[scope] = weight
+
+    def salience(self, scope: Scope, suite: SensorSuite, kb: KnowledgeBase,
+                 now: float) -> float:
+        """Estimated value of re-observing ``scope`` now."""
+        rel = self.relevance.get(scope, 1.0)
+        if not kb.has(scope):
+            return rel * self.novelty_bonus
+        history = kb.history(scope)
+        if len(history) < self.min_history:
+            return rel * self.novelty_bonus
+        vol = history.std(self.volatility_window)
+        if math.isnan(vol):
+            vol = 0.0
+        stale = kb.staleness(scope, now)
+        if math.isinf(stale):
+            return rel * self.novelty_bonus
+        # Random-walk drift: expected deviation grows with sqrt(age).
+        return rel * (vol + 1e-3) * math.sqrt(stale / self.staleness_scale)
+
+    def select(self, suite: SensorSuite, kb: KnowledgeBase, now: float,
+               budget: float) -> List[Scope]:
+        scopes = suite.scopes()
+        if not scopes:
+            return []
+
+        def value_density(scope: Scope) -> float:
+            cost = suite.sensor(scope).cost
+            sal = self.salience(scope, suite, kb, now)
+            return sal / cost if cost > 0 else math.inf
+
+        ordered = sorted(scopes, key=value_density, reverse=True)
+        return _fit_budget(ordered, suite, budget)

@@ -1,0 +1,336 @@
+"""Collective self-awareness without a global component.
+
+The framework's third concept (Section IV): self-awareness can be a
+property of a collective even when *no single component* holds global
+knowledge of the whole system (Mitchell 2005).  This module provides the
+machinery the collective experiments use:
+
+- :class:`CommunicationNetwork` -- who can talk to whom, with message
+  accounting and unreliable delivery.
+- :class:`GossipEstimator` -- fully decentralised awareness of a global
+  property (here: the mean of a per-node quantity) via push-pull gossip
+  averaging; every node ends up *approximately* aware of the collective
+  state, yet none is special.
+- :class:`CentralAggregator` -- the classic alternative: one hub gathers
+  every value, computes the exact answer and broadcasts it.  Exact, but a
+  single point of failure and a message hot-spot.
+- :class:`HierarchicalAggregator` -- the middle ground from the
+  hierarchical self-aware building-block literature: a tree of
+  aggregators.
+
+Experiment E9 compares the three on accuracy, message cost, and
+robustness to the loss of nodes (including the hub).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+
+class CommunicationNetwork:
+    """An undirected communication topology with message accounting.
+
+    Parameters
+    ----------
+    graph:
+        ``networkx`` graph whose nodes are entity names.
+    loss_rate:
+        Probability that any single message is lost in transit.
+    rng:
+        Random generator for loss draws.
+    """
+
+    def __init__(self, graph: nx.Graph, loss_rate: float = 0.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError("loss_rate must be in [0, 1]")
+        self.graph = graph
+        self.loss_rate = loss_rate
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self._down: set = set()
+
+    @classmethod
+    def ring(cls, names: Sequence[str], **kwargs) -> "CommunicationNetwork":
+        """Ring topology over ``names``."""
+        g = nx.cycle_graph(len(names))
+        return cls(nx.relabel_nodes(g, dict(enumerate(names))), **kwargs)
+
+    @classmethod
+    def random_geometric(cls, names: Sequence[str], radius: float = 0.35,
+                         seed: int = 0, **kwargs) -> "CommunicationNetwork":
+        """Connected random geometric topology (retries radius upward)."""
+        n = len(names)
+        r = radius
+        for _ in range(20):
+            g = nx.random_geometric_graph(n, r, seed=seed)
+            if n <= 1 or nx.is_connected(g):
+                break
+            r *= 1.25
+        return cls(nx.relabel_nodes(g, dict(enumerate(names))), **kwargs)
+
+    @classmethod
+    def star(cls, hub: str, leaves: Sequence[str], **kwargs) -> "CommunicationNetwork":
+        """Star topology: every leaf talks only to ``hub``."""
+        g = nx.Graph()
+        g.add_node(hub)
+        for leaf in leaves:
+            g.add_edge(hub, leaf)
+        return cls(g, **kwargs)
+
+    def fail_node(self, name: str) -> None:
+        """Mark a node as failed: it neither sends nor receives."""
+        self._down.add(name)
+
+    def restore_node(self, name: str) -> None:
+        """Bring a failed node back."""
+        self._down.discard(name)
+
+    def is_up(self, name: str) -> bool:
+        """Whether ``name`` is currently operational."""
+        return name not in self._down
+
+    def neighbours(self, name: str) -> List[str]:
+        """Operational neighbours of ``name`` (empty if it is down)."""
+        if name in self._down or name not in self.graph:
+            return []
+        return [n for n in self.graph.neighbors(name) if n not in self._down]
+
+    def transmit(self, sender: str, receiver: str) -> bool:
+        """Attempt one message; returns whether it was delivered."""
+        self.messages_sent += 1
+        if sender in self._down or receiver in self._down:
+            return False
+        if not self.graph.has_edge(sender, receiver):
+            return False
+        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+            return False
+        self.messages_delivered += 1
+        return True
+
+
+@dataclass
+class AggregationResult:
+    """Outcome of one aggregation round/protocol run."""
+
+    estimates: Dict[str, float]
+    truth: float
+    messages: int
+    rounds: int
+
+    def errors(self) -> Dict[str, float]:
+        """Absolute estimation error per participating node."""
+        return {n: abs(v - self.truth) for n, v in self.estimates.items()}
+
+    @property
+    def max_error(self) -> float:
+        """Worst error across nodes (NaN when nobody has an estimate)."""
+        errs = self.errors()
+        return max(errs.values()) if errs else math.nan
+
+    @property
+    def mean_error(self) -> float:
+        """Mean error across nodes (NaN when nobody has an estimate)."""
+        errs = self.errors()
+        return sum(errs.values()) / len(errs) if errs else math.nan
+
+    @property
+    def aware_fraction(self) -> float:
+        """Fraction of participating nodes holding *some* estimate."""
+        return 1.0 if self.estimates else 0.0
+
+
+def _live_truth(values: Mapping[str, float], network: CommunicationNetwork) -> float:
+    live = [v for n, v in values.items() if network.is_up(n)]
+    return sum(live) / len(live) if live else math.nan
+
+
+class GossipEstimator:
+    """Push-pull gossip averaging: decentralised collective awareness.
+
+    Every node starts from its own local value.  Each round every live
+    node exchanges estimates with one random live neighbour and both adopt
+    the pairwise mean.  Estimates provably converge to the mean of the
+    live nodes' initial values on a connected topology; no node is
+    privileged and the protocol survives any single failure.
+    """
+
+    def __init__(self, network: CommunicationNetwork,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.network = network
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def run(self, values: Mapping[str, float], rounds: int = 20) -> AggregationResult:
+        """Run ``rounds`` of gossip from local ``values``."""
+        start_messages = self.network.messages_sent
+        estimates = {n: float(v) for n, v in values.items()
+                     if self.network.is_up(n)}
+        truth = _live_truth(values, self.network)
+        for _ in range(rounds):
+            order = list(estimates)
+            self._rng.shuffle(order)
+            for name in order:
+                if not self.network.is_up(name):
+                    continue
+                neigh = [n for n in self.network.neighbours(name) if n in estimates]
+                if not neigh:
+                    continue
+                partner = neigh[int(self._rng.integers(len(neigh)))]
+                # Push-pull: two messages per exchange, both must arrive
+                # for the symmetric update (a lost leg aborts the swap).
+                ok_fwd = self.network.transmit(name, partner)
+                ok_bwd = self.network.transmit(partner, name)
+                if ok_fwd and ok_bwd:
+                    mean = 0.5 * (estimates[name] + estimates[partner])
+                    estimates[name] = mean
+                    estimates[partner] = mean
+        return AggregationResult(
+            estimates=estimates, truth=truth,
+            messages=self.network.messages_sent - start_messages,
+            rounds=rounds)
+
+    def rounds_to_converge(self, values: Mapping[str, float], tolerance: float = 0.05,
+                           max_rounds: int = 200) -> int:
+        """Rounds until every estimate is within ``tolerance`` of the mean.
+
+        Returns ``max_rounds`` when the tolerance is never met.
+        """
+        estimates = {n: float(v) for n, v in values.items()
+                     if self.network.is_up(n)}
+        truth = _live_truth(values, self.network)
+        for rnd in range(1, max_rounds + 1):
+            order = list(estimates)
+            self._rng.shuffle(order)
+            for name in order:
+                neigh = [n for n in self.network.neighbours(name) if n in estimates]
+                if not neigh:
+                    continue
+                partner = neigh[int(self._rng.integers(len(neigh)))]
+                if self.network.transmit(name, partner) and \
+                        self.network.transmit(partner, name):
+                    mean = 0.5 * (estimates[name] + estimates[partner])
+                    estimates[name] = mean
+                    estimates[partner] = mean
+            if estimates and all(abs(v - truth) <= tolerance for v in estimates.values()):
+                return rnd
+        return max_rounds
+
+
+class CentralAggregator:
+    """One hub collects every value, computes exactly, broadcasts back.
+
+    The "global component" the framework says is *not* required.  Exact
+    and cheap in rounds, but: 2(N-1) messages through one node per round,
+    and when the hub fails, *nobody* has any awareness at all.
+    """
+
+    def __init__(self, network: CommunicationNetwork, hub: str) -> None:
+        self.network = network
+        self.hub = hub
+
+    def run(self, values: Mapping[str, float], rounds: int = 1) -> AggregationResult:
+        """Collect-and-broadcast; extra ``rounds`` just repeat the exchange."""
+        start_messages = self.network.messages_sent
+        truth = _live_truth(values, self.network)
+        estimates: Dict[str, float] = {}
+        for _ in range(rounds):
+            if not self.network.is_up(self.hub):
+                estimates = {}
+                continue
+            received = {}
+            for name, value in values.items():
+                if name == self.hub:
+                    if self.network.is_up(name):
+                        received[name] = value
+                    continue
+                if self.network.transmit(name, self.hub):
+                    received[name] = value
+            if not received:
+                estimates = {}
+                continue
+            answer = sum(received.values()) / len(received)
+            estimates = {self.hub: answer}
+            for name in values:
+                if name != self.hub and self.network.transmit(self.hub, name):
+                    estimates[name] = answer
+        return AggregationResult(
+            estimates=estimates, truth=truth,
+            messages=self.network.messages_sent - start_messages, rounds=rounds)
+
+
+class HierarchicalAggregator:
+    """Tree aggregation: hierarchy of self-aware building blocks.
+
+    Values flow up a balanced ``fanout``-ary tree of the participating
+    nodes; each internal node holds awareness of its subtree; the root's
+    (exact, for the live subtree) answer flows back down.  Message cost is
+    2(N-1) like the central scheme, but no single node handles more than
+    ``fanout`` + 1 messages, and a failure only blinds its subtree.
+    """
+
+    def __init__(self, network: CommunicationNetwork, members: Sequence[str],
+                 fanout: int = 2) -> None:
+        if fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        self.network = network
+        self.members = list(members)
+        self.fanout = fanout
+
+    def _children(self, index: int) -> List[int]:
+        base = index * self.fanout
+        return [base + k for k in range(1, self.fanout + 1)
+                if base + k < len(self.members)]
+
+    def run(self, values: Mapping[str, float], rounds: int = 1) -> AggregationResult:
+        """Aggregate up the implicit tree and broadcast the root's answer."""
+        start_messages = self.network.messages_sent
+        truth = _live_truth(values, self.network)
+        estimates: Dict[str, float] = {}
+        for _ in range(rounds):
+            sums: Dict[int, Tuple[float, int]] = {}
+
+            def collect(index: int) -> Optional[Tuple[float, int]]:
+                name = self.members[index]
+                if not self.network.is_up(name):
+                    return None
+                total, count = float(values.get(name, 0.0)), 1
+                for child in self._children(index):
+                    child_result = collect(child)
+                    if child_result is None:
+                        continue
+                    # Tree links are logical: charge one message per hop.
+                    self.network.messages_sent += 1
+                    self.network.messages_delivered += 1
+                    total += child_result[0]
+                    count += child_result[1]
+                sums[index] = (total, count)
+                return total, count
+
+            root_result = collect(0)
+            if root_result is None or root_result[1] == 0:
+                estimates = {}
+                continue
+            answer = root_result[0] / root_result[1]
+            estimates = {}
+
+            def broadcast(index: int) -> None:
+                name = self.members[index]
+                if not self.network.is_up(name):
+                    return
+                estimates[name] = answer
+                for child in self._children(index):
+                    if self.network.is_up(self.members[child]):
+                        self.network.messages_sent += 1
+                        self.network.messages_delivered += 1
+                        broadcast(child)
+
+            broadcast(0)
+        return AggregationResult(
+            estimates=estimates, truth=truth,
+            messages=self.network.messages_sent - start_messages, rounds=rounds)

@@ -1,0 +1,164 @@
+"""Self-explanation: reporting the reasons behind action (or inaction).
+
+Schubert and Cox (Section III) identify self-explanation as a benefit of
+self-awareness beyond adaptation: a system with internal self-models can
+justify itself to humans and to other systems.  The paper's conclusion
+repeats the point: "due to the presence of internal self-models, they can
+engage in self-explanation, a form of reporting in which the reasons
+behind action (or inaction) are made clear."
+
+This module turns the :class:`~repro.core.reasoner.Decision` records that
+reasoners already emit into an audit trail and natural-language accounts:
+
+- :class:`ExplanationLog` -- bounded journal of decisions and actuations.
+- :func:`narrate` -- render one decision as text.
+- :class:`ExplanationReport` -- coverage/quality statistics consumed by
+  experiment E11.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Hashable, List, Mapping, Optional
+
+from .actuators import ActuationResult
+from .reasoner import Decision
+
+
+@dataclass
+class LoggedStep:
+    """One journal entry: a decision and what became of it."""
+
+    decision: Decision
+    actuation: Optional[ActuationResult] = None
+    outcome: Optional[Dict[str, float]] = None
+
+    @property
+    def acted(self) -> bool:
+        """Whether the decision resulted in an applied actuation."""
+        return self.actuation is not None and self.actuation.applied
+
+
+def narrate(step: LoggedStep) -> str:
+    """Render a logged step as a human-readable explanation.
+
+    The narrative covers: what was chosen, why (including the evidence
+    considered), whether it was exploratory, whether a guard vetoed it,
+    and -- when known -- how the outcome compared to the prediction.
+    """
+    d = step.decision
+    lines = [f"At t={d.time:g} I chose action {d.action!r} because {d.reason}."]
+    if d.explored:
+        lines.append("This was an exploratory choice, made to improve my self-model.")
+    if d.considered:
+        n = len(d.considered)
+        margin = d.margin()
+        if math.isfinite(margin):
+            lines.append(
+                f"I considered {n} candidate actions; the chosen one led the "
+                f"runner-up by {margin:.3f} utility.")
+        else:
+            lines.append(f"I considered {n} candidate action(s).")
+    if d.goal_version is not None:
+        lines.append(f"My goal structure was at version {d.goal_version}.")
+    if step.actuation is not None and not step.actuation.applied:
+        lines.append(
+            f"I did not act: the actuation was vetoed by {step.actuation.vetoed_by}.")
+    if step.outcome is not None and d.action in d.considered:
+        predicted = d.considered[d.action]
+        shared = [m for m in step.outcome if m in predicted]
+        if shared:
+            err = sum(abs(step.outcome[m] - predicted[m]) for m in shared) / len(shared)
+            lines.append(
+                f"The observed outcome deviated from my prediction by "
+                f"{err:.3f} on average across {len(shared)} metric(s).")
+    return " ".join(lines)
+
+
+@dataclass
+class ExplanationReport:
+    """Aggregate self-explanation quality over a run (experiment E11)."""
+
+    steps: int
+    explained: int
+    evidence_backed: int
+    exploratory: int
+    vetoed: int
+    mean_candidates: float
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of steps for which any explanation exists."""
+        return self.explained / self.steps if self.steps else 0.0
+
+    @property
+    def evidence_rate(self) -> float:
+        """Fraction of steps whose explanation cites considered evidence."""
+        return self.evidence_backed / self.steps if self.steps else 0.0
+
+
+class ExplanationLog:
+    """Bounded journal of decisions, actuations and outcomes.
+
+    One log per node.  Logging is append-only and cheap (no narration cost
+    until :func:`narrate`/:meth:`report` is called), so the overhead
+    measured in E11 is the record-keeping itself.
+    """
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        if maxlen <= 0:
+            raise ValueError("maxlen must be positive")
+        self._steps: Deque[LoggedStep] = deque(maxlen=maxlen)
+        self.total_logged = 0
+
+    def log(self, decision: Decision,
+            actuation: Optional[ActuationResult] = None) -> LoggedStep:
+        """Append a decision (and optionally its actuation) to the journal."""
+        step = LoggedStep(decision=decision, actuation=actuation)
+        self._steps.append(step)
+        self.total_logged += 1
+        return step
+
+    def attach_outcome(self, outcome: Mapping[str, float]) -> None:
+        """Record the observed outcome of the most recent step."""
+        if not self._steps:
+            raise IndexError("no logged step to attach an outcome to")
+        self._steps[-1].outcome = dict(outcome)
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def last(self) -> Optional[LoggedStep]:
+        """Most recent step, or ``None`` when empty."""
+        return self._steps[-1] if self._steps else None
+
+    def steps(self) -> List[LoggedStep]:
+        """All retained steps, oldest first."""
+        return list(self._steps)
+
+    def explain_last(self) -> str:
+        """Narrate the most recent step ("why did you just do that?")."""
+        if not self._steps:
+            return "I have not made any decisions yet."
+        return narrate(self._steps[-1])
+
+    def explain_window(self, n: int = 5) -> List[str]:
+        """Narratives for the last ``n`` steps, oldest first."""
+        return [narrate(s) for s in list(self._steps)[-n:]]
+
+    def report(self) -> ExplanationReport:
+        """Aggregate explanation-quality statistics over retained steps."""
+        steps = list(self._steps)
+        explained = sum(1 for s in steps if s.decision.reason)
+        evidence = sum(1 for s in steps if s.decision.considered)
+        exploratory = sum(1 for s in steps if s.decision.explored)
+        vetoed = sum(1 for s in steps
+                     if s.actuation is not None and not s.actuation.applied)
+        mean_candidates = (sum(len(s.decision.considered) for s in steps) / len(steps)
+                           if steps else 0.0)
+        return ExplanationReport(
+            steps=len(steps), explained=explained, evidence_backed=evidence,
+            exploratory=exploratory, vetoed=vetoed,
+            mean_candidates=mean_candidates)

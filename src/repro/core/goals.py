@@ -1,0 +1,298 @@
+"""Goals, objectives and run-time trade-off management.
+
+The paper's Section I argues that meaningful evaluation of a modern system
+is *inherently multi-objective*: stakeholder concerns (performance, cost,
+reliability, ...) trade off against each other, and because stakeholders
+and environments change, the goal structure itself must be changeable at
+run time.  Goal-awareness (level 4) is the system's explicit knowledge of
+this structure.
+
+This module provides:
+
+- :class:`Objective` -- one named, directed concern with normalisation.
+- :class:`Goal` -- a weighted set of objectives plus hard constraints,
+  mutable at run time (weights and constraints can change mid-run, which
+  experiments use to model stakeholder change).
+- Pareto utilities -- dominance checks and front extraction used both by
+  reasoners and by the evaluation metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A single stakeholder concern.
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"throughput"`` or ``"energy"``.
+    maximise:
+        Direction: ``True`` when larger raw values are better.
+    lo, hi:
+        Normalisation range.  Raw values are mapped affinely so that the
+        *worst* end of the range scores 0 and the *best* end scores 1;
+        values outside the range are clipped.  ``lo < hi`` is required.
+    """
+
+    name: str
+    maximise: bool = True
+    lo: float = 0.0
+    hi: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.lo < self.hi:
+            raise ValueError(f"objective {self.name}: need lo < hi, got [{self.lo}, {self.hi}]")
+
+    def score(self, raw: float) -> float:
+        """Normalised desirability of ``raw`` in ``[0, 1]`` (1 is best)."""
+        if math.isnan(raw):
+            return 0.0
+        clipped = min(max(raw, self.lo), self.hi)
+        frac = (clipped - self.lo) / (self.hi - self.lo)
+        return frac if self.maximise else 1.0 - frac
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A hard requirement on one raw metric.
+
+    ``kind`` is ``"max"`` (raw must stay at or below ``bound``) or
+    ``"min"`` (raw must stay at or above ``bound``).  Violations are
+    reported with their magnitude so reasoners can prefer the least-bad
+    infeasible option when nothing is feasible.
+    """
+
+    metric: str
+    kind: str
+    bound: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("max", "min"):
+            raise ValueError(f"constraint kind must be 'max' or 'min', got {self.kind!r}")
+
+    def violation(self, raw: float) -> float:
+        """Magnitude of violation (0 when satisfied; NaN raw counts as violated)."""
+        if math.isnan(raw):
+            return math.inf
+        if self.kind == "max":
+            return max(0.0, raw - self.bound)
+        return max(0.0, self.bound - raw)
+
+    def satisfied(self, raw: float) -> bool:
+        """Whether ``raw`` meets the constraint."""
+        return self.violation(raw) == 0.0
+
+
+@dataclass
+class GoalEvaluation:
+    """Outcome of evaluating one candidate metric vector against a goal."""
+
+    utility: float
+    scores: Dict[str, float]
+    violations: Dict[str, float]
+
+    @property
+    def feasible(self) -> bool:
+        """Whether every hard constraint was satisfied."""
+        return all(v == 0.0 for v in self.violations.values())
+
+    @property
+    def total_violation(self) -> float:
+        """Summed constraint violation magnitude."""
+        return sum(self.violations.values())
+
+
+class Goal:
+    """A run-time mutable, multi-objective goal.
+
+    A goal bundles objectives with weights and hard constraints.  Weights
+    may be changed while the system runs (``reweight``), which is how the
+    experiments model stakeholders changing their minds after deployment;
+    goal-aware systems observe such changes, goal-unaware baselines do not.
+
+    Parameters
+    ----------
+    objectives:
+        The concerns to balance.
+    weights:
+        Relative importance per objective name.  Defaults to uniform.
+        Weights are normalised to sum to 1 at evaluation time.
+    constraints:
+        Hard requirements checked on raw metric values.
+    name:
+        Identifier used in explanations.
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[Objective],
+        weights: Optional[Mapping[str, float]] = None,
+        constraints: Sequence[Constraint] = (),
+        name: str = "goal",
+    ) -> None:
+        if not objectives:
+            raise ValueError("a goal needs at least one objective")
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names: {names}")
+        self.name = name
+        self._objectives: Dict[str, Objective] = {o.name: o for o in objectives}
+        self._weights: Dict[str, float] = {}
+        self._version = -1  # set_weights below bumps this to 0
+        self.set_weights(weights if weights is not None else {n: 1.0 for n in names})
+        self.constraints: List[Constraint] = list(constraints)
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def objectives(self) -> List[Objective]:
+        """The objectives, in insertion order."""
+        return list(self._objectives.values())
+
+    @property
+    def objective_names(self) -> List[str]:
+        return list(self._objectives)
+
+    @property
+    def weights(self) -> Dict[str, float]:
+        """Current normalised weights."""
+        total = sum(self._weights.values())
+        return {n: w / total for n, w in self._weights.items()}
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every run-time goal change.
+
+        Goal-aware components compare versions to detect stakeholder
+        change; this is the minimal mechanism for "awareness that goals
+        themselves changed".
+        """
+        return self._version
+
+    def set_weights(self, weights: Mapping[str, float]) -> None:
+        """Replace the weight vector (keys must match objective names)."""
+        unknown = set(weights) - set(self._objectives)
+        if unknown:
+            raise ValueError(f"weights for unknown objectives: {sorted(unknown)}")
+        missing = set(self._objectives) - set(weights)
+        if missing:
+            raise ValueError(f"missing weights for objectives: {sorted(missing)}")
+        if any(w < 0 for w in weights.values()):
+            raise ValueError("weights must be non-negative")
+        if sum(weights.values()) <= 0:
+            raise ValueError("at least one weight must be positive")
+        self._weights = dict(weights)
+        self._version += 1
+
+    def reweight(self, **changes: float) -> None:
+        """Adjust a subset of weights at run time (stakeholder change)."""
+        merged = dict(self._weights)
+        merged.update(changes)
+        self.set_weights(merged)
+
+    def add_constraint(self, constraint: Constraint) -> None:
+        """Install a new hard constraint at run time."""
+        self.constraints.append(constraint)
+        self._version += 1
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(self, metrics: Mapping[str, float]) -> GoalEvaluation:
+        """Evaluate a raw metric vector against this goal.
+
+        ``metrics`` must contain a raw value for every objective; missing
+        metrics score 0 (worst), making ignorance costly by construction.
+        Constraint metrics may name objectives or any other raw metric.
+        """
+        scores: Dict[str, float] = {}
+        weights = self.weights
+        utility = 0.0
+        for nm, obj in self._objectives.items():
+            raw = metrics.get(nm, math.nan)
+            s = obj.score(raw)
+            scores[nm] = s
+            utility += weights[nm] * s
+        violations = {
+            f"{c.metric}:{c.kind}{c.bound}": c.violation(metrics.get(c.metric, math.nan))
+            for c in self.constraints
+        }
+        return GoalEvaluation(utility=utility, scores=scores, violations=violations)
+
+    def utility(self, metrics: Mapping[str, float]) -> float:
+        """Scalar utility of a metric vector (constraints ignored)."""
+        return self.evaluate(metrics).utility
+
+    def score_vector(self, metrics: Mapping[str, float]) -> Tuple[float, ...]:
+        """Normalised per-objective scores as a tuple (for Pareto analysis)."""
+        ev = self.evaluate(metrics)
+        return tuple(ev.scores[n] for n in self._objectives)
+
+    def describe(self) -> str:
+        """Human-readable goal summary for self-explanation."""
+        w = self.weights
+        parts = [f"{n} (w={w[n]:.2f}, {'max' if o.maximise else 'min'})"
+                 for n, o in self._objectives.items()]
+        text = f"goal '{self.name}': " + ", ".join(parts)
+        if self.constraints:
+            cons = "; ".join(f"{c.metric} {c.kind} {c.bound}" for c in self.constraints)
+            text += f" subject to [{cons}]"
+        return text
+
+
+# -- Pareto machinery ----------------------------------------------------------
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Whether score vector ``a`` Pareto-dominates ``b`` (maximisation).
+
+    ``a`` dominates ``b`` when it is at least as good in every component
+    and strictly better in at least one.
+    """
+    if len(a) != len(b):
+        raise ValueError("score vectors must have equal length")
+    at_least_as_good = all(x >= y for x, y in zip(a, b))
+    strictly_better = any(x > y for x, y in zip(a, b))
+    return at_least_as_good and strictly_better
+
+
+def pareto_front(points: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated points among ``points`` (maximisation).
+
+    O(n^2) sweep -- candidate sets in run-time reasoning are small.
+    Duplicate points are all retained (none dominates its copy).
+    """
+    front: List[int] = []
+    for i, p in enumerate(points):
+        dominated = False
+        for j, q in enumerate(points):
+            if i != j and dominates(q, p):
+                dominated = True
+                break
+        if not dominated:
+            front.append(i)
+    return front
+
+
+def knee_point(points: Sequence[Sequence[float]]) -> Optional[int]:
+    """Index of the front point closest to the ideal corner (1, 1, ..., 1).
+
+    A standard heuristic for picking a balanced trade-off from a Pareto
+    front when no weighting is available.
+    Returns ``None`` for an empty input.
+    """
+    if not points:
+        return None
+    front = pareto_front(points)
+    best_idx = None
+    best_dist = math.inf
+    for i in front:
+        dist = math.sqrt(sum((1.0 - x) ** 2 for x in points[i]))
+        if dist < best_dist:
+            best_dist = dist
+            best_idx = i
+    return best_idx

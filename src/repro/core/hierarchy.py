@@ -1,0 +1,193 @@
+"""Hierarchies of self-aware components (paper refs [62], [63]).
+
+Guang et al. propose building self-organising systems from self-aware
+building blocks with *hierarchical agent-based adaptation*: a supervisor
+agent whose "substrate" is the set of child agents below it.  The
+supervisor does not micro-manage decisions -- children stay autonomous --
+it monitors their :mod:`self-assessments <repro.core.assessment>` and
+realised performance, and intervenes at the *configuration* level when a
+child is struggling:
+
+- **exploration jolt**: a child whose realised utility collapsed is
+  probably holding a stale self-model; the supervisor temporarily raises
+  its exploration rate so it re-learns, then restores it.  Optionally the
+  jolt also *resets the child's self-model* (the metacognitive "your
+  knowledge is wrong, start over") -- without that, a count-frozen
+  empirical model can be immune to any amount of new evidence;
+- **escalation**: children that keep collapsing are reported upward (to
+  a human, or to the next supervisor in a deeper hierarchy).
+
+This module keeps the mechanism deliberately small; its value is shown
+by the recovery-speed test in ``tests/core/test_hierarchy.py`` and the
+pattern composes (a supervisor is itself observable).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..learning.drift import PageHinkley
+from .meta import MetaReasoner
+from .node import SelfAwareNode
+from .reasoner import UtilityReasoner
+
+
+@dataclass
+class Intervention:
+    """One supervisory action taken on a child."""
+
+    time: float
+    child: str
+    kind: str
+    detail: str
+
+
+def _find_utility_reasoners(node: SelfAwareNode) -> List[UtilityReasoner]:
+    """The tunable reasoners inside a node (unwrapping a meta portfolio)."""
+    reasoner = node.reasoner
+    if isinstance(reasoner, UtilityReasoner):
+        return [reasoner]
+    if isinstance(reasoner, MetaReasoner):
+        return [s for s in reasoner.strategies.values()
+                if isinstance(s, UtilityReasoner)]
+    return []
+
+
+class Supervisor:
+    """A self-aware agent whose substrate is a set of child nodes.
+
+    Parameters
+    ----------
+    children:
+        The supervised nodes (they keep full decision autonomy).
+    jolt_epsilon:
+        Exploration rate imposed on a struggling child.
+    jolt_duration:
+        Steps a jolt lasts before the child's own rate is restored.
+    escalate_after:
+        Collapses within one child before the supervisor escalates it.
+    reset_models:
+        Whether a jolt also calls ``reset()`` on the child's self-models
+        (discarding all learned state).  A frozen empirical model holding
+        hundreds of stale samples barely moves under new evidence; the
+        reset is what makes the jolt curative.
+    detector_factory:
+        Builds the per-child collapse detector on the utility stream
+        (default: Page-Hinkley on decreases).
+    """
+
+    def __init__(self, children: List[SelfAwareNode],
+                 jolt_epsilon: float = 0.5, jolt_duration: int = 40,
+                 escalate_after: int = 3, reset_models: bool = True,
+                 detector_factory=None) -> None:
+        if not children:
+            raise ValueError("a supervisor needs at least one child")
+        names = [c.name for c in children]
+        if len(set(names)) != len(names):
+            raise ValueError("child names must be unique")
+        if not 0.0 <= jolt_epsilon <= 1.0:
+            raise ValueError("jolt_epsilon must be in [0, 1]")
+        if jolt_duration < 1:
+            raise ValueError("jolt_duration must be at least 1")
+        self.children: Dict[str, SelfAwareNode] = {c.name: c for c in children}
+        self.jolt_epsilon = jolt_epsilon
+        self.jolt_duration = jolt_duration
+        self.escalate_after = escalate_after
+        # The default detector tolerates occasional exploration dips
+        # (one-step utility drops are normal self-aware behaviour) and
+        # fires only on a sustained collapse.
+        factory = detector_factory if detector_factory is not None else (
+            lambda: PageHinkley(delta=0.08, threshold=4.0,
+                                direction="decrease", min_samples=15))
+        self._detector_factory = factory
+        self._detectors: Dict[str, PageHinkley] = {
+            name: factory() for name in self.children}
+        self._jolt_remaining: Dict[str, int] = {}
+        self._saved_epsilon: Dict[str, List[float]] = {}
+        self._collapse_counts: Dict[str, int] = {name: 0
+                                                 for name in self.children}
+        self.reset_models = reset_models
+        self.interventions: List[Intervention] = []
+        self.escalations: List[str] = []
+
+    # -- monitoring --------------------------------------------------------
+
+    def observe_child(self, name: str, time: float,
+                      utility: float) -> Optional[Intervention]:
+        """Feed one child's realised utility; maybe intervene.
+
+        Call once per step per child, after the child's outcome is known.
+        Returns the intervention taken, if any.
+        """
+        if name not in self.children:
+            raise KeyError(f"unknown child {name!r}")
+        self._tick_jolt(name, time)
+        if name in self._jolt_remaining:
+            return None  # already being treated
+        if self._detectors[name].update(utility):
+            return self._jolt(name, time)
+        return None
+
+    # -- interventions ---------------------------------------------------------
+
+    def _jolt(self, name: str, time: float) -> Intervention:
+        """Raise the child's exploration so it re-learns its world."""
+        child = self.children[name]
+        reasoners = _find_utility_reasoners(child)
+        self._saved_epsilon[name] = [r.epsilon for r in reasoners]
+        for reasoner in reasoners:
+            reasoner.epsilon = self.jolt_epsilon
+            if self.reset_models:
+                reasoner.model.reset()
+        self._jolt_remaining[name] = self.jolt_duration
+        self._collapse_counts[name] += 1
+        kind = "exploration-jolt"
+        detail = (f"utility collapse detected; epsilon -> "
+                  f"{self.jolt_epsilon} for {self.jolt_duration} steps"
+                  f"{', self-model reset' if self.reset_models else ''} "
+                  f"(collapse #{self._collapse_counts[name]})")
+        intervention = Intervention(time=time, child=name, kind=kind,
+                                    detail=detail)
+        self.interventions.append(intervention)
+        if self._collapse_counts[name] >= self.escalate_after and \
+                name not in self.escalations:
+            self.escalations.append(name)
+            self.interventions.append(Intervention(
+                time=time, child=name, kind="escalation",
+                detail=f"{self._collapse_counts[name]} collapses; "
+                       "reporting upward"))
+        return intervention
+
+    def _tick_jolt(self, name: str, time: float) -> None:
+        if name not in self._jolt_remaining:
+            return
+        self._jolt_remaining[name] -= 1
+        if self._jolt_remaining[name] > 0:
+            return
+        # Restore the child's own exploration rate and reset its detector
+        # (the world it re-learned is the new baseline).
+        del self._jolt_remaining[name]
+        reasoners = _find_utility_reasoners(self.children[name])
+        for reasoner, saved in zip(reasoners,
+                                   self._saved_epsilon.pop(name, [])):
+            reasoner.epsilon = saved
+        self._detectors[name] = self._detector_factory()
+        self.interventions.append(Intervention(
+            time=time, child=name, kind="jolt-end",
+            detail="exploration restored"))
+
+    # -- introspection ------------------------------------------------------------
+
+    def is_jolting(self, name: str) -> bool:
+        """Whether ``name`` is currently under an exploration jolt."""
+        return name in self._jolt_remaining
+
+    def describe(self) -> str:
+        """Narrative of the supervisor's own state."""
+        jolting = sorted(self._jolt_remaining)
+        return (f"supervising {len(self.children)} node(s); "
+                f"{len(self.interventions)} intervention(s) so far; "
+                f"currently jolting: {jolting if jolting else 'none'}; "
+                f"escalated: {self.escalations if self.escalations else 'none'}")

@@ -1,0 +1,171 @@
+"""The execution loop binding a node to an environment.
+
+Self-aware systems "experiment, model, hypothesise and adapt ... on an
+ongoing basis" (Section I): concretely, an observe-decide-act-learn loop
+executed against a substrate.  This module supplies the generic loop the
+experiments share:
+
+- :class:`SimulationClock` -- explicit simulated time.
+- :class:`Environment` -- the protocol substrates implement.
+- :func:`run_control_loop` -- drive a node against an environment for a
+  number of steps, recording a :class:`Trace`.
+
+Substrate packages (:mod:`repro.cloud`, :mod:`repro.multicore`, ...) have
+richer, domain-specific loops; this one powers the abstract resource task
+of experiment E1 and the examples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Protocol, Sequence
+
+from .goals import Goal
+from .node import SelfAwareNode
+
+
+class SimulationClock:
+    """Explicit simulated time with fixed step width."""
+
+    def __init__(self, start: float = 0.0, dt: float = 1.0) -> None:
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self._now = start
+        self.dt = dt
+        self.ticks = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def tick(self) -> float:
+        """Advance one step; returns the new time."""
+        self._now += self.dt
+        self.ticks += 1
+        return self._now
+
+
+class Environment(Protocol):
+    """What a substrate must offer for the generic control loop.
+
+    The environment owns the ground truth; the node only sees it through
+    its sensors (which the substrate constructs over environment state).
+    """
+
+    def candidate_actions(self, now: float) -> Sequence[Hashable]:
+        """Actions available at ``now`` (may vary over time)."""
+
+    def apply(self, action: Hashable, now: float) -> Dict[str, float]:
+        """Enact ``action``, advance the world one step, return raw metrics."""
+
+    # Optional: environments may additionally expose
+    # ``peer_reports(now) -> Iterable[(entity, name, value)]`` -- messages
+    # other systems send the node.  The loop delivers them before each
+    # decision; only interaction-aware nodes surface them in context.
+
+
+@dataclass
+class TraceStep:
+    """One recorded loop iteration."""
+
+    time: float
+    action: Hashable
+    metrics: Dict[str, float]
+    utility: float
+    explored: bool
+    sensing_cost: float
+
+
+@dataclass
+class Trace:
+    """A full run: the raw material of every evaluation metric."""
+
+    node_name: str
+    steps: List[TraceStep] = field(default_factory=list)
+
+    def append(self, step: TraceStep) -> None:
+        self.steps.append(step)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def utilities(self) -> List[float]:
+        """Realised utility series."""
+        return [s.utility for s in self.steps]
+
+    def mean_utility(self) -> float:
+        """Mean realised utility over the run (NaN when empty)."""
+        if not self.steps:
+            return math.nan
+        return sum(s.utility for s in self.steps) / len(self.steps)
+
+    def mean_utility_between(self, t0: float, t1: float) -> float:
+        """Mean utility over steps with ``t0 <= time < t1`` (NaN if none)."""
+        vals = [s.utility for s in self.steps if t0 <= s.time < t1]
+        if not vals:
+            return math.nan
+        return sum(vals) / len(vals)
+
+    def metric_series(self, name: str) -> List[float]:
+        """The raw series of one metric across the run (NaN when missing)."""
+        return [s.metrics.get(name, math.nan) for s in self.steps]
+
+    def action_changes(self) -> int:
+        """Number of times the applied action differed from the previous one."""
+        changes = 0
+        for prev, cur in zip(self.steps, self.steps[1:]):
+            if cur.action != prev.action:
+                changes += 1
+        return changes
+
+    def total_sensing_cost(self) -> float:
+        """Accumulated sensing cost across the run."""
+        return sum(s.sensing_cost for s in self.steps)
+
+
+def run_control_loop(
+    node: SelfAwareNode,
+    environment: Environment,
+    goal: Goal,
+    steps: int,
+    clock: Optional[SimulationClock] = None,
+) -> Trace:
+    """Drive ``node`` against ``environment`` for ``steps`` iterations.
+
+    Each iteration: the clock ticks; the node perceives, decides and
+    (optionally) expresses; the environment applies the chosen action and
+    returns the realised raw metrics; the goal scores them; the node
+    receives the outcome as learning feedback.  The *goal* used for
+    scoring is the experiment's evaluation goal -- a goal-unaware node
+    never reads it, which is exactly the ablation E1 exercises.
+    """
+    if steps <= 0:
+        raise ValueError("steps must be positive")
+    clock = clock if clock is not None else SimulationClock()
+    trace = Trace(node_name=node.name)
+    reports_fn = getattr(environment, "peer_reports", None)
+    for _ in range(steps):
+        now = clock.tick()
+        if reports_fn is not None:
+            for entity, name, value in reports_fn(now):
+                node.receive_report(entity, name, now, value)
+        actions = list(environment.candidate_actions(now))
+        result = node.step(now, actions)
+        applied = result.decision.action
+        if result.actuation is not None and not result.actuation.applied:
+            # A guard vetoed the choice: the node expresses inaction, which
+            # substrates model as repeating the previous action.
+            applied = (node.expression.current_action
+                       if node.expression is not None
+                       and node.expression.current_action is not None
+                       else applied)
+        metrics = environment.apply(applied, now)
+        utility = goal.utility(metrics)
+        node.feedback(metrics, utility=utility)
+        trace.append(TraceStep(
+            time=now, action=applied, metrics=dict(metrics),
+            utility=utility, explored=result.decision.explored,
+            sensing_cost=result.sensing_cost))
+    return trace

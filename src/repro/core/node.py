@@ -1,0 +1,215 @@
+"""The self-aware node: the reference architecture, assembled.
+
+A :class:`SelfAwareNode` wires together the framework's parts in the shape
+of the Lewis et al. reference architecture: sensors feed a private/public
+knowledge base; self-models and goals inform a reasoner; decisions flow
+through guarded actuators (self-expression); everything is journalled for
+self-explanation; and -- when the capability profile includes the meta
+level -- the reasoner is itself monitored and switchable.
+
+Which knowledge reaches the reasoner is governed by the node's
+:class:`~repro.core.levels.CapabilityProfile`:
+
+- ``STIMULUS``  -- current believed values of directly sensed phenomena;
+- ``INTERACTION`` -- additionally, scopes concerning other entities;
+- ``TIME`` -- additionally, window means and trends per phenomenon
+  (simple awareness of history and direction of travel);
+- ``GOAL`` -- the reasoner may read the goal structure (utility-based
+  deliberation rather than fixed reactions);
+- ``META`` -- the reasoner is a :class:`~repro.core.meta.MetaReasoner`
+  over a strategy portfolio.
+
+The node is substrate-agnostic: simulators provide the sensors, the
+candidate actions and the outcome metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence
+
+from .actuators import ActuationResult, ExpressionEngine
+from .attention import AttentionPolicy, FullAttention
+from .explanation import ExplanationLog
+from .knowledge import KnowledgeBase
+from .levels import CapabilityProfile, SelfAwarenessLevel
+from .meta import MetaReasoner
+from .reasoner import Decision, Reasoner
+from .sensors import SensorSuite
+from .spans import Scope
+
+
+@dataclass
+class StepResult:
+    """Everything one awareness-loop step produced."""
+
+    time: float
+    context: Dict[str, float]
+    decision: Decision
+    actuation: Optional[ActuationResult]
+    sensing_cost: float
+
+
+class SelfAwareNode:
+    """One self-aware entity: sensors, knowledge, reasoning, expression.
+
+    Parameters
+    ----------
+    name:
+        Identifier (used in collectives and explanations).
+    profile:
+        Which self-awareness levels this node possesses.
+    sensors:
+        The node's sensor suite.
+    reasoner:
+        Decision engine; its sophistication should match the profile (the
+        builders in :mod:`repro.core.patterns` enforce this pairing).
+    expression:
+        Actuation engine; optional for nodes whose actions are applied by
+        the surrounding simulator.
+    attention:
+        Attention policy; defaults to attending to everything affordable.
+    attention_budget:
+        Per-step sensing budget handed to the attention policy.
+    trend_window:
+        Window length for the time-awareness features.
+    history_maxlen:
+        Bound on per-scope history retention.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        profile: CapabilityProfile,
+        sensors: SensorSuite,
+        reasoner: Reasoner,
+        expression: Optional[ExpressionEngine] = None,
+        attention: Optional[AttentionPolicy] = None,
+        attention_budget: float = math.inf,
+        trend_window: int = 32,
+        history_maxlen: int = 512,
+    ) -> None:
+        self.name = name
+        self.profile = profile
+        self.sensors = sensors
+        self.reasoner = reasoner
+        self.expression = expression
+        self.attention = attention if attention is not None else FullAttention()
+        self.attention_budget = attention_budget
+        self.trend_window = trend_window
+        self.knowledge = KnowledgeBase(history_maxlen=history_maxlen)
+        self.log = ExplanationLog()
+        self.total_sensing_cost = 0.0
+        self._last_context: Dict[str, float] = {}
+        self._last_decision: Optional[Decision] = None
+
+    # -- the awareness loop --------------------------------------------------
+
+    def perceive(self, now: float) -> float:
+        """Sample sensors (under attention) into the knowledge base.
+
+        Returns the sensing cost incurred this step.
+        """
+        scopes = self.attention.select(self.sensors, self.knowledge, now,
+                                       self.attention_budget)
+        readings = self.sensors.sample_into(self.knowledge, now, scopes)
+        cost = sum(self.sensors.sensor(r.scope).cost for r in readings)
+        self.total_sensing_cost += cost
+        return cost
+
+    def context(self, now: float) -> Dict[str, float]:
+        """Build the decision context the capability profile permits."""
+        ctx: Dict[str, float] = {}
+        for scope in self.knowledge.scopes():
+            if scope.is_social() and not self.profile.has(SelfAwarenessLevel.INTERACTION):
+                continue
+            if not self.profile.has(SelfAwarenessLevel.STIMULUS):
+                continue
+            value = self.knowledge.value(scope)
+            if math.isnan(value):
+                continue
+            key = scope.name if scope.entity is None else f"{scope.name}@{scope.entity}"
+            ctx[key] = value
+            if self.profile.has(SelfAwarenessLevel.TIME):
+                history = self.knowledge.history(scope)
+                if len(history) >= 2:
+                    ctx[f"{key}.mean"] = history.mean(self.trend_window)
+                    ctx[f"{key}.trend"] = history.trend(self.trend_window)
+        return ctx
+
+    def decide(self, now: float, actions: Sequence[Hashable]) -> Decision:
+        """Deliberate over ``actions`` using the current context."""
+        self._last_context = self.context(now)
+        decision = self.reasoner.decide(now, self._last_context, actions)
+        self._last_decision = decision
+        return decision
+
+    def step(self, now: float, actions: Sequence[Hashable]) -> StepResult:
+        """Run one full loop iteration: perceive, decide, express, journal."""
+        cost = self.perceive(now)
+        decision = self.decide(now, actions)
+        actuation = None
+        if self.expression is not None:
+            actuation = self.expression.express(decision.action, self._last_context)
+        self.log.log(decision, actuation)
+        return StepResult(time=now, context=dict(self._last_context),
+                          decision=decision, actuation=actuation,
+                          sensing_cost=cost)
+
+    def feedback(self, outcome: Mapping[str, float],
+                 utility: Optional[float] = None) -> None:
+        """Close the loop: learn from the outcome of the last decision.
+
+        ``outcome`` holds the raw metrics the last action produced;
+        ``utility`` (when supplied) additionally drives the metacognitive
+        loop of a meta-self-aware node.
+        """
+        if self._last_decision is None:
+            raise RuntimeError("feedback() before any decision")
+        self.reasoner.learn(self._last_context, self._last_decision.action, outcome)
+        if self.log.last() is not None:
+            self.log.attach_outcome(outcome)
+        if utility is not None and isinstance(self.reasoner, MetaReasoner):
+            self.reasoner.observe_utility(self._last_decision.time, utility)
+
+    # -- introspection ---------------------------------------------------------
+
+    def explain(self) -> str:
+        """Why did I just do what I did? (self-explanation entry point)."""
+        base = self.log.explain_last()
+        if isinstance(self.reasoner, MetaReasoner):
+            return base + " Meta: " + self.reasoner.describe() + "."
+        return base
+
+    def describe(self) -> str:
+        """One-line self-description (profile + knowledge footprint)."""
+        return (f"node '{self.name}': {self.profile.describe()}; "
+                f"{len(self.knowledge.scopes())} known scope(s); "
+                f"{self.log.total_logged} decision(s) journalled")
+
+    def share_belief(self, scope: Scope) -> Optional[float]:
+        """Expose one believed value to peers (public span only).
+
+        Collective self-awareness is built from such exchanges; private
+        scopes are withheld by definition of the private span.
+        """
+        if scope.span.value != "public":
+            return None
+        value = self.knowledge.value(scope)
+        return None if math.isnan(value) else value
+
+    def receive_report(self, from_entity: str, name: str, now: float,
+                       value: float) -> None:
+        """Ingest a peer's report as social (interaction-span) knowledge.
+
+        Nodes without interaction-awareness still store the report, but
+        their context construction will never surface it.
+        """
+        scope = Scope(name=name, span=self._public_span(), entity=from_entity)
+        self.knowledge.observe(scope, now, value)
+
+    @staticmethod
+    def _public_span():
+        from .spans import Span
+        return Span.PUBLIC

@@ -1,0 +1,144 @@
+"""Architectural patterns: assembling nodes along the capability ladder.
+
+The framework deliberately supports both "full-stack" and *minimal*
+self-awareness (Section IV).  This module encodes that as constructors:
+give it a :class:`~repro.core.levels.CapabilityProfile` and it assembles
+a :class:`~repro.core.node.SelfAwareNode` whose knowledge flow, self-
+model, goal access and reasoner match the profile:
+
+==============  ==============================================================
+Level present   Architectural consequence
+==============  ==============================================================
+STIMULUS        current sensor beliefs reach the reasoner; a context-free
+                empirical self-model is learned from experience
+INTERACTION     social (entity-tagged) knowledge enters the context and the
+                self-model becomes context-conditioned
+TIME            window means and trends enter the context; predictions become
+                situation-specific rather than global averages
+GOAL            the reasoner reads the *live* goal object, so run-time goal
+                changes (reweighting, new constraints) take effect; without
+                this level the node optimises a frozen design-time snapshot
+META            the reasoner becomes a :class:`~repro.core.meta.MetaReasoner`
+                over a stable/plastic strategy portfolio with a drift
+                detector on the node's own realised utility
+==============  ==============================================================
+
+Experiment E1 walks this ladder and measures trade-off management at each
+rung.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Sequence
+
+import numpy as np
+
+from ..learning.drift import PageHinkley
+from .actuators import ExpressionEngine
+from .attention import AttentionPolicy
+from .goals import Goal
+from .levels import CapabilityProfile, SelfAwarenessLevel
+from .meta import MetaReasoner
+from .models import ContextualActionModel, EmpiricalActionModel, PredictiveModel
+from .node import SelfAwareNode
+from .reasoner import Reasoner, StaticPolicy, UtilityReasoner
+from .sensors import SensorSuite
+
+
+def clone_goal(goal: Goal) -> Goal:
+    """Snapshot a goal: same structure, but insulated from future changes.
+
+    This is how goal-*unaware* nodes are built: they optimise the goal as
+    it stood at design time and never notice stakeholders changing it.
+    """
+    return Goal(objectives=goal.objectives, weights=goal.weights,
+                constraints=list(goal.constraints),
+                name=f"{goal.name}@design-time")
+
+
+def build_model(profile: CapabilityProfile, forgetting: float = 0.9) -> PredictiveModel:
+    """Self-model matching the profile's knowledge sophistication."""
+    contextual = (profile.has(SelfAwarenessLevel.INTERACTION)
+                  or profile.has(SelfAwarenessLevel.TIME))
+    if contextual:
+        return ContextualActionModel(forgetting=forgetting)
+    return EmpiricalActionModel(forgetting=forgetting)
+
+
+def build_reasoner(
+    profile: CapabilityProfile,
+    goal: Goal,
+    epsilon: float = 0.1,
+    forgetting: float = 0.9,
+    rng: Optional[np.random.Generator] = None,
+) -> Reasoner:
+    """Decision engine matching the profile (see module docstring)."""
+    rng = rng if rng is not None else np.random.default_rng()
+    reasoner_goal = goal if profile.has(SelfAwarenessLevel.GOAL) else clone_goal(goal)
+
+    def make_utility(model_forgetting: float) -> UtilityReasoner:
+        return UtilityReasoner(
+            goal=reasoner_goal,
+            model=build_model(profile, forgetting=model_forgetting),
+            epsilon=epsilon,
+            rng=np.random.default_rng(rng.integers(2 ** 31)))
+
+    if not profile.has(SelfAwarenessLevel.META):
+        return make_utility(forgetting)
+
+    # Meta-self-aware: a stable and a plastic strategy, plus a drift
+    # detector watching the node's own realised utility for collapses.
+    return MetaReasoner(
+        strategies={
+            "stable": make_utility(1.0),
+            "plastic": make_utility(0.75),
+        },
+        initial="stable",
+        detector_factory=lambda: PageHinkley(
+            delta=0.01, threshold=2.0, direction="decrease"),
+        probe_interval=12,
+        switch_margin=0.03,
+        cooldown=15,
+    )
+
+
+def build_node(
+    name: str,
+    profile: CapabilityProfile,
+    sensors: SensorSuite,
+    goal: Goal,
+    epsilon: float = 0.1,
+    forgetting: float = 0.9,
+    expression: Optional[ExpressionEngine] = None,
+    attention: Optional[AttentionPolicy] = None,
+    attention_budget: float = float("inf"),
+    rng: Optional[np.random.Generator] = None,
+) -> SelfAwareNode:
+    """Assemble a self-aware node for ``profile`` over ``sensors``.
+
+    The returned node's reasoner, model and context construction all match
+    the profile; the same call with a larger profile yields a strictly
+    more aware system, which is what ablation studies compare.
+    """
+    reasoner = build_reasoner(profile, goal, epsilon=epsilon,
+                              forgetting=forgetting, rng=rng)
+    return SelfAwareNode(
+        name=name, profile=profile, sensors=sensors, reasoner=reasoner,
+        expression=expression, attention=attention,
+        attention_budget=attention_budget)
+
+
+def build_static_node(
+    name: str,
+    sensors: SensorSuite,
+    action: Hashable,
+    expression: Optional[ExpressionEngine] = None,
+) -> SelfAwareNode:
+    """The non-self-aware baseline: fixed behaviour chosen at design time.
+
+    It still *has* sensors (real systems log telemetry) but possesses no
+    awareness level at all: nothing it observes influences behaviour.
+    """
+    return SelfAwareNode(
+        name=name, profile=CapabilityProfile.of(), sensors=sensors,
+        reasoner=StaticPolicy(action), expression=expression)

@@ -1,0 +1,161 @@
+"""Sensors: how a self-aware node acquires phenomena.
+
+The reference architecture's input side.  A sensor binds a :class:`Scope`
+(what the reading is about, and whether it is private or public) to a
+callable that produces the current value.  Sensors may be noisy, may fail,
+and may carry a sampling cost -- all three matter for the paper's
+attention arguments: a resource-constrained node must *choose* what to
+sense (see :mod:`repro.core.attention`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .knowledge import KnowledgeBase
+from .spans import Scope
+
+
+@dataclass
+class SensorReading:
+    """Result of sampling one sensor once."""
+
+    scope: Scope
+    time: float
+    value: float
+    ok: bool = True
+
+    def is_valid(self) -> bool:
+        """Whether the reading succeeded and carries a finite value."""
+        return self.ok and math.isfinite(self.value)
+
+
+class Sensor:
+    """A named source of observations about one phenomenon.
+
+    Parameters
+    ----------
+    scope:
+        What the sensor measures and which span it belongs to.
+    read_fn:
+        Zero-argument callable returning the current true value.
+    noise_std:
+        Standard deviation of additive Gaussian noise applied to readings.
+    failure_rate:
+        Probability in ``[0, 1]`` that any given sample fails (returns an
+        invalid reading).  Models unreliable volunteer-style resources.
+    cost:
+        Abstract cost (e.g. energy) of taking one sample; consumed by the
+        attention mechanism.
+    rng:
+        Random generator for noise and failures; a default is created when
+        omitted so sensors stay deterministic under a fixed seed.
+    """
+
+    def __init__(
+        self,
+        scope: Scope,
+        read_fn: Callable[[], float],
+        noise_std: float = 0.0,
+        failure_rate: float = 0.0,
+        cost: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in [0, 1]")
+        if cost < 0:
+            raise ValueError("cost must be non-negative")
+        self.scope = scope
+        self._read_fn = read_fn
+        self.noise_std = noise_std
+        self.failure_rate = failure_rate
+        self.cost = cost
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.samples_taken = 0
+        self.samples_failed = 0
+
+    def sample(self, time: float) -> SensorReading:
+        """Take one sample at ``time``; may fail or be noisy."""
+        self.samples_taken += 1
+        if self.failure_rate > 0 and self._rng.random() < self.failure_rate:
+            self.samples_failed += 1
+            return SensorReading(scope=self.scope, time=time, value=math.nan, ok=False)
+        value = float(self._read_fn())
+        if self.noise_std > 0:
+            value += float(self._rng.normal(0.0, self.noise_std))
+        return SensorReading(scope=self.scope, time=time, value=value)
+
+    @property
+    def observed_failure_rate(self) -> float:
+        """Empirical failure fraction over the sensor's lifetime."""
+        if self.samples_taken == 0:
+            return 0.0
+        return self.samples_failed / self.samples_taken
+
+
+class SensorSuite:
+    """The full set of sensors available to one node.
+
+    Provides batched sampling into a :class:`KnowledgeBase` and exposes the
+    per-sensor costs that the attention mechanism trades off.
+    """
+
+    def __init__(self, sensors: Iterable[Sensor] = ()) -> None:
+        self._sensors: Dict[Scope, Sensor] = {}
+        for sensor in sensors:
+            self.add(sensor)
+
+    def add(self, sensor: Sensor) -> None:
+        """Register a sensor; scopes must be unique within a suite."""
+        if sensor.scope in self._sensors:
+            raise ValueError(f"duplicate sensor for scope {sensor.scope}")
+        self._sensors[sensor.scope] = sensor
+
+    def __len__(self) -> int:
+        return len(self._sensors)
+
+    def __contains__(self, scope: Scope) -> bool:
+        return scope in self._sensors
+
+    def scopes(self) -> List[Scope]:
+        """All scopes this suite can observe."""
+        return sorted(self._sensors, key=lambda s: s.qualified_name())
+
+    def sensor(self, scope: Scope) -> Sensor:
+        """The sensor for ``scope``; raises ``KeyError`` when absent."""
+        return self._sensors[scope]
+
+    def total_cost(self, scopes: Optional[Iterable[Scope]] = None) -> float:
+        """Summed sampling cost of ``scopes`` (all sensors when ``None``)."""
+        if scopes is None:
+            scopes = self._sensors.keys()
+        return sum(self._sensors[s].cost for s in scopes)
+
+    def sample_into(
+        self,
+        kb: KnowledgeBase,
+        time: float,
+        scopes: Optional[Iterable[Scope]] = None,
+    ) -> List[SensorReading]:
+        """Sample the chosen scopes and record valid readings in ``kb``.
+
+        Returns every reading taken (including failures) so callers can
+        account for cost and observe sensor reliability.
+        """
+        if scopes is None:
+            chosen = list(self._sensors.values())
+        else:
+            chosen = [self._sensors[s] for s in scopes]
+        readings = []
+        for sensor in chosen:
+            reading = sensor.sample(time)
+            readings.append(reading)
+            if reading.is_valid():
+                kb.observe(sensor.scope, time, reading.value)
+        return readings

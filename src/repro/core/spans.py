@@ -1,0 +1,90 @@
+"""Public and private spans of self-awareness.
+
+The paper's first framework concept (Section IV) distinguishes *public*
+from *private* self-awareness processes, following Morin's "me"/"I"
+distinction:
+
+- **private** processes concern knowledge based on phenomena *internal* to
+  the individual -- its own state, load, temperature, queue lengths,
+  confidence, experiences.  These are typically not externally observable.
+- **public** processes concern knowledge based on phenomena *external* to
+  the individual -- its environment, the other entities it interacts with,
+  and its own appearance and impact on the world.
+
+Every observation, belief and sensor in this library is tagged with a
+:class:`Span` so that architectures can reason about (and experiments can
+ablate) the two classes independently.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Span(enum.Enum):
+    """Which class of self-awareness process a phenomenon belongs to."""
+
+    PRIVATE = "private"
+    PUBLIC = "public"
+
+    @property
+    def morin_pronoun(self) -> str:
+        """Morin's subject/object pronoun for the span ("I" vs "me")."""
+        return "I" if self is Span.PRIVATE else "me"
+
+    def describe(self) -> str:
+        """One-line description for self-explanation."""
+        if self is Span.PRIVATE:
+            return "knowledge of phenomena internal to the system (subjective, 'I')"
+        return "knowledge of phenomena external to the system (objective, 'me')"
+
+
+@dataclass(frozen=True)
+class Scope:
+    """Identifies *what* a piece of self-knowledge is about.
+
+    A scope names the subject of knowledge (a metric, an entity, a channel)
+    together with its :class:`Span`.  Scopes are hashable and act as keys in
+    the knowledge base.
+
+    Parameters
+    ----------
+    name:
+        Dotted identifier of the phenomenon, e.g. ``"cpu.utilisation"`` or
+        ``"neighbour.3.load"``.
+    span:
+        Whether the phenomenon is private (internal) or public (external).
+    entity:
+        Optional identifier of the other entity the knowledge concerns, for
+        interaction-awareness (e.g. a neighbour node id).
+    """
+
+    name: str
+    span: Span = Span.PRIVATE
+    entity: Optional[str] = None
+
+    def is_social(self) -> bool:
+        """Whether this scope concerns another entity (interaction-awareness)."""
+        return self.entity is not None
+
+    def qualified_name(self) -> str:
+        """Fully qualified key, unique across spans and entities."""
+        parts = [self.span.value, self.name]
+        if self.entity is not None:
+            parts.append(f"@{self.entity}")
+        return ":".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.qualified_name()
+
+
+def private(name: str) -> Scope:
+    """Shorthand for a private scope (internal phenomenon)."""
+    return Scope(name=name, span=Span.PRIVATE)
+
+
+def public(name: str, entity: Optional[str] = None) -> Scope:
+    """Shorthand for a public scope (external phenomenon), optionally social."""
+    return Scope(name=name, span=Span.PUBLIC, entity=entity)

@@ -1,0 +1,188 @@
+"""Network topology with time-varying link quality and attack injection.
+
+The cognitive packet network substrate (paper refs [38], [39]).  Links
+carry a base propagation delay and a loss probability; both can be
+degraded at run time, either by scheduled *degradation events* (link
+quality wandering, maintenance, congestion) or by a *denial-of-service
+attack* centred on a victim node, which inflates delay and loss on every
+link in the victim's neighbourhood -- the scenario of Gelenbe & Loukas'
+self-aware DoS defence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+Edge = Tuple[int, int]
+
+
+def _canonical(u: int, v: int) -> Edge:
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass
+class LinkDisturbance:
+    """A time-bounded multiplier on one link's delay and loss."""
+
+    edge: Edge
+    start: float
+    duration: float
+    delay_factor: float = 10.0
+    loss_add: float = 0.0
+
+    def active(self, t: float) -> bool:
+        return self.start <= t < self.start + self.duration
+
+
+class CPNetwork:
+    """A communication graph with dynamic per-link delay and loss.
+
+    Parameters
+    ----------
+    graph:
+        Undirected connected graph; edges get ``delay`` (base propagation
+        delay) and ``loss`` (base loss probability) attributes if absent.
+    rng:
+        Random generator for construction and loss sampling.
+    """
+
+    def __init__(self, graph: nx.Graph,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if graph.number_of_nodes() < 2:
+            raise ValueError("need at least 2 nodes")
+        if not nx.is_connected(graph):
+            raise ValueError("graph must be connected")
+        self.graph = graph
+        self._rng = rng if rng is not None else np.random.default_rng()
+        for u, v, data in graph.edges(data=True):
+            data.setdefault("delay", 1.0)
+            data.setdefault("loss", 0.005)
+        self.disturbances: List[LinkDisturbance] = []
+        self._attacked_node: Optional[int] = None
+        self._attack_window: Tuple[float, float] = (math.inf, math.inf)
+        self._attack_delay_factor = 5.0
+        self._attack_loss_add = 0.3
+
+    @classmethod
+    def random_geometric(cls, n: int = 30, radius: float = 0.3,
+                         seed: int = 0, delay_scale: float = 4.0) -> "CPNetwork":
+        """Connected random geometric network; delay proportional to length."""
+        rng = np.random.default_rng(seed)
+        r = radius
+        for _ in range(30):
+            g = nx.random_geometric_graph(n, r, seed=seed)
+            if nx.is_connected(g):
+                break
+            r *= 1.2
+        pos = nx.get_node_attributes(g, "pos")
+        for u, v in g.edges:
+            dist = math.hypot(pos[u][0] - pos[v][0], pos[u][1] - pos[v][1])
+            g[u][v]["delay"] = 0.5 + delay_scale * dist
+            g[u][v]["loss"] = 0.002 + 0.01 * float(rng.random())
+        return cls(g, rng=rng)
+
+    @classmethod
+    def grid(cls, rows: int = 4, cols: int = 5, seed: int = 0) -> "CPNetwork":
+        """Grid network with unit-ish delays."""
+        g = nx.grid_2d_graph(rows, cols)
+        g = nx.convert_node_labels_to_integers(g)
+        rng = np.random.default_rng(seed)
+        for u, v in g.edges:
+            g[u][v]["delay"] = 1.0 + 0.2 * float(rng.random())
+            g[u][v]["loss"] = 0.003
+        return cls(g, rng=rng)
+
+    # -- dynamics -------------------------------------------------------------
+
+    def add_disturbance(self, disturbance: LinkDisturbance) -> None:
+        """Schedule a link degradation event."""
+        edge = _canonical(*disturbance.edge)
+        if not self.graph.has_edge(*edge):
+            raise ValueError(f"no such edge: {edge}")
+        self.disturbances.append(disturbance)
+
+    def schedule_random_disturbances(self, horizon: float, count: int,
+                                     duration: float = 80.0,
+                                     delay_factor: float = 8.0) -> None:
+        """Scatter ``count`` degradation events over ``[0, horizon)``."""
+        edges = list(self.graph.edges)
+        for _ in range(count):
+            edge = edges[int(self._rng.integers(len(edges)))]
+            start = float(self._rng.uniform(0.0, horizon))
+            self.add_disturbance(LinkDisturbance(
+                edge=_canonical(*edge), start=start, duration=duration,
+                delay_factor=delay_factor))
+
+    def launch_attack(self, victim: int, start: float, duration: float,
+                      delay_factor: float = 5.0, loss_add: float = 0.3) -> None:
+        """Schedule a DoS attack flooding the victim's neighbourhood."""
+        if victim not in self.graph:
+            raise ValueError(f"no such node: {victim}")
+        self._attacked_node = victim
+        self._attack_window = (start, start + duration)
+        self._attack_delay_factor = delay_factor
+        self._attack_loss_add = loss_add
+
+    def attack_active(self, t: float) -> bool:
+        """Whether the scheduled DoS attack is in progress at ``t``."""
+        return self._attack_window[0] <= t < self._attack_window[1]
+
+    def _edge_touches_victim(self, u: int, v: int) -> bool:
+        return self._attacked_node is not None and \
+            self._attacked_node in (u, v)
+
+    # -- queries ----------------------------------------------------------------
+
+    def base_delay(self, u: int, v: int) -> float:
+        """Design-time delay of the link (what static routing was built on)."""
+        return float(self.graph[u][v]["delay"])
+
+    def current_delay(self, u: int, v: int, t: float) -> float:
+        """True delay of the link at time ``t``, with all dynamics applied."""
+        delay = self.base_delay(u, v)
+        for d in self.disturbances:
+            if d.active(t) and d.edge == _canonical(u, v):
+                delay *= d.delay_factor
+        if self.attack_active(t) and self._edge_touches_victim(u, v):
+            delay *= self._attack_delay_factor
+        return delay
+
+    def current_loss(self, u: int, v: int, t: float) -> float:
+        """True loss probability of the link at time ``t``."""
+        loss = float(self.graph[u][v]["loss"])
+        for d in self.disturbances:
+            if d.active(t) and d.edge == _canonical(u, v):
+                loss = min(1.0, loss + d.loss_add)
+        if self.attack_active(t) and self._edge_touches_victim(u, v):
+            loss = min(1.0, loss + self._attack_loss_add)
+        return loss
+
+    def sample_loss(self, u: int, v: int, t: float) -> bool:
+        """Whether a packet crossing ``(u, v)`` at ``t`` is lost."""
+        return bool(self._rng.random() < self.current_loss(u, v, t))
+
+    def neighbours(self, node: int) -> List[int]:
+        """Adjacent nodes (sorted, deterministic)."""
+        return sorted(self.graph.neighbors(node))
+
+    def nodes(self) -> List[int]:
+        """All node ids, sorted."""
+        return sorted(self.graph.nodes)
+
+    def static_shortest_paths(self, dest: int) -> Dict[int, int]:
+        """Design-time next-hop table toward ``dest`` on base delays."""
+        paths = nx.shortest_path(self.graph, target=dest, weight="delay")
+        return {node: path[1] for node, path in paths.items() if len(path) > 1}
+
+    def oracle_shortest_paths(self, dest: int, t: float) -> Dict[int, int]:
+        """Next-hop table on *current* true delays (omniscient baseline)."""
+        g = nx.Graph()
+        for u, v in self.graph.edges:
+            g.add_edge(u, v, delay=self.current_delay(u, v, t))
+        paths = nx.shortest_path(g, target=dest, weight="delay")
+        return {node: path[1] for node, path in paths.items() if len(path) > 1}

@@ -1,0 +1,19 @@
+"""Environment and workload generators shared by all substrates.
+
+Models of the paper's complexity challenges (Section II): uncertainty
+(noise, Markov modulation), ongoing change (random walks, regime
+sequences, drift), and exogenous shocks.
+"""
+
+from .driftgen import DriftingBandit, DriftingRegression
+from .processes import (BoundedRandomWalk, MarkovModulatedProcess,
+                        RegimeSequence, SeasonalProcess, Shock, ShockSchedule)
+from .workloads import (RequestRateWorkload, Task, TaskClass,
+                        TaskStreamWorkload)
+
+__all__ = [
+    "DriftingBandit", "DriftingRegression",
+    "BoundedRandomWalk", "MarkovModulatedProcess", "RegimeSequence",
+    "SeasonalProcess", "Shock", "ShockSchedule",
+    "RequestRateWorkload", "Task", "TaskClass", "TaskStreamWorkload",
+]

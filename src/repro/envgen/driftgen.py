@@ -1,0 +1,123 @@
+"""Concept-drift task generators for the meta-self-awareness experiments.
+
+E8 needs decision tasks whose *reward structure* changes over time, so
+that a learner tuned for one concept degrades after the change and only a
+meta-self-aware system (which watches its own performance) recovers
+quickly.  Two generators:
+
+- :class:`DriftingBandit` -- K arms whose mean rewards are shuffled or
+  re-drawn at drift points (abrupt) or interpolated (gradual).
+- :class:`DriftingRegression` -- a linear target whose weight vector
+  changes at drift points; used to stress forecasting/regression models.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class DriftingBandit:
+    """K-armed Gaussian bandit with scheduled concept drift.
+
+    Parameters
+    ----------
+    n_arms:
+        Number of arms.
+    drift_every:
+        Steps between drifts.
+    mode:
+        ``"abrupt"`` re-draws arm means at each drift point; ``"gradual"``
+        linearly interpolates to the next concept over ``drift_every``.
+    reward_std:
+        Observation noise.
+    """
+
+    def __init__(self, n_arms: int = 5, drift_every: int = 300,
+                 mode: str = "abrupt", reward_std: float = 0.1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if n_arms < 2:
+            raise ValueError("need at least 2 arms")
+        if drift_every <= 0:
+            raise ValueError("drift_every must be positive")
+        if mode not in ("abrupt", "gradual"):
+            raise ValueError("mode must be 'abrupt' or 'gradual'")
+        self.n_arms = n_arms
+        self.drift_every = drift_every
+        self.mode = mode
+        self.reward_std = reward_std
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._means = self._rng.uniform(0.0, 1.0, size=n_arms)
+        self._next_means = self._rng.uniform(0.0, 1.0, size=n_arms)
+        self.t = 0
+        self.drifts = 0
+
+    def means(self) -> np.ndarray:
+        """Current true arm means (copy)."""
+        if self.mode == "gradual":
+            frac = (self.t % self.drift_every) / self.drift_every
+            return (1.0 - frac) * self._means + frac * self._next_means
+        return self._means.copy()
+
+    def best_arm(self) -> int:
+        """Index of the currently best arm."""
+        return int(np.argmax(self.means()))
+
+    def optimal_mean(self) -> float:
+        """Mean reward of the currently best arm."""
+        return float(np.max(self.means()))
+
+    def pull(self, arm: int) -> float:
+        """Sample a reward for ``arm`` and advance time (drifting as due)."""
+        if not 0 <= arm < self.n_arms:
+            raise IndexError(f"arm {arm} out of range")
+        reward = float(self.means()[arm] + self._rng.normal(0.0, self.reward_std))
+        self.t += 1
+        if self.t % self.drift_every == 0:
+            self.drifts += 1
+            if self.mode == "abrupt":
+                self._means = self._rng.uniform(0.0, 1.0, size=self.n_arms)
+            else:
+                self._means = self._next_means
+                self._next_means = self._rng.uniform(0.0, 1.0, size=self.n_arms)
+        return reward
+
+
+class DriftingRegression:
+    """Streaming linear-regression task with weight-vector drift.
+
+    Emits ``(x, y)`` pairs where ``y = w(t) . x + noise`` and ``w``
+    changes abruptly every ``drift_every`` samples.
+    """
+
+    def __init__(self, n_features: int = 3, drift_every: int = 400,
+                 noise_std: float = 0.05,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if n_features <= 0:
+            raise ValueError("n_features must be positive")
+        if drift_every <= 0:
+            raise ValueError("drift_every must be positive")
+        self.n_features = n_features
+        self.drift_every = drift_every
+        self.noise_std = noise_std
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._weights = self._rng.normal(0.0, 1.0, size=n_features)
+        self.t = 0
+        self.drifts = 0
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Current true weight vector (copy)."""
+        return self._weights.copy()
+
+    def sample(self) -> Tuple[np.ndarray, float]:
+        """One ``(x, y)`` pair; drift fires on schedule."""
+        x = self._rng.uniform(-1.0, 1.0, size=self.n_features)
+        y = float(self._weights @ x + self._rng.normal(0.0, self.noise_std))
+        self.t += 1
+        if self.t % self.drift_every == 0:
+            self.drifts += 1
+            self._weights = self._rng.normal(0.0, 1.0, size=self.n_features)
+        return x, y

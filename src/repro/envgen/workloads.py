@@ -1,0 +1,153 @@
+"""Workload generators: request streams and task arrivals.
+
+The substrates consume work expressed in two shapes: request *rates*
+(cloud, sensor networks) and discrete *tasks* (multi-core).  Both
+generators compose a base profile with seasonality, regime shifts and
+shocks, per the environment-complexity arguments of paper Section II.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .processes import SeasonalProcess, ShockSchedule
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of discrete work for the multi-core substrate.
+
+    ``kind`` distinguishes workload classes with different resource
+    appetites; ``work`` is abstract cycles; ``parallelism`` is the task's
+    maximum useful core count.
+    """
+
+    task_id: int
+    arrival: float
+    kind: str
+    work: float
+    parallelism: int = 1
+
+    def __post_init__(self) -> None:
+        if self.work <= 0:
+            raise ValueError("work must be positive")
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+
+
+class RequestRateWorkload:
+    """Request rate over time: seasonal base + shocks, non-negative.
+
+    ``rate(t)`` gives the expected requests per time unit; ``arrivals``
+    samples a Poisson count for a step of width ``dt``.
+    """
+
+    def __init__(
+        self,
+        base_rate: float = 50.0,
+        seasonal_amplitude: float = 0.5,
+        period: float = 200.0,
+        shocks: Optional[ShockSchedule] = None,
+        noise_std: float = 0.02,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if base_rate <= 0:
+            raise ValueError("base_rate must be positive")
+        self.base_rate = base_rate
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._season = SeasonalProcess(
+            base=1.0, amplitude=seasonal_amplitude, period=period,
+            noise_std=noise_std, rng=self._rng)
+        self.shocks = shocks if shocks is not None else ShockSchedule()
+
+    def rate(self, t: float) -> float:
+        """Expected request rate at ``t`` (>= 0)."""
+        multiplier = self._season.value(t) + self.shocks.offset(t)
+        return max(0.0, self.base_rate * multiplier)
+
+    def arrivals(self, t: float, dt: float = 1.0) -> int:
+        """Poisson-sampled arrival count for the step ``[t, t+dt)``."""
+        lam = self.rate(t) * dt
+        return int(self._rng.poisson(lam)) if lam > 0 else 0
+
+
+@dataclass(frozen=True)
+class TaskClass:
+    """A workload class for the task-stream generator."""
+
+    kind: str
+    mean_work: float
+    parallelism: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mean_work <= 0:
+            raise ValueError("mean_work must be positive")
+
+
+class TaskStreamWorkload:
+    """Stream of discrete tasks with phase-dependent class mix.
+
+    Phases model application behaviour changing over time (e.g. a codec
+    switching from decode-heavy to render-heavy): each phase reweights
+    which task classes arrive.
+
+    Parameters
+    ----------
+    classes:
+        The available task classes.
+    phase_length:
+        Steps per phase; at each boundary a new random class-mix is drawn.
+    rate:
+        Expected tasks per step.
+    """
+
+    def __init__(
+        self,
+        classes: Sequence[TaskClass],
+        phase_length: int = 200,
+        rate: float = 2.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not classes:
+            raise ValueError("need at least one task class")
+        if phase_length <= 0:
+            raise ValueError("phase_length must be positive")
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.classes = list(classes)
+        self.phase_length = phase_length
+        self.rate = rate
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._next_id = 0
+        self._phase_index = -1
+        self._mix = np.full(len(self.classes), 1.0 / len(self.classes))
+
+    def _maybe_advance_phase(self, t: float) -> None:
+        phase = int(t // self.phase_length)
+        if phase != self._phase_index:
+            self._phase_index = phase
+            raw = self._rng.dirichlet(np.ones(len(self.classes)))
+            self._mix = raw
+
+    @property
+    def current_mix(self) -> np.ndarray:
+        """Current class-mix probabilities (copy)."""
+        return self._mix.copy()
+
+    def arrivals(self, t: float, dt: float = 1.0) -> List[Task]:
+        """Tasks arriving in ``[t, t+dt)``."""
+        self._maybe_advance_phase(t)
+        count = int(self._rng.poisson(self.rate * dt))
+        tasks: List[Task] = []
+        for _ in range(count):
+            cls = self.classes[int(self._rng.choice(len(self.classes), p=self._mix))]
+            work = float(self._rng.exponential(cls.mean_work))
+            work = max(work, 0.05 * cls.mean_work)
+            tasks.append(Task(task_id=self._next_id, arrival=t, kind=cls.kind,
+                              work=work, parallelism=cls.parallelism))
+            self._next_id += 1
+        return tasks

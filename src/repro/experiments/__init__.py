@@ -1,0 +1,27 @@
+"""The experiment suite: one module per claim (see DESIGN.md index).
+
+Because the reproduced paper is a vision paper with no tables of its
+own, each experiment here operationalises one claim from the text; the
+tables these modules produce are the repository's evaluation section.
+
+Run everything::
+
+    python -m repro.experiments.run_all
+
+or individual experiments::
+
+    python -m repro.experiments.e1_levels
+"""
+
+from . import (ablations, e1_levels, e2_camera, e3_cloud, e4_volunteer,
+               e5_multicore, e6_cpn, e7_attention, e8_meta, e9_collective,
+               e10_priors, e11_explain, e12_swarm)
+from .harness import ExperimentTable, format_table, print_tables
+
+__all__ = [
+    "ablations",
+    "e1_levels", "e2_camera", "e3_cloud", "e4_volunteer", "e5_multicore",
+    "e6_cpn", "e7_attention", "e8_meta", "e9_collective", "e10_priors",
+    "e11_explain", "e12_swarm",
+    "ExperimentTable", "format_table", "print_tables",
+]

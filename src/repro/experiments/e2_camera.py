@@ -1,0 +1,93 @@
+"""E2 -- smart cameras learn to be different (heterogeneity pays).
+
+Paper Section II: "a system comprising many self-aware entities may lead
+to increased heterogeneity, as the different entities learn to be
+different from each other" [13], improving the network's trade-off
+between tracking utility and communication.
+
+Three scenarios (cheap communication, expensive communication, and a
+run-time price change) are each run with every homogeneous design-time
+strategy assignment and with self-aware (bandit-learning) cameras.
+Reported per controller: efficiency per scenario, efficiency relative to
+the per-scenario best homogeneous assignment, and strategy diversity.
+The self-aware network should stay near the per-scenario best everywhere
+-- without anyone having known at design time which strategy that is --
+while developing non-zero strategy diversity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..smartcamera.sim import (CameraSimConfig, run_homogeneous,
+                               run_self_aware)
+from ..smartcamera.strategies import ALL_STRATEGIES
+from .harness import ExperimentTable
+
+SCENARIOS: Dict[str, Dict] = {
+    "cheap_comms": dict(comm_cost_weight=0.003),
+    "pricey_comms": dict(comm_cost_weight=0.03),
+    "price_change": dict(comm_cost_weight=0.003,
+                         comm_weight_breaks=[(None, 0.03)]),  # filled below
+}
+
+
+def _config(scenario: str, seed: int, steps: int) -> CameraSimConfig:
+    kwargs = dict(SCENARIOS[scenario])
+    if scenario == "price_change":
+        kwargs["comm_weight_breaks"] = [(steps / 2.0, 0.03)]
+    return CameraSimConfig(
+        rows=3, cols=3, n_objects=8, object_speed=0.035,
+        detection_rate=0.08, random_placement=True, steps=steps,
+        seed=seed, **kwargs)
+
+
+def run(seeds: Sequence[int] = (0, 1, 2), steps: int = 800) -> ExperimentTable:
+    """One row per (controller, scenario), seed-averaged."""
+    table = ExperimentTable(
+        experiment_id="E2",
+        title="Learning to be different: camera sociality strategies",
+        columns=["controller", "scenario", "efficiency", "vs_best_homog",
+                 "tracking", "messages", "diversity_bits"],
+        notes=("efficiency = tracking utility - comm price x messages, "
+               "at the price in force; vs_best_homog = efficiency / best "
+               "homogeneous assignment in that scenario"))
+
+    for scenario in SCENARIOS:
+        homogeneous: Dict[str, List[float]] = {s.value: [] for s in ALL_STRATEGIES}
+        details: Dict[str, List] = {s.value: [] for s in ALL_STRATEGIES}
+        learned_eff, learned_detail = [], []
+        for seed in seeds:
+            for strategy in ALL_STRATEGIES:
+                result = run_homogeneous(_config(scenario, seed, steps), strategy)
+                homogeneous[strategy.value].append(result.efficiency())
+                details[strategy.value].append(
+                    (result.mean_tracking_utility(), result.mean_messages()))
+            result = run_self_aware(_config(scenario, seed, steps), epsilon=0.05)
+            learned_eff.append(result.efficiency())
+            learned_detail.append(
+                (result.mean_tracking_utility(), result.mean_messages(),
+                 result.diversity_bits()))
+
+        best_value = max(float(np.mean(v)) for v in homogeneous.values())
+        for strategy in ALL_STRATEGIES:
+            eff = float(np.mean(homogeneous[strategy.value]))
+            tracking, messages = np.mean(details[strategy.value], axis=0)
+            table.add_row(controller=strategy.value, scenario=scenario,
+                          efficiency=eff, vs_best_homog=eff / best_value,
+                          tracking=float(tracking), messages=float(messages),
+                          diversity_bits=0.0)
+        eff = float(np.mean(learned_eff))
+        tracking, messages, diversity = np.mean(learned_detail, axis=0)
+        table.add_row(controller="self-aware", scenario=scenario,
+                      efficiency=eff, vs_best_homog=eff / best_value,
+                      tracking=float(tracking), messages=float(messages),
+                      diversity_bits=float(diversity))
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from .harness import print_tables
+    print_tables([run()])

@@ -1,0 +1,141 @@
+"""E6 -- cognitive packet networks: QoS under degradation and DoS attack.
+
+Paper Section III ([38], [39]): a self-awareness loop lets network nodes
+monitor the effect of using different routes and adapt continuously,
+remaining resilient to attack.  Static shortest-path routing, the
+self-aware CPN router (Q-routing + smart packets + loss awareness) and
+an omniscient oracle face link degradation and a DoS attack on the most
+central node.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..cpn.routing import (CPNRouter, DEFAULT_QOS, DELAY_SENSITIVE,
+                           LOSS_SENSITIVE, OracleRouter, Router, StaticRouter)
+from ..cpn.sim import Flow, default_flows, run_routing
+from ..cpn.topology import CPNetwork
+from .harness import ExperimentTable
+
+#: The DoS attack occupies the middle-late portion of any run length.
+ATTACK_START_FRAC = 0.5
+ATTACK_END_FRAC = 0.75
+
+
+def make_scenario(seed: int, n_nodes: int = 30,
+                  steps: int = 600) -> CPNetwork:
+    """Geometric network + random degradations + DoS on the hub."""
+    net = CPNetwork.random_geometric(n=n_nodes, seed=seed)
+    net.schedule_random_disturbances(horizon=float(steps), count=6,
+                                     duration=steps / 6.0)
+    centrality = nx.betweenness_centrality(net.graph)
+    victim = max(centrality, key=centrality.get)
+    net.launch_attack(victim, start=ATTACK_START_FRAC * steps,
+                      duration=(ATTACK_END_FRAC - ATTACK_START_FRAC) * steps,
+                      loss_add=0.3)
+    return net
+
+
+def run(seeds: Sequence[int] = (0, 1, 2), n_nodes: int = 30,
+        steps: int = 600) -> ExperimentTable:
+    """One row per router, seed-averaged, with attack-window breakdown."""
+    table = ExperimentTable(
+        experiment_id="E6",
+        title="CPN routing resilience: delay and delivery under DoS",
+        columns=["router", "delivery", "delay", "delivery_attack",
+                 "delay_attack", "delivery_drop_under_attack"],
+        notes=("attack on the most central node during the middle-late "
+               f"window [{ATTACK_START_FRAC:.0%}, {ATTACK_END_FRAC:.0%}] "
+               "of the run; 6 random link degradations throughout"))
+    routers = {
+        "static": lambda net, seed: StaticRouter(net),
+        "cpn-self-aware": lambda net, seed: CPNRouter(
+            net, epsilon=0.2, rng=np.random.default_rng(1000 + seed)),
+        "oracle": lambda net, seed: OracleRouter(net),
+    }
+    attack_start = ATTACK_START_FRAC * steps
+    attack_end = ATTACK_END_FRAC * steps
+    for name, factory in routers.items():
+        rows = []
+        for seed in seeds:
+            net = make_scenario(seed, n_nodes=n_nodes, steps=steps)
+            flows = default_flows(net, n_flows=6, seed=seed)
+            result = run_routing(net, factory(net, seed), flows, steps=steps)
+            overall = result.delivery_rate()
+            attack = result.delivery_rate(attack_start, attack_end)
+            pre = result.delivery_rate(0.0, attack_start)
+            rows.append((overall, result.mean_delay(), attack,
+                         result.mean_delay(attack_start, attack_end),
+                         max(0.0, pre - attack)))
+        means = np.mean(rows, axis=0)
+        table.add_row(router=name, delivery=float(means[0]),
+                      delay=float(means[1]), delivery_attack=float(means[2]),
+                      delay_attack=float(means[3]),
+                      delivery_drop_under_attack=float(means[4]))
+    return table
+
+
+def make_theta_network(seed: int = 0) -> CPNetwork:
+    """Two parallel paths 0 -> 5: fast-but-lossy vs slow-but-clean.
+
+    The route choice where per-class QoS goals genuinely diverge: the
+    2-hop path costs 2 delay units at ~12% loss; the 4-hop detour costs
+    6 delay units at ~0.4% loss.
+    """
+    g = nx.Graph()
+    for u, v in ((0, 1), (1, 5)):           # fast, lossy
+        g.add_edge(u, v, delay=1.0, loss=0.06)
+    for u, v in ((0, 2), (2, 3), (3, 4), (4, 5)):  # slow, clean
+        g.add_edge(u, v, delay=1.5, loss=0.001)
+    return CPNetwork(g, rng=np.random.default_rng(seed))
+
+
+def run_qos_classes(seeds: Sequence[int] = (0, 1, 2),
+                    steps: int = 500) -> ExperimentTable:
+    """E6b: per-flow QoS goals over one set of route measurements.
+
+    CPN's claim of "dealing with changing quality of service
+    requirements": the same router serves a delay-sensitive and a
+    loss-sensitive flow differently, while a class-blind router forces
+    one compromise route on both.
+    """
+    table = ExperimentTable(
+        experiment_id="E6b",
+        title="CPN per-flow QoS classes (fast-lossy vs slow-clean paths)",
+        columns=["router", "traffic_class", "delivery", "delay"],
+        notes=("theta topology 0->5: 2-hop path (delay 2, ~12% loss) vs "
+               "4-hop path (delay 6, ~0.4% loss); class-aware routing "
+               "sends each flow down its own right path"))
+    configs = {
+        "class-blind": {"delay-sensitive": DEFAULT_QOS,
+                        "loss-sensitive": DEFAULT_QOS},
+        "class-aware": {"delay-sensitive": DELAY_SENSITIVE,
+                        "loss-sensitive": LOSS_SENSITIVE},
+    }
+    for config_name, class_map in configs.items():
+        for label, qos in class_map.items():
+            deliveries, delays = [], []
+            for seed in seeds:
+                net = make_theta_network(seed)
+                router = CPNRouter(net, epsilon=0.2,
+                                   rng=np.random.default_rng(2000 + seed))
+                flows = [Flow(source=0, dest=5, qos=qos)]
+                result = run_routing(net, router, flows, steps=steps,
+                                     smart_packets_per_flow=3)
+                half = steps / 2.0  # converged half
+                deliveries.append(result.delivery_rate(half, steps))
+                delays.append(result.mean_delay(half, steps))
+            table.add_row(router=config_name, traffic_class=label,
+                          delivery=float(np.mean(deliveries)),
+                          delay=float(np.mean(delays)))
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from .harness import print_tables
+    print_tables([run(), run_qos_classes()])

@@ -1,0 +1,121 @@
+"""E9 -- collective self-awareness without a global component.
+
+Paper Section IV, concept 3 ([45]): self-awareness can be a property of
+a collective with no single component holding global knowledge.  Nodes
+must each become (approximately) aware of a global quantity -- here, the
+mean of a per-node value.  Gossip (fully decentralised), hierarchical
+(tree of self-aware building blocks [62][63]) and a central hub are
+compared on accuracy, message load, hot-spotting and failure robustness
+as the collective grows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.collective import (CentralAggregator, CommunicationNetwork,
+                               GossipEstimator, HierarchicalAggregator)
+from .harness import ExperimentTable
+
+
+def _names(n: int) -> List[str]:
+    return [f"n{i}" for i in range(n)]
+
+
+def _values(n: int, seed: int) -> Dict[str, float]:
+    rng = np.random.default_rng(seed)
+    return {name: float(rng.uniform(0.0, 1.0)) for name in _names(n)}
+
+
+def _gossip_run(n: int, seed: int, rounds: int, fail: bool):
+    names = _names(n)
+    net = CommunicationNetwork.random_geometric(
+        names, seed=seed, rng=np.random.default_rng(seed))
+    values = _values(n, seed)
+    if fail:
+        # The gossip protocol has no special node; fail an arbitrary one.
+        net.fail_node(names[0])
+    return GossipEstimator(net, rng=np.random.default_rng(10 + seed)).run(
+        values, rounds=rounds)
+
+
+def _central_run(n: int, seed: int, fail: bool):
+    names = _names(n)
+    hub = names[0]
+    net = CommunicationNetwork.star(hub, names[1:])
+    values = _values(n, seed)
+    if fail:
+        net.fail_node(hub)  # the hub IS the global component
+    return CentralAggregator(net, hub).run(values)
+
+
+def _hierarchical_run(n: int, seed: int, fail: bool):
+    import networkx as nx
+    names = _names(n)
+    g = nx.complete_graph(n)
+    g = nx.relabel_nodes(g, dict(enumerate(names)))
+    net = CommunicationNetwork(g)
+    values = _values(n, seed)
+    if fail:
+        net.fail_node(names[1])  # an internal tree node: blinds a subtree
+    return HierarchicalAggregator(net, names, fanout=2).run(values)
+
+
+def run(seeds: Sequence[int] = (0, 1, 2),
+        sizes: Sequence[int] = (10, 50, 200),
+        gossip_rounds: int = 30) -> ExperimentTable:
+    """One row per (scheme, size, failure condition)."""
+    table = ExperimentTable(
+        experiment_id="E9",
+        title="Collective awareness of a global quantity: three architectures",
+        columns=["scheme", "n", "failure", "mean_error", "aware_fraction",
+                 "messages", "max_node_load"],
+        notes=("aware_fraction = live nodes holding an estimate; "
+               "max_node_load = messages through the busiest node (the "
+               "hot-spot a global component creates); failure removes the "
+               "scheme's most critical node"))
+    schemes = {
+        "gossip": _gossip_run,
+        "hierarchical": _hierarchical_run,
+        "central": _central_run,
+    }
+    for n in sizes:
+        for scheme_name, runner in schemes.items():
+            for fail in (False, True):
+                errors, fractions, messages = [], [], []
+                for seed in seeds:
+                    if scheme_name == "gossip":
+                        result = runner(n, seed, gossip_rounds, fail)
+                    else:
+                        result = runner(n, seed, fail)
+                    live = n - (1 if fail else 0)
+                    fractions.append(len(result.estimates) / live)
+                    errors.append(result.mean_error
+                                  if result.estimates else math.nan)
+                    messages.append(result.messages)
+                # Per-node load: central funnels everything through the
+                # hub; gossip spreads ~2 messages per node per round;
+                # the tree caps at fanout+1 links per node.
+                if scheme_name == "central":
+                    max_load = float(np.mean(messages))
+                elif scheme_name == "hierarchical":
+                    max_load = 2.0 * 3.0  # fanout 2 children + 1 parent
+                else:
+                    max_load = float(np.mean(messages)) / max(1, n) * 2.0
+                table.add_row(
+                    scheme=scheme_name, n=n,
+                    failure="critical-node" if fail else "none",
+                    mean_error=float(np.nanmean(errors))
+                    if not all(math.isnan(e) for e in errors) else math.nan,
+                    aware_fraction=float(np.mean(fractions)),
+                    messages=float(np.mean(messages)),
+                    max_node_load=max_load)
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from .harness import print_tables
+    print_tables([run()])

@@ -1,0 +1,108 @@
+"""Run the full experiment suite and print every table.
+
+``python -m repro.experiments.run_all [--quick]``
+
+``--quick`` shrinks seeds/steps for a fast smoke run; the default sizes
+are the ones EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from . import (ablations, e1_levels, e2_camera, e3_cloud, e4_volunteer,
+               e5_multicore, e6_cpn, e7_attention, e8_meta, e9_collective,
+               e10_priors, e11_explain, e12_swarm)
+from .harness import ExperimentTable, print_tables, write_markdown_report
+
+
+def _ablation_tables(quick: bool = False) -> List[ExperimentTable]:
+    if quick:
+        return [ablations.run_aggregation(seeds=(0,), steps=700),
+                ablations.run_forecasters(seeds=(0,), steps=300),
+                ablations.run_auction_pricing(n_auctions=500),
+                ablations.run_knowledge_representation(seeds=(0,), steps=500)]
+    return [ablations.run_aggregation(), ablations.run_forecasters(),
+            ablations.run_auction_pricing(),
+            ablations.run_knowledge_representation()]
+
+
+def collect_tables(quick: bool = False) -> List[ExperimentTable]:
+    """Run every experiment; returns all tables in DESIGN.md order."""
+    if quick:
+        seeds2, seeds3 = (0,), (0, 1)
+        kwargs = dict(
+            e1=dict(seeds=seeds2, steps=700),
+            e2=dict(seeds=seeds2, steps=300),
+            e3=dict(seeds=seeds2, steps=300),
+            e4=dict(seeds=seeds3, steps=1200),
+            e5=dict(seeds=seeds2, steps=400),
+            e6=dict(seeds=seeds2, steps=300),
+            e7=dict(seeds=seeds2, budgets=(2.0, 6.0), steps=250),
+            e8=dict(seeds=seeds3, steps=1200),
+            e9=dict(seeds=seeds2, sizes=(10, 50)),
+            e10=dict(seeds=seeds3, steps=400),
+            e11=dict(seeds=seeds2, steps=300),
+            e12=dict(seeds=seeds2, steps=300),
+            ablations=dict(quick=True),
+        )
+    else:
+        kwargs = {k: {} for k in
+                  ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
+                   "e10", "e11", "e12", "ablations")}
+    tables: List[ExperimentTable] = []
+    jobs = [
+        ("E1", lambda: [e1_levels.run(**kwargs["e1"])]),
+        ("E2", lambda: [e2_camera.run(**kwargs["e2"])]),
+        ("E3", lambda: [e3_cloud.run(**kwargs["e3"]),
+                        e3_cloud.run_goal_change(**kwargs["e3"])]),
+        ("E4", lambda: [e4_volunteer.run(**kwargs["e4"])]),
+        ("E5", lambda: [e5_multicore.run(**kwargs["e5"]),
+                        e5_multicore.run_goal_change(
+                            seeds=kwargs["e5"].get("seeds", (0, 1)),
+                            steps=kwargs["e5"].get("steps", 800))]),
+        ("E6", lambda: [e6_cpn.run(**kwargs["e6"]),
+                        e6_cpn.run_qos_classes(
+                            seeds=kwargs["e6"].get("seeds", (0, 1, 2)),
+                            steps=kwargs["e6"].get("steps", 500))]),
+        ("E7", lambda: [e7_attention.run(**kwargs["e7"]),
+                        e7_attention.run_detection_table(
+                            seeds=kwargs["e7"].get("seeds", (0, 1, 2)),
+                            steps=600 if quick else 1500)]),
+        ("E8", lambda: [e8_meta.run(**kwargs["e8"])]),
+        ("E9", lambda: [e9_collective.run(**kwargs["e9"])]),
+        ("E10", lambda: [e10_priors.run(**kwargs["e10"])]),
+        ("E11", lambda: [e11_explain.run(**kwargs["e11"])]),
+        ("E12", lambda: [e12_swarm.run(**kwargs["e12"])]),
+        ("A1-A4", lambda: _ablation_tables(
+            quick=bool(kwargs["ablations"].get("quick")))),
+    ]
+    for name, job in jobs:
+        start = time.perf_counter()
+        tables.extend(job())
+        print(f"[{name} done in {time.perf_counter() - start:.1f}s]",
+              file=sys.stderr)
+    return tables
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small seeds/steps for a smoke run")
+    parser.add_argument("--markdown", metavar="FILE", default=None,
+                        help="additionally write the tables to FILE as "
+                             "a markdown report")
+    args = parser.parse_args()
+    tables = collect_tables(quick=args.quick)
+    print_tables(tables)
+    if args.markdown:
+        write_markdown_report(tables, args.markdown,
+                              title="pyselfaware experiment results")
+        print(f"markdown report written to {args.markdown}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Stochastic learning automata (the CPN-style "simple learning scheme").
+
+Cognitive packet networks (paper Section III) adapt routes "based on a
+simple learning scheme": each decision point keeps a probability vector
+over its options and nudges it toward options that earned reward.  The
+linear reward-inaction / reward-penalty family implemented here is that
+scheme in its textbook form, and is what the CPN substrate's smart
+packets carry.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class LearningAutomaton:
+    """Linear reward-penalty learning automaton over ``n_actions`` options.
+
+    Parameters
+    ----------
+    n_actions:
+        Number of options.
+    reward_step:
+        Learning rate ``a`` applied on reward (probability mass moves
+        toward the chosen action).
+    penalty_step:
+        Learning rate ``b`` applied on penalty (mass moves away).  ``0``
+        gives the reward-inaction scheme (L_RI), equal to ``reward_step``
+        gives L_RP.
+    floor:
+        Minimum probability retained per action, preserving exploration
+        in non-stationary environments.
+    """
+
+    def __init__(self, n_actions: int, reward_step: float = 0.1,
+                 penalty_step: float = 0.0, floor: float = 0.01,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if n_actions <= 0:
+            raise ValueError("n_actions must be positive")
+        if not 0.0 < reward_step <= 1.0:
+            raise ValueError("reward_step must be in (0, 1]")
+        if not 0.0 <= penalty_step <= 1.0:
+            raise ValueError("penalty_step must be in [0, 1]")
+        if not 0.0 <= floor < 1.0 / n_actions:
+            raise ValueError("floor must be in [0, 1/n_actions)")
+        self.n_actions = n_actions
+        self.reward_step = reward_step
+        self.penalty_step = penalty_step
+        self.floor = floor
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._probs = np.full(n_actions, 1.0 / n_actions)
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Current action-probability vector (copy)."""
+        return self._probs.copy()
+
+    def select(self) -> int:
+        """Sample an action from the current probability vector."""
+        return int(self._rng.choice(self.n_actions, p=self._probs))
+
+    def best(self) -> int:
+        """The currently most probable action."""
+        return int(np.argmax(self._probs))
+
+    def reward(self, action: int) -> None:
+        """Reinforce ``action``: move probability mass toward it."""
+        self._check(action)
+        a = self.reward_step
+        self._probs = (1.0 - a) * self._probs
+        self._probs[action] += a
+        self._apply_floor()
+
+    def penalise(self, action: int) -> None:
+        """Punish ``action``: move probability mass away from it."""
+        self._check(action)
+        b = self.penalty_step
+        if b == 0.0 or self.n_actions == 1:
+            return
+        spread = b / (self.n_actions - 1)
+        self._probs = (1.0 - b) * self._probs + spread
+        self._probs[action] -= spread
+        self._apply_floor()
+
+    def feedback(self, action: int, reward_signal: float) -> None:
+        """Binary-ish convenience: signal > 0.5 rewards, otherwise penalises."""
+        if reward_signal > 0.5:
+            self.reward(action)
+        else:
+            self.penalise(action)
+
+    def _apply_floor(self) -> None:
+        if self.floor <= 0.0:
+            self._probs = self._probs / self._probs.sum()
+            return
+        # Clamp to the floor, then renormalise only the above-floor mass so
+        # clamped entries stay exactly at the floor.
+        clamped = np.maximum(self._probs, self.floor)
+        above = clamped - self.floor
+        free_mass = 1.0 - self.n_actions * self.floor
+        self._probs = self.floor + above * (free_mass / above.sum())
+
+    def _check(self, action: int) -> None:
+        if not 0 <= action < self.n_actions:
+            raise IndexError(f"action {action} out of range [0, {self.n_actions})")

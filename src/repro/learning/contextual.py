@@ -1,0 +1,107 @@
+"""Contextual bandits: LinUCB.
+
+Completes the common-techniques catalogue (paper ref [61]) with the
+standard linear contextual bandit: per arm, a ridge-regression estimate
+of reward from context features plus an upper-confidence exploration
+bonus.  Useful wherever a self-aware component chooses among discrete
+options whose value depends on observable context -- an alternative to
+the binned :class:`~repro.core.models.ContextualActionModel` when the
+context-to-reward map is roughly linear.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class LinUCB:
+    """LinUCB with disjoint per-arm linear models.
+
+    Parameters
+    ----------
+    n_arms:
+        Number of options.
+    n_features:
+        Context dimensionality (a bias feature is appended internally).
+    alpha:
+        Width of the confidence bonus (exploration strength).
+    ridge:
+        Ridge regularisation of each arm's design matrix.
+    forgetting:
+        Exponential forgetting in ``(0, 1]`` applied to each arm's
+        sufficient statistics per update of that arm; < 1 tracks
+        non-stationary reward maps.
+    """
+
+    def __init__(self, n_arms: int, n_features: int, alpha: float = 1.0,
+                 ridge: float = 1.0, forgetting: float = 1.0) -> None:
+        if n_arms <= 0:
+            raise ValueError("n_arms must be positive")
+        if n_features <= 0:
+            raise ValueError("n_features must be positive")
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if ridge <= 0:
+            raise ValueError("ridge must be positive")
+        if not 0.0 < forgetting <= 1.0:
+            raise ValueError("forgetting must be in (0, 1]")
+        self.n_arms = n_arms
+        self.n_features = n_features
+        self.alpha = alpha
+        self.ridge = ridge
+        self.forgetting = forgetting
+        dim = n_features + 1
+        self._a = [np.eye(dim) * ridge for _ in range(n_arms)]
+        self._b = [np.zeros(dim) for _ in range(n_arms)]
+        self.total_updates = 0
+
+    def _augment(self, context: Sequence[float]) -> np.ndarray:
+        if len(context) != self.n_features:
+            raise ValueError(
+                f"expected {self.n_features} features, got {len(context)}")
+        return np.concatenate(([1.0], np.asarray(context, dtype=float)))
+
+    def weights(self, arm: int) -> np.ndarray:
+        """Current ridge estimate of arm ``arm``'s reward weights."""
+        self._check(arm)
+        return np.linalg.solve(self._a[arm], self._b[arm])
+
+    def expected_reward(self, context: Sequence[float], arm: int) -> float:
+        """Point estimate of the reward of ``arm`` in ``context``."""
+        return float(self._augment(context) @ self.weights(arm))
+
+    def ucb(self, context: Sequence[float], arm: int) -> float:
+        """Upper confidence bound of ``arm`` in ``context``."""
+        self._check(arm)
+        x = self._augment(context)
+        theta = np.linalg.solve(self._a[arm], self._b[arm])
+        bonus = self.alpha * math.sqrt(
+            float(x @ np.linalg.solve(self._a[arm], x)))
+        return float(x @ theta) + bonus
+
+    def select(self, context: Sequence[float]) -> int:
+        """Arm with the highest UCB (ties break to the lowest index)."""
+        scores = [self.ucb(context, arm) for arm in range(self.n_arms)]
+        return int(np.argmax(scores))
+
+    def update(self, context: Sequence[float], arm: int,
+               reward: float) -> None:
+        """Feed back the observed reward of pulling ``arm`` in ``context``."""
+        self._check(arm)
+        x = self._augment(context)
+        if self.forgetting < 1.0:
+            dim = self.n_features + 1
+            # Decay toward the ridge prior so the matrix stays invertible.
+            self._a[arm] = (self.forgetting * self._a[arm]
+                            + (1.0 - self.forgetting) * np.eye(dim) * self.ridge)
+            self._b[arm] = self.forgetting * self._b[arm]
+        self._a[arm] += np.outer(x, x)
+        self._b[arm] += reward * x
+        self.total_updates += 1
+
+    def _check(self, arm: int) -> None:
+        if not 0 <= arm < self.n_arms:
+            raise IndexError(f"arm {arm} out of range [0, {self.n_arms})")

@@ -1,0 +1,172 @@
+"""Concept-drift detectors.
+
+The meta level's trigger mechanism: a meta-self-aware system watches
+streams *about itself* (its own error rate, its own realised utility) and
+reacts when their statistical character changes.  Three detectors with
+the common protocol ``update(value) -> bool`` (True on detected change):
+
+- :class:`PageHinkley` -- classic sequential change-point test on a mean.
+- :class:`DDM` -- the Gama et al. drift detection method, for error-rate
+  streams in ``[0, 1]``.
+- :class:`WindowDriftDetector` -- ADWIN-flavoured two-window mean test;
+  distribution-free and parameterised only by a significance threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque
+
+
+class PageHinkley:
+    """Page-Hinkley test for an increase (or decrease) in the stream mean.
+
+    Parameters
+    ----------
+    delta:
+        Magnitude tolerance: changes smaller than ``delta`` are ignored.
+    threshold:
+        Detection threshold λ on the cumulative statistic.
+    direction:
+        ``"increase"`` flags upward shifts, ``"decrease"`` downward ones.
+    min_samples:
+        Observations required before detection is allowed.
+    """
+
+    def __init__(self, delta: float = 0.005, threshold: float = 5.0,
+                 direction: str = "increase", min_samples: int = 10) -> None:
+        if direction not in ("increase", "decrease"):
+            raise ValueError("direction must be 'increase' or 'decrease'")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.delta = delta
+        self.threshold = threshold
+        self.direction = direction
+        self.min_samples = min_samples
+        self._mean = 0.0
+        self._count = 0
+        self._cumulative = 0.0
+        self._extremum = 0.0
+        self.detections = 0
+
+    def update(self, value: float) -> bool:
+        """Feed one value; returns True when a change is detected.
+
+        Detection resets the internal state so the detector can fire again
+        on a subsequent change.
+        """
+        self._count += 1
+        self._mean += (value - self._mean) / self._count
+        if self.direction == "increase":
+            self._cumulative += value - self._mean - self.delta
+            self._extremum = min(self._extremum, self._cumulative)
+            statistic = self._cumulative - self._extremum
+        else:
+            self._cumulative += value - self._mean + self.delta
+            self._extremum = max(self._extremum, self._cumulative)
+            statistic = self._extremum - self._cumulative
+        if self._count >= self.min_samples and statistic > self.threshold:
+            self.detections += 1
+            self.reset()
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Forget all state (detection count is preserved)."""
+        self._mean = 0.0
+        self._count = 0
+        self._cumulative = 0.0
+        self._extremum = 0.0
+
+
+class DDM:
+    """Drift Detection Method for Bernoulli error streams.
+
+    Tracks the error rate ``p`` and its binomial standard deviation ``s``;
+    drift is flagged when ``p + s`` exceeds the best-seen
+    ``p_min + drift_level * s_min``.  Values must be in ``[0, 1]``
+    (typically 0/1 error indicators).
+    """
+
+    def __init__(self, warning_level: float = 2.0, drift_level: float = 3.0,
+                 min_samples: int = 30) -> None:
+        if drift_level <= warning_level:
+            raise ValueError("drift_level must exceed warning_level")
+        self.warning_level = warning_level
+        self.drift_level = drift_level
+        self.min_samples = min_samples
+        self.detections = 0
+        self.in_warning = False
+        self.reset()
+
+    def reset(self) -> None:
+        """Restart estimation (after drift, or externally)."""
+        self._count = 0
+        self._p = 1.0
+        self._s = 0.0
+        self._p_min = math.inf
+        self._s_min = math.inf
+        self.in_warning = False
+
+    def update(self, error: float) -> bool:
+        """Feed one error indicator in ``[0, 1]``; True when drift fires."""
+        if not 0.0 <= error <= 1.0:
+            raise ValueError("DDM expects values in [0, 1]")
+        self._count += 1
+        self._p += (error - self._p) / self._count
+        self._s = math.sqrt(self._p * (1.0 - self._p) / self._count)
+        if self._count < self.min_samples:
+            return False
+        if self._p + self._s < self._p_min + self._s_min:
+            self._p_min = self._p
+            self._s_min = self._s
+        level = self._p + self._s
+        if level > self._p_min + self.drift_level * self._s_min:
+            self.detections += 1
+            self.reset()
+            return True
+        self.in_warning = level > self._p_min + self.warning_level * self._s_min
+        return False
+
+
+class WindowDriftDetector:
+    """Two-window mean-shift test (lightweight ADWIN stand-in).
+
+    Keeps a sliding window of the last ``window`` values, splits it in
+    half, and flags drift when the two halves' means differ by more than
+    ``threshold`` standard errors (Welch-style).
+    """
+
+    def __init__(self, window: int = 60, threshold: float = 3.0) -> None:
+        if window < 10 or window % 2:
+            raise ValueError("window must be an even number >= 10")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.window = window
+        self.threshold = threshold
+        self._buffer: Deque[float] = deque(maxlen=window)
+        self.detections = 0
+
+    def update(self, value: float) -> bool:
+        """Feed one value; True when the window halves disagree."""
+        self._buffer.append(value)
+        if len(self._buffer) < self.window:
+            return False
+        half = self.window // 2
+        values = list(self._buffer)
+        old, new = values[:half], values[half:]
+        mean_old = sum(old) / half
+        mean_new = sum(new) / half
+        var_old = sum((v - mean_old) ** 2 for v in old) / max(half - 1, 1)
+        var_new = sum((v - mean_new) ** 2 for v in new) / max(half - 1, 1)
+        se = math.sqrt(var_old / half + var_new / half)
+        if se == 0.0:
+            changed = mean_old != mean_new
+        else:
+            changed = abs(mean_new - mean_old) / se > self.threshold
+        if changed:
+            self.detections += 1
+            self._buffer.clear()
+            return True
+        return False

@@ -1,0 +1,124 @@
+"""Drift-robust forecasting ensembles (DDD-inspired).
+
+Minku & Yao's DDD (paper ref [9]) keeps ensembles of old and new learners
+and shifts weight between them around concept drift, exploiting the
+*diversity* among members.  :class:`DriftRobustEnsemble` carries that
+idea to the online-forecasting setting used throughout this repository:
+
+- members are heterogeneous forecasters (diversity by construction);
+- each member's weight tracks its recent inverse error;
+- a drift detector watches the ensemble's own error stream; on drift a
+  fresh member is spawned (a new learner untainted by the old concept)
+  and given a head-start weight, while stale members are retired when the
+  roster is full.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from .drift import PageHinkley
+from .forecast import Forecaster, HoltForecaster
+
+
+@dataclass
+class _Member:
+    forecaster: Forecaster
+    ewma_error: float = math.nan
+    age: int = 0
+
+    def record_error(self, error: float, alpha: float) -> None:
+        if math.isnan(self.ewma_error):
+            self.ewma_error = error
+        else:
+            self.ewma_error += alpha * (error - self.ewma_error)
+
+    def weight(self) -> float:
+        if math.isnan(self.ewma_error):
+            return 0.5  # unproven member: middling trust
+        return 1.0 / (self.ewma_error + 1e-6)
+
+
+class DriftRobustEnsemble(Forecaster):
+    """Weighted ensemble of forecasters with drift-triggered renewal.
+
+    Parameters
+    ----------
+    member_factory:
+        Zero-argument callable producing a fresh member forecaster.
+    initial_members:
+        Optional heterogeneous starting roster; when omitted, two members
+        are built from ``member_factory``.
+    max_members:
+        Roster cap; the worst member is retired to make room.
+    error_alpha:
+        EWMA factor for member error tracking.
+    detector:
+        Change detector on the ensemble's own absolute error; default
+        Page-Hinkley.
+    """
+
+    def __init__(
+        self,
+        member_factory: Callable[[], Forecaster] = HoltForecaster,
+        initial_members: Optional[List[Forecaster]] = None,
+        max_members: int = 4,
+        error_alpha: float = 0.1,
+        detector=None,
+    ) -> None:
+        super().__init__()
+        if max_members < 2:
+            raise ValueError("max_members must be at least 2")
+        self._factory = member_factory
+        roster = initial_members if initial_members else [member_factory(), member_factory()]
+        self._members: List[_Member] = [_Member(f) for f in roster]
+        self.max_members = max_members
+        self.error_alpha = error_alpha
+        self._detector = detector if detector is not None else PageHinkley(
+            delta=0.01, threshold=8.0)
+        self.drift_events = 0
+
+    @property
+    def n_members(self) -> int:
+        """Current roster size."""
+        return len(self._members)
+
+    def _update(self, value: float) -> None:
+        # Score the pre-update ensemble prediction against the new truth.
+        prediction = self.forecast(1)
+        if not math.isnan(prediction):
+            error = abs(prediction - value)
+            if self._detector.update(error):
+                self.drift_events += 1
+                self._renew()
+        for member in self._members:
+            member_pred = member.forecaster.forecast(1)
+            if not math.isnan(member_pred):
+                member.record_error(abs(member_pred - value), self.error_alpha)
+            member.forecaster.update(value)
+            member.age += 1
+
+    def _renew(self) -> None:
+        """Spawn a fresh member for the new concept; retire the worst."""
+        if len(self._members) >= self.max_members:
+            worst = max(self._members,
+                        key=lambda m: m.ewma_error if not math.isnan(m.ewma_error) else -1.0)
+            self._members.remove(worst)
+        self._members.append(_Member(self._factory()))
+
+    def forecast(self, horizon: int = 1) -> float:
+        """Weight-averaged member forecast (NaN when nobody is primed)."""
+        total_weight = 0.0
+        weighted_sum = 0.0
+        for member in self._members:
+            prediction = member.forecaster.forecast(horizon)
+            if math.isnan(prediction):
+                continue
+            w = member.weight()
+            total_weight += w
+            weighted_sum += w * prediction
+        if total_weight == 0.0:
+            return math.nan
+        return weighted_sum / total_weight

@@ -1,0 +1,188 @@
+"""Time-series forecasters: the engine room of time-awareness.
+
+A time-aware system does not merely remember its history; it anticipates
+likely futures (Neisser's extended self; the swarm literature's "what
+might happen" predictions).  Three classic online forecasters are
+provided, in increasing sophistication, plus a naive baseline.  The
+family choice is an explicit ablation knob (DESIGN.md design-choice 2).
+
+All forecasters share the protocol ``update(value)`` /
+``forecast(horizon=1)`` and may be queried before any data (they return
+NaN until minimally primed).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Deque, Optional
+
+from .regression import RecursiveLeastSquares
+
+
+class Forecaster(ABC):
+    """Online one-series forecaster."""
+
+    def __init__(self) -> None:
+        self.observations = 0
+
+    def update(self, value: float) -> None:
+        """Feed one observation (in time order)."""
+        self.observations += 1
+        self._update(value)
+
+    @abstractmethod
+    def _update(self, value: float) -> None: ...
+
+    @abstractmethod
+    def forecast(self, horizon: int = 1) -> float:
+        """Predicted value ``horizon`` steps ahead (NaN when unprimed)."""
+
+
+class NaiveForecaster(Forecaster):
+    """Predicts the last observed value (the 'no model' baseline)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last = math.nan
+
+    def _update(self, value: float) -> None:
+        self._last = value
+
+    def forecast(self, horizon: int = 1) -> float:
+        return self._last
+
+
+class EWMAForecaster(Forecaster):
+    """Exponentially weighted moving average (level only).
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing factor in ``(0, 1]``; higher tracks faster.
+    """
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        super().__init__()
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._level = math.nan
+
+    def _update(self, value: float) -> None:
+        if math.isnan(self._level):
+            self._level = value
+        else:
+            self._level += self.alpha * (value - self._level)
+
+    def forecast(self, horizon: int = 1) -> float:
+        return self._level
+
+
+class HoltForecaster(Forecaster):
+    """Holt's linear trend method (level + trend).
+
+    Extrapolates ``level + horizon * trend`` -- the minimal forecaster
+    that anticipates *direction*, not just position.
+
+    Parameters
+    ----------
+    alpha:
+        Level smoothing in ``(0, 1]``.
+    beta:
+        Trend smoothing in ``(0, 1]``.
+    damping:
+        Trend damping φ in ``(0, 1]``; 1 is undamped Holt.
+    """
+
+    def __init__(self, alpha: float = 0.4, beta: float = 0.2,
+                 damping: float = 0.98) -> None:
+        super().__init__()
+        for name, v in (("alpha", alpha), ("beta", beta), ("damping", damping)):
+            if not 0.0 < v <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1]")
+        self.alpha = alpha
+        self.beta = beta
+        self.damping = damping
+        self._level = math.nan
+        self._trend = 0.0
+
+    def _update(self, value: float) -> None:
+        if math.isnan(self._level):
+            self._level = value
+            self._trend = 0.0
+            return
+        prev_level = self._level
+        self._level = (self.alpha * value
+                       + (1.0 - self.alpha) * (prev_level + self.damping * self._trend))
+        self._trend = (self.beta * (self._level - prev_level)
+                       + (1.0 - self.beta) * self.damping * self._trend)
+
+    def forecast(self, horizon: int = 1) -> float:
+        if math.isnan(self._level):
+            return math.nan
+        # Damped-trend sum: phi + phi^2 + ... + phi^horizon.
+        phi = self.damping
+        if phi == 1.0:
+            steps = float(horizon)
+        else:
+            steps = phi * (1.0 - phi ** horizon) / (1.0 - phi)
+        return self._level + steps * self._trend
+
+
+class ARForecaster(Forecaster):
+    """Autoregressive AR(p) forecaster fitted online with RLS.
+
+    Richest of the family: captures oscillation/seasonality that
+    level-trend methods cannot.  Needs ``order + 1`` observations before
+    producing forecasts; until then it falls back to the last value.
+
+    Parameters
+    ----------
+    order:
+        Number of lags ``p``.
+    forgetting:
+        RLS forgetting factor (tracks drift in the dynamics themselves).
+    """
+
+    def __init__(self, order: int = 4, forgetting: float = 0.995) -> None:
+        super().__init__()
+        if order <= 0:
+            raise ValueError("order must be positive")
+        self.order = order
+        self._rls = RecursiveLeastSquares(n_features=order, forgetting=forgetting)
+        self._lags: Deque[float] = deque(maxlen=order)
+
+    def _update(self, value: float) -> None:
+        if len(self._lags) == self.order:
+            # Newest lag first, matching the forecast-time feature layout.
+            features = list(reversed(self._lags))
+            self._rls.update(features, value)
+        self._lags.append(value)
+
+    def forecast(self, horizon: int = 1) -> float:
+        if not self._lags:
+            return math.nan
+        if len(self._lags) < self.order or self._rls.updates == 0:
+            return self._lags[-1]
+        window: Deque[float] = deque(self._lags, maxlen=self.order)
+        prediction = math.nan
+        for _ in range(horizon):
+            features = list(reversed(window))
+            prediction = self._rls.predict(features)
+            window.append(prediction)
+        return prediction
+
+
+def make_forecaster(kind: str, **kwargs) -> Forecaster:
+    """Factory by name: ``naive``, ``ewma``, ``holt`` or ``ar``."""
+    kinds = {
+        "naive": NaiveForecaster,
+        "ewma": EWMAForecaster,
+        "holt": HoltForecaster,
+        "ar": ARForecaster,
+    }
+    if kind not in kinds:
+        raise ValueError(f"unknown forecaster {kind!r}; choose from {sorted(kinds)}")
+    return kinds[kind](**kwargs)

@@ -1,0 +1,99 @@
+"""Tabular Q-learning over discrete (hashable) states.
+
+Used where a self-aware controller's decision has delayed consequences --
+e.g. the multi-core governor (heating up now costs later) and the CPN
+routing nodes.  States are arbitrary hashables, so substrates discretise
+however suits them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class QLearner:
+    """Standard tabular Q-learning with ε-greedy behaviour.
+
+    Parameters
+    ----------
+    actions:
+        The fixed action set.
+    alpha:
+        Learning rate in ``(0, 1]``.
+    gamma:
+        Discount factor in ``[0, 1)``.
+    epsilon:
+        Exploration probability.
+    optimistic_init:
+        Initial Q-value for unseen ``(state, action)`` pairs; a positive
+        value encourages systematic early exploration.
+    """
+
+    def __init__(
+        self,
+        actions: Sequence[Hashable],
+        alpha: float = 0.2,
+        gamma: float = 0.9,
+        epsilon: float = 0.1,
+        optimistic_init: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not actions:
+            raise ValueError("need at least one action")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0.0 <= gamma < 1.0:
+            raise ValueError("gamma must be in [0, 1)")
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must be in [0, 1]")
+        self.actions: List[Hashable] = list(actions)
+        self.alpha = alpha
+        self.gamma = gamma
+        self.epsilon = epsilon
+        self.optimistic_init = optimistic_init
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._q: Dict[Tuple[Hashable, Hashable], float] = {}
+        self.updates = 0
+
+    def q(self, state: Hashable, action: Hashable) -> float:
+        """Current Q-value estimate for ``(state, action)``."""
+        return self._q.get((state, action), self.optimistic_init)
+
+    def best_action(self, state: Hashable) -> Hashable:
+        """Greedy action for ``state`` (ties broken by action order)."""
+        return max(self.actions, key=lambda a: self.q(state, a))
+
+    def select(self, state: Hashable) -> Hashable:
+        """ε-greedy action for ``state``."""
+        if self._rng.random() < self.epsilon:
+            return self.actions[int(self._rng.integers(len(self.actions)))]
+        return self.best_action(state)
+
+    def update(self, state: Hashable, action: Hashable, reward: float,
+               next_state: Optional[Hashable]) -> float:
+        """One Q-learning backup; ``next_state=None`` marks a terminal step.
+
+        Returns the temporal-difference error (useful to the meta level as
+        a signal of how surprised the learner was).
+        """
+        current = self.q(state, action)
+        if next_state is None:
+            target = reward
+        else:
+            target = reward + self.gamma * max(
+                self.q(next_state, a) for a in self.actions)
+        td_error = target - current
+        self._q[(state, action)] = current + self.alpha * td_error
+        self.updates += 1
+        return td_error
+
+    def states_seen(self) -> int:
+        """Number of distinct states with any learned value."""
+        return len({s for (s, _a) in self._q})
+
+    def reset(self) -> None:
+        """Forget everything (used when the meta level declares drift)."""
+        self._q.clear()
+        self.updates = 0

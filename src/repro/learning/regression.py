@@ -1,0 +1,74 @@
+"""Online linear regression via recursive least squares (RLS).
+
+Predictive self-models (Kounev's self-prediction) frequently take the
+form "metric = f(configuration, environment features)".  RLS learns such
+maps one sample at a time with an exponential forgetting factor, so the
+model tracks non-stationary systems without storing the data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class RecursiveLeastSquares:
+    """Exponentially weighted recursive least squares.
+
+    Parameters
+    ----------
+    n_features:
+        Input dimensionality (excluding the bias, which is always added).
+    forgetting:
+        Forgetting factor λ in ``(0, 1]``; ``1.0`` is ordinary RLS, lower
+        values track drift at the cost of variance.
+    delta:
+        Initial covariance scale (larger = less confident prior).
+    """
+
+    def __init__(self, n_features: int, forgetting: float = 0.99,
+                 delta: float = 100.0) -> None:
+        if n_features <= 0:
+            raise ValueError("n_features must be positive")
+        if not 0.0 < forgetting <= 1.0:
+            raise ValueError("forgetting must be in (0, 1]")
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.n_features = n_features
+        self.forgetting = forgetting
+        dim = n_features + 1  # bias term
+        self._weights = np.zeros(dim)
+        self._p = np.eye(dim) * delta
+        self.updates = 0
+
+    @staticmethod
+    def _augment(x: Sequence[float]) -> np.ndarray:
+        return np.concatenate(([1.0], np.asarray(x, dtype=float)))
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Current weight vector ``[bias, w1, ..., wn]`` (copy)."""
+        return self._weights.copy()
+
+    def predict(self, x: Sequence[float]) -> float:
+        """Predicted target for feature vector ``x``."""
+        if len(x) != self.n_features:
+            raise ValueError(f"expected {self.n_features} features, got {len(x)}")
+        return float(self._augment(x) @ self._weights)
+
+    def update(self, x: Sequence[float], y: float) -> float:
+        """One RLS step on ``(x, y)``; returns the pre-update residual."""
+        if len(x) != self.n_features:
+            raise ValueError(f"expected {self.n_features} features, got {len(x)}")
+        phi = self._augment(x)
+        residual = float(y - phi @ self._weights)
+        lam = self.forgetting
+        p_phi = self._p @ phi
+        gain = p_phi / (lam + float(phi @ p_phi))
+        self._weights = self._weights + gain * residual
+        self._p = (self._p - np.outer(gain, p_phi)) / lam
+        # Symmetrise to fight numerical drift in long runs.
+        self._p = 0.5 * (self._p + self._p.T)
+        self.updates += 1
+        return residual

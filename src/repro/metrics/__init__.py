@@ -1,0 +1,20 @@
+"""Multi-objective evaluation metrics for the benchmark suite."""
+
+from .pareto import coverage, hypervolume, hypervolume_2d, hypervolume_mc, spread
+from .regret import (cumulative_regret, instantaneous_regret,
+                     normalised_regret, regret_slope, total_regret)
+from .stats import (PairedComparison, Summary, compare_paired,
+                    improvement_factor, summarise)
+from .tradeoff import (AdaptationReport, adaptation_after, mean_utility,
+                       phase_utilities, stability, tradeoff_summary,
+                       violation_rate)
+
+__all__ = [
+    "coverage", "hypervolume", "hypervolume_2d", "hypervolume_mc", "spread",
+    "cumulative_regret", "instantaneous_regret", "normalised_regret",
+    "regret_slope", "total_regret",
+    "PairedComparison", "Summary", "compare_paired", "improvement_factor",
+    "summarise",
+    "AdaptationReport", "adaptation_after", "mean_utility",
+    "phase_utilities", "stability", "tradeoff_summary", "violation_rate",
+]

@@ -1,0 +1,67 @@
+"""Regret metrics against oracles.
+
+Regret -- the utility forgone relative to an omniscient policy -- is the
+cleanest currency for "how much does self-awareness buy, and how close to
+perfect knowledge does it get".  Works on plain sequences so the bandit
+experiments can use it without building traces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+
+def instantaneous_regret(optimal: Sequence[float],
+                         achieved: Sequence[float]) -> List[float]:
+    """Per-step regret ``optimal_t - achieved_t`` (clipped at 0)."""
+    if len(optimal) != len(achieved):
+        raise ValueError("series lengths differ")
+    return [max(0.0, o - a) for o, a in zip(optimal, achieved)]
+
+
+def cumulative_regret(optimal: Sequence[float],
+                      achieved: Sequence[float]) -> List[float]:
+    """Running sum of instantaneous regret."""
+    total = 0.0
+    out = []
+    for r in instantaneous_regret(optimal, achieved):
+        total += r
+        out.append(total)
+    return out
+
+
+def total_regret(optimal: Sequence[float], achieved: Sequence[float]) -> float:
+    """Final cumulative regret (0 for empty series)."""
+    series = cumulative_regret(optimal, achieved)
+    return series[-1] if series else 0.0
+
+
+def normalised_regret(optimal: Sequence[float],
+                      achieved: Sequence[float]) -> float:
+    """Total regret divided by total optimal value (0 when optimal sums to 0).
+
+    Interpretable as "fraction of achievable value forgone"; 0 is perfect.
+    """
+    denominator = sum(optimal)
+    if denominator == 0:
+        return 0.0
+    return total_regret(optimal, achieved) / denominator
+
+
+def regret_slope(optimal: Sequence[float], achieved: Sequence[float],
+                 tail_fraction: float = 0.25) -> float:
+    """Mean per-step regret over the final ``tail_fraction`` of the run.
+
+    A learner that has *converged* shows a near-zero tail slope; one that
+    never adapts keeps paying.  NaN for empty input.
+    """
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ValueError("tail_fraction must be in (0, 1]")
+    inst = instantaneous_regret(optimal, achieved)
+    if not inst:
+        return math.nan
+    tail = inst[int(len(inst) * (1.0 - tail_fraction)):]
+    if not tail:
+        tail = inst
+    return sum(tail) / len(tail)

@@ -1,0 +1,134 @@
+"""Trade-off management quality: operationalising the paper's hypothesis.
+
+"Systems that engage in self-awareness can better manage trade-offs
+between goals at run time, in complex, uncertain and dynamic
+environments" (Section III).  These metrics turn that sentence into
+numbers computed over a :class:`repro.core.loop.Trace` (or any utility
+series):
+
+- time-averaged realised utility (overall trade-off quality);
+- per-phase utility around known change points (does quality survive
+  change?);
+- adaptation time after a change (how long until performance recovers);
+- constraint-violation rate;
+- stability (how much behaviour thrashes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.goals import Goal
+from ..core.loop import Trace
+
+
+@dataclass
+class AdaptationReport:
+    """Recovery behaviour after one environment change."""
+
+    change_time: float
+    pre_change_utility: float
+    dip_utility: float
+    recovery_time: Optional[float]
+
+    @property
+    def dip_depth(self) -> float:
+        """How far utility fell at its worst after the change."""
+        return max(0.0, self.pre_change_utility - self.dip_utility)
+
+    @property
+    def recovered(self) -> bool:
+        """Whether utility returned to the pre-change band in the window."""
+        return self.recovery_time is not None
+
+
+def mean_utility(trace: Trace) -> float:
+    """Time-averaged realised utility of a run."""
+    return trace.mean_utility()
+
+
+def phase_utilities(trace: Trace, change_times: Sequence[float]) -> List[float]:
+    """Mean utility in each phase delimited by ``change_times``.
+
+    A system that manages trade-offs *at run time* keeps phase utilities
+    level; a design-time system typically shows one good phase and decay.
+    """
+    if not trace.steps:
+        return []
+    boundaries = ([trace.steps[0].time] + sorted(change_times)
+                  + [trace.steps[-1].time + 1.0])
+    return [trace.mean_utility_between(t0, t1)
+            for t0, t1 in zip(boundaries, boundaries[1:])]
+
+
+def adaptation_after(trace: Trace, change_time: float,
+                     window: float = 50.0,
+                     recovery_fraction: float = 0.9) -> AdaptationReport:
+    """Quantify recovery after the change at ``change_time``.
+
+    Pre-change utility is averaged over ``[change_time - window,
+    change_time)``; recovery is the first post-change time at which a
+    trailing short average again reaches ``recovery_fraction`` of it.
+    """
+    pre = trace.mean_utility_between(change_time - window, change_time)
+    post_steps = [s for s in trace.steps
+                  if change_time <= s.time < change_time + 4 * window]
+    if not post_steps or math.isnan(pre):
+        return AdaptationReport(change_time=change_time, pre_change_utility=pre,
+                                dip_utility=math.nan, recovery_time=None)
+    dip = min(s.utility for s in post_steps)
+    target = recovery_fraction * pre
+    recovery_time = None
+    smooth = 5
+    for i in range(len(post_steps)):
+        tail = post_steps[max(0, i - smooth + 1): i + 1]
+        avg = sum(s.utility for s in tail) / len(tail)
+        if len(tail) == smooth and avg >= target:
+            recovery_time = post_steps[i].time - change_time
+            break
+    return AdaptationReport(change_time=change_time, pre_change_utility=pre,
+                            dip_utility=dip, recovery_time=recovery_time)
+
+
+def violation_rate(trace: Trace, goal: Goal) -> float:
+    """Fraction of steps whose raw metrics violate any goal constraint."""
+    if not trace.steps or not goal.constraints:
+        return 0.0
+    violated = sum(1 for s in trace.steps
+                   if not goal.evaluate(s.metrics).feasible)
+    return violated / len(trace.steps)
+
+
+def stability(trace: Trace) -> float:
+    """Fraction of steps that kept the previous action (1 = never changed).
+
+    Thrashing is itself a cost; self-aware systems should adapt *when
+    needed*, not constantly.
+    """
+    if len(trace.steps) < 2:
+        return 1.0
+    return 1.0 - trace.action_changes() / (len(trace.steps) - 1)
+
+
+def tradeoff_summary(trace: Trace, goal: Goal,
+                     change_times: Sequence[float] = ()) -> Dict[str, float]:
+    """One-row summary used by the experiment tables."""
+    summary = {
+        "mean_utility": mean_utility(trace),
+        "violation_rate": violation_rate(trace, goal),
+        "stability": stability(trace),
+        "sensing_cost": trace.total_sensing_cost(),
+    }
+    if change_times:
+        phases = phase_utilities(trace, change_times)
+        summary["worst_phase_utility"] = min(
+            (p for p in phases if not math.isnan(p)), default=math.nan)
+        reports = [adaptation_after(trace, ct) for ct in change_times]
+        recoveries = [r.recovery_time for r in reports if r.recovery_time is not None]
+        summary["mean_recovery_time"] = (
+            sum(recoveries) / len(recoveries) if recoveries else math.nan)
+        summary["recovered_fraction"] = (
+            sum(1 for r in reports if r.recovered) / len(reports))
+    return summary

@@ -1,0 +1,319 @@
+"""Governors: run-time managers of the heterogeneous platform.
+
+The on-the-fly computing strand of the paper (Agarwal's self-aware
+computing, Platzner's self-aware multicores) argues for moving mapping
+and frequency decisions from design time to run time.  Three governors:
+
+- :class:`StaticGovernor` -- design-time: fixed frequencies, first-idle-
+  core mapping (knows nothing about task kinds or temperature);
+- :class:`OndemandGovernor` -- reactive DVFS in the style of the Linux
+  ondemand policy: raise frequency when the queue grows, drop it when
+  idle; mapping stays naive;
+- :class:`SelfAwareGovernor` -- learns kind/core-type affinity from
+  observed execution rates (a self-model acquired at run time), maps each
+  task to the core type that actually executes it best, and chooses the
+  frequency pair by goal-aware utility reasoning with a learned outcome
+  model, under a thermal constraint.
+
+All governors share ``manage(time, platform, last_metrics)`` which sets
+DVFS levels and dispatches queued tasks, and ``feedback(metrics)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from abc import ABC, abstractmethod
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core.goals import Constraint, Goal, Objective
+from ..core.models import ContextualActionModel
+from ..core.reasoner import UtilityReasoner
+from .platform import DVFS_LEVELS, Core, Platform, PlatformMetrics
+
+#: Candidate actions: one frequency per core type.
+FREQ_ACTIONS: Tuple[Tuple[float, float], ...] = tuple(
+    itertools.product(DVFS_LEVELS, DVFS_LEVELS))
+
+
+def make_multicore_goal(throughput_weight: float = 0.45,
+                        energy_weight: float = 0.25,
+                        queue_weight: float = 0.3,
+                        max_throughput: float = 20.0,
+                        max_energy: float = 12.0,
+                        max_queue: float = 40.0,
+                        temp_cap: float = 82.0) -> Goal:
+    """Throughput/energy/latency goal with a thermal constraint.
+
+    The queue objective is the latency proxy: a governor that saves
+    energy by letting the ready queue diverge is not managing the
+    trade-off, it is abandoning one objective.
+    """
+    return Goal(
+        objectives=[
+            Objective("throughput", maximise=True, lo=0.0, hi=max_throughput),
+            Objective("energy", maximise=False, lo=0.0, hi=max_energy),
+            Objective("queue", maximise=False, lo=0.0, hi=max_queue),
+        ],
+        weights={"throughput": throughput_weight, "energy": energy_weight,
+                 "queue": queue_weight},
+        constraints=[Constraint("max_temp", "max", temp_cap)],
+        name="multicore")
+
+
+class Governor(ABC):
+    """Sets frequencies and dispatches tasks each step."""
+
+    @abstractmethod
+    def manage(self, time: float, platform: Platform,
+               last_metrics: Optional[PlatformMetrics]) -> None:
+        """Configure DVFS and assign queued tasks to idle cores."""
+
+    def feedback(self, metrics: PlatformMetrics) -> None:
+        """Observe the realised step outcome (default: ignored)."""
+
+
+def dispatch_fifo(platform: Platform) -> None:
+    """Naive mapping: first queued task to first idle core, in id order."""
+    for core in platform.idle_cores():
+        if not platform.queue:
+            break
+        platform.assign(core, platform.queue[0])
+
+
+class StaticGovernor(Governor):
+    """Design-time configuration: fixed frequencies, naive mapping."""
+
+    def __init__(self, freq_big: float = 1.0, freq_little: float = 1.0) -> None:
+        self.freq_big = freq_big
+        self.freq_little = freq_little
+
+    def manage(self, time: float, platform: Platform,
+               last_metrics: Optional[PlatformMetrics]) -> None:
+        for core in platform.cores:
+            freq = self.freq_big if core.core_type.name == "big" else self.freq_little
+            core.set_frequency(freq)
+        dispatch_fifo(platform)
+
+
+class OndemandGovernor(Governor):
+    """Reactive DVFS: frequency follows the queue, mapping stays naive.
+
+    Raises both types one DVFS step when the queue exceeds ``high``;
+    lowers when the queue is empty and every core idle.  Stimulus-aware
+    (reacts to load) but blind to temperature, energy, task kinds and the
+    goal structure.
+    """
+
+    def __init__(self, high: int = 4) -> None:
+        if high < 1:
+            raise ValueError("high must be at least 1")
+        self.high = high
+        self._level_index = len(DVFS_LEVELS) - 1  # start at max, like ondemand
+
+    def manage(self, time: float, platform: Platform,
+               last_metrics: Optional[PlatformMetrics]) -> None:
+        queue = len(platform.queue)
+        if queue > self.high:
+            self._level_index = min(self._level_index + 1, len(DVFS_LEVELS) - 1)
+        elif queue == 0 and all(c.idle for c in platform.cores):
+            self._level_index = max(self._level_index - 1, 0)
+        freq = DVFS_LEVELS[self._level_index]
+        for core in platform.cores:
+            core.set_frequency(freq)
+        dispatch_fifo(platform)
+
+
+class _PlannerModel:
+    """Self-prediction model for the self-aware governor.
+
+    Implements the :class:`~repro.core.models.PredictiveModel` protocol by
+    combining two sources, mirroring Kounev's self-reflection +
+    self-prediction split:
+
+    - **analytic flow balance** for throughput and queue: the governor
+      knows (from its learned affinity/capacity estimates and its arrival
+      estimate) how much work each frequency pair can serve, so the
+      queue consequence of an action is *computed*, not rediscovered --
+      this is what makes the governor non-myopic about latency;
+    - **learned outcome statistics** for energy and temperature, which
+      depend on platform physics the governor does not know a priori.
+    """
+
+    def __init__(self, governor: "SelfAwareGovernor") -> None:
+        self._gov = governor
+        self.learned = ContextualActionModel(forgetting=0.9,
+                                             confidence_scale=3.0)
+
+    def predict(self, context: Mapping[str, float], action) -> Dict[str, float]:
+        predicted = dict(self.learned.predict(context, action))
+        queue = self._gov.current_queue_work
+        arrivals = self._gov.arrival_estimate
+        capacity = self._gov.capacity(action)
+        horizon = self._gov.horizon
+        # Project the flow balance over a short horizon rather than one
+        # step: backlog accumulates (or drains) step after step, and a
+        # one-step view underprices slow capacity (myopia).
+        offered = queue + horizon * arrivals
+        predicted["throughput"] = min(offered, horizon * capacity) / horizon
+        # The goal's queue objective is a task count; convert the work
+        # balance through the learned mean work per task.
+        remaining_work = max(0.0, offered - horizon * capacity)
+        predicted["queue"] = remaining_work / self._gov.mean_task_work
+        return predicted
+
+    def update(self, context: Mapping[str, float], action,
+               outcome: Mapping[str, float]) -> None:
+        learnable = {k: v for k, v in outcome.items()
+                     if k in ("energy", "max_temp")}
+        self.learned.update(context, action, learnable)
+
+    def confidence(self, context: Mapping[str, float], action) -> float:
+        return self.learned.confidence(context, action)
+
+
+class SelfAwareGovernor(Governor):
+    """Run-time learning governor: learned mapping + goal-aware DVFS.
+
+    Self-models acquired during operation:
+
+    - **affinity model**: EWMA of observed execution rate per
+      (task kind, core type), normalised by frequency -- discovers which
+      kinds run well where without a design-time table, and doubles as
+      the capacity model behind queue prediction;
+    - **arrival model**: EWMA of offered work per step;
+    - **energy/thermal model**: contextual outcome statistics per
+      frequency pair, with the live goal's thermal constraint keeping the
+      platform out of hardware throttling.
+
+    Decisions run through a :class:`~repro.core.reasoner.UtilityReasoner`
+    against the live goal, so run-time goal changes (e.g. "energy now
+    matters more") shift behaviour immediately.
+    """
+
+    def __init__(self, goal: Goal, epsilon: float = 0.08, horizon: int = 10,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if horizon < 1:
+            raise ValueError("horizon must be at least 1")
+        self.goal = goal
+        self.horizon = horizon
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._model = _PlannerModel(self)
+        self.reasoner = UtilityReasoner(
+            goal=goal, model=self._model, epsilon=epsilon, rng=self._rng)
+        self._rate_estimates: Dict[Tuple[str, str], float] = {}
+        self._type_counts: Dict[str, int] = {}
+        self._mix: Dict[str, float] = {}
+        self.arrival_estimate = 0.0
+        self.current_queue_work = 0.0
+        self.mean_task_work = 10.0
+        self._last_context: Dict[str, float] = {}
+        self._last_action: Optional[Tuple[float, float]] = None
+        self._last_queue_work = 0.0
+
+    # -- learned affinity / capacity ----------------------------------------
+
+    def learned_rate(self, kind: str, type_name: str, perf: float) -> float:
+        """Expected rate (at frequency 1.0) of ``kind`` on ``type_name``.
+
+        Falls back to the spec-sheet ``perf`` (affinity 1.0) before any
+        observation -- a design-time prior the learner then corrects.
+        """
+        return self._rate_estimates.get((kind, type_name), perf)
+
+    def _update_affinity(self, platform: Platform) -> None:
+        for _core_id, type_name, kind, work, freq, completed in \
+                platform.last_execution:
+            if freq <= 0 or completed:
+                # A completing step only executed the task's remainder;
+                # its work understates the achievable rate.
+                continue
+            normalised = work / freq  # rate at frequency 1.0
+            key = (kind, type_name)
+            old = self._rate_estimates.get(key, normalised)
+            self._rate_estimates[key] = old + 0.2 * (normalised - old)
+
+    def capacity(self, action: Tuple[float, float]) -> float:
+        """Predicted serviceable work per step under a frequency pair.
+
+        Mix-weighted learned rates per core type, assuming the mapper
+        routes kinds to their better type where possible (approximated by
+        weighting each type by the kinds it serves best).
+        """
+        freq_by_type = {"big": action[0], "little": action[1]}
+        total = 0.0
+        mix = self._mix if self._mix else {"_any": 1.0}
+        for type_name, count in self._type_counts.items():
+            per_core = 0.0
+            for kind, share in mix.items():
+                perf_default = 8.0 if type_name == "big" else 3.0
+                per_core += share * self.learned_rate(kind, type_name,
+                                                      perf_default)
+            total += count * per_core * freq_by_type.get(type_name, 1.0)
+        return total
+
+    # -- the control step ------------------------------------------------------
+
+    def _observe(self, platform: Platform,
+                 last_metrics: Optional[PlatformMetrics]) -> None:
+        self._type_counts = {}
+        for core in platform.cores:
+            name = core.core_type.name
+            self._type_counts[name] = self._type_counts.get(name, 0) + 1
+        queue_work = sum(t.work for t in platform.queue) + sum(
+            c.remaining_work for c in platform.cores if c.task is not None)
+        arrived = max(0.0, queue_work - self._last_queue_work
+                      + (last_metrics.throughput if last_metrics else 0.0))
+        self.arrival_estimate += 0.25 * (arrived - self.arrival_estimate)
+        self.current_queue_work = queue_work
+        kind_work: Dict[str, float] = {}
+        for task in platform.queue:
+            kind_work[task.kind] = kind_work.get(task.kind, 0.0) + task.work
+        total = sum(kind_work.values())
+        if total > 0:
+            self._mix = {k: w / total for k, w in kind_work.items()}
+        if platform.queue:
+            observed_mean = total / len(platform.queue)
+            self.mean_task_work += 0.1 * (observed_mean - self.mean_task_work)
+
+    def _context(self, platform: Platform,
+                 last_metrics: Optional[PlatformMetrics]) -> Dict[str, float]:
+        temp = (last_metrics.max_temperature if last_metrics is not None
+                else platform.cores[0].ambient)
+        return {"temp": round(min(1.0, temp / 100.0), 1)}
+
+    def manage(self, time: float, platform: Platform,
+               last_metrics: Optional[PlatformMetrics]) -> None:
+        self._update_affinity(platform)
+        self._observe(platform, last_metrics)
+        self._last_context = self._context(platform, last_metrics)
+        decision = self.reasoner.decide(time, self._last_context,
+                                        list(FREQ_ACTIONS))
+        freq_big, freq_little = decision.action
+        self._last_action = decision.action
+        for core in platform.cores:
+            freq = freq_big if core.core_type.name == "big" else freq_little
+            core.set_frequency(freq)
+
+        # Affinity-aware mapping: each queued task (FIFO) goes to the idle
+        # core with the best learned effective rate for its kind.
+        idle = platform.idle_cores()
+        for task in list(platform.queue):
+            if not idle:
+                break
+            best = max(idle, key=lambda c: self.learned_rate(
+                task.kind, c.core_type.name, c.core_type.perf)
+                * c.frequency)
+            platform.assign(best, task)
+            idle.remove(best)
+        self._last_queue_work = sum(t.work for t in platform.queue) + sum(
+            c.remaining_work for c in platform.cores if c.task is not None)
+
+    def feedback(self, metrics: PlatformMetrics) -> None:
+        if self._last_action is None:
+            return
+        outcome = {"energy": metrics.energy,
+                   "max_temp": metrics.max_temperature}
+        self.reasoner.learn(self._last_context, self._last_action, outcome)

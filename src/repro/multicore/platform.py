@@ -1,0 +1,255 @@
+"""Heterogeneous multi-core platform model (paper refs [8], [47]).
+
+A big.LITTLE-style platform: core *types* differ in peak performance and
+power; each core has discrete DVFS levels; temperature follows a
+first-order RC thermal model driven by dissipated power; and a hardware
+thermal-protection mechanism throttles any core that crosses the critical
+temperature to its lowest frequency.
+
+Throttling is the mechanism that punishes thermally ignorant governors:
+a design-time "run everything at maximum frequency" policy overheats,
+throttles, and loses the throughput it was chasing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..envgen.workloads import Task
+
+
+@dataclass(frozen=True)
+class CoreType:
+    """A class of core: performance and power characteristics.
+
+    Parameters
+    ----------
+    name:
+        e.g. ``"big"`` or ``"little"``.
+    perf:
+        Work units processed per step at frequency 1.0.
+    p_static:
+        Leakage power (always dissipated).
+    p_dynamic:
+        Dynamic power at frequency 1.0 while busy; scales with f^3.
+    thermal_resistance:
+        Kelvin per watt in the RC model.
+    """
+
+    name: str
+    perf: float
+    p_static: float
+    p_dynamic: float
+    thermal_resistance: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.perf <= 0:
+            raise ValueError("perf must be positive")
+        if self.p_static < 0 or self.p_dynamic < 0:
+            raise ValueError("power terms must be non-negative")
+
+
+#: The default platform's core types: fast/hungry vs. slow/frugal.  A big
+#: core running flat out sits at a steady-state temperature *above* the
+#: 85C critical threshold (40 + 14 * 3.6 = 90.4), so sustained maximum
+#: frequency is thermally unsustainable -- exactly the regime where
+#: design-time "just run at max" policies fail; at 0.75 it is safe.
+BIG = CoreType(name="big", perf=8.0, p_static=0.6, p_dynamic=3.0,
+               thermal_resistance=14.0)
+LITTLE = CoreType(name="little", perf=3.0, p_static=0.2, p_dynamic=0.8,
+                  thermal_resistance=6.0)
+
+#: Discrete DVFS levels available on every core.
+DVFS_LEVELS: Tuple[float, ...] = (0.5, 0.75, 1.0)
+
+
+class Core:
+    """One core: type, DVFS setting, current task, temperature."""
+
+    def __init__(self, core_id: int, core_type: CoreType,
+                 ambient: float = 40.0, thermal_alpha: float = 0.2,
+                 critical_temp: float = 85.0) -> None:
+        if not 0.0 < thermal_alpha <= 1.0:
+            raise ValueError("thermal_alpha must be in (0, 1]")
+        self.core_id = core_id
+        self.core_type = core_type
+        self.frequency = min(DVFS_LEVELS)
+        self.ambient = ambient
+        self.thermal_alpha = thermal_alpha
+        self.critical_temp = critical_temp
+        self.temperature = ambient
+        self.task: Optional[Task] = None
+        self.remaining_work = 0.0
+        self.throttled = False
+        self.throttle_events = 0
+        self.completed_tasks = 0
+        self.busy_steps = 0
+
+    @property
+    def idle(self) -> bool:
+        """Whether the core has no task assigned."""
+        return self.task is None
+
+    def set_frequency(self, frequency: float) -> None:
+        """Request a DVFS level (must be one of :data:`DVFS_LEVELS`)."""
+        if frequency not in DVFS_LEVELS:
+            raise ValueError(f"frequency {frequency} not in {DVFS_LEVELS}")
+        self.frequency = frequency
+
+    def assign(self, task: Task, speedup: float = 1.0) -> None:
+        """Start ``task`` on this core; ``speedup`` is the kind affinity."""
+        if self.task is not None:
+            raise RuntimeError(f"core {self.core_id} is busy")
+        if speedup <= 0:
+            raise ValueError("speedup must be positive")
+        self.task = task
+        self._affinity = speedup
+        self.remaining_work = task.work
+
+    def effective_frequency(self) -> float:
+        """The frequency actually applied, after thermal throttling."""
+        return min(DVFS_LEVELS) if self.throttled else self.frequency
+
+    def power(self) -> float:
+        """Power dissipated this step at the current state."""
+        freq = self.effective_frequency()
+        if self.task is not None:
+            return self.core_type.p_static + self.core_type.p_dynamic * freq ** 3
+        return self.core_type.p_static + 0.05 * self.core_type.p_dynamic
+
+    def step(self) -> Tuple[float, Optional[Task]]:
+        """Advance one step: execute, heat up, maybe throttle.
+
+        Returns ``(work_done, completed_task_or_None)``.
+        """
+        freq = self.effective_frequency()
+        work_done = 0.0
+        completed: Optional[Task] = None
+        if self.task is not None:
+            self.busy_steps += 1
+            rate = self.core_type.perf * freq * self._affinity
+            work_done = min(self.remaining_work, rate)
+            self.remaining_work -= work_done
+            if self.remaining_work <= 1e-9:
+                completed = self.task
+                self.task = None
+                self.completed_tasks += 1
+
+        # RC thermal model toward the power-dependent steady state.
+        power = self.power()
+        steady = self.ambient + self.core_type.thermal_resistance * power
+        self.temperature += self.thermal_alpha * (steady - self.temperature)
+
+        # Hardware thermal protection with hysteresis.
+        if self.temperature >= self.critical_temp and not self.throttled:
+            self.throttled = True
+            self.throttle_events += 1
+        elif self.throttled and self.temperature < self.critical_temp - 5.0:
+            self.throttled = False
+        return work_done, completed
+
+
+@dataclass
+class PlatformMetrics:
+    """Telemetry for one platform step."""
+
+    time: float
+    throughput: float
+    completed: int
+    queue_length: int
+    energy: float
+    max_temperature: float
+    throttled_cores: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Raw metric vector for goal evaluation."""
+        return {
+            "throughput": self.throughput,
+            "completed": float(self.completed),
+            "queue": float(self.queue_length),
+            "energy": self.energy,
+            "max_temp": self.max_temperature,
+            "throttled": float(self.throttled_cores),
+        }
+
+
+class Platform:
+    """The full platform: cores plus a shared ready queue.
+
+    Parameters
+    ----------
+    n_big, n_little:
+        Core counts per type.
+    affinity:
+        ``affinity[kind][type_name]`` multiplies execution rate; models
+        workload classes suiting particular core types.  Unknown kinds
+        default to 1.0 everywhere.
+    """
+
+    def __init__(self, n_big: int = 2, n_little: int = 4,
+                 affinity: Optional[Mapping[str, Mapping[str, float]]] = None,
+                 critical_temp: float = 85.0) -> None:
+        if n_big < 0 or n_little < 0 or n_big + n_little == 0:
+            raise ValueError("need at least one core")
+        self.cores: List[Core] = []
+        for i in range(n_big):
+            self.cores.append(Core(i, BIG, critical_temp=critical_temp))
+        for i in range(n_little):
+            self.cores.append(Core(n_big + i, LITTLE,
+                                   critical_temp=critical_temp))
+        self.affinity = {k: dict(v) for k, v in (affinity or {}).items()}
+        self.queue: List[Task] = []
+        self.total_energy = 0.0
+        self.total_completed = 0
+        #: Per-step execution trace:
+        #: (core_id, type_name, kind, work, freq, completed).
+        #: Self-aware governors read this to learn kind/core-type affinity
+        #: from observation instead of trusting a design-time table; the
+        #: ``completed`` flag marks partial-step executions whose work
+        #: understates the true rate.
+        self.last_execution: List[Tuple[int, str, str, float, float, bool]] = []
+
+    def speedup(self, kind: str, core_type: CoreType) -> float:
+        """Affinity multiplier of task ``kind`` on ``core_type``."""
+        return self.affinity.get(kind, {}).get(core_type.name, 1.0)
+
+    def submit(self, tasks: Sequence[Task]) -> None:
+        """Enqueue newly arrived tasks."""
+        self.queue.extend(tasks)
+
+    def idle_cores(self) -> List[Core]:
+        """Cores currently without a task."""
+        return [c for c in self.cores if c.idle]
+
+    def assign(self, core: Core, task: Task) -> None:
+        """Dispatch a queued task to an idle core."""
+        self.queue.remove(task)
+        core.assign(task, speedup=self.speedup(task.kind, core.core_type))
+
+    def step(self, time: float) -> PlatformMetrics:
+        """Execute one step on every core."""
+        throughput = 0.0
+        completed = 0
+        energy = 0.0
+        self.last_execution = []
+        for core in self.cores:
+            energy += core.power()
+            kind = core.task.kind if core.task is not None else None
+            freq = core.effective_frequency()
+            work, done = core.step()
+            throughput += work
+            if kind is not None and work > 0:
+                self.last_execution.append(
+                    (core.core_id, core.core_type.name, kind, work, freq,
+                     done is not None))
+            if done is not None:
+                completed += 1
+        self.total_energy += energy
+        self.total_completed += completed
+        return PlatformMetrics(
+            time=time, throughput=throughput, completed=completed,
+            queue_length=len(self.queue), energy=energy,
+            max_temperature=max(c.temperature for c in self.cores),
+            throttled_cores=sum(1 for c in self.cores if c.throttled))

@@ -1,0 +1,230 @@
+"""Transient-event detection: the fog node's second mission.
+
+Preden et al.'s fog/mist nodes do not only track levels -- they must
+*catch things that happen*: transient events that are only observable
+while they last.  A channel emits spikes (Poisson arrivals, finite
+duration); the node detects a spike only if it samples that channel at
+least once during the spike's window.  Attention now buys detection
+probability: a channel sampled every ``duration`` steps catches
+everything, one sampled rarely misses events entirely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.attention import AttentionPolicy
+from ..core.knowledge import KnowledgeBase
+from ..core.sensors import Sensor, SensorSuite
+from ..core.spans import public
+
+
+@dataclass(frozen=True)
+class SpikeChannelSpec:
+    """One event-bearing channel."""
+
+    name: str
+    spike_rate: float            # Poisson arrivals per step
+    spike_duration: int = 4      # steps a spike stays observable
+    importance: float = 1.0
+    sample_cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.spike_rate < 0:
+            raise ValueError("spike_rate must be non-negative")
+        if self.spike_duration < 1:
+            raise ValueError("spike_duration must be at least 1")
+        if self.importance <= 0:
+            raise ValueError("importance must be positive")
+        if self.sample_cost <= 0:
+            raise ValueError("sample_cost must be positive")
+
+
+def mixed_spike_specs(n_channels: int = 8,
+                      seed: int = 0) -> List[SpikeChannelSpec]:
+    """Heterogeneous channels: half quiet, a quarter busy, a quarter hot.
+
+    The hot band carries double importance -- where attention should go.
+    """
+    rng = np.random.default_rng(seed)
+    specs: List[SpikeChannelSpec] = []
+    for i in range(n_channels):
+        band = i % 4
+        if band in (0, 1):
+            rate, importance = 0.005, 1.0
+        elif band == 2:
+            rate, importance = 0.03, 1.0
+        else:
+            rate, importance = 0.08, 2.0
+        cost = float(rng.choice([0.5, 1.0, 1.5]))
+        specs.append(SpikeChannelSpec(name=f"ev{i}", spike_rate=rate,
+                                      importance=importance,
+                                      sample_cost=cost))
+    return specs
+
+
+@dataclass
+class _Spike:
+    start: float
+    end: float
+    detected: bool = False
+
+
+class SpikeField:
+    """The hidden event processes behind every channel."""
+
+    def __init__(self, specs: Sequence[SpikeChannelSpec],
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if not specs:
+            raise ValueError("need at least one channel")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("channel names must be unique")
+        self.specs: Dict[str, SpikeChannelSpec] = {s.name: s for s in specs}
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._spikes: Dict[str, List[_Spike]] = {s.name: [] for s in specs}
+        self._now = 0.0
+
+    def names(self) -> List[str]:
+        """Channel names, in spec order."""
+        return list(self.specs)
+
+    def step(self, now: float) -> None:
+        """Advance time; new spikes may begin."""
+        self._now = now
+        for name, spec in self.specs.items():
+            count = int(self._rng.poisson(spec.spike_rate))
+            for _ in range(count):
+                self._spikes[name].append(
+                    _Spike(start=now, end=now + spec.spike_duration))
+
+    def signal(self, name: str) -> float:
+        """What a sensor reads right now: 1 during a spike, else 0."""
+        return 1.0 if any(s.start <= self._now < s.end
+                          for s in self._spikes[name]) else 0.0
+
+    def mark_sampled(self, name: str) -> None:
+        """Record that the node sampled ``name`` now (detection check)."""
+        for spike in self._spikes[name]:
+            if spike.start <= self._now < spike.end:
+                spike.detected = True
+
+    def detection_stats(self) -> Dict[str, float]:
+        """Importance-weighted detection rate plus raw counts.
+
+        Only spikes whose window has closed are scored (open ones could
+        still be caught).
+        """
+        weighted_total = weighted_hit = 0.0
+        total = hits = 0
+        for name, spikes in self._spikes.items():
+            importance = self.specs[name].importance
+            for spike in spikes:
+                if spike.end > self._now:
+                    continue
+                total += 1
+                weighted_total += importance
+                if spike.detected:
+                    hits += 1
+                    weighted_hit += importance
+        return {
+            "events": float(total),
+            "detected": float(hits),
+            "detection_rate": hits / total if total else math.nan,
+            "weighted_detection_rate":
+                weighted_hit / weighted_total if weighted_total else math.nan,
+        }
+
+
+class DeadlineAttention(AttentionPolicy):
+    """Attention for transient events: catch spikes before they close.
+
+    The tracking salience (volatility x sqrt(staleness)) is mismatched to
+    event detection: a spike older than its observability window is
+    *gone*, so the value of re-sampling saturates at the window length
+    instead of growing forever.  This policy scores each channel as::
+
+        importance * learned_event_rate * min(staleness, window) / cost
+
+    where the event rate is learned online (EWMA of positive readings --
+    private self-knowledge, not configuration) and the observability
+    ``window`` per scope is mission knowledge the deployer supplies.
+
+    Parameters
+    ----------
+    windows:
+        Scope -> observability window (steps a spike stays visible).
+    importance:
+        Scope -> weight (defaults to 1).
+    rate_alpha:
+        EWMA factor of the learned event rate.
+    novelty_rate:
+        Assumed event rate for never-sampled scopes.
+    """
+
+    def __init__(self, windows, importance=None, rate_alpha: float = 0.02,
+                 novelty_rate: float = 0.05) -> None:
+        if not 0.0 < rate_alpha <= 1.0:
+            raise ValueError("rate_alpha must be in (0, 1]")
+        self.windows = dict(windows)
+        self.importance = dict(importance or {})
+        self.rate_alpha = rate_alpha
+        self.novelty_rate = novelty_rate
+        self._rates: Dict = {}
+
+    def observe(self, scope, positive: bool) -> None:
+        """Feed one sample's outcome to the rate estimator."""
+        old = self._rates.get(scope, self.novelty_rate)
+        self._rates[scope] = old + self.rate_alpha * (float(positive) - old)
+
+    def select(self, suite: SensorSuite, kb: KnowledgeBase, now: float,
+               budget: float):
+        from ..core.attention import _fit_budget
+        scopes = suite.scopes()
+
+        def value_density(scope):
+            window = self.windows.get(scope, 1.0)
+            stale = kb.staleness(scope, now)
+            stale = window if math.isinf(stale) else min(stale, window)
+            rate = self._rates.get(scope, self.novelty_rate)
+            weight = self.importance.get(scope, 1.0)
+            cost = suite.sensor(scope).cost
+            value = weight * rate * stale / max(window, 1e-9)
+            return value / cost if cost > 0 else math.inf
+
+        ordered = sorted(scopes, key=value_density, reverse=True)
+        return _fit_budget(ordered, suite, budget)
+
+
+def run_detection(field: SpikeField, attention: AttentionPolicy,
+                  budget: float, steps: int = 1500,
+                  rng: Optional[np.random.Generator] = None) -> Dict[str, float]:
+    """Drive one node's attention over the spike field; return stats."""
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    rng = rng if rng is not None else np.random.default_rng()
+    knowledge = KnowledgeBase()
+    suite = SensorSuite()
+    for name, spec in field.specs.items():
+        suite.add(Sensor(scope=public(name),
+                         read_fn=lambda n=name: field.signal(n),
+                         noise_std=0.02, cost=spec.sample_cost,
+                         rng=np.random.default_rng(rng.integers(2 ** 31))))
+    from ..core.attention import SalienceAttention
+    if isinstance(attention, SalienceAttention):
+        for name, spec in field.specs.items():
+            attention.set_relevance(public(name), spec.importance)
+    for t in range(steps):
+        field.step(float(t))
+        scopes = attention.select(suite, knowledge, float(t), budget)
+        readings = suite.sample_into(knowledge, float(t), scopes)
+        for reading in readings:
+            if reading.is_valid():
+                field.mark_sampled(reading.scope.name)
+                if isinstance(attention, DeadlineAttention):
+                    attention.observe(reading.scope, reading.value >= 0.5)
+    return field.detection_stats()

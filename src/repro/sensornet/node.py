@@ -1,0 +1,112 @@
+"""The energy-budgeted sensing node, built from the core framework.
+
+This substrate deliberately *reuses* the framework pieces: a
+:class:`~repro.core.sensors.SensorSuite` over the hidden field, a
+:class:`~repro.core.knowledge.KnowledgeBase` holding beliefs, and any
+:class:`~repro.core.attention.AttentionPolicy` deciding where the
+per-step energy budget goes.  Experiment E7 sweeps the budget and the
+policy; the salience policy is the paper's "self-awareness directs
+attention" claim in executable form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.attention import AttentionPolicy, SalienceAttention
+from ..core.knowledge import KnowledgeBase
+from ..core.sensors import Sensor, SensorSuite
+from ..core.spans import Scope, public
+from .field import ChannelField
+
+
+@dataclass
+class SensingStepRecord:
+    """Telemetry for one sensing step."""
+
+    time: float
+    error: float
+    energy_spent: float
+    channels_sampled: int
+
+
+@dataclass
+class SensingRunResult:
+    """Outcome of one sensing run."""
+
+    records: List[SensingStepRecord]
+
+    def mean_error(self, skip: int = 0) -> float:
+        """Mean weighted tracking error (after ``skip`` warm-up steps)."""
+        steps = self.records[skip:]
+        if not steps:
+            return math.nan
+        return sum(r.error for r in steps) / len(steps)
+
+    def mean_energy(self) -> float:
+        """Mean energy spent per step."""
+        if not self.records:
+            return math.nan
+        return sum(r.energy_spent for r in self.records) / len(self.records)
+
+
+class SensingNode:
+    """One constrained node attending to a :class:`ChannelField`."""
+
+    def __init__(self, field: ChannelField, attention: AttentionPolicy,
+                 budget: float,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        self.field = field
+        self.attention = attention
+        self.budget = budget
+        self.knowledge = KnowledgeBase()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.suite = SensorSuite()
+        for name, spec in field.specs.items():
+            self.suite.add(Sensor(
+                scope=public(name),
+                read_fn=lambda n=name: field.truth(n),
+                noise_std=spec.noise_std,
+                cost=spec.sample_cost,
+                rng=np.random.default_rng(rng.integers(2 ** 31))))
+        # Salience policies can weight channels by their goal importance.
+        if isinstance(attention, SalienceAttention):
+            for name, spec in field.specs.items():
+                attention.set_relevance(public(name), spec.importance)
+        self.total_energy = 0.0
+
+    def beliefs(self) -> Dict[str, float]:
+        """Current believed value per channel (absent channels omitted)."""
+        out: Dict[str, float] = {}
+        for name in self.field.names():
+            value = self.knowledge.value(public(name))
+            if not math.isnan(value):
+                out[name] = value
+        return out
+
+    def step(self, t: float) -> SensingStepRecord:
+        """Advance the field, attend within budget, score the beliefs."""
+        self.field.step()
+        scopes = self.attention.select(self.suite, self.knowledge, t,
+                                       self.budget)
+        readings = self.suite.sample_into(self.knowledge, t, scopes)
+        spent = sum(self.suite.sensor(r.scope).cost for r in readings)
+        self.total_energy += spent
+        error = self.field.weighted_error(self.beliefs())
+        return SensingStepRecord(time=t, error=error, energy_spent=spent,
+                                 channels_sampled=len(readings))
+
+
+def run_sensing(field: ChannelField, attention: AttentionPolicy,
+                budget: float, steps: int = 500,
+                rng: Optional[np.random.Generator] = None) -> SensingRunResult:
+    """Drive one node for ``steps`` and return its telemetry."""
+    node = SensingNode(field, attention, budget, rng=rng)
+    records = [node.step(float(t)) for t in range(steps)]
+    return SensingRunResult(records=records)

@@ -1,0 +1,88 @@
+"""The handover market: auction-based object trading between cameras.
+
+Following the published smart-camera handover mechanism, ownership of a
+tracked object is traded in single-item auctions: the current owner
+advertises the object; cameras that can see it bid their visibility; the
+best bidder wins and pays a (second-price, Vickrey) amount.  Payments are
+virtual currency -- they matter for per-camera accounting, not for the
+network-level utility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Bid:
+    """One camera's bid for an advertised object."""
+
+    cam_id: int
+    amount: float
+
+    def __post_init__(self) -> None:
+        if self.amount < 0:
+            raise ValueError("bid amount must be non-negative")
+
+
+@dataclass(frozen=True)
+class AuctionOutcome:
+    """Result of a single handover auction."""
+
+    object_id: int
+    seller: int
+    winner: Optional[int]
+    price: float
+    n_bids: int
+
+    @property
+    def sold(self) -> bool:
+        """Whether ownership changed hands."""
+        return self.winner is not None and self.winner != self.seller
+
+
+class HandoverMarket:
+    """Runs Vickrey auctions and keeps trading statistics.
+
+    ``reserve`` is the minimum bid the seller accepts -- typically its own
+    current visibility of the object, so trades only happen when someone
+    can genuinely track better.
+    """
+
+    def __init__(self) -> None:
+        self.auctions_run = 0
+        self.trades = 0
+        self.volume = 0.0
+
+    def run_auction(self, object_id: int, seller: int, bids: Sequence[Bid],
+                    reserve: float = 0.0) -> AuctionOutcome:
+        """Second-price auction among ``bids`` with a seller ``reserve``.
+
+        The winner pays the larger of the reserve and the second-highest
+        bid.  Bids below the reserve are discarded.  Ties break toward the
+        lowest camera id (determinism for experiments).
+        """
+        if reserve < 0:
+            raise ValueError("reserve must be non-negative")
+        self.auctions_run += 1
+        valid = sorted((b for b in bids if b.amount >= reserve and b.cam_id != seller),
+                       key=lambda b: (-b.amount, b.cam_id))
+        if not valid:
+            return AuctionOutcome(object_id=object_id, seller=seller,
+                                  winner=None, price=0.0, n_bids=len(bids))
+        winner = valid[0]
+        second = valid[1].amount if len(valid) > 1 else reserve
+        price = max(second, reserve)
+        self.trades += 1
+        self.volume += price
+        return AuctionOutcome(object_id=object_id, seller=seller,
+                              winner=winner.cam_id, price=price,
+                              n_bids=len(bids))
+
+    @property
+    def trade_rate(self) -> float:
+        """Fraction of auctions that resulted in a handover."""
+        if self.auctions_run == 0:
+            return 0.0
+        return self.trades / self.auctions_run

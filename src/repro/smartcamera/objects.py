@@ -1,0 +1,108 @@
+"""Mobile objects tracked by the smart-camera network.
+
+Objects follow random-waypoint mobility in the unit square: pick a target,
+move toward it at constant speed, pick a new target on arrival.  This is
+the standard mobility model of the published smart-camera studies the
+paper draws on (refs [11], [13], [48]).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+class MovingObject:
+    """One trackable object with random-waypoint mobility."""
+
+    def __init__(self, object_id: int, x: float, y: float, speed: float = 0.01,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self.object_id = object_id
+        self.x = float(x)
+        self.y = float(y)
+        self.speed = speed
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._target = self._pick_target()
+
+    def _pick_target(self) -> Tuple[float, float]:
+        return (float(self._rng.uniform(0, 1)), float(self._rng.uniform(0, 1)))
+
+    @property
+    def position(self) -> Tuple[float, float]:
+        """Current (x, y) position."""
+        return (self.x, self.y)
+
+    def step(self, dt: float = 1.0) -> None:
+        """Advance toward the current waypoint; re-target on arrival."""
+        tx, ty = self._target
+        dx, dy = tx - self.x, ty - self.y
+        dist = math.hypot(dx, dy)
+        travel = self.speed * dt
+        if dist <= travel:
+            self.x, self.y = tx, ty
+            self._target = self._pick_target()
+            return
+        self.x += dx / dist * travel
+        self.y += dy / dist * travel
+
+
+class ObjectPopulation:
+    """The set of objects in the scene, with optional churn.
+
+    ``churn_rate`` is the per-step probability that one random object is
+    replaced by a fresh one somewhere else -- modelling objects leaving
+    and entering the scene (ongoing change, paper Section II).
+    """
+
+    def __init__(self, n_objects: int, speed: float = 0.01,
+                 churn_rate: float = 0.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if n_objects <= 0:
+            raise ValueError("n_objects must be positive")
+        if not 0.0 <= churn_rate <= 1.0:
+            raise ValueError("churn_rate must be in [0, 1]")
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.churn_rate = churn_rate
+        self.speed = speed
+        self._next_id = 0
+        self.objects: List[MovingObject] = [
+            self._spawn() for _ in range(n_objects)]
+        self.replacements = 0
+
+    def _spawn(self) -> MovingObject:
+        obj = MovingObject(
+            object_id=self._next_id,
+            x=float(self._rng.uniform(0, 1)), y=float(self._rng.uniform(0, 1)),
+            speed=self.speed, rng=self._rng)
+        self._next_id += 1
+        return obj
+
+    def step(self, dt: float = 1.0) -> List[int]:
+        """Move every object; returns ids of objects replaced by churn."""
+        for obj in self.objects:
+            obj.step(dt)
+        replaced: List[int] = []
+        if self.churn_rate > 0 and self._rng.random() < self.churn_rate:
+            victim = int(self._rng.integers(len(self.objects)))
+            replaced.append(self.objects[victim].object_id)
+            self.objects[victim] = self._spawn()
+            self.replacements += 1
+        return replaced
+
+    def by_id(self, object_id: int) -> Optional[MovingObject]:
+        """The object with ``object_id``, or ``None`` when churned away."""
+        for obj in self.objects:
+            if obj.object_id == object_id:
+                return obj
+        return None
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __iter__(self):
+        return iter(self.objects)

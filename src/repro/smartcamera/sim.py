@@ -1,0 +1,287 @@
+"""The smart-camera network simulation.
+
+Time-stepped loop binding geometry, mobility, the handover market and the
+per-camera controllers.  Each step:
+
+1. objects move (and may churn);
+2. every owned object earns its owner tracking utility equal to the
+   owner's current visibility of it; unowned objects earn nothing
+   (tracking is lost);
+3. each camera picks a sociality strategy from its controller and, per
+   owned object, may run a handover auction: advertisements and bids are
+   counted as messages, the market clears second-price, ownership moves;
+4. unowned objects seen by some camera are (re)claimed by the best
+   observer;
+5. each camera receives its local reward (utility earned minus the
+   communication it spent, weighted) as learning feedback.
+
+The network-level figure of merit is the same trade-off evaluated
+globally -- exactly the multi-objective run-time trade-off of the paper's
+hypothesis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .controller import (CameraController, FixedStrategyController,
+                         SelfAwareStrategyController, strategy_entropy)
+from .market import Bid, HandoverMarket
+from .network import CameraNetwork
+from .objects import ObjectPopulation
+from .strategies import Strategy, advertisement_targets, should_auction
+
+
+@dataclass
+class CameraSimConfig:
+    """Parameters of one smart-camera run."""
+
+    rows: int = 3
+    cols: int = 3
+    radius: float = 0.28
+    n_objects: int = 8
+    object_speed: float = 0.02
+    churn_rate: float = 0.02
+    steps: int = 500
+    comm_cost_weight: float = 0.01
+    auction_threshold: float = 0.3
+    detection_rate: float = 0.15
+    random_placement: bool = False
+    seed: int = 0
+    #: Optional run-time changes to the communication price: a list of
+    #: ``(time, weight)`` breakpoints.  Models stakeholders re-pricing the
+    #: bandwidth/utility trade-off after deployment; when ``None`` the
+    #: constant ``comm_cost_weight`` applies throughout.
+    comm_weight_breaks: Optional[List[tuple]] = None
+
+    def comm_weight_at(self, t: float) -> float:
+        """The communication-cost weight in force at time ``t``."""
+        if not self.comm_weight_breaks:
+            return self.comm_cost_weight
+        weight = self.comm_cost_weight
+        for start, value in sorted(self.comm_weight_breaks):
+            if t >= start:
+                weight = value
+        return weight
+
+
+@dataclass
+class CameraStepRecord:
+    """Network-level telemetry for one step."""
+
+    time: float
+    tracking_utility: float
+    messages: int
+    handovers: int
+    owned_objects: int
+    lost_objects: int
+    comm_weight: float = 0.01
+
+
+@dataclass
+class CameraSimResult:
+    """Outcome of a full run."""
+
+    records: List[CameraStepRecord]
+    controllers: List[CameraController]
+    market: HandoverMarket
+    comm_cost_weight: float
+
+    def mean_tracking_utility(self) -> float:
+        """Average per-step summed visibility of owned objects."""
+        if not self.records:
+            return math.nan
+        return sum(r.tracking_utility for r in self.records) / len(self.records)
+
+    def mean_messages(self) -> float:
+        """Average messages per step."""
+        if not self.records:
+            return math.nan
+        return sum(r.messages for r in self.records) / len(self.records)
+
+    def efficiency(self) -> float:
+        """Network trade-off score: utility minus weighted communication.
+
+        Uses the communication price in force at each step, so runs with
+        run-time re-pricing are scored against the price that actually
+        applied.
+        """
+        if not self.records:
+            return math.nan
+        scores = [r.tracking_utility - r.comm_weight * r.messages
+                  for r in self.records]
+        return sum(scores) / len(scores)
+
+    def efficiency_between(self, t0: float, t1: float) -> float:
+        """Mean efficiency over steps with ``t0 <= time < t1``."""
+        scores = [r.tracking_utility - r.comm_weight * r.messages
+                  for r in self.records if t0 <= r.time < t1]
+        if not scores:
+            return math.nan
+        return sum(scores) / len(scores)
+
+    def diversity_bits(self) -> float:
+        """Entropy of strategy usage across cameras (see controller module)."""
+        return strategy_entropy(self.controllers)
+
+    def lost_fraction(self) -> float:
+        """Mean fraction of objects untracked per step."""
+        if not self.records:
+            return math.nan
+        fractions = [r.lost_objects / max(1, r.lost_objects + r.owned_objects)
+                     for r in self.records]
+        return sum(fractions) / len(fractions)
+
+
+class CameraSimulation:
+    """One configured run of the camera network."""
+
+    def __init__(
+        self,
+        config: CameraSimConfig,
+        controller_factory: Callable[[int, np.random.Generator], CameraController],
+    ) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        if config.random_placement:
+            self.network = CameraNetwork.random(
+                config.rows * config.cols, radius=config.radius,
+                seed=config.seed)
+        else:
+            self.network = CameraNetwork.grid(config.rows, config.cols,
+                                              radius=config.radius)
+        self.population = ObjectPopulation(
+            n_objects=config.n_objects, speed=config.object_speed,
+            churn_rate=config.churn_rate, rng=self._rng)
+        self.market = HandoverMarket()
+        self.controllers: Dict[int, CameraController] = {
+            cid: controller_factory(cid, np.random.default_rng(
+                self._rng.integers(2 ** 31)))
+            for cid in self.network.ids()}
+        self.ownership: Dict[int, int] = {}  # object_id -> cam_id
+        self.records: List[CameraStepRecord] = []
+
+    def _claim_unowned(self) -> None:
+        """Unowned objects are re-detected only slowly.
+
+        Without a handover (which transfers the track directly), a lost
+        object must be re-acquired from scratch: per step, the best
+        observer re-detects it only with probability ``detection_rate``.
+        This is the cost of losing a track that makes handover -- and the
+        choice of sociality strategy -- consequential, mirroring the
+        published model where lost objects forfeit tracking utility.
+        """
+        for obj in self.population:
+            if obj.object_id in self.ownership:
+                continue
+            if self._rng.random() >= self.config.detection_rate:
+                continue
+            best = self.network.best_observer(obj)
+            if best is not None:
+                self.ownership[obj.object_id] = best
+
+    def step(self, t: float) -> CameraStepRecord:
+        """Run one simulation step; returns the step record."""
+        churned = self.population.step()
+        for object_id in churned:
+            self.ownership.pop(object_id, None)
+
+        # Drop ownership of objects the owner can no longer see at all.
+        for obj in self.population:
+            owner = self.ownership.get(obj.object_id)
+            if owner is not None and not self.network.cameras[owner].sees(obj):
+                del self.ownership[obj.object_id]
+
+        self._claim_unowned()
+
+        # Tracking utility accrues to current owners.
+        utility_by_camera: Dict[int, float] = {cid: 0.0 for cid in self.network.ids()}
+        messages_by_camera: Dict[int, int] = {cid: 0 for cid in self.network.ids()}
+        total_utility = 0.0
+        for obj in self.population:
+            owner = self.ownership.get(obj.object_id)
+            if owner is None:
+                continue
+            vis = self.network.cameras[owner].visibility(obj)
+            utility_by_camera[owner] += vis
+            total_utility += vis
+
+        # Strategy choice and handover auctions.
+        strategies: Dict[int, Strategy] = {}
+        for cid, controller in self.controllers.items():
+            strategy = controller.choose(t)
+            strategies[cid] = strategy
+            controller.record_usage(strategy)
+
+        handovers = 0
+        for obj in list(self.population):
+            owner = self.ownership.get(obj.object_id)
+            if owner is None:
+                continue
+            strategy = strategies[owner]
+            own_vis = self.network.cameras[owner].visibility(obj)
+            if not should_auction(strategy, own_vis,
+                                  self.config.auction_threshold):
+                continue
+            targets = advertisement_targets(strategy, owner, self.network)
+            messages_by_camera[owner] += len(targets)
+            bids = []
+            for cid in targets:
+                bid_vis = self.network.cameras[cid].visibility(obj)
+                if bid_vis > 0.0:
+                    messages_by_camera[cid] += 1  # the bid reply
+                    bids.append(Bid(cam_id=cid, amount=bid_vis))
+            outcome = self.market.run_auction(
+                obj.object_id, seller=owner, bids=bids, reserve=own_vis)
+            if outcome.sold:
+                self.ownership[obj.object_id] = outcome.winner
+                handovers += 1
+
+        # Local reward feedback: own utility minus own communication cost,
+        # at the price currently in force (goal-awareness of re-pricing).
+        comm_weight = self.config.comm_weight_at(t)
+        for cid, controller in self.controllers.items():
+            reward = (utility_by_camera[cid]
+                      - comm_weight * messages_by_camera[cid])
+            controller.feedback(reward)
+
+        owned = len(self.ownership)
+        record = CameraStepRecord(
+            time=t, tracking_utility=total_utility,
+            messages=sum(messages_by_camera.values()), handovers=handovers,
+            owned_objects=owned,
+            lost_objects=len(self.population) - owned,
+            comm_weight=comm_weight)
+        self.records.append(record)
+        return record
+
+    def run(self) -> CameraSimResult:
+        """Run the configured number of steps and return the result."""
+        for t in range(self.config.steps):
+            self.step(float(t))
+        return CameraSimResult(records=self.records,
+                               controllers=list(self.controllers.values()),
+                               market=self.market,
+                               comm_cost_weight=self.config.comm_cost_weight)
+
+
+def run_homogeneous(config: CameraSimConfig, strategy: Strategy) -> CameraSimResult:
+    """Run with every camera fixed to one design-time strategy."""
+    return CameraSimulation(
+        config,
+        controller_factory=lambda cid, rng: FixedStrategyController(cid, strategy),
+    ).run()
+
+
+def run_self_aware(config: CameraSimConfig, epsilon: float = 0.1,
+                   discount: float = 0.995) -> CameraSimResult:
+    """Run with every camera learning its own strategy (heterogeneous)."""
+    return CameraSimulation(
+        config,
+        controller_factory=lambda cid, rng: SelfAwareStrategyController(
+            cid, epsilon=epsilon, discount=discount, rng=rng),
+    ).run()

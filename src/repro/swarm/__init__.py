@@ -1,0 +1,22 @@
+"""Collective-robotics swarm substrate (paper ref [34]).
+
+A swarm keeps an arena covered so that events are witnessed; hotspots
+shift and robots die mid-mission.  The self-aware controller recognises
+these situations from local knowledge (witnessed events, gossiped
+beliefs, silent peers) and intentionally re-forms the swarm's structure;
+baselines hold a design-time formation or patrol at random.
+Experiment E12.
+"""
+
+from .arena import Arena, Event, Hotspot
+from .robots import (RandomPatrol, Robot, SelfAwareSwarm, StaticFormation,
+                     SwarmController, make_swarm)
+from .sim import (SwarmMissionConfig, SwarmRunResult, SwarmStepRecord,
+                  run_mission)
+
+__all__ = [
+    "Arena", "Event", "Hotspot",
+    "RandomPatrol", "Robot", "SelfAwareSwarm", "StaticFormation",
+    "SwarmController", "make_swarm",
+    "SwarmMissionConfig", "SwarmRunResult", "SwarmStepRecord", "run_mission",
+]

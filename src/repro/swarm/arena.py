@@ -1,0 +1,111 @@
+"""The swarm's arena: a unit square producing events to be witnessed.
+
+Models the collective-robotics setting of paper ref [34]: a swarm must
+keep the arena covered so that events (intrusions, detections, tasks)
+are witnessed by some robot.  Events cluster around *hotspots* whose
+locations shift during the mission -- the "situation requiring
+self-adaptive action" the self-aware swarm is supposed to recognise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Event:
+    """One point event; witnessed if a robot is within sensing range."""
+
+    time: float
+    x: float
+    y: float
+
+
+@dataclass
+class Hotspot:
+    """A cluster centre for event generation."""
+
+    x: float
+    y: float
+    spread: float = 0.08
+
+    def sample(self, rng: np.random.Generator) -> Tuple[float, float]:
+        """One event location around this hotspot, clipped to the arena."""
+        ex = float(np.clip(self.x + rng.normal(0.0, self.spread), 0.0, 1.0))
+        ey = float(np.clip(self.y + rng.normal(0.0, self.spread), 0.0, 1.0))
+        return ex, ey
+
+
+class Arena:
+    """Event generator over the unit square.
+
+    Parameters
+    ----------
+    hotspots:
+        Current cluster centres.
+    hotspot_fraction:
+        Probability an event comes from a hotspot (rest uniform).
+    events_per_step:
+        Poisson mean of events per step.
+    shift_times:
+        Times at which every hotspot jumps to a fresh random location --
+        the mission-level change the swarm must adapt its structure to.
+    """
+
+    def __init__(self, hotspots: Sequence[Hotspot],
+                 hotspot_fraction: float = 0.7,
+                 events_per_step: float = 3.0,
+                 shift_times: Sequence[float] = (),
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if not 0.0 <= hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must be in [0, 1]")
+        if events_per_step <= 0:
+            raise ValueError("events_per_step must be positive")
+        self.hotspots: List[Hotspot] = list(hotspots)
+        self.hotspot_fraction = hotspot_fraction
+        self.events_per_step = events_per_step
+        self.shift_times = sorted(shift_times)
+        self._shifted = 0
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.shifts_applied: List[float] = []
+
+    @classmethod
+    def with_random_hotspots(cls, n_hotspots: int = 2, seed: int = 0,
+                             **kwargs) -> "Arena":
+        """Arena with uniformly placed hotspots."""
+        rng = np.random.default_rng(seed)
+        hotspots = [Hotspot(x=float(rng.uniform(0.15, 0.85)),
+                            y=float(rng.uniform(0.15, 0.85)))
+                    for _ in range(n_hotspots)]
+        return cls(hotspots, rng=rng, **kwargs)
+
+    def _maybe_shift(self, now: float) -> None:
+        while (self._shifted < len(self.shift_times)
+               and now >= self.shift_times[self._shifted]):
+            for hotspot in self.hotspots:
+                hotspot.x = float(self._rng.uniform(0.15, 0.85))
+                hotspot.y = float(self._rng.uniform(0.15, 0.85))
+            self.shifts_applied.append(self.shift_times[self._shifted])
+            self._shifted += 1
+
+    def step(self, now: float) -> List[Event]:
+        """Generate this step's events (after applying due hotspot shifts)."""
+        self._maybe_shift(now)
+        count = int(self._rng.poisson(self.events_per_step))
+        events: List[Event] = []
+        for _ in range(count):
+            use_hotspot = (self.hotspots
+                           and self._rng.random() < self.hotspot_fraction)
+            if use_hotspot:
+                hotspot = self.hotspots[
+                    int(self._rng.integers(len(self.hotspots)))]
+                x, y = hotspot.sample(self._rng)
+            else:
+                x, y = (float(self._rng.uniform(0, 1)),
+                        float(self._rng.uniform(0, 1)))
+            events.append(Event(time=now, x=x, y=y))
+        return events

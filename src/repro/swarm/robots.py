@@ -1,0 +1,235 @@
+"""Robots and swarm structure controllers.
+
+Paper ref [34] (Zambonelli et al.): self-awareness in ensembles should
+recognise, during operation, situations that require self-adaptive
+actions -- in particular *intentionally modifying the structure of the
+swarm*.  Three structure controllers:
+
+- :class:`StaticFormation` -- design-time posts on a grid; robots hold
+  them no matter what happens (including the deaths of their peers);
+- :class:`RandomPatrol` -- structureless random walking (the floor);
+- :class:`SelfAwareSwarm` -- each robot learns where events actually
+  occur (an EWMA centroid of its own witnessed events), shares it with
+  neighbours (interaction awareness), and moves under an
+  attraction/repulsion law: toward where events are, away from where
+  peers already are.  Nothing is centralised; peer death is *noticed*
+  (missed heartbeats) and the survivors' repulsion equilibrium re-forms
+  the structure around the hole.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .arena import Event
+
+
+@dataclass
+class Robot:
+    """One swarm member."""
+
+    robot_id: int
+    x: float
+    y: float
+    speed: float = 0.03
+    sensing_radius: float = 0.14
+    alive: bool = True
+
+    def distance_to(self, x: float, y: float) -> float:
+        """Euclidean distance from the robot to a point."""
+        return math.hypot(self.x - x, self.y - y)
+
+    def witnesses(self, event: Event) -> bool:
+        """Whether the robot (if alive) senses the event."""
+        return self.alive and self.distance_to(event.x, event.y) <= \
+            self.sensing_radius
+
+    def move_toward(self, tx: float, ty: float) -> None:
+        """Move up to ``speed`` toward the target, staying in the arena."""
+        if not self.alive:
+            return
+        dx, dy = tx - self.x, ty - self.y
+        dist = math.hypot(dx, dy)
+        if dist > self.speed:
+            dx, dy = dx / dist * self.speed, dy / dist * self.speed
+        self.x = float(np.clip(self.x + dx, 0.0, 1.0))
+        self.y = float(np.clip(self.y + dy, 0.0, 1.0))
+
+
+def make_swarm(n_robots: int, speed: float = 0.03,
+               sensing_radius: float = 0.14,
+               seed: int = 0) -> List[Robot]:
+    """Robots initially scattered uniformly."""
+    rng = np.random.default_rng(seed)
+    return [Robot(robot_id=i, x=float(rng.uniform(0, 1)),
+                  y=float(rng.uniform(0, 1)), speed=speed,
+                  sensing_radius=sensing_radius)
+            for i in range(n_robots)]
+
+
+class SwarmController(ABC):
+    """Decides each robot's movement target every step."""
+
+    @abstractmethod
+    def step(self, now: float, robots: Sequence[Robot],
+             witnessed: Sequence[Tuple[int, Event]]) -> None:
+        """Move the (alive) robots; ``witnessed`` = (robot_id, event) pairs."""
+
+
+class StaticFormation(SwarmController):
+    """Design-time structure: hold grid posts forever.
+
+    The posts are computed once for the *initial* swarm size; when
+    robots die their posts simply go unmanned, and nobody reacts to
+    where events actually occur.
+    """
+
+    def __init__(self, n_robots: int) -> None:
+        cols = int(math.ceil(math.sqrt(n_robots)))
+        rows = int(math.ceil(n_robots / cols))
+        self.posts: Dict[int, Tuple[float, float]] = {}
+        for i in range(n_robots):
+            r, c = divmod(i, cols)
+            self.posts[i] = ((c + 0.5) / cols, (r + 0.5) / rows)
+
+    def step(self, now: float, robots: Sequence[Robot],
+             witnessed: Sequence[Tuple[int, Event]]) -> None:
+        for robot in robots:
+            post = self.posts.get(robot.robot_id)
+            if post is not None:
+                robot.move_toward(*post)
+
+
+class RandomPatrol(SwarmController):
+    """Structureless floor: every robot random-walks."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._targets: Dict[int, Tuple[float, float]] = {}
+
+    def step(self, now: float, robots: Sequence[Robot],
+             witnessed: Sequence[Tuple[int, Event]]) -> None:
+        for robot in robots:
+            if not robot.alive:
+                continue
+            target = self._targets.get(robot.robot_id)
+            if target is None or robot.distance_to(*target) < robot.speed:
+                target = (float(self._rng.uniform(0, 1)),
+                          float(self._rng.uniform(0, 1)))
+                self._targets[robot.robot_id] = target
+            robot.move_toward(*target)
+
+
+class SelfAwareSwarm(SwarmController):
+    """Decentralised adaptive structure from local awareness.
+
+    Per robot:
+
+    - **event memory**: positions of events the robot witnessed, plus
+      events heard from communication-range neighbours (gossip) -- a
+      sliding window, so shifted hotspots age out;
+    - **event attribution**: of the remembered events, a robot pursues
+      only those it is *nearest live robot* to (a decentralised Lloyd /
+      Voronoi split, preventing the whole swarm from piling onto one
+      hotspot);
+    - **patrol fallback**: a robot whose memory attributes it nothing
+      random-walks -- exploration both keeps the uniform background
+      covered and rediscovers regions a dead peer used to watch;
+    - **separation**: only short-range (inside roughly one sensing
+      diameter) and only from *live* peers, so dead robots stop
+      reserving space and the survivors flow into the hole.
+
+    Parameters
+    ----------
+    comm_radius:
+        Gossip range for sharing witnessed events.
+    memory:
+        Steps an event is remembered (staleness bound on the structure).
+    min_separation:
+        Distance below which live peers push apart.
+    """
+
+    def __init__(self, comm_radius: float = 0.35, memory: int = 120,
+                 min_separation: float = 0.2,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if memory < 1:
+            raise ValueError("memory must be at least 1")
+        self.comm_radius = comm_radius
+        self.memory = memory
+        self.min_separation = min_separation
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._events: Dict[int, List[Event]] = {}
+        self._patrol: Dict[int, Tuple[float, float]] = {}
+
+    def known_events(self, robot_id: int) -> List[Event]:
+        """The robot's current (pruned) event memory."""
+        return list(self._events.get(robot_id, []))
+
+    def _share(self, robots: Sequence[Robot],
+               witnessed: Sequence[Tuple[int, Event]]) -> None:
+        by_robot = {r.robot_id: r for r in robots}
+        for robot_id, event in witnessed:
+            witness = by_robot[robot_id]
+            self._events.setdefault(robot_id, []).append(event)
+            for peer in robots:
+                if (peer.alive and peer.robot_id != robot_id
+                        and witness.distance_to(peer.x, peer.y)
+                        <= self.comm_radius):
+                    self._events.setdefault(peer.robot_id, []).append(event)
+
+    def _prune(self, now: float) -> None:
+        cutoff = now - self.memory
+        for robot_id, events in self._events.items():
+            self._events[robot_id] = [e for e in events if e.time >= cutoff]
+
+    def _attributed(self, robot: Robot,
+                    alive: Sequence[Robot]) -> List[Event]:
+        """Remembered events for which this robot is the nearest live one."""
+        mine = []
+        for event in self._events.get(robot.robot_id, []):
+            d_self = robot.distance_to(event.x, event.y)
+            closer = any(
+                peer.robot_id != robot.robot_id
+                and peer.distance_to(event.x, event.y) < d_self
+                for peer in alive)
+            if not closer:
+                mine.append(event)
+        return mine
+
+    def step(self, now: float, robots: Sequence[Robot],
+             witnessed: Sequence[Tuple[int, Event]]) -> None:
+        self._share(robots, witnessed)
+        self._prune(now)
+        alive = [r for r in robots if r.alive]
+        for robot in alive:
+            mine = self._attributed(robot, alive)
+            if mine:
+                tx = sum(e.x for e in mine) / len(mine)
+                ty = sum(e.y for e in mine) / len(mine)
+                self._patrol.pop(robot.robot_id, None)
+            else:
+                target = self._patrol.get(robot.robot_id)
+                if target is None or robot.distance_to(*target) < robot.speed:
+                    target = (float(self._rng.uniform(0, 1)),
+                              float(self._rng.uniform(0, 1)))
+                    self._patrol[robot.robot_id] = target
+                tx, ty = target
+            # Short-range separation from live peers only.
+            sx = sy = 0.0
+            for peer in alive:
+                if peer.robot_id == robot.robot_id:
+                    continue
+                dist = robot.distance_to(peer.x, peer.y)
+                if dist < self.min_separation:
+                    push = (self.min_separation - dist) / self.min_separation
+                    dx = robot.x - peer.x
+                    dy = robot.y - peer.y
+                    norm = max(dist, 1e-6)
+                    sx += push * dx / norm * robot.speed
+                    sy += push * dy / norm * robot.speed
+            robot.move_toward(tx + sx, ty + sy)

@@ -1,0 +1,87 @@
+"""The swarm mission simulation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .arena import Arena, Event
+from .robots import Robot, SwarmController, make_swarm
+
+
+@dataclass
+class SwarmStepRecord:
+    """Per-step mission telemetry."""
+
+    time: float
+    events: int
+    witnessed: int
+    alive: int
+
+
+@dataclass
+class SwarmRunResult:
+    """Outcome of one mission."""
+
+    records: List[SwarmStepRecord]
+
+    def detection_rate(self, t0: float = -math.inf,
+                       t1: float = math.inf) -> float:
+        """Fraction of events witnessed within ``[t0, t1)``."""
+        total = sum(r.events for r in self.records if t0 <= r.time < t1)
+        seen = sum(r.witnessed for r in self.records if t0 <= r.time < t1)
+        return seen / total if total else math.nan
+
+
+@dataclass
+class SwarmMissionConfig:
+    """Mission parameters."""
+
+    n_robots: int = 9
+    steps: int = 800
+    events_per_step: float = 3.0
+    hotspot_fraction: float = 0.7
+    n_hotspots: int = 2
+    #: Hotspots jump at these times (fractions of the run).
+    shift_fracs: Tuple[float, ...] = (0.4,)
+    #: (time fraction, robot index) pairs: robots that die mid-mission.
+    failure_fracs: Tuple[Tuple[float, int], ...] = ((0.7, 0), (0.7, 1))
+    seed: int = 0
+
+
+def run_mission(controller: SwarmController,
+                config: SwarmMissionConfig) -> SwarmRunResult:
+    """Drive one controller through the configured mission."""
+    arena = Arena.with_random_hotspots(
+        n_hotspots=config.n_hotspots, seed=config.seed,
+        hotspot_fraction=config.hotspot_fraction,
+        events_per_step=config.events_per_step,
+        shift_times=[f * config.steps for f in config.shift_fracs])
+    robots = make_swarm(config.n_robots, seed=config.seed + 100)
+    failures = sorted((f * config.steps, idx)
+                      for f, idx in config.failure_fracs)
+    failure_cursor = 0
+    records: List[SwarmStepRecord] = []
+    for t in range(config.steps):
+        while (failure_cursor < len(failures)
+               and t >= failures[failure_cursor][0]):
+            idx = failures[failure_cursor][1]
+            if 0 <= idx < len(robots):
+                robots[idx].alive = False
+            failure_cursor += 1
+        events = arena.step(float(t))
+        witnessed: List[Tuple[int, Event]] = []
+        seen_events = set()
+        for event in events:
+            for robot in robots:
+                if robot.witnesses(event):
+                    witnessed.append((robot.robot_id, event))
+                    seen_events.add(id(event))
+        controller.step(float(t), robots, witnessed)
+        records.append(SwarmStepRecord(
+            time=float(t), events=len(events), witnessed=len(seen_events),
+            alive=sum(1 for r in robots if r.alive)))
+    return SwarmRunResult(records=records)

@@ -1,0 +1,95 @@
+"""Tests for the elastic service cluster."""
+
+import pytest
+
+from repro.cloud.cluster import ServiceCluster
+
+
+class TestScaling:
+    def test_boot_delay_defers_capacity(self):
+        cluster = ServiceCluster(capacity_per_server=10.0, boot_delay=3,
+                                 initial_servers=1)
+        cluster.request_scale(5)
+        assert cluster.n_active == 1
+        assert cluster.n_booting == 4
+        for t in range(3):
+            cluster.step(float(t), demand=0.0)
+        assert cluster.n_active == 5
+        assert cluster.n_booting == 0
+
+    def test_zero_boot_delay_is_immediate_next_step(self):
+        cluster = ServiceCluster(boot_delay=0, initial_servers=1)
+        cluster.request_scale(3)
+        cluster.step(0.0, 0.0)
+        assert cluster.n_active == 3
+
+    def test_scale_down_removes_booting_first(self):
+        cluster = ServiceCluster(boot_delay=5, initial_servers=2)
+        cluster.request_scale(6)  # 4 booting
+        cluster.request_scale(4)  # remove 2 booting
+        assert cluster.n_active == 2 and cluster.n_booting == 2
+        cluster.request_scale(1)  # remove 2 booting + 1 active
+        assert cluster.n_active == 1 and cluster.n_booting == 0
+
+    def test_bounds_clamped(self):
+        cluster = ServiceCluster(min_servers=2, max_servers=6, initial_servers=3)
+        assert cluster.request_scale(100) == 6
+        assert cluster.request_scale(0) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceCluster(capacity_per_server=0.0)
+        with pytest.raises(ValueError):
+            ServiceCluster(min_servers=5, max_servers=3)
+        with pytest.raises(ValueError):
+            ServiceCluster(initial_servers=100, max_servers=10)
+
+
+class TestServing:
+    def test_underload_full_qos(self):
+        cluster = ServiceCluster(capacity_per_server=10.0, initial_servers=2)
+        m = cluster.step(0.0, demand=15.0)
+        assert m.served == 15.0
+        assert m.qos == 1.0
+        assert m.backlog == 0.0
+        assert m.utilisation == pytest.approx(0.75)
+
+    def test_overload_builds_backlog(self):
+        cluster = ServiceCluster(capacity_per_server=10.0, initial_servers=1)
+        m = cluster.step(0.0, demand=25.0)
+        assert m.served == 10.0
+        assert m.backlog == 15.0
+        assert m.qos == pytest.approx(0.4)
+
+    def test_backlog_drains_when_capacity_returns(self):
+        cluster = ServiceCluster(capacity_per_server=10.0, initial_servers=1,
+                                 boot_delay=0)
+        cluster.step(0.0, demand=30.0)  # backlog 20
+        cluster.request_scale(4)
+        m = cluster.step(1.0, demand=10.0)
+        assert m.served == 30.0
+        assert m.backlog == 0.0
+
+    def test_backlog_limit_drops_overflow(self):
+        cluster = ServiceCluster(capacity_per_server=10.0, initial_servers=1,
+                                 backlog_limit=5.0)
+        m = cluster.step(0.0, demand=100.0)
+        assert m.backlog == 5.0
+        assert m.dropped == pytest.approx(85.0)
+        assert cluster.total_dropped == pytest.approx(85.0)
+
+    def test_cost_includes_booting_servers(self):
+        cluster = ServiceCluster(initial_servers=2, boot_delay=10,
+                                 cost_per_server=1.0)
+        cluster.request_scale(5)
+        m = cluster.step(0.0, demand=0.0)
+        assert m.cost == pytest.approx(5.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceCluster().step(0.0, demand=-1.0)
+
+    def test_metrics_as_dict_complete(self):
+        m = ServiceCluster().step(0.0, 5.0)
+        d = m.as_dict()
+        assert {"qos", "cost", "demand", "served", "backlog"} <= set(d)

@@ -1,0 +1,138 @@
+"""Tests for volunteer service composition."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.composition import (Heartbeat, RandomSelector,
+                                     SelfAwareSelector, StaticRankSelector,
+                                     StimulusAwareSelector, VolunteerPool,
+                                     VolunteerProvider, run_composition)
+
+
+class TestVolunteerProvider:
+    def test_availability_flips_eventually(self):
+        p = VolunteerProvider(0, availability_stay=0.5,
+                              rng=np.random.default_rng(0))
+        states = set()
+        for _ in range(50):
+            p.step()
+            states.add(p.up)
+        assert states == {True, False}
+
+    def test_down_provider_never_serves(self):
+        p = VolunteerProvider(0, rng=np.random.default_rng(1))
+        p.up = False
+        assert not any(p.serve() for _ in range(20))
+
+    def test_reliability_drifts_within_bounds(self):
+        p = VolunteerProvider(0, reliability=0.5, reliability_sigma=0.1,
+                              rng=np.random.default_rng(2))
+        for _ in range(500):
+            p.step()
+            assert 0.05 <= p.reliability <= 0.99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VolunteerProvider(0, availability_stay=1.0)
+        with pytest.raises(ValueError):
+            VolunteerProvider(0, reliability=1.5)
+
+
+class TestVolunteerPool:
+    def test_heartbeats_are_stale(self):
+        pool = VolunteerPool(n_providers=4, heartbeat_lag=3,
+                             rng=np.random.default_rng(3))
+        initial_states = [p.up for p in pool.providers]
+        for _ in range(3):
+            pool.step()
+        beats = pool.heartbeats()
+        # After exactly `lag` steps, heartbeats report the initial states.
+        assert [b.up for b in beats] == initial_states
+        assert all(b.age == 3 for b in beats)
+
+    def test_zero_lag_is_fresh(self):
+        pool = VolunteerPool(n_providers=3, heartbeat_lag=0,
+                             rng=np.random.default_rng(4))
+        pool.step()
+        beats = pool.heartbeats()
+        assert [b.up for b in beats] == [p.up for p in pool.providers]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VolunteerPool(n_providers=1)
+
+
+class TestSelectors:
+    def _beats(self, ups):
+        return [Heartbeat(provider_id=i, up=u, age=1) for i, u in enumerate(ups)]
+
+    def test_static_rank_picks_design_time_best(self):
+        s = StaticRankSelector([0.5, 0.9, 0.7])
+        assert s.select(self._beats([True, True, True])) == 1
+
+    def test_stimulus_prefers_up_providers(self):
+        s = StimulusAwareSelector(rng=np.random.default_rng(5))
+        choices = {s.select(self._beats([False, True, False]))
+                   for _ in range(20)}
+        assert choices == {1}
+
+    def test_stimulus_falls_back_when_all_down(self):
+        s = StimulusAwareSelector(rng=np.random.default_rng(6))
+        choice = s.select(self._beats([False, False, False]))
+        assert choice in (0, 1, 2)
+
+    def test_self_aware_learns_reliable_provider(self):
+        s = SelfAwareSelector(3, epsilon=0.0, rng=np.random.default_rng(7))
+        for _ in range(30):
+            s.feedback(2, True)
+            s.feedback(0, False)
+            s.feedback(1, False)
+        assert s.select(self._beats([True, True, True])) == 2
+
+    def test_self_aware_respects_stimulus_gate(self):
+        s = SelfAwareSelector(3, epsilon=0.0, rng=np.random.default_rng(8))
+        for _ in range(30):
+            s.feedback(2, True)
+        # Provider 2 is best but reported down: choose among up ones.
+        assert s.select(self._beats([True, True, False])) != 2
+
+    def test_self_aware_forgets_with_discount(self):
+        s = SelfAwareSelector(2, epsilon=0.0, discount=0.9,
+                              rng=np.random.default_rng(9))
+        for _ in range(50):
+            s.feedback(0, True)
+        for _ in range(50):
+            s.feedback(0, False)
+            s.feedback(1, True)
+        assert s.select(self._beats([True, True])) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelfAwareSelector(3, epsilon=2.0)
+        with pytest.raises(ValueError):
+            StaticRankSelector([])
+
+
+class TestRunComposition:
+    def test_awareness_ordering(self):
+        def pool(seed):
+            return VolunteerPool(n_providers=10, heartbeat_lag=5,
+                                 rng=np.random.default_rng(seed))
+        rates = {}
+        for name, selector in [
+            ("random", RandomSelector(np.random.default_rng(0))),
+            ("stimulus", StimulusAwareSelector(np.random.default_rng(1))),
+            ("self_aware", SelfAwareSelector(10, rng=np.random.default_rng(2))),
+        ]:
+            total = 0.0
+            for seed in range(3):
+                total += run_composition(selector, pool(seed), steps=1500).success_rate
+            rates[name] = total / 3
+        assert rates["self_aware"] > rates["stimulus"] > rates["random"]
+
+    def test_windows_reported(self):
+        pool = VolunteerPool(n_providers=5, rng=np.random.default_rng(10))
+        res = run_composition(RandomSelector(np.random.default_rng(11)), pool,
+                              steps=600, window=200)
+        assert len(res.success_by_window) == 3
+        assert all(0.0 <= w <= 1.0 for w in res.success_by_window)

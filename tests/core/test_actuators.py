@@ -1,0 +1,74 @@
+"""Tests for self-expression: actuators, guards, the expression engine."""
+
+import pytest
+
+from repro.core.actuators import Actuator, ExpressionEngine, Guard
+
+
+class TestExpressionEngine:
+    def _engine(self, log):
+        eng = ExpressionEngine()
+        for name, cost in [("a", 1.0), ("b", 2.0)]:
+            eng.add_actuator(Actuator(name, effect=lambda n=name: log.append(n),
+                                      switching_cost=cost))
+        return eng
+
+    def test_express_applies_effect(self):
+        log = []
+        eng = self._engine(log)
+        result = eng.express("a", {})
+        assert result.applied and log == ["a"]
+        assert eng.current_action == "a"
+
+    def test_first_expression_has_no_switching_cost(self):
+        eng = self._engine([])
+        assert eng.express("a", {}).cost == 0.0
+
+    def test_switching_cost_on_change_only(self):
+        log = []
+        eng = self._engine(log)
+        eng.express("a", {})
+        r2 = eng.express("b", {})
+        assert r2.cost == 2.0
+        assert eng.switches == 1
+        r3 = eng.express("b", {})  # idempotent re-expression
+        assert r3.cost == 0.0 and r3.applied
+        assert eng.switches == 1
+        assert log == ["a", "b"]  # no re-invocation on repeat
+
+    def test_guard_vetoes(self):
+        log = []
+        eng = self._engine(log)
+        eng.add_guard(Guard("safety", lambda a, ctx: "unsafe" if a == "b" else None))
+        r = eng.express("b", {})
+        assert not r.applied
+        assert "safety" in r.vetoed_by
+        assert log == []
+        assert eng.guards[0].vetoes_issued == 1
+
+    def test_guard_sees_context(self):
+        eng = self._engine([])
+        eng.add_guard(Guard("ctx", lambda a, ctx: "hot" if ctx.get("temp", 0) > 80 else None))
+        assert not eng.express("a", {"temp": 90}).applied
+        assert eng.express("a", {"temp": 50}).applied
+
+    def test_unknown_action_raises(self):
+        eng = self._engine([])
+        with pytest.raises(KeyError):
+            eng.express("zzz", {})
+
+    def test_duplicate_actuator_rejected(self):
+        eng = self._engine([])
+        with pytest.raises(ValueError):
+            eng.add_actuator(Actuator("a", effect=lambda: None))
+
+    def test_available_actions(self):
+        eng = self._engine([])
+        assert set(eng.available_actions()) == {"a", "b"}
+
+    def test_total_switching_cost_accumulates(self):
+        eng = self._engine([])
+        eng.express("a", {})
+        eng.express("b", {})
+        eng.express("a", {})
+        assert eng.total_switching_cost == pytest.approx(3.0)  # 2.0 + 1.0

@@ -1,0 +1,102 @@
+"""Tests for node self-assessment."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (CapabilityProfile, Goal, Objective, Sensor,
+                        SensorSuite, build_node, build_static_node, private,
+                        run_control_loop)
+from repro.core.assessment import assess
+
+
+class ToyWorld:
+    def candidate_actions(self, now):
+        return ["a", "b"]
+
+    def apply(self, action, now):
+        return {"perf": 0.8 if action == "a" else 0.2}
+
+
+def make_node(profile=None, failure_rate=0.0, seed=0):
+    profile = profile if profile is not None else CapabilityProfile.full_stack()
+    sensors = SensorSuite([
+        Sensor(private("x"), lambda: 1.0, failure_rate=failure_rate,
+               rng=np.random.default_rng(seed)),
+        Sensor(private("y"), lambda: 2.0),
+    ])
+    goal = Goal([Objective("perf")])
+    return build_node("n", profile, sensors, goal,
+                      rng=np.random.default_rng(seed)), goal
+
+
+class TestAssess:
+    def test_fresh_node_has_no_knowledge(self):
+        node, _goal = make_node()
+        report = assess(node, now=0.0)
+        assert report.knowledge_coverage == 0.0
+        assert math.isinf(report.worst_staleness)
+        assert report.decisions == 0
+        assert not report.healthy(min_coverage=0.5)
+
+    def test_running_node_reports_full_coverage(self):
+        node, goal = make_node()
+        run_control_loop(node, ToyWorld(), goal, steps=50)
+        report = assess(node, now=50.0)
+        assert report.knowledge_coverage == 1.0
+        assert report.worst_staleness == pytest.approx(0.0)
+        assert report.decisions == 50
+        assert report.healthy(max_staleness=1.0)
+
+    def test_dead_sensor_shows_in_coverage(self):
+        node, goal = make_node(failure_rate=1.0)
+        run_control_loop(node, ToyWorld(), goal, steps=30)
+        report = assess(node, now=30.0)
+        assert report.knowledge_coverage == pytest.approx(0.5)
+
+    def test_exploration_rate_tracked(self):
+        node, goal = make_node()
+        run_control_loop(node, ToyWorld(), goal, steps=200)
+        report = assess(node, now=200.0)
+        # build_node uses epsilon=0.1 with confidence scaling: nonzero
+        # but far from dominant.
+        assert 0.0 < report.exploration_rate < 0.5
+
+    def test_meta_node_includes_strategy_view(self):
+        node, goal = make_node()
+        run_control_loop(node, ToyWorld(), goal, steps=60)
+        report = assess(node, now=60.0)
+        assert report.strategy_assessment is not None
+        assert set(report.strategy_assessment) == {"stable", "plastic"}
+        assert report.strategy_switches is not None
+
+    def test_non_meta_node_omits_strategy_view(self):
+        from repro.core.levels import SelfAwarenessLevel
+        node, goal = make_node(
+            profile=CapabilityProfile.up_to(SelfAwarenessLevel.GOAL))
+        run_control_loop(node, ToyWorld(), goal, steps=20)
+        report = assess(node, now=20.0)
+        assert report.strategy_assessment is None
+
+    def test_static_node_assessable_too(self):
+        sensors = SensorSuite([Sensor(private("x"), lambda: 1.0)])
+        node = build_static_node("s", sensors, action="a")
+        goal = Goal([Objective("perf")])
+        run_control_loop(node, ToyWorld(), goal, steps=20)
+        report = assess(node, now=20.0)
+        assert report.decision_stability == 1.0
+        assert report.exploration_rate == 0.0
+
+    def test_describe_is_narrative(self):
+        node, goal = make_node()
+        run_control_loop(node, ToyWorld(), goal, steps=30)
+        text = assess(node, now=30.0).describe()
+        assert "node 'n'" in text
+        assert "decisions" in text
+        assert "Strategy self-assessment" in text
+
+    def test_describe_handles_empty_node(self):
+        node, _goal = make_node()
+        text = assess(node, now=0.0).describe()
+        assert "nothing observed yet" in text

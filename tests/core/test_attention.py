@@ -1,0 +1,117 @@
+"""Tests for attention policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.attention import (FullAttention, RandomAttention,
+                                  RoundRobinAttention, SalienceAttention)
+from repro.core.knowledge import KnowledgeBase
+from repro.core.sensors import Sensor, SensorSuite
+from repro.core.spans import private
+
+
+def make_suite(costs):
+    return SensorSuite([
+        Sensor(private(name), lambda v=i: float(v), cost=c)
+        for i, (name, c) in enumerate(costs.items())
+    ])
+
+
+class TestFullAttention:
+    def test_unbounded_budget_takes_all(self):
+        suite = make_suite({"a": 1.0, "b": 1.0, "c": 1.0})
+        chosen = FullAttention().select(suite, KnowledgeBase(), 0.0, float("inf"))
+        assert len(chosen) == 3
+
+    def test_budget_truncates(self):
+        suite = make_suite({"a": 1.0, "b": 1.0, "c": 1.0})
+        chosen = FullAttention().select(suite, KnowledgeBase(), 0.0, 2.0)
+        assert len(chosen) == 2
+
+    def test_zero_cost_sensors_always_included(self):
+        suite = make_suite({"a": 0.0, "b": 5.0})
+        chosen = FullAttention().select(suite, KnowledgeBase(), 0.0, 0.0)
+        assert chosen == [private("a")]
+
+
+class TestRoundRobinAttention:
+    def test_cycles_fairly_under_budget_one(self):
+        suite = make_suite({"a": 1.0, "b": 1.0, "c": 1.0})
+        policy = RoundRobinAttention()
+        kb = KnowledgeBase()
+        seen = []
+        for t in range(6):
+            chosen = policy.select(suite, kb, float(t), 1.0)
+            assert len(chosen) == 1
+            seen.append(chosen[0].name)
+        # Each scope visited twice over two full cycles.
+        assert sorted(seen) == ["a", "a", "b", "b", "c", "c"]
+
+    def test_empty_suite(self):
+        assert RoundRobinAttention().select(SensorSuite(), KnowledgeBase(), 0.0, 1.0) == []
+
+
+class TestRandomAttention:
+    def test_respects_budget(self):
+        suite = make_suite({"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0})
+        policy = RandomAttention(rng=np.random.default_rng(0))
+        for t in range(20):
+            chosen = policy.select(suite, KnowledgeBase(), float(t), 2.0)
+            assert len(chosen) == 2
+
+    def test_covers_all_scopes_eventually(self):
+        suite = make_suite({"a": 1.0, "b": 1.0, "c": 1.0})
+        policy = RandomAttention(rng=np.random.default_rng(1))
+        seen = set()
+        for t in range(50):
+            seen.update(s.name for s in policy.select(suite, KnowledgeBase(), float(t), 1.0))
+        assert seen == {"a", "b", "c"}
+
+
+class TestSalienceAttention:
+    def test_unobserved_scopes_get_novelty_bonus(self):
+        suite = make_suite({"a": 1.0})
+        policy = SalienceAttention(novelty_bonus=2.0)
+        kb = KnowledgeBase()
+        assert policy.salience(private("a"), suite, kb, 0.0) == pytest.approx(2.0)
+
+    def test_volatile_scope_preferred_over_stable(self):
+        suite = make_suite({"volatile": 1.0, "stable": 1.0})
+        policy = SalienceAttention()
+        kb = KnowledgeBase()
+        rng = np.random.default_rng(0)
+        for t in range(20):
+            kb.observe(private("volatile"), float(t), float(rng.normal(0, 5)))
+            kb.observe(private("stable"), float(t), 1.0)
+        chosen = policy.select(suite, kb, 25.0, budget=1.0)
+        assert chosen == [private("volatile")]
+
+    def test_staleness_raises_salience(self):
+        suite = make_suite({"a": 1.0})
+        policy = SalienceAttention(staleness_scale=2.0)
+        kb = KnowledgeBase()
+        for t in range(10):
+            kb.observe(private("a"), float(t), float(t % 3))
+        fresh = policy.salience(private("a"), suite, kb, now=9.0)
+        stale = policy.salience(private("a"), suite, kb, now=50.0)
+        assert stale > fresh
+
+    def test_relevance_reweights(self):
+        suite = make_suite({"a": 1.0, "b": 1.0})
+        kb = KnowledgeBase()
+        rng = np.random.default_rng(0)
+        for t in range(20):
+            kb.observe(private("a"), float(t), float(rng.normal(0, 1)))
+            kb.observe(private("b"), float(t), float(rng.normal(0, 1)))
+        policy = SalienceAttention(relevance={private("b"): 100.0})
+        chosen = policy.select(suite, kb, 25.0, budget=1.0)
+        assert chosen == [private("b")]
+
+    def test_set_relevance_at_runtime(self):
+        policy = SalienceAttention()
+        policy.set_relevance(private("x"), 5.0)
+        assert policy.relevance[private("x")] == 5.0
+
+    def test_invalid_staleness_scale(self):
+        with pytest.raises(ValueError):
+            SalienceAttention(staleness_scale=0.0)

@@ -1,0 +1,150 @@
+"""Tests for collective self-awareness: gossip, central, hierarchical."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.collective import (CentralAggregator, CommunicationNetwork,
+                                   GossipEstimator, HierarchicalAggregator)
+
+
+def names(n):
+    return [f"n{i}" for i in range(n)]
+
+
+@pytest.fixture
+def ring8():
+    return CommunicationNetwork.ring(names(8), rng=np.random.default_rng(0))
+
+
+def values_for(ns):
+    return {name: float(i) for i, name in enumerate(ns)}
+
+
+class TestCommunicationNetwork:
+    def test_ring_degree(self, ring8):
+        assert all(len(list(ring8.graph.neighbors(n))) == 2 for n in ring8.graph)
+
+    def test_star_topology(self):
+        net = CommunicationNetwork.star("hub", names(4))
+        assert len(list(net.graph.neighbors("hub"))) == 4
+
+    def test_transmit_counts_messages(self, ring8):
+        assert ring8.transmit("n0", "n1")
+        assert ring8.messages_sent == 1
+        assert ring8.messages_delivered == 1
+
+    def test_transmit_fails_on_non_edge(self, ring8):
+        assert not ring8.transmit("n0", "n4")
+
+    def test_failed_node_isolated(self, ring8):
+        ring8.fail_node("n1")
+        assert not ring8.transmit("n0", "n1")
+        assert "n1" not in ring8.neighbours("n0")
+        ring8.restore_node("n1")
+        assert ring8.transmit("n0", "n1")
+
+    def test_loss_rate(self):
+        net = CommunicationNetwork.ring(names(4), loss_rate=1.0,
+                                        rng=np.random.default_rng(0))
+        assert not net.transmit("n0", "n1")
+        assert net.messages_sent == 1 and net.messages_delivered == 0
+
+    def test_geometric_is_connected(self):
+        net = CommunicationNetwork.random_geometric(names(30), seed=3)
+        assert nx.is_connected(net.graph)
+
+
+class TestGossipEstimator:
+    def test_converges_to_mean(self, ring8):
+        vals = values_for(names(8))  # mean 3.5
+        gossip = GossipEstimator(ring8, rng=np.random.default_rng(1))
+        result = gossip.run(vals, rounds=60)
+        assert result.truth == pytest.approx(3.5)
+        assert result.max_error < 0.1
+
+    def test_mass_conservation(self, ring8):
+        vals = values_for(names(8))
+        gossip = GossipEstimator(ring8, rng=np.random.default_rng(1))
+        result = gossip.run(vals, rounds=10)
+        # Pairwise averaging conserves the sum exactly (no loss configured).
+        assert sum(result.estimates.values()) == pytest.approx(sum(vals.values()))
+
+    def test_survives_any_single_failure(self, ring8):
+        vals = values_for(names(8))
+        ring8.fail_node("n3")
+        gossip = GossipEstimator(ring8, rng=np.random.default_rng(2))
+        result = gossip.run(vals, rounds=80)
+        live_vals = [v for n, v in vals.items() if n != "n3"]
+        assert result.truth == pytest.approx(sum(live_vals) / len(live_vals))
+        assert "n3" not in result.estimates
+        assert result.max_error < 0.2
+
+    def test_rounds_to_converge_decreases_with_connectivity(self):
+        vals = values_for(names(16))
+        ring = CommunicationNetwork.ring(names(16))
+        complete = CommunicationNetwork(
+            nx.complete_graph(16), rng=np.random.default_rng(0))
+        complete.graph = nx.relabel_nodes(complete.graph,
+                                          dict(enumerate(names(16))))
+        slow = GossipEstimator(ring, rng=np.random.default_rng(3)).rounds_to_converge(
+            vals, tolerance=0.5)
+        fast = GossipEstimator(complete, rng=np.random.default_rng(3)).rounds_to_converge(
+            vals, tolerance=0.5)
+        assert fast <= slow
+
+
+class TestCentralAggregator:
+    def test_exact_when_hub_alive(self):
+        net = CommunicationNetwork.star("hub", names(5))
+        vals = {**values_for(names(5)), "hub": 10.0}
+        result = CentralAggregator(net, "hub").run(vals)
+        assert result.max_error == pytest.approx(0.0)
+        # (N-1) up + (N-1) down messages.
+        assert result.messages == 10
+
+    def test_hub_failure_blinds_everyone(self):
+        net = CommunicationNetwork.star("hub", names(5))
+        net.fail_node("hub")
+        vals = {**values_for(names(5)), "hub": 10.0}
+        result = CentralAggregator(net, "hub").run(vals)
+        assert result.estimates == {}
+        assert math.isnan(result.mean_error)
+
+
+class TestHierarchicalAggregator:
+    def _net(self, n):
+        # Fully connected so logical tree links always exist physically.
+        g = nx.complete_graph(n)
+        g = nx.relabel_nodes(g, dict(enumerate(names(n))))
+        return CommunicationNetwork(g)
+
+    def test_exact_aggregation(self):
+        ns = names(7)
+        net = self._net(7)
+        result = HierarchicalAggregator(net, ns, fanout=2).run(values_for(ns))
+        assert result.max_error == pytest.approx(0.0)
+        assert set(result.estimates) == set(ns)
+
+    def test_subtree_failure_partial_blindness(self):
+        ns = names(7)
+        net = self._net(7)
+        net.fail_node(ns[1])  # internal node: children 3 and 4 lost
+        result = HierarchicalAggregator(net, ns, fanout=2).run(values_for(ns))
+        assert ns[1] not in result.estimates
+        assert ns[3] not in result.estimates and ns[4] not in result.estimates
+        # Remaining subtree still gets an answer.
+        assert ns[0] in result.estimates and ns[2] in result.estimates
+
+    def test_root_failure_blinds_everyone(self):
+        ns = names(7)
+        net = self._net(7)
+        net.fail_node(ns[0])
+        result = HierarchicalAggregator(net, ns, fanout=2).run(values_for(ns))
+        assert result.estimates == {}
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ValueError):
+            HierarchicalAggregator(self._net(3), names(3), fanout=1)

@@ -1,0 +1,95 @@
+"""Tests for self-explanation: journals, narration, reports."""
+
+import pytest
+
+from repro.core.actuators import ActuationResult
+from repro.core.explanation import ExplanationLog, narrate
+from repro.core.goals import Goal, GoalEvaluation, Objective
+from repro.core.reasoner import Decision
+
+
+def make_decision(action="a", explored=False, considered=None, time=1.0):
+    goal = Goal([Objective("x")])
+    considered = considered if considered is not None else {
+        "a": {"x": 0.9}, "b": {"x": 0.1}}
+    evaluations = {k: goal.evaluate(v) for k, v in considered.items()}
+    return Decision(action=action, time=time, reason="highest predicted utility",
+                    explored=explored, considered=considered,
+                    evaluations=evaluations, goal_version=1)
+
+
+class TestNarrate:
+    def test_mentions_action_and_reason(self):
+        log = ExplanationLog()
+        step = log.log(make_decision())
+        text = narrate(step)
+        assert "'a'" in text and "highest predicted utility" in text
+
+    def test_mentions_exploration(self):
+        log = ExplanationLog()
+        step = log.log(make_decision(explored=True))
+        assert "exploratory" in narrate(step)
+
+    def test_mentions_veto(self):
+        log = ExplanationLog()
+        veto = ActuationResult(action="a", applied=False, vetoed_by="guard: hot")
+        step = log.log(make_decision(), veto)
+        assert "vetoed" in narrate(step)
+
+    def test_reports_prediction_error_when_outcome_known(self):
+        log = ExplanationLog()
+        log.log(make_decision())
+        log.attach_outcome({"x": 0.4})
+        text = narrate(log.last())
+        assert "deviated" in text and "0.500" in text
+
+    def test_margin_in_narrative(self):
+        log = ExplanationLog()
+        step = log.log(make_decision())
+        assert "runner-up" in narrate(step)
+
+
+class TestExplanationLog:
+    def test_empty_log_explains_gracefully(self):
+        assert "not made any decisions" in ExplanationLog().explain_last()
+
+    def test_bounded_retention(self):
+        log = ExplanationLog(maxlen=3)
+        for t in range(10):
+            log.log(make_decision(time=float(t)))
+        assert len(log) == 3
+        assert log.total_logged == 10
+
+    def test_attach_outcome_requires_step(self):
+        with pytest.raises(IndexError):
+            ExplanationLog().attach_outcome({"x": 1.0})
+
+    def test_explain_window(self):
+        log = ExplanationLog()
+        for t in range(5):
+            log.log(make_decision(time=float(t)))
+        narratives = log.explain_window(3)
+        assert len(narratives) == 3
+        assert "t=2" in narratives[0]
+
+    def test_report_statistics(self):
+        log = ExplanationLog()
+        log.log(make_decision())
+        log.log(make_decision(explored=True))
+        log.log(make_decision(),
+                ActuationResult(action="a", applied=False, vetoed_by="g"))
+        report = log.report()
+        assert report.steps == 3
+        assert report.coverage == 1.0
+        assert report.evidence_rate == 1.0
+        assert report.exploratory == 1
+        assert report.vetoed == 1
+        assert report.mean_candidates == pytest.approx(2.0)
+
+    def test_report_on_empty_log(self):
+        report = ExplanationLog().report()
+        assert report.steps == 0 and report.coverage == 0.0
+
+    def test_invalid_maxlen(self):
+        with pytest.raises(ValueError):
+            ExplanationLog(maxlen=0)

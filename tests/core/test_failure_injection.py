@@ -1,0 +1,118 @@
+"""Failure-injection tests: the framework under broken inputs.
+
+Self-aware systems operate in uncertain worlds; the framework must stay
+well-behaved when sensors die, metrics go missing, peers disappear and
+messages are lost.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (CapabilityProfile, Goal, Objective, Sensor,
+                        SensorSuite, build_node, private, run_control_loop)
+from repro.core.collective import CommunicationNetwork, GossipEstimator
+from repro.core.knowledge import KnowledgeBase
+from repro.core.node import SelfAwareNode
+from repro.core.reasoner import StaticPolicy
+
+
+class MissingMetricsWorld:
+    """Environment that sometimes omits metrics entirely."""
+
+    def __init__(self, seed=0):
+        self._rng = np.random.default_rng(seed)
+
+    def candidate_actions(self, now):
+        return ["a", "b"]
+
+    def apply(self, action, now):
+        if self._rng.random() < 0.3:
+            return {}  # telemetry outage
+        return {"perf": 0.5}
+
+
+class TestDeadSensors:
+    def _node(self, failure_rate, seed=0):
+        sensors = SensorSuite([
+            Sensor(private("x"), lambda: 1.0, failure_rate=failure_rate,
+                   rng=np.random.default_rng(seed)),
+        ])
+        goal = Goal([Objective("perf")])
+        return build_node("n", CapabilityProfile.full_stack(), sensors, goal,
+                          rng=np.random.default_rng(seed)), goal
+
+    def test_node_decides_despite_total_sensor_failure(self):
+        node, goal = self._node(failure_rate=1.0)
+        world = MissingMetricsWorld()
+        trace = run_control_loop(node, world, goal, steps=50)
+        assert len(trace) == 50
+        # No knowledge ever arrived, context is empty, but decisions flow.
+        assert not node.knowledge.has(private("x"))
+
+    def test_intermittent_sensor_still_builds_knowledge(self):
+        node, goal = self._node(failure_rate=0.5, seed=1)
+        world = MissingMetricsWorld(seed=1)
+        run_control_loop(node, world, goal, steps=100)
+        history = node.knowledge.history(private("x"))
+        assert 20 < len(history) < 80  # roughly half the samples landed
+
+
+class TestMissingMetrics:
+    def test_goal_scores_missing_metrics_as_worst(self):
+        goal = Goal([Objective("perf")])
+        assert goal.utility({}) == 0.0
+
+    def test_loop_survives_telemetry_outages(self):
+        sensors = SensorSuite([Sensor(private("x"), lambda: 1.0)])
+        goal = Goal([Objective("perf")])
+        node = build_node("n", CapabilityProfile.full_stack(), sensors, goal,
+                          rng=np.random.default_rng(2))
+        trace = run_control_loop(node, MissingMetricsWorld(seed=2), goal,
+                                 steps=100)
+        assert len(trace) == 100
+        assert all(0.0 <= s.utility <= 1.0 for s in trace.steps)
+
+
+class TestLossyCollective:
+    def test_gossip_converges_despite_message_loss(self):
+        names = [f"n{i}" for i in range(12)]
+        net = CommunicationNetwork.ring(names, loss_rate=0.3,
+                                        rng=np.random.default_rng(3))
+        gossip = GossipEstimator(net, rng=np.random.default_rng(4))
+        values = {name: float(i) for i, name in enumerate(names)}
+        result = gossip.run(values, rounds=150)
+        assert result.max_error < 0.5
+        # Loss never corrupts mass: pairwise swaps are all-or-nothing.
+        assert sum(result.estimates.values()) == pytest.approx(
+            sum(values.values()))
+
+    def test_gossip_with_multiple_failures(self):
+        names = [f"n{i}" for i in range(10)]
+        net = CommunicationNetwork.random_geometric(
+            names, seed=5, rng=np.random.default_rng(5))
+        for name in names[:3]:
+            net.fail_node(name)
+        gossip = GossipEstimator(net, rng=np.random.default_rng(6))
+        values = {name: float(i) for i, name in enumerate(names)}
+        result = gossip.run(values, rounds=100)
+        assert set(result.estimates) == set(names[3:])
+
+
+class TestStaleKnowledge:
+    def test_old_beliefs_lose_confidence_not_value(self):
+        kb = KnowledgeBase()
+        kb.observe(private("x"), 0.0, 42.0)
+        stale = kb.belief(private("x"), now=1000.0, half_life=10.0)
+        assert stale.value == 42.0
+        assert stale.confidence < 1e-6
+
+    def test_node_with_prefilled_knowledge_is_consistent(self):
+        sensors = SensorSuite([Sensor(private("x"), lambda: 1.0)])
+        node = SelfAwareNode("n", CapabilityProfile.minimal(), sensors,
+                             StaticPolicy("a"))
+        # A peer report arrives before any own observation: fine.
+        node.receive_report("peer", "load", 0.0, 0.7)
+        result = node.step(1.0, ["a"])
+        assert result.decision.action == "a"

@@ -1,0 +1,170 @@
+"""Tests for goals, objectives, constraints and Pareto machinery."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.goals import (Constraint, Goal, Objective, dominates,
+                              knee_point, pareto_front)
+
+
+class TestObjective:
+    def test_score_normalises_maximise(self):
+        o = Objective("perf", maximise=True, lo=0.0, hi=10.0)
+        assert o.score(0.0) == 0.0
+        assert o.score(10.0) == 1.0
+        assert o.score(5.0) == pytest.approx(0.5)
+
+    def test_score_normalises_minimise(self):
+        o = Objective("cost", maximise=False, lo=0.0, hi=10.0)
+        assert o.score(0.0) == 1.0
+        assert o.score(10.0) == 0.0
+
+    def test_score_clips_out_of_range(self):
+        o = Objective("x", lo=0.0, hi=1.0)
+        assert o.score(-5.0) == 0.0
+        assert o.score(5.0) == 1.0
+
+    def test_nan_scores_zero(self):
+        assert Objective("x").score(math.nan) == 0.0
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            Objective("x", lo=1.0, hi=1.0)
+
+    @given(st.floats(min_value=-100, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_score_always_in_unit_interval(self, raw):
+        o = Objective("x", lo=-2.0, hi=7.0)
+        assert 0.0 <= o.score(raw) <= 1.0
+
+
+class TestConstraint:
+    def test_max_constraint(self):
+        c = Constraint("temp", "max", 80.0)
+        assert c.satisfied(75.0)
+        assert not c.satisfied(85.0)
+        assert c.violation(85.0) == pytest.approx(5.0)
+
+    def test_min_constraint(self):
+        c = Constraint("throughput", "min", 100.0)
+        assert c.satisfied(150.0)
+        assert c.violation(80.0) == pytest.approx(20.0)
+
+    def test_nan_counts_as_violated(self):
+        assert math.isinf(Constraint("x", "max", 1.0).violation(math.nan))
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint("x", "equals", 1.0)
+
+
+class TestGoal:
+    @pytest.fixture
+    def goal(self):
+        return Goal(
+            objectives=[Objective("perf", maximise=True, lo=0, hi=100),
+                        Objective("cost", maximise=False, lo=0, hi=10)],
+            weights={"perf": 3.0, "cost": 1.0},
+            constraints=[Constraint("temp", "max", 80.0)],
+            name="test")
+
+    def test_weights_normalised(self, goal):
+        w = goal.weights
+        assert w["perf"] == pytest.approx(0.75)
+        assert w["cost"] == pytest.approx(0.25)
+
+    def test_utility_weighted_sum(self, goal):
+        # perf=100 -> 1.0, cost=0 -> 1.0 => utility 1.0
+        assert goal.utility({"perf": 100.0, "cost": 0.0, "temp": 50.0}) == pytest.approx(1.0)
+        # perf=50 -> .5, cost=10 -> 0 => 0.75*0.5 = 0.375
+        assert goal.utility({"perf": 50.0, "cost": 10.0}) == pytest.approx(0.375)
+
+    def test_missing_metric_scores_zero(self, goal):
+        assert goal.utility({"cost": 0.0}) == pytest.approx(0.25)
+
+    def test_evaluate_feasibility(self, goal):
+        ev_ok = goal.evaluate({"perf": 50, "cost": 5, "temp": 70})
+        ev_bad = goal.evaluate({"perf": 50, "cost": 5, "temp": 90})
+        assert ev_ok.feasible
+        assert not ev_bad.feasible
+        assert ev_bad.total_violation == pytest.approx(10.0)
+
+    def test_reweight_bumps_version(self, goal):
+        v0 = goal.version
+        goal.reweight(perf=1.0)
+        assert goal.version == v0 + 1
+        assert goal.weights["perf"] == pytest.approx(0.5)
+
+    def test_add_constraint_bumps_version(self, goal):
+        v0 = goal.version
+        goal.add_constraint(Constraint("cost", "max", 8.0))
+        assert goal.version == v0 + 1
+        assert len(goal.constraints) == 2
+
+    def test_invalid_weights_rejected(self, goal):
+        with pytest.raises(ValueError):
+            goal.set_weights({"perf": 1.0})  # missing cost
+        with pytest.raises(ValueError):
+            goal.set_weights({"perf": 1.0, "cost": 1.0, "bogus": 1.0})
+        with pytest.raises(ValueError):
+            goal.set_weights({"perf": -1.0, "cost": 1.0})
+        with pytest.raises(ValueError):
+            goal.set_weights({"perf": 0.0, "cost": 0.0})
+
+    def test_duplicate_objectives_rejected(self):
+        with pytest.raises(ValueError):
+            Goal(objectives=[Objective("x"), Objective("x")])
+
+    def test_empty_objectives_rejected(self):
+        with pytest.raises(ValueError):
+            Goal(objectives=[])
+
+    def test_score_vector_order_matches_objectives(self, goal):
+        vec = goal.score_vector({"perf": 100, "cost": 10})
+        assert vec == pytest.approx((1.0, 0.0))
+
+    def test_describe_mentions_constraints(self, goal):
+        text = goal.describe()
+        assert "perf" in text and "temp max 80" in text
+
+
+class TestPareto:
+    def test_dominates_basic(self):
+        assert dominates((1.0, 1.0), (0.5, 0.5))
+        assert dominates((1.0, 0.5), (0.5, 0.5))
+        assert not dominates((1.0, 0.4), (0.5, 0.5))
+        assert not dominates((0.5, 0.5), (0.5, 0.5))  # equal: no strict gain
+
+    def test_dominates_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates((1.0,), (1.0, 2.0))
+
+    def test_pareto_front_extraction(self):
+        pts = [(1.0, 0.0), (0.0, 1.0), (0.5, 0.5), (0.4, 0.4)]
+        front = pareto_front(pts)
+        assert set(front) == {0, 1, 2}
+
+    def test_pareto_front_keeps_duplicates(self):
+        pts = [(1.0, 1.0), (1.0, 1.0)]
+        assert set(pareto_front(pts)) == {0, 1}
+
+    def test_knee_point_prefers_balance(self):
+        pts = [(1.0, 0.0), (0.0, 1.0), (0.8, 0.8)]
+        assert knee_point(pts) == 2
+
+    def test_knee_point_empty(self):
+        assert knee_point([]) is None
+
+    @given(st.lists(st.tuples(st.floats(0, 1), st.floats(0, 1)),
+                    min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_front_members_are_mutually_nondominated(self, pts):
+        front = pareto_front(pts)
+        assert front  # never empty for non-empty input
+        for i in front:
+            for j in front:
+                if i != j:
+                    assert not dominates(pts[i], pts[j])

@@ -1,0 +1,152 @@
+"""Tests for hierarchical supervision of self-aware nodes."""
+
+import numpy as np
+import pytest
+
+from repro.core import (CapabilityProfile, Goal, Objective, Sensor,
+                        SensorSuite, build_node, private)
+from repro.core.hierarchy import Supervisor
+from repro.core.levels import SelfAwarenessLevel
+
+
+class FlippingWorld:
+    """Rewards flip at ``change_at``: action values swap."""
+
+    def __init__(self, change_at=300.0, seed=0):
+        self.change_at = change_at
+        self._rng = np.random.default_rng(seed)
+
+    def candidate_actions(self, now):
+        return ["a", "b"]
+
+    def apply(self, action, now):
+        good = "a" if now < self.change_at else "b"
+        perf = 0.9 if action == good else 0.1
+        return {"perf": perf + float(self._rng.normal(0, 0.02))}
+
+
+def make_child(name, seed=0, epsilon=0.3):
+    sensors = SensorSuite([Sensor(private("x"), lambda: 0.5)])
+    goal = Goal([Objective("perf")])
+    # forgetting=1.0 builds the pathological case: a count-frozen model
+    # that hundreds of warm-up samples render immune to new evidence.
+    node = build_node(name,
+                      CapabilityProfile.up_to(SelfAwarenessLevel.GOAL),
+                      sensors, goal, epsilon=epsilon, forgetting=1.0,
+                      rng=np.random.default_rng(seed))
+    return node, goal
+
+
+def drive(node, goal, world, supervisor, steps, start=0):
+    utilities = []
+    for t in range(start, start + steps):
+        now = float(t)
+        node.step(now, world.candidate_actions(now))
+        decision = node.log.last().decision
+        metrics = world.apply(decision.action, now)
+        utility = goal.utility(metrics)
+        node.feedback(metrics, utility=utility)
+        if supervisor is not None:
+            supervisor.observe_child(node.name, now, utility)
+        utilities.append(utility)
+    return utilities
+
+
+def stuck_scenario(seed, supervised, total=700, warm=150, flip=300.0):
+    """Warm both actions' records, then freeze exploration, then flip.
+
+    After the flip the child's frozen model still says the old action is
+    best; with near-zero exploration it stays stuck -- unless supervised.
+    """
+    node, goal = make_child(f"c{seed}", seed=seed, epsilon=0.3)
+    world = FlippingWorld(change_at=flip, seed=seed)
+    utilities = drive(node, goal, world, None, steps=warm)
+    node.reasoner.epsilon = 0.01
+    supervisor = Supervisor([node]) if supervised else None
+    utilities += drive(node, goal, world, supervisor, steps=total - warm,
+                       start=warm)
+    return utilities, supervisor
+
+
+class TestSupervisorMechanics:
+    def test_validation(self):
+        node, _ = make_child("c")
+        with pytest.raises(ValueError):
+            Supervisor([])
+        with pytest.raises(ValueError):
+            Supervisor([node, node])
+        with pytest.raises(ValueError):
+            Supervisor([node], jolt_epsilon=2.0)
+        supervisor = Supervisor([node])
+        with pytest.raises(KeyError):
+            supervisor.observe_child("zzz", 0.0, 0.5)
+
+    def test_collapse_triggers_jolt(self):
+        _utilities, supervisor = stuck_scenario(seed=1, supervised=True)
+        kinds = [i.kind for i in supervisor.interventions]
+        assert "exploration-jolt" in kinds
+
+    def test_jolt_raises_then_restores_epsilon(self):
+        node, goal = make_child("c", seed=2)
+        world = FlippingWorld(change_at=300.0, seed=2)
+        drive(node, goal, world, None, steps=150)
+        node.reasoner.epsilon = 0.01
+        supervisor = Supervisor([node], jolt_duration=30)
+        drive(node, goal, world, supervisor, steps=170, start=150)
+        # Flip at 300, detection shortly after: jolting by t=320.
+        assert supervisor.is_jolting("c")
+        assert node.reasoner.epsilon == supervisor.jolt_epsilon
+        drive(node, goal, world, supervisor, steps=80, start=320)
+        assert not supervisor.is_jolting("c")
+        assert node.reasoner.epsilon == 0.01
+
+    def test_jolt_resets_the_model_when_configured(self):
+        node, goal = make_child("c", seed=3)
+        world = FlippingWorld(change_at=300.0, seed=3)
+        drive(node, goal, world, None, steps=150)
+        node.reasoner.epsilon = 0.01
+        supervisor = Supervisor([node], reset_models=True)
+        drive(node, goal, world, supervisor, steps=250, start=150)
+        assert supervisor.interventions
+        # The reset wiped the stale record: the model cannot still hold
+        # hundreds of pre-flip samples for action 'a'.
+        confidence = node.reasoner.model.confidence({"x": 0.5}, "a")
+        assert confidence < 0.99
+
+    def test_no_intervention_on_stable_child(self):
+        node, goal = make_child("c", seed=4, epsilon=0.05)
+        world = FlippingWorld(change_at=1e9, seed=4)  # never flips
+        supervisor = Supervisor([node])
+        drive(node, goal, world, supervisor, steps=400)
+        assert not [i for i in supervisor.interventions
+                    if i.kind == "exploration-jolt"]
+
+    def test_escalation_after_repeated_collapses(self):
+        node, _goal = make_child("c", seed=5)
+        supervisor = Supervisor([node], escalate_after=2, jolt_duration=5)
+        t = 0.0
+        for _round in range(3):
+            for _ in range(40):
+                supervisor.observe_child("c", t, 0.9)
+                t += 1
+            for _ in range(40):
+                supervisor.observe_child("c", t, 0.1)
+                t += 1
+        assert "c" in supervisor.escalations
+
+    def test_describe(self):
+        node, _ = make_child("c")
+        supervisor = Supervisor([node])
+        assert "supervising 1 node(s)" in supervisor.describe()
+
+
+class TestSupervisionHelps:
+    def test_supervised_child_recovers_unsupervised_stays_stuck(self):
+        supervised_tail, unsupervised_tail = [], []
+        for seed in range(3):
+            utilities, _sup = stuck_scenario(seed=10 + seed, supervised=True)
+            supervised_tail.append(float(np.mean(utilities[500:])))
+            utilities, _ = stuck_scenario(seed=10 + seed, supervised=False)
+            unsupervised_tail.append(float(np.mean(utilities[500:])))
+        assert float(np.mean(supervised_tail)) > \
+            float(np.mean(unsupervised_tail)) + 0.3

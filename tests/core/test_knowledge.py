@@ -1,0 +1,162 @@
+"""Tests for self-knowledge: observations, histories, beliefs."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.knowledge import Belief, History, KnowledgeBase
+from repro.core.spans import Span, private, public
+
+
+class TestBelief:
+    def test_confidence_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            Belief(private("x"), 1.0, confidence=1.5, time=0.0)
+        with pytest.raises(ValueError):
+            Belief(private("x"), 1.0, confidence=-0.1, time=0.0)
+
+    def test_discount_halves_at_half_life(self):
+        b = Belief(private("x"), 1.0, confidence=0.8, time=0.0)
+        aged = b.discounted(now=10.0, half_life=10.0)
+        assert aged.confidence == pytest.approx(0.4)
+        assert aged.value == b.value
+
+    def test_discount_disabled_with_nonpositive_half_life(self):
+        b = Belief(private("x"), 1.0, confidence=0.8, time=0.0)
+        assert b.discounted(now=100.0, half_life=0.0).confidence == 0.8
+
+    def test_discount_never_increases_confidence(self):
+        b = Belief(private("x"), 1.0, confidence=0.8, time=5.0)
+        assert b.discounted(now=1.0, half_life=2.0).confidence == 0.8
+
+
+class TestHistory:
+    def test_records_in_time_order(self):
+        h = History(private("x"))
+        h.record(1.0, 10.0)
+        h.record(2.0, 20.0)
+        with pytest.raises(ValueError):
+            h.record(1.5, 15.0)
+
+    def test_bounded_retention(self):
+        h = History(private("x"), maxlen=3)
+        for t in range(10):
+            h.record(float(t), float(t))
+        assert len(h) == 3
+        assert h.values() == [7.0, 8.0, 9.0]
+
+    def test_maxlen_must_be_positive(self):
+        with pytest.raises(ValueError):
+            History(private("x"), maxlen=0)
+
+    def test_latest_none_when_empty(self):
+        assert History(private("x")).latest is None
+
+    def test_mean_and_std(self):
+        h = History(private("x"))
+        for t, v in enumerate([2.0, 4.0, 6.0]):
+            h.record(float(t), v)
+        assert h.mean() == pytest.approx(4.0)
+        assert h.std() == pytest.approx(math.sqrt(8.0 / 3.0))
+
+    def test_mean_of_empty_is_nan(self):
+        assert math.isnan(History(private("x")).mean())
+
+    def test_trend_recovers_linear_slope(self):
+        h = History(private("x"))
+        for t in range(10):
+            h.record(float(t), 3.0 * t + 1.0)
+        assert h.trend() == pytest.approx(3.0)
+
+    def test_trend_zero_for_short_history(self):
+        h = History(private("x"))
+        h.record(0.0, 5.0)
+        assert h.trend() == 0.0
+
+    def test_windowed_stats_use_tail(self):
+        h = History(private("x"))
+        for t, v in enumerate([100.0, 1.0, 2.0, 3.0]):
+            h.record(float(t), v)
+        assert h.mean(window=3) == pytest.approx(2.0)
+
+    def test_since_filters_strictly(self):
+        h = History(private("x"))
+        for t in range(5):
+            h.record(float(t), float(t))
+        assert [o.time for o in h.since(2.0)] == [3.0, 4.0]
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_mean_within_min_max(self, values):
+        h = History(private("x"), maxlen=100)
+        for t, v in enumerate(values):
+            h.record(float(t), v)
+        assert min(values) - 1e-6 <= h.mean() <= max(values) + 1e-6
+
+
+class TestKnowledgeBase:
+    def test_observe_creates_history_and_fresh_belief(self):
+        kb = KnowledgeBase()
+        kb.observe(private("x"), 1.0, 42.0)
+        assert kb.has(private("x"))
+        b = kb.belief(private("x"))
+        assert b.value == 42.0 and b.confidence == 1.0
+
+    def test_value_default_for_unknown(self):
+        kb = KnowledgeBase()
+        assert math.isnan(kb.value(private("missing")))
+        assert kb.value(private("missing"), default=-1.0) == -1.0
+
+    def test_belief_age_discounting(self):
+        kb = KnowledgeBase()
+        kb.observe(private("x"), 0.0, 1.0)
+        b = kb.belief(private("x"), now=10.0, half_life=10.0)
+        assert b.confidence == pytest.approx(0.5)
+
+    def test_scopes_partitioned_by_span(self):
+        kb = KnowledgeBase()
+        kb.observe(private("a"), 0.0, 1.0)
+        kb.observe(public("b"), 0.0, 2.0)
+        assert kb.scopes(Span.PRIVATE) == [private("a")]
+        assert kb.scopes(Span.PUBLIC) == [public("b")]
+        assert len(kb.scopes()) == 2
+
+    def test_social_scopes(self):
+        kb = KnowledgeBase()
+        kb.observe(public("load", entity="n1"), 0.0, 1.0)
+        kb.observe(private("load"), 0.0, 2.0)
+        assert kb.social_scopes() == [public("load", entity="n1")]
+
+    def test_staleness(self):
+        kb = KnowledgeBase()
+        assert math.isinf(kb.staleness(private("x"), now=5.0))
+        kb.observe(private("x"), 2.0, 1.0)
+        assert kb.staleness(private("x"), now=5.0) == pytest.approx(3.0)
+
+    def test_coverage(self):
+        kb = KnowledgeBase()
+        kb.observe(private("a"), 0.0, 1.0)
+        expected = [private("a"), private("b")]
+        assert kb.coverage(expected) == pytest.approx(0.5)
+        assert kb.coverage([]) == 1.0
+
+    def test_snapshot_flattens_beliefs(self):
+        kb = KnowledgeBase()
+        kb.observe(private("a"), 0.0, 1.5)
+        snap = kb.snapshot()
+        assert snap == {"private:a": 1.5}
+
+    def test_believe_installs_derived_belief(self):
+        kb = KnowledgeBase()
+        kb.believe(Belief(private("x"), 3.0, confidence=0.4, time=1.0))
+        assert kb.value(private("x")) == 3.0
+        # No history though: a belief is not an observation.
+        assert not kb.has(private("x"))
+
+    def test_history_bound_propagates(self):
+        kb = KnowledgeBase(history_maxlen=2)
+        for t in range(5):
+            kb.observe(private("x"), float(t), float(t))
+        assert len(kb.history(private("x"))) == 2

@@ -1,0 +1,126 @@
+"""Tests for the generic control loop and traces."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.goals import Goal, Objective
+from repro.core.levels import CapabilityProfile
+from repro.core.loop import SimulationClock, Trace, TraceStep, run_control_loop
+from repro.core.models import EmpiricalActionModel
+from repro.core.node import SelfAwareNode
+from repro.core.reasoner import StaticPolicy, UtilityReasoner
+from repro.core.sensors import Sensor, SensorSuite
+from repro.core.spans import private, public
+
+
+class ToyEnvironment:
+    """Two actions; 'good' pays 0.9, 'bad' pays 0.1 on metric 'perf'."""
+
+    def __init__(self):
+        self.applied = []
+
+    def candidate_actions(self, now):
+        return ["good", "bad"]
+
+    def apply(self, action, now):
+        self.applied.append(action)
+        return {"perf": 0.9 if action == "good" else 0.1}
+
+
+class TestSimulationClock:
+    def test_ticks_advance_time(self):
+        clock = SimulationClock(start=0.0, dt=0.5)
+        assert clock.tick() == 0.5
+        assert clock.tick() == 1.0
+        assert clock.ticks == 2
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            SimulationClock(dt=0.0)
+
+
+class TestTrace:
+    def _trace(self):
+        t = Trace(node_name="n")
+        for i, (a, u) in enumerate([("x", 0.1), ("x", 0.2), ("y", 0.6)]):
+            t.append(TraceStep(time=float(i), action=a, metrics={"perf": u},
+                               utility=u, explored=False, sensing_cost=1.0))
+        return t
+
+    def test_mean_utility(self):
+        assert self._trace().mean_utility() == pytest.approx(0.3)
+
+    def test_mean_utility_between(self):
+        assert self._trace().mean_utility_between(1.0, 3.0) == pytest.approx(0.4)
+        assert math.isnan(self._trace().mean_utility_between(10.0, 20.0))
+
+    def test_empty_trace_mean_is_nan(self):
+        assert math.isnan(Trace(node_name="n").mean_utility())
+
+    def test_action_changes(self):
+        assert self._trace().action_changes() == 1
+
+    def test_metric_series(self):
+        assert self._trace().metric_series("perf") == [0.1, 0.2, 0.6]
+        assert all(math.isnan(v) for v in self._trace().metric_series("missing"))
+
+    def test_total_sensing_cost(self):
+        assert self._trace().total_sensing_cost() == pytest.approx(3.0)
+
+
+class TestRunControlLoop:
+    def _node(self, reasoner):
+        suite = SensorSuite([Sensor(private("tick"), lambda: 0.0)])
+        return SelfAwareNode("n", CapabilityProfile.minimal(), suite, reasoner)
+
+    def test_learning_node_converges_to_good_action(self):
+        goal = Goal([Objective("perf")])
+        reasoner = UtilityReasoner(goal, EmpiricalActionModel(), epsilon=0.1,
+                                   rng=np.random.default_rng(0))
+        env = ToyEnvironment()
+        trace = run_control_loop(self._node(reasoner), env, goal, steps=100)
+        # Late in the run the good action dominates.
+        late = [s.action for s in trace.steps[-20:]]
+        assert late.count("good") >= 16
+        assert trace.mean_utility() > 0.5
+
+    def test_static_node_never_adapts(self):
+        goal = Goal([Objective("perf")])
+        env = ToyEnvironment()
+        trace = run_control_loop(self._node(StaticPolicy("bad")), env, goal, steps=30)
+        assert all(s.action == "bad" for s in trace.steps)
+        assert trace.mean_utility() == pytest.approx(0.1)
+
+    def test_trace_length_matches_steps(self):
+        goal = Goal([Objective("perf")])
+        trace = run_control_loop(self._node(StaticPolicy("good")),
+                                 ToyEnvironment(), goal, steps=17)
+        assert len(trace) == 17
+
+    def test_invalid_steps(self):
+        goal = Goal([Objective("perf")])
+        with pytest.raises(ValueError):
+            run_control_loop(self._node(StaticPolicy("good")),
+                             ToyEnvironment(), goal, steps=0)
+
+    def test_clock_is_respected(self):
+        goal = Goal([Objective("perf")])
+        clock = SimulationClock(start=100.0, dt=2.0)
+        trace = run_control_loop(self._node(StaticPolicy("good")),
+                                 ToyEnvironment(), goal, steps=3, clock=clock)
+        assert [s.time for s in trace.steps] == [102.0, 104.0, 106.0]
+
+    def test_peer_reports_are_delivered(self):
+        class ReportingEnvironment(ToyEnvironment):
+            def peer_reports(self, now):
+                yield ("peer-7", "load", 0.42)
+
+        goal = Goal([Objective("perf")])
+        node = self._node(StaticPolicy("good"))
+        run_control_loop(node, ReportingEnvironment(), goal, steps=5)
+        scope = public("load", entity="peer-7")
+        assert node.knowledge.has(scope)
+        assert node.knowledge.value(scope) == 0.42
+        assert len(node.knowledge.history(scope)) == 5

@@ -1,0 +1,126 @@
+"""Tests for meta-self-awareness: strategy monitoring and switching."""
+
+import math
+
+import pytest
+
+from repro.core.meta import MetaReasoner
+from repro.core.reasoner import Decision, Reasoner
+from repro.learning.drift import PageHinkley
+
+
+class FixedReasoner(Reasoner):
+    """Test double: always proposes the same action; records learn calls."""
+
+    def __init__(self, action):
+        self.action = action
+        self.learned = []
+
+    def decide(self, time, context, actions):
+        return Decision(action=self.action, time=time, reason=f"always {self.action}")
+
+    def learn(self, context, action, outcome):
+        self.learned.append((action, dict(outcome)))
+
+
+def make_meta(probe_interval=0, cooldown=2, margin=0.05, detector_factory=None):
+    return MetaReasoner(
+        strategies={"a": FixedReasoner("a"), "b": FixedReasoner("b")},
+        initial="a", probe_interval=probe_interval, cooldown=cooldown,
+        switch_margin=margin, detector_factory=detector_factory)
+
+
+class TestMetaReasonerBasics:
+    def test_delegates_to_active_strategy(self):
+        meta = make_meta()
+        d = meta.decide(1.0, {}, ["a", "b"])
+        assert d.action == "a"
+        assert "meta" in d.reason
+
+    def test_learn_feeds_all_strategies(self):
+        meta = make_meta()
+        meta.learn({}, "a", {"x": 1.0})
+        assert all(len(s.learned) == 1 for s in meta.strategies.values())
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError):
+            MetaReasoner(strategies={})
+
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(ValueError):
+            MetaReasoner(strategies={"a": FixedReasoner("a")}, initial="zzz")
+
+    def test_probing_visits_rivals(self):
+        meta = make_meta(probe_interval=3)
+        actions_seen = []
+        for t in range(9):
+            d = meta.decide(float(t), {}, ["a", "b"])
+            actions_seen.append(d.action)
+            meta.observe_utility(float(t), 0.5)
+        assert "b" in actions_seen  # every 3rd decision probes
+
+    def test_self_assessment_reports_all_strategies(self):
+        meta = make_meta()
+        assessment = meta.self_assessment()
+        assert set(assessment) == {"a", "b"}
+        assert all(math.isnan(v) for v in assessment.values())
+
+
+class TestSwitching:
+    def test_window_comparison_switch(self):
+        meta = make_meta(probe_interval=2, cooldown=3, margin=0.05)
+        # Strategy 'a' earns 0.2; strategy 'b' (probed) earns 0.9.
+        switched = False
+        for t in range(60):
+            d = meta.decide(float(t), {}, ["a", "b"])
+            utility = 0.9 if d.action == "b" else 0.2
+            if meta.observe_utility(float(t), utility):
+                switched = True
+                break
+        assert switched
+        assert meta.active == "b"
+        assert meta.switches[0].from_strategy == "a"
+
+    def test_cooldown_blocks_immediate_switch(self):
+        meta = make_meta(probe_interval=0, cooldown=100, margin=0.0)
+        for t in range(50):
+            meta.decide(float(t), {}, ["a", "b"])
+            assert meta.observe_utility(float(t), 0.1) is None
+        assert meta.active == "a"
+
+    def test_drift_detector_triggers_switch(self):
+        meta = make_meta(
+            probe_interval=0, cooldown=1, margin=10.0,  # disable window switch
+            detector_factory=lambda: PageHinkley(delta=0.01, threshold=1.0,
+                                                 direction="decrease",
+                                                 min_samples=5))
+        # High utility, then collapse.
+        switched_at = None
+        for t in range(100):
+            meta.decide(float(t), {}, ["a", "b"])
+            utility = 0.9 if t < 40 else 0.1
+            if meta.observe_utility(float(t), utility):
+                switched_at = t
+                break
+        assert switched_at is not None and switched_at >= 40
+        assert "drift" in meta.switches[0].reason
+
+    def test_single_strategy_never_switches(self):
+        meta = MetaReasoner(strategies={"only": FixedReasoner("x")}, cooldown=0)
+        for t in range(20):
+            meta.decide(float(t), {}, ["x"])
+            assert meta.observe_utility(float(t), 0.0) is None
+
+    def test_describe_mentions_active_strategy(self):
+        meta = make_meta()
+        assert "'a'" in meta.describe()
+
+    def test_hysteresis_margin(self):
+        # Rival better, but within the margin: no switch.
+        meta = make_meta(probe_interval=2, cooldown=1, margin=0.5)
+        for t in range(60):
+            d = meta.decide(float(t), {}, ["a", "b"])
+            utility = 0.6 if d.action == "b" else 0.5
+            meta.observe_utility(float(t), utility)
+        assert meta.active == "a"
+        assert not meta.switches

@@ -1,0 +1,164 @@
+"""Tests for self-models: empirical, contextual, prior, blended."""
+
+import math
+
+import pytest
+
+from repro.core.models import (BlendedModel, ContextualActionModel,
+                               EmpiricalActionModel, ModelQualityTracker,
+                               PriorModel)
+
+
+class TestEmpiricalActionModel:
+    def test_learns_running_mean(self):
+        m = EmpiricalActionModel()
+        for v in [1.0, 2.0, 3.0]:
+            m.update({}, "a", {"perf": v})
+        assert m.predict({}, "a")["perf"] == pytest.approx(2.0)
+
+    def test_unknown_action_predicts_empty(self):
+        assert EmpiricalActionModel().predict({}, "never") == {}
+
+    def test_confidence_grows_with_experience(self):
+        m = EmpiricalActionModel(confidence_scale=5.0)
+        assert m.confidence({}, "a") == 0.0
+        for _ in range(5):
+            m.update({}, "a", {"x": 1.0})
+        assert m.confidence({}, "a") == pytest.approx(0.5)
+        for _ in range(100):
+            m.update({}, "a", {"x": 1.0})
+        assert m.confidence({}, "a") > 0.9
+
+    def test_forgetting_tracks_regime_change(self):
+        plastic = EmpiricalActionModel(forgetting=0.7)
+        stale = EmpiricalActionModel(forgetting=1.0)
+        for _ in range(50):
+            plastic.update({}, "a", {"x": 0.0})
+            stale.update({}, "a", {"x": 0.0})
+        for _ in range(10):
+            plastic.update({}, "a", {"x": 1.0})
+            stale.update({}, "a", {"x": 1.0})
+        assert plastic.predict({}, "a")["x"] > stale.predict({}, "a")["x"]
+        assert plastic.predict({}, "a")["x"] > 0.8
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EmpiricalActionModel(forgetting=0.0)
+        with pytest.raises(ValueError):
+            EmpiricalActionModel(confidence_scale=0.0)
+
+    def test_known_actions(self):
+        m = EmpiricalActionModel()
+        m.update({}, "a", {"x": 1.0})
+        m.update({}, "b", {"x": 2.0})
+        assert set(m.known_actions()) == {"a", "b"}
+
+    def test_reset_forgets_everything(self):
+        m = EmpiricalActionModel()
+        for _ in range(20):
+            m.update({}, "a", {"x": 1.0})
+        m.reset()
+        assert m.predict({}, "a") == {}
+        assert m.confidence({}, "a") == 0.0
+        assert m.known_actions() == []
+
+
+class TestContextualActionModel:
+    def test_distinguishes_contexts(self):
+        m = ContextualActionModel()
+        for _ in range(5):
+            m.update({"load": 0.1}, "a", {"perf": 1.0})
+            m.update({"load": 0.9}, "a", {"perf": 5.0})
+        assert m.predict({"load": 0.1}, "a")["perf"] == pytest.approx(1.0)
+        assert m.predict({"load": 0.9}, "a")["perf"] == pytest.approx(5.0)
+        assert m.bin_count() == 2
+
+    def test_falls_back_to_pooled_estimate(self):
+        m = ContextualActionModel()
+        m.update({"load": 0.1}, "a", {"perf": 2.0})
+        m.update({"load": 0.9}, "a", {"perf": 4.0})
+        # Unseen bin: pooled mean of bins.
+        assert m.predict({"load": 0.5}, "a")["perf"] == pytest.approx(3.0)
+
+    def test_confidence_is_per_bin(self):
+        m = ContextualActionModel(confidence_scale=1.0)
+        m.update({"load": 0.1}, "a", {"perf": 1.0})
+        assert m.confidence({"load": 0.1}, "a") > 0.0
+        assert m.confidence({"load": 0.9}, "a") == 0.0
+
+    def test_reset_clears_all_bins(self):
+        m = ContextualActionModel()
+        m.update({"load": 0.1}, "a", {"perf": 1.0})
+        m.update({"load": 0.9}, "a", {"perf": 5.0})
+        m.reset()
+        assert m.bin_count() == 0
+        assert m.predict({"load": 0.1}, "a") == {}
+
+
+class TestPriorModel:
+    def test_predicts_from_table_and_never_learns(self):
+        p = PriorModel({"a": {"perf": 3.0}})
+        assert p.predict({}, "a") == {"perf": 3.0}
+        p.update({}, "a", {"perf": 100.0})
+        assert p.predict({}, "a") == {"perf": 3.0}
+
+    def test_confidence_zero_for_unknown_action(self):
+        p = PriorModel({"a": {"perf": 3.0}}, stated_confidence=0.9)
+        assert p.confidence({}, "a") == 0.9
+        assert p.confidence({}, "b") == 0.0
+
+    def test_reset_is_a_noop_for_priors(self):
+        p = PriorModel({"a": {"perf": 3.0}})
+        p.reset()
+        assert p.predict({}, "a") == {"perf": 3.0}
+
+
+class TestBlendedReset:
+    def test_reset_clears_learned_keeps_prior(self):
+        prior = PriorModel({"a": {"perf": 1.0}})
+        blend = BlendedModel(prior, EmpiricalActionModel(confidence_scale=1.0))
+        for _ in range(50):
+            blend.update({}, "a", {"perf": 9.0})
+        blend.reset()
+        assert blend.predict({}, "a")["perf"] == pytest.approx(1.0)
+
+
+class TestBlendedModel:
+    def test_prior_dominates_initially_then_learned_takes_over(self):
+        prior = PriorModel({"a": {"perf": 0.0}})
+        learned = EmpiricalActionModel(confidence_scale=2.0)
+        blend = BlendedModel(prior, learned)
+        assert blend.predict({}, "a")["perf"] == pytest.approx(0.0)
+        for _ in range(50):
+            blend.update({}, "a", {"perf": 10.0})
+        assert blend.predict({}, "a")["perf"] > 9.0
+
+    def test_learned_only_metric_passes_through(self):
+        prior = PriorModel({"a": {"perf": 1.0}})
+        learned = EmpiricalActionModel()
+        blend = BlendedModel(prior, learned)
+        blend.update({}, "a", {"cost": 7.0})
+        pred = blend.predict({}, "a")
+        assert "cost" in pred and "perf" in pred
+
+
+class TestModelQualityTracker:
+    def test_tracks_absolute_error(self):
+        t = ModelQualityTracker(alpha=1.0)
+        err = t.record({"x": 1.0}, {"x": 3.0})
+        assert err == pytest.approx(2.0)
+        assert t.error("x") == pytest.approx(2.0)
+
+    def test_mean_error_nan_before_data(self):
+        assert math.isnan(ModelQualityTracker().mean_error())
+
+    def test_ewma_smoothing(self):
+        t = ModelQualityTracker(alpha=0.5)
+        t.record({"x": 0.0}, {"x": 4.0})   # error 4
+        t.record({"x": 0.0}, {"x": 0.0})   # error 0
+        assert t.error("x") == pytest.approx(2.0)
+
+    def test_unshared_metrics_ignored(self):
+        t = ModelQualityTracker()
+        err = t.record({"x": 1.0}, {"y": 5.0})
+        assert math.isnan(err)

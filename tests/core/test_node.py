@@ -1,0 +1,150 @@
+"""Tests for the assembled self-aware node."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.actuators import Actuator, ExpressionEngine, Guard
+from repro.core.goals import Goal, Objective
+from repro.core.levels import CapabilityProfile, SelfAwarenessLevel
+from repro.core.models import EmpiricalActionModel
+from repro.core.node import SelfAwareNode
+from repro.core.reasoner import StaticPolicy, UtilityReasoner
+from repro.core.sensors import Sensor, SensorSuite
+from repro.core.spans import private, public
+
+
+class World:
+    """Tiny mutable world the test sensors read."""
+
+    def __init__(self):
+        self.load = 0.5
+
+
+@pytest.fixture
+def world():
+    return World()
+
+
+def make_node(world, profile, reasoner=None):
+    suite = SensorSuite([Sensor(private("load"), lambda: world.load)])
+    if reasoner is None:
+        goal = Goal([Objective("perf")])
+        reasoner = UtilityReasoner(goal, EmpiricalActionModel(), epsilon=0.0,
+                                   rng=np.random.default_rng(0))
+    return SelfAwareNode(name="n", profile=profile, sensors=suite,
+                         reasoner=reasoner)
+
+
+class TestPerception:
+    def test_perceive_populates_knowledge(self, world):
+        node = make_node(world, CapabilityProfile.minimal())
+        node.perceive(1.0)
+        assert node.knowledge.value(private("load")) == 0.5
+
+    def test_context_empty_without_stimulus_level(self, world):
+        node = make_node(world, CapabilityProfile.of())
+        node.perceive(1.0)
+        assert node.context(1.0) == {}
+
+    def test_stimulus_context_has_current_values(self, world):
+        node = make_node(world, CapabilityProfile.minimal())
+        node.perceive(1.0)
+        ctx = node.context(1.0)
+        assert ctx == {"load": 0.5}
+
+    def test_time_level_adds_trend_features(self, world):
+        profile = CapabilityProfile.up_to(SelfAwarenessLevel.TIME)
+        node = make_node(world, profile)
+        for t in range(5):
+            world.load = 0.1 * t
+            node.perceive(float(t))
+        ctx = node.context(5.0)
+        assert "load.trend" in ctx and "load.mean" in ctx
+        assert ctx["load.trend"] == pytest.approx(0.1)
+
+    def test_social_knowledge_gated_by_interaction_level(self, world):
+        stim = make_node(world, CapabilityProfile.minimal())
+        inter = make_node(world, CapabilityProfile.up_to(SelfAwarenessLevel.INTERACTION))
+        for node in (stim, inter):
+            node.perceive(1.0)
+            node.receive_report("peer", "load", 1.0, 0.9)
+        assert "load@peer" not in stim.context(1.0)
+        assert inter.context(1.0)["load@peer"] == 0.9
+
+
+class TestStepAndFeedback:
+    def test_step_produces_decision_and_journal(self, world):
+        node = make_node(world, CapabilityProfile.minimal())
+        result = node.step(1.0, ["a", "b"])
+        assert result.decision.action in ("a", "b")
+        assert len(node.log) == 1
+
+    def test_feedback_without_decision_raises(self, world):
+        node = make_node(world, CapabilityProfile.minimal())
+        with pytest.raises(RuntimeError):
+            node.feedback({"perf": 1.0})
+
+    def test_feedback_trains_model(self, world):
+        node = make_node(world, CapabilityProfile.minimal())
+        node.step(1.0, ["a"])
+        node.feedback({"perf": 0.7})
+        assert node.reasoner.model.predict({}, "a")["perf"] == pytest.approx(0.7)
+
+    def test_feedback_attaches_outcome_to_journal(self, world):
+        node = make_node(world, CapabilityProfile.minimal())
+        node.step(1.0, ["a"])
+        node.feedback({"perf": 0.7})
+        assert node.log.last().outcome == {"perf": 0.7}
+
+    def test_expression_engine_applies_action(self, world):
+        applied = []
+        expression = ExpressionEngine()
+        for a in ("a", "b"):
+            expression.add_actuator(Actuator(a, effect=lambda a=a: applied.append(a)))
+        node = make_node(world, CapabilityProfile.minimal())
+        node.expression = expression
+        result = node.step(1.0, ["a", "b"])
+        assert result.actuation.applied
+        assert applied
+
+    def test_guard_veto_reported_in_step(self, world):
+        expression = ExpressionEngine()
+        expression.add_actuator(Actuator("a", effect=lambda: None))
+        expression.add_guard(Guard("no", lambda a, c: "never"))
+        node = make_node(world, CapabilityProfile.minimal(),
+                         reasoner=StaticPolicy("a"))
+        node.expression = expression
+        result = node.step(1.0, ["a"])
+        assert not result.actuation.applied
+
+
+class TestIntrospection:
+    def test_explain_references_last_decision(self, world):
+        node = make_node(world, CapabilityProfile.minimal())
+        node.step(1.0, ["a"])
+        assert "t=1" in node.explain()
+
+    def test_describe_mentions_profile(self, world):
+        node = make_node(world, CapabilityProfile.minimal())
+        assert "stimulus" in node.describe()
+
+    def test_share_belief_only_public(self, world):
+        suite = SensorSuite([
+            Sensor(private("secret"), lambda: 1.0),
+            Sensor(public("visible"), lambda: 2.0),
+        ])
+        node = SelfAwareNode("n", CapabilityProfile.minimal(), suite,
+                             StaticPolicy("a"))
+        node.perceive(1.0)
+        assert node.share_belief(private("secret")) is None
+        assert node.share_belief(public("visible")) == 2.0
+
+    def test_sensing_cost_accumulates(self, world):
+        suite = SensorSuite([Sensor(private("load"), lambda: world.load, cost=2.0)])
+        node = SelfAwareNode("n", CapabilityProfile.minimal(), suite,
+                             StaticPolicy("a"))
+        node.step(1.0, ["a"])
+        node.step(2.0, ["a"])
+        assert node.total_sensing_cost == pytest.approx(4.0)

@@ -1,0 +1,94 @@
+"""Tests for the architectural pattern builders."""
+
+import numpy as np
+import pytest
+
+from repro.core.goals import Goal, Objective
+from repro.core.levels import CapabilityProfile, SelfAwarenessLevel, ladder
+from repro.core.meta import MetaReasoner
+from repro.core.models import ContextualActionModel, EmpiricalActionModel
+from repro.core.patterns import (build_model, build_node, build_reasoner,
+                                 build_static_node, clone_goal)
+from repro.core.reasoner import StaticPolicy, UtilityReasoner
+from repro.core.sensors import Sensor, SensorSuite
+from repro.core.spans import private
+
+
+@pytest.fixture
+def goal():
+    return Goal([Objective("perf"), Objective("cost", maximise=False)],
+                name="live")
+
+
+@pytest.fixture
+def sensors():
+    return SensorSuite([Sensor(private("load"), lambda: 0.5)])
+
+
+class TestCloneGoal:
+    def test_clone_snapshot_is_insulated(self, goal):
+        frozen = clone_goal(goal)
+        goal.set_weights({"perf": 10.0, "cost": 1.0})
+        assert frozen.weights["perf"] == pytest.approx(0.5)
+        assert goal.weights["perf"] != frozen.weights["perf"]
+
+    def test_clone_preserves_structure(self, goal):
+        frozen = clone_goal(goal)
+        assert frozen.objective_names == goal.objective_names
+        assert "design-time" in frozen.name
+
+
+class TestBuildModel:
+    def test_contextfree_below_interaction(self):
+        m = build_model(CapabilityProfile.minimal())
+        assert isinstance(m, EmpiricalActionModel)
+
+    def test_contextual_with_time_or_interaction(self):
+        for level in (SelfAwarenessLevel.INTERACTION, SelfAwarenessLevel.TIME):
+            m = build_model(CapabilityProfile.up_to(level))
+            assert isinstance(m, ContextualActionModel)
+
+
+class TestBuildReasoner:
+    def test_non_meta_profiles_get_utility_reasoner(self, goal):
+        r = build_reasoner(CapabilityProfile.minimal(), goal,
+                           rng=np.random.default_rng(0))
+        assert isinstance(r, UtilityReasoner)
+
+    def test_goal_unaware_reasoner_uses_frozen_goal(self, goal):
+        r = build_reasoner(CapabilityProfile.up_to(SelfAwarenessLevel.TIME),
+                           goal, rng=np.random.default_rng(0))
+        assert r.goal is not goal
+        goal.set_weights({"perf": 100.0, "cost": 1.0})
+        assert r.goal.weights["perf"] == pytest.approx(0.5)
+
+    def test_goal_aware_reasoner_reads_live_goal(self, goal):
+        r = build_reasoner(CapabilityProfile.up_to(SelfAwarenessLevel.GOAL),
+                           goal, rng=np.random.default_rng(0))
+        assert r.goal is goal
+
+    def test_meta_profile_gets_meta_reasoner(self, goal):
+        r = build_reasoner(CapabilityProfile.full_stack(), goal,
+                           rng=np.random.default_rng(0))
+        assert isinstance(r, MetaReasoner)
+        assert set(r.strategies) == {"stable", "plastic"}
+
+
+class TestBuildNode:
+    def test_ladder_nodes_have_matching_profiles(self, goal, sensors):
+        for profile in ladder():
+            node = build_node("n", profile, sensors, goal,
+                              rng=np.random.default_rng(0))
+            assert node.profile == profile
+
+    def test_static_node_has_empty_profile(self, sensors):
+        node = build_static_node("s", sensors, action="a")
+        assert len(node.profile) == 0
+        assert isinstance(node.reasoner, StaticPolicy)
+
+    def test_built_node_runs_a_step(self, goal, sensors):
+        node = build_node("n", CapabilityProfile.full_stack(), sensors, goal,
+                          rng=np.random.default_rng(0))
+        result = node.step(1.0, ["a", "b"])
+        node.feedback({"perf": 0.5, "cost": 0.2}, utility=0.6)
+        assert result.decision.action in ("a", "b")

@@ -1,0 +1,103 @@
+"""Tests for sensors and sensor suites."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.knowledge import KnowledgeBase
+from repro.core.sensors import Sensor, SensorSuite
+from repro.core.spans import private, public
+
+
+def constant(value):
+    return lambda: value
+
+
+class TestSensor:
+    def test_noiseless_sample_is_exact(self):
+        s = Sensor(private("x"), constant(5.0))
+        r = s.sample(1.0)
+        assert r.is_valid() and r.value == 5.0
+
+    def test_noise_is_applied(self):
+        rng = np.random.default_rng(0)
+        s = Sensor(private("x"), constant(0.0), noise_std=1.0, rng=rng)
+        values = [s.sample(float(t)).value for t in range(200)]
+        assert np.std(values) == pytest.approx(1.0, rel=0.2)
+        assert np.mean(values) == pytest.approx(0.0, abs=0.2)
+
+    def test_failures_produce_invalid_readings(self):
+        rng = np.random.default_rng(1)
+        s = Sensor(private("x"), constant(1.0), failure_rate=1.0, rng=rng)
+        r = s.sample(0.0)
+        assert not r.is_valid()
+        assert s.observed_failure_rate == 1.0
+
+    def test_observed_failure_rate_tracks_empirical(self):
+        rng = np.random.default_rng(2)
+        s = Sensor(private("x"), constant(1.0), failure_rate=0.3, rng=rng)
+        for t in range(500):
+            s.sample(float(t))
+        assert s.observed_failure_rate == pytest.approx(0.3, abs=0.07)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Sensor(private("x"), constant(1.0), noise_std=-1.0)
+        with pytest.raises(ValueError):
+            Sensor(private("x"), constant(1.0), failure_rate=2.0)
+        with pytest.raises(ValueError):
+            Sensor(private("x"), constant(1.0), cost=-0.1)
+
+
+class TestSensorSuite:
+    def test_duplicate_scope_rejected(self):
+        suite = SensorSuite([Sensor(private("x"), constant(1.0))])
+        with pytest.raises(ValueError):
+            suite.add(Sensor(private("x"), constant(2.0)))
+
+    def test_sample_into_records_valid_readings(self):
+        suite = SensorSuite([
+            Sensor(private("a"), constant(1.0)),
+            Sensor(public("b"), constant(2.0)),
+        ])
+        kb = KnowledgeBase()
+        readings = suite.sample_into(kb, time=1.0)
+        assert len(readings) == 2
+        assert kb.value(private("a")) == 1.0
+        assert kb.value(public("b")) == 2.0
+
+    def test_sample_into_subset(self):
+        suite = SensorSuite([
+            Sensor(private("a"), constant(1.0)),
+            Sensor(private("b"), constant(2.0)),
+        ])
+        kb = KnowledgeBase()
+        suite.sample_into(kb, time=1.0, scopes=[private("a")])
+        assert kb.has(private("a"))
+        assert not kb.has(private("b"))
+
+    def test_failed_reading_not_recorded(self):
+        suite = SensorSuite([
+            Sensor(private("a"), constant(1.0), failure_rate=1.0,
+                   rng=np.random.default_rng(0)),
+        ])
+        kb = KnowledgeBase()
+        readings = suite.sample_into(kb, time=1.0)
+        assert len(readings) == 1 and not readings[0].is_valid()
+        assert not kb.has(private("a"))
+
+    def test_total_cost(self):
+        suite = SensorSuite([
+            Sensor(private("a"), constant(1.0), cost=2.0),
+            Sensor(private("b"), constant(1.0), cost=3.0),
+        ])
+        assert suite.total_cost() == 5.0
+        assert suite.total_cost([private("a")]) == 2.0
+
+    def test_scopes_sorted(self):
+        suite = SensorSuite([
+            Sensor(private("z"), constant(1.0)),
+            Sensor(private("a"), constant(1.0)),
+        ])
+        assert suite.scopes() == [private("a"), private("z")]

@@ -1,0 +1,39 @@
+"""Tests for public/private spans and scopes."""
+
+from repro.core.spans import Scope, Span, private, public
+
+
+class TestSpan:
+    def test_morin_pronouns(self):
+        assert Span.PRIVATE.morin_pronoun == "I"
+        assert Span.PUBLIC.morin_pronoun == "me"
+
+    def test_descriptions_mention_internal_external(self):
+        assert "internal" in Span.PRIVATE.describe()
+        assert "external" in Span.PUBLIC.describe()
+
+
+class TestScope:
+    def test_private_helper(self):
+        s = private("cpu.load")
+        assert s.span is Span.PRIVATE
+        assert s.entity is None
+        assert not s.is_social()
+
+    def test_public_helper_with_entity_is_social(self):
+        s = public("load", entity="node-3")
+        assert s.span is Span.PUBLIC
+        assert s.is_social()
+
+    def test_qualified_name_unique_across_spans(self):
+        assert private("x").qualified_name() != public("x").qualified_name()
+
+    def test_qualified_name_includes_entity(self):
+        assert "@n1" in public("load", entity="n1").qualified_name()
+
+    def test_scope_hashable_and_equal_by_value(self):
+        assert private("a") == private("a")
+        assert len({private("a"), private("a"), public("a")}) == 2
+
+    def test_same_name_different_entity_distinct(self):
+        assert public("load", entity="a") != public("load", entity="b")

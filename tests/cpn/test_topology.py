@@ -1,0 +1,92 @@
+"""Tests for the CPN topology and dynamics."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.cpn.topology import CPNetwork, LinkDisturbance
+
+
+def line3():
+    g = nx.path_graph(3)
+    g[0][1]["delay"] = 2.0
+    g[1][2]["delay"] = 3.0
+    return CPNetwork(g, rng=np.random.default_rng(0))
+
+
+class TestConstruction:
+    def test_requires_connected(self):
+        g = nx.Graph()
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        with pytest.raises(ValueError):
+            CPNetwork(g)
+
+    def test_defaults_applied(self):
+        net = CPNetwork(nx.path_graph(3))
+        assert net.base_delay(0, 1) == 1.0
+        assert net.current_loss(0, 1, 0.0) == pytest.approx(0.005)
+
+    def test_random_geometric_connected(self):
+        net = CPNetwork.random_geometric(n=25, seed=3)
+        assert nx.is_connected(net.graph)
+
+    def test_grid(self):
+        net = CPNetwork.grid(3, 4)
+        assert net.graph.number_of_nodes() == 12
+
+
+class TestDynamics:
+    def test_disturbance_window(self):
+        net = line3()
+        net.add_disturbance(LinkDisturbance(edge=(0, 1), start=10.0,
+                                            duration=5.0, delay_factor=10.0))
+        assert net.current_delay(0, 1, 5.0) == pytest.approx(2.0)
+        assert net.current_delay(0, 1, 12.0) == pytest.approx(20.0)
+        assert net.current_delay(0, 1, 15.0) == pytest.approx(2.0)
+        # Edge order does not matter.
+        assert net.current_delay(1, 0, 12.0) == pytest.approx(20.0)
+
+    def test_disturbance_on_missing_edge_rejected(self):
+        net = line3()
+        with pytest.raises(ValueError):
+            net.add_disturbance(LinkDisturbance(edge=(0, 2), start=0.0,
+                                                duration=1.0))
+
+    def test_attack_inflates_victim_neighbourhood(self):
+        net = line3()
+        net.launch_attack(victim=1, start=10.0, duration=10.0,
+                          delay_factor=4.0, loss_add=0.5)
+        assert net.current_delay(0, 1, 15.0) == pytest.approx(8.0)
+        assert net.current_delay(1, 2, 15.0) == pytest.approx(12.0)
+        assert net.current_loss(0, 1, 15.0) == pytest.approx(0.505)
+        assert not net.attack_active(25.0)
+        assert net.current_delay(0, 1, 25.0) == pytest.approx(2.0)
+
+    def test_attack_on_missing_node_rejected(self):
+        with pytest.raises(ValueError):
+            line3().launch_attack(victim=99, start=0.0, duration=1.0)
+
+    def test_schedule_random_disturbances(self):
+        net = CPNetwork.grid(3, 3, seed=1)
+        net.schedule_random_disturbances(horizon=100.0, count=5)
+        assert len(net.disturbances) == 5
+        assert all(0.0 <= d.start < 100.0 for d in net.disturbances)
+
+
+class TestRoutingTables:
+    def test_static_table_follows_base_delays(self):
+        net = line3()
+        table = net.static_shortest_paths(dest=2)
+        assert table[0] == 1 and table[1] == 2
+        assert 2 not in table
+
+    def test_oracle_table_follows_current_delays(self):
+        g = nx.cycle_graph(4)  # 0-1-2-3-0
+        net = CPNetwork(g, rng=np.random.default_rng(0))
+        # Clockwise route 0->1->2 normally shortest (2 hops either way);
+        # disturb 0-1 so the oracle flips to 0->3->2.
+        net.add_disturbance(LinkDisturbance(edge=(0, 1), start=0.0,
+                                            duration=100.0, delay_factor=10.0))
+        table = net.oracle_shortest_paths(dest=2, t=50.0)
+        assert table[0] == 3

@@ -1,0 +1,101 @@
+"""Tests for the experiment harness."""
+
+import math
+
+import pytest
+
+from repro.experiments.harness import (ExperimentTable, format_table,
+                                       print_tables, to_markdown,
+                                       write_markdown_report)
+
+
+@pytest.fixture
+def table():
+    t = ExperimentTable(experiment_id="EX", title="demo",
+                        columns=["name", "score", "count"])
+    t.add_row(name="a", score=0.5, count=3)
+    t.add_row(name="b", score=0.9, count=1)
+    return t
+
+
+class TestExperimentTable:
+    def test_add_row_rejects_unknown_columns(self, table):
+        with pytest.raises(ValueError):
+            table.add_row(name="c", bogus=1.0)
+
+    def test_column_extraction(self, table):
+        assert table.column("score") == [0.5, 0.9]
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_row_by(self, table):
+        assert table.row_by("name", "b")["score"] == 0.9
+        with pytest.raises(KeyError):
+            table.row_by("name", "zzz")
+
+    def test_best_row(self, table):
+        assert table.best_row("score")["name"] == "b"
+        assert table.best_row("score", maximise=False)["name"] == "a"
+
+    def test_best_row_ignores_nan(self):
+        t = ExperimentTable("EX", "demo", columns=["name", "v"])
+        t.add_row(name="a", v=math.nan)
+        t.add_row(name="b", v=1.0)
+        assert t.best_row("v")["name"] == "b"
+
+    def test_best_row_all_nan_raises(self):
+        t = ExperimentTable("EX", "demo", columns=["name", "v"])
+        t.add_row(name="a", v=math.nan)
+        with pytest.raises(ValueError):
+            t.best_row("v")
+
+    def test_missing_cell_renders_dash(self):
+        t = ExperimentTable("EX", "demo", columns=["name", "v"])
+        t.add_row(name="a")
+        assert "-" in format_table(t)
+
+
+class TestFormatting:
+    def test_format_contains_all_cells(self, table):
+        text = format_table(table)
+        assert "EX" in text and "demo" in text
+        assert "0.500" in text and "0.900" in text
+
+    def test_nan_rendered(self):
+        t = ExperimentTable("EX", "demo", columns=["v"])
+        t.add_row(v=math.nan)
+        assert "nan" in format_table(t)
+
+    def test_large_values_use_scientific(self):
+        t = ExperimentTable("EX", "demo", columns=["v"])
+        t.add_row(v=123456.789)
+        assert "e+" in format_table(t)
+
+    def test_notes_appended(self, table):
+        table.notes = "important caveat"
+        assert "important caveat" in format_table(table)
+
+    def test_print_tables(self, table, capsys):
+        print_tables([table, table])
+        out = capsys.readouterr().out
+        assert out.count("== EX") == 2
+
+
+class TestMarkdown:
+    def test_to_markdown_structure(self, table):
+        md = to_markdown(table)
+        lines = md.splitlines()
+        assert lines[0].startswith("## EX")
+        assert "| name | score | count |" in md
+        assert "| a | 0.500 | 3 |" in md
+
+    def test_notes_italicised(self, table):
+        table.notes = "caveat"
+        assert "*caveat*" in to_markdown(table)
+
+    def test_write_markdown_report(self, table, tmp_path):
+        path = tmp_path / "report.md"
+        write_markdown_report([table, table], str(path), title="Demo")
+        content = path.read_text()
+        assert content.startswith("# Demo")
+        assert content.count("## EX") == 2

@@ -1,0 +1,84 @@
+"""Tests for learning automata."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learning.automata import LearningAutomaton
+
+
+class TestLearningAutomaton:
+    def test_starts_uniform(self):
+        la = LearningAutomaton(4)
+        assert la.probabilities == pytest.approx([0.25] * 4)
+
+    def test_reward_concentrates_probability(self):
+        la = LearningAutomaton(3, reward_step=0.2, floor=0.0,
+                               rng=np.random.default_rng(0))
+        for _ in range(50):
+            la.reward(1)
+        assert la.best() == 1
+        assert la.probabilities[1] > 0.95
+
+    def test_penalise_spreads_probability(self):
+        la = LearningAutomaton(3, reward_step=0.2, penalty_step=0.2, floor=0.0)
+        for _ in range(20):
+            la.reward(0)
+        p_before = la.probabilities[0]
+        la.penalise(0)
+        assert la.probabilities[0] < p_before
+
+    def test_penalty_step_zero_is_inaction(self):
+        la = LearningAutomaton(3, penalty_step=0.0)
+        before = la.probabilities
+        la.penalise(0)
+        assert la.probabilities == pytest.approx(before)
+
+    def test_floor_preserves_exploration(self):
+        la = LearningAutomaton(4, reward_step=0.5, floor=0.02,
+                               rng=np.random.default_rng(0))
+        for _ in range(200):
+            la.reward(0)
+        assert all(p >= 0.02 - 1e-9 for p in la.probabilities)
+
+    def test_probabilities_always_sum_to_one(self):
+        la = LearningAutomaton(5, reward_step=0.3, penalty_step=0.2, floor=0.01,
+                               rng=np.random.default_rng(1))
+        rng = np.random.default_rng(2)
+        for _ in range(300):
+            action = la.select()
+            la.feedback(action, float(rng.random()))
+            assert la.probabilities.sum() == pytest.approx(1.0)
+
+    def test_converges_to_best_under_stochastic_feedback(self):
+        la = LearningAutomaton(3, reward_step=0.1,
+                               rng=np.random.default_rng(3))
+        success = [0.2, 0.9, 0.4]
+        rng = np.random.default_rng(4)
+        for _ in range(2000):
+            action = la.select()
+            la.feedback(action, 1.0 if rng.random() < success[action] else 0.0)
+        assert la.best() == 1
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            LearningAutomaton(0)
+        with pytest.raises(ValueError):
+            LearningAutomaton(2, reward_step=0.0)
+        with pytest.raises(ValueError):
+            LearningAutomaton(2, floor=0.6)
+        with pytest.raises(IndexError):
+            LearningAutomaton(2).reward(5)
+
+    @given(st.integers(min_value=2, max_value=8),
+           st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                    max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_distribution_invariants_under_arbitrary_rewards(self, n, actions):
+        la = LearningAutomaton(n, reward_step=0.3, penalty_step=0.1)
+        for a in actions:
+            la.feedback(a % n, float((a % 2)))
+        probs = la.probabilities
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs >= 0.0)

@@ -1,0 +1,94 @@
+"""Tests for the LinUCB contextual bandit."""
+
+import numpy as np
+import pytest
+
+from repro.learning.contextual import LinUCB
+
+
+def run_contextual(policy, steps, rng, reward_fn, n_features=2):
+    regret = 0.0
+    for _ in range(steps):
+        context = rng.uniform(-1, 1, size=n_features)
+        arm = policy.select(context)
+        rewards = [reward_fn(context, a) for a in range(policy.n_arms)]
+        policy.update(context, arm, rewards[arm] + float(rng.normal(0, 0.05)))
+        regret += max(rewards) - rewards[arm]
+    return regret
+
+
+class TestLinUCB:
+    def test_learns_context_dependent_best_arm(self):
+        # Arm 0 wins when x0 > 0; arm 1 wins otherwise.
+        def reward(context, arm):
+            return context[0] if arm == 0 else -context[0]
+
+        policy = LinUCB(n_arms=2, n_features=2, alpha=0.5)
+        rng = np.random.default_rng(0)
+        run_contextual(policy, 400, rng, reward)
+        assert policy.select([0.8, 0.0]) == 0
+        assert policy.select([-0.8, 0.0]) == 1
+
+    def test_regret_sublinear(self):
+        def reward(context, arm):
+            return context[0] if arm == 0 else -context[0]
+
+        policy = LinUCB(n_arms=2, n_features=2, alpha=0.5)
+        rng = np.random.default_rng(1)
+        early = run_contextual(policy, 200, rng, reward)
+        late = run_contextual(policy, 200, rng, reward)
+        assert late < 0.5 * early
+
+    def test_expected_reward_recovers_linear_map(self):
+        policy = LinUCB(n_arms=1, n_features=1, alpha=0.0, ridge=0.01)
+        rng = np.random.default_rng(2)
+        for _ in range(300):
+            x = float(rng.uniform(-1, 1))
+            policy.update([x], 0, 2.0 * x + 1.0)
+        assert policy.expected_reward([0.5], 0) == pytest.approx(2.0, abs=0.05)
+        assert policy.weights(0) == pytest.approx([1.0, 2.0], abs=0.05)
+
+    def test_ucb_bonus_shrinks_with_data(self):
+        policy = LinUCB(n_arms=1, n_features=1, alpha=1.0)
+        context = [0.5]
+        gap_before = policy.ucb(context, 0) - policy.expected_reward(context, 0)
+        for _ in range(100):
+            policy.update(context, 0, 1.0)
+        gap_after = policy.ucb(context, 0) - policy.expected_reward(context, 0)
+        assert gap_after < 0.2 * gap_before
+
+    def test_unseen_arm_keeps_high_bonus(self):
+        policy = LinUCB(n_arms=2, n_features=1, alpha=1.0)
+        for _ in range(50):
+            policy.update([0.5], 0, 0.2)
+        # Arm 1 never pulled: optimism should select it despite arm 0's
+        # positive record.
+        assert policy.select([0.5]) == 1
+
+    def test_forgetting_tracks_reward_flip(self):
+        tracking = LinUCB(n_arms=1, n_features=1, forgetting=0.95, alpha=0.0)
+        frozen = LinUCB(n_arms=1, n_features=1, forgetting=1.0, alpha=0.0)
+        rng = np.random.default_rng(3)
+        for t in range(400):
+            x = float(rng.uniform(-1, 1))
+            slope = 1.0 if t < 200 else -1.0
+            for policy in (tracking, frozen):
+                policy.update([x], 0, slope * x)
+        assert tracking.expected_reward([1.0], 0) < -0.5
+        assert abs(frozen.expected_reward([1.0], 0)
+                   - (-1.0)) > abs(tracking.expected_reward([1.0], 0) - (-1.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinUCB(0, 1)
+        with pytest.raises(ValueError):
+            LinUCB(1, 0)
+        with pytest.raises(ValueError):
+            LinUCB(1, 1, alpha=-1.0)
+        with pytest.raises(ValueError):
+            LinUCB(1, 1, forgetting=0.0)
+        policy = LinUCB(2, 2)
+        with pytest.raises(ValueError):
+            policy.select([1.0])
+        with pytest.raises(IndexError):
+            policy.update([1.0, 2.0], 5, 0.0)

@@ -1,0 +1,129 @@
+"""Tests for drift detectors."""
+
+import numpy as np
+import pytest
+
+from repro.learning.drift import DDM, PageHinkley, WindowDriftDetector
+
+
+class TestPageHinkley:
+    def test_detects_upward_shift(self):
+        detector = PageHinkley(delta=0.05, threshold=3.0)
+        rng = np.random.default_rng(0)
+        fired_at = None
+        for t in range(400):
+            value = float(rng.normal(0.0 if t < 200 else 2.0, 0.1))
+            if detector.update(value):
+                fired_at = t
+                break
+        assert fired_at is not None and fired_at >= 200
+
+    def test_detects_downward_shift_with_direction(self):
+        detector = PageHinkley(delta=0.05, threshold=3.0, direction="decrease")
+        rng = np.random.default_rng(1)
+        fired_at = None
+        for t in range(400):
+            value = float(rng.normal(2.0 if t < 200 else 0.0, 0.1))
+            if detector.update(value):
+                fired_at = t
+                break
+        assert fired_at is not None and fired_at >= 200
+
+    def test_quiet_on_stationary_stream(self):
+        detector = PageHinkley(delta=0.05, threshold=10.0)
+        rng = np.random.default_rng(2)
+        fired = any(detector.update(float(rng.normal(0, 0.1)))
+                    for _ in range(1000))
+        assert not fired
+
+    def test_min_samples_gate(self):
+        detector = PageHinkley(delta=0.0, threshold=0.001, min_samples=50)
+        assert not any(detector.update(float(t)) for t in range(10))
+
+    def test_can_fire_repeatedly(self):
+        detector = PageHinkley(delta=0.01, threshold=2.0, min_samples=5)
+        rng = np.random.default_rng(3)
+        level = 0.0
+        for t in range(1200):
+            if t % 300 == 299:
+                level += 2.0
+            detector.update(float(rng.normal(level, 0.1)))
+        assert detector.detections >= 2
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            PageHinkley(direction="sideways")
+        with pytest.raises(ValueError):
+            PageHinkley(threshold=0.0)
+
+
+class TestDDM:
+    def test_detects_error_rate_increase(self):
+        detector = DDM()
+        rng = np.random.default_rng(4)
+        fired = []
+        for t in range(2000):
+            p_error = 0.1 if t < 1000 else 0.5
+            error = 1.0 if rng.random() < p_error else 0.0
+            if detector.update(error):
+                fired.append(t)
+        # The true change must be caught shortly after it happens; the odd
+        # false alarm on the noisy prefix is tolerated but must stay rare.
+        assert any(1000 <= t <= 1200 for t in fired)
+        assert sum(1 for t in fired if t < 1000) <= 2
+
+    def test_quiet_on_stable_error_rate(self):
+        detector = DDM()
+        rng = np.random.default_rng(5)
+        fired = any(detector.update(1.0 if rng.random() < 0.2 else 0.0)
+                    for _ in range(3000))
+        assert not fired
+
+    def test_warning_precedes_drift(self):
+        detector = DDM(warning_level=0.5, drift_level=5.0)
+        rng = np.random.default_rng(6)
+        warned = False
+        for t in range(2000):
+            p_error = 0.05 if t < 500 else 0.3
+            detector.update(1.0 if rng.random() < p_error else 0.0)
+            warned = warned or detector.in_warning
+        assert warned
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            DDM().update(2.0)
+
+    def test_levels_validated(self):
+        with pytest.raises(ValueError):
+            DDM(warning_level=3.0, drift_level=2.0)
+
+
+class TestWindowDriftDetector:
+    def test_detects_mean_shift(self):
+        detector = WindowDriftDetector(window=40, threshold=3.0)
+        rng = np.random.default_rng(7)
+        fired = []
+        for t in range(400):
+            value = float(rng.normal(0.0 if t < 200 else 1.0, 0.1))
+            if detector.update(value):
+                fired.append(t)
+        # True change caught promptly; rare false alarms tolerated.
+        assert any(200 <= t <= 280 for t in fired)
+        assert sum(1 for t in fired if t < 200) <= 2
+
+    def test_quiet_on_stationary(self):
+        detector = WindowDriftDetector(window=40, threshold=4.0)
+        rng = np.random.default_rng(8)
+        fired = any(detector.update(float(rng.normal(0, 1)))
+                    for _ in range(2000))
+        assert not fired
+
+    def test_constant_stream_no_detection(self):
+        detector = WindowDriftDetector(window=20, threshold=3.0)
+        assert not any(detector.update(1.0) for _ in range(100))
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            WindowDriftDetector(window=9)
+        with pytest.raises(ValueError):
+            WindowDriftDetector(window=21)

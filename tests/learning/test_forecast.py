@@ -1,0 +1,112 @@
+"""Tests for the forecaster family."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.learning.forecast import (ARForecaster, EWMAForecaster,
+                                     HoltForecaster, NaiveForecaster,
+                                     make_forecaster)
+
+
+class TestNaive:
+    def test_predicts_last_value(self):
+        f = NaiveForecaster()
+        assert math.isnan(f.forecast())
+        f.update(3.0)
+        f.update(7.0)
+        assert f.forecast() == 7.0
+        assert f.forecast(horizon=10) == 7.0
+
+
+class TestEWMA:
+    def test_converges_on_constant(self):
+        f = EWMAForecaster(alpha=0.5)
+        for _ in range(30):
+            f.update(4.0)
+        assert f.forecast() == pytest.approx(4.0)
+
+    def test_smoothing_lags_step_change(self):
+        f = EWMAForecaster(alpha=0.3)
+        for _ in range(20):
+            f.update(0.0)
+        f.update(10.0)
+        assert 0.0 < f.forecast() < 10.0
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            EWMAForecaster(alpha=0.0)
+
+
+class TestHolt:
+    def test_extrapolates_linear_trend(self):
+        f = HoltForecaster(alpha=0.8, beta=0.5, damping=1.0)
+        for t in range(50):
+            f.update(2.0 * t)
+        # Next value should be about 2*50 = 100.
+        assert f.forecast(1) == pytest.approx(100.0, abs=2.0)
+        # Multi-step extrapolation continues the trend.
+        assert f.forecast(5) == pytest.approx(108.0, abs=4.0)
+
+    def test_beats_ewma_on_trending_series(self):
+        holt = HoltForecaster(alpha=0.5, beta=0.3, damping=1.0)
+        ewma = EWMAForecaster(alpha=0.5)
+        holt_err = ewma_err = 0.0
+        for t in range(100):
+            value = 1.5 * t
+            if t > 5:
+                holt_err += abs(holt.forecast() - value)
+                ewma_err += abs(ewma.forecast() - value)
+            holt.update(value)
+            ewma.update(value)
+        assert holt_err < ewma_err
+
+    def test_damping_flattens_long_horizons(self):
+        damped = HoltForecaster(alpha=0.8, beta=0.5, damping=0.8)
+        for t in range(50):
+            damped.update(2.0 * t)
+        # Damped long-horizon forecast grows sublinearly.
+        five = damped.forecast(5) - damped.forecast(0) if False else None
+        assert damped.forecast(50) - damped.forecast(1) < 2.0 * 49
+
+    def test_unprimed_is_nan(self):
+        assert math.isnan(HoltForecaster().forecast())
+
+
+class TestAR:
+    def test_learns_oscillation(self):
+        f = ARForecaster(order=4, forgetting=1.0)
+        series = [math.sin(0.5 * t) for t in range(300)]
+        for v in series:
+            f.update(v)
+        prediction = f.forecast(1)
+        actual = math.sin(0.5 * 300)
+        assert prediction == pytest.approx(actual, abs=0.05)
+
+    def test_falls_back_before_priming(self):
+        f = ARForecaster(order=5)
+        f.update(3.0)
+        assert f.forecast() == 3.0
+
+    def test_multi_step_forecast_finite(self):
+        f = ARForecaster(order=3)
+        for t in range(100):
+            f.update(math.sin(0.3 * t))
+        assert math.isfinite(f.forecast(10))
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            ARForecaster(order=0)
+
+
+class TestFactory:
+    def test_builds_each_kind(self):
+        assert isinstance(make_forecaster("naive"), NaiveForecaster)
+        assert isinstance(make_forecaster("ewma", alpha=0.2), EWMAForecaster)
+        assert isinstance(make_forecaster("holt"), HoltForecaster)
+        assert isinstance(make_forecaster("ar", order=2), ARForecaster)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_forecaster("magic")

@@ -1,0 +1,62 @@
+"""Tests for tabular Q-learning."""
+
+import numpy as np
+import pytest
+
+from repro.learning.qlearning import QLearner
+
+
+class TestQLearner:
+    def test_learns_immediate_reward_preference(self):
+        q = QLearner(actions=["a", "b"], alpha=0.5, gamma=0.0, epsilon=0.0,
+                     rng=np.random.default_rng(0))
+        for _ in range(50):
+            q.update("s", "a", 1.0, None)
+            q.update("s", "b", 0.0, None)
+        assert q.best_action("s") == "a"
+        assert q.q("s", "a") == pytest.approx(1.0, abs=1e-3)
+
+    def test_propagates_delayed_reward(self):
+        # Chain: s0 -a-> s1 -a-> terminal(+1). Action 'b' terminates with 0.
+        q = QLearner(actions=["a", "b"], alpha=0.5, gamma=0.9, epsilon=0.0,
+                     rng=np.random.default_rng(0))
+        for _ in range(200):
+            q.update("s0", "a", 0.0, "s1")
+            q.update("s1", "a", 1.0, None)
+            q.update("s0", "b", 0.0, None)
+        assert q.best_action("s0") == "a"
+        assert q.q("s0", "a") == pytest.approx(0.9, abs=0.05)
+
+    def test_epsilon_explores(self):
+        q = QLearner(actions=["a", "b"], epsilon=1.0,
+                     rng=np.random.default_rng(1))
+        choices = {q.select("s") for _ in range(50)}
+        assert choices == {"a", "b"}
+
+    def test_update_returns_td_error(self):
+        q = QLearner(actions=["a"], alpha=0.5, gamma=0.0)
+        err = q.update("s", "a", 1.0, None)
+        assert err == pytest.approx(1.0)
+        err2 = q.update("s", "a", 1.0, None)
+        assert abs(err2) < abs(err)
+
+    def test_optimistic_init(self):
+        q = QLearner(actions=["a"], optimistic_init=5.0)
+        assert q.q("anything", "a") == 5.0
+
+    def test_reset_clears_table(self):
+        q = QLearner(actions=["a"])
+        q.update("s", "a", 1.0, None)
+        assert q.states_seen() == 1
+        q.reset()
+        assert q.states_seen() == 0 and q.updates == 0
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            QLearner(actions=[])
+        with pytest.raises(ValueError):
+            QLearner(actions=["a"], alpha=0.0)
+        with pytest.raises(ValueError):
+            QLearner(actions=["a"], gamma=1.0)
+        with pytest.raises(ValueError):
+            QLearner(actions=["a"], epsilon=2.0)

@@ -1,0 +1,73 @@
+"""Tests for recursive least squares."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learning.regression import RecursiveLeastSquares
+
+
+class TestRLS:
+    def test_recovers_linear_map(self):
+        rng = np.random.default_rng(0)
+        rls = RecursiveLeastSquares(n_features=2, forgetting=1.0)
+        true_w = np.array([1.0, 2.0, -3.0])  # bias, w1, w2
+        for _ in range(300):
+            x = rng.uniform(-1, 1, size=2)
+            y = true_w[0] + true_w[1] * x[0] + true_w[2] * x[1]
+            rls.update(x, y)
+        assert rls.weights == pytest.approx(true_w, abs=1e-2)
+
+    def test_prediction_after_fit(self):
+        rls = RecursiveLeastSquares(n_features=1, forgetting=1.0)
+        for x in np.linspace(-1, 1, 50):
+            rls.update([x], 2.0 * x + 1.0)
+        assert rls.predict([0.5]) == pytest.approx(2.0, abs=1e-3)
+
+    def test_forgetting_tracks_weight_drift(self):
+        rng = np.random.default_rng(1)
+        tracking = RecursiveLeastSquares(n_features=1, forgetting=0.95)
+        stale = RecursiveLeastSquares(n_features=1, forgetting=1.0)
+        for t in range(400):
+            x = rng.uniform(-1, 1, size=1)
+            slope = 1.0 if t < 200 else -1.0
+            y = slope * x[0]
+            tracking.update(x, y)
+            stale.update(x, y)
+        assert tracking.predict([1.0]) == pytest.approx(-1.0, abs=0.1)
+        assert abs(stale.predict([1.0]) - (-1.0)) > abs(
+            tracking.predict([1.0]) - (-1.0))
+
+    def test_dimension_mismatch_rejected(self):
+        rls = RecursiveLeastSquares(n_features=2)
+        with pytest.raises(ValueError):
+            rls.predict([1.0])
+        with pytest.raises(ValueError):
+            rls.update([1.0, 2.0, 3.0], 0.0)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            RecursiveLeastSquares(0)
+        with pytest.raises(ValueError):
+            RecursiveLeastSquares(2, forgetting=0.0)
+        with pytest.raises(ValueError):
+            RecursiveLeastSquares(2, delta=0.0)
+
+    def test_residual_shrinks(self):
+        rls = RecursiveLeastSquares(n_features=1, forgetting=1.0)
+        rng = np.random.default_rng(2)
+        residuals = []
+        for _ in range(100):
+            x = rng.uniform(-1, 1, size=1)
+            residuals.append(abs(rls.update(x, 3.0 * x[0])))
+        assert np.mean(residuals[-10:]) < np.mean(residuals[:10])
+
+    @given(st.lists(st.floats(min_value=-10, max_value=10), min_size=5,
+                    max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_weights_stay_finite(self, xs):
+        rls = RecursiveLeastSquares(n_features=1, forgetting=0.99)
+        for x in xs:
+            rls.update([x], x * 0.5 + 1.0)
+        assert np.all(np.isfinite(rls.weights))

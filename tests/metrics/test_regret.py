@@ -1,0 +1,60 @@
+"""Tests for regret metrics."""
+
+import math
+
+import pytest
+
+from repro.metrics.regret import (cumulative_regret, instantaneous_regret,
+                                  normalised_regret, regret_slope,
+                                  total_regret)
+
+
+class TestInstantaneousRegret:
+    def test_basic(self):
+        assert instantaneous_regret([1.0, 1.0], [0.5, 1.0]) == [0.5, 0.0]
+
+    def test_clipped_at_zero(self):
+        assert instantaneous_regret([0.5], [1.0]) == [0.0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            instantaneous_regret([1.0], [1.0, 2.0])
+
+
+class TestCumulativeRegret:
+    def test_running_sum(self):
+        assert cumulative_regret([1, 1, 1], [0, 1, 0]) == [1.0, 1.0, 2.0]
+
+    def test_total(self):
+        assert total_regret([1, 1, 1], [0, 1, 0]) == 2.0
+        assert total_regret([], []) == 0.0
+
+
+class TestNormalisedRegret:
+    def test_fraction_of_value_forgone(self):
+        assert normalised_regret([1, 1], [0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_zero_optimal(self):
+        assert normalised_regret([0, 0], [0, 0]) == 0.0
+
+    def test_perfect_play(self):
+        assert normalised_regret([1, 2, 3], [1, 2, 3]) == 0.0
+
+
+class TestRegretSlope:
+    def test_converged_learner_has_flat_tail(self):
+        optimal = [1.0] * 100
+        achieved = [0.0] * 50 + [1.0] * 50  # converges at midpoint
+        assert regret_slope(optimal, achieved, tail_fraction=0.25) == 0.0
+
+    def test_nonlearner_keeps_paying(self):
+        optimal = [1.0] * 100
+        achieved = [0.5] * 100
+        assert regret_slope(optimal, achieved) == pytest.approx(0.5)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(regret_slope([], []))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            regret_slope([1.0], [1.0], tail_fraction=0.0)

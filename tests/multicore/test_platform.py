@@ -1,0 +1,172 @@
+"""Tests for the heterogeneous platform model."""
+
+import numpy as np
+import pytest
+
+from repro.envgen.workloads import Task
+from repro.multicore.platform import (BIG, DVFS_LEVELS, LITTLE, Core,
+                                      CoreType, Platform)
+
+
+def task(work=10.0, kind="vector", task_id=0):
+    return Task(task_id=task_id, arrival=0.0, kind=kind, work=work)
+
+
+class TestCore:
+    def test_executes_at_perf_times_freq(self):
+        core = Core(0, BIG)
+        core.set_frequency(1.0)
+        core.assign(task(work=100.0))
+        work, done = core.step()
+        assert work == pytest.approx(BIG.perf)
+        assert done is None
+
+    def test_affinity_scales_rate(self):
+        core = Core(0, BIG)
+        core.set_frequency(1.0)
+        core.assign(task(work=100.0), speedup=0.5)
+        work, _ = core.step()
+        assert work == pytest.approx(BIG.perf * 0.5)
+
+    def test_completion_returns_task(self):
+        core = Core(0, BIG)
+        core.set_frequency(1.0)
+        t = task(work=BIG.perf * 0.5)
+        core.assign(t)
+        work, done = core.step()
+        assert done is t
+        assert core.idle
+        assert core.completed_tasks == 1
+
+    def test_cannot_double_assign(self):
+        core = Core(0, BIG)
+        core.assign(task())
+        with pytest.raises(RuntimeError):
+            core.assign(task(task_id=1))
+
+    def test_invalid_frequency_rejected(self):
+        core = Core(0, BIG)
+        with pytest.raises(ValueError):
+            core.set_frequency(0.9)
+
+    def test_busy_power_exceeds_idle_power(self):
+        busy = Core(0, BIG)
+        busy.set_frequency(1.0)
+        busy.assign(task())
+        idle = Core(1, BIG)
+        idle.set_frequency(1.0)
+        assert busy.power() > idle.power()
+
+    def test_power_scales_cubically_with_frequency(self):
+        low, high = Core(0, BIG), Core(1, BIG)
+        low.set_frequency(0.5)
+        high.set_frequency(1.0)
+        low.assign(task())
+        high.assign(task())
+        dynamic_low = low.power() - BIG.p_static
+        dynamic_high = high.power() - BIG.p_static
+        assert dynamic_high / dynamic_low == pytest.approx(8.0)
+
+    def test_temperature_approaches_steady_state(self):
+        # LITTLE stays below critical, so no throttling interferes.
+        core = Core(0, LITTLE, ambient=40.0, thermal_alpha=0.5)
+        core.set_frequency(1.0)
+        core.assign(task(work=1e9))
+        for _ in range(200):
+            core.step()
+        steady = 40.0 + LITTLE.thermal_resistance * core.power()
+        assert core.temperature == pytest.approx(steady, abs=1.0)
+
+    def test_idle_core_cools_to_near_ambient(self):
+        core = Core(0, LITTLE, ambient=40.0, thermal_alpha=0.5)
+        for _ in range(100):
+            core.step()
+        assert core.temperature < 50.0
+
+    def test_throttling_engages_and_releases_with_hysteresis(self):
+        core = Core(0, BIG, ambient=40.0, thermal_alpha=0.9,
+                    critical_temp=85.0)
+        core.set_frequency(1.0)
+        core.assign(task(work=1e9))
+        # Drive to critical; capture the first throttled step (the core
+        # duty-cycles afterwards, so sample at the moment it engages).
+        engaged = False
+        for _ in range(100):
+            core.step()
+            if core.throttled:
+                engaged = True
+                assert core.effective_frequency() == min(DVFS_LEVELS)
+                break
+        assert engaged
+        assert core.throttle_events >= 1
+        # Unload the core: idling cools it; hysteresis releases below 80.
+        core.task = None
+        for _ in range(200):
+            core.step()
+        assert not core.throttled
+
+    def test_big_at_max_is_thermally_unsustainable(self):
+        # The documented design point: big@1.0 steady state exceeds 85C.
+        steady = 40.0 + BIG.thermal_resistance * (BIG.p_static + BIG.p_dynamic)
+        assert steady > 85.0
+        # ... but big@0.75 is safe.
+        power_mid = BIG.p_static + BIG.p_dynamic * 0.75 ** 3
+        assert 40.0 + BIG.thermal_resistance * power_mid < 85.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreType(name="x", perf=0.0, p_static=0.1, p_dynamic=0.1)
+        with pytest.raises(ValueError):
+            Core(0, BIG, thermal_alpha=0.0)
+        with pytest.raises(ValueError):
+            Core(0, BIG).assign(task(), speedup=0.0)
+
+
+class TestPlatform:
+    def test_core_layout(self):
+        p = Platform(n_big=2, n_little=3)
+        names = [c.core_type.name for c in p.cores]
+        assert names == ["big", "big", "little", "little", "little"]
+
+    def test_speedup_lookup(self):
+        p = Platform(affinity={"vector": {"big": 1.2, "little": 0.4}})
+        assert p.speedup("vector", BIG) == 1.2
+        assert p.speedup("vector", LITTLE) == 0.4
+        assert p.speedup("unknown", BIG) == 1.0
+
+    def test_submit_and_assign(self):
+        p = Platform(n_big=1, n_little=0)
+        t = task()
+        p.submit([t])
+        assert len(p.queue) == 1
+        p.assign(p.cores[0], t)
+        assert not p.queue
+        assert not p.cores[0].idle
+
+    def test_step_metrics(self):
+        p = Platform(n_big=1, n_little=1)
+        for core in p.cores:
+            core.set_frequency(1.0)
+        t = task(work=100.0)
+        p.submit([t])
+        p.assign(p.cores[0], t)
+        m = p.step(0.0)
+        assert m.throughput == pytest.approx(BIG.perf)
+        assert m.queue_length == 0
+        assert m.energy > 0
+        assert m.max_temperature >= 40.0
+
+    def test_execution_trace_flags_completion(self):
+        p = Platform(n_big=1, n_little=0)
+        p.cores[0].set_frequency(1.0)
+        t = task(work=BIG.perf * 1.5)
+        p.submit([t])
+        p.assign(p.cores[0], t)
+        p.step(0.0)
+        assert p.last_execution[0][5] is False  # first step: not completed
+        p.step(1.0)
+        assert p.last_execution[0][5] is True   # second step: completed
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(ValueError):
+            Platform(n_big=0, n_little=0)

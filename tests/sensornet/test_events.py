@@ -1,0 +1,167 @@
+"""Tests for the transient-event detection mission."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.attention import RoundRobinAttention, SalienceAttention
+from repro.core.knowledge import KnowledgeBase
+from repro.core.sensors import Sensor, SensorSuite
+from repro.core.spans import public
+from repro.sensornet.events import (DeadlineAttention, SpikeChannelSpec,
+                                    SpikeField, mixed_spike_specs,
+                                    run_detection)
+
+
+class TestSpikeChannelSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpikeChannelSpec("x", spike_rate=-0.1)
+        with pytest.raises(ValueError):
+            SpikeChannelSpec("x", spike_rate=0.1, spike_duration=0)
+        with pytest.raises(ValueError):
+            SpikeChannelSpec("x", spike_rate=0.1, importance=0.0)
+
+    def test_mixed_specs_have_hot_band(self):
+        specs = mixed_spike_specs(8, seed=0)
+        assert len(specs) == 8
+        assert any(s.importance > 1.0 for s in specs)
+        rates = {s.spike_rate for s in specs}
+        assert len(rates) >= 2
+
+
+class TestSpikeField:
+    def _single(self, rate=1.0, duration=3, seed=0):
+        return SpikeField([SpikeChannelSpec("a", spike_rate=rate,
+                                            spike_duration=duration)],
+                          rng=np.random.default_rng(seed))
+
+    def test_signal_reflects_active_spike(self):
+        field = self._single(rate=100.0)  # a spike starts immediately
+        field.step(0.0)
+        assert field.signal("a") == 1.0
+
+    def test_signal_zero_without_spikes(self):
+        field = self._single(rate=0.0)
+        for t in range(20):
+            field.step(float(t))
+            assert field.signal("a") == 0.0
+
+    def test_spike_expires_after_duration(self):
+        field = SpikeField([SpikeChannelSpec("a", spike_rate=0.0,
+                                             spike_duration=3)],
+                           rng=np.random.default_rng(1))
+        field._spikes["a"].append(
+            __import__("repro.sensornet.events",
+                       fromlist=["_Spike"])._Spike(start=0.0, end=3.0))
+        field.step(1.0)
+        assert field.signal("a") == 1.0
+        field.step(3.0)
+        assert field.signal("a") == 0.0
+
+    def test_detection_requires_sampling_in_window(self):
+        field = self._single(rate=0.0, duration=3)
+        from repro.sensornet.events import _Spike
+        field._spikes["a"].append(_Spike(start=0.0, end=3.0))
+        field.step(1.0)
+        field.mark_sampled("a")
+        field.step(10.0)  # close the window
+        stats = field.detection_stats()
+        assert stats["events"] == 1.0
+        assert stats["detection_rate"] == 1.0
+
+    def test_missed_spike_counts_against(self):
+        field = self._single(rate=0.0, duration=3)
+        from repro.sensornet.events import _Spike
+        field._spikes["a"].append(_Spike(start=0.0, end=3.0))
+        field.step(10.0)
+        assert field.detection_stats()["detection_rate"] == 0.0
+
+    def test_open_spikes_not_scored(self):
+        field = self._single(rate=0.0, duration=100)
+        from repro.sensornet.events import _Spike
+        field._spikes["a"].append(_Spike(start=0.0, end=100.0))
+        field.step(1.0)
+        assert math.isnan(field.detection_stats()["detection_rate"])
+
+
+class TestDeadlineAttention:
+    def _suite(self):
+        return SensorSuite([Sensor(public("a"), lambda: 0.0, cost=1.0),
+                            Sensor(public("b"), lambda: 0.0, cost=1.0)])
+
+    def test_prefers_high_rate_channel(self):
+        policy = DeadlineAttention(windows={public("a"): 4.0,
+                                            public("b"): 4.0})
+        for _ in range(200):
+            policy.observe(public("a"), True)
+            policy.observe(public("b"), False)
+        kb = KnowledgeBase()
+        # Equal staleness: both unobserved.
+        chosen = policy.select(self._suite(), kb, now=10.0, budget=1.0)
+        assert chosen == [public("a")]
+
+    def test_staleness_saturates_at_window(self):
+        policy = DeadlineAttention(windows={public("a"): 4.0,
+                                            public("b"): 4.0})
+        kb = KnowledgeBase()
+        kb.observe(public("a"), 0.0, 0.0)
+        kb.observe(public("b"), 90.0, 0.0)
+        # Both are older than the window: equal value; order falls back
+        # to sort stability rather than runaway staleness.
+        suite = self._suite()
+        chosen = policy.select(suite, kb, now=100.0, budget=2.0)
+        assert set(chosen) == {public("a"), public("b")}
+
+    def test_rate_learning_moves_estimate(self):
+        policy = DeadlineAttention(windows={}, novelty_rate=0.5,
+                                   rate_alpha=0.5)
+        policy.observe(public("a"), True)
+        assert policy._rates[public("a")] > 0.5
+        policy.observe(public("a"), False)
+        policy.observe(public("a"), False)
+        assert policy._rates[public("a")] < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeadlineAttention(windows={}, rate_alpha=0.0)
+
+
+class TestRunDetection:
+    def test_detection_improves_with_budget(self):
+        rates = []
+        for budget in (1.0, 6.0):
+            field = SpikeField(mixed_spike_specs(8, seed=3),
+                               rng=np.random.default_rng(3))
+            stats = run_detection(field, RoundRobinAttention(), budget,
+                                  steps=800, rng=np.random.default_rng(4))
+            rates.append(stats["detection_rate"])
+        assert rates[1] > rates[0]
+
+    def test_deadline_beats_tracking_salience_at_moderate_budget(self):
+        scores = {}
+        for name in ("salience", "deadline"):
+            vals = []
+            for seed in range(3):
+                specs = mixed_spike_specs(8, seed=seed)
+                field = SpikeField(specs, rng=np.random.default_rng(seed))
+                if name == "deadline":
+                    policy = DeadlineAttention(
+                        windows={public(s.name): float(s.spike_duration)
+                                 for s in specs},
+                        importance={public(s.name): s.importance
+                                    for s in specs})
+                else:
+                    policy = SalienceAttention(staleness_scale=1.0)
+                stats = run_detection(field, policy, budget=2.0, steps=1200,
+                                      rng=np.random.default_rng(100 + seed))
+                vals.append(stats["weighted_detection_rate"])
+            scores[name] = float(np.mean(vals))
+        assert scores["deadline"] > scores["salience"] + 0.08
+
+    def test_invalid_budget(self):
+        field = SpikeField(mixed_spike_specs(4, seed=0),
+                           rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            run_detection(field, RoundRobinAttention(), budget=0.0)

@@ -1,0 +1,117 @@
+"""Tests for camera geometry, the vision graph, and object mobility."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smartcamera.network import Camera, CameraNetwork
+from repro.smartcamera.objects import MovingObject, ObjectPopulation
+
+
+class TestCamera:
+    def test_visibility_peaks_at_centre(self):
+        cam = Camera(0, 0.5, 0.5, radius=0.2)
+        obj = MovingObject(0, 0.5, 0.5, rng=np.random.default_rng(0))
+        assert cam.visibility(obj) == pytest.approx(1.0)
+
+    def test_visibility_zero_at_rim_and_beyond(self):
+        cam = Camera(0, 0.5, 0.5, radius=0.2)
+        at_rim = MovingObject(0, 0.7, 0.5, rng=np.random.default_rng(0))
+        outside = MovingObject(1, 0.9, 0.5, rng=np.random.default_rng(0))
+        assert cam.visibility(at_rim) == pytest.approx(0.0, abs=1e-9)
+        assert cam.visibility(outside) == 0.0
+        assert not cam.sees(outside)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            Camera(0, 0.5, 0.5, radius=0.0)
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    @settings(max_examples=50, deadline=None)
+    def test_visibility_in_unit_interval(self, x, y):
+        cam = Camera(0, 0.5, 0.5, radius=0.3)
+        obj = MovingObject(0, x, y, rng=np.random.default_rng(0))
+        assert 0.0 <= cam.visibility(obj) <= 1.0
+
+
+class TestCameraNetwork:
+    def test_grid_layout(self):
+        net = CameraNetwork.grid(2, 3, radius=0.2)
+        assert len(net) == 6
+        assert net.ids() == list(range(6))
+
+    def test_vision_graph_edges_from_overlap(self):
+        # Two cameras 0.4 apart with radius 0.25 overlap; radius 0.15 do not.
+        near = CameraNetwork([Camera(0, 0.3, 0.5, 0.25), Camera(1, 0.7, 0.5, 0.25)])
+        far = CameraNetwork([Camera(0, 0.3, 0.5, 0.15), Camera(1, 0.7, 0.5, 0.15)])
+        assert near.vision_graph.has_edge(0, 1)
+        assert not far.vision_graph.has_edge(0, 1)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            CameraNetwork([Camera(0, 0.1, 0.1, 0.2), Camera(0, 0.9, 0.9, 0.2)])
+
+    def test_observers_and_best_observer(self):
+        net = CameraNetwork([Camera(0, 0.2, 0.5, 0.3), Camera(1, 0.8, 0.5, 0.3)])
+        obj = MovingObject(0, 0.25, 0.5, rng=np.random.default_rng(0))
+        assert net.observers(obj) == [0]
+        assert net.best_observer(obj) == 0
+        unseen = MovingObject(1, 0.5, 0.0, rng=np.random.default_rng(0))
+        assert net.best_observer(unseen) is None
+
+    def test_coverage_increases_with_radius(self):
+        small = CameraNetwork.grid(2, 2, radius=0.1).coverage_fraction()
+        large = CameraNetwork.grid(2, 2, radius=0.4).coverage_fraction()
+        assert large > small
+
+    def test_random_placement_reproducible(self):
+        a = CameraNetwork.random(5, seed=7)
+        b = CameraNetwork.random(5, seed=7)
+        assert all(a.cameras[i].x == b.cameras[i].x for i in range(5))
+
+
+class TestMovingObject:
+    def test_moves_toward_waypoint(self):
+        rng = np.random.default_rng(0)
+        obj = MovingObject(0, 0.5, 0.5, speed=0.01, rng=rng)
+        x0, y0 = obj.position
+        obj.step()
+        dist = math.hypot(obj.x - x0, obj.y - y0)
+        assert dist == pytest.approx(0.01, abs=1e-9)
+
+    def test_stays_in_unit_square(self):
+        obj = MovingObject(0, 0.5, 0.5, speed=0.05,
+                           rng=np.random.default_rng(1))
+        for _ in range(500):
+            obj.step()
+            assert 0.0 <= obj.x <= 1.0 and 0.0 <= obj.y <= 1.0
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            MovingObject(0, 0.5, 0.5, speed=0.0)
+
+
+class TestObjectPopulation:
+    def test_churn_replaces_objects(self):
+        pop = ObjectPopulation(5, churn_rate=1.0, rng=np.random.default_rng(0))
+        replaced = pop.step()
+        assert len(replaced) == 1
+        assert pop.replacements == 1
+        assert len(pop) == 5
+        assert pop.by_id(replaced[0]) is None
+
+    def test_no_churn_keeps_ids(self):
+        pop = ObjectPopulation(3, churn_rate=0.0, rng=np.random.default_rng(0))
+        ids_before = {o.object_id for o in pop}
+        for _ in range(10):
+            assert pop.step() == []
+        assert {o.object_id for o in pop} == ids_before
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ObjectPopulation(0)
+        with pytest.raises(ValueError):
+            ObjectPopulation(3, churn_rate=1.5)
