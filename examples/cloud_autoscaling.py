@@ -15,6 +15,7 @@ import numpy as np
 from repro.cloud import (ReactiveScaler, SelfAwareScaler, ServiceCluster,
                          StaticScaler, make_cloud_goal)
 from repro.envgen import RequestRateWorkload, Shock, ShockSchedule
+from repro.obs import cli_telemetry
 
 CLUSTER = dict(capacity_per_server=10.0, boot_delay=5, max_servers=40)
 STEPS = 600
@@ -74,4 +75,7 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    # ``--trace [PATH]`` enables repro.obs telemetry and writes a
+    # JSONL event trace (default trace.jsonl).
+    with cli_telemetry():
+        main()

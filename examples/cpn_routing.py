@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.cpn import (CPNetwork, CPNRouter, OracleRouter, StaticRouter,
                        default_flows, run_routing)
+from repro.obs import cli_telemetry
 
 STEPS = 600
 ATTACK = (300.0, 450.0)
@@ -53,4 +54,7 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    # ``--trace [PATH]`` enables repro.obs telemetry and writes a
+    # JSONL event trace (default trace.jsonl).
+    with cli_telemetry():
+        main()

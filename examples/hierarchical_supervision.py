@@ -19,6 +19,7 @@ import numpy as np
 from repro.core import (CapabilityProfile, Goal, Objective, Sensor,
                         SensorSuite, Supervisor, assess, build_node, private)
 from repro.core.levels import SelfAwarenessLevel
+from repro.obs import cli_telemetry
 
 
 class FlippingWorld:
@@ -82,4 +83,7 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    # ``--trace [PATH]`` enables repro.obs telemetry and writes a
+    # JSONL event trace (default trace.jsonl).
+    with cli_telemetry():
+        main()

@@ -17,6 +17,7 @@ from repro.multicore import (DEFAULT_AFFINITY, OndemandGovernor,
                              SelfAwareGovernor, StaticGovernor,
                              make_multicore_goal, make_platform,
                              make_workload, run_governor)
+from repro.obs import cli_telemetry
 
 
 def main():
@@ -53,4 +54,7 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    # ``--trace [PATH]`` enables repro.obs telemetry and writes a
+    # JSONL event trace (default trace.jsonl).
+    with cli_telemetry():
+        main()

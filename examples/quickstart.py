@@ -10,6 +10,8 @@ The smallest end-to-end tour of the framework:
 5. a run-time goal change the node follows immediately.
 
 Run:  python examples/quickstart.py
+With telemetry (writes a JSONL event trace and prints a metrics
+summary):  python examples/quickstart.py --trace quickstart.jsonl
 """
 
 import numpy as np
@@ -17,6 +19,7 @@ import numpy as np
 from repro.core import (CapabilityProfile, Goal, Objective, Sensor,
                         SensorSuite, SimulationClock, build_node, private,
                         run_control_loop)
+from repro.obs import cli_telemetry, enabled, get_bus
 
 
 class TinyWorld:
@@ -61,6 +64,10 @@ def main():
 
     node = build_node("demo", CapabilityProfile.full_stack(), sensors, goal,
                       rng=np.random.default_rng(0))
+    if enabled():
+        # With telemetry on, let the node's explanation log consume the
+        # event stream, so explanations cite meta-level strategy switches.
+        node.log.consume(get_bus())
     print(node.describe())
     print(goal.describe())
     print()
@@ -84,4 +91,5 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    with cli_telemetry():
+        main()

@@ -15,6 +15,7 @@ from collections import Counter
 
 from repro.smartcamera import (ALL_STRATEGIES, CameraSimConfig,
                                run_homogeneous, run_self_aware)
+from repro.obs import cli_telemetry
 
 
 def main():
@@ -52,4 +53,7 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    # ``--trace [PATH]`` enables repro.obs telemetry and writes a
+    # JSONL event trace (default trace.jsonl).
+    with cli_telemetry():
+        main()

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.swarm import (RandomPatrol, SelfAwareSwarm, StaticFormation,
                          SwarmMissionConfig, run_mission)
+from repro.obs import cli_telemetry
 
 STEPS = 800
 
@@ -47,4 +48,7 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    # ``--trace [PATH]`` enables repro.obs telemetry and writes a
+    # JSONL event trace (default trace.jsonl).
+    with cli_telemetry():
+        main()

@@ -29,10 +29,14 @@ Subpackages
     controllers.
 ``repro.experiments``
     The experiment harness and one module per experiment in DESIGN.md.
+``repro.obs``
+    Observability: structured events, metrics (streaming percentiles),
+    phase timers and JSONL trace export, wired through the core loop,
+    every simulator and the experiment harness.  Off by default.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import core, learning
+from . import core, learning, obs
 
-__all__ = ["core", "learning", "__version__"]
+__all__ = ["core", "learning", "obs", "__version__"]

@@ -17,6 +17,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs import events as obs_events
+from ..obs import metrics as obs_metrics
+
 
 @dataclass
 class ClusterMetrics:
@@ -115,6 +118,9 @@ class ServiceCluster:
         """
         target = max(self.min_servers, min(self.max_servers, int(target)))
         diff = target - self.n_provisioned
+        if diff != 0 and obs_events.enabled():
+            obs_metrics.counter("cloud.scaling_actions").increment()
+            obs_events.emit("cloud.scale", target=target, change=diff)
         if diff > 0:
             self._boot_queue.extend([self.boot_delay] * diff)
         elif diff < 0:
@@ -152,6 +158,14 @@ class ServiceCluster:
         self.total_cost += cost
         utilisation = served / capacity if capacity > 0 else 1.0
         qos = served / offered if offered > 0 else 1.0
+        if obs_events.enabled():
+            obs_metrics.counter("steps", sim="cloud").increment()
+            obs_metrics.counter("cloud.dropped_requests").increment(dropped)
+            obs_metrics.histogram("cloud.qos").observe(qos)
+            obs_metrics.gauge("cloud.active_servers").set(self.n_active)
+            obs_events.emit("cloud.step", time=time, demand=demand,
+                            served=served, dropped=dropped, qos=qos,
+                            n_active=self.n_active, n_booting=self.n_booting)
         return ClusterMetrics(
             time=time, demand=demand, served=served, dropped=dropped,
             backlog=self.backlog, n_active=self.n_active,

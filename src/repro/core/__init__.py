@@ -33,7 +33,8 @@ from .knowledge import Belief, History, KnowledgeBase, Observation
 from .levels import ALL_LEVELS, CapabilityProfile, SelfAwarenessLevel, ladder
 from .loop import (Environment, SimulationClock, Trace, TraceStep,
                    run_control_loop)
-from .meta import MetaReasoner, StrategyStats, SwitchEvent
+from .meta import (MetaReasoner, StrategyStats, SwitchEvent,
+                   switches_from_events)
 from .models import (BlendedModel, ContextualActionModel, EmpiricalActionModel,
                      ModelQualityTracker, PredictiveModel, PriorModel)
 from .node import SelfAwareNode, StepResult

@@ -21,8 +21,10 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Hashable, List, Mapping, Optional
+from typing import Deque, Dict, Hashable, List, Mapping, Optional, Sequence
 
+from ..obs.events import Event as ObsEvent
+from ..obs.events import EventBus
 from .actuators import ActuationResult
 from .reasoner import Decision
 
@@ -34,6 +36,12 @@ class LoggedStep:
     decision: Decision
     actuation: Optional[ActuationResult] = None
     outcome: Optional[Dict[str, float]] = None
+    #: Phase durations (seconds) measured for this step, when telemetry
+    #: was enabled -- self-explanation cites the same measurements the
+    #: observability layer records.
+    telemetry: Optional[Dict[str, float]] = None
+    #: Telemetry events attached to this step (e.g. ``meta.switch``).
+    events: List["ObsEvent"] = field(default_factory=list)
 
     @property
     def acted(self) -> bool:
@@ -74,6 +82,17 @@ def narrate(step: LoggedStep) -> str:
             lines.append(
                 f"The observed outcome deviated from my prediction by "
                 f"{err:.3f} on average across {len(shared)} metric(s).")
+    if step.telemetry:
+        spent = ", ".join(f"{phase} {1e6 * seconds:.0f}us"
+                          for phase, seconds in step.telemetry.items())
+        lines.append(f"Measured phase timings for this step: {spent}.")
+    for event in step.events:
+        if event.name == "meta.switch":
+            lines.append(
+                f"During this step I switched my reasoning strategy from "
+                f"'{event.get('from_strategy')}' to "
+                f"'{event.get('to_strategy')}' because "
+                f"{event.get('reason')}.")
     return " ".join(lines)
 
 
@@ -114,9 +133,15 @@ class ExplanationLog:
         self.total_logged = 0
 
     def log(self, decision: Decision,
-            actuation: Optional[ActuationResult] = None) -> LoggedStep:
-        """Append a decision (and optionally its actuation) to the journal."""
-        step = LoggedStep(decision=decision, actuation=actuation)
+            actuation: Optional[ActuationResult] = None,
+            telemetry: Optional[Mapping[str, float]] = None) -> LoggedStep:
+        """Append a decision (and optionally its actuation) to the journal.
+
+        ``telemetry`` carries the step's measured phase durations when
+        observability is on; :func:`narrate` cites them.
+        """
+        step = LoggedStep(decision=decision, actuation=actuation,
+                          telemetry=dict(telemetry) if telemetry else None)
         self._steps.append(step)
         self.total_logged += 1
         return step
@@ -126,6 +151,31 @@ class ExplanationLog:
         if not self._steps:
             raise IndexError("no logged step to attach an outcome to")
         self._steps[-1].outcome = dict(outcome)
+
+    def attach_event(self, event: ObsEvent) -> None:
+        """Attach a telemetry event to the most recent step (no-op when
+        empty, so a subscriber may start before the first decision)."""
+        if self._steps:
+            self._steps[-1].events.append(event)
+
+    def consume(self, bus: EventBus,
+                names: Sequence[str] = ("meta.switch",)) -> "ExplanationLog":
+        """Subscribe this log to ``bus``: matching events attach to the
+        current step.
+
+        This is how self-explanation reads the telemetry stream instead
+        of relying on callers to hand it context: a node whose log
+        consumes the bus automatically narrates, e.g., the strategy
+        switches its meta level performed.  Returns ``self``.
+        """
+        wanted = frozenset(names)
+
+        def _on_event(event: ObsEvent) -> None:
+            if event.name in wanted:
+                self.attach_event(event)
+
+        bus.subscribe(_on_event)
+        return self
 
     def __len__(self) -> int:
         return len(self._steps)

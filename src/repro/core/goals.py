@@ -218,6 +218,8 @@ class Goal:
             s = obj.score(raw)
             scores[nm] = s
             utility += weights[nm] * s
+        # Normalised weights can sum to 1 + O(eps); keep utility in [0, 1].
+        utility = min(1.0, max(0.0, utility))
         violations = {
             f"{c.metric}:{c.kind}{c.bound}": c.violation(metrics.get(c.metric, math.nan))
             for c in self.constraints

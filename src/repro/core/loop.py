@@ -21,6 +21,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Mapping, Optional, Protocol, Sequence
 
+from ..obs import events as obs_events
+from ..obs import metrics as obs_metrics
+from ..obs.timers import phase_timer
 from .goals import Goal
 from .node import SelfAwareNode
 
@@ -161,9 +164,22 @@ def run_control_loop(
                        if node.expression is not None
                        and node.expression.current_action is not None
                        else applied)
-        metrics = environment.apply(applied, now)
+        if obs_events.enabled():
+            # The environment transition is the loop's own phase: the
+            # node timed sense/model/reason/act inside ``step``.
+            with phase_timer("environment", node=node.name):
+                metrics = environment.apply(applied, now)
+        else:
+            metrics = environment.apply(applied, now)
         utility = goal.utility(metrics)
         node.feedback(metrics, utility=utility)
+        if obs_events.enabled():
+            obs_metrics.counter("steps", sim="core", node=node.name).increment()
+            obs_metrics.histogram("loop.utility", node=node.name).observe(utility)
+            obs_events.emit("loop.step", node=node.name, time=now,
+                            action=applied, utility=utility,
+                            explored=result.decision.explored,
+                            sensing_cost=result.sensing_cost)
         trace.append(TraceStep(
             time=now, action=applied, metrics=dict(metrics),
             utility=utility, explored=result.decision.explored,

@@ -22,6 +22,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Hashable, List, Mapping, Optional, Protocol, Sequence
 
+from ..obs import events as obs_events
+from ..obs import metrics as obs_metrics
 from .reasoner import Decision, Reasoner
 
 
@@ -168,6 +170,14 @@ class MetaReasoner(Reasoner):
         """
         credited = self._last_delegate if self._last_delegate is not None else self.active
         self.stats[credited].record(utility)
+        if obs_events.enabled():
+            # The meta level measures its own reasoners through the same
+            # telemetry substrate everything else uses: one event per
+            # observed utility, plus a per-strategy utility histogram.
+            obs_events.emit("meta.utility", time=time, strategy=credited,
+                            active=self.active, utility=utility)
+            obs_metrics.histogram("meta.strategy_utility",
+                                  strategy=credited).observe(utility)
 
         if len(self.strategies) < 2 or self._since_switch < self.cooldown:
             return None
@@ -210,4 +220,33 @@ class MetaReasoner(Reasoner):
         self._since_switch = 0
         if self._detector_factory is not None:
             self._detector = self._detector_factory()
+        if obs_events.enabled():
+            obs_events.emit("meta.switch", time=time,
+                            from_strategy=event.from_strategy,
+                            to_strategy=event.to_strategy,
+                            reason=event.reason)
+            obs_metrics.counter("meta.switches").increment()
         return event
+
+
+def switches_from_events(events) -> List[SwitchEvent]:
+    """Reconstruct the switch history from a telemetry event stream.
+
+    Accepts any iterable of :class:`repro.obs.events.Event` (e.g.
+    ``bus.events()`` or a parsed JSONL trace's event dicts) and returns
+    the :class:`SwitchEvent` sequence it encodes -- the meta level's
+    decisions are reproducible from telemetry alone, with no access to
+    the reasoner object.
+    """
+    switches: List[SwitchEvent] = []
+    for event in events:
+        if isinstance(event, Mapping):
+            name, fields = event.get("event"), event
+        else:
+            name, fields = event.name, event.fields
+        if name != "meta.switch":
+            continue
+        switches.append(SwitchEvent(
+            time=fields["time"], from_strategy=fields["from_strategy"],
+            to_strategy=fields["to_strategy"], reason=fields["reason"]))
+    return switches

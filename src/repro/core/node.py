@@ -29,6 +29,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence
 
+from ..obs import events as obs_events
+from ..obs.timers import phase_timer
 from .actuators import ActuationResult, ExpressionEngine
 from .attention import AttentionPolicy, FullAttention
 from .explanation import ExplanationLog
@@ -147,12 +149,49 @@ class SelfAwareNode:
 
     def step(self, now: float, actions: Sequence[Hashable]) -> StepResult:
         """Run one full loop iteration: perceive, decide, express, journal."""
+        if obs_events.enabled():
+            return self._step_traced(now, actions)
         cost = self.perceive(now)
         decision = self.decide(now, actions)
         actuation = None
         if self.expression is not None:
             actuation = self.expression.express(decision.action, self._last_context)
         self.log.log(decision, actuation)
+        return StepResult(time=now, context=dict(self._last_context),
+                          decision=decision, actuation=actuation,
+                          sensing_cost=cost)
+
+    def _step_traced(self, now: float,
+                     actions: Sequence[Hashable]) -> StepResult:
+        """The same loop iteration, with per-phase timing and events.
+
+        The sense → model → reason → act phases each feed the
+        ``phase_seconds`` histogram; one ``node.step`` event carries the
+        durations and one ``node.decision`` event carries the choice, so
+        a trace alone reconstructs what the node did and how long each
+        awareness phase took.  The phase durations are also journalled
+        with the decision: self-explanation reads the same telemetry.
+        """
+        phases: Dict[str, float] = {}
+        with phase_timer("sense", sink=phases, node=self.name):
+            cost = self.perceive(now)
+        with phase_timer("model", sink=phases, node=self.name):
+            self._last_context = self.context(now)
+        with phase_timer("reason", sink=phases, node=self.name):
+            decision = self.reasoner.decide(now, self._last_context, actions)
+            self._last_decision = decision
+        actuation = None
+        with phase_timer("act", sink=phases, node=self.name):
+            if self.expression is not None:
+                actuation = self.expression.express(decision.action,
+                                                    self._last_context)
+        obs_events.emit("node.step", node=self.name, time=now,
+                        sensing_cost=cost, **phases)
+        obs_events.emit("node.decision", node=self.name, time=now,
+                        action=decision.action, explored=decision.explored,
+                        vetoed=actuation is not None and not actuation.applied,
+                        reason=decision.reason)
+        self.log.log(decision, actuation, telemetry=phases)
         return StepResult(time=now, context=dict(self._last_context),
                           decision=decision, actuation=actuation,
                           sensing_cost=cost)

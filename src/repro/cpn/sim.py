@@ -8,6 +8,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import events as obs_events
+from ..obs import metrics as obs_metrics
 from .routing import CPNRouter, QoSClass, Router
 from .topology import CPNetwork
 
@@ -147,6 +149,7 @@ def run_routing(network: CPNetwork, router: Router, flows: Sequence[Flow],
                                    float(t), explore=True, qos=flow.qos)
         sent = delivered = 0
         delay_sum = 0.0
+        traced = obs_events.enabled()
         for flow in flows:
             for _ in range(flow.packets_per_step):
                 sent += 1
@@ -155,6 +158,16 @@ def run_routing(network: CPNetwork, router: Router, flows: Sequence[Flow],
                 if outcome.delivered:
                     delivered += 1
                     delay_sum += outcome.delay
+                    if traced:
+                        obs_metrics.histogram("cpn.packet_delay").observe(
+                            outcome.delay)
+        if traced:
+            obs_metrics.counter("steps", sim="cpn").increment()
+            obs_metrics.counter("cpn.packets_sent").increment(sent)
+            obs_metrics.counter("cpn.packets_delivered").increment(delivered)
+            obs_events.emit("cpn.step", time=float(t), sent=sent,
+                            delivered=delivered,
+                            attack_active=network.attack_active(float(t)))
         records.append(RoutingStepRecord(
             time=float(t), sent=sent, delivered=delivered,
             mean_delay=delay_sum / delivered if delivered else math.nan,

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..obs.export import TelemetrySession
 
 
 @dataclass
@@ -29,7 +32,13 @@ class ExperimentTable:
         unknown = set(values) - set(self.columns)
         if unknown:
             raise ValueError(f"unknown columns: {sorted(unknown)}")
-        self.rows.append(values)
+        # Store a copy: a caller reusing (and mutating) its kwargs dict
+        # must not be able to corrupt already-recorded rows.
+        self.rows.append(dict(values))
+
+    def append_note(self, note: str) -> None:
+        """Add one note line, preserving any existing notes."""
+        self.notes = f"{self.notes}; {note}" if self.notes else note
 
     def column(self, name: str) -> List[Any]:
         """All values of one column, in row order."""
@@ -113,3 +122,41 @@ def write_markdown_report(tables: Sequence[ExperimentTable], path: str,
         sections.append("")
     with open(path, "w") as handle:
         handle.write("\n".join(sections))
+
+
+RunResult = Union[ExperimentTable, List[ExperimentTable]]
+
+
+def run_with_provenance(run_fn: Callable[..., RunResult], *args: Any,
+                        telemetry: Optional[TelemetrySession] = None,
+                        **kwargs: Any) -> RunResult:
+    """Run one experiment entry point, stamping provenance into its notes.
+
+    Every returned :class:`ExperimentTable` gains a note recording the
+    wall-clock time of the run and -- when a
+    :class:`~repro.obs.export.TelemetrySession` is supplied via
+    ``telemetry=`` -- the number of simulated steps executed and the
+    achieved step rate (read from the session's ``steps`` counters, which
+    the core loop and every simulator increment).  The session is entered
+    for the duration of the run, so the same call also produces the JSONL
+    trace and metric snapshot the session is configured for.
+    """
+    if telemetry is not None:
+        steps_before = telemetry.registry.total("steps")
+        start = perf_counter()
+        with telemetry:
+            result = run_fn(*args, **kwargs)
+        wall = perf_counter() - start
+        steps = telemetry.registry.total("steps") - steps_before
+    else:
+        start = perf_counter()
+        result = run_fn(*args, **kwargs)
+        wall = perf_counter() - start
+        steps = 0.0
+    note = f"wall {wall:.2f}s"
+    if steps > 0:
+        note += f", {steps:g} steps, {steps / wall:.0f} steps/s [telemetry]"
+    tables = result if isinstance(result, list) else [result]
+    for table in tables:
+        table.append_note(note)
+    return result

@@ -1,9 +1,13 @@
 """Run the full experiment suite and print every table.
 
-``python -m repro.experiments.run_all [--quick]``
+``python -m repro.experiments.run_all [--quick] [--telemetry [TRACE]]``
 
 ``--quick`` shrinks seeds/steps for a fast smoke run; the default sizes
-are the ones EXPERIMENTS.md records.
+are the ones EXPERIMENTS.md records.  ``--telemetry`` enables the
+``repro.obs`` stack for the whole suite: every table's notes gain
+wall-clock and step-rate provenance, a metrics summary is printed to
+stderr, and (when a path is given) the full event stream is written as a
+JSONL trace.
 """
 
 from __future__ import annotations
@@ -11,27 +15,45 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List
+from contextlib import nullcontext
+from typing import List, Optional
 
+from ..obs import TelemetrySession
 from . import (ablations, e1_levels, e2_camera, e3_cloud, e4_volunteer,
                e5_multicore, e6_cpn, e7_attention, e8_meta, e9_collective,
                e10_priors, e11_explain, e12_swarm)
-from .harness import ExperimentTable, print_tables, write_markdown_report
+from .harness import (ExperimentTable, print_tables, run_with_provenance,
+                      write_markdown_report)
 
 
-def _ablation_tables(quick: bool = False) -> List[ExperimentTable]:
+def _ablation_jobs(quick: bool = False):
+    """One (name, job) pair per ablation so provenance is per-table."""
     if quick:
-        return [ablations.run_aggregation(seeds=(0,), steps=700),
-                ablations.run_forecasters(seeds=(0,), steps=300),
-                ablations.run_auction_pricing(n_auctions=500),
-                ablations.run_knowledge_representation(seeds=(0,), steps=500)]
-    return [ablations.run_aggregation(), ablations.run_forecasters(),
-            ablations.run_auction_pricing(),
-            ablations.run_knowledge_representation()]
+        return [
+            ("A1", lambda: [ablations.run_aggregation(seeds=(0,),
+                                                      steps=700)]),
+            ("A2", lambda: [ablations.run_forecasters(seeds=(0,),
+                                                      steps=300)]),
+            ("A4", lambda: [ablations.run_auction_pricing(n_auctions=500)]),
+            ("A5", lambda: [ablations.run_knowledge_representation(
+                seeds=(0,), steps=500)]),
+        ]
+    return [
+        ("A1", lambda: [ablations.run_aggregation()]),
+        ("A2", lambda: [ablations.run_forecasters()]),
+        ("A4", lambda: [ablations.run_auction_pricing()]),
+        ("A5", lambda: [ablations.run_knowledge_representation()]),
+    ]
 
 
-def collect_tables(quick: bool = False) -> List[ExperimentTable]:
-    """Run every experiment; returns all tables in DESIGN.md order."""
+def collect_tables(quick: bool = False,
+                   telemetry: Optional[TelemetrySession] = None
+                   ) -> List[ExperimentTable]:
+    """Run every experiment; returns all tables in DESIGN.md order.
+
+    With a ``telemetry`` session, each job runs instrumented and its
+    tables record wall-clock/step-rate provenance in their notes.
+    """
     if quick:
         seeds2, seeds3 = (0,), (0, 1)
         kwargs = dict(
@@ -57,32 +79,31 @@ def collect_tables(quick: bool = False) -> List[ExperimentTable]:
     jobs = [
         ("E1", lambda: [e1_levels.run(**kwargs["e1"])]),
         ("E2", lambda: [e2_camera.run(**kwargs["e2"])]),
-        ("E3", lambda: [e3_cloud.run(**kwargs["e3"]),
-                        e3_cloud.run_goal_change(**kwargs["e3"])]),
+        ("E3", lambda: [e3_cloud.run(**kwargs["e3"])]),
+        ("E3-goal", lambda: [e3_cloud.run_goal_change(**kwargs["e3"])]),
         ("E4", lambda: [e4_volunteer.run(**kwargs["e4"])]),
-        ("E5", lambda: [e5_multicore.run(**kwargs["e5"]),
-                        e5_multicore.run_goal_change(
-                            seeds=kwargs["e5"].get("seeds", (0, 1)),
-                            steps=kwargs["e5"].get("steps", 800))]),
-        ("E6", lambda: [e6_cpn.run(**kwargs["e6"]),
-                        e6_cpn.run_qos_classes(
-                            seeds=kwargs["e6"].get("seeds", (0, 1, 2)),
-                            steps=kwargs["e6"].get("steps", 500))]),
-        ("E7", lambda: [e7_attention.run(**kwargs["e7"]),
-                        e7_attention.run_detection_table(
-                            seeds=kwargs["e7"].get("seeds", (0, 1, 2)),
-                            steps=600 if quick else 1500)]),
+        ("E5", lambda: [e5_multicore.run(**kwargs["e5"])]),
+        ("E5-goal", lambda: [e5_multicore.run_goal_change(
+            seeds=kwargs["e5"].get("seeds", (0, 1)),
+            steps=kwargs["e5"].get("steps", 800))]),
+        ("E6", lambda: [e6_cpn.run(**kwargs["e6"])]),
+        ("E6-qos", lambda: [e6_cpn.run_qos_classes(
+            seeds=kwargs["e6"].get("seeds", (0, 1, 2)),
+            steps=kwargs["e6"].get("steps", 500))]),
+        ("E7", lambda: [e7_attention.run(**kwargs["e7"])]),
+        ("E7-detect", lambda: [e7_attention.run_detection_table(
+            seeds=kwargs["e7"].get("seeds", (0, 1, 2)),
+            steps=600 if quick else 1500)]),
         ("E8", lambda: [e8_meta.run(**kwargs["e8"])]),
         ("E9", lambda: [e9_collective.run(**kwargs["e9"])]),
         ("E10", lambda: [e10_priors.run(**kwargs["e10"])]),
         ("E11", lambda: [e11_explain.run(**kwargs["e11"])]),
         ("E12", lambda: [e12_swarm.run(**kwargs["e12"])]),
-        ("A1-A4", lambda: _ablation_tables(
-            quick=bool(kwargs["ablations"].get("quick")))),
     ]
+    jobs.extend(_ablation_jobs(quick=bool(kwargs["ablations"].get("quick"))))
     for name, job in jobs:
         start = time.perf_counter()
-        tables.extend(job())
+        tables.extend(run_with_provenance(job, telemetry=telemetry))
         print(f"[{name} done in {time.perf_counter() - start:.1f}s]",
               file=sys.stderr)
     return tables
@@ -95,8 +116,17 @@ def main() -> None:
     parser.add_argument("--markdown", metavar="FILE", default=None,
                         help="additionally write the tables to FILE as "
                              "a markdown report")
+    parser.add_argument("--telemetry", metavar="TRACE", nargs="?",
+                        const="", default=None,
+                        help="enable repro.obs for the suite; with a path, "
+                             "also write the JSONL event trace there")
     args = parser.parse_args()
-    tables = collect_tables(quick=args.quick)
+    session = None
+    if args.telemetry is not None:
+        session = TelemetrySession(trace_path=args.telemetry or None,
+                                   echo_summary=True)
+    with (session if session is not None else nullcontext()):
+        tables = collect_tables(quick=args.quick, telemetry=session)
     print_tables(tables)
     if args.markdown:
         write_markdown_report(tables, args.markdown,

@@ -10,6 +10,8 @@ import numpy as np
 
 from ..core.goals import Goal
 from ..envgen.workloads import TaskClass, TaskStreamWorkload
+from ..obs import events as obs_events
+from ..obs import metrics as obs_metrics
 from .governor import Governor
 from .platform import Platform, PlatformMetrics
 
@@ -105,5 +107,19 @@ def run_governor(governor: Governor, steps: int = 600,
         governor.manage(float(t), platform, metrics)
         metrics = platform.step(float(t))
         governor.feedback(metrics)
+        if obs_events.enabled():
+            obs_metrics.counter("steps", sim="multicore").increment()
+            if metrics.throttled_cores > 0:
+                obs_metrics.counter("multicore.throttled_steps").increment()
+            obs_metrics.histogram("multicore.throughput").observe(
+                metrics.throughput)
+            obs_metrics.gauge("multicore.max_temperature").set(
+                metrics.max_temperature)
+            obs_events.emit("multicore.step", time=float(t),
+                            throughput=metrics.throughput,
+                            energy=metrics.energy,
+                            max_temperature=metrics.max_temperature,
+                            throttled_cores=metrics.throttled_cores,
+                            queue_length=metrics.queue_length)
         history.append(metrics)
     return GovernorRunResult(history=history, platform=platform)

@@ -1,0 +1,164 @@
+"""A process-local structured event bus.
+
+Self-awareness starts with the ability to observe oneself; this module is
+the substrate every other observability piece builds on.  Components call
+:func:`emit` with a name and arbitrary scalar fields; subscribers (trace
+writers, explanation logs, tests) receive each event as it happens, and a
+bounded ring buffer retains the recent past for after-the-fact inspection.
+
+Telemetry is **off by default** and the disabled path is designed to be
+as close to free as Python allows: callers guard instrumentation blocks
+with :func:`enabled` (one attribute read), and :func:`emit` on a disabled
+bus returns before building any event object.  The overhead budget is
+enforced by ``benchmarks/test_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional
+
+
+@dataclass
+class Event:
+    """One structured telemetry event.
+
+    ``seq`` is a bus-local monotonically increasing sequence number, so a
+    recorded stream can always be replayed in emission order.
+    """
+
+    name: str
+    seq: int
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Field access with a default (sugar for ``event.fields.get``)."""
+        return self.fields.get(key, default)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat dict form used by the JSONL exporter."""
+        out: Dict[str, Any] = {"event": self.name, "seq": self.seq}
+        out.update(self.fields)
+        return out
+
+
+Subscriber = Callable[[Event], None]
+
+
+class EventBus:
+    """Process-local pub/sub with bounded retention.
+
+    Parameters
+    ----------
+    maxlen:
+        Ring-buffer capacity; the oldest events are discarded first.
+    enabled:
+        Initial state.  A disabled bus drops events at the top of
+        :meth:`emit` without allocating anything.
+    """
+
+    def __init__(self, maxlen: int = 4096, enabled: bool = False) -> None:
+        if maxlen <= 0:
+            raise ValueError("maxlen must be positive")
+        self.enabled = enabled
+        self._ring: Deque[Event] = deque(maxlen=maxlen)
+        self._subscribers: List[Subscriber] = []
+        self._seq = 0
+        self.dropped = 0  # events emitted after the ring was full
+
+    # -- control ----------------------------------------------------------
+
+    def enable(self) -> None:
+        """Start accepting events."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop accepting events (retained events stay readable)."""
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop retained events (subscribers stay attached)."""
+        self._ring.clear()
+        self.dropped = 0
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, name: str, **fields: Any) -> Optional[Event]:
+        """Publish one event; returns it, or ``None`` when disabled."""
+        if not self.enabled:
+            return None
+        event = Event(name=name, seq=self._seq, fields=fields)
+        self._seq += 1
+        if len(self._ring) == self._ring.maxlen:
+            self.dropped += 1
+        self._ring.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    # -- subscription ------------------------------------------------------
+
+    def subscribe(self, subscriber: Subscriber) -> Subscriber:
+        """Attach a callback invoked on every event; returns it (for chaining)."""
+        self._subscribers.append(subscriber)
+        return subscriber
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        """Detach a previously attached callback (no-op when absent)."""
+        try:
+            self._subscribers.remove(subscriber)
+        except ValueError:
+            pass
+
+    # -- inspection --------------------------------------------------------
+
+    def events(self, name: Optional[str] = None) -> List[Event]:
+        """Retained events, oldest first, optionally filtered by name."""
+        if name is None:
+            return list(self._ring)
+        return [e for e in self._ring if e.name == name]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+#: The default process-wide bus.  Instrumented modules emit here unless a
+#: caller swapped in their own via :func:`set_bus`.
+_bus = EventBus()
+
+
+def get_bus() -> EventBus:
+    """The current default bus."""
+    return _bus
+
+
+def set_bus(bus: EventBus) -> EventBus:
+    """Replace the default bus; returns the previous one."""
+    global _bus
+    previous = _bus
+    _bus = bus
+    return previous
+
+
+def enabled() -> bool:
+    """Is telemetry currently on?  (The guard hot paths check.)"""
+    return _bus.enabled
+
+
+def emit(name: str, **fields: Any) -> Optional[Event]:
+    """Emit on the default bus (no-op returning ``None`` when disabled)."""
+    bus = _bus
+    if not bus.enabled:
+        return None
+    return bus.emit(name, **fields)
+
+
+def subscribe(subscriber: Subscriber) -> Subscriber:
+    """Subscribe to the default bus."""
+    return _bus.subscribe(subscriber)
+
+
+def unsubscribe(subscriber: Subscriber) -> None:
+    """Unsubscribe from the default bus."""
+    _bus.unsubscribe(subscriber)

@@ -1,0 +1,215 @@
+"""Getting telemetry out: JSONL traces, summaries, snapshots, sessions.
+
+Four consumers of the event bus and metrics registry:
+
+- :class:`JsonlTraceWriter` -- a bus subscriber appending one JSON object
+  per event to a file; on close it appends a final ``metrics.snapshot``
+  record so a trace is self-contained.
+- :func:`snapshot` -- the combined bus + registry state as plain dicts,
+  the view tests assert against.
+- :func:`render_summary` -- human-readable (markdown-flavoured) account
+  of a snapshot, for consoles and reports.
+- :class:`TelemetrySession` -- a context manager that swaps in a fresh
+  bus/registry, enables telemetry, optionally attaches a trace writer,
+  and restores the previous state on exit.  Experiments and examples use
+  it so enabling observability is one ``with`` line.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from contextlib import nullcontext
+from typing import Any, ContextManager, Dict, List, Optional, TextIO
+
+from .events import Event, EventBus, get_bus, set_bus
+from .metrics import MetricsRegistry, get_registry, set_registry
+
+
+class JsonlTraceWriter:
+    """Append events to ``path`` as JSON Lines.
+
+    Values that are not JSON-native (e.g. hashable action objects) are
+    serialised via ``repr``, so arbitrary simulator payloads never break
+    the trace.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle: Optional[TextIO] = open(path, "w")
+        self.written = 0
+
+    def __call__(self, event: Event) -> None:
+        """Subscriber interface: write one event."""
+        self.write_record(event.as_dict())
+
+    def write_record(self, record: Dict[str, Any]) -> None:
+        """Write one arbitrary JSON record (used for the final snapshot)."""
+        if self._handle is None:
+            raise ValueError("trace writer already closed")
+        self._handle.write(json.dumps(record, default=repr) + "\n")
+        self.written += 1
+
+    def close(self, registry: Optional[MetricsRegistry] = None) -> None:
+        """Flush and close; appends a ``metrics.snapshot`` record first."""
+        if self._handle is None:
+            return
+        if registry is not None:
+            self.write_record({"event": "metrics.snapshot",
+                               "metrics": registry.snapshot()})
+        self._handle.close()
+        self._handle = None
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace back into dicts (tests and quick analysis)."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def snapshot(bus: Optional[EventBus] = None,
+             registry: Optional[MetricsRegistry] = None) -> Dict[str, Any]:
+    """Combined state of the bus and registry as plain dicts."""
+    bus = bus if bus is not None else get_bus()
+    registry = registry if registry is not None else get_registry()
+    out: Dict[str, Any] = dict(registry.snapshot())
+    out["events"] = {"retained": len(bus), "dropped": bus.dropped}
+    return out
+
+
+def render_summary(snap: Optional[Dict[str, Any]] = None) -> str:
+    """Render a snapshot as readable text (markdown-flavoured)."""
+    snap = snap if snap is not None else snapshot()
+    lines: List[str] = ["# Telemetry summary"]
+    counters = snap.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("## Counters")
+        for key, value in counters.items():
+            lines.append(f"- {key}: {value:g}")
+    gauges = snap.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append("## Gauges")
+        for key, value in gauges.items():
+            lines.append(f"- {key}: {value:g}")
+    histograms = snap.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append("## Histograms")
+        header = ["metric", "count", "mean", "p50", "p95", "p99", "max"]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "|".join("---" for _ in header) + "|")
+        for key, summary in histograms.items():
+            cells = [key] + [f"{summary.get(c, float('nan')):.3g}"
+                             for c in header[1:]]
+            lines.append("| " + " | ".join(cells) + " |")
+    events = snap.get("events")
+    if events:
+        lines.append("")
+        lines.append(f"*events: {events['retained']} retained, "
+                     f"{events['dropped']} dropped from ring*")
+    return "\n".join(lines)
+
+
+class TelemetrySession:
+    """Scoped telemetry: fresh bus + registry, enabled, optionally traced.
+
+    Parameters
+    ----------
+    trace_path:
+        When given, a :class:`JsonlTraceWriter` subscribes to the session
+        bus and the file gains a final ``metrics.snapshot`` record on
+        exit.
+    events_maxlen:
+        Ring-buffer capacity of the session bus.
+    echo_summary:
+        When ``True``, :func:`render_summary` is printed to stderr on
+        exit (what ``--trace`` on the examples uses).
+    """
+
+    def __init__(self, trace_path: Optional[str] = None,
+                 events_maxlen: int = 65536,
+                 echo_summary: bool = False) -> None:
+        self.trace_path = trace_path
+        self.bus = EventBus(maxlen=events_maxlen, enabled=False)
+        self.registry = MetricsRegistry()
+        self.writer: Optional[JsonlTraceWriter] = None
+        self._echo_summary = echo_summary
+        self._previous_bus: Optional[EventBus] = None
+        self._previous_registry: Optional[MetricsRegistry] = None
+        self._depth = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether the session is currently entered."""
+        return self._depth > 0
+
+    def __enter__(self) -> "TelemetrySession":
+        # Re-entrant: an experiment runner may hold one session open
+        # around a whole suite while per-experiment helpers enter it too.
+        self._depth += 1
+        if self._depth > 1:
+            return self
+        self._previous_bus = set_bus(self.bus)
+        self._previous_registry = set_registry(self.registry)
+        if self.trace_path is not None:
+            self.writer = JsonlTraceWriter(self.trace_path)
+            self.bus.subscribe(self.writer)
+        self.bus.enable()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._depth -= 1
+        if self._depth > 0:
+            return None
+        self.bus.disable()
+        if self.writer is not None:
+            self.writer.close(registry=self.registry)
+            self.bus.unsubscribe(self.writer)
+            self.writer = None
+        if self._previous_bus is not None:
+            set_bus(self._previous_bus)
+        if self._previous_registry is not None:
+            set_registry(self._previous_registry)
+        if self._echo_summary:
+            print(self.snapshot_summary(), file=sys.stderr)
+        return None
+
+    def snapshot(self) -> Dict[str, Any]:
+        """This session's combined bus + registry state."""
+        return snapshot(bus=self.bus, registry=self.registry)
+
+    def snapshot_summary(self) -> str:
+        """This session's snapshot, rendered."""
+        return render_summary(self.snapshot())
+
+
+def cli_telemetry(argv: Optional[List[str]] = None) -> ContextManager:
+    """``--trace [PATH]`` support for the examples.
+
+    Pops ``--trace`` (and its optional path argument, default
+    ``trace.jsonl``) from ``argv`` (default ``sys.argv``) and returns a
+    :class:`TelemetrySession` when present, else a ``nullcontext``.  Lets
+    every example opt into telemetry with one wrapper line::
+
+        with cli_telemetry():
+            main()
+    """
+    argv = argv if argv is not None else sys.argv
+    if "--trace" not in argv:
+        return nullcontext()
+    at = argv.index("--trace")
+    path = "trace.jsonl"
+    if at + 1 < len(argv) and not argv[at + 1].startswith("-"):
+        path = argv[at + 1]
+        del argv[at:at + 2]
+    else:
+        del argv[at]
+    print(f"[telemetry enabled; trace -> {path}]", file=sys.stderr)
+    return TelemetrySession(trace_path=path, echo_summary=True)

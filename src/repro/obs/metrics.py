@@ -1,0 +1,290 @@
+"""Metric primitives and the labelled registry.
+
+Three instrument kinds cover what the simulators and the core loop need:
+
+- :class:`Counter` -- monotonically accumulating totals (messages sent,
+  handovers, dropped requests);
+- :class:`Gauge` -- a last-written value (active servers, alive robots);
+- :class:`StreamingHistogram` -- distribution summaries (latencies, phase
+  durations) tracking p50/p95/p99 via the P² algorithm [Jain & Chlamtac,
+  CACM 1985] in O(1) memory, without storing samples.
+
+A :class:`MetricsRegistry` keys instruments by ``(name, labels)`` so the
+same metric can be broken out per node or per simulator.  The registry is
+always writable -- gating on :func:`repro.obs.events.enabled` is the
+*caller's* job, which keeps the disabled hot path to a single check.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def increment(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move in both directions; retains the last write."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = math.nan
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+
+class P2Quantile:
+    """Streaming estimate of one quantile via the P² algorithm.
+
+    Keeps five markers whose heights converge on the ``p``-quantile of the
+    stream; memory is constant and each update is O(1).  Exact for the
+    first five observations.
+    """
+
+    __slots__ = ("p", "count", "_q", "_n", "_np", "_dn")
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError("p must be in (0, 1)")
+        self.p = p
+        self.count = 0
+        self._q: List[float] = []       # marker heights
+        self._n: List[float] = []       # marker positions
+        self._np: List[float] = []      # desired positions
+        self._dn = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    def observe(self, x: float) -> None:
+        """Feed one observation."""
+        self.count += 1
+        if self.count <= 5:
+            self._q.append(float(x))
+            self._q.sort()
+            if self.count == 5:
+                self._n = [0.0, 1.0, 2.0, 3.0, 4.0]
+                self._np = [0.0, 2 * self.p, 4 * self.p,
+                            2.0 + 2 * self.p, 4.0]
+            return
+
+        q, n = self._q, self._n
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 0
+            for i in range(1, 4):
+                if x >= q[i]:
+                    k = i
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        for i in range(5):
+            self._np[i] += self._dn[i]
+
+        for i in (1, 2, 3):
+            d = self._np[i] - n[i]
+            if ((d >= 1.0 and n[i + 1] - n[i] > 1.0)
+                    or (d <= -1.0 and n[i - 1] - n[i] < -1.0)):
+                d = 1.0 if d > 0 else -1.0
+                candidate = self._parabolic(i, d)
+                if not q[i - 1] < candidate < q[i + 1]:
+                    candidate = self._linear(i, d)
+                q[i] = candidate
+                n[i] += d
+
+    def _parabolic(self, i: int, d: float) -> float:
+        q, n = self._q, self._n
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+
+    def _linear(self, i: int, d: float) -> float:
+        q, n = self._q, self._n
+        j = i + int(d)
+        return q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate (NaN before any observation)."""
+        if self.count == 0:
+            return math.nan
+        if self.count <= 5:
+            # Exact: nearest-rank interpolation over the stored sample.
+            idx = self.p * (len(self._q) - 1)
+            lo = int(math.floor(idx))
+            hi = int(math.ceil(idx))
+            frac = idx - lo
+            return self._q[lo] * (1.0 - frac) + self._q[hi] * frac
+        return self._q[2]
+
+
+#: Default quantiles every histogram tracks.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+class StreamingHistogram:
+    """Distribution summary in constant memory.
+
+    Tracks count, sum, min, max and a P² estimator per requested quantile.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_quantiles")
+
+    def __init__(self, quantiles: Sequence[float] = DEFAULT_QUANTILES) -> None:
+        if not quantiles:
+            raise ValueError("need at least one quantile")
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._quantiles: Dict[float, P2Quantile] = {
+            float(p): P2Quantile(float(p)) for p in quantiles}
+
+    def observe(self, value: float) -> None:
+        """Feed one observation into every marker set."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for estimator in self._quantiles.values():
+            estimator.observe(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (NaN when empty)."""
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, p: float) -> float:
+        """The tracked quantile estimate for ``p`` (KeyError if untracked)."""
+        return self._quantiles[float(p)].value
+
+    def summary(self) -> Dict[str, float]:
+        """All statistics as a flat dict (the exporter's view)."""
+        out = {"count": float(self.count), "sum": self.total,
+               "mean": self.mean,
+               "min": self.min if self.count else math.nan,
+               "max": self.max if self.count else math.nan}
+        for p, estimator in sorted(self._quantiles.items()):
+            out[f"p{round(p * 100):d}"] = estimator.value
+        return out
+
+
+def metric_key(name: str, labels: Mapping[str, Any]) -> str:
+    """Canonical string key: ``name{k1=v1,k2=v2}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create home for every labelled instrument."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, StreamingHistogram] = {}
+
+    # -- instrument accessors (get-or-create) ------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter registered under ``name`` + ``labels``."""
+        key = metric_key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge registered under ``name`` + ``labels``."""
+        key = metric_key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str,
+                  quantiles: Sequence[float] = DEFAULT_QUANTILES,
+                  **labels: Any) -> StreamingHistogram:
+        """The histogram registered under ``name`` + ``labels``."""
+        key = metric_key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = StreamingHistogram(quantiles)
+        return instrument
+
+    # -- aggregate views ----------------------------------------------------
+
+    def total(self, name: str) -> float:
+        """Sum of one counter across every label combination."""
+        prefix = name + "{"
+        return sum(c.value for key, c in self._counters.items()
+                   if key == name or key.startswith(prefix))
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Everything, as plain dicts (stable across exporter formats)."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {k: h.summary()
+                           for k, h in sorted(self._histograms.items())},
+        }
+
+    def clear(self) -> None:
+        """Forget every instrument (tests and fresh sessions)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+#: Default process-wide registry, mirroring the default event bus.
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The current default registry."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the default registry; returns the previous one."""
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous
+
+
+def counter(name: str, **labels: Any) -> Counter:
+    """Get-or-create a counter on the default registry."""
+    return _registry.counter(name, **labels)
+
+
+def gauge(name: str, **labels: Any) -> Gauge:
+    """Get-or-create a gauge on the default registry."""
+    return _registry.gauge(name, **labels)
+
+
+def histogram(name: str, quantiles: Sequence[float] = DEFAULT_QUANTILES,
+              **labels: Any) -> StreamingHistogram:
+    """Get-or-create a histogram on the default registry."""
+    return _registry.histogram(name, quantiles, **labels)

@@ -19,6 +19,8 @@ import numpy as np
 
 from ..core.attention import AttentionPolicy, SalienceAttention
 from ..core.knowledge import KnowledgeBase
+from ..obs import events as obs_events
+from ..obs import metrics as obs_metrics
 from ..core.sensors import Sensor, SensorSuite
 from ..core.spans import Scope, public
 from .field import ChannelField
@@ -99,6 +101,14 @@ class SensingNode:
         spent = sum(self.suite.sensor(r.scope).cost for r in readings)
         self.total_energy += spent
         error = self.field.weighted_error(self.beliefs())
+        if obs_events.enabled():
+            obs_metrics.counter("steps", sim="sensornet").increment()
+            obs_metrics.counter("sensornet.energy_spent").increment(spent)
+            obs_metrics.counter("sensornet.samples").increment(len(readings))
+            obs_metrics.histogram("sensornet.error").observe(error)
+            obs_events.emit("sensornet.step", time=t, error=error,
+                            energy_spent=spent,
+                            channels_sampled=len(readings))
         return SensingStepRecord(time=t, error=error, energy_spent=spent,
                                  channels_sampled=len(readings))
 

@@ -28,6 +28,8 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from ..obs import events as obs_events
+from ..obs import metrics as obs_metrics
 from .controller import (CameraController, FixedStrategyController,
                          SelfAwareStrategyController, strategy_entropy)
 from .market import Bid, HandoverMarket
@@ -250,13 +252,23 @@ class CameraSimulation:
             controller.feedback(reward)
 
         owned = len(self.ownership)
+        messages = sum(messages_by_camera.values())
         record = CameraStepRecord(
             time=t, tracking_utility=total_utility,
-            messages=sum(messages_by_camera.values()), handovers=handovers,
+            messages=messages, handovers=handovers,
             owned_objects=owned,
             lost_objects=len(self.population) - owned,
             comm_weight=comm_weight)
         self.records.append(record)
+        if obs_events.enabled():
+            obs_metrics.counter("steps", sim="smartcamera").increment()
+            obs_metrics.counter("camera.handovers").increment(handovers)
+            obs_metrics.counter("camera.messages").increment(messages)
+            obs_metrics.histogram("camera.tracking_utility").observe(total_utility)
+            obs_events.emit("camera.step", time=t,
+                            tracking_utility=total_utility, messages=messages,
+                            handovers=handovers, owned=owned,
+                            lost=record.lost_objects)
         return record
 
     def run(self) -> CameraSimResult:

@@ -8,6 +8,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import events as obs_events
+from ..obs import metrics as obs_metrics
 from .arena import Arena, Event
 from .robots import Robot, SwarmController, make_swarm
 
@@ -81,7 +83,15 @@ def run_mission(controller: SwarmController,
                     witnessed.append((robot.robot_id, event))
                     seen_events.add(id(event))
         controller.step(float(t), robots, witnessed)
+        alive = sum(1 for r in robots if r.alive)
+        if obs_events.enabled():
+            obs_metrics.counter("steps", sim="swarm").increment()
+            obs_metrics.counter("swarm.events").increment(len(events))
+            obs_metrics.counter("swarm.witnessed").increment(len(seen_events))
+            obs_metrics.gauge("swarm.alive_robots").set(alive)
+            obs_events.emit("swarm.step", time=float(t), events=len(events),
+                            witnessed=len(seen_events), alive=alive)
         records.append(SwarmStepRecord(
             time=float(t), events=len(events), witnessed=len(seen_events),
-            alive=sum(1 for r in robots if r.alive)))
+            alive=alive))
     return SwarmRunResult(records=records)

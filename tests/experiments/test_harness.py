@@ -4,9 +4,11 @@ import math
 
 import pytest
 
-from repro.experiments.harness import (ExperimentTable, format_table,
-                                       print_tables, to_markdown,
+from repro.experiments.harness import (ExperimentTable, _format_cell,
+                                       format_table, print_tables,
+                                       run_with_provenance, to_markdown,
                                        write_markdown_report)
+from repro.obs import TelemetrySession
 
 
 @pytest.fixture
@@ -53,6 +55,136 @@ class TestExperimentTable:
         t = ExperimentTable("EX", "demo", columns=["name", "v"])
         t.add_row(name="a")
         assert "-" in format_table(t)
+
+    def test_add_row_stores_a_copy(self):
+        t = ExperimentTable("EX", "demo", columns=["name", "v"])
+        values = {"name": "a", "v": 1.0}
+        t.add_row(**values)
+        values["v"] = 99.0
+        values["name"] = "corrupted"
+        assert t.rows[0] == {"name": "a", "v": 1.0}
+
+    def test_rows_independent_across_calls(self):
+        t = ExperimentTable("EX", "demo", columns=["v"])
+        t.add_row(v=1.0)
+        t.add_row(v=2.0)
+        t.rows[0]["v"] = -1.0
+        assert t.rows[1]["v"] == 2.0
+
+    def test_row_by_missing_column_raises_keyerror(self):
+        t = ExperimentTable("EX", "demo", columns=["name"])
+        t.add_row(name="a")
+        with pytest.raises(KeyError):
+            t.row_by("nonexistent", "a")
+
+    def test_best_row_non_numeric_column_raises(self):
+        t = ExperimentTable("EX", "demo", columns=["name", "v"])
+        t.add_row(name="a", v="not-a-number")
+        t.add_row(name="b")  # missing entirely
+        with pytest.raises(ValueError):
+            t.best_row("v")
+
+    def test_best_row_empty_table_raises(self):
+        t = ExperimentTable("EX", "demo", columns=["v"])
+        with pytest.raises(ValueError):
+            t.best_row("v")
+
+    def test_append_note_preserves_existing(self):
+        t = ExperimentTable("EX", "demo", columns=["v"], notes="first")
+        t.append_note("second")
+        assert t.notes == "first; second"
+        t2 = ExperimentTable("EX", "demo", columns=["v"])
+        t2.append_note("only")
+        assert t2.notes == "only"
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert _format_cell(None) == "-"
+
+    def test_nan_is_nan(self):
+        assert _format_cell(math.nan) == "nan"
+
+    def test_zero(self):
+        assert _format_cell(0.0) == "0.000"
+
+    def test_plain_range_fixed_point(self):
+        assert _format_cell(0.001) == "0.001"
+        assert _format_cell(9999.4) == "9999.400"
+
+    def test_negative_floats(self):
+        # Negative values use the same magnitude thresholds as positive.
+        assert _format_cell(-0.5) == "-0.500"
+        assert _format_cell(-9999.0) == "-9999.000"
+        assert _format_cell(-123456.789) == "-1.23e+05"
+        assert _format_cell(-0.0001) == "-1.00e-04"
+
+    def test_large_magnitude_scientific(self):
+        assert _format_cell(10000.0) == "1.00e+04"
+        assert _format_cell(1e300) == "1.00e+300"
+
+    def test_small_magnitude_scientific(self):
+        assert _format_cell(0.0009) == "9.00e-04"
+
+    def test_infinities(self):
+        assert _format_cell(math.inf) == "inf"
+        assert _format_cell(-math.inf) == "-inf"
+
+    def test_ints_and_strings_pass_through(self):
+        assert _format_cell(123456) == "123456"
+        assert _format_cell("label") == "label"
+
+
+class TestRunWithProvenance:
+    def _table(self):
+        t = ExperimentTable("EX", "demo", columns=["v"])
+        t.add_row(v=1.0)
+        return t
+
+    def test_wall_clock_note_without_telemetry(self):
+        result = run_with_provenance(lambda: self._table())
+        assert "wall " in result.notes
+        assert "steps" not in result.notes
+
+    def test_existing_notes_preserved(self):
+        def job():
+            t = self._table()
+            t.notes = "original"
+            return t
+        result = run_with_provenance(job)
+        assert result.notes.startswith("original; wall ")
+
+    def test_list_of_tables_all_stamped(self):
+        result = run_with_provenance(lambda: [self._table(), self._table()])
+        assert all("wall " in t.notes for t in result)
+
+    def test_telemetry_adds_step_rate(self):
+        def job():
+            from repro.obs import get_registry
+            get_registry().counter("steps", sim="fake").increment(500)
+            return self._table()
+        session = TelemetrySession()
+        result = run_with_provenance(job, telemetry=session)
+        assert "500 steps" in result.notes
+        assert "steps/s [telemetry]" in result.notes
+
+    def test_telemetry_counts_only_this_run(self):
+        session = TelemetrySession()
+        with session:
+            session.registry.counter("steps", sim="earlier").increment(100)
+            def job():
+                session.registry.counter("steps", sim="now").increment(50)
+                return self._table()
+            result = run_with_provenance(job, telemetry=session)
+        assert "50 steps" in result.notes
+
+    def test_kwargs_forwarded(self):
+        def job(v):
+            t = ExperimentTable("EX", "demo", columns=["v"])
+            t.add_row(v=v)
+            return t
+        result = run_with_provenance(job, v=42.0)
+        assert result.rows[0]["v"] == 42.0
 
 
 class TestFormatting:

@@ -1,0 +1,118 @@
+"""Tests for the structured event bus."""
+
+import pytest
+
+from repro.obs.events import (Event, EventBus, emit, enabled, get_bus,
+                              set_bus, subscribe, unsubscribe)
+
+
+class TestEventBus:
+    def test_disabled_by_default_and_emit_is_noop(self):
+        bus = EventBus()
+        assert not bus.enabled
+        assert bus.emit("x", a=1) is None
+        assert len(bus) == 0
+
+    def test_emit_when_enabled(self):
+        bus = EventBus(enabled=True)
+        event = bus.emit("decision", action="turbo", utility=0.5)
+        assert event is not None
+        assert event.name == "decision"
+        assert event.get("action") == "turbo"
+        assert event.get("missing", 7) == 7
+        assert len(bus) == 1
+
+    def test_sequence_numbers_monotonic(self):
+        bus = EventBus(enabled=True)
+        seqs = [bus.emit("e").seq for _ in range(5)]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 5
+
+    def test_ring_buffer_retention_and_dropped(self):
+        bus = EventBus(maxlen=3, enabled=True)
+        for i in range(5):
+            bus.emit("e", i=i)
+        assert len(bus) == 3
+        assert [e.get("i") for e in bus.events()] == [2, 3, 4]
+        assert bus.dropped == 2
+
+    def test_events_filter_by_name(self):
+        bus = EventBus(enabled=True)
+        bus.emit("a", v=1)
+        bus.emit("b", v=2)
+        bus.emit("a", v=3)
+        assert [e.get("v") for e in bus.events("a")] == [1, 3]
+
+    def test_subscribers_receive_events(self):
+        bus = EventBus(enabled=True)
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit("a")
+        bus.emit("b")
+        assert [e.name for e in seen] == ["a", "b"]
+
+    def test_unsubscribe(self):
+        bus = EventBus(enabled=True)
+        seen = []
+        bus.subscribe(seen.append)
+        bus.unsubscribe(seen.append)
+        bus.emit("a")
+        assert seen == []
+        bus.unsubscribe(seen.append)  # absent: no-op
+
+    def test_subscribers_not_called_when_disabled(self):
+        bus = EventBus(enabled=True)
+        seen = []
+        bus.subscribe(seen.append)
+        bus.disable()
+        bus.emit("a")
+        assert seen == []
+
+    def test_clear_keeps_subscribers(self):
+        bus = EventBus(enabled=True)
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit("a")
+        bus.clear()
+        assert len(bus) == 0
+        bus.emit("b")
+        assert len(seen) == 2
+
+    def test_maxlen_validation(self):
+        with pytest.raises(ValueError):
+            EventBus(maxlen=0)
+
+    def test_as_dict_flattens_fields(self):
+        event = Event(name="n", seq=3, fields={"x": 1})
+        assert event.as_dict() == {"event": "n", "seq": 3, "x": 1}
+
+
+class TestModuleLevelBus:
+    def test_default_bus_swap_and_restore(self):
+        mine = EventBus(enabled=True)
+        previous = set_bus(mine)
+        try:
+            assert get_bus() is mine
+            assert enabled()
+            emit("hello", x=1)
+            assert [e.name for e in mine.events()] == ["hello"]
+        finally:
+            assert set_bus(previous) is mine
+        assert get_bus() is previous
+
+    def test_module_emit_noop_when_disabled(self):
+        assert not enabled()
+        assert emit("nope") is None
+
+    def test_module_subscribe(self):
+        mine = EventBus(enabled=True)
+        previous = set_bus(mine)
+        try:
+            seen = []
+            subscribe(seen.append)
+            emit("a")
+            unsubscribe(seen.append)
+            emit("b")
+            assert [e.name for e in seen] == ["a"]
+        finally:
+            set_bus(previous)

@@ -1,0 +1,139 @@
+"""Tests for trace export, snapshots, summaries and sessions."""
+
+import json
+
+import pytest
+
+from repro.obs import (TelemetrySession, cli_telemetry, emit, enabled,
+                       get_bus, read_trace, render_summary, snapshot)
+from repro.obs.events import EventBus
+from repro.obs.export import JsonlTraceWriter
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+
+class TestJsonlTraceWriter:
+    def test_writes_one_line_per_event(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        writer = JsonlTraceWriter(path)
+        bus = EventBus(enabled=True)
+        bus.subscribe(writer)
+        bus.emit("a", x=1)
+        bus.emit("b", y="two")
+        writer.close()
+        records = read_trace(path)
+        assert [r["event"] for r in records] == ["a", "b"]
+        assert records[0]["x"] == 1
+
+    def test_non_json_values_fall_back_to_repr(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        writer = JsonlTraceWriter(path)
+        writer.write_record({"event": "e", "action": ("tuple", 1),
+                             "obj": object()})
+        writer.close()
+        record = read_trace(path)[0]
+        assert "object object" in record["obj"]
+
+    def test_close_appends_metrics_snapshot(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        registry = MetricsRegistry()
+        registry.counter("c").increment(5)
+        writer = JsonlTraceWriter(path)
+        writer.close(registry=registry)
+        records = read_trace(path)
+        assert records[-1]["event"] == "metrics.snapshot"
+        assert records[-1]["metrics"]["counters"]["c"] == 5.0
+
+    def test_write_after_close_raises(self, tmp_path):
+        writer = JsonlTraceWriter(str(tmp_path / "t.jsonl"))
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.write_record({"event": "late"})
+        writer.close()  # second close is a no-op
+
+
+class TestSnapshotAndSummary:
+    def test_snapshot_merges_bus_and_registry(self):
+        bus = EventBus(enabled=True)
+        bus.emit("e")
+        registry = MetricsRegistry()
+        registry.counter("c").increment()
+        snap = snapshot(bus=bus, registry=registry)
+        assert snap["counters"]["c"] == 1.0
+        assert snap["events"]["retained"] == 1
+
+    def test_render_summary_lists_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("my.counter").increment(2)
+        registry.gauge("my.gauge").set(7.0)
+        registry.histogram("my.hist").observe(1.0)
+        text = render_summary(snapshot(bus=EventBus(), registry=registry))
+        assert "my.counter: 2" in text
+        assert "my.gauge: 7" in text
+        assert "my.hist" in text
+        assert "p95" in text
+
+
+class TestTelemetrySession:
+    def test_enables_and_restores(self):
+        outer_bus, outer_registry = get_bus(), get_registry()
+        assert not enabled()
+        with TelemetrySession() as session:
+            assert enabled()
+            assert get_bus() is session.bus
+            assert get_registry() is session.registry
+            emit("inside", x=1)
+        assert not enabled()
+        assert get_bus() is outer_bus
+        assert get_registry() is outer_registry
+        assert [e.name for e in session.bus.events()] == ["inside"]
+
+    def test_trace_file_with_final_snapshot(self, tmp_path):
+        path = str(tmp_path / "session.jsonl")
+        with TelemetrySession(trace_path=path) as session:
+            emit("e", v=1)
+            session.registry.counter("c").increment()
+        records = read_trace(path)
+        assert records[0]["event"] == "e"
+        assert records[-1]["event"] == "metrics.snapshot"
+        assert records[-1]["metrics"]["counters"]["c"] == 1.0
+
+    def test_reentrant(self, tmp_path):
+        path = str(tmp_path / "nested.jsonl")
+        session = TelemetrySession(trace_path=path)
+        with session:
+            emit("outer")
+            with session:  # inner enter must not truncate the trace
+                emit("inner")
+            assert session.active
+            assert enabled()
+            emit("after-inner")
+        assert not session.active
+        assert [r["event"] for r in read_trace(path)] == [
+            "outer", "inner", "after-inner", "metrics.snapshot"]
+
+
+class TestCliTelemetry:
+    def test_absent_flag_is_nullcontext(self):
+        argv = ["prog"]
+        ctx = cli_telemetry(argv)
+        with ctx:
+            assert not enabled()
+
+    def test_flag_with_path(self, tmp_path, capsys):
+        path = str(tmp_path / "cli.jsonl")
+        argv = ["prog", "--trace", path]
+        ctx = cli_telemetry(argv)
+        assert argv == ["prog"]  # consumed
+        with ctx:
+            assert enabled()
+            emit("e")
+        assert read_trace(path)[0]["event"] == "e"
+
+    def test_flag_without_path_defaults(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        argv = ["prog", "--trace"]
+        ctx = cli_telemetry(argv)
+        assert argv == ["prog"]
+        with ctx:
+            emit("e")
+        assert (tmp_path / "trace.jsonl").exists()

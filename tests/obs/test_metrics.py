@@ -1,0 +1,150 @@
+"""Tests for counters, gauges and P² streaming histograms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (Counter, Gauge, MetricsRegistry, P2Quantile,
+                               StreamingHistogram, metric_key)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.increment()
+        c.increment(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().increment(-1)
+
+    def test_gauge_retains_last_write(self):
+        g = Gauge()
+        assert math.isnan(g.value)
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestP2Quantile:
+    def test_validates_p(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.5).value)
+
+    def test_exact_for_small_samples(self):
+        q = P2Quantile(0.5)
+        for x in (5.0, 1.0, 3.0):
+            q.observe(x)
+        assert q.value == 3.0  # exact median of three
+
+    def test_accuracy_against_numpy(self):
+        rng = np.random.default_rng(42)
+        data = rng.normal(100.0, 15.0, 20000)
+        for p in (0.5, 0.95, 0.99):
+            q = P2Quantile(p)
+            for x in data:
+                q.observe(x)
+            exact = float(np.quantile(data, p))
+            # P² converges to well under 1% relative error at this size.
+            assert abs(q.value - exact) / abs(exact) < 0.01
+
+    def test_accuracy_on_skewed_stream(self):
+        rng = np.random.default_rng(7)
+        data = rng.exponential(2.0, 20000)
+        q = P2Quantile(0.95)
+        for x in data:
+            q.observe(x)
+        exact = float(np.quantile(data, 0.95))
+        assert abs(q.value - exact) / exact < 0.05
+
+
+class TestStreamingHistogram:
+    def test_summary_statistics(self):
+        h = StreamingHistogram()
+        for x in (1.0, 2.0, 3.0, 4.0):
+            h.observe(x)
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.mean == 2.5
+        assert h.min == 1.0
+        assert h.max == 4.0
+        summary = h.summary()
+        assert summary["count"] == 4.0
+        assert set(summary) >= {"count", "sum", "mean", "min", "max",
+                                "p50", "p95", "p99"}
+
+    def test_deterministic_percentiles(self):
+        # 1..1000 in a fixed shuffled order: p50/p95/p99 are known.
+        values = list(range(1, 1001))
+        rng = np.random.default_rng(0)
+        rng.shuffle(values)
+        h = StreamingHistogram()
+        for v in values:
+            h.observe(float(v))
+        assert abs(h.quantile(0.5) - 500.5) < 15
+        assert abs(h.quantile(0.95) - 950.0) < 15
+        assert abs(h.quantile(0.99) - 990.0) < 15
+
+    def test_untracked_quantile_raises(self):
+        h = StreamingHistogram(quantiles=(0.5,))
+        h.observe(1.0)
+        with pytest.raises(KeyError):
+            h.quantile(0.25)
+
+    def test_empty_histogram(self):
+        h = StreamingHistogram()
+        assert math.isnan(h.mean)
+        assert math.isnan(h.summary()["min"])
+
+    def test_needs_a_quantile(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(quantiles=())
+
+
+class TestMetricKey:
+    def test_bare_name(self):
+        assert metric_key("steps", {}) == "steps"
+
+    def test_labels_sorted(self):
+        assert (metric_key("steps", {"b": 2, "a": 1})
+                == "steps{a=1,b=2}")
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c", sim="x") is reg.counter("c", sim="x")
+        assert reg.counter("c", sim="x") is not reg.counter("c", sim="y")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_total_sums_across_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("steps", sim="a").increment(3)
+        reg.counter("steps", sim="b").increment(4)
+        reg.counter("steps").increment(1)
+        reg.counter("stepsize").increment(100)  # prefix must not match
+        assert reg.total("steps") == 8.0
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").increment()
+        reg.gauge("g").set(2.0)
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 1.0}
+        assert snap["gauges"] == {"g": 2.0}
+        assert snap["histograms"]["h"]["count"] == 1.0
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("c").increment()
+        reg.clear()
+        assert reg.snapshot()["counters"] == {}
