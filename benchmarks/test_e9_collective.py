@@ -7,7 +7,6 @@ subtree, and gossip keeps every surviving node aware; the central hub
 is the message hot-spot and its load grows with N.
 """
 
-import math
 
 import pytest
 

@@ -1,0 +1,67 @@
+"""Benchmarks for the parallel engine: pool speedup and cache speedup.
+
+Two claims the engine makes beyond correctness:
+
+- on a multi-core box, ``--jobs 4`` beats ``--jobs 1`` by a wide margin
+  on the quick suite (the shards are embarrassingly parallel; the only
+  serial parts are reduce and pool startup);
+- a warm cache beats a cold run by an order of magnitude (disk reads
+  replace simulation).
+
+The speedup test skips on boxes with fewer than four cores, where the
+pool cannot win by construction.  The cache test runs everywhere.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.engine import canonical_suite_text, run_suite
+from repro.experiments.run_all import suite_jobs
+
+#: A parallel-friendly slice of the quick suite: enough shards to keep
+#: four workers busy, small enough to stay a benchmark.
+_BENCH_NAMES = ("E3", "E3-goal", "E5", "E6", "E9", "A2")
+
+
+def _bench_jobs():
+    return [job for job in suite_jobs(quick=True)
+            if job.name in _BENCH_NAMES]
+
+
+def _timed(**kwargs):
+    start = time.perf_counter()
+    report = run_suite(_bench_jobs(), **kwargs)
+    return report, time.perf_counter() - start
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="pool speedup needs at least 4 cores")
+def test_jobs4_at_least_1_8x_faster_than_serial():
+    # Warm-up: imports and any lazy module state, so both timed runs
+    # pay identical fixed costs.
+    run_suite(_bench_jobs()[:1], n_jobs=1)
+    serial, serial_wall = _timed(n_jobs=1)
+    parallel, parallel_wall = _timed(n_jobs=4)
+    assert (canonical_suite_text(serial.tables)
+            == canonical_suite_text(parallel.tables))
+    assert serial_wall / parallel_wall >= 1.8, (
+        f"serial {serial_wall:.2f}s vs 4 workers {parallel_wall:.2f}s")
+
+
+def test_warm_cache_at_least_5x_faster_than_cold(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    cold, cold_wall = _timed(n_jobs=1, cache=True, cache_dir=cache_dir)
+    warm, warm_wall = _timed(n_jobs=1, cache=True, cache_dir=cache_dir)
+    assert cold.cached_shards == 0
+    assert warm.executed_shards == 0
+    assert (canonical_suite_text(cold.tables)
+            == canonical_suite_text(warm.tables))
+    assert cold_wall / warm_wall >= 5.0, (
+        f"cold {cold_wall:.2f}s vs warm {warm_wall:.2f}s")
+
+
+def test_parallel_engine_benchmark(benchmark):
+    benchmark.pedantic(lambda: run_suite(_bench_jobs()[:2], n_jobs=2),
+                       rounds=1, iterations=1)

@@ -35,8 +35,8 @@ Subpackages
     every simulator and the experiment harness.  Off by default.
 """
 
-__version__ = "1.1.0"
-
 from . import core, learning, obs
+
+__version__ = "1.2.0"
 
 __all__ = ["core", "learning", "obs", "__version__"]

@@ -13,9 +13,8 @@ plus backlog) actually served; cost is the number of provisioned servers
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics

@@ -25,8 +25,8 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence
 
 import numpy as np
 

@@ -11,8 +11,8 @@ actuation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Mapping, Optional
 
 
 @dataclass

@@ -15,10 +15,9 @@ dashboards, watchdogs, or other systems.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from .levels import SelfAwarenessLevel
 from .meta import MetaReasoner
 from .node import SelfAwareNode
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Hashable, List, Mapping, Optional, Sequence
+from typing import Deque, Dict, List, Mapping, Optional, Sequence
 
 from ..obs.events import Event as ObsEvent
 from ..obs.events import EventBus

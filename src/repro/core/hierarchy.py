@@ -24,8 +24,7 @@ pattern composes (a supervisor is itself observable).
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..learning.drift import PageHinkley

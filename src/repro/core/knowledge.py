@@ -24,8 +24,8 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, Iterator, List, Optional
 
 from .spans import Scope, Span
 

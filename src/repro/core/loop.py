@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Optional, Protocol, Sequence
+from typing import Dict, Hashable, List, Optional, Protocol, Sequence
 
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics

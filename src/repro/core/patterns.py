@@ -29,7 +29,7 @@ rung.
 
 from __future__ import annotations
 
-from typing import Hashable, Optional, Sequence
+from typing import Hashable, Optional
 
 import numpy as np
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence
+from typing import Dict, Hashable, Mapping, Optional, Sequence
 
 import numpy as np
 

@@ -10,7 +10,7 @@ protocol ``value(t)`` (pure lookup/synthesis) or ``step() -> value``
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -8,9 +8,8 @@ shocks, per the environment-complexity arguments of paper Section II.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -36,6 +36,46 @@ from .harness import ExperimentTable
 
 # -- A1: aggregation scheme ----------------------------------------------------
 
+def run_aggregation_shard(seed: int, steps: int = 1200) -> Dict[str, List[float]]:
+    """One seed's worth of A1: [mean, after_reweight] per aggregation."""
+    payload: Dict[str, List[float]] = {}
+    for use_knee, name in ((False, "weighted-sum"), (True, "pareto-knee")):
+        env = ResourceAllocationEnvironment(seed=seed,
+                                            inversion_time=float("inf"))
+        goal = make_e1_goal()
+        reasoner = UtilityReasoner(
+            goal, ContextualActionModel(forgetting=0.95), epsilon=0.08,
+            use_knee=use_knee, rng=np.random.default_rng(900 + seed))
+        node = SelfAwareNode(
+            name=name,
+            profile=CapabilityProfile.up_to(SelfAwarenessLevel.GOAL),
+            sensors=make_e1_sensors(env, np.random.default_rng(901 + seed)),
+            reasoner=reasoner)
+        trace = _run_one(name, node, env, goal, steps)
+        payload[name] = [trace.mean_utility(),
+                         trace.mean_utility_between(600.0, steps + 1.0)]
+    return payload
+
+
+def reduce_aggregation(shards: Sequence[Dict[str, List[float]]],
+                       seeds: Sequence[int] = (),
+                       steps: int = 1200) -> ExperimentTable:
+    """Seed-average per-seed payloads into the A1 table."""
+    table = ExperimentTable(
+        experiment_id="A1",
+        title="Ablation: goal aggregation (weighted-sum vs Pareto knee)",
+        columns=["aggregation", "mean_utility", "utility_after_reweight"],
+        notes="E1 environment; utility scored against the live goal, "
+              "which re-weights toward cost at t=600")
+    for name in ("weighted-sum", "pareto-knee"):
+        values = [shard[name] for shard in shards]
+        table.add_row(aggregation=name,
+                      mean_utility=float(np.mean([v[0] for v in values])),
+                      utility_after_reweight=float(np.mean(
+                          [v[1] for v in values])))
+    return table
+
+
 def run_aggregation(seeds: Sequence[int] = (0, 1, 2, 3),
                     steps: int = 1200) -> ExperimentTable:
     """Weighted-sum vs knee selection on the E1 task.
@@ -44,40 +84,45 @@ def run_aggregation(seeds: Sequence[int] = (0, 1, 2, 3),
     re-weighting -- it buys weight-free robustness at the cost of
     goal-responsiveness.
     """
-    table = ExperimentTable(
-        experiment_id="A1",
-        title="Ablation: goal aggregation (weighted-sum vs Pareto knee)",
-        columns=["aggregation", "mean_utility", "utility_after_reweight"],
-        notes="E1 environment; utility scored against the live goal, "
-              "which re-weights toward cost at t=600")
-    for use_knee, name in ((False, "weighted-sum"), (True, "pareto-knee")):
-        means, lates = [], []
-        for seed in seeds:
-            env = ResourceAllocationEnvironment(seed=seed,
-                                                inversion_time=float("inf"))
-            goal = make_e1_goal()
-            reasoner = UtilityReasoner(
-                goal, ContextualActionModel(forgetting=0.95), epsilon=0.08,
-                use_knee=use_knee, rng=np.random.default_rng(900 + seed))
-            node = SelfAwareNode(
-                name=name,
-                profile=CapabilityProfile.up_to(SelfAwarenessLevel.GOAL),
-                sensors=make_e1_sensors(env, np.random.default_rng(901 + seed)),
-                reasoner=reasoner)
-            trace = _run_one(name, node, env, goal, steps)
-            means.append(trace.mean_utility())
-            lates.append(trace.mean_utility_between(600.0, steps + 1.0))
-        table.add_row(aggregation=name,
-                      mean_utility=float(np.mean(means)),
-                      utility_after_reweight=float(np.mean(lates)))
-    return table
+    return reduce_aggregation(
+        [run_aggregation_shard(seed, steps=steps) for seed in seeds],
+        seeds=seeds, steps=steps)
 
 
 # -- A2: forecast family ---------------------------------------------------------
 
-def run_forecasters(seeds: Sequence[int] = (0, 1, 2),
-                    steps: int = 600) -> ExperimentTable:
-    """Forecast family inside the self-aware autoscaler."""
+FORECASTER_KINDS = {"naive": {}, "ewma": {"alpha": 0.3}, "holt": {},
+                    "ar": {"order": 6}}
+
+
+def run_forecasters_shard(seed: int, steps: int = 600) -> Dict[str, List[float]]:
+    """One seed's worth of A2: [utility, qos, servers] per forecaster."""
+    payload: Dict[str, List[float]] = {}
+    for kind, kwargs in FORECASTER_KINDS.items():
+        demand = make_demand(seed, steps)
+        goal = make_cloud_goal()
+        scaler = SelfAwareScaler(
+            goal, boot_delay=CLUSTER["boot_delay"],
+            forecaster=make_forecaster(kind, **kwargs),
+            max_servers=CLUSTER["max_servers"])
+        cluster = ServiceCluster(**CLUSTER)
+        metrics = None
+        history = []
+        for t in range(steps):
+            cluster.request_scale(scaler.decide(float(t), metrics))
+            metrics = cluster.step(float(t), max(0.0, demand(float(t))))
+            history.append(metrics)
+        payload[kind] = [
+            float(np.mean([goal.utility(m.as_dict()) for m in history])),
+            float(np.mean([m.qos for m in history])),
+            float(np.mean([m.cost for m in history]))]
+    return payload
+
+
+def reduce_forecasters(shards: Sequence[Dict[str, List[float]]],
+                       seeds: Sequence[int] = (),
+                       steps: int = 600) -> ExperimentTable:
+    """Seed-average per-seed payloads into the A2 table."""
     table = ExperimentTable(
         experiment_id="A2",
         title="Ablation: forecast family in the autoscaler's time-awareness",
@@ -86,51 +131,28 @@ def run_forecasters(seeds: Sequence[int] = (0, 1, 2),
               "seasonal demand with a short boot delay, level trackers "
               "(naive/EWMA) suffice -- trend extrapolation (Holt) "
               "overshoots at the sine's turning points")
-    kinds = {"naive": {}, "ewma": {"alpha": 0.3}, "holt": {},
-             "ar": {"order": 6}}
-    for kind, kwargs in kinds.items():
-        utilities, qoses, servers = [], [], []
-        for seed in seeds:
-            demand = make_demand(seed, steps)
-            goal = make_cloud_goal()
-            scaler = SelfAwareScaler(
-                goal, boot_delay=CLUSTER["boot_delay"],
-                forecaster=make_forecaster(kind, **kwargs),
-                max_servers=CLUSTER["max_servers"])
-            cluster = ServiceCluster(**CLUSTER)
-            metrics = None
-            history = []
-            for t in range(steps):
-                cluster.request_scale(scaler.decide(float(t), metrics))
-                metrics = cluster.step(float(t), max(0.0, demand(float(t))))
-                history.append(metrics)
-            utilities.append(float(np.mean(
-                [goal.utility(m.as_dict()) for m in history])))
-            qoses.append(float(np.mean([m.qos for m in history])))
-            servers.append(float(np.mean([m.cost for m in history])))
-        table.add_row(forecaster=kind, utility=float(np.mean(utilities)),
-                      qos=float(np.mean(qoses)),
-                      mean_servers=float(np.mean(servers)))
+    for kind in FORECASTER_KINDS:
+        values = [shard[kind] for shard in shards]
+        table.add_row(forecaster=kind,
+                      utility=float(np.mean([v[0] for v in values])),
+                      qos=float(np.mean([v[1] for v in values])),
+                      mean_servers=float(np.mean([v[2] for v in values])))
     return table
+
+
+def run_forecasters(seeds: Sequence[int] = (0, 1, 2),
+                    steps: int = 600) -> ExperimentTable:
+    """Forecast family inside the self-aware autoscaler."""
+    return reduce_forecasters(
+        [run_forecasters_shard(seed, steps=steps) for seed in seeds],
+        seeds=seeds, steps=steps)
 
 
 # -- A4: auction pricing rule ------------------------------------------------------
 
-def run_auction_pricing(n_auctions: int = 2000,
-                        seed: int = 0) -> ExperimentTable:
-    """Second-price vs first-price handover pricing.
-
-    Allocation (who wins) is identical under truthful bidding; what
-    changes is what winners pay.  Vickrey charges the second bid, so
-    winners retain surplus proportional to their visibility advantage --
-    the incentive-compatibility argument for the published design.
-    """
-    table = ExperimentTable(
-        experiment_id="A4",
-        title="Ablation: handover auction pricing rule",
-        columns=["rule", "trade_rate", "mean_price", "winner_surplus"],
-        notes="synthetic bid streams (2-5 bidders, uniform visibilities); "
-              "surplus = winner's bid minus price paid")
+def run_auction_pricing_shard(seed: int,
+                              n_auctions: int = 2000) -> Dict[str, List[float]]:
+    """One seed's worth of A4: [trade_rate, mean_price, surplus] per rule."""
     rng = np.random.default_rng(seed)
     auctions = []
     for i in range(n_auctions):
@@ -150,23 +172,54 @@ def run_auction_pricing(n_auctions: int = 2000,
             winning_bid = max(b.amount for b in bids)
             prices.append(outcome.price)
             surpluses.append(winning_bid - outcome.price)
-    table.add_row(rule="second-price(Vickrey)", trade_rate=market.trade_rate,
-                  mean_price=float(np.mean(prices)),
-                  winner_surplus=float(np.mean(surpluses)))
 
     # First-price: winner pays its own bid; surplus is zero by definition
     # (under the same truthful bids).
-    sold = prices_fp = 0
+    sold = 0
     prices_list: List[float] = []
     for _object_id, bids, reserve in auctions:
         valid = [b for b in bids if b.amount >= reserve]
         if valid:
             sold += 1
             prices_list.append(max(b.amount for b in valid))
-    table.add_row(rule="first-price", trade_rate=sold / n_auctions,
-                  mean_price=float(np.mean(prices_list)),
-                  winner_surplus=0.0)
+    return {
+        "second-price(Vickrey)": [market.trade_rate, float(np.mean(prices)),
+                                  float(np.mean(surpluses))],
+        "first-price": [sold / n_auctions, float(np.mean(prices_list)), 0.0],
+    }
+
+
+def reduce_auction_pricing(shards: Sequence[Dict[str, List[float]]],
+                           seeds: Sequence[int] = (),
+                           n_auctions: int = 2000) -> ExperimentTable:
+    """Seed-average per-seed payloads into the A4 table."""
+    table = ExperimentTable(
+        experiment_id="A4",
+        title="Ablation: handover auction pricing rule",
+        columns=["rule", "trade_rate", "mean_price", "winner_surplus"],
+        notes="synthetic bid streams (2-5 bidders, uniform visibilities); "
+              "surplus = winner's bid minus price paid")
+    for rule in ("second-price(Vickrey)", "first-price"):
+        values = [shard[rule] for shard in shards]
+        table.add_row(rule=rule,
+                      trade_rate=float(np.mean([v[0] for v in values])),
+                      mean_price=float(np.mean([v[1] for v in values])),
+                      winner_surplus=float(np.mean([v[2] for v in values])))
     return table
+
+
+def run_auction_pricing(n_auctions: int = 2000,
+                        seed: int = 0) -> ExperimentTable:
+    """Second-price vs first-price handover pricing.
+
+    Allocation (who wins) is identical under truthful bidding; what
+    changes is what winners pay.  Vickrey charges the second bid, so
+    winners retain surplus proportional to their visibility advantage --
+    the incentive-compatibility argument for the published design.
+    """
+    return reduce_auction_pricing(
+        [run_auction_pricing_shard(seed, n_auctions=n_auctions)],
+        seeds=(seed,), n_auctions=n_auctions)
 
 
 # -- A5: knowledge representation granularity -----------------------------------
@@ -184,6 +237,51 @@ def _bin_fn_for(levels: int):
     return bin_fn
 
 
+def run_knowledge_representation_shard(
+        seed: int, steps: int = 1200,
+        granularities: Sequence[int] = (1, 3, 5, 11, 41)) -> Dict[str, List[float]]:
+    """One seed's worth of A5: [utility, bins_used] per granularity."""
+    payload: Dict[str, List[float]] = {}
+    for levels in granularities:
+        env = ResourceAllocationEnvironment(
+            seed=seed, goal_change_time=float("inf"),
+            inversion_time=float("inf"))
+        goal = make_e1_goal()
+        model = ContextualActionModel(forgetting=0.95,
+                                      bin_fn=_bin_fn_for(levels))
+        reasoner = UtilityReasoner(goal, model, epsilon=0.08,
+                                   rng=np.random.default_rng(950 + seed))
+        node = SelfAwareNode(
+            name=f"g{levels}",
+            profile=CapabilityProfile.up_to(SelfAwarenessLevel.TIME),
+            sensors=make_e1_sensors(env, np.random.default_rng(951 + seed)),
+            reasoner=reasoner)
+        trace = _run_one(f"g{levels}", node, env, goal, steps)
+        payload[str(levels)] = [trace.mean_utility(),
+                                float(model.bin_count())]
+    return payload
+
+
+def reduce_knowledge_representation(
+        shards: Sequence[Dict[str, List[float]]],
+        seeds: Sequence[int] = (), steps: int = 1200,
+        granularities: Sequence[int] = (1, 3, 5, 11, 41)) -> ExperimentTable:
+    """Seed-average per-seed payloads into the A5 table."""
+    table = ExperimentTable(
+        experiment_id="A5",
+        title="Ablation: knowledge-representation granularity",
+        columns=["levels_per_feature", "mean_utility", "bins_used"],
+        notes="context bins per sensed feature in the self-model; E1 "
+              "environment with shocks (stationary goal); 1 level = "
+              "context-free")
+    for levels in granularities:
+        values = [shard[str(levels)] for shard in shards]
+        table.add_row(levels_per_feature=levels,
+                      mean_utility=float(np.mean([v[0] for v in values])),
+                      bins_used=float(np.mean([v[1] for v in values])))
+    return table
+
+
 def run_knowledge_representation(
         seeds: Sequence[int] = (0, 1, 2, 3),
         steps: int = 1200,
@@ -195,36 +293,11 @@ def run_knowledge_representation(
     levels = each situation is its own bin and nothing generalises
     (sample starvation).  The sweet spot sits in between.
     """
-    table = ExperimentTable(
-        experiment_id="A5",
-        title="Ablation: knowledge-representation granularity",
-        columns=["levels_per_feature", "mean_utility", "bins_used"],
-        notes="context bins per sensed feature in the self-model; E1 "
-              "environment with shocks (stationary goal); 1 level = "
-              "context-free")
-    for levels in granularities:
-        utilities, bins = [], []
-        for seed in seeds:
-            env = ResourceAllocationEnvironment(
-                seed=seed, goal_change_time=float("inf"),
-                inversion_time=float("inf"))
-            goal = make_e1_goal()
-            model = ContextualActionModel(forgetting=0.95,
-                                          bin_fn=_bin_fn_for(levels))
-            reasoner = UtilityReasoner(goal, model, epsilon=0.08,
-                                       rng=np.random.default_rng(950 + seed))
-            node = SelfAwareNode(
-                name=f"g{levels}",
-                profile=CapabilityProfile.up_to(SelfAwarenessLevel.TIME),
-                sensors=make_e1_sensors(env, np.random.default_rng(951 + seed)),
-                reasoner=reasoner)
-            trace = _run_one(f"g{levels}", node, env, goal, steps)
-            utilities.append(trace.mean_utility())
-            bins.append(model.bin_count())
-        table.add_row(levels_per_feature=levels,
-                      mean_utility=float(np.mean(utilities)),
-                      bins_used=float(np.mean(bins)))
-    return table
+    return reduce_knowledge_representation(
+        [run_knowledge_representation_shard(seed, steps=steps,
+                                            granularities=granularities)
+         for seed in seeds],
+        seeds=seeds, steps=steps, granularities=granularities)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,7 +23,7 @@ unless run-time learning can override it.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
@@ -91,9 +91,30 @@ def model_factories() -> Dict[str, Callable[[], PredictiveModel]]:
     }
 
 
-def run(seeds: Sequence[int] = (0, 1, 2, 3, 4),
-        steps: int = 800) -> ExperimentTable:
-    """One row per model provenance."""
+def run_shard(seed: int, steps: int = 800) -> Dict[str, List[float]]:
+    """One seed's worth of E10: [mean_utility, late_utility] per model."""
+    payload: Dict[str, List[float]] = {}
+    for name, factory in model_factories().items():
+        env = _stationary_env(seed)
+        goal = _goal()
+        # Priors get epsilon 0: a pure design-time system does not
+        # explore (it has nothing to learn); learners do.
+        epsilon = 0.0 if name.startswith("prior") else 0.1
+        reasoner = UtilityReasoner(goal, factory(), epsilon=epsilon,
+                                   rng=np.random.default_rng(300 + seed))
+        node = SelfAwareNode(
+            name=name, profile=CapabilityProfile.minimal(),
+            sensors=make_e1_sensors(env, np.random.default_rng(400 + seed)),
+            reasoner=reasoner)
+        trace = run_control_loop(node, env, goal, steps)
+        late = trace.mean_utility_between(steps * 0.75, steps + 1.0)
+        payload[name] = [trace.mean_utility(), late]
+    return payload
+
+
+def reduce(shards: Sequence[Dict[str, List[float]]],
+           seeds: Sequence[int] = (), steps: int = 800) -> ExperimentTable:
+    """Seed-average per-seed payloads into the E10 table."""
     table = ExperimentTable(
         experiment_id="E10",
         title="Design-time knowledge vs run-time learning (model provenance)",
@@ -101,30 +122,21 @@ def run(seeds: Sequence[int] = (0, 1, 2, 3, 4),
         notes=("stationary stormy regime the stale prior was not built "
                "for; late = final quarter; priors never learn, learners "
                "start from nothing"))
-    results: Dict[str, list] = {}
-    for seed in seeds:
-        for name, factory in model_factories().items():
-            env = _stationary_env(seed)
-            goal = _goal()
-            # Priors get epsilon 0: a pure design-time system does not
-            # explore (it has nothing to learn); learners do.
-            epsilon = 0.0 if name.startswith("prior") else 0.1
-            reasoner = UtilityReasoner(goal, factory(), epsilon=epsilon,
-                                       rng=np.random.default_rng(300 + seed))
-            node = SelfAwareNode(
-                name=name, profile=CapabilityProfile.minimal(),
-                sensors=make_e1_sensors(env, np.random.default_rng(400 + seed)),
-                reasoner=reasoner)
-            trace = run_control_loop(node, env, goal, steps)
-            late = trace.mean_utility_between(steps * 0.75, steps + 1.0)
-            results.setdefault(name, []).append((trace.mean_utility(), late))
-    exact = float(np.mean([v[0] for v in results["prior-exact"]]))
-    for name, values in results.items():
+    exact = float(np.mean([shard["prior-exact"][0] for shard in shards]))
+    for name in model_factories():
+        values = [shard[name] for shard in shards]
         mean_u = float(np.mean([v[0] for v in values]))
         table.add_row(model=name, mean_utility=mean_u,
                       late_utility=float(np.mean([v[1] for v in values])),
                       vs_exact_prior=mean_u / exact if exact else 0.0)
     return table
+
+
+def run(seeds: Sequence[int] = (0, 1, 2, 3, 4),
+        steps: int = 800) -> ExperimentTable:
+    """One row per model provenance."""
+    return reduce([run_shard(seed, steps=steps) for seed in seeds],
+                  seeds=seeds, steps=steps)
 
 
 if __name__ == "__main__":  # pragma: no cover

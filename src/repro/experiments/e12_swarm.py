@@ -12,7 +12,7 @@ learning + gossip + Voronoi attribution + liveness-aware separation).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
@@ -33,9 +33,25 @@ def controller_factories(n_robots: int) -> Dict[str, Callable[[int], SwarmContro
     }
 
 
-def run(seeds: Sequence[int] = (0, 1, 2), steps: int = 800,
-        n_robots: int = 9) -> ExperimentTable:
-    """One row per controller; phase breakdown around shift and failures."""
+def run_shard(seed: int, steps: int = 800,
+              n_robots: int = 9) -> Dict[str, List[float]]:
+    """One seed's worth of E12: four detection rates per controller."""
+    payload: Dict[str, List[float]] = {}
+    for name, factory in controller_factories(n_robots).items():
+        config = SwarmMissionConfig(n_robots=n_robots, steps=steps,
+                                    seed=seed)
+        result = run_mission(factory(seed), config)
+        payload[name] = [result.detection_rate(),
+                         result.detection_rate(0.0, 0.4 * steps),
+                         result.detection_rate(0.45 * steps, 0.7 * steps),
+                         result.detection_rate(0.75 * steps, float(steps))]
+    return payload
+
+
+def reduce(shards: Sequence[Dict[str, List[float]]],
+           seeds: Sequence[int] = (), steps: int = 800,
+           n_robots: int = 9) -> ExperimentTable:
+    """Seed-average per-seed payloads into the E12 table."""
     table = ExperimentTable(
         experiment_id="E12",
         title="Swarm structural self-adaptation (event detection rate)",
@@ -44,24 +60,22 @@ def run(seeds: Sequence[int] = (0, 1, 2), steps: int = 800,
         notes=("hotspots shift at 40% of the mission; robots 0 and 1 die "
                "at 70%; detection rate = fraction of events witnessed by "
                "some robot"))
-    for name, factory in controller_factories(n_robots).items():
-        overall, initial, after_shift, after_failures = [], [], [], []
-        for seed in seeds:
-            config = SwarmMissionConfig(n_robots=n_robots, steps=steps,
-                                        seed=seed)
-            result = run_mission(factory(seed), config)
-            overall.append(result.detection_rate())
-            initial.append(result.detection_rate(0.0, 0.4 * steps))
-            after_shift.append(result.detection_rate(0.45 * steps,
-                                                     0.7 * steps))
-            after_failures.append(result.detection_rate(0.75 * steps,
-                                                        float(steps)))
+    for name in controller_factories(n_robots):
+        values = [shard[name] for shard in shards]
         table.add_row(controller=name,
-                      overall=float(np.mean(overall)),
-                      initial=float(np.mean(initial)),
-                      after_shift=float(np.mean(after_shift)),
-                      after_failures=float(np.mean(after_failures)))
+                      overall=float(np.mean([v[0] for v in values])),
+                      initial=float(np.mean([v[1] for v in values])),
+                      after_shift=float(np.mean([v[2] for v in values])),
+                      after_failures=float(np.mean([v[3] for v in values])))
     return table
+
+
+def run(seeds: Sequence[int] = (0, 1, 2), steps: int = 800,
+        n_robots: int = 9) -> ExperimentTable:
+    """One row per controller; phase breakdown around shift and failures."""
+    return reduce([run_shard(seed, steps=steps, n_robots=n_robots)
+                   for seed in seeds],
+                  seeds=seeds, steps=steps, n_robots=n_robots)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,14 +26,12 @@ The task is constructed so each level has something to contribute:
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
 from typing import Dict, Hashable, List, Sequence, Tuple
 
 import numpy as np
 
 from ..core.goals import Goal, Objective
-from ..core.levels import CapabilityProfile, SelfAwarenessLevel, ladder
+from ..core.levels import CapabilityProfile, ladder
 from ..core.loop import SimulationClock, Trace, run_control_loop
 from ..core.node import SelfAwareNode
 from ..core.patterns import build_node, build_static_node
@@ -171,9 +169,48 @@ def _run_one(profile_name: str, node: SelfAwareNode,
     return trace
 
 
-def run(seeds: Sequence[int] = (0, 1, 2, 3, 4),
-        steps: int = 1500) -> ExperimentTable:
-    """Run the ablation; one row per capability profile, seed-averaged."""
+def _variants() -> List[Tuple[str, CapabilityProfile]]:
+    """The ablation arms: the static baseline plus every ladder rung."""
+    variants: List[Tuple[str, CapabilityProfile]] = [("static", None)]
+    variants += [
+        ("+".join(lv.name.lower() for lv in profile), profile)
+        for profile in ladder()
+    ]
+    return variants
+
+
+def run_shard(seed: int, steps: int = 1500) -> Dict[str, Dict[str, float]]:
+    """One seed's worth of E1: every variant, as a JSON-safe payload."""
+    payload: Dict[str, Dict[str, float]] = {}
+    for name, profile in _variants():
+        env = ResourceAllocationEnvironment(seed=seed)
+        rng = np.random.default_rng(1000 + seed)
+        live_goal = make_e1_goal()
+        sensors = make_e1_sensors(env, np.random.default_rng(2000 + seed))
+        if profile is None:
+            # The design-time choice: "lean" wins the calm,
+            # perf-weighted conditions the system was tested in.
+            node = build_static_node(name, sensors, action="lean")
+        else:
+            # forgetting=0.98 is the designer's (reasonable, slightly
+            # stale) plasticity guess; only the meta profile can
+            # notice at run time that its learner has gone stale and
+            # switch to a more plastic strategy.
+            node = build_node(name, profile, sensors, live_goal,
+                              epsilon=0.08, forgetting=0.98, rng=rng)
+        trace = _run_one(name, node, env, live_goal, steps)
+        change_times = [300.0, 600.0, 900.0, 1100.0]
+        summary = dict(tradeoff_summary(trace, live_goal, change_times))
+        from ..core.meta import MetaReasoner
+        if isinstance(node.reasoner, MetaReasoner):
+            summary["switches"] = float(len(node.reasoner.switches))
+        payload[name] = summary
+    return payload
+
+
+def reduce(shards: Sequence[Dict[str, Dict[str, float]]],
+           seeds: Sequence[int] = (), steps: int = 1500) -> ExperimentTable:
+    """Seed-average per-seed payloads into the E1 table."""
     table = ExperimentTable(
         experiment_id="E1",
         title="Levels-of-self-awareness ablation (dynamic resource allocation)",
@@ -182,38 +219,9 @@ def run(seeds: Sequence[int] = (0, 1, 2, 3, 4),
         notes=("change points: shocks @300/@900, goal reweighting @600, "
                "concept inversion @1100; utility measured against the live "
                "stakeholder goal"))
-
-    variants: List[Tuple[str, CapabilityProfile]] = [("static", None)]
-    variants += [
-        ("+".join(lv.name.lower() for lv in profile), profile)
-        for profile in ladder()
-    ]
-
-    for name, profile in variants:
-        summaries = []
-        switch_counts = []
-        for seed in seeds:
-            env = ResourceAllocationEnvironment(seed=seed)
-            rng = np.random.default_rng(1000 + seed)
-            live_goal = make_e1_goal()
-            sensors = make_e1_sensors(env, np.random.default_rng(2000 + seed))
-            if profile is None:
-                # The design-time choice: "lean" wins the calm,
-                # perf-weighted conditions the system was tested in.
-                node = build_static_node(name, sensors, action="lean")
-            else:
-                # forgetting=0.98 is the designer's (reasonable, slightly
-                # stale) plasticity guess; only the meta profile can
-                # notice at run time that its learner has gone stale and
-                # switch to a more plastic strategy.
-                node = build_node(name, profile, sensors, live_goal,
-                                  epsilon=0.08, forgetting=0.98, rng=rng)
-            trace = _run_one(name, node, env, live_goal, steps)
-            change_times = [300.0, 600.0, 900.0, 1100.0]
-            summaries.append(tradeoff_summary(trace, live_goal, change_times))
-            from ..core.meta import MetaReasoner
-            if isinstance(node.reasoner, MetaReasoner):
-                switch_counts.append(len(node.reasoner.switches))
+    for name, _profile in _variants():
+        summaries = [shard[name] for shard in shards]
+        switch_counts = [s["switches"] for s in summaries if "switches" in s]
         table.add_row(
             profile=name,
             mean_utility=float(np.mean([s["mean_utility"] for s in summaries])),
@@ -224,6 +232,13 @@ def run(seeds: Sequence[int] = (0, 1, 2, 3, 4),
             stability=float(np.mean([s["stability"] for s in summaries])),
             switches=float(np.mean(switch_counts)) if switch_counts else 0.0)
     return table
+
+
+def run(seeds: Sequence[int] = (0, 1, 2, 3, 4),
+        steps: int = 1500) -> ExperimentTable:
+    """Run the ablation; one row per capability profile, seed-averaged."""
+    return reduce([run_shard(seed, steps=steps) for seed in seeds],
+                  seeds=seeds, steps=steps)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -44,8 +44,27 @@ def _config(scenario: str, seed: int, steps: int) -> CameraSimConfig:
         seed=seed, **kwargs)
 
 
-def run(seeds: Sequence[int] = (0, 1, 2), steps: int = 800) -> ExperimentTable:
-    """One row per (controller, scenario), seed-averaged."""
+def run_shard(seed: int, steps: int = 800) -> Dict[str, Dict[str, List[float]]]:
+    """One seed's worth of E2: every scenario x controller, JSON-safe."""
+    payload: Dict[str, Dict[str, List[float]]] = {}
+    for scenario in SCENARIOS:
+        per_scenario: Dict[str, List[float]] = {}
+        for strategy in ALL_STRATEGIES:
+            result = run_homogeneous(_config(scenario, seed, steps), strategy)
+            per_scenario[strategy.value] = [
+                result.efficiency(), result.mean_tracking_utility(),
+                result.mean_messages()]
+        result = run_self_aware(_config(scenario, seed, steps), epsilon=0.05)
+        per_scenario["self-aware"] = [
+            result.efficiency(), result.mean_tracking_utility(),
+            result.mean_messages(), result.diversity_bits()]
+        payload[scenario] = per_scenario
+    return payload
+
+
+def reduce(shards: Sequence[Dict[str, Dict[str, List[float]]]],
+           seeds: Sequence[int] = (), steps: int = 800) -> ExperimentTable:
+    """Seed-average per-seed payloads into the E2 table."""
     table = ExperimentTable(
         experiment_id="E2",
         title="Learning to be different: camera sociality strategies",
@@ -54,38 +73,35 @@ def run(seeds: Sequence[int] = (0, 1, 2), steps: int = 800) -> ExperimentTable:
         notes=("efficiency = tracking utility - comm price x messages, "
                "at the price in force; vs_best_homog = efficiency / best "
                "homogeneous assignment in that scenario"))
-
     for scenario in SCENARIOS:
-        homogeneous: Dict[str, List[float]] = {s.value: [] for s in ALL_STRATEGIES}
-        details: Dict[str, List] = {s.value: [] for s in ALL_STRATEGIES}
-        learned_eff, learned_detail = [], []
-        for seed in seeds:
-            for strategy in ALL_STRATEGIES:
-                result = run_homogeneous(_config(scenario, seed, steps), strategy)
-                homogeneous[strategy.value].append(result.efficiency())
-                details[strategy.value].append(
-                    (result.mean_tracking_utility(), result.mean_messages()))
-            result = run_self_aware(_config(scenario, seed, steps), epsilon=0.05)
-            learned_eff.append(result.efficiency())
-            learned_detail.append(
-                (result.mean_tracking_utility(), result.mean_messages(),
-                 result.diversity_bits()))
-
+        homogeneous = {
+            s.value: [shard[scenario][s.value][0] for shard in shards]
+            for s in ALL_STRATEGIES}
         best_value = max(float(np.mean(v)) for v in homogeneous.values())
         for strategy in ALL_STRATEGIES:
             eff = float(np.mean(homogeneous[strategy.value]))
-            tracking, messages = np.mean(details[strategy.value], axis=0)
+            tracking, messages = np.mean(
+                [shard[scenario][strategy.value][1:3] for shard in shards],
+                axis=0)
             table.add_row(controller=strategy.value, scenario=scenario,
                           efficiency=eff, vs_best_homog=eff / best_value,
                           tracking=float(tracking), messages=float(messages),
                           diversity_bits=0.0)
-        eff = float(np.mean(learned_eff))
-        tracking, messages, diversity = np.mean(learned_detail, axis=0)
+        eff = float(np.mean(
+            [shard[scenario]["self-aware"][0] for shard in shards]))
+        tracking, messages, diversity = np.mean(
+            [shard[scenario]["self-aware"][1:4] for shard in shards], axis=0)
         table.add_row(controller="self-aware", scenario=scenario,
                       efficiency=eff, vs_best_homog=eff / best_value,
                       tracking=float(tracking), messages=float(messages),
                       diversity_bits=float(diversity))
     return table
+
+
+def run(seeds: Sequence[int] = (0, 1, 2), steps: int = 800) -> ExperimentTable:
+    """One row per (controller, scenario), seed-averaged."""
+    return reduce([run_shard(seed, steps=steps) for seed in seeds],
+                  seeds=seeds, steps=steps)
 
 
 if __name__ == "__main__":  # pragma: no cover

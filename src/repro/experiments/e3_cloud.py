@@ -77,8 +77,20 @@ def scaler_factories(goal, demand) -> Dict[str, Callable[[], Autoscaler]]:
     }
 
 
-def run(seeds: Sequence[int] = (0, 1, 2), steps: int = 600) -> ExperimentTable:
-    """Main comparison table (stationary goal)."""
+def run_shard(seed: int, steps: int = 600) -> Dict[str, Dict[str, float]]:
+    """One seed's worth of E3: every scaler's score dict, JSON-safe."""
+    payload: Dict[str, Dict[str, float]] = {}
+    demand = make_demand(seed, steps)
+    goal = make_cloud_goal()
+    for name, factory in scaler_factories(goal, demand).items():
+        history = _drive(factory(), demand, goal, steps)
+        payload[name] = _score(history, goal)
+    return payload
+
+
+def reduce(shards: Sequence[Dict[str, Dict[str, float]]],
+           seeds: Sequence[int] = (), steps: int = 600) -> ExperimentTable:
+    """Seed-average per-seed payloads into the E3 table."""
     table = ExperimentTable(
         experiment_id="E3",
         title="Cloud autoscaling: QoS/cost trade-off under workload change",
@@ -89,18 +101,11 @@ def run(seeds: Sequence[int] = (0, 1, 2), steps: int = 600) -> ExperimentTable:
                "sizing procedure, i.e. what better information (not a "
                "better controller) buys -- slight over-provisioning can "
                "legitimately score above it under demand noise"))
-    rows: Dict[str, List[Dict[str, float]]] = {}
-    oracle_utils: List[float] = []
-    for seed in seeds:
-        demand = make_demand(seed, steps)
-        goal = make_cloud_goal()
-        for name, factory in scaler_factories(goal, demand).items():
-            history = _drive(factory(), demand, goal, steps)
-            rows.setdefault(name, []).append(_score(history, goal))
-            if name == "oracle":
-                oracle_utils.append(rows[name][-1]["utility"])
-    oracle_mean = float(np.mean(oracle_utils))
-    for name, scores in rows.items():
+    names = list(shards[0]) if shards else []
+    oracle_mean = float(np.mean([shard["oracle"]["utility"]
+                                 for shard in shards]))
+    for name in names:
+        scores = [shard[name] for shard in shards]
         utility = float(np.mean([s["utility"] for s in scores]))
         table.add_row(
             scaler=name, utility=utility,
@@ -111,36 +116,58 @@ def run(seeds: Sequence[int] = (0, 1, 2), steps: int = 600) -> ExperimentTable:
     return table
 
 
-def run_goal_change(seeds: Sequence[int] = (0, 1, 2),
-                    steps: int = 600) -> ExperimentTable:
-    """Second table: stakeholders re-weight the goal toward cost mid-run."""
+def run(seeds: Sequence[int] = (0, 1, 2), steps: int = 600) -> ExperimentTable:
+    """Main comparison table (stationary goal)."""
+    return reduce([run_shard(seed, steps=steps) for seed in seeds],
+                  seeds=seeds, steps=steps)
+
+
+def run_goal_change_shard(seed: int, steps: int = 600) -> Dict[str, List[float]]:
+    """One seed's worth of E3b: [before, after, cost_after] per scaler."""
+    payload: Dict[str, List[float]] = {}
+    half = steps // 2
+    for name in ("static-15", "reactive", "self-aware"):
+        demand = make_demand(seed, steps)
+        goal = make_cloud_goal()
+        factory = scaler_factories(goal, demand)[name]
+        history = _drive(factory(), demand, goal, steps, reweight_at=half)
+        eval_goal_early = make_cloud_goal()
+        eval_goal_late = make_cloud_goal(qos_weight=0.3, cost_weight=0.7)
+        payload[name] = [
+            float(np.mean(
+                [eval_goal_early.utility(m.as_dict()) for m in history[:half]])),
+            float(np.mean(
+                [eval_goal_late.utility(m.as_dict()) for m in history[half:]])),
+            float(np.mean([m.cost for m in history[half:]])),
+        ]
+    return payload
+
+
+def reduce_goal_change(shards: Sequence[Dict[str, List[float]]],
+                       seeds: Sequence[int] = (),
+                       steps: int = 600) -> ExperimentTable:
+    """Seed-average per-seed payloads into the E3b table."""
     table = ExperimentTable(
         experiment_id="E3b",
         title="Cloud autoscaling under a run-time goal change (qos->cost)",
         columns=["scaler", "utility_before", "utility_after", "cost_after"],
         notes="at t=steps/2 the goal becomes 0.3 qos / 0.7 cost; utilities "
               "scored against the live goal")
-    half = steps // 2
     for name in ("static-15", "reactive", "self-aware"):
-        before, after, cost_after = [], [], []
-        for seed in seeds:
-            demand = make_demand(seed, steps)
-            goal = make_cloud_goal()
-            factory = scaler_factories(goal, demand)[name]
-            history = _drive(factory(), demand, goal, steps, reweight_at=half)
-            eval_goal_early = make_cloud_goal()
-            eval_goal_late = make_cloud_goal(qos_weight=0.3, cost_weight=0.7)
-            before.append(float(np.mean(
-                [eval_goal_early.utility(m.as_dict()) for m in history[:half]])))
-            after.append(float(np.mean(
-                [eval_goal_late.utility(m.as_dict()) for m in history[half:]])))
-            cost_after.append(float(np.mean(
-                [m.cost for m in history[half:]])))
+        values = [shard[name] for shard in shards]
         table.add_row(scaler=name,
-                      utility_before=float(np.mean(before)),
-                      utility_after=float(np.mean(after)),
-                      cost_after=float(np.mean(cost_after)))
+                      utility_before=float(np.mean([v[0] for v in values])),
+                      utility_after=float(np.mean([v[1] for v in values])),
+                      cost_after=float(np.mean([v[2] for v in values])))
     return table
+
+
+def run_goal_change(seeds: Sequence[int] = (0, 1, 2),
+                    steps: int = 600) -> ExperimentTable:
+    """Second table: stakeholders re-weight the goal toward cost mid-run."""
+    return reduce_goal_change(
+        [run_goal_change_shard(seed, steps=steps) for seed in seeds],
+        seeds=seeds, steps=steps)
 
 
 if __name__ == "__main__":  # pragma: no cover

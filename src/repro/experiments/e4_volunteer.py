@@ -37,9 +37,22 @@ def _selectors(seed: int, initial_reliabilities) -> Dict[str, ProviderSelector]:
     }
 
 
-def run(seeds: Sequence[int] = (0, 1, 2, 3, 4),
-        steps: int = 3000) -> ExperimentTable:
-    """One row per selector, seed-averaged."""
+def run_shard(seed: int, steps: int = 3000) -> Dict[str, List[float]]:
+    """One seed's worth of E4: [success_rate, late_rate] per selector."""
+    payload: Dict[str, List[float]] = {}
+    init_rel = [p.initial_reliability for p in _pool(seed).providers]
+    for name, selector in _selectors(seed, init_rel).items():
+        res = run_composition(selector, _pool(seed), steps=steps)
+        windows = res.success_by_window
+        late = float(np.mean(windows[len(windows) * 2 // 3:])) \
+            if windows else float("nan")
+        payload[name] = [res.success_rate, late]
+    return payload
+
+
+def reduce(shards: Sequence[Dict[str, List[float]]],
+           seeds: Sequence[int] = (), steps: int = 3000) -> ExperimentTable:
+    """Seed-average per-seed payloads into the E4 table."""
     table = ExperimentTable(
         experiment_id="E4",
         title="Volunteer service composition under churn and drift",
@@ -47,23 +60,23 @@ def run(seeds: Sequence[int] = (0, 1, 2, 3, 4),
                  "vs_random"],
         notes=(f"{N_PROVIDERS} providers, heartbeat lag {HEARTBEAT_LAG}; "
                "late = final third of the run (after drift has bitten)"))
-    results: Dict[str, List] = {}
-    for seed in seeds:
-        init_rel = [p.initial_reliability for p in _pool(seed).providers]
-        for name, selector in _selectors(seed, init_rel).items():
-            res = run_composition(selector, _pool(seed), steps=steps)
-            windows = res.success_by_window
-            late = float(np.mean(windows[len(windows) * 2 // 3:])) \
-                if windows else float("nan")
-            results.setdefault(name, []).append((res.success_rate, late))
-    random_rate = float(np.mean([r[0] for r in results["random"]]))
-    for name, values in results.items():
+    names = list(shards[0]) if shards else []
+    random_rate = float(np.mean([shard["random"][0] for shard in shards]))
+    for name in names:
+        values = [shard[name] for shard in shards]
         rate = float(np.mean([v[0] for v in values]))
         late = float(np.mean([v[1] for v in values]))
         table.add_row(selector=name, success_rate=rate,
                       late_success_rate=late,
                       vs_random=rate / random_rate if random_rate else 0.0)
     return table
+
+
+def run(seeds: Sequence[int] = (0, 1, 2, 3, 4),
+        steps: int = 3000) -> ExperimentTable:
+    """One row per selector, seed-averaged."""
+    return reduce([run_shard(seed, steps=steps) for seed in seeds],
+                  seeds=seeds, steps=steps)
 
 
 if __name__ == "__main__":  # pragma: no cover

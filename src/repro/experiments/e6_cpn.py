@@ -10,14 +10,13 @@ central node.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import networkx as nx
 import numpy as np
 
 from ..cpn.routing import (CPNRouter, DEFAULT_QOS, DELAY_SENSITIVE,
-                           LOSS_SENSITIVE, OracleRouter, Router, StaticRouter)
+                           LOSS_SENSITIVE, OracleRouter, StaticRouter)
 from ..cpn.sim import Flow, default_flows, run_routing
 from ..cpn.topology import CPNetwork
 from .harness import ExperimentTable
@@ -41,9 +40,41 @@ def make_scenario(seed: int, n_nodes: int = 30,
     return net
 
 
-def run(seeds: Sequence[int] = (0, 1, 2), n_nodes: int = 30,
-        steps: int = 600) -> ExperimentTable:
-    """One row per router, seed-averaged, with attack-window breakdown."""
+ROUTER_NAMES = ("static", "cpn-self-aware", "oracle")
+
+
+def _router_factories():
+    return {
+        "static": lambda net, seed: StaticRouter(net),
+        "cpn-self-aware": lambda net, seed: CPNRouter(
+            net, epsilon=0.2, rng=np.random.default_rng(1000 + seed)),
+        "oracle": lambda net, seed: OracleRouter(net),
+    }
+
+
+def run_shard(seed: int, n_nodes: int = 30,
+              steps: int = 600) -> Dict[str, List[float]]:
+    """One seed's worth of E6: five resilience metrics per router."""
+    payload: Dict[str, List[float]] = {}
+    attack_start = ATTACK_START_FRAC * steps
+    attack_end = ATTACK_END_FRAC * steps
+    for name, factory in _router_factories().items():
+        net = make_scenario(seed, n_nodes=n_nodes, steps=steps)
+        flows = default_flows(net, n_flows=6, seed=seed)
+        result = run_routing(net, factory(net, seed), flows, steps=steps)
+        overall = result.delivery_rate()
+        attack = result.delivery_rate(attack_start, attack_end)
+        pre = result.delivery_rate(0.0, attack_start)
+        payload[name] = [overall, result.mean_delay(), attack,
+                         result.mean_delay(attack_start, attack_end),
+                         max(0.0, pre - attack)]
+    return payload
+
+
+def reduce(shards: Sequence[Dict[str, List[float]]],
+           seeds: Sequence[int] = (), n_nodes: int = 30,
+           steps: int = 600) -> ExperimentTable:
+    """Seed-average per-seed payloads into the E6 table."""
     table = ExperimentTable(
         experiment_id="E6",
         title="CPN routing resilience: delay and delivery under DoS",
@@ -52,32 +83,21 @@ def run(seeds: Sequence[int] = (0, 1, 2), n_nodes: int = 30,
         notes=("attack on the most central node during the middle-late "
                f"window [{ATTACK_START_FRAC:.0%}, {ATTACK_END_FRAC:.0%}] "
                "of the run; 6 random link degradations throughout"))
-    routers = {
-        "static": lambda net, seed: StaticRouter(net),
-        "cpn-self-aware": lambda net, seed: CPNRouter(
-            net, epsilon=0.2, rng=np.random.default_rng(1000 + seed)),
-        "oracle": lambda net, seed: OracleRouter(net),
-    }
-    attack_start = ATTACK_START_FRAC * steps
-    attack_end = ATTACK_END_FRAC * steps
-    for name, factory in routers.items():
-        rows = []
-        for seed in seeds:
-            net = make_scenario(seed, n_nodes=n_nodes, steps=steps)
-            flows = default_flows(net, n_flows=6, seed=seed)
-            result = run_routing(net, factory(net, seed), flows, steps=steps)
-            overall = result.delivery_rate()
-            attack = result.delivery_rate(attack_start, attack_end)
-            pre = result.delivery_rate(0.0, attack_start)
-            rows.append((overall, result.mean_delay(), attack,
-                         result.mean_delay(attack_start, attack_end),
-                         max(0.0, pre - attack)))
-        means = np.mean(rows, axis=0)
+    for name in ROUTER_NAMES:
+        means = np.mean([shard[name] for shard in shards], axis=0)
         table.add_row(router=name, delivery=float(means[0]),
                       delay=float(means[1]), delivery_attack=float(means[2]),
                       delay_attack=float(means[3]),
                       delivery_drop_under_attack=float(means[4]))
     return table
+
+
+def run(seeds: Sequence[int] = (0, 1, 2), n_nodes: int = 30,
+        steps: int = 600) -> ExperimentTable:
+    """One row per router, seed-averaged, with attack-window breakdown."""
+    return reduce([run_shard(seed, n_nodes=n_nodes, steps=steps)
+                   for seed in seeds],
+                  seeds=seeds, n_nodes=n_nodes, steps=steps)
 
 
 def make_theta_network(seed: int = 0) -> CPNetwork:
@@ -95,8 +115,36 @@ def make_theta_network(seed: int = 0) -> CPNetwork:
     return CPNetwork(g, rng=np.random.default_rng(seed))
 
 
-def run_qos_classes(seeds: Sequence[int] = (0, 1, 2),
-                    steps: int = 500) -> ExperimentTable:
+def _qos_configs():
+    return {
+        "class-blind": {"delay-sensitive": DEFAULT_QOS,
+                        "loss-sensitive": DEFAULT_QOS},
+        "class-aware": {"delay-sensitive": DELAY_SENSITIVE,
+                        "loss-sensitive": LOSS_SENSITIVE},
+    }
+
+
+def run_qos_classes_shard(seed: int, steps: int = 500) -> Dict[str, List[float]]:
+    """One seed's worth of E6b: [delivery, delay] per 'config|class' key."""
+    payload: Dict[str, List[float]] = {}
+    for config_name, class_map in _qos_configs().items():
+        for label, qos in class_map.items():
+            net = make_theta_network(seed)
+            router = CPNRouter(net, epsilon=0.2,
+                               rng=np.random.default_rng(2000 + seed))
+            flows = [Flow(source=0, dest=5, qos=qos)]
+            result = run_routing(net, router, flows, steps=steps,
+                                 smart_packets_per_flow=3)
+            half = steps / 2.0  # converged half
+            payload[f"{config_name}|{label}"] = [
+                result.delivery_rate(half, steps),
+                result.mean_delay(half, steps)]
+    return payload
+
+
+def reduce_qos_classes(shards: Sequence[Dict[str, List[float]]],
+                       seeds: Sequence[int] = (),
+                       steps: int = 500) -> ExperimentTable:
     """E6b: per-flow QoS goals over one set of route measurements.
 
     CPN's claim of "dealing with changing quality of service
@@ -111,29 +159,23 @@ def run_qos_classes(seeds: Sequence[int] = (0, 1, 2),
         notes=("theta topology 0->5: 2-hop path (delay 2, ~12% loss) vs "
                "4-hop path (delay 6, ~0.4% loss); class-aware routing "
                "sends each flow down its own right path"))
-    configs = {
-        "class-blind": {"delay-sensitive": DEFAULT_QOS,
-                        "loss-sensitive": DEFAULT_QOS},
-        "class-aware": {"delay-sensitive": DELAY_SENSITIVE,
-                        "loss-sensitive": LOSS_SENSITIVE},
-    }
-    for config_name, class_map in configs.items():
-        for label, qos in class_map.items():
-            deliveries, delays = [], []
-            for seed in seeds:
-                net = make_theta_network(seed)
-                router = CPNRouter(net, epsilon=0.2,
-                                   rng=np.random.default_rng(2000 + seed))
-                flows = [Flow(source=0, dest=5, qos=qos)]
-                result = run_routing(net, router, flows, steps=steps,
-                                     smart_packets_per_flow=3)
-                half = steps / 2.0  # converged half
-                deliveries.append(result.delivery_rate(half, steps))
-                delays.append(result.mean_delay(half, steps))
+    for config_name, class_map in _qos_configs().items():
+        for label in class_map:
+            key = f"{config_name}|{label}"
             table.add_row(router=config_name, traffic_class=label,
-                          delivery=float(np.mean(deliveries)),
-                          delay=float(np.mean(delays)))
+                          delivery=float(np.mean(
+                              [shard[key][0] for shard in shards])),
+                          delay=float(np.mean(
+                              [shard[key][1] for shard in shards])))
     return table
+
+
+def run_qos_classes(seeds: Sequence[int] = (0, 1, 2),
+                    steps: int = 500) -> ExperimentTable:
+    """E6b entry point: one row per (router config, traffic class)."""
+    return reduce_qos_classes(
+        [run_qos_classes_shard(seed, steps=steps) for seed in seeds],
+        seeds=seeds, steps=steps)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -9,7 +9,7 @@ of increasing awareness are swept across budgets.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
@@ -33,9 +33,45 @@ def policy_factories(seed: int) -> Dict[str, Callable[[], AttentionPolicy]]:
     }
 
 
-def run_detection_table(seeds: Sequence[int] = (0, 1, 2),
-                        budgets: Sequence[float] = (2.0, 4.0),
-                        steps: int = 1500) -> ExperimentTable:
+DETECTION_POLICY_NAMES = ("round-robin", "random", "salience(tracking)",
+                          "deadline(mission-aware)")
+
+
+def _detection_policies(specs, seed):
+    from ..core.spans import public
+    from ..sensornet.events import DeadlineAttention
+    return {
+        "round-robin": RoundRobinAttention(),
+        "random": RandomAttention(np.random.default_rng(70 + seed)),
+        "salience(tracking)": SalienceAttention(staleness_scale=1.0),
+        "deadline(mission-aware)": DeadlineAttention(
+            windows={public(s.name): float(s.spike_duration)
+                     for s in specs},
+            importance={public(s.name): s.importance for s in specs}),
+    }
+
+
+def run_detection_table_shard(seed: int,
+                              budgets: Sequence[float] = (2.0, 4.0),
+                              steps: int = 1500) -> Dict[str, float]:
+    """One seed's worth of E7b: detection rate per 'policy|budget' key."""
+    from ..sensornet.events import (SpikeField, mixed_spike_specs,
+                                    run_detection)
+    payload: Dict[str, float] = {}
+    for budget in budgets:
+        specs = mixed_spike_specs(N_CHANNELS, seed=seed)
+        for name, policy in _detection_policies(specs, seed).items():
+            field = SpikeField(specs, rng=np.random.default_rng(seed))
+            stats = run_detection(field, policy, budget, steps=steps,
+                                  rng=np.random.default_rng(100 + seed))
+            payload[f"{name}|{budget}"] = stats["weighted_detection_rate"]
+    return payload
+
+
+def reduce_detection_table(shards: Sequence[Dict[str, float]],
+                           seeds: Sequence[int] = (),
+                           budgets: Sequence[float] = (2.0, 4.0),
+                           steps: int = 1500) -> ExperimentTable:
     """E7b: transient-event detection (the deadline-matched policy).
 
     The tracking salience is mismatched to transient events -- a spike
@@ -43,9 +79,6 @@ def run_detection_table(seeds: Sequence[int] = (0, 1, 2),
     saturates.  The mission-matched policy (learned event rates +
     deadline windows) is what catches them.
     """
-    from ..core.spans import public
-    from ..sensornet.events import (DeadlineAttention, SpikeField,
-                                    mixed_spike_specs, run_detection)
     table = ExperimentTable(
         experiment_id="E7b",
         title="Attention for transient events (weighted detection rate)",
@@ -53,28 +86,9 @@ def run_detection_table(seeds: Sequence[int] = (0, 1, 2),
         notes=(f"{N_CHANNELS} spike channels (quiet/busy/hot bands); a "
                "spike is detected only if sampled during its short "
                "observability window; higher is better"))
-
-    def policies(specs, seed):
-        return {
-            "round-robin": RoundRobinAttention(),
-            "random": RandomAttention(np.random.default_rng(70 + seed)),
-            "salience(tracking)": SalienceAttention(staleness_scale=1.0),
-            "deadline(mission-aware)": DeadlineAttention(
-                windows={public(s.name): float(s.spike_duration)
-                         for s in specs},
-                importance={public(s.name): s.importance for s in specs}),
-        }
-
     for budget in budgets:
-        results: Dict[str, list] = {}
-        for seed in seeds:
-            specs = mixed_spike_specs(N_CHANNELS, seed=seed)
-            for name, policy in policies(specs, seed).items():
-                field = SpikeField(specs, rng=np.random.default_rng(seed))
-                stats = run_detection(field, policy, budget, steps=steps,
-                                      rng=np.random.default_rng(100 + seed))
-                results.setdefault(name, []).append(
-                    stats["weighted_detection_rate"])
+        results = {name: [shard[f"{name}|{budget}"] for shard in shards]
+                   for name in DETECTION_POLICY_NAMES}
         random_rate = float(np.mean(results["random"]))
         for name, values in results.items():
             rate = float(np.mean(values))
@@ -84,10 +98,40 @@ def run_detection_table(seeds: Sequence[int] = (0, 1, 2),
     return table
 
 
-def run(seeds: Sequence[int] = (0, 1, 2, 3),
-        budgets: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
-        steps: int = 500) -> ExperimentTable:
-    """One row per (policy, budget): importance-weighted tracking error."""
+def run_detection_table(seeds: Sequence[int] = (0, 1, 2),
+                        budgets: Sequence[float] = (2.0, 4.0),
+                        steps: int = 1500) -> ExperimentTable:
+    """E7b entry point: one row per (policy, budget), seed-averaged."""
+    return reduce_detection_table(
+        [run_detection_table_shard(seed, budgets=budgets, steps=steps)
+         for seed in seeds],
+        seeds=seeds, budgets=budgets, steps=steps)
+
+
+POLICY_NAMES = ("full(truncated)", "round-robin", "random",
+                "salience(self-aware)")
+
+
+def run_shard(seed: int, budgets: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+              steps: int = 500) -> Dict[str, List[float]]:
+    """One seed's worth of E7: [error, energy] per 'policy|budget' key."""
+    payload: Dict[str, List[float]] = {}
+    for budget in budgets:
+        for name, factory in policy_factories(seed).items():
+            field = ChannelField(mixed_channel_specs(N_CHANNELS, seed=seed),
+                                 rng=np.random.default_rng(seed))
+            res = run_sensing(field, factory(), budget, steps=steps,
+                              rng=np.random.default_rng(100 + seed))
+            payload[f"{name}|{budget}"] = [res.mean_error(skip=50),
+                                           res.mean_energy()]
+    return payload
+
+
+def reduce(shards: Sequence[Dict[str, List[float]]],
+           seeds: Sequence[int] = (),
+           budgets: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+           steps: int = 500) -> ExperimentTable:
+    """Seed-average per-seed payloads into the E7 table."""
     table = ExperimentTable(
         experiment_id="E7",
         title="Attention under an energy budget (weighted tracking error)",
@@ -96,15 +140,8 @@ def run(seeds: Sequence[int] = (0, 1, 2, 3),
                "bands, varying importance and sampling cost); lower error "
                "is better"))
     for budget in budgets:
-        results: Dict[str, list] = {}
-        for seed in seeds:
-            for name, factory in policy_factories(seed).items():
-                field = ChannelField(mixed_channel_specs(N_CHANNELS, seed=seed),
-                                     rng=np.random.default_rng(seed))
-                res = run_sensing(field, factory(), budget, steps=steps,
-                                  rng=np.random.default_rng(100 + seed))
-                results.setdefault(name, []).append(
-                    (res.mean_error(skip=50), res.mean_energy()))
+        results = {name: [shard[f"{name}|{budget}"] for shard in shards]
+                   for name in POLICY_NAMES}
         random_error = float(np.mean([v[0] for v in results["random"]]))
         for name, values in results.items():
             error = float(np.mean([v[0] for v in values]))
@@ -113,6 +150,15 @@ def run(seeds: Sequence[int] = (0, 1, 2, 3),
                 vs_random=error / random_error if random_error else 0.0,
                 energy_per_step=float(np.mean([v[1] for v in values])))
     return table
+
+
+def run(seeds: Sequence[int] = (0, 1, 2, 3),
+        budgets: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+        steps: int = 500) -> ExperimentTable:
+    """One row per (policy, budget): importance-weighted tracking error."""
+    return reduce([run_shard(seed, budgets=budgets, steps=steps)
+                   for seed in seeds],
+                  seeds=seeds, budgets=budgets, steps=steps)
 
 
 if __name__ == "__main__":  # pragma: no cover

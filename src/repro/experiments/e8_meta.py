@@ -156,9 +156,31 @@ def _run_two_era(learner, seed: int, steps: int,
     }
 
 
-def run(seeds: Sequence[int] = (0, 1, 2, 3, 4), steps: int = 4000,
-        turbulent_drift: int = 250) -> ExperimentTable:
-    """One row per learner on the calm-then-turbulent bandit."""
+def _learner_factories() -> Dict[str, Callable[[int], object]]:
+    return {
+        "stable(fixed)": lambda seed: _BanditStrategy(1.0, seed),
+        "plastic(fixed)": lambda seed: _BanditStrategy(0.9, seed),
+        "meta(detector)": lambda seed: MetaBandit("detector", seed),
+        "meta(window)": lambda seed: MetaBandit("window", seed),
+    }
+
+
+def run_shard(seed: int, steps: int = 4000,
+              turbulent_drift: int = 250) -> Dict[str, Dict[str, float]]:
+    """One seed's worth of E8: two-era scores + switches per learner."""
+    payload: Dict[str, Dict[str, float]] = {}
+    for name, factory in _learner_factories().items():
+        learner = factory(seed)
+        scores = dict(_run_two_era(learner, seed, steps, turbulent_drift))
+        scores["switches"] = float(getattr(learner, "switches", 0))
+        payload[name] = scores
+    return payload
+
+
+def reduce(shards: Sequence[Dict[str, Dict[str, float]]],
+           seeds: Sequence[int] = (), steps: int = 4000,
+           turbulent_drift: int = 250) -> ExperimentTable:
+    """Seed-average per-seed payloads into the E8 table."""
     table = ExperimentTable(
         experiment_id="E8",
         title="Meta-self-awareness under concept drift (two-era bandit)",
@@ -167,18 +189,8 @@ def run(seeds: Sequence[int] = (0, 1, 2, 3, 4), steps: int = 4000,
         notes=(f"{N_ARMS} arms; first half stationary, second half abrupt "
                f"drift every {turbulent_drift} pulls; regret vs the "
                "always-best-arm oracle"))
-    learners: Dict[str, Callable[[int], object]] = {
-        "stable(fixed)": lambda seed: _BanditStrategy(1.0, seed),
-        "plastic(fixed)": lambda seed: _BanditStrategy(0.9, seed),
-        "meta(detector)": lambda seed: MetaBandit("detector", seed),
-        "meta(window)": lambda seed: MetaBandit("window", seed),
-    }
-    for name, factory in learners.items():
-        scores, switch_counts = [], []
-        for seed in seeds:
-            learner = factory(seed)
-            scores.append(_run_two_era(learner, seed, steps, turbulent_drift))
-            switch_counts.append(getattr(learner, "switches", 0))
+    for name in _learner_factories():
+        scores = [shard[name] for shard in shards]
         table.add_row(
             learner=name,
             mean_reward=float(np.mean([s["reward"] for s in scores])),
@@ -187,8 +199,17 @@ def run(seeds: Sequence[int] = (0, 1, 2, 3, 4), steps: int = 4000,
                 [s["reward_turbulent"] for s in scores])),
             normalised_regret=float(np.mean([s["regret"] for s in scores])),
             tail_regret_slope=float(np.mean([s["tail_slope"] for s in scores])),
-            switches=float(np.mean(switch_counts)))
+            switches=float(np.mean([s["switches"] for s in scores])))
     return table
+
+
+def run(seeds: Sequence[int] = (0, 1, 2, 3, 4), steps: int = 4000,
+        turbulent_drift: int = 250) -> ExperimentTable:
+    """One row per learner on the calm-then-turbulent bandit."""
+    return reduce([run_shard(seed, steps=steps,
+                             turbulent_drift=turbulent_drift)
+                   for seed in seeds],
+                  seeds=seeds, steps=steps, turbulent_drift=turbulent_drift)
 
 
 if __name__ == "__main__":  # pragma: no cover

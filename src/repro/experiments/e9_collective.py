@@ -64,10 +64,40 @@ def _hierarchical_run(n: int, seed: int, fail: bool):
     return HierarchicalAggregator(net, names, fanout=2).run(values)
 
 
-def run(seeds: Sequence[int] = (0, 1, 2),
-        sizes: Sequence[int] = (10, 50, 200),
-        gossip_rounds: int = 30) -> ExperimentTable:
-    """One row per (scheme, size, failure condition)."""
+SCHEME_NAMES = ("gossip", "hierarchical", "central")
+
+
+def run_shard(seed: int, sizes: Sequence[int] = (10, 50, 200),
+              gossip_rounds: int = 30) -> Dict[str, List[float]]:
+    """One seed's worth of E9: [error, fraction, messages] per condition.
+
+    Keys are ``"{n}|{scheme}|{fail}"`` with ``fail`` as 0/1.
+    """
+    schemes = {
+        "gossip": _gossip_run,
+        "hierarchical": _hierarchical_run,
+        "central": _central_run,
+    }
+    payload: Dict[str, List[float]] = {}
+    for n in sizes:
+        for scheme_name, runner in schemes.items():
+            for fail in (False, True):
+                if scheme_name == "gossip":
+                    result = runner(n, seed, gossip_rounds, fail)
+                else:
+                    result = runner(n, seed, fail)
+                live = n - (1 if fail else 0)
+                payload[f"{n}|{scheme_name}|{int(fail)}"] = [
+                    result.mean_error if result.estimates else math.nan,
+                    len(result.estimates) / live,
+                    float(result.messages)]
+    return payload
+
+
+def reduce(shards: Sequence[Dict[str, List[float]]],
+           seeds: Sequence[int] = (), sizes: Sequence[int] = (10, 50, 200),
+           gossip_rounds: int = 30) -> ExperimentTable:
+    """Seed-average per-seed payloads into the E9 table."""
     table = ExperimentTable(
         experiment_id="E9",
         title="Collective awareness of a global quantity: three architectures",
@@ -77,25 +107,13 @@ def run(seeds: Sequence[int] = (0, 1, 2),
                "max_node_load = messages through the busiest node (the "
                "hot-spot a global component creates); failure removes the "
                "scheme's most critical node"))
-    schemes = {
-        "gossip": _gossip_run,
-        "hierarchical": _hierarchical_run,
-        "central": _central_run,
-    }
     for n in sizes:
-        for scheme_name, runner in schemes.items():
+        for scheme_name in SCHEME_NAMES:
             for fail in (False, True):
-                errors, fractions, messages = [], [], []
-                for seed in seeds:
-                    if scheme_name == "gossip":
-                        result = runner(n, seed, gossip_rounds, fail)
-                    else:
-                        result = runner(n, seed, fail)
-                    live = n - (1 if fail else 0)
-                    fractions.append(len(result.estimates) / live)
-                    errors.append(result.mean_error
-                                  if result.estimates else math.nan)
-                    messages.append(result.messages)
+                key = f"{n}|{scheme_name}|{int(fail)}"
+                errors = [shard[key][0] for shard in shards]
+                fractions = [shard[key][1] for shard in shards]
+                messages = [shard[key][2] for shard in shards]
                 # Per-node load: central funnels everything through the
                 # hub; gossip spreads ~2 messages per node per round;
                 # the tree caps at fanout+1 links per node.
@@ -114,6 +132,15 @@ def run(seeds: Sequence[int] = (0, 1, 2),
                     messages=float(np.mean(messages)),
                     max_node_load=max_load)
     return table
+
+
+def run(seeds: Sequence[int] = (0, 1, 2),
+        sizes: Sequence[int] = (10, 50, 200),
+        gossip_rounds: int = 30) -> ExperimentTable:
+    """One row per (scheme, size, failure condition)."""
+    return reduce([run_shard(seed, sizes=sizes, gossip_rounds=gossip_rounds)
+                   for seed in seeds],
+                  seeds=seeds, sizes=sizes, gossip_rounds=gossip_rounds)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,118 +1,179 @@
 """Run the full experiment suite and print every table.
 
-``python -m repro.experiments.run_all [--quick] [--telemetry [TRACE]]``
+``python -m repro.experiments.run_all [--quick] [--jobs N] [--cache |
+--no-cache] [--cache-dir DIR] [--markdown FILE] [--telemetry [TRACE]]``
 
 ``--quick`` shrinks seeds/steps for a fast smoke run; the default sizes
-are the ones EXPERIMENTS.md records.  ``--telemetry`` enables the
-``repro.obs`` stack for the whole suite: every table's notes gain
-wall-clock and step-rate provenance, a metrics summary is printed to
-stderr, and (when a path is given) the full event stream is written as a
-JSONL trace.
+are the ones EXPERIMENTS.md records.  The suite executes on the
+:mod:`~repro.experiments.engine`: every experiment decomposes into
+``(experiment, seed)`` shards, ``--jobs N`` fans them out over a worker
+pool (default: all cores), and the reduce step reassembles the tables
+in suite order -- the printed tables are byte-identical at any worker
+count.  ``--cache`` (the default) reuses shard results from
+``--cache-dir`` (``.repro_cache/``) when neither the code nor the shard
+parameters changed; any edit under ``src/repro`` invalidates the whole
+cache via the engine's code fingerprint.
+
+``--telemetry`` enables the ``repro.obs`` stack for the whole suite:
+every table's notes gain wall-clock and step-rate provenance, a metrics
+summary is printed to stderr, and (when a path is given) the full event
+stream is written as a JSONL trace.  Workers ship their event/metric
+buffers home with each shard result, so traces and counters cover the
+whole suite even when it ran on a pool.  Cached shards replay metrics
+and step counts but not events.
+
+Ablation coverage: A1 (aggregation), A2 (forecasters), A4 (auction
+pricing) and A5 (knowledge-representation granularity) run here in both
+quick and full mode.  A3 -- the meta-switching-trigger ablation -- is
+*intentionally* absent as a standalone job: EXPERIMENTS.md reports it
+inside E8, whose table already compares the window and detector
+triggers head-on (rows ``meta(window)`` vs ``meta(detector)``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from contextlib import nullcontext
 from typing import List, Optional
 
 from ..obs import TelemetrySession
-from . import (ablations, e1_levels, e2_camera, e3_cloud, e4_volunteer,
-               e5_multicore, e6_cpn, e7_attention, e8_meta, e9_collective,
-               e10_priors, e11_explain, e12_swarm)
-from .harness import (ExperimentTable, print_tables, run_with_provenance,
-                      write_markdown_report)
+from .engine import DEFAULT_CACHE_DIR, EngineReport, SuiteJob, run_suite
+from .harness import ExperimentTable, print_tables, write_markdown_report
+
+_PKG = "repro.experiments"
 
 
-def _ablation_jobs(quick: bool = False):
-    """One (name, job) pair per ablation so provenance is per-table."""
+def _job(name: str, module: str, seeds, shard_fn: str = "run_shard",
+         reduce_fn: str = "reduce", **params) -> SuiteJob:
+    return SuiteJob(name=name, module=f"{_PKG}.{module}", shard_fn=shard_fn,
+                    reduce_fn=reduce_fn, seeds=tuple(seeds), params=params)
+
+
+def suite_jobs(quick: bool = False) -> List[SuiteJob]:
+    """The whole suite as engine jobs, in DESIGN.md table order.
+
+    Seeds and size parameters are spelled out explicitly (rather than
+    relying on each module's defaults) so shard cache keys are stable
+    and self-describing.  See the module docstring for why the A-series
+    is A1/A2/A4/A5 here and A3 lives inside E8.
+    """
     if quick:
         return [
-            ("A1", lambda: [ablations.run_aggregation(seeds=(0,),
-                                                      steps=700)]),
-            ("A2", lambda: [ablations.run_forecasters(seeds=(0,),
-                                                      steps=300)]),
-            ("A4", lambda: [ablations.run_auction_pricing(n_auctions=500)]),
-            ("A5", lambda: [ablations.run_knowledge_representation(
-                seeds=(0,), steps=500)]),
+            _job("E1", "e1_levels", (0,), steps=700),
+            _job("E2", "e2_camera", (0,), steps=300),
+            _job("E3", "e3_cloud", (0,), steps=300),
+            _job("E3-goal", "e3_cloud", (0,), "run_goal_change_shard",
+                 "reduce_goal_change", steps=300),
+            _job("E4", "e4_volunteer", (0, 1), steps=1200),
+            _job("E5", "e5_multicore", (0,), steps=400),
+            _job("E5-goal", "e5_multicore", (0,), "run_goal_change_shard",
+                 "reduce_goal_change", steps=400),
+            _job("E6", "e6_cpn", (0,), n_nodes=30, steps=300),
+            _job("E6-qos", "e6_cpn", (0,), "run_qos_classes_shard",
+                 "reduce_qos_classes", steps=300),
+            _job("E7", "e7_attention", (0,), budgets=(2.0, 6.0), steps=250),
+            _job("E7-detect", "e7_attention", (0,),
+                 "run_detection_table_shard", "reduce_detection_table",
+                 budgets=(2.0, 4.0), steps=600),
+            _job("E8", "e8_meta", (0, 1), steps=1200, turbulent_drift=250),
+            _job("E9", "e9_collective", (0,), sizes=(10, 50),
+                 gossip_rounds=30),
+            _job("E10", "e10_priors", (0, 1), steps=400),
+            _job("E11", "e11_explain", (0,), steps=300),
+            _job("E12", "e12_swarm", (0,), steps=300, n_robots=9),
+            _job("A1", "ablations", (0,), "run_aggregation_shard",
+                 "reduce_aggregation", steps=700),
+            _job("A2", "ablations", (0,), "run_forecasters_shard",
+                 "reduce_forecasters", steps=300),
+            _job("A4", "ablations", (0,), "run_auction_pricing_shard",
+                 "reduce_auction_pricing", n_auctions=500),
+            _job("A5", "ablations", (0,), "run_knowledge_representation_shard",
+                 "reduce_knowledge_representation", steps=500,
+                 granularities=(1, 3, 5, 11, 41)),
         ]
     return [
-        ("A1", lambda: [ablations.run_aggregation()]),
-        ("A2", lambda: [ablations.run_forecasters()]),
-        ("A4", lambda: [ablations.run_auction_pricing()]),
-        ("A5", lambda: [ablations.run_knowledge_representation()]),
+        _job("E1", "e1_levels", (0, 1, 2, 3, 4), steps=1500),
+        _job("E2", "e2_camera", (0, 1, 2), steps=800),
+        _job("E3", "e3_cloud", (0, 1, 2), steps=600),
+        _job("E3-goal", "e3_cloud", (0, 1, 2), "run_goal_change_shard",
+             "reduce_goal_change", steps=600),
+        _job("E4", "e4_volunteer", (0, 1, 2, 3, 4), steps=3000),
+        _job("E5", "e5_multicore", (0, 1, 2), steps=1000),
+        _job("E5-goal", "e5_multicore", (0, 1), "run_goal_change_shard",
+             "reduce_goal_change", steps=800),
+        _job("E6", "e6_cpn", (0, 1, 2), n_nodes=30, steps=600),
+        _job("E6-qos", "e6_cpn", (0, 1, 2), "run_qos_classes_shard",
+             "reduce_qos_classes", steps=500),
+        _job("E7", "e7_attention", (0, 1, 2, 3),
+             budgets=(1.0, 2.0, 4.0, 8.0), steps=500),
+        _job("E7-detect", "e7_attention", (0, 1, 2),
+             "run_detection_table_shard", "reduce_detection_table",
+             budgets=(2.0, 4.0), steps=1500),
+        _job("E8", "e8_meta", (0, 1, 2, 3, 4), steps=4000,
+             turbulent_drift=250),
+        _job("E9", "e9_collective", (0, 1, 2), sizes=(10, 50, 200),
+             gossip_rounds=30),
+        _job("E10", "e10_priors", (0, 1, 2, 3, 4), steps=800),
+        _job("E11", "e11_explain", (0, 1, 2), steps=600),
+        _job("E12", "e12_swarm", (0, 1, 2), steps=800, n_robots=9),
+        _job("A1", "ablations", (0, 1, 2, 3), "run_aggregation_shard",
+             "reduce_aggregation", steps=1200),
+        _job("A2", "ablations", (0, 1, 2), "run_forecasters_shard",
+             "reduce_forecasters", steps=600),
+        _job("A4", "ablations", (0,), "run_auction_pricing_shard",
+             "reduce_auction_pricing", n_auctions=2000),
+        _job("A5", "ablations", (0, 1, 2, 3),
+             "run_knowledge_representation_shard",
+             "reduce_knowledge_representation", steps=1200,
+             granularities=(1, 3, 5, 11, 41)),
     ]
+
+
+def collect_report(quick: bool = False,
+                   telemetry: Optional[TelemetrySession] = None,
+                   jobs: int = 1,
+                   cache: bool = False,
+                   cache_dir: str = DEFAULT_CACHE_DIR,
+                   quiet: bool = False) -> EngineReport:
+    """Run the suite on the engine; tables plus shard accounting."""
+    progress = None if quiet else (
+        lambda line: print(line, file=sys.stderr))
+    return run_suite(suite_jobs(quick=quick), n_jobs=jobs, cache=cache,
+                     cache_dir=cache_dir, telemetry=telemetry,
+                     progress=progress)
 
 
 def collect_tables(quick: bool = False,
-                   telemetry: Optional[TelemetrySession] = None
+                   telemetry: Optional[TelemetrySession] = None,
+                   jobs: int = 1,
+                   cache: bool = False,
+                   cache_dir: str = DEFAULT_CACHE_DIR
                    ) -> List[ExperimentTable]:
     """Run every experiment; returns all tables in DESIGN.md order.
 
-    With a ``telemetry`` session, each job runs instrumented and its
+    With a ``telemetry`` session, each shard runs instrumented and its
     tables record wall-clock/step-rate provenance in their notes.
     """
-    if quick:
-        seeds2, seeds3 = (0,), (0, 1)
-        kwargs = dict(
-            e1=dict(seeds=seeds2, steps=700),
-            e2=dict(seeds=seeds2, steps=300),
-            e3=dict(seeds=seeds2, steps=300),
-            e4=dict(seeds=seeds3, steps=1200),
-            e5=dict(seeds=seeds2, steps=400),
-            e6=dict(seeds=seeds2, steps=300),
-            e7=dict(seeds=seeds2, budgets=(2.0, 6.0), steps=250),
-            e8=dict(seeds=seeds3, steps=1200),
-            e9=dict(seeds=seeds2, sizes=(10, 50)),
-            e10=dict(seeds=seeds3, steps=400),
-            e11=dict(seeds=seeds2, steps=300),
-            e12=dict(seeds=seeds2, steps=300),
-            ablations=dict(quick=True),
-        )
-    else:
-        kwargs = {k: {} for k in
-                  ("e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
-                   "e10", "e11", "e12", "ablations")}
-    tables: List[ExperimentTable] = []
-    jobs = [
-        ("E1", lambda: [e1_levels.run(**kwargs["e1"])]),
-        ("E2", lambda: [e2_camera.run(**kwargs["e2"])]),
-        ("E3", lambda: [e3_cloud.run(**kwargs["e3"])]),
-        ("E3-goal", lambda: [e3_cloud.run_goal_change(**kwargs["e3"])]),
-        ("E4", lambda: [e4_volunteer.run(**kwargs["e4"])]),
-        ("E5", lambda: [e5_multicore.run(**kwargs["e5"])]),
-        ("E5-goal", lambda: [e5_multicore.run_goal_change(
-            seeds=kwargs["e5"].get("seeds", (0, 1)),
-            steps=kwargs["e5"].get("steps", 800))]),
-        ("E6", lambda: [e6_cpn.run(**kwargs["e6"])]),
-        ("E6-qos", lambda: [e6_cpn.run_qos_classes(
-            seeds=kwargs["e6"].get("seeds", (0, 1, 2)),
-            steps=kwargs["e6"].get("steps", 500))]),
-        ("E7", lambda: [e7_attention.run(**kwargs["e7"])]),
-        ("E7-detect", lambda: [e7_attention.run_detection_table(
-            seeds=kwargs["e7"].get("seeds", (0, 1, 2)),
-            steps=600 if quick else 1500)]),
-        ("E8", lambda: [e8_meta.run(**kwargs["e8"])]),
-        ("E9", lambda: [e9_collective.run(**kwargs["e9"])]),
-        ("E10", lambda: [e10_priors.run(**kwargs["e10"])]),
-        ("E11", lambda: [e11_explain.run(**kwargs["e11"])]),
-        ("E12", lambda: [e12_swarm.run(**kwargs["e12"])]),
-    ]
-    jobs.extend(_ablation_jobs(quick=bool(kwargs["ablations"].get("quick"))))
-    for name, job in jobs:
-        start = time.perf_counter()
-        tables.extend(run_with_provenance(job, telemetry=telemetry))
-        print(f"[{name} done in {time.perf_counter() - start:.1f}s]",
-              file=sys.stderr)
-    return tables
+    return collect_report(quick=quick, telemetry=telemetry, jobs=jobs,
+                          cache=cache, cache_dir=cache_dir).tables
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="small seeds/steps for a smoke run")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: all cores); "
+                             "tables are identical at any value")
+    parser.add_argument("--cache", dest="cache", action="store_true",
+                        default=True,
+                        help="reuse cached shard results (default)")
+    parser.add_argument("--no-cache", dest="cache", action="store_false",
+                        help="always execute every shard")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        metavar="DIR",
+                        help="shard cache location (default: %(default)s)")
     parser.add_argument("--markdown", metavar="FILE", default=None,
                         help="additionally write the tables to FILE as "
                              "a markdown report")
@@ -126,10 +187,15 @@ def main() -> None:
         session = TelemetrySession(trace_path=args.telemetry or None,
                                    echo_summary=True)
     with (session if session is not None else nullcontext()):
-        tables = collect_tables(quick=args.quick, telemetry=session)
-    print_tables(tables)
+        report = collect_report(quick=args.quick, telemetry=session,
+                                jobs=args.jobs, cache=args.cache,
+                                cache_dir=args.cache_dir)
+    if args.cache and report.cached_shards:
+        print(f"[cache: {report.cached_shards}/{report.total_shards} "
+              f"shards reused]", file=sys.stderr)
+    print_tables(report.tables)
     if args.markdown:
-        write_markdown_report(tables, args.markdown,
+        write_markdown_report(report.tables, args.markdown,
                               title="pyselfaware experiment results")
         print(f"markdown report written to {args.markdown}", file=sys.stderr)
 

@@ -12,7 +12,7 @@ context-to-reward map is roughly linear.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque
 
 from .regression import RecursiveLeastSquares
 

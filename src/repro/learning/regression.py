@@ -8,7 +8,7 @@ model tracks non-stationary systems without storing the data.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -8,8 +8,7 @@ guarantees), and a reference point at the origin unless stated.
 
 from __future__ import annotations
 
-import math
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

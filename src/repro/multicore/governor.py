@@ -22,16 +22,15 @@ DVFS levels and dispatches queued tasks, and ``feedback(metrics)``.
 from __future__ import annotations
 
 import itertools
-import math
 from abc import ABC, abstractmethod
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..core.goals import Constraint, Goal, Objective
 from ..core.models import ContextualActionModel
 from ..core.reasoner import UtilityReasoner
-from .platform import DVFS_LEVELS, Core, Platform, PlatformMetrics
+from .platform import DVFS_LEVELS, Platform, PlatformMetrics
 
 #: Candidate actions: one frequency per core type.
 FREQ_ACTIONS: Tuple[Tuple[float, float], ...] = tuple(

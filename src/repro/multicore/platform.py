@@ -13,8 +13,7 @@ throttles, and loses the throughput it was chasing.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..envgen.workloads import Task

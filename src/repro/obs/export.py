@@ -20,7 +20,8 @@ from __future__ import annotations
 import json
 import sys
 from contextlib import nullcontext
-from typing import Any, ContextManager, Dict, List, Optional, TextIO
+from typing import (Any, ContextManager, Dict, Iterable, List, Mapping,
+                    Optional, TextIO)
 
 from .events import Event, EventBus, get_bus, set_bus
 from .metrics import MetricsRegistry, get_registry, set_registry
@@ -180,6 +181,28 @@ class TelemetrySession:
         if self._echo_summary:
             print(self.snapshot_summary(), file=sys.stderr)
         return None
+
+    def absorb(self, events: Iterable[Mapping[str, Any]],
+               metrics: Optional[Mapping[str, Any]] = None) -> None:
+        """Merge telemetry shipped home by a worker into this session.
+
+        ``events`` are event dicts in :meth:`Event.as_dict` form; each is
+        re-emitted on the session bus (gaining a fresh parent-local
+        ``seq``), so every subscriber -- including an attached JSONL
+        trace writer -- sees them exactly as if they had happened here.
+        ``metrics`` is a registry snapshot, folded in via
+        :meth:`MetricsRegistry.merge_snapshot`.  Call while the session
+        is active; the parallel experiment engine absorbs shard results
+        in deterministic (experiment, seed) order so traces stay
+        reproducible.
+        """
+        for record in events:
+            fields = dict(record)
+            name = fields.pop("event", "event")
+            fields.pop("seq", None)
+            self.bus.emit(name, **fields)
+        if metrics is not None:
+            self.registry.merge_snapshot(metrics)
 
     def snapshot(self) -> Dict[str, Any]:
         """This session's combined bus + registry state."""

@@ -18,7 +18,7 @@ always writable -- gating on :func:`repro.obs.events.enabled` is the
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 
 class Counter:
@@ -189,6 +189,83 @@ class StreamingHistogram:
         return out
 
 
+class MergedHistogram:
+    """Count-weighted combination of histogram *summaries*.
+
+    Worker processes ship :meth:`StreamingHistogram.summary` dicts back
+    to the parent; P² marker state cannot be merged exactly, so this
+    instrument combines the summaries instead.  ``count``/``sum``/
+    ``min``/``max`` (and therefore ``mean``) are exact; quantiles are
+    count-weighted means of the per-shard estimates -- a fair
+    approximation when the shards draw from similar distributions,
+    which is what seed-sharding produces.  Quacks like a histogram for
+    :meth:`MetricsRegistry.snapshot`.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_weighted")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        # quantile key (e.g. "p95") -> [weighted sum, total weight]
+        self._weighted: Dict[str, List[float]] = {}
+
+    def absorb_summary(self, summary: Mapping[str, float]) -> None:
+        """Fold one :meth:`StreamingHistogram.summary` dict in."""
+        count = float(summary.get("count", 0.0))
+        if count <= 0:
+            return
+        self.count += int(count)
+        self.total += float(summary.get("sum", 0.0))
+        lo = float(summary.get("min", math.nan))
+        hi = float(summary.get("max", math.nan))
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+        for key, value in summary.items():
+            if not (key.startswith("p") and key[1:].isdigit()):
+                continue
+            value = float(value)
+            if math.isnan(value):
+                continue
+            cell = self._weighted.setdefault(key, [0.0, 0.0])
+            cell[0] += value * count
+            cell[1] += count
+
+    def observe(self, value: float) -> None:
+        """Feed one direct observation (treated as a one-sample shard)."""
+        value = float(value)
+        one = {"count": 1.0, "sum": value, "min": value, "max": value}
+        for key in (self._weighted or
+                    {f"p{round(p * 100):d}": None for p in DEFAULT_QUANTILES}):
+            one[key] = value
+        self.absorb_summary(one)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (NaN when empty); exact across merges."""
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, p: float) -> float:
+        """Weighted-mean estimate for the tracked quantile ``p``."""
+        cell = self._weighted[f"p{round(float(p) * 100):d}"]
+        return cell[0] / cell[1] if cell[1] else math.nan
+
+    def summary(self) -> Dict[str, float]:
+        """Same shape as :meth:`StreamingHistogram.summary`."""
+        out = {"count": float(self.count), "sum": self.total,
+               "mean": self.mean,
+               "min": self.min if self.count else math.nan,
+               "max": self.max if self.count else math.nan}
+        for key in sorted(self._weighted, key=lambda k: int(k[1:])):
+            weighted_sum, weight = self._weighted[key]
+            out[key] = weighted_sum / weight if weight else math.nan
+        return out
+
+
 def metric_key(name: str, labels: Mapping[str, Any]) -> str:
     """Canonical string key: ``name{k1=v1,k2=v2}`` with sorted labels."""
     if not labels:
@@ -203,7 +280,9 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
-        self._histograms: Dict[str, StreamingHistogram] = {}
+        # StreamingHistogram normally; a MergedHistogram replaces it the
+        # first time a foreign snapshot is folded in (see merge_snapshot).
+        self._histograms: Dict[str, Any] = {}
 
     # -- instrument accessors (get-or-create) ------------------------------
 
@@ -249,6 +328,37 @@ class MetricsRegistry:
             "histograms": {k: h.summary()
                            for k, h in sorted(self._histograms.items())},
         }
+
+    def merge_snapshot(self, snap: Mapping[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The merge a parallel runner needs when workers ship their
+        telemetry home: counters add; gauges take the incoming value
+        (last merge wins, matching ordinary gauge semantics); histograms
+        become :class:`MergedHistogram` instruments combining the
+        shipped summaries (exact count/sum/min/max, count-weighted
+        quantiles).  Keys are the canonical ``name{labels}`` strings, so
+        the same metric from different workers lands on one instrument.
+        """
+        for key, value in snap.get("counters", {}).items():
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters[key] = Counter()
+            instrument.increment(float(value))
+        for key, value in snap.get("gauges", {}).items():
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge()
+            instrument.set(value)
+        for key, summary in snap.get("histograms", {}).items():
+            existing = self._histograms.get(key)
+            if not isinstance(existing, MergedHistogram):
+                merged = MergedHistogram()
+                if existing is not None:
+                    merged.absorb_summary(existing.summary())
+                self._histograms[key] = merged
+                existing = merged
+            existing.absorb_summary(summary)
 
     def clear(self) -> None:
         """Forget every instrument (tests and fresh sessions)."""

@@ -22,7 +22,7 @@ from ..core.knowledge import KnowledgeBase
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
 from ..core.sensors import Sensor, SensorSuite
-from ..core.spans import Scope, public
+from ..core.spans import public
 from .field import ChannelField
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import Counter
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

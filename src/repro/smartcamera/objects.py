@@ -9,7 +9,6 @@ paper draws on (refs [11], [13], [48]).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np

@@ -20,7 +20,6 @@ experiment E2 reproduces exactly that design.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import List
 
 from .network import CameraNetwork

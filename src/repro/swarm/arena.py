@@ -9,8 +9,7 @@ self-adaptive action" the self-aware swarm is supposed to recognise.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -3,15 +3,14 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
-import numpy as np
 
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
 from .arena import Arena, Event
-from .robots import Robot, SwarmController, make_swarm
+from .robots import SwarmController, make_swarm
 
 
 @dataclass

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.actuators import ActuationResult
 from repro.core.explanation import ExplanationLog, narrate
-from repro.core.goals import Goal, GoalEvaluation, Objective
+from repro.core.goals import Goal, Objective
 from repro.core.reasoner import Decision
 
 

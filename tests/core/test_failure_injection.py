@@ -5,7 +5,6 @@ well-behaved when sensors die, metrics go missing, peers disappear and
 messages are lost.
 """
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Tests for the levels of computational self-awareness."""
 
-import pytest
 
 from repro.core.levels import (ALL_LEVELS, CapabilityProfile,
                                SelfAwarenessLevel, ladder)

@@ -1,6 +1,5 @@
 """Tests for the assembled self-aware node."""
 
-import math
 
 import numpy as np
 import pytest

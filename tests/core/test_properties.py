@@ -1,10 +1,7 @@
 """Property-based tests on the framework's core invariants."""
 
-import math
 
-import numpy as np
-import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.goals import Constraint, Goal, Objective, dominates, pareto_front

@@ -1,6 +1,5 @@
 """Tests for sensors and sensor suites."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,6 @@
 """Tests for public/private spans and scopes."""
 
-from repro.core.spans import Scope, Span, private, public
+from repro.core.spans import Span, private, public
 
 
 class TestSpan:

@@ -1,6 +1,5 @@
 """Tests for the routers and the forwarding simulation."""
 
-import math
 
 import networkx as nx
 import numpy as np

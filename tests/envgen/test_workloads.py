@@ -90,8 +90,7 @@ class TestDriftGenerators:
         from repro.envgen.driftgen import DriftingBandit
         bandit = DriftingBandit(n_arms=4, drift_every=100,
                                 rng=np.random.default_rng(0))
-        best_before = bandit.best_arm()
-        arms_over_time = set()
+        arms_over_time = {bandit.best_arm()}
         for _ in range(500):
             bandit.pull(0)
             arms_over_time.add(bandit.best_arm())

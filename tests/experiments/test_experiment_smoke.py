@@ -5,9 +5,7 @@ live in benchmarks/; here we verify structure, determinism and that no
 experiment crashes on minimal inputs.
 """
 
-import math
 
-import pytest
 
 from repro.experiments import (e1_levels, e2_camera, e3_cloud, e4_volunteer,
                                e5_multicore, e6_cpn, e7_attention, e8_meta,
@@ -108,9 +106,9 @@ class TestE1Environment:
                                                       inversion_time=100.0)
         env.storminess.sigma = 0.0
         env.storminess.reversion = 0.0
-        pre = env.apply("lean", 50.0)
+        env.apply("lean", 50.0)
         # Drive past the inversion at the same storm level.
-        post = env.apply("lean", 150.0)
+        env.apply("lean", 150.0)
         # The permutation is non-identity over the whole table: at least
         # the action space's perf structure moved.
         perfs_pre = {a: e1_levels.ACTION_TABLE[a][:2]

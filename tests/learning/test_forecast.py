@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.learning.forecast import (ARForecaster, EWMAForecaster,
@@ -67,7 +66,6 @@ class TestHolt:
         for t in range(50):
             damped.update(2.0 * t)
         # Damped long-horizon forecast grows sublinearly.
-        five = damped.forecast(5) - damped.forecast(0) if False else None
         assert damped.forecast(50) - damped.forecast(1) < 2.0 * 49
 
     def test_unprimed_is_nan(self):

@@ -3,12 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.multicore.governor import (FREQ_ACTIONS, OndemandGovernor,
-                                      SelfAwareGovernor, StaticGovernor,
-                                      make_multicore_goal)
-from repro.multicore.platform import DVFS_LEVELS, Platform
-from repro.multicore.sim import (DEFAULT_AFFINITY, make_platform,
-                                 make_workload, run_governor)
+from repro.multicore.governor import (OndemandGovernor, SelfAwareGovernor,
+                                      StaticGovernor, make_multicore_goal)
+from repro.multicore.platform import DVFS_LEVELS
+from repro.multicore.sim import make_platform, make_workload, run_governor
 
 
 class TestStaticGovernor:

@@ -1,6 +1,5 @@
 """Tests for the heterogeneous platform model."""
 
-import numpy as np
 import pytest
 
 from repro.envgen.workloads import Task

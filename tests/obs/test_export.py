@@ -1,6 +1,5 @@
 """Tests for trace export, snapshots, summaries and sessions."""
 
-import json
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the energy-budgeted sensing substrate."""
 
-import math
 
 import numpy as np
 import pytest

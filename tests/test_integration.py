@@ -1,9 +1,7 @@
 """Cross-module integration tests: the framework wired end-to-end."""
 
-import math
 
 import numpy as np
-import pytest
 
 from repro.core import (CapabilityProfile, Goal, Objective, Sensor,
                         SensorSuite, SimulationClock, build_node,
