@@ -14,6 +14,7 @@ the same quantity, computed from its parts.)
 """
 
 import timeit
+import tracemalloc
 
 import numpy as np
 
@@ -80,6 +81,51 @@ def test_disabled_overhead_under_5_percent():
 
     # And the checks must not have left any trace behind.
     assert len(get_bus()) == 0
+
+
+def test_disabled_fast_path_allocates_nothing():
+    """The guarded hot-path pattern must not allocate when telemetry is off.
+
+    Substrates guard every emission with ``if enabled():`` so a disabled
+    bus costs one attribute read -- no kwargs dict, no event record, no
+    deque growth.  Net allocations attributed to the guarded loop must
+    be zero.
+    """
+    assert not enabled(), "benchmark requires telemetry off"
+
+    def guarded(n):
+        for _ in range(n):
+            if enabled():
+                emit("bench.alloc", value=1.0, phase="hot")
+
+    guarded(1_000)  # settle any lazy interpreter state first
+    tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot()
+        guarded(10_000)
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    here = [tracemalloc.Filter(True, __file__)]
+    stats = after.filter_traces(here).compare_to(
+        before.filter_traces(here), "lineno")
+    grown = [s for s in stats if s.size_diff > 0]
+    assert not grown, f"disabled fast path allocated: {grown}"
+    assert len(get_bus()) == 0
+
+
+def test_disabled_guard_never_invokes_emit(monkeypatch):
+    """Call-count probe: the guard must short-circuit the emit call."""
+    from repro import obs
+
+    assert not obs.enabled()
+    calls = []
+    monkeypatch.setattr(obs, "emit",
+                        lambda name, **fields: calls.append(name))
+    for _ in range(100):
+        if obs.enabled():
+            obs.emit("bench.guard", value=1.0)
+    assert calls == []
 
 
 def test_disabled_loop_throughput_floor():

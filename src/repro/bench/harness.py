@@ -1,0 +1,131 @@
+"""Timing core: kernel specs, warmup/repeat measurement, percentile rates.
+
+A *kernel* is a per-step function of one substrate simulation.  Its
+:class:`KernelSpec` carries a ``setup`` factory returning a fresh runner
+``run(n)`` that advances the simulation ``n`` steps; the harness warms
+the runner up (filling caches, histories and learned state, exactly as a
+long experiment run would) and then times ``repeats`` back-to-back
+blocks of ``steps`` steps on the same live state, reporting step *rates*
+(steps per second) so that bigger is always better.
+
+Specs may also carry a ``baseline_setup`` building the retained naive
+reference implementation of the same kernel; both are measured in the
+same process and the ratio of median rates is the kernel's measured
+speedup.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+#: A runner advances its simulation ``n`` steps.
+StepRunner = Callable[[int], None]
+#: A setup builds a fresh runner (fresh simulation state).
+Setup = Callable[[], StepRunner]
+
+
+@dataclass
+class KernelSpec:
+    """One benchmarkable simulation kernel."""
+
+    name: str
+    setup: Setup
+    #: Naive reference implementation of the same kernel, when the
+    #: optimisation kept one; timed alongside for the speedup column.
+    baseline_setup: Optional[Setup] = None
+    #: Steps per timed repeat in full / quick mode.
+    steps: int = 400
+    quick_steps: int = 80
+    description: str = ""
+
+
+@dataclass
+class KernelResult:
+    """Measured rates for one kernel in one mode."""
+
+    steps: int
+    repeats: int
+    warmup: int
+    seconds: List[float]
+
+    @property
+    def rates(self) -> List[float]:
+        """Steps per second of each repeat."""
+        return [self.steps / s if s > 0 else float("inf")
+                for s in self.seconds]
+
+    def as_dict(self) -> Dict:
+        rates = sorted(self.rates)
+        return {
+            "steps": self.steps,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "seconds": [round(s, 6) for s in self.seconds],
+            "median_rate": round(percentile(rates, 50.0), 3),
+            "p10_rate": round(percentile(rates, 10.0), 3),
+            "p90_rate": round(percentile(rates, 90.0), 3),
+            "median_ms_per_step": round(
+                1000.0 / percentile(rates, 50.0), 6) if rates else None,
+        }
+
+
+def percentile(sorted_vals: List[float], q: float) -> float:
+    """Linear-interpolation percentile of an ascending-sorted list."""
+    if not sorted_vals:
+        raise ValueError("need at least one value")
+    if len(sorted_vals) == 1:
+        return sorted_vals[0]
+    pos = (q / 100.0) * (len(sorted_vals) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_vals) - 1)
+    frac = pos - lo
+    return sorted_vals[lo] * (1.0 - frac) + sorted_vals[hi] * frac
+
+
+def _measure(setup: Setup, steps: int, repeats: int,
+             warmup: int) -> KernelResult:
+    runner = setup()
+    if warmup > 0:
+        runner(warmup)
+    seconds: List[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        runner(steps)
+        seconds.append(time.perf_counter() - t0)
+    return KernelResult(steps=steps, repeats=repeats, warmup=warmup,
+                        seconds=seconds)
+
+
+def run_spec(spec: KernelSpec, quick: bool = False,
+             steps: Optional[int] = None, repeats: int = 5,
+             warmup: Optional[int] = None,
+             with_baseline: bool = True) -> Dict:
+    """Measure one kernel (and its naive baseline, when retained).
+
+    Returns the kernel's report entry: rate percentiles for the
+    optimised path, the same for the baseline when present, the measured
+    ``speedup_vs_naive`` ratio of median rates, and a ``spread`` noise
+    indicator (p90/p10 of the optimised rates -- large values mean the
+    machine was too noisy to gate on).
+    """
+    n_steps = steps if steps is not None else (
+        spec.quick_steps if quick else spec.steps)
+    n_warmup = warmup if warmup is not None else max(1, n_steps // 4)
+    result = _measure(spec.setup, n_steps, repeats, n_warmup)
+    entry = result.as_dict()
+    if spec.description:
+        entry["description"] = spec.description
+    rates = sorted(result.rates)
+    p10 = percentile(rates, 10.0)
+    entry["spread"] = round(percentile(rates, 90.0) / p10, 4) \
+        if p10 > 0 else None
+    if with_baseline and spec.baseline_setup is not None:
+        baseline = _measure(spec.baseline_setup, n_steps, repeats, n_warmup)
+        entry["baseline"] = baseline.as_dict()
+        base_median = percentile(sorted(baseline.rates), 50.0)
+        if base_median > 0:
+            entry["speedup_vs_naive"] = round(
+                entry["median_rate"] / base_median, 3)
+    return entry

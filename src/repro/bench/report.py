@@ -1,0 +1,159 @@
+"""Bench report: ``repro.bench/v1`` JSON, writing and regression gating.
+
+Report layout::
+
+    {
+      "schema": "repro.bench/v1",
+      "quick": false,
+      "python": "3.12.3",
+      "platform": "Linux-...",
+      "params": {"repeats": 5},
+      "kernels": {
+        "camera.step": {
+          "steps": 300, "repeats": 5, "warmup": 75,
+          "seconds": [...],
+          "median_rate": ..., "p10_rate": ..., "p90_rate": ...,
+          "median_ms_per_step": ..., "spread": ...,
+          "baseline": { ...same rate fields for the naive path... },
+          "speedup_vs_naive": ...
+        }, ...
+      }
+    }
+
+Rates are steps per second (bigger is better).  ``spread`` is p90/p10
+of the optimised rates within the run -- the noise indicator the CI gate
+consults before trusting a comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as platform_mod
+import sys
+from typing import Dict, List, Tuple
+
+SCHEMA = "repro.bench/v1"
+
+#: A kernel whose within-run p90/p10 rate spread exceeds this is too
+#: noisy to gate on (co-tenant CI runners routinely produce 2x swings).
+NOISE_SPREAD = 1.5
+
+
+def build_report(kernels: Dict[str, Dict], quick: bool,
+                 repeats: int) -> Dict:
+    """Assemble the full report document."""
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "python": platform_mod.python_version(),
+        "platform": platform_mod.platform(),
+        "params": {"repeats": repeats},
+        "kernels": kernels,
+    }
+
+
+def write_report(report: Dict, path: str) -> None:
+    """Write the report as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> Dict:
+    """Read a report, validating the schema marker."""
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    schema = report.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(f"{path}: expected schema {SCHEMA!r}, "
+                         f"got {schema!r}")
+    return report
+
+
+def parse_percent(text: str) -> float:
+    """Parse a regression budget: ``"10%"`` -> 0.10, ``"0.1"`` -> 0.1."""
+    text = text.strip()
+    if text.endswith("%"):
+        value = float(text[:-1]) / 100.0
+    else:
+        value = float(text)
+    if not 0.0 <= value < 1.0:
+        raise ValueError(f"max-regress must be in [0%, 100%), got {text!r}")
+    return value
+
+
+def compare_reports(old: Dict, new: Dict, max_regress: float,
+                    skip_on_noise: bool = False) -> Tuple[bool, List[str]]:
+    """Gate ``new`` against ``old``: no kernel may lose more than
+    ``max_regress`` of its median step rate.
+
+    Returns ``(ok, lines)`` where ``lines`` is a human-readable verdict
+    per kernel.  With ``skip_on_noise``, kernels whose within-run spread
+    (in either report) exceeds :data:`NOISE_SPREAD` are reported but do
+    not fail the gate -- a noisy runner must not turn timing jitter into
+    a red build.
+    """
+    ok = True
+    lines: List[str] = []
+    old_kernels = old.get("kernels", {})
+    new_kernels = new.get("kernels", {})
+    for name in sorted(old_kernels):
+        if name not in new_kernels:
+            lines.append(f"{name}: MISSING from new run")
+            ok = False
+            continue
+        old_rate = old_kernels[name].get("median_rate")
+        new_rate = new_kernels[name].get("median_rate")
+        if not old_rate or not new_rate:
+            lines.append(f"{name}: no comparable median_rate, skipped")
+            continue
+        change = new_rate / old_rate - 1.0
+        noisy = any(
+            (entry.get("spread") or 0.0) > NOISE_SPREAD
+            for entry in (old_kernels[name], new_kernels[name]))
+        regressed = change < -max_regress
+        verdict = "ok"
+        if regressed and noisy and skip_on_noise:
+            verdict = "SKIPPED (noisy runner)"
+        elif regressed:
+            verdict = "REGRESSION"
+            ok = False
+        elif noisy:
+            verdict = "ok (noisy)"
+        lines.append(
+            f"{name}: {old_rate:.1f} -> {new_rate:.1f} steps/s "
+            f"({change:+.1%}) {verdict}")
+    for name in sorted(set(new_kernels) - set(old_kernels)):
+        lines.append(f"{name}: new kernel (no baseline to gate against)")
+    return ok, lines
+
+
+def summary_lines(report: Dict) -> List[str]:
+    """One line per kernel for terminal output."""
+    lines: List[str] = []
+    for name in sorted(report.get("kernels", {})):
+        entry = report["kernels"][name]
+        line = (f"{name:<20} {entry['median_rate']:>12.1f} steps/s "
+                f"(p10 {entry['p10_rate']:.1f}, p90 {entry['p90_rate']:.1f})")
+        speedup = entry.get("speedup_vs_naive")
+        if speedup is not None:
+            line += f"  {speedup:.2f}x vs naive"
+        lines.append(line)
+    return lines
+
+
+def main_compare(old_path: str, new_report: Dict, max_regress: float,
+                 skip_on_noise: bool) -> int:
+    """Load ``old_path``, compare, print verdicts; returns an exit code."""
+    old = load_report(old_path)
+    ok, lines = compare_reports(old, new_report, max_regress,
+                                skip_on_noise=skip_on_noise)
+    print(f"comparison vs {old_path} (max regress "
+          f"{max_regress:.0%}):")
+    for line in lines:
+        print("  " + line)
+    if not ok:
+        print("FAIL: benchmark regression detected", file=sys.stderr)
+        return 1
+    print("PASS: no benchmark regression")
+    return 0

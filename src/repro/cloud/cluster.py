@@ -20,7 +20,7 @@ from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
 
 
-@dataclass
+@dataclass(slots=True)
 class ClusterMetrics:
     """Telemetry for one step of the cluster."""
 

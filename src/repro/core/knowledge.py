@@ -25,12 +25,26 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, Iterator, List, Optional
+from itertools import islice
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .spans import Scope, Span
 
+#: Default for the O(window) statistics fast path.  The original
+#: full-copy implementations are retained (toggle off, or call the
+#: ``*_naive`` names) as the reference for equivalence tests and the
+#: ``repro.bench`` baseline; both paths produce bit-identical floats
+#: because the extracted window and the summation order are unchanged.
+USE_FAST_WINDOW_STATS = True
 
-@dataclass(frozen=True)
+
+def set_fast_window_stats(enabled: bool) -> None:
+    """Toggle the memoised O(window) statistics path module-wide."""
+    global USE_FAST_WINDOW_STATS
+    USE_FAST_WINDOW_STATS = bool(enabled)
+
+
+@dataclass(frozen=True, slots=True)
 class Observation:
     """A single time-stamped reading of a phenomenon.
 
@@ -47,7 +61,7 @@ class Observation:
     value: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Belief:
     """A current estimate about a scope, with explicit confidence.
 
@@ -93,6 +107,9 @@ class History:
         self.scope = scope
         self.maxlen = maxlen
         self._buffer: Deque[Observation] = deque(maxlen=maxlen)
+        self._version = 0
+        self._stat_cache: Dict[Tuple[str, Optional[int]],
+                               Tuple[int, float]] = {}
 
     def record(self, time: float, value: float) -> Observation:
         """Append an observation; returns the stored record."""
@@ -103,7 +120,33 @@ class History:
             )
         obs = Observation(time=time, value=value)
         self._buffer.append(obs)
+        self._version += 1
         return obs
+
+    def _window(self, window: Optional[int]) -> List[Observation]:
+        """Last ``window`` observations in chronological order, O(window).
+
+        ``islice(reversed(deque), window)`` walks only the tail instead
+        of copying the whole ``maxlen`` buffer; reversing the extracted
+        tail restores the exact list the full-copy slice would produce,
+        so every statistic computed from it sums in the original order.
+        """
+        buf = self._buffer
+        if window is None or window >= len(buf):
+            return list(buf)
+        tail = list(islice(reversed(buf), window))
+        tail.reverse()
+        return tail
+
+    def _cached(self, kind: str, window: Optional[int]) -> Optional[float]:
+        hit = self._stat_cache.get((kind, window))
+        if hit is not None and hit[0] == self._version:
+            return hit[1]
+        return None
+
+    def _store(self, kind: str, window: Optional[int], value: float) -> float:
+        self._stat_cache[(kind, window)] = (self._version, value)
+        return value
 
     def __len__(self) -> int:
         return len(self._buffer)
@@ -121,20 +164,53 @@ class History:
 
     def values(self, window: Optional[int] = None) -> List[float]:
         """Values of the last ``window`` observations (all when ``None``)."""
+        if USE_FAST_WINDOW_STATS:
+            return [o.value for o in self._window(window)]
+        return self.values_naive(window)
+
+    def values_naive(self, window: Optional[int] = None) -> List[float]:
+        """Reference full-copy window extraction."""
         if window is None or window >= len(self._buffer):
             return [o.value for o in self._buffer]
         return [o.value for o in list(self._buffer)[-window:]]
 
     def mean(self, window: Optional[int] = None) -> float:
         """Mean of the retained (or last-``window``) values; NaN when empty."""
-        vals = self.values(window)
+        if not USE_FAST_WINDOW_STATS:
+            return self.mean_naive(window)
+        cached = self._cached("mean", window)
+        if cached is not None:
+            return cached
+        vals = [o.value for o in self._window(window)]
+        if not vals:
+            return self._store("mean", window, math.nan)
+        return self._store("mean", window, sum(vals) / len(vals))
+
+    def mean_naive(self, window: Optional[int] = None) -> float:
+        """Reference mean over a freshly copied window."""
+        vals = self.values_naive(window)
         if not vals:
             return math.nan
         return sum(vals) / len(vals)
 
     def std(self, window: Optional[int] = None) -> float:
         """Population standard deviation of retained values; NaN when empty."""
-        vals = self.values(window)
+        if not USE_FAST_WINDOW_STATS:
+            return self.std_naive(window)
+        cached = self._cached("std", window)
+        if cached is not None:
+            return cached
+        vals = [o.value for o in self._window(window)]
+        if not vals:
+            return self._store("std", window, math.nan)
+        mu = sum(vals) / len(vals)
+        return self._store(
+            "std", window,
+            math.sqrt(sum((v - mu) ** 2 for v in vals) / len(vals)))
+
+    def std_naive(self, window: Optional[int] = None) -> float:
+        """Reference standard deviation over a freshly copied window."""
+        vals = self.values_naive(window)
         if not vals:
             return math.nan
         mu = sum(vals) / len(vals)
@@ -147,9 +223,23 @@ class History:
         observations share one timestamp.  The slope is the simplest form of
         "awareness of where a phenomenon is heading".
         """
+        if not USE_FAST_WINDOW_STATS:
+            return self.trend_naive(window)
+        cached = self._cached("trend", window)
+        if cached is not None:
+            return cached
+        obs = self._window(window)
+        return self._store("trend", window, self._trend_of(obs))
+
+    def trend_naive(self, window: Optional[int] = None) -> float:
+        """Reference slope computation over a freshly copied window."""
         obs = list(self._buffer)
         if window is not None and window < len(obs):
             obs = obs[-window:]
+        return self._trend_of(obs)
+
+    @staticmethod
+    def _trend_of(obs: List[Observation]) -> float:
         if len(obs) < 2:
             return 0.0
         n = len(obs)

@@ -69,7 +69,7 @@ class Environment(Protocol):
     # decision; only interaction-aware nodes surface them in context.
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceStep:
     """One recorded loop iteration."""
 

@@ -35,7 +35,7 @@ class Flow:
             raise ValueError("packets_per_step must be at least 1")
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketOutcome:
     """Fate of one forwarded packet."""
 
@@ -44,7 +44,7 @@ class PacketOutcome:
     hops: int
 
 
-@dataclass
+@dataclass(slots=True)
 class RoutingStepRecord:
     """Per-step aggregates."""
 
@@ -127,6 +127,48 @@ def forward_packet(network: CPNetwork, router: Router, source: int, dest: int,
     return PacketOutcome(delivered=True, delay=total_delay, hops=hops)
 
 
+def routing_step(network: CPNetwork, router: Router, flows: Sequence[Flow],
+                 t: float,
+                 smart_packets_per_flow: int = 2) -> RoutingStepRecord:
+    """One simulation step: smart packets, payload packets, aggregates.
+
+    Extracted from :func:`run_routing` so that ``repro.bench`` can time
+    the per-step routing kernel directly; the loop in ``run_routing``
+    calls this verbatim.
+    """
+    router.new_step(t)
+    if isinstance(router, CPNRouter):
+        for flow in flows:
+            for _ in range(smart_packets_per_flow):
+                forward_packet(network, router, flow.source, flow.dest,
+                               t, explore=True, qos=flow.qos)
+    sent = delivered = 0
+    delay_sum = 0.0
+    traced = obs_events.enabled()
+    for flow in flows:
+        for _ in range(flow.packets_per_step):
+            sent += 1
+            outcome = forward_packet(network, router, flow.source,
+                                     flow.dest, t, qos=flow.qos)
+            if outcome.delivered:
+                delivered += 1
+                delay_sum += outcome.delay
+                if traced:
+                    obs_metrics.histogram("cpn.packet_delay").observe(
+                        outcome.delay)
+    if traced:
+        obs_metrics.counter("steps", sim="cpn").increment()
+        obs_metrics.counter("cpn.packets_sent").increment(sent)
+        obs_metrics.counter("cpn.packets_delivered").increment(delivered)
+        obs_events.emit("cpn.step", time=t, sent=sent,
+                        delivered=delivered,
+                        attack_active=network.attack_active(t))
+    return RoutingStepRecord(
+        time=t, sent=sent, delivered=delivered,
+        mean_delay=delay_sum / delivered if delivered else math.nan,
+        attack_active=network.attack_active(t))
+
+
 def run_routing(network: CPNetwork, router: Router, flows: Sequence[Flow],
                 steps: int = 500,
                 smart_packets_per_flow: int = 2) -> RoutingResult:
@@ -141,37 +183,9 @@ def run_routing(network: CPNetwork, router: Router, flows: Sequence[Flow],
         raise ValueError("need at least one flow")
     records: List[RoutingStepRecord] = []
     for t in range(steps):
-        router.new_step(float(t))
-        if isinstance(router, CPNRouter):
-            for flow in flows:
-                for _ in range(smart_packets_per_flow):
-                    forward_packet(network, router, flow.source, flow.dest,
-                                   float(t), explore=True, qos=flow.qos)
-        sent = delivered = 0
-        delay_sum = 0.0
-        traced = obs_events.enabled()
-        for flow in flows:
-            for _ in range(flow.packets_per_step):
-                sent += 1
-                outcome = forward_packet(network, router, flow.source,
-                                         flow.dest, float(t), qos=flow.qos)
-                if outcome.delivered:
-                    delivered += 1
-                    delay_sum += outcome.delay
-                    if traced:
-                        obs_metrics.histogram("cpn.packet_delay").observe(
-                            outcome.delay)
-        if traced:
-            obs_metrics.counter("steps", sim="cpn").increment()
-            obs_metrics.counter("cpn.packets_sent").increment(sent)
-            obs_metrics.counter("cpn.packets_delivered").increment(delivered)
-            obs_events.emit("cpn.step", time=float(t), sent=sent,
-                            delivered=delivered,
-                            attack_active=network.attack_active(float(t)))
-        records.append(RoutingStepRecord(
-            time=float(t), sent=sent, delivered=delivered,
-            mean_delay=delay_sum / delivered if delivered else math.nan,
-            attack_active=network.attack_active(float(t))))
+        records.append(routing_step(
+            network, router, flows, float(t),
+            smart_packets_per_flow=smart_packets_per_flow))
     return RoutingResult(records=records)
 
 

@@ -67,6 +67,7 @@ class CPNetwork:
         self._attack_window: Tuple[float, float] = (math.inf, math.inf)
         self._attack_delay_factor = 5.0
         self._attack_loss_add = 0.3
+        self._active_cache: Tuple[float, List[LinkDisturbance]] = (math.nan, [])
 
     @classmethod
     def random_geometric(cls, n: int = 30, radius: float = 0.3,
@@ -105,6 +106,7 @@ class CPNetwork:
         if not self.graph.has_edge(*edge):
             raise ValueError(f"no such edge: {edge}")
         self.disturbances.append(disturbance)
+        self._active_cache = (math.nan, [])
 
     def schedule_random_disturbances(self, horizon: float, count: int,
                                      duration: float = 80.0,
@@ -138,6 +140,20 @@ class CPNetwork:
 
     # -- queries ----------------------------------------------------------------
 
+    def _active_disturbances(self, t: float) -> List[LinkDisturbance]:
+        """Disturbances active at ``t``, cached per distinct time.
+
+        Packets forwarded within one step all query the same ``t``;
+        filtering the schedule once per step (in schedule order, so the
+        multiplier application order is unchanged) instead of once per
+        hop removes the dominant per-hop cost on disturbed networks.
+        """
+        cached_t, cached = self._active_cache
+        if cached_t != t:
+            cached = [d for d in self.disturbances if d.active(t)]
+            self._active_cache = (t, cached)
+        return cached
+
     def base_delay(self, u: int, v: int) -> float:
         """Design-time delay of the link (what static routing was built on)."""
         return float(self.graph[u][v]["delay"])
@@ -145,9 +161,12 @@ class CPNetwork:
     def current_delay(self, u: int, v: int, t: float) -> float:
         """True delay of the link at time ``t``, with all dynamics applied."""
         delay = self.base_delay(u, v)
-        for d in self.disturbances:
-            if d.active(t) and d.edge == _canonical(u, v):
-                delay *= d.delay_factor
+        active = self._active_disturbances(t)
+        if active:
+            edge = _canonical(u, v)
+            for d in active:
+                if d.edge == edge:
+                    delay *= d.delay_factor
         if self.attack_active(t) and self._edge_touches_victim(u, v):
             delay *= self._attack_delay_factor
         return delay
@@ -155,12 +174,30 @@ class CPNetwork:
     def current_loss(self, u: int, v: int, t: float) -> float:
         """True loss probability of the link at time ``t``."""
         loss = float(self.graph[u][v]["loss"])
-        for d in self.disturbances:
-            if d.active(t) and d.edge == _canonical(u, v):
-                loss = min(1.0, loss + d.loss_add)
+        active = self._active_disturbances(t)
+        if active:
+            edge = _canonical(u, v)
+            for d in active:
+                if d.edge == edge:
+                    loss = min(1.0, loss + d.loss_add)
         if self.attack_active(t) and self._edge_touches_victim(u, v):
             loss = min(1.0, loss + self._attack_loss_add)
         return loss
+
+    def dynamics_signature(self, t: float) -> Tuple:
+        """Hashable signature of everything link state depends on at ``t``.
+
+        Two times with equal signatures have identical ``current_delay``
+        and ``current_loss`` on every link; gated consumers (the oracle
+        router) may reuse anything derived from link state while the
+        signature is unchanged.
+        """
+        active = tuple(i for i, d in enumerate(self.disturbances)
+                       if d.active(t))
+        attack = ((self._attacked_node, self._attack_delay_factor,
+                   self._attack_loss_add)
+                  if self.attack_active(t) else None)
+        return (active, attack)
 
     def sample_loss(self, u: int, v: int, t: float) -> bool:
         """Whether a packet crossing ``(u, v)`` at ``t`` is lost."""

@@ -150,7 +150,7 @@ class Core:
         return work_done, completed
 
 
-@dataclass
+@dataclass(slots=True)
 class PlatformMetrics:
     """Telemetry for one platform step."""
 

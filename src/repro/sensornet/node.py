@@ -26,7 +26,7 @@ from ..core.spans import public
 from .field import ChannelField
 
 
-@dataclass
+@dataclass(slots=True)
 class SensingStepRecord:
     """Telemetry for one sensing step."""
 

@@ -16,7 +16,14 @@ from typing import Dict, List, Optional
 import networkx as nx
 import numpy as np
 
+from ..geom import SpatialGrid
 from .objects import MovingObject
+
+#: Default for :class:`CameraNetwork`'s spatial index.  The naive scans
+#: are retained (``use_grid=False``) as the reference implementation for
+#: the equivalence tests and the ``repro.bench`` baselines; both paths
+#: apply the same exact predicates, so results are identical either way.
+USE_SPATIAL_GRID = True
 
 
 @dataclass(frozen=True)
@@ -38,7 +45,7 @@ class Camera:
 
     def sees(self, obj: MovingObject) -> bool:
         """Whether the object is inside this camera's field of view."""
-        return self.distance_to(obj) <= self.radius
+        return math.hypot(obj.x - self.x, obj.y - self.y) <= self.radius
 
     def visibility(self, obj: MovingObject) -> float:
         """Tracking confidence in ``[0, 1]``: 1 at centre, 0 at the rim.
@@ -46,7 +53,7 @@ class Camera:
         The published camera studies use exactly this distance-based
         confidence as the per-step tracking utility of an owned object.
         """
-        dist = self.distance_to(obj)
+        dist = math.hypot(obj.x - self.x, obj.y - self.y)
         if dist > self.radius:
             return 0.0
         return 1.0 - dist / self.radius
@@ -59,9 +66,14 @@ class CameraNetwork:
     ----------
     cameras:
         The camera set; ids must be unique.
+    use_grid:
+        Spatial index for the observer queries; ``None`` follows the
+        module default :data:`USE_SPATIAL_GRID`.  Results are identical
+        either way (the grid only prunes non-matching candidates).
     """
 
-    def __init__(self, cameras: List[Camera]) -> None:
+    def __init__(self, cameras: List[Camera],
+                 use_grid: Optional[bool] = None) -> None:
         if not cameras:
             raise ValueError("need at least one camera")
         ids = [c.cam_id for c in cameras]
@@ -74,9 +86,19 @@ class CameraNetwork:
             overlap = math.hypot(a.x - b.x, a.y - b.y) <= (a.radius + b.radius)
             if overlap:
                 self.vision_graph.add_edge(a.cam_id, b.cam_id)
+        self._ids = sorted(self.cameras)
+        self._neighbours: Dict[int, List[int]] = {
+            cid: sorted(self.vision_graph.neighbors(cid)) for cid in ids}
+        self._grid: Optional[SpatialGrid] = None
+        if use_grid if use_grid is not None else USE_SPATIAL_GRID:
+            self._grid = SpatialGrid(max(c.radius for c in cameras))
+            for cam in cameras:
+                self._grid.insert_disc(cam.cam_id, cam.x, cam.y, cam.radius)
+            self._grid.finalise()
 
     @classmethod
-    def grid(cls, rows: int, cols: int, radius: float = 0.25) -> "CameraNetwork":
+    def grid(cls, rows: int, cols: int, radius: float = 0.25,
+             use_grid: Optional[bool] = None) -> "CameraNetwork":
         """Regular rows x cols grid covering the unit square."""
         if rows <= 0 or cols <= 0:
             raise ValueError("rows and cols must be positive")
@@ -88,37 +110,63 @@ class CameraNetwork:
                 y = (r + 0.5) / rows
                 cameras.append(Camera(cam_id=cam_id, x=x, y=y, radius=radius))
                 cam_id += 1
-        return cls(cameras)
+        return cls(cameras, use_grid=use_grid)
 
     @classmethod
-    def random(cls, n: int, radius: float = 0.25, seed: int = 0) -> "CameraNetwork":
+    def random(cls, n: int, radius: float = 0.25, seed: int = 0,
+               use_grid: Optional[bool] = None) -> "CameraNetwork":
         """Uniformly random placement of ``n`` cameras."""
         rng = np.random.default_rng(seed)
         cameras = [Camera(cam_id=i, x=float(rng.uniform(0, 1)),
                           y=float(rng.uniform(0, 1)), radius=radius)
                    for i in range(n)]
-        return cls(cameras)
+        return cls(cameras, use_grid=use_grid)
 
     def __len__(self) -> int:
         return len(self.cameras)
 
     def ids(self) -> List[int]:
         """All camera ids, sorted."""
-        return sorted(self.cameras)
+        return list(self._ids)
 
     def neighbours(self, cam_id: int) -> List[int]:
         """Vision-graph neighbours of ``cam_id``."""
-        return sorted(self.vision_graph.neighbors(cam_id))
+        return list(self._neighbours[cam_id])
+
+    def candidate_ids_at(self, x: float, y: float) -> Optional[frozenset]:
+        """Superset of camera ids whose field of view could cover a point.
+
+        ``None`` when the network has no spatial index (callers then scan
+        everything).  A camera outside this set has zero visibility at
+        ``(x, y)`` by construction, so filtering any candidate list
+        through it cannot change which cameras actually match.
+        """
+        grid = self._grid
+        if grid is None:
+            return None
+        return grid.candidate_set_at(x, y)
 
     def observers(self, obj: MovingObject) -> List[int]:
         """Ids of all cameras currently seeing ``obj``."""
-        return [cid for cid, cam in sorted(self.cameras.items())
-                if cam.sees(obj)]
+        grid = self._grid
+        if grid is None:
+            return [cid for cid, cam in sorted(self.cameras.items())
+                    if cam.sees(obj)]
+        cameras = self.cameras
+        return [cid for cid in grid.candidates_at(obj.x, obj.y)
+                if cameras[cid].sees(obj)]
 
     def best_observer(self, obj: MovingObject) -> Optional[int]:
         """Camera with the highest visibility of ``obj`` (None if unseen)."""
+        grid = self._grid
+        if grid is None:
+            candidates = sorted(self.cameras.items())
+        else:
+            cameras = self.cameras
+            candidates = [(cid, cameras[cid])
+                          for cid in grid.candidates_at(obj.x, obj.y)]
         best_id, best_vis = None, 0.0
-        for cid, cam in sorted(self.cameras.items()):
+        for cid, cam in candidates:
             vis = cam.visibility(obj)
             if vis > best_vis:
                 best_id, best_vis = cid, vis
@@ -128,9 +176,14 @@ class CameraNetwork:
         """Monte-Carlo fraction of the unit square inside any field of view."""
         rng = np.random.default_rng(seed)
         pts = rng.uniform(0, 1, size=(samples, 2))
+        grid = self._grid
         covered = 0
         for x, y in pts:
-            for cam in self.cameras.values():
+            if grid is not None:
+                cams = (self.cameras[cid] for cid in grid.candidates_at(x, y))
+            else:
+                cams = self.cameras.values()
+            for cam in cams:
                 if math.hypot(x - cam.x, y - cam.y) <= cam.radius:
                     covered += 1
                     break

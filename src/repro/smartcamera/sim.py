@@ -60,18 +60,27 @@ class CameraSimConfig:
     #: constant ``comm_cost_weight`` applies throughout.
     comm_weight_breaks: Optional[List[tuple]] = None
 
+    def __post_init__(self) -> None:
+        # Sort the breakpoints once; ``comm_weight_at`` runs every step
+        # and must not pay an O(n log n) sort per call.  Stored on a
+        # private attribute so a caller-held reference to the original
+        # list is never reordered under them.
+        self._sorted_breaks = (sorted(self.comm_weight_breaks)
+                               if self.comm_weight_breaks else None)
+
     def comm_weight_at(self, t: float) -> float:
         """The communication-cost weight in force at time ``t``."""
-        if not self.comm_weight_breaks:
+        breaks = self._sorted_breaks
+        if not breaks:
             return self.comm_cost_weight
         weight = self.comm_cost_weight
-        for start, value in sorted(self.comm_weight_breaks):
+        for start, value in breaks:
             if t >= start:
                 weight = value
         return weight
 
 
-@dataclass
+@dataclass(slots=True)
 class CameraStepRecord:
     """Network-level telemetry for one step."""
 
@@ -166,6 +175,7 @@ class CameraSimulation:
             for cid in self.network.ids()}
         self.ownership: Dict[int, int] = {}  # object_id -> cam_id
         self.records: List[CameraStepRecord] = []
+        self._cam_ids = self.network.ids()  # hoisted: ids() copies per call
 
     def _claim_unowned(self) -> None:
         """Unowned objects are re-detected only slowly.
@@ -188,27 +198,34 @@ class CameraSimulation:
 
     def step(self, t: float) -> CameraStepRecord:
         """Run one simulation step; returns the step record."""
+        ownership = self.ownership
+        cameras = self.network.cameras
         churned = self.population.step()
         for object_id in churned:
-            self.ownership.pop(object_id, None)
+            ownership.pop(object_id, None)
 
         # Drop ownership of objects the owner can no longer see at all.
         for obj in self.population:
-            owner = self.ownership.get(obj.object_id)
-            if owner is not None and not self.network.cameras[owner].sees(obj):
-                del self.ownership[obj.object_id]
+            owner = ownership.get(obj.object_id)
+            if owner is not None and not cameras[owner].sees(obj):
+                del ownership[obj.object_id]
 
         self._claim_unowned()
 
         # Tracking utility accrues to current owners.
-        utility_by_camera: Dict[int, float] = {cid: 0.0 for cid in self.network.ids()}
-        messages_by_camera: Dict[int, int] = {cid: 0 for cid in self.network.ids()}
+        utility_by_camera: Dict[int, float] = dict.fromkeys(self._cam_ids, 0.0)
+        messages_by_camera: Dict[int, int] = dict.fromkeys(self._cam_ids, 0)
         total_utility = 0.0
+        # Owner visibility is reused verbatim as the auction reserve
+        # below: positions don't move between the two loops, so caching
+        # here removes a second identical visibility() per owned object.
+        owner_vis: Dict[int, float] = {}
         for obj in self.population:
-            owner = self.ownership.get(obj.object_id)
+            owner = ownership.get(obj.object_id)
             if owner is None:
                 continue
-            vis = self.network.cameras[owner].visibility(obj)
+            vis = cameras[owner].visibility(obj)
+            owner_vis[obj.object_id] = vis
             utility_by_camera[owner] += vis
             total_utility += vis
 
@@ -220,27 +237,35 @@ class CameraSimulation:
             controller.record_usage(strategy)
 
         handovers = 0
-        for obj in list(self.population):
-            owner = self.ownership.get(obj.object_id)
+        network = self.network
+        run_auction = self.market.run_auction
+        auction_threshold = self.config.auction_threshold
+        for obj in self.population:
+            owner = ownership.get(obj.object_id)
             if owner is None:
                 continue
             strategy = strategies[owner]
-            own_vis = self.network.cameras[owner].visibility(obj)
-            if not should_auction(strategy, own_vis,
-                                  self.config.auction_threshold):
+            own_vis = owner_vis[obj.object_id]
+            if not should_auction(strategy, own_vis, auction_threshold):
                 continue
-            targets = advertisement_targets(strategy, owner, self.network)
+            targets = advertisement_targets(strategy, owner, network)
             messages_by_camera[owner] += len(targets)
+            # Grid-prune the bidder scan: a target outside the candidate
+            # superset has zero visibility and so never bids or replies;
+            # dropping it up front changes nothing but the work done.
+            cand = network.candidate_ids_at(obj.x, obj.y)
+            if cand is not None:
+                targets = [cid for cid in targets if cid in cand]
             bids = []
             for cid in targets:
-                bid_vis = self.network.cameras[cid].visibility(obj)
+                bid_vis = cameras[cid].visibility(obj)
                 if bid_vis > 0.0:
                     messages_by_camera[cid] += 1  # the bid reply
                     bids.append(Bid(cam_id=cid, amount=bid_vis))
-            outcome = self.market.run_auction(
+            outcome = run_auction(
                 obj.object_id, seller=owner, bids=bids, reserve=own_vis)
             if outcome.sold:
-                self.ownership[obj.object_id] = outcome.winner
+                ownership[obj.object_id] = outcome.winner
                 handovers += 1
 
         # Local reward feedback: own utility minus own communication cost,

@@ -11,12 +11,13 @@ Experiment E12.
 from .arena import Arena, Event, Hotspot
 from .robots import (RandomPatrol, Robot, SelfAwareSwarm, StaticFormation,
                      SwarmController, make_swarm)
-from .sim import (SwarmMissionConfig, SwarmRunResult, SwarmStepRecord,
-                  run_mission)
+from .sim import (SwarmMission, SwarmMissionConfig, SwarmRunResult,
+                  SwarmStepRecord, run_mission)
 
 __all__ = [
     "Arena", "Event", "Hotspot",
     "RandomPatrol", "Robot", "SelfAwareSwarm", "StaticFormation",
     "SwarmController", "make_swarm",
-    "SwarmMissionConfig", "SwarmRunResult", "SwarmStepRecord", "run_mission",
+    "SwarmMission", "SwarmMissionConfig", "SwarmRunResult",
+    "SwarmStepRecord", "run_mission",
 ]

@@ -29,7 +29,7 @@ import numpy as np
 from .arena import Event
 
 
-@dataclass
+@dataclass(slots=True)
 class Robot:
     """One swarm member."""
 
@@ -57,8 +57,11 @@ class Robot:
         dist = math.hypot(dx, dy)
         if dist > self.speed:
             dx, dy = dx / dist * self.speed, dy / dist * self.speed
-        self.x = float(np.clip(self.x + dx, 0.0, 1.0))
-        self.y = float(np.clip(self.y + dy, 0.0, 1.0))
+        # min/max clamping is bit-identical to np.clip for finite floats
+        # and avoids two numpy scalar round-trips on the hottest call in
+        # the swarm step.
+        self.x = min(1.0, max(0.0, self.x + dx))
+        self.y = min(1.0, max(0.0, self.y + dy))
 
 
 def make_swarm(n_robots: int, speed: float = 0.03,
@@ -152,16 +155,24 @@ class SelfAwareSwarm(SwarmController):
         Steps an event is remembered (staleness bound on the structure).
     min_separation:
         Distance below which live peers push apart.
+    fast:
+        Use the optimised step internals (per-step nearest-robot memo,
+        gossip-neighbourhood caching, prefix pruning).  The naive
+        reference paths are retained under ``fast=False`` for the
+        equivalence tests and the ``repro.bench`` baselines; both
+        produce identical robot trajectories and memories.
     """
 
     def __init__(self, comm_radius: float = 0.35, memory: int = 120,
                  min_separation: float = 0.2,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 fast: bool = True) -> None:
         if memory < 1:
             raise ValueError("memory must be at least 1")
         self.comm_radius = comm_radius
         self.memory = memory
         self.min_separation = min_separation
+        self.fast = fast
         self._rng = rng if rng is not None else np.random.default_rng()
         self._events: Dict[int, List[Event]] = {}
         self._patrol: Dict[int, Tuple[float, float]] = {}
@@ -172,6 +183,7 @@ class SelfAwareSwarm(SwarmController):
 
     def _share(self, robots: Sequence[Robot],
                witnessed: Sequence[Tuple[int, Event]]) -> None:
+        """Naive gossip: every pair re-measured per witnessed event."""
         by_robot = {r.robot_id: r for r in robots}
         for robot_id, event in witnessed:
             witness = by_robot[robot_id]
@@ -182,10 +194,53 @@ class SelfAwareSwarm(SwarmController):
                         <= self.comm_radius):
                     self._events.setdefault(peer.robot_id, []).append(event)
 
+    def _share_fast(self, robots: Sequence[Robot],
+                    witnessed: Sequence[Tuple[int, Event]]) -> None:
+        """Gossip with the witness's neighbourhood computed once.
+
+        Positions do not change while sharing, so a robot witnessing
+        several events this step reuses one in-range peer list; appends
+        happen in the same (witnessed-order, robots-order) sequence as
+        the naive path, so every memory list is identical.
+        """
+        by_robot = {r.robot_id: r for r in robots}
+        events = self._events
+        in_range: Dict[int, List[int]] = {}
+        for robot_id, event in witnessed:
+            peers = in_range.get(robot_id)
+            if peers is None:
+                witness = by_robot[robot_id]
+                comm = self.comm_radius
+                peers = [peer.robot_id for peer in robots
+                         if (peer.alive and peer.robot_id != robot_id
+                             and witness.distance_to(peer.x, peer.y) <= comm)]
+                in_range[robot_id] = peers
+            events.setdefault(robot_id, []).append(event)
+            for peer_id in peers:
+                events.setdefault(peer_id, []).append(event)
+
     def _prune(self, now: float) -> None:
         cutoff = now - self.memory
         for robot_id, events in self._events.items():
             self._events[robot_id] = [e for e in events if e.time >= cutoff]
+
+    def _prune_fast(self, now: float) -> None:
+        """Drop the expired prefix only.
+
+        Events are appended with non-decreasing timestamps, so expiry
+        removes a prefix; scanning just that prefix is O(expired) per
+        step instead of O(retained) and leaves the identical list.
+        """
+        cutoff = now - self.memory
+        events_by_robot = self._events
+        for robot_id, events in events_by_robot.items():
+            drop = 0
+            for event in events:
+                if event.time >= cutoff:
+                    break
+                drop += 1
+            if drop:
+                events_by_robot[robot_id] = events[drop:]
 
     def _attributed(self, robot: Robot,
                     alive: Sequence[Robot]) -> List[Event]:
@@ -201,13 +256,90 @@ class SelfAwareSwarm(SwarmController):
                 mine.append(event)
         return mine
 
+    def _attributed_fast(self, robot: Robot, index: int,
+                         alive: Sequence[Robot],
+                         nearest: Dict[int, Tuple[float, int, float]],
+                         snapshot: Sequence[Tuple[float, float]],
+                         band: float) -> List[Event]:
+        """Attribution pruned by a shared per-step nearest-distance memo.
+
+        Robots move *during* the attribution loop, so peer distances
+        drift as the loop proceeds -- but by at most one ``speed`` per
+        robot per step.  Per event object we memoise the two smallest
+        distances over the start-of-loop ``snapshot`` positions (and the
+        minimiser's index); each live *peer* distance then lies within
+        ``band`` of its snapshot value, so the smallest snapshot
+        distance among this robot's peers -- the runner-up when the
+        robot is itself the minimiser -- brackets the live peer minimum:
+
+        - ``d_self`` above the bracket: some peer is certainly strictly
+          closer -- not attributed;
+        - ``d_self`` below it: every peer is certainly farther --
+          attributed;
+        - inside the narrow ambiguity band (a genuine near-tie between
+          two robots): fall back to the exact naive scan over the
+          *current* positions.
+
+        The answer matches :meth:`_attributed` exactly.
+        """
+        hypot = math.hypot
+        mine = []
+        for event in self._events.get(robot.robot_id, []):
+            ex, ey = event.x, event.y
+            d_self = robot.distance_to(ex, ey)
+            key = id(event)
+            memo = nearest.get(key)
+            if memo is None:
+                best1 = best2 = math.inf
+                idx1 = -1
+                for i, (sx, sy) in enumerate(snapshot):
+                    d = hypot(sx - ex, sy - ey)
+                    if d < best1:
+                        best2 = best1
+                        best1 = d
+                        idx1 = i
+                    elif d < best2:
+                        best2 = d
+                memo = (best1, idx1, best2)
+                nearest[key] = memo
+            best1, idx1, best2 = memo
+            peer_min0 = best2 if idx1 == index else best1
+            if d_self > peer_min0 + band:
+                continue
+            if d_self < peer_min0 - band:
+                mine.append(event)
+                continue
+            closer = any(
+                peer.robot_id != robot.robot_id
+                and peer.distance_to(ex, ey) < d_self
+                for peer in alive)
+            if not closer:
+                mine.append(event)
+        return mine
+
     def step(self, now: float, robots: Sequence[Robot],
              witnessed: Sequence[Tuple[int, Event]]) -> None:
-        self._share(robots, witnessed)
-        self._prune(now)
+        fast = self.fast
+        if fast:
+            self._share_fast(robots, witnessed)
+            self._prune_fast(now)
+        else:
+            self._share(robots, witnessed)
+            self._prune(now)
         alive = [r for r in robots if r.alive]
-        for robot in alive:
-            mine = self._attributed(robot, alive)
+        if fast:
+            nearest: Dict[int, Tuple[float, int, float]] = {}
+            snapshot = [(r.x, r.y) for r in alive]
+            # Upper bound on any robot's displacement within this step,
+            # inflated to absorb float rounding in move_toward.
+            band = (max(r.speed for r in alive) * 1.01 + 1e-12
+                    if alive else 0.0)
+        for index, robot in enumerate(alive):
+            if fast:
+                mine = self._attributed_fast(robot, index, alive, nearest,
+                                             snapshot, band)
+            else:
+                mine = self._attributed(robot, alive)
             if mine:
                 tx = sum(e.x for e in mine) / len(mine)
                 ty = sum(e.y for e in mine) / len(mine)

@@ -4,16 +4,22 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 
+from ..geom import SpatialGrid
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
 from .arena import Arena, Event
-from .robots import SwarmController, make_swarm
+from .robots import Robot, SwarmController, make_swarm
+
+#: Default for the witness-detection spatial index.  The naive
+#: robots-x-events scan is retained (``use_grid=False``) as the
+#: reference implementation; both paths yield identical witness lists.
+USE_WITNESS_GRID = True
 
 
-@dataclass
+@dataclass(slots=True)
 class SwarmStepRecord:
     """Per-step mission telemetry."""
 
@@ -53,44 +59,113 @@ class SwarmMissionConfig:
     seed: int = 0
 
 
-def run_mission(controller: SwarmController,
-                config: SwarmMissionConfig) -> SwarmRunResult:
-    """Drive one controller through the configured mission."""
-    arena = Arena.with_random_hotspots(
-        n_hotspots=config.n_hotspots, seed=config.seed,
-        hotspot_fraction=config.hotspot_fraction,
-        events_per_step=config.events_per_step,
-        shift_times=[f * config.steps for f in config.shift_fracs])
-    robots = make_swarm(config.n_robots, seed=config.seed + 100)
-    failures = sorted((f * config.steps, idx)
-                      for f, idx in config.failure_fracs)
-    failure_cursor = 0
-    records: List[SwarmStepRecord] = []
-    for t in range(config.steps):
-        while (failure_cursor < len(failures)
-               and t >= failures[failure_cursor][0]):
-            idx = failures[failure_cursor][1]
+def _witnessed_naive(robots: List[Robot],
+                     events: List[Event]) -> Tuple[List[Tuple[int, Event]], int]:
+    """Reference witness scan: every robot tested against every event."""
+    witnessed: List[Tuple[int, Event]] = []
+    seen_events = set()
+    for event in events:
+        for robot in robots:
+            if robot.witnesses(event):
+                witnessed.append((robot.robot_id, event))
+                seen_events.add(id(event))
+    return witnessed, len(seen_events)
+
+
+def _witnessed_grid(robots: List[Robot],
+                    events: List[Event]) -> Tuple[List[Tuple[int, Event]], int]:
+    """Witness scan through a per-step spatial grid over the robots.
+
+    Candidates come back ordered by robot list index and are re-checked
+    with the exact ``witnesses`` predicate, so the pair list (and hence
+    every downstream controller decision) matches the naive scan
+    exactly.
+    """
+    max_radius = 0.0
+    grid: Optional[SpatialGrid] = None
+    for index, robot in enumerate(robots):
+        if robot.alive:
+            if grid is None:
+                max_radius = max(r.sensing_radius for r in robots if r.alive)
+                grid = SpatialGrid(max(max_radius, 1e-9))
+            grid.insert_point(index, robot.x, robot.y)
+    witnessed: List[Tuple[int, Event]] = []
+    seen = 0
+    if grid is None:
+        return witnessed, seen
+    grid.finalise()
+    for event in events:
+        ex, ey = event.x, event.y
+        hit = False
+        for index in grid.candidates_near(ex, ey, max_radius):
+            robot = robots[index]
+            if robot.witnesses(event):
+                witnessed.append((robot.robot_id, event))
+                hit = True
+        if hit:
+            seen += 1
+    return witnessed, seen
+
+
+class SwarmMission:
+    """One configured mission, steppable from outside.
+
+    ``run_mission`` drives it to completion; ``repro.bench`` steps it
+    one tick at a time to measure the per-step kernel cost.
+    """
+
+    def __init__(self, controller: SwarmController,
+                 config: SwarmMissionConfig,
+                 use_grid: Optional[bool] = None) -> None:
+        self.controller = controller
+        self.config = config
+        self.use_grid = use_grid if use_grid is not None else USE_WITNESS_GRID
+        self.arena = Arena.with_random_hotspots(
+            n_hotspots=config.n_hotspots, seed=config.seed,
+            hotspot_fraction=config.hotspot_fraction,
+            events_per_step=config.events_per_step,
+            shift_times=[f * config.steps for f in config.shift_fracs])
+        self.robots = make_swarm(config.n_robots, seed=config.seed + 100)
+        self._failures = sorted((f * config.steps, idx)
+                                for f, idx in config.failure_fracs)
+        self._failure_cursor = 0
+        self.records: List[SwarmStepRecord] = []
+
+    def step(self, t: float) -> SwarmStepRecord:
+        """Advance the mission one tick; returns the step record."""
+        robots = self.robots
+        failures = self._failures
+        while (self._failure_cursor < len(failures)
+               and t >= failures[self._failure_cursor][0]):
+            idx = failures[self._failure_cursor][1]
             if 0 <= idx < len(robots):
                 robots[idx].alive = False
-            failure_cursor += 1
-        events = arena.step(float(t))
-        witnessed: List[Tuple[int, Event]] = []
-        seen_events = set()
-        for event in events:
-            for robot in robots:
-                if robot.witnesses(event):
-                    witnessed.append((robot.robot_id, event))
-                    seen_events.add(id(event))
-        controller.step(float(t), robots, witnessed)
+            self._failure_cursor += 1
+        events = self.arena.step(t)
+        if self.use_grid:
+            witnessed, seen = _witnessed_grid(robots, events)
+        else:
+            witnessed, seen = _witnessed_naive(robots, events)
+        self.controller.step(t, robots, witnessed)
         alive = sum(1 for r in robots if r.alive)
         if obs_events.enabled():
             obs_metrics.counter("steps", sim="swarm").increment()
             obs_metrics.counter("swarm.events").increment(len(events))
-            obs_metrics.counter("swarm.witnessed").increment(len(seen_events))
+            obs_metrics.counter("swarm.witnessed").increment(seen)
             obs_metrics.gauge("swarm.alive_robots").set(alive)
-            obs_events.emit("swarm.step", time=float(t), events=len(events),
-                            witnessed=len(seen_events), alive=alive)
-        records.append(SwarmStepRecord(
-            time=float(t), events=len(events), witnessed=len(seen_events),
-            alive=alive))
-    return SwarmRunResult(records=records)
+            obs_events.emit("swarm.step", time=t, events=len(events),
+                            witnessed=seen, alive=alive)
+        record = SwarmStepRecord(time=t, events=len(events), witnessed=seen,
+                                 alive=alive)
+        self.records.append(record)
+        return record
+
+
+def run_mission(controller: SwarmController,
+                config: SwarmMissionConfig,
+                use_grid: Optional[bool] = None) -> SwarmRunResult:
+    """Drive one controller through the configured mission."""
+    mission = SwarmMission(controller, config, use_grid=use_grid)
+    for t in range(config.steps):
+        mission.step(float(t))
+    return SwarmRunResult(records=mission.records)

@@ -60,6 +60,25 @@ class TestSimulationMechanics:
         weights = {r.comm_weight for r in result.records}
         assert weights == {0.01, 0.5}
 
+    def test_comm_weight_breaks_unsorted_input(self):
+        # Breakpoints are sorted once at construction; out-of-order input
+        # must give the same schedule as sorted input, and the caller's
+        # list must not be reordered under them.
+        breaks = [(200.0, 0.9), (50.0, 0.5)]
+        config = small_config(comm_cost_weight=0.01,
+                              comm_weight_breaks=breaks)
+        assert config.comm_weight_at(0.0) == 0.01
+        assert config.comm_weight_at(50.0) == 0.5
+        assert config.comm_weight_at(199.9) == 0.5
+        assert config.comm_weight_at(200.0) == 0.9
+        assert config.comm_weight_at(1e9) == 0.9
+        assert breaks == [(200.0, 0.9), (50.0, 0.5)]
+
+    def test_comm_weight_no_breaks_is_constant(self):
+        config = small_config(comm_cost_weight=0.07)
+        assert config.comm_weight_at(0.0) == 0.07
+        assert config.comm_weight_at(1e6) == 0.07
+
     def test_detection_rate_zero_loses_objects_forever(self):
         # With no auctions (passive_smooth threshold 0 disables them) and no
         # re-detection, objects that escape their owner stay lost.
