@@ -11,8 +11,9 @@ Run:  python examples/cpn_routing.py
 import networkx as nx
 import numpy as np
 
+from repro.api import CPNConfig, CPNSimulator
 from repro.cpn import (CPNetwork, CPNRouter, OracleRouter, StaticRouter,
-                       default_flows, run_routing)
+                       default_flows)
 from repro.obs import cli_telemetry
 
 STEPS = 600
@@ -41,7 +42,8 @@ def main():
     ]:
         net, _ = make_scenario()
         flows = default_flows(net, n_flows=6, seed=0)
-        result = run_routing(net, factory(net), flows, steps=STEPS)
+        result = CPNSimulator(CPNConfig(steps=STEPS), network=net,
+                              router=factory(net), flows=flows).run()
         print(f"  {name:15s} "
               f"delivery: pre={result.delivery_rate(0, ATTACK[0]):.3f} "
               f"attack={result.delivery_rate(*ATTACK):.3f} | "

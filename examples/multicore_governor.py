@@ -13,10 +13,11 @@ Run:  python examples/multicore_governor.py
 
 import numpy as np
 
+from repro.api import MulticoreConfig, MulticoreSimulator
 from repro.multicore import (DEFAULT_AFFINITY, OndemandGovernor,
                              SelfAwareGovernor, StaticGovernor,
                              make_multicore_goal, make_platform,
-                             make_workload, run_governor)
+                             make_workload)
 from repro.obs import cli_telemetry
 
 
@@ -34,9 +35,10 @@ def main():
     ]
     self_aware = contenders[-1][1]
     for name, governor in contenders:
-        result = run_governor(governor, steps=800,
-                              workload=make_workload(seed=0),
-                              platform=make_platform())
+        result = MulticoreSimulator(MulticoreConfig(steps=800),
+                                    governor=governor,
+                                    workload=make_workload(seed=0),
+                                    platform=make_platform()).run()
         print(f"  {name:11s} utility={result.mean_utility(goal):.3f} "
               f"throughput={result.mean_throughput():5.2f} "
               f"energy={result.mean_energy():5.2f} "

@@ -13,8 +13,8 @@ Run:  python examples/smart_camera_network.py
 
 from collections import Counter
 
-from repro.smartcamera import (ALL_STRATEGIES, CameraSimConfig,
-                               run_homogeneous, run_self_aware)
+from repro.api import CameraConfig, CameraSimulator
+from repro.smartcamera import ALL_STRATEGIES
 from repro.obs import cli_telemetry
 
 
@@ -26,7 +26,9 @@ def main():
     print("homogeneous design-time assignments:")
     best_name, best_eff = None, float("-inf")
     for strategy in ALL_STRATEGIES:
-        result = run_homogeneous(CameraSimConfig(**config_kwargs), strategy)
+        result = CameraSimulator(CameraConfig(
+            controller="fixed", strategy=strategy.name,
+            **config_kwargs)).run()
         eff = result.efficiency()
         print(f"  {strategy.value:18s} efficiency={eff:6.3f} "
               f"tracking={result.mean_tracking_utility():.3f} "
@@ -34,7 +36,8 @@ def main():
         if eff > best_eff:
             best_name, best_eff = strategy.value, eff
 
-    result = run_self_aware(CameraSimConfig(**config_kwargs), epsilon=0.05)
+    result = CameraSimulator(CameraConfig(
+        controller="self_aware", epsilon=0.05, **config_kwargs)).run()
     print("\nself-aware cameras (each learns its own strategy):")
     print(f"  efficiency={result.efficiency():6.3f} "
           f"({result.efficiency() / best_eff:.0%} of the best homogeneous "

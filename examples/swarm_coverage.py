@@ -12,8 +12,9 @@ Run:  python examples/swarm_coverage.py
 
 import numpy as np
 
+from repro.api import SwarmSimulator
 from repro.swarm import (RandomPatrol, SelfAwareSwarm, StaticFormation,
-                         SwarmMissionConfig, run_mission)
+                         SwarmMissionConfig)
 from repro.obs import cli_telemetry
 
 STEPS = 800
@@ -33,7 +34,8 @@ def main():
         rows = []
         for seed in range(3):
             config = SwarmMissionConfig(steps=STEPS, seed=seed)
-            result = run_mission(factory(seed), config)
+            result = SwarmSimulator(mission_config=config,
+                                    controller=factory(seed)).run()
             rows.append((result.detection_rate(),
                          result.detection_rate(0, 0.4 * STEPS),
                          result.detection_rate(0.45 * STEPS, 0.7 * STEPS),

@@ -1,0 +1,33 @@
+"""``repro.api`` -- the one façade over every substrate simulation.
+
+Use the protocol-shaped adapters instead of the per-substrate
+``run_*`` helpers (which are now deprecation shims over these):
+
+>>> from repro.api import CameraSimulator, CameraConfig
+>>> sim = CameraSimulator(CameraConfig(steps=50, seed=3))
+>>> result = sim.run()
+
+Every adapter satisfies :class:`Simulator` --
+``reset(seed)/step()/snapshot()/metrics()`` -- takes a frozen
+keyword-only config, and accepts ``faults=FaultPlan(...)`` to attach
+the deterministic fault injector (see :mod:`repro.faults`).
+"""
+
+from .adapters import (SIMULATORS, CameraSimulator, CloudSimulator,
+                       CPNSimulator, MulticoreSimulator, SensornetSimulator,
+                       SwarmSimulator, make_simulator)
+from .configs import (CameraConfig, CloudConfig, CPNConfig, MulticoreConfig,
+                      SensornetConfig, SwarmConfig)
+from .protocol import Simulator
+
+__all__ = [
+    "Simulator",
+    "SIMULATORS",
+    "make_simulator",
+    "CameraConfig", "CameraSimulator",
+    "CloudConfig", "CloudSimulator",
+    "MulticoreConfig", "MulticoreSimulator",
+    "CPNConfig", "CPNSimulator",
+    "SwarmConfig", "SwarmSimulator",
+    "SensornetConfig", "SensornetSimulator",
+]

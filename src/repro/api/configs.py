@@ -1,0 +1,145 @@
+"""Normalised simulator configs: frozen dataclasses, keyword-only fields.
+
+One ``*Config`` per substrate, all following the same conventions:
+
+* **frozen** -- a config is a value, shareable between shards and
+  hashable into cache keys; mutation bugs are impossible.
+* **keyword-only** -- call sites read as documentation and survive
+  field reordering.
+* **JSON-safe fields** -- strings, numbers, tuples; behavioural choices
+  (which controller, which scaler) are named by string rather than
+  passed as live objects, so a config can ride through the parallel
+  engine untouched.  Adapters additionally accept live factories for
+  the rich cases the experiments need.
+
+The mapping from each legacy entry point's kwargs to these fields is
+tabulated in ``DESIGN.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True, kw_only=True)
+class CameraConfig:
+    """Smart-camera network run (legacy: ``CameraSimConfig`` + the
+    ``run_homogeneous``/``run_self_aware`` split, now the ``controller``
+    field)."""
+
+    rows: int = 3
+    cols: int = 3
+    radius: float = 0.28
+    n_objects: int = 8
+    object_speed: float = 0.02
+    churn_rate: float = 0.02
+    steps: int = 500
+    comm_cost_weight: float = 0.01
+    auction_threshold: float = 0.3
+    detection_rate: float = 0.15
+    random_placement: bool = False
+    seed: int = 0
+    comm_weight_breaks: Optional[Tuple[Tuple[float, float], ...]] = None
+    #: ``"self_aware"`` (learning controllers) or ``"fixed"`` (every
+    #: camera pinned to ``strategy``).
+    controller: str = "self_aware"
+    #: Strategy name for ``controller="fixed"`` (a
+    #: :class:`~repro.smartcamera.strategies.Strategy` value name).
+    strategy: Optional[str] = None
+    epsilon: float = 0.1
+    discount: float = 0.995
+
+
+@dataclass(frozen=True, kw_only=True)
+class CloudConfig:
+    """Autoscaled cluster run (legacy: ``run_autoscaling`` +
+    ``cluster_kwargs`` dict + ad-hoc demand closures)."""
+
+    steps: int = 600
+    seed: int = 0
+    # Cluster (legacy cluster_kwargs)
+    capacity_per_server: float = 10.0
+    boot_delay: int = 5
+    min_servers: int = 1
+    max_servers: int = 40
+    backlog_limit: float = 400.0
+    initial_servers: int = 4
+    cost_per_server: float = 1.0
+    #: ``"self_aware"``, ``"reactive"`` or ``"static"``.
+    scaler: str = "self_aware"
+    static_servers: int = 4
+    # Goal (legacy make_cloud_goal kwargs)
+    qos_weight: float = 0.7
+    cost_weight: float = 0.3
+    # Demand (legacy demand_fn closure, as a seasonal workload)
+    base_rate: float = 60.0
+    seasonal_amplitude: float = 0.5
+    period: float = 200.0
+    noise_std: float = 0.05
+
+
+@dataclass(frozen=True, kw_only=True)
+class MulticoreConfig:
+    """Heterogeneous multicore run (legacy: ``run_governor`` with
+    ``make_workload``/``make_platform`` kwargs)."""
+
+    steps: int = 600
+    seed: int = 0
+    rate: float = 1.2
+    phase_length: int = 250
+    n_big: int = 2
+    n_little: int = 4
+    critical_temp: float = 85.0
+    #: ``"self_aware"``, ``"ondemand"`` or ``"static"``.
+    governor: str = "self_aware"
+    epsilon: float = 0.08
+
+
+@dataclass(frozen=True, kw_only=True)
+class CPNConfig:
+    """Cognitive packet network run (legacy: ``run_routing`` over a
+    hand-built topology/router/flows)."""
+
+    steps: int = 500
+    seed: int = 0
+    n_nodes: int = 30
+    n_flows: int = 6
+    smart_packets_per_flow: int = 2
+    #: ``"self_aware"`` (CPN measuring router), ``"static"`` or
+    #: ``"oracle"``.
+    router: str = "self_aware"
+    epsilon: float = 0.05
+    n_disturbances: int = 0
+    disturbance_horizon: float = 1000.0
+
+
+@dataclass(frozen=True, kw_only=True)
+class SwarmConfig:
+    """Swarm coverage mission (legacy: ``SwarmMissionConfig`` +
+    ``run_mission`` with a controller object)."""
+
+    n_robots: int = 9
+    steps: int = 800
+    events_per_step: float = 3.0
+    hotspot_fraction: float = 0.7
+    n_hotspots: int = 2
+    shift_fracs: Tuple[float, ...] = (0.4,)
+    failure_fracs: Tuple[Tuple[float, int], ...] = ((0.7, 0), (0.7, 1))
+    seed: int = 0
+    #: ``"self_aware"``, ``"static"`` or ``"patrol"``.
+    controller: str = "self_aware"
+
+
+@dataclass(frozen=True, kw_only=True)
+class SensornetConfig:
+    """Energy-budgeted sensing run (legacy: ``run_sensing`` over a
+    hand-built field/attention pair)."""
+
+    steps: int = 500
+    seed: int = 0
+    n_channels: int = 8
+    budget: float = 3.0
+    #: ``"salience"``, ``"round_robin"``, ``"random"`` or ``"full"``.
+    attention: str = "salience"
+    staleness_scale: float = 1.0

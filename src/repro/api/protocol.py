@@ -1,0 +1,48 @@
+"""The uniform simulator protocol every substrate adapts to.
+
+Before this facade each substrate exposed its own ad-hoc entry point
+(``run_self_aware``, ``run_autoscaling``, ``run_governor``, ...) with a
+private calling convention, which made cross-substrate machinery -- the
+fault injector, the resilience sweep, generic tooling -- impossible to
+write once.  :class:`Simulator` is the common surface:
+
+``reset(seed)``
+    (Re)build the simulation from its config for one run.  Adapters
+    construct the underlying substrate exactly as the legacy entry
+    points did, so a reset-then-run is byte-identical to the old path.
+``step()``
+    Advance one tick; returns the substrate's native step record.
+``snapshot()``
+    A JSON-safe view of current state (for debugging and tooling).
+``metrics()``
+    Headline aggregate metrics over the steps taken so far.
+
+Fault plans attach at construction through this protocol: every adapter
+accepts ``faults=FaultPlan(...)`` and threads the resulting injector
+into the substrate's step function.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Simulator(Protocol):
+    """What every adapted substrate simulation offers."""
+
+    def reset(self, seed: Optional[int] = None) -> "Simulator":
+        """Rebuild the simulation (optionally reseeded); returns self."""
+        ...
+
+    def step(self) -> Any:
+        """Advance one tick; returns the substrate's step record."""
+        ...
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe view of the current simulation state."""
+        ...
+
+    def metrics(self) -> Dict[str, float]:
+        """Aggregate metrics over the steps taken since the last reset."""
+        ...

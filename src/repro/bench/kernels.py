@@ -225,6 +225,65 @@ def _node_setup(fast_stats: bool) -> StepRunner:
     return run
 
 
+def _fault_hooks_setup(active: bool) -> StepRunner:
+    from ..faults.injector import FaultInjector
+    from ..faults.plan import (CLOCK_SKEW, CRASH, LINK_DEGRADE,
+                               SENSOR_DROPOUT, SENSOR_NOISE, WORKLOAD_SPIKE,
+                               FaultPlan, FaultSpec)
+
+    # One spec of every kind.  The ``active`` variant keeps every window
+    # open for the whole run; the baseline schedules them after the run
+    # ends, so each hook takes its identity short-circuit -- the price
+    # substrates pay on every step of an unfaulted window.
+    start = 0.0 if active else 1e9
+    plan = FaultPlan(specs=tuple(
+        FaultSpec(kind=kind, start=start, end=start + 1e9, intensity=0.3)
+        for kind in (SENSOR_NOISE, SENSOR_DROPOUT, CRASH, LINK_DEGRADE,
+                     WORKLOAD_SPIKE, CLOCK_SKEW)), seed=9)
+    injector = FaultInjector(plan, run_seed=1)
+    population = tuple(range(16))
+    t = 0.0
+
+    def run(n: int) -> None:
+        nonlocal t
+        for _ in range(int(n)):
+            injector.begin_step(t)
+            injector.perturb(1.0, target="qos")
+            injector.dropped(target="qos")
+            injector.crashed_targets(population)
+            injector.link_factor()
+            injector.demand_factor()
+            injector.perceived_time(t)
+            t += 1.0
+
+    return run
+
+
+def _fault_cloud_setup(faulted: bool) -> StepRunner:
+    from ..api import CloudConfig, CloudSimulator
+    from ..faults.plan import (CRASH, SENSOR_NOISE, WORKLOAD_SPIKE,
+                               FaultPlan, FaultSpec)
+
+    # The full injection overhead in situ: the cloud decide/scale/serve
+    # step with a permanently-open fault window versus the clean run.
+    plan = None
+    if faulted:
+        plan = FaultPlan(specs=(
+            FaultSpec(kind=CRASH, start=0.0, end=1e9, intensity=0.3),
+            FaultSpec(kind=WORKLOAD_SPIKE, start=0.0, end=1e9,
+                      intensity=0.5),
+            FaultSpec(kind=SENSOR_NOISE, start=0.0, end=1e9, intensity=2.0,
+                      target="demand"),
+        ), seed=9)
+    sim = CloudSimulator(CloudConfig(steps=10 ** 9, seed=6), faults=plan)
+
+    def run(n: int) -> None:
+        for _ in range(int(n)):
+            sim.step()
+
+    return run
+
+
 def _emit_setup(enabled: bool) -> StepRunner:
     from ..obs.events import EventBus
 
@@ -299,6 +358,20 @@ KERNELS: List[KernelSpec] = [
         steps=300, quick_steps=60,
         description="Core SelfAwareNode control step on the E1 task "
                     "(memoised vs full-copy window statistics)"),
+    KernelSpec(
+        name="faults.hooks",
+        setup=lambda: _fault_hooks_setup(True),
+        baseline_setup=lambda: _fault_hooks_setup(False),
+        steps=20_000, quick_steps=4_000,
+        description="Injector hook battery, every kind active vs the "
+                    "dormant identity short-circuits"),
+    KernelSpec(
+        name="faults.cloud.step",
+        setup=lambda: _fault_cloud_setup(True),
+        baseline_setup=lambda: _fault_cloud_setup(False),
+        steps=400, quick_steps=80,
+        description="Cloud autoscaler step inside an open fault window "
+                    "vs the clean run"),
     KernelSpec(
         name="obs.emit",
         setup=lambda: _emit_setup(True),

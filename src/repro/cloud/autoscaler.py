@@ -21,11 +21,15 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, List, Optional
+from dataclasses import replace
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from ..faults.injector import FaultInjector
 
 from ..core.goals import Goal, Objective
 from ..learning.forecast import Forecaster, HoltForecaster
-from .cluster import ClusterMetrics, ServiceCluster
+from .cluster import ClusterMetrics
 
 
 def make_cloud_goal(qos_weight: float = 0.7, cost_weight: float = 0.3,
@@ -234,25 +238,48 @@ class OracleScaler(Autoscaler):
         return best_n
 
 
+def _sensed_metrics(metrics: ClusterMetrics,
+                    faults: "FaultInjector") -> Optional[ClusterMetrics]:
+    """The telemetry as the scaler perceives it under active faults.
+
+    Sensor dropout loses the whole sample (the scaler sees ``None``,
+    exactly as at t=0); sensor noise perturbs the demand and utilisation
+    readings.  The true metrics -- what the experiment scores -- are
+    untouched.
+    """
+    if faults.dropped(target="cloud.metrics"):
+        return None
+    demand = faults.perturb(metrics.demand, target="demand")
+    utilisation = faults.perturb(metrics.utilisation, target="utilisation")
+    if demand == metrics.demand and utilisation == metrics.utilisation:
+        return metrics
+    return replace(metrics, demand=max(0.0, demand),
+                   utilisation=max(0.0, utilisation))
+
+
 def run_autoscaling(
     scaler: Autoscaler,
     demand_fn: Callable[[float], float],
     goal: Goal,
     steps: int = 600,
     cluster_kwargs: Optional[Dict] = None,
+    faults: Optional["FaultInjector"] = None,
 ) -> List[ClusterMetrics]:
     """Drive ``scaler`` against a fresh cluster under ``demand_fn``.
 
     Returns the per-step telemetry; the experiment layer scores it with
     ``goal`` and the trade-off metrics.
+
+    Deprecated shim: the decide/scale/serve loop (and its fault hooks)
+    now lives in :class:`repro.api.CloudSimulator`; use that instead.
     """
-    cluster = ServiceCluster(**(cluster_kwargs or {}))
-    history: List[ClusterMetrics] = []
-    metrics: Optional[ClusterMetrics] = None
-    for t in range(steps):
-        target = scaler.decide(float(t), metrics)
-        cluster.request_scale(target)
-        demand = max(0.0, demand_fn(float(t)))
-        metrics = cluster.step(float(t), demand)
-        history.append(metrics)
-    return history
+    import warnings
+    warnings.warn(
+        "run_autoscaling is deprecated; use repro.api.CloudSimulator",
+        DeprecationWarning, stacklevel=2)
+    from ..api.adapters import CloudSimulator
+    from ..api.configs import CloudConfig
+    return CloudSimulator(CloudConfig(steps=steps), scaler=scaler,
+                          demand_fn=demand_fn, goal=goal,
+                          cluster_kwargs=cluster_kwargs or {},
+                          faults=faults).run()

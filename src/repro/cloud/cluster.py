@@ -130,6 +130,24 @@ class ServiceCluster:
             self.n_active = max(self.min_servers, self.n_active - to_remove)
         return target
 
+    def fail_servers(self, count: int) -> int:
+        """Abruptly kill up to ``count`` active servers (fault injection).
+
+        Unlike :meth:`request_scale`, a failure bypasses the lower
+        scaling bound -- the pool can drop to zero -- and recovery goes
+        through the normal scaling path, paying the full boot delay.
+        Returns the number actually killed.
+        """
+        killed = max(0, min(int(count), self.n_active))
+        if killed == 0:
+            return 0
+        self.n_active -= killed
+        if obs_events.enabled():
+            obs_metrics.counter("cloud.server_failures").increment(killed)
+            obs_events.emit("cloud.fail", killed=killed,
+                            n_active=self.n_active)
+        return killed
+
     def step(self, time: float, demand: float) -> ClusterMetrics:
         """Serve one step of ``demand``; returns the step telemetry."""
         if demand < 0:

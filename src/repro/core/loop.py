@@ -19,7 +19,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Protocol, Sequence
+from typing import (TYPE_CHECKING, Dict, Hashable, List, Optional, Protocol,
+                    Sequence)
+
+if TYPE_CHECKING:  # imported lazily to keep core free of a faults dependency
+    from ..faults.degrade import DegradationMonitor
+    from ..faults.injector import FaultInjector
 
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
@@ -134,6 +139,8 @@ def run_control_loop(
     goal: Goal,
     steps: int,
     clock: Optional[SimulationClock] = None,
+    faults: Optional["FaultInjector"] = None,
+    degradation: Optional["DegradationMonitor"] = None,
 ) -> Trace:
     """Drive ``node`` against ``environment`` for ``steps`` iterations.
 
@@ -143,19 +150,54 @@ def run_control_loop(
     receives the outcome as learning feedback.  The *goal* used for
     scoring is the experiment's evaluation goal -- a goal-unaware node
     never reads it, which is exactly the ablation E1 exercises.
+
+    ``faults`` attaches a :class:`~repro.faults.injector.FaultInjector`:
+    clock skew shifts the *node's* view of time (the world keeps true
+    time); a crash window suspends perception and learning while the
+    last expressed action keeps being applied; sensor noise and dropout
+    corrupt the metrics copy fed back to the node -- the goal always
+    scores the true metrics, so faults degrade the node's knowledge,
+    never the evaluation.  ``degradation`` attaches a
+    :class:`~repro.faults.degrade.DegradationMonitor` that watches
+    self-model confidence and applies its fallback policy.  Both default
+    to ``None``, leaving this loop exactly the pre-fault code path.
     """
     if steps <= 0:
         raise ValueError("steps must be positive")
     clock = clock if clock is not None else SimulationClock()
     trace = Trace(node_name=node.name)
     reports_fn = getattr(environment, "peer_reports", None)
+    last_applied: Optional[Hashable] = None
     for _ in range(steps):
         now = clock.tick()
+        if faults is not None:
+            faults.begin_step(now)
         if reports_fn is not None:
             for entity, name, value in reports_fn(now):
+                if faults is not None and faults.dropped(target=entity):
+                    continue
                 node.receive_report(entity, name, now, value)
         actions = list(environment.candidate_actions(now))
-        result = node.step(now, actions)
+        if (faults is not None and last_applied is not None
+                and faults.is_crashed("node", ("node",))):
+            # Node down: the world advances under the last expressed
+            # action, but nothing is perceived and nothing is learned.
+            metrics = environment.apply(last_applied, now)
+            utility = goal.utility(metrics)
+            if obs_events.enabled():
+                obs_metrics.counter("steps", sim="core",
+                                    node=node.name).increment()
+                obs_events.emit("loop.step", node=node.name, time=now,
+                                action=last_applied, utility=utility,
+                                explored=False, sensing_cost=0.0,
+                                crashed=True)
+            trace.append(TraceStep(
+                time=now, action=last_applied, metrics=dict(metrics),
+                utility=utility, explored=False, sensing_cost=0.0))
+            continue
+        node_now = (faults.perceived_time(now, target="node")
+                    if faults is not None else now)
+        result = node.step(node_now, actions)
         applied = result.decision.action
         if result.actuation is not None and not result.actuation.applied:
             # A guard vetoed the choice: the node expresses inaction, which
@@ -164,6 +206,9 @@ def run_control_loop(
                        if node.expression is not None
                        and node.expression.current_action is not None
                        else applied)
+        if degradation is not None:
+            applied = degradation.filter_action(now, node, result.context,
+                                                applied)
         if obs_events.enabled():
             # The environment transition is the loop's own phase: the
             # node timed sense/model/reason/act inside ``step``.
@@ -172,7 +217,17 @@ def run_control_loop(
         else:
             metrics = environment.apply(applied, now)
         utility = goal.utility(metrics)
-        node.feedback(metrics, utility=utility)
+        sensed = metrics
+        if faults is not None:
+            # Corrupt what the node *learns from*, never what the goal
+            # scores: dropped metrics vanish, noisy ones are perturbed.
+            sensed = {}
+            for key, value in metrics.items():
+                if faults.dropped(target=key):
+                    continue
+                sensed[key] = faults.perturb(value, target=key)
+        node.feedback(sensed, utility=utility)
+        last_applied = applied
         if obs_events.enabled():
             obs_metrics.counter("steps", sim="core", node=node.name).increment()
             obs_metrics.histogram("loop.utility", node=node.name).observe(utility)

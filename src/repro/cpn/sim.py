@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from ..faults.injector import FaultInjector
 
 import numpy as np
 
@@ -89,7 +92,8 @@ class RoutingResult:
 def forward_packet(network: CPNetwork, router: Router, source: int, dest: int,
                    t: float, max_hops: Optional[int] = None,
                    explore: bool = False,
-                   qos: Optional[QoSClass] = None) -> PacketOutcome:
+                   qos: Optional[QoSClass] = None,
+                   faults: Optional["FaultInjector"] = None) -> PacketOutcome:
     """Forward one packet hop-by-hop; returns its fate.
 
     Lost packets and TTL-expired packets count as undelivered.  The
@@ -97,6 +101,11 @@ def forward_packet(network: CPNetwork, router: Router, source: int, dest: int,
     which is how self-aware routers measure the QoS of their choices.
     ``explore=True`` routes via :meth:`CPNRouter.explore_hop` -- a smart
     packet gathering knowledge rather than carrying payload.
+
+    Active ``link_degrade`` faults scale every hop delay and force extra
+    packet losses; both are *observed* through the usual hooks, so
+    measuring routers adapt to injected degradation like any other
+    disturbance.
     """
     max_hops = max_hops if max_hops is not None else 4 * len(network.nodes())
     node = source
@@ -114,7 +123,10 @@ def forward_packet(network: CPNetwork, router: Router, source: int, dest: int,
         if nxt is None:
             return PacketOutcome(delivered=False, delay=total_delay, hops=hops)
         hop_delay = network.current_delay(node, nxt, t)
-        if network.sample_loss(node, nxt, t):
+        if faults is not None:
+            hop_delay *= faults.link_factor()
+        if network.sample_loss(node, nxt, t) or (
+                faults is not None and faults.link_lost()):
             if isinstance(router, CPNRouter):
                 router.observe_loss(node, nxt, dest, t)
             return PacketOutcome(delivered=False,
@@ -129,19 +141,22 @@ def forward_packet(network: CPNetwork, router: Router, source: int, dest: int,
 
 def routing_step(network: CPNetwork, router: Router, flows: Sequence[Flow],
                  t: float,
-                 smart_packets_per_flow: int = 2) -> RoutingStepRecord:
+                 smart_packets_per_flow: int = 2,
+                 faults: Optional["FaultInjector"] = None) -> RoutingStepRecord:
     """One simulation step: smart packets, payload packets, aggregates.
 
     Extracted from :func:`run_routing` so that ``repro.bench`` can time
     the per-step routing kernel directly; the loop in ``run_routing``
     calls this verbatim.
     """
+    if faults is not None:
+        faults.begin_step(t)
     router.new_step(t)
     if isinstance(router, CPNRouter):
         for flow in flows:
             for _ in range(smart_packets_per_flow):
                 forward_packet(network, router, flow.source, flow.dest,
-                               t, explore=True, qos=flow.qos)
+                               t, explore=True, qos=flow.qos, faults=faults)
     sent = delivered = 0
     delay_sum = 0.0
     traced = obs_events.enabled()
@@ -149,7 +164,8 @@ def routing_step(network: CPNetwork, router: Router, flows: Sequence[Flow],
         for _ in range(flow.packets_per_step):
             sent += 1
             outcome = forward_packet(network, router, flow.source,
-                                     flow.dest, t, qos=flow.qos)
+                                     flow.dest, t, qos=flow.qos,
+                                     faults=faults)
             if outcome.delivered:
                 delivered += 1
                 delay_sum += outcome.delay
@@ -171,22 +187,29 @@ def routing_step(network: CPNetwork, router: Router, flows: Sequence[Flow],
 
 def run_routing(network: CPNetwork, router: Router, flows: Sequence[Flow],
                 steps: int = 500,
-                smart_packets_per_flow: int = 2) -> RoutingResult:
+                smart_packets_per_flow: int = 2,
+                faults: Optional["FaultInjector"] = None) -> RoutingResult:
     """Drive ``flows`` through ``network`` under ``router`` for ``steps``.
 
     For a :class:`CPNRouter`, each flow additionally emits
     ``smart_packets_per_flow`` exploring packets per step; they refresh the
     router's knowledge but do not count toward the QoS statistics (they
     carry no payload).
+
+    Deprecated shim: use :class:`repro.api.CPNSimulator` instead.
     """
+    import warnings
+    warnings.warn(
+        "run_routing is deprecated; use repro.api.CPNSimulator",
+        DeprecationWarning, stacklevel=2)
     if not flows:
         raise ValueError("need at least one flow")
-    records: List[RoutingStepRecord] = []
-    for t in range(steps):
-        records.append(routing_step(
-            network, router, flows, float(t),
-            smart_packets_per_flow=smart_packets_per_flow))
-    return RoutingResult(records=records)
+    from ..api.adapters import CPNSimulator
+    from ..api.configs import CPNConfig
+    return CPNSimulator(
+        CPNConfig(steps=steps, smart_packets_per_flow=smart_packets_per_flow),
+        network=network, router=router, flows=list(flows),
+        faults=faults).run()
 
 
 def default_flows(network: CPNetwork, n_flows: int = 6,

@@ -16,9 +16,10 @@ from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
+from ..api import SwarmSimulator
 from ..swarm.robots import (RandomPatrol, SelfAwareSwarm, StaticFormation,
                             SwarmController)
-from ..swarm.sim import SwarmMissionConfig, run_mission
+from ..swarm.sim import SwarmMissionConfig
 from .harness import ExperimentTable
 
 
@@ -40,7 +41,8 @@ def run_shard(seed: int, steps: int = 800,
     for name, factory in controller_factories(n_robots).items():
         config = SwarmMissionConfig(n_robots=n_robots, steps=steps,
                                     seed=seed)
-        result = run_mission(factory(seed), config)
+        result = SwarmSimulator(mission_config=config,
+                                controller=factory(seed)).run()
         payload[name] = [result.detection_rate(),
                          result.detection_rate(0.0, 0.4 * steps),
                          result.detection_rate(0.45 * steps, 0.7 * steps),

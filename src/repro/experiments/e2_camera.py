@@ -21,8 +21,10 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from ..smartcamera.sim import (CameraSimConfig, run_homogeneous,
-                               run_self_aware)
+from ..api import CameraSimulator
+from ..smartcamera.controller import (FixedStrategyController,
+                                      SelfAwareStrategyController)
+from ..smartcamera.sim import CameraSimConfig
 from ..smartcamera.strategies import ALL_STRATEGIES
 from .harness import ExperimentTable
 
@@ -50,11 +52,17 @@ def run_shard(seed: int, steps: int = 800) -> Dict[str, Dict[str, List[float]]]:
     for scenario in SCENARIOS:
         per_scenario: Dict[str, List[float]] = {}
         for strategy in ALL_STRATEGIES:
-            result = run_homogeneous(_config(scenario, seed, steps), strategy)
+            result = CameraSimulator(
+                sim_config=_config(scenario, seed, steps),
+                controller_factory=lambda cid, rng, s=strategy:
+                    FixedStrategyController(cid, s)).run()
             per_scenario[strategy.value] = [
                 result.efficiency(), result.mean_tracking_utility(),
                 result.mean_messages()]
-        result = run_self_aware(_config(scenario, seed, steps), epsilon=0.05)
+        result = CameraSimulator(
+            sim_config=_config(scenario, seed, steps),
+            controller_factory=lambda cid, rng: SelfAwareStrategyController(
+                cid, epsilon=0.05, discount=0.995, rng=rng)).run()
         per_scenario["self-aware"] = [
             result.efficiency(), result.mean_tracking_utility(),
             result.mean_messages(), result.diversity_bits()]

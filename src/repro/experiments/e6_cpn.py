@@ -15,9 +15,10 @@ from typing import Dict, List, Sequence
 import networkx as nx
 import numpy as np
 
+from ..api import CPNConfig, CPNSimulator
 from ..cpn.routing import (CPNRouter, DEFAULT_QOS, DELAY_SENSITIVE,
                            LOSS_SENSITIVE, OracleRouter, StaticRouter)
-from ..cpn.sim import Flow, default_flows, run_routing
+from ..cpn.sim import Flow, default_flows
 from ..cpn.topology import CPNetwork
 from .harness import ExperimentTable
 
@@ -61,7 +62,8 @@ def run_shard(seed: int, n_nodes: int = 30,
     for name, factory in _router_factories().items():
         net = make_scenario(seed, n_nodes=n_nodes, steps=steps)
         flows = default_flows(net, n_flows=6, seed=seed)
-        result = run_routing(net, factory(net, seed), flows, steps=steps)
+        result = CPNSimulator(CPNConfig(steps=steps), network=net,
+                              router=factory(net, seed), flows=flows).run()
         overall = result.delivery_rate()
         attack = result.delivery_rate(attack_start, attack_end)
         pre = result.delivery_rate(0.0, attack_start)
@@ -133,8 +135,9 @@ def run_qos_classes_shard(seed: int, steps: int = 500) -> Dict[str, List[float]]
             router = CPNRouter(net, epsilon=0.2,
                                rng=np.random.default_rng(2000 + seed))
             flows = [Flow(source=0, dest=5, qos=qos)]
-            result = run_routing(net, router, flows, steps=steps,
-                                 smart_packets_per_flow=3)
+            result = CPNSimulator(
+                CPNConfig(steps=steps, smart_packets_per_flow=3),
+                network=net, router=router, flows=flows).run()
             half = steps / 2.0  # converged half
             payload[f"{config_name}|{label}"] = [
                 result.delivery_rate(half, steps),

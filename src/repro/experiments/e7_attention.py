@@ -16,8 +16,8 @@ import numpy as np
 from ..core.attention import (AttentionPolicy, FullAttention,
                               RandomAttention, RoundRobinAttention,
                               SalienceAttention)
+from ..api import SensornetConfig, SensornetSimulator
 from ..sensornet.field import ChannelField, mixed_channel_specs
-from ..sensornet.node import run_sensing
 from .harness import ExperimentTable
 
 N_CHANNELS = 8
@@ -120,8 +120,10 @@ def run_shard(seed: int, budgets: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
         for name, factory in policy_factories(seed).items():
             field = ChannelField(mixed_channel_specs(N_CHANNELS, seed=seed),
                                  rng=np.random.default_rng(seed))
-            res = run_sensing(field, factory(), budget, steps=steps,
-                              rng=np.random.default_rng(100 + seed))
+            res = SensornetSimulator(
+                SensornetConfig(steps=steps, budget=budget),
+                field=field, attention=factory(),
+                rng=np.random.default_rng(100 + seed)).run()
             payload[f"{name}|{budget}"] = [res.mean_error(skip=50),
                                            res.mean_energy()]
     return payload

@@ -35,6 +35,8 @@ import json
 import multiprocessing
 import os
 import re
+import time
+import traceback
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
@@ -109,6 +111,42 @@ class ShardResult:
     events: List[Dict[str, Any]] = field(default_factory=list)
     metrics: Dict[str, Any] = field(default_factory=dict)
     cached: bool = False
+    #: Full worker-side traceback text when the shard failed (the
+    #: parent decides whether to retry or raise), ``None`` on success.
+    error: Optional[str] = None
+    #: How many executions this result took (1 = first try).
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the engine treats a failing or hanging shard.
+
+    ``max_attempts`` bounds executions per shard (1 = no retry); between
+    attempts the engine sleeps ``backoff * 2**(failures-1)`` seconds.
+    ``timeout`` is a wall-clock deadline per attempt, measured from when
+    the parent starts waiting on the shard; it needs a worker pool to be
+    enforceable (an in-process shard cannot be pre-empted) and so is
+    ignored at ``jobs=1``.  Deterministic by construction: a retried
+    shard re-runs the same seeded code, so a success-after-retry yields
+    the byte-identical payload a first-try success would have.
+    """
+
+    max_attempts: int = 1
+    backoff: float = 0.5
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff < 0:
+            raise ValueError("backoff must be non-negative")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+
+    def delay(self, failures: int) -> float:
+        """Exponential backoff before retry number ``failures``."""
+        return self.backoff * (2.0 ** (failures - 1))
 
 
 @dataclass
@@ -159,6 +197,22 @@ def _execute_shard(spec: ShardSpec) -> ShardResult:
         raise RuntimeError(
             f"shard {spec.job_name!r} seed {spec.seed} "
             f"({spec.module}.{spec.shard_fn}) failed: {exc!r}") from exc
+
+
+def _execute_shard_safe(spec: ShardSpec) -> ShardResult:
+    """:func:`_execute_shard`, but failures come home as data.
+
+    A worker that raised across the pool boundary loses its traceback
+    (the parent re-raises only the exception repr).  Capturing
+    ``traceback.format_exc()`` into ``ShardResult.error`` instead lets
+    the parent print the *worker's* full stack and apply the retry
+    policy.
+    """
+    try:
+        return _execute_shard(spec)
+    except Exception:
+        return ShardResult(spec.job_name, spec.seed, payload=None,
+                           wall=0.0, error=traceback.format_exc())
 
 
 # ---------------------------------------------------------------------------
@@ -261,12 +315,87 @@ def _as_tables(reduced: Any) -> List[ExperimentTable]:
     return list(reduced)
 
 
+def _run_pending(pending: Sequence[ShardSpec], n_jobs: int,
+                 retry: RetryPolicy,
+                 progress: Optional[Callable[[str], None]]
+                 ) -> Dict[Tuple[str, int], ShardResult]:
+    """Execute shards under the retry policy; raise on final failure.
+
+    The error raised for a shard that exhausted its attempts embeds the
+    worker's full traceback (or the timeout note), so ``run_all --jobs``
+    failures are as debuggable as serial ones.
+    """
+    results: Dict[Tuple[str, int], ShardResult] = {}
+
+    def _note_retry(spec: ShardSpec, failures: int, error: str) -> None:
+        if progress is not None:
+            reason = error.strip().splitlines()[-1] if error else "failed"
+            progress(f"[retrying {spec.job_name} seed {spec.seed} "
+                     f"(attempt {failures} failed: {reason})]")
+
+    def _fail(spec: ShardSpec, attempts: int, error: str) -> None:
+        raise RuntimeError(
+            f"shard {spec.job_name!r} seed {spec.seed} "
+            f"({spec.module}.{spec.shard_fn}) failed after {attempts} "
+            f"attempt(s); worker traceback follows:\n{error}")
+
+    if n_jobs <= 1 or len(pending) == 1:
+        # In-process: the timeout is unenforceable (nothing can pre-empt
+        # the shard), the retry loop still applies.
+        for spec in pending:
+            for attempt in range(1, retry.max_attempts + 1):
+                result = _execute_shard_safe(spec)
+                result.attempts = attempt
+                if result.error is None:
+                    break
+                if attempt < retry.max_attempts:
+                    _note_retry(spec, attempt, result.error)
+                    time.sleep(retry.delay(attempt))
+            if result.error is not None:
+                _fail(spec, result.attempts, result.error)
+            results[(spec.job_name, spec.seed)] = result
+        return results
+
+    context = multiprocessing.get_context(_START_METHOD)
+    with context.Pool(processes=min(n_jobs, len(pending))) as pool:
+        # Submission queue: (spec, attempt number, async handle).
+        # Retries append to the tail, so surviving shards keep draining
+        # while a flaky one backs off; a worker stuck past its timeout
+        # is abandoned (the pool tears it down on exit).
+        queue = [(spec, 1, pool.apply_async(_execute_shard_safe, (spec,)))
+                 for spec in pending]
+        index = 0
+        while index < len(queue):
+            spec, attempt, handle = queue[index]
+            index += 1
+            try:
+                result = handle.get(retry.timeout)
+            except multiprocessing.TimeoutError:
+                result = ShardResult(
+                    spec.job_name, spec.seed, payload=None, wall=0.0,
+                    error=(f"shard timed out after {retry.timeout:.1f}s "
+                           f"(attempt {attempt})"))
+            if result.error is None:
+                result.attempts = attempt
+                results[(spec.job_name, spec.seed)] = result
+                continue
+            if attempt < retry.max_attempts:
+                _note_retry(spec, attempt, result.error)
+                time.sleep(retry.delay(attempt))
+                queue.append((spec, attempt + 1,
+                              pool.apply_async(_execute_shard_safe, (spec,))))
+                continue
+            _fail(spec, attempt, result.error)
+    return results
+
+
 def run_suite(jobs: Sequence[SuiteJob],
               n_jobs: Optional[int] = None,
               cache: bool = False,
               cache_dir: str = DEFAULT_CACHE_DIR,
               telemetry: Optional[TelemetrySession] = None,
-              progress: Optional[Callable[[str], None]] = None) -> EngineReport:
+              progress: Optional[Callable[[str], None]] = None,
+              retry: Optional[RetryPolicy] = None) -> EngineReport:
     """Execute a suite of jobs and reduce them back to tables.
 
     Parameters
@@ -289,8 +418,14 @@ def run_suite(jobs: Sequence[SuiteJob],
     progress:
         Called with one line per finished experiment (run_all wires
         this to stderr).
+    retry:
+        Per-shard :class:`RetryPolicy` (attempts, exponential backoff,
+        wall-clock timeout); default: one attempt, no timeout.  A shard
+        that exhausts the policy raises with the worker's full
+        traceback.
     """
     n_jobs = n_jobs if n_jobs is not None else (os.cpu_count() or 1)
+    retry = retry if retry is not None else RetryPolicy()
     started = perf_counter()
     want_telemetry = telemetry is not None
 
@@ -311,15 +446,7 @@ def run_suite(jobs: Sequence[SuiteJob],
             pending.append(spec)
 
     if pending:
-        if n_jobs <= 1 or len(pending) == 1:
-            for spec in pending:
-                result = _execute_shard(spec)
-                results[(result.job_name, result.seed)] = result
-        else:
-            context = multiprocessing.get_context(_START_METHOD)
-            with context.Pool(processes=min(n_jobs, len(pending))) as pool:
-                for result in pool.imap_unordered(_execute_shard, pending):
-                    results[(result.job_name, result.seed)] = result
+        results.update(_run_pending(pending, n_jobs, retry, progress))
         if shard_cache is not None:
             for spec in pending:
                 shard_cache.store(spec, results[(spec.job_name, spec.seed)])

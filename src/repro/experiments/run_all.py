@@ -38,7 +38,8 @@ from contextlib import nullcontext
 from typing import List, Optional
 
 from ..obs import TelemetrySession
-from .engine import DEFAULT_CACHE_DIR, EngineReport, SuiteJob, run_suite
+from .engine import (DEFAULT_CACHE_DIR, EngineReport, RetryPolicy, SuiteJob,
+                     run_suite)
 from .harness import ExperimentTable, print_tables, write_markdown_report
 
 _PKG = "repro.experiments"
@@ -82,6 +83,8 @@ def suite_jobs(quick: bool = False) -> List[SuiteJob]:
             _job("E10", "e10_priors", (0, 1), steps=400),
             _job("E11", "e11_explain", (0,), steps=300),
             _job("E12", "e12_swarm", (0,), steps=300, n_robots=9),
+            _job("E13", "e13_resilience", (0,), steps=240,
+                 intensities=(0.0, 0.5)),
             _job("A1", "ablations", (0,), "run_aggregation_shard",
                  "reduce_aggregation", steps=700),
             _job("A2", "ablations", (0,), "run_forecasters_shard",
@@ -117,6 +120,8 @@ def suite_jobs(quick: bool = False) -> List[SuiteJob]:
         _job("E10", "e10_priors", (0, 1, 2, 3, 4), steps=800),
         _job("E11", "e11_explain", (0, 1, 2), steps=600),
         _job("E12", "e12_swarm", (0, 1, 2), steps=800, n_robots=9),
+        _job("E13", "e13_resilience", (0, 1, 2), steps=500,
+             intensities=(0.0, 0.3, 0.6)),
         _job("A1", "ablations", (0, 1, 2, 3), "run_aggregation_shard",
              "reduce_aggregation", steps=1200),
         _job("A2", "ablations", (0, 1, 2), "run_forecasters_shard",
@@ -135,13 +140,14 @@ def collect_report(quick: bool = False,
                    jobs: int = 1,
                    cache: bool = False,
                    cache_dir: str = DEFAULT_CACHE_DIR,
-                   quiet: bool = False) -> EngineReport:
+                   quiet: bool = False,
+                   retry: Optional[RetryPolicy] = None) -> EngineReport:
     """Run the suite on the engine; tables plus shard accounting."""
     progress = None if quiet else (
         lambda line: print(line, file=sys.stderr))
     return run_suite(suite_jobs(quick=quick), n_jobs=jobs, cache=cache,
                      cache_dir=cache_dir, telemetry=telemetry,
-                     progress=progress)
+                     progress=progress, retry=retry)
 
 
 def collect_tables(quick: bool = False,
@@ -181,7 +187,22 @@ def main() -> None:
                         const="", default=None,
                         help="enable repro.obs for the suite; with a path, "
                              "also write the JSONL event trace there")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry each failing shard up to N times with "
+                             "exponential backoff (default: no retry); "
+                             "failures surface the worker's full traceback")
+    parser.add_argument("--backoff", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="base retry backoff; attempt k waits "
+                             "backoff * 2**(k-1) seconds (default: "
+                             "%(default)s)")
+    parser.add_argument("--shard-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-shard wall-clock deadline (worker pools "
+                             "only; counts as a failure for --retries)")
     args = parser.parse_args()
+    retry = RetryPolicy(max_attempts=args.retries + 1, backoff=args.backoff,
+                        timeout=args.shard_timeout)
     session = None
     if args.telemetry is not None:
         session = TelemetrySession(trace_path=args.telemetry or None,
@@ -189,7 +210,7 @@ def main() -> None:
     with (session if session is not None else nullcontext()):
         report = collect_report(quick=args.quick, telemetry=session,
                                 jobs=args.jobs, cache=args.cache,
-                                cache_dir=args.cache_dir)
+                                cache_dir=args.cache_dir, retry=retry)
     if args.cache and report.cached_shards:
         print(f"[cache: {report.cached_shards}/{report.total_shards} "
               f"shards reused]", file=sys.stderr)

@@ -1,0 +1,29 @@
+"""Deterministic fault injection and graceful degradation.
+
+The resilience layer: declarative :class:`FaultPlan` schedules
+(:mod:`repro.faults.plan`), the :class:`FaultInjector` that interprets
+them against the core loop and every substrate simulator
+(:mod:`repro.faults.injector`), and the :class:`DegradationMonitor`
+fallback machinery that keeps a node useful while its self-model is
+degraded (:mod:`repro.faults.degrade`).
+
+Everything is seed-driven and provably inert when disabled: a ``None``
+or all-zero-intensity plan leaves each run byte-identical to the
+unfaulted code path.
+"""
+
+from .degrade import (CHEAPER_LEVEL, DEGRADATION_POLICIES, HOLD_LAST_GOOD,
+                      WIDEN_ATTENTION, DegradationMonitor, model_confidence)
+from .injector import FaultInjector, make_injector
+from .plan import (CLOCK_SKEW, CRASH, FAULT_KINDS, LINK_DEGRADE,
+                   SENSOR_DROPOUT, SENSOR_NOISE, WORKLOAD_SPIKE, FaultPlan,
+                   FaultSpec)
+
+__all__ = [
+    "FaultPlan", "FaultSpec", "FAULT_KINDS",
+    "SENSOR_NOISE", "SENSOR_DROPOUT", "CRASH", "LINK_DEGRADE",
+    "WORKLOAD_SPIKE", "CLOCK_SKEW",
+    "FaultInjector", "make_injector",
+    "DegradationMonitor", "model_confidence", "DEGRADATION_POLICIES",
+    "HOLD_LAST_GOOD", "CHEAPER_LEVEL", "WIDEN_ATTENTION",
+]

@@ -1,0 +1,230 @@
+"""Graceful degradation: act sensibly when the self-model goes stale.
+
+Injected faults do not only hurt through the substrate -- they corrupt
+the node's *self-model*: under sensor noise or a regime shift the
+learned action model's confidence collapses, and a purely greedy
+reasoner happily exploits garbage.  The paper's answer is
+meta-self-awareness: notice that your own models have degraded and fall
+back to something safer.
+
+:class:`DegradationMonitor` implements that notice-and-fallback loop for
+the generic control loop in :mod:`repro.core.loop`:
+
+* it reads the reasoner's model confidence for each chosen action
+  (any reasoner exposing ``.model.confidence(context, action)``, e.g.
+  :class:`~repro.core.reasoner.UtilityReasoner`);
+* hysteresis turns the noisy confidence series into a degraded /
+  healthy state (``window`` consecutive readings below ``threshold``
+  enter degradation, the same count at or above ``recover_threshold``
+  exits);
+* while degraded, one of three fallback policies applies:
+
+  ``hold_last_good``
+      Keep expressing the last action chosen while healthy instead of
+      trusting fresh low-confidence decisions.
+  ``cheaper_level``
+      Temporarily drop the node's highest self-awareness level (META,
+      then GOAL, then TIME, then INTERACTION) so decisions rest on the
+      simpler -- better-supported -- context.
+  ``widen_attention``
+      Lift the attention budget and attend to everything, buying the
+      model more evidence per step so confidence recovers faster.
+
+Entering and leaving degradation emits ``degrade.enter`` /
+``degrade.exit`` events, so traces and self-explanations cite the
+fallback alongside the faults that provoked it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Hashable, List, Mapping, Optional, Tuple
+
+from ..core.attention import FullAttention
+from ..core.levels import SelfAwarenessLevel
+from ..obs import events as obs_events
+
+HOLD_LAST_GOOD = "hold_last_good"
+CHEAPER_LEVEL = "cheaper_level"
+WIDEN_ATTENTION = "widen_attention"
+
+DEGRADATION_POLICIES: Tuple[str, ...] = (
+    HOLD_LAST_GOOD, CHEAPER_LEVEL, WIDEN_ATTENTION)
+
+#: Drop order for ``cheaper_level``: shed the most sophisticated --
+#: most model-hungry -- capability first, never stimulus awareness.
+_SHED_ORDER = (SelfAwarenessLevel.META, SelfAwarenessLevel.GOAL,
+               SelfAwarenessLevel.TIME, SelfAwarenessLevel.INTERACTION)
+
+
+def model_confidence(node: Any, context: Mapping[str, float],
+                     action: Hashable) -> Optional[float]:
+    """The reasoner's confidence in its model of ``action``, if it has one.
+
+    Returns ``None`` for reasoners without an inspectable model (static
+    or reactive policies), which the monitor treats as "nothing to
+    degrade from".
+    """
+    model = getattr(node.reasoner, "model", None)
+    confidence = getattr(model, "confidence", None)
+    if confidence is None:
+        return None
+    try:
+        value = float(confidence(context, action))
+    except (TypeError, ValueError):
+        return None
+    if math.isnan(value):
+        return None
+    return value
+
+
+class DegradationMonitor:
+    """Hysteresis detector over self-model confidence, with fallbacks.
+
+    Parameters
+    ----------
+    policy:
+        One of :data:`DEGRADATION_POLICIES`.
+    threshold:
+        Confidence below this counts as a degraded reading.
+    recover_threshold:
+        Confidence at or above this counts toward recovery (defaults to
+        ``threshold``; set higher for wider hysteresis).
+    window:
+        Consecutive readings required to change state, both ways.
+    budget_factor:
+        For ``widen_attention``: multiplier on the attention budget
+        (unbounded budgets stay unbounded).
+    """
+
+    def __init__(self, policy: str = HOLD_LAST_GOOD, *,
+                 threshold: float = 0.35,
+                 recover_threshold: Optional[float] = None,
+                 window: int = 4,
+                 budget_factor: float = 4.0) -> None:
+        if policy not in DEGRADATION_POLICIES:
+            raise ValueError(f"unknown degradation policy {policy!r}; "
+                             f"known: {DEGRADATION_POLICIES}")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.policy = policy
+        self.threshold = threshold
+        self.recover_threshold = (threshold if recover_threshold is None
+                                  else recover_threshold)
+        self.window = window
+        self.budget_factor = budget_factor
+        self.degraded = False
+        self.episodes: List[Tuple[float, Optional[float]]] = []
+        self._low_run = 0
+        self._high_run = 0
+        self._last_good_action: Optional[Hashable] = None
+        self._saved_profile: Any = None
+        self._saved_attention: Any = None
+        self._saved_budget: Optional[float] = None
+        self._last_confidence: Optional[float] = None
+
+    @property
+    def last_confidence(self) -> Optional[float]:
+        """The confidence reading from the most recent ``filter_action``."""
+        return self._last_confidence
+
+    # ------------------------------------------------------------------
+
+    def filter_action(self, now: float, node: Any,
+                      context: Mapping[str, float],
+                      action: Hashable) -> Hashable:
+        """Observe one decision; return the action that should be applied.
+
+        Call once per loop step with the node's chosen ``action``.  The
+        return value equals ``action`` except under ``hold_last_good``
+        while degraded, when the last healthy choice is repeated.
+        """
+        confidence = model_confidence(node, context, action)
+        self._last_confidence = confidence
+        if confidence is None:
+            # No inspectable model: record the action as good and pass it
+            # through -- static policies cannot degrade.
+            self._last_good_action = action
+            return action
+
+        if confidence < self.threshold:
+            self._low_run += 1
+            self._high_run = 0
+        else:
+            self._low_run = 0
+            if confidence >= self.recover_threshold:
+                self._high_run += 1
+
+        if not self.degraded:
+            if self._low_run >= self.window:
+                self._enter(now, node, confidence)
+            else:
+                self._last_good_action = action
+        elif self._high_run >= self.window:
+            self._exit(now, node, confidence)
+
+        if self.degraded and self.policy == HOLD_LAST_GOOD \
+                and self._last_good_action is not None:
+            return self._last_good_action
+        if not self.degraded:
+            self._last_good_action = action
+        return action
+
+    # ------------------------------------------------------------------
+
+    def _enter(self, now: float, node: Any, confidence: float) -> None:
+        self.degraded = True
+        self._high_run = 0
+        self.episodes.append((now, None))
+        if self.policy == CHEAPER_LEVEL:
+            self._saved_profile = node.profile
+            profile = node.profile
+            for level in _SHED_ORDER:
+                if profile.has(level):
+                    profile = profile.without_level(level)
+                    break
+            node.profile = profile
+        elif self.policy == WIDEN_ATTENTION:
+            self._saved_attention = node.attention
+            self._saved_budget = node.attention_budget
+            node.attention = FullAttention()
+            if math.isfinite(node.attention_budget):
+                node.attention_budget = node.attention_budget * self.budget_factor
+        if obs_events.enabled():
+            obs_events.emit("degrade.enter", node=node.name, time=now,
+                            policy=self.policy, confidence=confidence,
+                            threshold=self.threshold)
+
+    def _exit(self, now: float, node: Any, confidence: float) -> None:
+        self.degraded = False
+        self._low_run = 0
+        self._high_run = 0
+        if self.episodes and self.episodes[-1][1] is None:
+            start, _ = self.episodes[-1]
+            self.episodes[-1] = (start, now)
+        if self.policy == CHEAPER_LEVEL and self._saved_profile is not None:
+            node.profile = self._saved_profile
+            self._saved_profile = None
+        elif self.policy == WIDEN_ATTENTION:
+            if self._saved_attention is not None:
+                node.attention = self._saved_attention
+                self._saved_attention = None
+            if self._saved_budget is not None:
+                node.attention_budget = self._saved_budget
+                self._saved_budget = None
+        if obs_events.enabled():
+            obs_events.emit("degrade.exit", node=node.name, time=now,
+                            policy=self.policy, confidence=confidence,
+                            threshold=self.recover_threshold)
+
+    def degraded_steps(self, final_time: Optional[float] = None) -> float:
+        """Total simulated time spent degraded (open episodes use
+        ``final_time``; open episodes with no ``final_time`` count zero)."""
+        total = 0.0
+        for start, end in self.episodes:
+            if end is None:
+                if final_time is not None:
+                    total += max(0.0, final_time - start)
+            else:
+                total += end - start
+        return total

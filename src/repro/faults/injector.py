@@ -1,0 +1,271 @@
+"""The fault injector: a deterministic interpreter for fault plans.
+
+One :class:`FaultInjector` is attached per run (to a core control loop
+or to a substrate simulation).  Every step the host calls
+:meth:`FaultInjector.begin_step` -- which emits ``fault.start`` /
+``fault.end`` transition events on the observability bus -- and then
+queries the hooks that match its physics (``perturb``, ``dropped``,
+``crashed_targets``, ``link_factor``, ...).
+
+Two properties are load-bearing for the rest of the repo:
+
+* **Isolation.**  The injector owns its own random generator, seeded
+  from ``(plan.seed, run_seed)``.  It never draws from the simulator's
+  stream, so attaching a plan perturbs *what happens*, not the
+  substrate's own randomness.
+* **Inertness at zero.**  Every hook short-circuits to an exact
+  identity (no RNG draw, no float arithmetic) when no non-zero spec is
+  active.  An all-zero-intensity plan therefore reproduces the
+  unfaulted run byte-for-byte -- the acceptance criterion the
+  zero-plan tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs import events as obs_events
+from .plan import (CLOCK_SKEW, CRASH, LINK_DEGRADE, SENSOR_DROPOUT,
+                   SENSOR_NOISE, WORKLOAD_SPIKE, FaultPlan, FaultSpec)
+
+
+class FaultInjector:
+    """Interprets a :class:`FaultPlan` over a stepped simulation.
+
+    Parameters
+    ----------
+    plan:
+        The disturbance schedule.  ``None`` behaves as the empty plan.
+    run_seed:
+        The host run's seed, folded into the injector's generator so
+        different shards of one experiment draw different noise while
+        remaining individually reproducible.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan],
+                 run_seed: int = 0) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        self.run_seed = int(run_seed)
+        self._rng = np.random.default_rng(
+            [0xFA17, self.plan.seed & 0xFFFFFFFF, self.run_seed & 0xFFFFFFFF])
+        self._now: float = float("-inf")
+        self._active: Tuple[FaultSpec, ...] = ()
+        self._was_active: FrozenSet[FaultSpec] = frozenset()
+        self._started: Dict[str, bool] = {}
+        #: Per-spec crash cohorts, resolved lazily and cached so the
+        #: same spec downs the same entities every time it is queried
+        #: (and across the whole window).
+        self._crash_cohorts: Dict[int, Tuple[Any, ...]] = {}
+        self.events_emitted = 0
+
+    # ------------------------------------------------------------------
+    # Stepping
+
+    def begin_step(self, t: float) -> None:
+        """Advance the injector's clock; emit window transition events."""
+        self._now = float(t)
+        active = tuple(self.plan.active(t))
+        active_set = frozenset(active)
+        if active_set != self._was_active:
+            if obs_events.enabled():
+                for spec in sorted(active_set - self._was_active,
+                                   key=lambda s: (s.kind, s.start)):
+                    obs_events.emit("fault.start", time=t, kind=spec.kind,
+                                    intensity=spec.intensity,
+                                    start=spec.start, end=spec.end,
+                                    target=spec.target)
+                    self.events_emitted += 1
+                for spec in sorted(self._was_active - active_set,
+                                   key=lambda s: (s.kind, s.start)):
+                    obs_events.emit("fault.end", time=t, kind=spec.kind,
+                                    intensity=spec.intensity,
+                                    start=spec.start, end=spec.end,
+                                    target=spec.target)
+                    self.events_emitted += 1
+            self._started = {
+                spec.kind: True for spec in (active_set - self._was_active)}
+            self._was_active = active_set
+        else:
+            self._started = {}
+        self._active = active
+
+    @property
+    def now(self) -> float:
+        """The time of the last :meth:`begin_step`."""
+        return self._now
+
+    def active(self, kind: Optional[str] = None) -> List[FaultSpec]:
+        """Specs active at the current step (optionally filtered by kind)."""
+        if kind is None:
+            return list(self._active)
+        return [s for s in self._active if s.kind == kind]
+
+    def just_started(self, kind: str) -> bool:
+        """Whether a window of ``kind`` opened on the current step."""
+        return self._started.get(kind, False)
+
+    # ------------------------------------------------------------------
+    # Sensor hooks
+
+    def perturb(self, value: float, target: Optional[Any] = None) -> float:
+        """Apply active sensor-noise specs to a sensed ``value``.
+
+        Identity (no draw) when no matching spec is active.
+        """
+        out = value
+        for spec in self._active:
+            if spec.kind != SENSOR_NOISE:
+                continue
+            if spec.target is not None and spec.target != target:
+                continue
+            out = out + float(self._rng.normal(0.0, spec.intensity))
+        return out
+
+    def dropped(self, target: Optional[Any] = None) -> bool:
+        """Whether a reading from ``target`` is lost this step.
+
+        No draw -- and therefore ``False`` -- when no matching
+        sensor-dropout spec is active.
+        """
+        for spec in self._active:
+            if spec.kind != SENSOR_DROPOUT:
+                continue
+            if spec.target is not None and spec.target != target:
+                continue
+            if self._rng.random() < spec.intensity:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Crash-and-recover hooks
+
+    def _cohort(self, spec: FaultSpec,
+                population: Sequence[Any]) -> Tuple[Any, ...]:
+        """The deterministic set of entities a crash spec takes down."""
+        key = self.plan.specs.index(spec)
+        cached = self._crash_cohorts.get(key)
+        if cached is not None:
+            return cached
+        if spec.target is not None:
+            cohort: Tuple[Any, ...] = (spec.target,)
+        else:
+            n = len(population)
+            k = min(n, int(round(spec.intensity * n)))
+            if k <= 0 and spec.intensity > 0.0 and n > 0:
+                k = 1  # a non-zero crash spec downs at least one entity
+            # A dedicated stream keyed by (plan seed, spec index) so the
+            # cohort is independent of when/how often hooks are queried.
+            rng = np.random.default_rng(
+                [0xC4A5, self.plan.seed & 0xFFFFFFFF, key])
+            idx = rng.choice(n, size=k, replace=False)
+            cohort = tuple(population[int(i)] for i in sorted(idx))
+        self._crash_cohorts[key] = cohort
+        return cohort
+
+    def crashed_targets(self, population: Sequence[Any]) -> FrozenSet[Any]:
+        """Entities (from ``population``) down at the current step.
+
+        The cohort per spec is resolved once from a dedicated seed
+        stream, so it is stable across the window and across repeated
+        queries; recovery is implicit when the window closes.
+        """
+        down: set = set()
+        for spec in self._active:
+            if spec.kind != CRASH:
+                continue
+            down.update(self._cohort(spec, population))
+        return frozenset(down)
+
+    def is_crashed(self, target: Any, population: Sequence[Any]) -> bool:
+        """Whether one specific entity is down at the current step."""
+        return target in self.crashed_targets(population)
+
+    # ------------------------------------------------------------------
+    # Link / load / clock hooks (pure functions of the active windows)
+
+    def link_factor(self, target: Optional[Any] = None) -> float:
+        """Multiplier on link delay; exactly ``1.0`` when inactive."""
+        factor = 1.0
+        for spec in self._active:
+            if spec.kind != LINK_DEGRADE:
+                continue
+            if spec.target is not None and spec.target != target:
+                continue
+            factor *= (1.0 + spec.intensity)
+        return factor
+
+    def link_loss_prob(self, target: Optional[Any] = None) -> float:
+        """Extra per-hop loss probability; exactly ``0.0`` when inactive."""
+        keep = 1.0
+        for spec in self._active:
+            if spec.kind != LINK_DEGRADE:
+                continue
+            if spec.target is not None and spec.target != target:
+                continue
+            keep *= max(0.0, 1.0 - spec.intensity)
+        return 1.0 - keep
+
+    def link_lost(self, target: Optional[Any] = None) -> bool:
+        """Sample a forced link loss (no draw when probability is zero)."""
+        prob = self.link_loss_prob(target)
+        if prob <= 0.0:
+            return False
+        return bool(self._rng.random() < prob)
+
+    def demand_factor(self) -> float:
+        """Multiplier on offered load; exactly ``1.0`` when inactive."""
+        factor = 1.0
+        for spec in self._active:
+            if spec.kind == WORKLOAD_SPIKE:
+                factor *= (1.0 + spec.intensity)
+        return factor
+
+    def spiked_count(self, base: int = 1) -> int:
+        """``base`` discrete work batches scaled by active workload spikes.
+
+        Whole multiples replicate deterministically; the fractional
+        remainder is resolved by one injector draw.  Exactly ``base``
+        (no draw) when no spike is active.
+        """
+        factor = self.demand_factor()
+        if factor == 1.0:
+            return base
+        scaled = base * factor
+        whole = int(scaled)
+        frac = scaled - whole
+        if frac > 0.0 and self._rng.random() < frac:
+            whole += 1
+        return max(0, whole)
+
+    def clock_offset(self, target: Optional[Any] = None) -> float:
+        """Perceived-time lead over true time; exactly ``0.0`` when inactive."""
+        offset = 0.0
+        for spec in self._active:
+            if spec.kind != CLOCK_SKEW:
+                continue
+            if spec.target is not None and spec.target != target:
+                continue
+            offset += spec.intensity
+        return offset
+
+    def perceived_time(self, t: float, target: Optional[Any] = None) -> float:
+        """``t`` as seen through any active clock skew (identity when none)."""
+        offset = self.clock_offset(target)
+        if offset == 0.0:
+            return t
+        return t + offset
+
+
+def make_injector(plan: Optional[FaultPlan],
+                  run_seed: int = 0) -> Optional[FaultInjector]:
+    """An injector for ``plan``, or ``None`` for a missing/inert plan.
+
+    Substrates guard every hook with ``if faults is not None``; routing
+    inert plans to ``None`` here makes the disabled path not just
+    value-identical but *instruction*-identical to the pre-fault code.
+    """
+    if plan is None or plan.is_inert():
+        return None
+    return FaultInjector(plan, run_seed=run_seed)

@@ -1,0 +1,185 @@
+"""Fault plans: declarative, seed-driven disturbance schedules.
+
+The paper's central claim is that computational self-awareness pays off
+precisely when the environment misbehaves -- cameras fail, volunteer
+nodes churn, links drop.  A :class:`FaultPlan` makes that misbehaviour a
+first-class, *reproducible* experimental input: a schedule of
+:class:`FaultSpec` windows, each naming a kind of disturbance, when it
+is active, how strong it is, and (optionally) which entity it targets.
+
+Plans are data, not behaviour: they are frozen, hashable, picklable and
+JSON-round-trippable, so they can ride through the parallel engine's
+shard cache keys unchanged.  The interpreter lives in
+:mod:`repro.faults.injector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: The recognised fault kinds.  Substrates consume the subset that makes
+#: sense for their physics (see the hook table in DESIGN.md):
+#:
+#: ``sensor_noise``
+#:     Additive Gaussian noise on sensed values; ``intensity`` is the
+#:     noise standard deviation (in the sensed unit).
+#: ``sensor_dropout``
+#:     Readings are lost with probability ``intensity``.
+#: ``crash``
+#:     Crash-and-recover: the targeted entity (camera, robot, node) is
+#:     dead for the window and comes back afterwards.  With no explicit
+#:     ``target``, ``intensity`` is the *fraction* of the population
+#:     taken down (chosen deterministically from the plan seed).
+#: ``link_degrade``
+#:     Link quality loss: delays scale by ``1 + intensity`` and packets
+#:     are additionally lost with probability ``intensity`` per hop.
+#: ``workload_spike``
+#:     Offered load scales by ``1 + intensity`` for the window.
+#: ``clock_skew``
+#:     The entity's *perceived* time leads true time by ``intensity``
+#:     time units (the world itself is unaffected).
+SENSOR_NOISE = "sensor_noise"
+SENSOR_DROPOUT = "sensor_dropout"
+CRASH = "crash"
+LINK_DEGRADE = "link_degrade"
+WORKLOAD_SPIKE = "workload_spike"
+CLOCK_SKEW = "clock_skew"
+
+FAULT_KINDS: Tuple[str, ...] = (
+    SENSOR_NOISE, SENSOR_DROPOUT, CRASH, LINK_DEGRADE, WORKLOAD_SPIKE,
+    CLOCK_SKEW)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled disturbance window.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    start, end:
+        Active window ``[start, end)`` in simulated time.
+    intensity:
+        Kind-specific strength (see the kind table above).  An intensity
+        of exactly ``0.0`` makes the spec inert: interpreters must treat
+        it as absent.
+    target:
+        Optional entity selector (an integer index or a name).  ``None``
+        means "kind-default": the whole population for ``crash`` (scaled
+        by intensity), every sensor/link otherwise.
+    """
+
+    kind: str
+    start: float
+    end: float
+    intensity: float
+    target: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
+        if not self.end > self.start:
+            raise ValueError("fault window needs end > start")
+        if self.intensity < 0.0:
+            raise ValueError("intensity must be non-negative")
+
+    def active(self, t: float) -> bool:
+        """Whether the window covers time ``t``."""
+        return self.start <= t < self.end
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (used in shard payloads and trace headers)."""
+        return {"kind": self.kind, "start": self.start, "end": self.end,
+                "intensity": self.intensity, "target": self.target}
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "FaultSpec":
+        """Inverse of :meth:`as_dict`."""
+        return cls(kind=record["kind"], start=record["start"],
+                   end=record["end"], intensity=record["intensity"],
+                   target=record.get("target"))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A full disturbance schedule plus the seed that resolves its draws.
+
+    The seed governs *every* random choice the injector makes (which
+    entities crash, which readings drop, the noise samples), and the
+    injector draws from its own generator -- never the simulator's -- so
+    a plan perturbs a run without perturbing the substrate's random
+    stream.  Same plan + same seed therefore replays byte-identically,
+    and the empty (or all-zero-intensity) plan is provably inert.
+    """
+
+    specs: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Accept any iterable of specs but store a tuple (hashability).
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def is_inert(self) -> bool:
+        """True when no spec can ever perturb anything."""
+        return all(spec.intensity == 0.0 for spec in self.specs)
+
+    def active(self, t: float, kind: Optional[str] = None) -> List[FaultSpec]:
+        """Non-inert specs whose window covers ``t`` (optionally by kind)."""
+        return [spec for spec in self.specs
+                if spec.intensity > 0.0 and spec.active(t)
+                and (kind is None or spec.kind == kind)]
+
+    def scaled(self, factor: float) -> "FaultPlan":
+        """The same schedule with every intensity multiplied by ``factor``.
+
+        The resilience sweep (E13) runs one schedule at several
+        intensities; scaling the plan rather than rebuilding it keeps
+        the windows -- and therefore the recovery-time measurement
+        points -- aligned across arms.
+        """
+        if factor < 0.0:
+            raise ValueError("factor must be non-negative")
+        return FaultPlan(
+            specs=tuple(replace(spec, intensity=spec.intensity * factor)
+                        for spec in self.specs),
+            seed=self.seed)
+
+    def window(self, kind: Optional[str] = None) -> Tuple[float, float]:
+        """The (earliest start, latest end) over non-inert specs.
+
+        Returns ``(nan, nan)`` when nothing matches; E13 uses this to
+        locate the recovery measurement window.
+        """
+        import math
+        matching = [s for s in self.specs if s.intensity > 0.0
+                    and (kind is None or s.kind == kind)]
+        if not matching:
+            return (math.nan, math.nan)
+        return (min(s.start for s in matching), max(s.end for s in matching))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe form."""
+        return {"seed": self.seed,
+                "specs": [spec.as_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`as_dict`."""
+        return cls(specs=tuple(FaultSpec.from_dict(s)
+                               for s in record.get("specs", ())),
+                   seed=int(record.get("seed", 0)))
+
+    @classmethod
+    def build(cls, specs: Iterable[FaultSpec], seed: int = 0) -> "FaultPlan":
+        """Convenience constructor from any iterable of specs."""
+        return cls(specs=tuple(specs), seed=seed)

@@ -4,14 +4,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from ..faults.injector import FaultInjector
 
 import numpy as np
 
 from ..core.goals import Goal
 from ..envgen.workloads import TaskClass, TaskStreamWorkload
-from ..obs import events as obs_events
-from ..obs import metrics as obs_metrics
 from .governor import Governor
 from .platform import Platform, PlatformMetrics
 
@@ -90,36 +91,24 @@ class GovernorRunResult:
 def run_governor(governor: Governor, steps: int = 600,
                  workload: Optional[TaskStreamWorkload] = None,
                  platform: Optional[Platform] = None,
-                 on_step: Optional[Callable[[float], None]] = None) -> GovernorRunResult:
+                 on_step: Optional[Callable[[float], None]] = None,
+                 faults: Optional["FaultInjector"] = None) -> GovernorRunResult:
     """Drive ``governor`` for ``steps`` over the (default) workload.
 
     ``on_step(t)`` runs before each step -- experiments use it to change
     the goal at run time.
+
+    Deprecated shim: the submit/manage/step/feedback loop (and its
+    fault hooks) now lives in :class:`repro.api.MulticoreSimulator`;
+    use that instead.
     """
-    workload = workload if workload is not None else make_workload()
-    platform = platform if platform is not None else make_platform()
-    history: List[PlatformMetrics] = []
-    metrics: Optional[PlatformMetrics] = None
-    for t in range(steps):
-        if on_step is not None:
-            on_step(float(t))
-        platform.submit(workload.arrivals(float(t)))
-        governor.manage(float(t), platform, metrics)
-        metrics = platform.step(float(t))
-        governor.feedback(metrics)
-        if obs_events.enabled():
-            obs_metrics.counter("steps", sim="multicore").increment()
-            if metrics.throttled_cores > 0:
-                obs_metrics.counter("multicore.throttled_steps").increment()
-            obs_metrics.histogram("multicore.throughput").observe(
-                metrics.throughput)
-            obs_metrics.gauge("multicore.max_temperature").set(
-                metrics.max_temperature)
-            obs_events.emit("multicore.step", time=float(t),
-                            throughput=metrics.throughput,
-                            energy=metrics.energy,
-                            max_temperature=metrics.max_temperature,
-                            throttled_cores=metrics.throttled_cores,
-                            queue_length=metrics.queue_length)
-        history.append(metrics)
-    return GovernorRunResult(history=history, platform=platform)
+    import warnings
+    warnings.warn(
+        "run_governor is deprecated; use repro.api.MulticoreSimulator",
+        DeprecationWarning, stacklevel=2)
+    from ..api.adapters import MulticoreSimulator
+    from ..api.configs import MulticoreConfig
+    return MulticoreSimulator(MulticoreConfig(steps=steps),
+                              governor=governor, workload=workload,
+                              platform=platform, on_step=on_step,
+                              faults=faults).run()

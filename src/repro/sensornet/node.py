@@ -13,7 +13,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from ..faults.injector import FaultInjector
 
 import numpy as np
 
@@ -61,12 +64,14 @@ class SensingNode:
 
     def __init__(self, field: ChannelField, attention: AttentionPolicy,
                  budget: float,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 faults: Optional["FaultInjector"] = None) -> None:
         if budget <= 0:
             raise ValueError("budget must be positive")
         self.field = field
         self.attention = attention
         self.budget = budget
+        self.faults = faults
         self.knowledge = KnowledgeBase()
         rng = rng if rng is not None else np.random.default_rng()
         self.suite = SensorSuite()
@@ -93,10 +98,22 @@ class SensingNode:
         return out
 
     def step(self, t: float) -> SensingStepRecord:
-        """Advance the field, attend within budget, score the beliefs."""
+        """Advance the field, attend within budget, score the beliefs.
+
+        An attached fault injector can skew the clock the attention
+        policy sees (staleness misjudged) and drop selected samples
+        before they are taken (the channel read fails this step).
+        """
         self.field.step()
-        scopes = self.attention.select(self.suite, self.knowledge, t,
+        faults = self.faults
+        attend_t = t
+        if faults is not None:
+            faults.begin_step(t)
+            attend_t = faults.perceived_time(t, target="attention")
+        scopes = self.attention.select(self.suite, self.knowledge, attend_t,
                                        self.budget)
+        if faults is not None:
+            scopes = [s for s in scopes if not faults.dropped(target=s.name)]
         readings = self.suite.sample_into(self.knowledge, t, scopes)
         spent = sum(self.suite.sensor(r.scope).cost for r in readings)
         self.total_energy += spent
@@ -115,8 +132,15 @@ class SensingNode:
 
 def run_sensing(field: ChannelField, attention: AttentionPolicy,
                 budget: float, steps: int = 500,
-                rng: Optional[np.random.Generator] = None) -> SensingRunResult:
-    """Drive one node for ``steps`` and return its telemetry."""
-    node = SensingNode(field, attention, budget, rng=rng)
-    records = [node.step(float(t)) for t in range(steps)]
-    return SensingRunResult(records=records)
+                rng: Optional[np.random.Generator] = None,
+                faults: Optional["FaultInjector"] = None) -> SensingRunResult:
+    """Deprecated shim: use :class:`repro.api.SensornetSimulator`."""
+    import warnings
+    warnings.warn(
+        "run_sensing is deprecated; use repro.api.SensornetSimulator",
+        DeprecationWarning, stacklevel=2)
+    from ..api.adapters import SensornetSimulator
+    from ..api.configs import SensornetConfig
+    return SensornetSimulator(SensornetConfig(steps=steps, budget=budget),
+                              field=field, attention=attention, rng=rng,
+                              faults=faults).run()

@@ -24,7 +24,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from ..faults.injector import FaultInjector
 
 import numpy as np
 
@@ -155,8 +158,10 @@ class CameraSimulation:
         self,
         config: CameraSimConfig,
         controller_factory: Callable[[int, np.random.Generator], CameraController],
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         self.config = config
+        self.faults = faults
         self._rng = np.random.default_rng(config.seed)
         if config.random_placement:
             self.network = CameraNetwork.random(
@@ -177,7 +182,7 @@ class CameraSimulation:
         self.records: List[CameraStepRecord] = []
         self._cam_ids = self.network.ids()  # hoisted: ids() copies per call
 
-    def _claim_unowned(self) -> None:
+    def _claim_unowned(self, down=()) -> None:
         """Unowned objects are re-detected only slowly.
 
         Without a handover (which transfers the track directly), a lost
@@ -186,6 +191,7 @@ class CameraSimulation:
         This is the cost of losing a track that makes handover -- and the
         choice of sociality strategy -- consequential, mirroring the
         published model where lost objects forfeit tracking utility.
+        Crashed cameras (``down``) cannot claim.
         """
         for obj in self.population:
             if obj.object_id in self.ownership:
@@ -193,24 +199,31 @@ class CameraSimulation:
             if self._rng.random() >= self.config.detection_rate:
                 continue
             best = self.network.best_observer(obj)
-            if best is not None:
+            if best is not None and best not in down:
                 self.ownership[obj.object_id] = best
 
     def step(self, t: float) -> CameraStepRecord:
         """Run one simulation step; returns the step record."""
         ownership = self.ownership
         cameras = self.network.cameras
+        faults = self.faults
+        down = ()
+        if faults is not None:
+            faults.begin_step(t)
+            down = faults.crashed_targets(self._cam_ids)
         churned = self.population.step()
         for object_id in churned:
             ownership.pop(object_id, None)
 
-        # Drop ownership of objects the owner can no longer see at all.
+        # Drop ownership of objects the owner can no longer see at all
+        # (or whose owner has crashed: its tracks are simply lost).
         for obj in self.population:
             owner = ownership.get(obj.object_id)
-            if owner is not None and not cameras[owner].sees(obj):
+            if owner is not None and (owner in down
+                                      or not cameras[owner].sees(obj)):
                 del ownership[obj.object_id]
 
-        self._claim_unowned()
+        self._claim_unowned(down)
 
         # Tracking utility accrues to current owners.
         utility_by_camera: Dict[int, float] = dict.fromkeys(self._cam_ids, 0.0)
@@ -229,9 +242,12 @@ class CameraSimulation:
             utility_by_camera[owner] += vis
             total_utility += vis
 
-        # Strategy choice and handover auctions.
+        # Strategy choice and handover auctions.  Crashed cameras neither
+        # deliberate nor learn while they are down.
         strategies: Dict[int, Strategy] = {}
         for cid, controller in self.controllers.items():
+            if cid in down:
+                continue
             strategy = controller.choose(t)
             strategies[cid] = strategy
             controller.record_usage(strategy)
@@ -258,7 +274,13 @@ class CameraSimulation:
                 targets = [cid for cid in targets if cid in cand]
             bids = []
             for cid in targets:
+                if cid in down:
+                    continue  # a crashed camera never replies
                 bid_vis = cameras[cid].visibility(obj)
+                if faults is not None and bid_vis > 0.0:
+                    if faults.dropped(target=cid):
+                        continue  # the bid reply is lost in transit
+                    bid_vis = faults.perturb(bid_vis, target=cid)
                 if bid_vis > 0.0:
                     messages_by_camera[cid] += 1  # the bid reply
                     bids.append(Bid(cam_id=cid, amount=bid_vis))
@@ -272,6 +294,8 @@ class CameraSimulation:
         # at the price currently in force (goal-awareness of re-pricing).
         comm_weight = self.config.comm_weight_at(t)
         for cid, controller in self.controllers.items():
+            if cid in down:
+                continue
             reward = (utility_by_camera[cid]
                       - comm_weight * messages_by_camera[cid])
             controller.feedback(reward)
@@ -307,18 +331,31 @@ class CameraSimulation:
 
 
 def run_homogeneous(config: CameraSimConfig, strategy: Strategy) -> CameraSimResult:
-    """Run with every camera fixed to one design-time strategy."""
-    return CameraSimulation(
-        config,
-        controller_factory=lambda cid, rng: FixedStrategyController(cid, strategy),
+    """Deprecated shim: use :class:`repro.api.CameraSimulator`."""
+    import warnings
+    warnings.warn(
+        "run_homogeneous is deprecated; use repro.api.CameraSimulator "
+        "with CameraConfig(controller='fixed', strategy=...)",
+        DeprecationWarning, stacklevel=2)
+    from ..api.adapters import CameraSimulator
+    return CameraSimulator(
+        sim_config=config,
+        controller_factory=lambda cid, rng: FixedStrategyController(
+            cid, strategy),
     ).run()
 
 
 def run_self_aware(config: CameraSimConfig, epsilon: float = 0.1,
                    discount: float = 0.995) -> CameraSimResult:
-    """Run with every camera learning its own strategy (heterogeneous)."""
-    return CameraSimulation(
-        config,
+    """Deprecated shim: use :class:`repro.api.CameraSimulator`."""
+    import warnings
+    warnings.warn(
+        "run_self_aware is deprecated; use repro.api.CameraSimulator "
+        "with CameraConfig(controller='self_aware')",
+        DeprecationWarning, stacklevel=2)
+    from ..api.adapters import CameraSimulator
+    return CameraSimulator(
+        sim_config=config,
         controller_factory=lambda cid, rng: SelfAwareStrategyController(
             cid, epsilon=epsilon, discount=discount, rng=rng),
     ).run()

@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
+if TYPE_CHECKING:
+    from ..faults.injector import FaultInjector
 
 from ..geom import SpatialGrid
 from ..obs import events as obs_events
@@ -116,10 +118,12 @@ class SwarmMission:
 
     def __init__(self, controller: SwarmController,
                  config: SwarmMissionConfig,
-                 use_grid: Optional[bool] = None) -> None:
+                 use_grid: Optional[bool] = None,
+                 faults: Optional["FaultInjector"] = None) -> None:
         self.controller = controller
         self.config = config
         self.use_grid = use_grid if use_grid is not None else USE_WITNESS_GRID
+        self.faults = faults
         self.arena = Arena.with_random_hotspots(
             n_hotspots=config.n_hotspots, seed=config.seed,
             hotspot_fraction=config.hotspot_fraction,
@@ -129,6 +133,9 @@ class SwarmMission:
         self._failures = sorted((f * config.steps, idx)
                                 for f, idx in config.failure_fracs)
         self._failure_cursor = 0
+        self._indices = tuple(range(len(self.robots)))
+        self._config_dead: set = set()
+        self._fault_down: set = set()
         self.records: List[SwarmStepRecord] = []
 
     def step(self, t: float) -> SwarmStepRecord:
@@ -140,7 +147,21 @@ class SwarmMission:
             idx = failures[self._failure_cursor][1]
             if 0 <= idx < len(robots):
                 robots[idx].alive = False
+                self._config_dead.add(idx)
             self._failure_cursor += 1
+        if self.faults is not None:
+            # Crash-and-recover: robots named by the active crash windows
+            # go down, and come back when the window closes -- unless the
+            # mission config had already killed them for good.
+            self.faults.begin_step(t)
+            down = self.faults.crashed_targets(self._indices)
+            for idx in sorted(down - self._fault_down):
+                robots[idx].alive = False
+                self._fault_down.add(idx)
+            for idx in sorted(self._fault_down - down):
+                if idx not in self._config_dead:
+                    robots[idx].alive = True
+                self._fault_down.discard(idx)
         events = self.arena.step(t)
         if self.use_grid:
             witnessed, seen = _witnessed_grid(robots, events)
@@ -163,9 +184,13 @@ class SwarmMission:
 
 def run_mission(controller: SwarmController,
                 config: SwarmMissionConfig,
-                use_grid: Optional[bool] = None) -> SwarmRunResult:
-    """Drive one controller through the configured mission."""
-    mission = SwarmMission(controller, config, use_grid=use_grid)
-    for t in range(config.steps):
-        mission.step(float(t))
-    return SwarmRunResult(records=mission.records)
+                use_grid: Optional[bool] = None,
+                faults: Optional["FaultInjector"] = None) -> SwarmRunResult:
+    """Deprecated shim: use :class:`repro.api.SwarmSimulator`."""
+    import warnings
+    warnings.warn(
+        "run_mission is deprecated; use repro.api.SwarmSimulator",
+        DeprecationWarning, stacklevel=2)
+    from ..api.adapters import SwarmSimulator
+    return SwarmSimulator(mission_config=config, controller=controller,
+                          use_grid=use_grid, faults=faults).run()

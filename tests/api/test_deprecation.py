@@ -1,0 +1,75 @@
+"""Every legacy run_* entry point warns and still returns the old shape."""
+
+import numpy as np
+import pytest
+
+
+class TestCameraShims:
+    def test_run_homogeneous_warns(self):
+        from repro.smartcamera.sim import CameraSimConfig, run_homogeneous
+        from repro.smartcamera.strategies import Strategy
+        config = CameraSimConfig(steps=10, n_objects=3, seed=0)
+        with pytest.warns(DeprecationWarning, match="CameraSimulator"):
+            result = run_homogeneous(config, Strategy.ACTIVE_BROADCAST)
+        assert len(result.records) == 10
+
+    def test_run_self_aware_warns(self):
+        from repro.smartcamera.sim import CameraSimConfig, run_self_aware
+        config = CameraSimConfig(steps=10, n_objects=3, seed=0)
+        with pytest.warns(DeprecationWarning, match="CameraSimulator"):
+            result = run_self_aware(config)
+        assert len(result.records) == 10
+
+
+class TestCloudShim:
+    def test_run_autoscaling_warns(self):
+        from repro.cloud.autoscaler import (StaticScaler, make_cloud_goal,
+                                            run_autoscaling)
+        with pytest.warns(DeprecationWarning, match="CloudSimulator"):
+            history = run_autoscaling(StaticScaler(4), lambda t: 50.0,
+                                      make_cloud_goal(), steps=10)
+        assert len(history) == 10
+
+
+class TestMulticoreShim:
+    def test_run_governor_warns(self):
+        from repro.multicore.governor import StaticGovernor
+        from repro.multicore.sim import run_governor
+        with pytest.warns(DeprecationWarning, match="MulticoreSimulator"):
+            result = run_governor(StaticGovernor(), steps=10)
+        assert len(result.history) == 10
+
+
+class TestCPNShim:
+    def test_run_routing_warns(self):
+        from repro.cpn.routing import StaticRouter
+        from repro.cpn.sim import default_flows, run_routing
+        from repro.cpn.topology import CPNetwork
+        net = CPNetwork.random_geometric(n=12, seed=0)
+        flows = default_flows(net, n_flows=2, seed=0)
+        with pytest.warns(DeprecationWarning, match="CPNSimulator"):
+            result = run_routing(net, StaticRouter(net), flows, steps=10)
+        assert result.records
+
+
+class TestSwarmShim:
+    def test_run_mission_warns(self):
+        from repro.swarm.robots import StaticFormation
+        from repro.swarm.sim import SwarmMissionConfig, run_mission
+        config = SwarmMissionConfig(n_robots=4, steps=10, seed=0)
+        with pytest.warns(DeprecationWarning, match="SwarmSimulator"):
+            result = run_mission(StaticFormation(4), config)
+        assert result.records
+
+
+class TestSensornetShim:
+    def test_run_sensing_warns(self):
+        from repro.core.attention import RoundRobinAttention
+        from repro.sensornet.field import ChannelField, mixed_channel_specs
+        from repro.sensornet.node import run_sensing
+        field = ChannelField(mixed_channel_specs(4, seed=0),
+                             rng=np.random.default_rng(0))
+        with pytest.warns(DeprecationWarning, match="SensornetSimulator"):
+            result = run_sensing(field, RoundRobinAttention(), budget=2.0,
+                                 steps=10)
+        assert result.records

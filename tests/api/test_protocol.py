@@ -1,0 +1,106 @@
+"""The uniform Simulator facade: protocol, configs, registry, replay."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import (SIMULATORS, CameraConfig, CameraSimulator,
+                       CloudConfig, CloudSimulator, CPNConfig, CPNSimulator,
+                       MulticoreConfig, MulticoreSimulator, SensornetConfig,
+                       SensornetSimulator, Simulator, SwarmConfig,
+                       SwarmSimulator, make_simulator)
+
+SMALL = {
+    "smartcamera": CameraConfig(steps=30, n_objects=4, seed=2),
+    "cloud": CloudConfig(steps=40, seed=2),
+    "multicore": MulticoreConfig(steps=40, seed=2),
+    "cpn": CPNConfig(steps=30, n_nodes=12, n_flows=2, seed=2),
+    "swarm": SwarmConfig(steps=30, n_robots=4, seed=2),
+    "sensornet": SensornetConfig(steps=40, n_channels=4, seed=2),
+}
+
+
+class TestRegistry:
+    def test_six_substrates_registered(self):
+        assert set(SIMULATORS) == set(SMALL)
+
+    def test_make_simulator_builds_the_right_adapter(self):
+        for substrate, (config_cls, adapter_cls) in SIMULATORS.items():
+            assert isinstance(SMALL[substrate], config_cls)
+            sim = make_simulator(substrate, SMALL[substrate])
+            assert isinstance(sim, adapter_cls)
+
+    def test_unknown_substrate_names_the_known_ones(self):
+        with pytest.raises(KeyError, match="cloud"):
+            make_simulator("mainframe")
+
+    def test_default_config_per_substrate(self):
+        # No config at all must give a runnable simulator.
+        sim = make_simulator("sensornet")
+        assert isinstance(sim, SensornetSimulator)
+        sim.step()
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("substrate", sorted(SMALL))
+    def test_adapters_satisfy_simulator(self, substrate):
+        sim = make_simulator(substrate, SMALL[substrate])
+        assert isinstance(sim, Simulator)
+
+    @pytest.mark.parametrize("substrate", sorted(SMALL))
+    def test_step_snapshot_metrics_shapes(self, substrate):
+        sim = make_simulator(substrate, SMALL[substrate])
+        for _ in range(5):
+            sim.step()
+        snapshot = sim.snapshot()
+        assert snapshot["substrate"] == substrate
+        assert snapshot["steps_taken"] == 5
+        metrics = sim.metrics()
+        assert metrics and all(isinstance(v, float)
+                               for v in metrics.values())
+
+
+class TestConfigs:
+    def test_frozen(self):
+        config = CloudConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.steps = 7
+
+    def test_keyword_only(self):
+        with pytest.raises(TypeError):
+            CloudConfig(600)
+
+    def test_replace_for_sweeps(self):
+        base = CameraConfig(steps=100)
+        bumped = dataclasses.replace(base, seed=5)
+        assert bumped.seed == 5 and bumped.steps == 100
+
+    def test_camera_fixed_needs_strategy(self):
+        with pytest.raises(ValueError, match="strategy"):
+            CameraSimulator(CameraConfig(controller="fixed"))
+
+
+class TestDeterministicReplay:
+    @pytest.mark.parametrize("substrate", sorted(SMALL))
+    def test_reset_replays_byte_identically(self, substrate):
+        sim = make_simulator(substrate, SMALL[substrate])
+        first = (sim.run(), sim.metrics(), sim.snapshot())
+        sim.reset(SMALL[substrate].seed)
+        second = (sim.run(), sim.metrics(), sim.snapshot())
+        assert first[1] == second[1]
+        assert first[2] == second[2]
+
+    def test_different_seed_differs(self):
+        sim = CloudSimulator(SMALL["cloud"])
+        sim.run()
+        base = sim.metrics()
+        sim.reset(99)
+        sim.run()
+        assert sim.metrics() != base
+
+    def test_two_instances_agree(self):
+        a = SwarmSimulator(SMALL["swarm"])
+        b = SwarmSimulator(SMALL["swarm"])
+        a.run()
+        b.run()
+        assert a.metrics() == b.metrics()

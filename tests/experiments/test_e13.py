@@ -1,0 +1,152 @@
+"""E13: the resilience sweep's scoring, acceptance claims and replay."""
+
+import math
+
+import pytest
+
+from repro.experiments import e13_resilience as e13
+from repro.experiments.engine import (SuiteJob, canonical_suite_text,
+                                      run_suite)
+from repro.obs import TelemetrySession
+
+STEPS = 120
+SHARD_KW = dict(steps=STEPS, intensities=(0.0, 0.5))
+
+
+@pytest.fixture(scope="module")
+def shard():
+    """One seed of the sweep at smoke size, shared across tests."""
+    return e13.run_shard(0, **SHARD_KW)
+
+
+class TestPlans:
+    def test_zero_intensity_means_no_plan(self):
+        assert e13.camera_plan(100, 0.0, seed=0) is None
+        assert e13.cloud_plan(100, 0.0, seed=0) is None
+
+    def test_plans_cover_the_window(self):
+        for make_plan in (e13.camera_plan, e13.cloud_plan):
+            plan = make_plan(100, 0.5, seed=3)
+            assert plan.seed == 3
+            assert not plan.is_inert()
+            lo, hi = plan.window()
+            assert (lo, hi) == (e13.WINDOW[0] * 100, e13.WINDOW[1] * 100)
+
+
+class TestRecoverySteps:
+    def _series(self, steps=100, dip=(40, 60), recover_at=None):
+        series = [1.0] * steps
+        stop = steps if recover_at is None else recover_at
+        for t in range(dip[0], min(stop, steps)):
+            series[t] = 0.0
+        return series
+
+    def test_immediate_recovery_is_zero(self):
+        series = self._series(recover_at=60)  # healthy as the window ends
+        assert e13.recovery_steps(series, 100, smooth=5) == 0.0
+
+    def test_delayed_recovery_counts_steps(self):
+        series = self._series(recover_at=75)
+        value = e13.recovery_steps(series, 100, smooth=5)
+        assert value == 15.0  # smoothed mean regains 90% at offset 75-60
+
+    def test_never_recovering_is_nan(self):
+        assert math.isnan(e13.recovery_steps(
+            self._series(recover_at=None), 100, smooth=5))
+
+    def test_too_short_tail_is_nan(self):
+        assert math.isnan(e13.recovery_steps([1.0] * 62, 100, smooth=5))
+
+
+class TestShardScores:
+    def test_payload_shape(self, shard):
+        assert set(shard) == set(e13.SUBSTRATES)
+        for substrate in shard:
+            assert set(shard[substrate]) == set(e13.ARMS)
+            for arm in e13.ARMS:
+                assert set(shard[substrate][arm]) == {"0", "0.5"}
+                for cell in shard[substrate][arm].values():
+                    assert set(cell) == {"overall", "retained", "recovery"}
+
+    def test_zero_intensity_retains_everything_exactly(self, shard):
+        """The inertness acceptance: retained == 1.0, not approximately."""
+        for substrate in shard:
+            for arm in e13.ARMS:
+                assert shard[substrate][arm]["0"]["retained"] == 1.0
+
+    def test_faults_actually_hurt(self, shard):
+        for substrate in shard:
+            for arm in e13.ARMS:
+                assert (shard[substrate][arm]["0.5"]["overall"]
+                        < shard[substrate][arm]["0"]["overall"])
+
+    def test_self_aware_cloud_keeps_higher_performance_under_faults(
+            self, shard):
+        cloud = shard["cloud"]
+        assert (cloud["self-aware"]["0.5"]["overall"]
+                > cloud["baseline"]["0.5"]["overall"])
+
+
+class TestHeadlineClaim:
+    """The acceptance claim at production size: the self-aware scaler
+    retains more of its clean-run performance through the fault window
+    than the well-provisioned static baseline -- and stays ahead in
+    absolute terms.  Cloud only (four runs), camera rides in ``shard``.
+    """
+
+    def test_self_aware_retains_more_at_full_size(self):
+        steps, seed, intensity = 500, 0, 0.5
+        plan = e13.cloud_plan(steps, intensity, seed)
+        scores = {}
+        for arm in e13.ARMS:
+            clean = e13._run_cloud(arm, steps, seed, None)
+            faulted = e13._run_cloud(arm, steps, seed, plan)
+            scores[arm] = (faulted["overall"] / clean["overall"],
+                           faulted["overall"])
+        assert scores["self-aware"][0] > scores["baseline"][0]
+        assert scores["self-aware"][1] > scores["baseline"][1]
+
+
+class TestReduce:
+    def test_table_shape_and_values(self, shard):
+        table = e13.reduce([shard], seeds=(0,), **SHARD_KW)
+        assert table.experiment_id == "E13"
+        assert len(table.rows) == len(e13.SUBSTRATES) * 2 * len(e13.ARMS)
+        first = table.rows[0]
+        assert set(first) == {"substrate", "controller", "intensity",
+                              "performance", "retained", "recovery_steps"}
+        zero_rows = [r for r in table.rows if r["intensity"] == 0.0]
+        assert all(r["retained"] == 1.0 for r in zero_rows)
+
+    def test_reduce_averages_across_shards(self, shard):
+        table_one = e13.reduce([shard], seeds=(0,), **SHARD_KW)
+        table_two = e13.reduce([shard, shard], seeds=(0, 0), **SHARD_KW)
+        for a, b in zip(table_one.rows, table_two.rows):
+            assert a["performance"] == pytest.approx(b["performance"],
+                                                     nan_ok=True)
+
+
+class TestEngineReplay:
+    """Satellite acceptance: byte-identical sweep at any worker count."""
+
+    def _job(self):
+        return [SuiteJob(name="E13", module="repro.experiments.e13_resilience",
+                         shard_fn="run_shard", reduce_fn="reduce",
+                         seeds=(0, 1), params=dict(SHARD_KW))]
+
+    def test_serial_and_parallel_identical(self):
+        with TelemetrySession() as serial_session:
+            serial = run_suite(self._job(), n_jobs=1,
+                               telemetry=serial_session)
+        with TelemetrySession() as parallel_session:
+            parallel = run_suite(self._job(), n_jobs=4,
+                                 telemetry=parallel_session)
+        assert serial.executed_shards == parallel.executed_shards == 2
+        assert (canonical_suite_text(serial.tables)
+                == canonical_suite_text(parallel.tables))
+        serial_events = [(e.name, e.fields)
+                         for e in serial_session.bus.events()]
+        parallel_events = [(e.name, e.fields)
+                           for e in parallel_session.bus.events()]
+        assert serial_events == parallel_events
+        assert any(name == "fault.start" for name, _ in serial_events)

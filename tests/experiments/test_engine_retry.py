@@ -1,0 +1,120 @@
+"""Shard failure handling: surfaced tracebacks, bounded retry, timeouts.
+
+The flaky shard is a real importable module (written to ``tmp_path``)
+whose first execution leaves a sentinel file and raises; the second
+succeeds.  That makes "fails once, recovers on retry" reproducible in
+both the in-process path and the worker pool (workers are forked, so
+the temporary ``sys.path`` entry carries over).
+"""
+
+import sys
+import textwrap
+
+import pytest
+
+from repro.experiments.engine import RetryPolicy, SuiteJob, run_suite
+
+FLAKY_SOURCE = textwrap.dedent("""\
+    import os
+
+    from repro.experiments.harness import ExperimentTable
+
+
+    def run_shard(seed, sentinel=None, always_fail=False, sleep=0.0):
+        if sleep:
+            import time
+            time.sleep(sleep)
+        if always_fail:
+            raise RuntimeError("boom (permanent)")
+        marker = f"{sentinel}.{seed}"
+        if not os.path.exists(marker):
+            with open(marker, "w"):
+                pass
+            raise RuntimeError("boom (transient)")
+        return {"seed": seed}
+
+
+    def reduce(shards, seeds=(), sentinel=None, always_fail=False,
+               sleep=0.0):
+        table = ExperimentTable(experiment_id="FLAKY", title="flaky",
+                                columns=["seed"])
+        for shard in shards:
+            table.add_row(seed=float(shard["seed"]))
+        return table
+""")
+
+
+@pytest.fixture
+def flaky_job(tmp_path, monkeypatch):
+    (tmp_path / "flaky_shard_mod.py").write_text(FLAKY_SOURCE)
+    monkeypatch.syspath_prepend(str(tmp_path))
+    sys.modules.pop("flaky_shard_mod", None)
+
+    def make(seeds=(0,), **params):
+        params.setdefault("sentinel", str(tmp_path / "sentinel"))
+        return [SuiteJob(name="FLAKY", module="flaky_shard_mod",
+                         shard_fn="run_shard", reduce_fn="reduce",
+                         seeds=seeds, params=params)]
+
+    yield make
+    sys.modules.pop("flaky_shard_mod", None)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="backoff"):
+            RetryPolicy(backoff=-1.0)
+        with pytest.raises(ValueError, match="timeout"):
+            RetryPolicy(timeout=0.0)
+
+    def test_exponential_delay(self):
+        policy = RetryPolicy(max_attempts=4, backoff=0.5)
+        assert [policy.delay(n) for n in (1, 2, 3)] == [0.5, 1.0, 2.0]
+
+
+class TestTracebackSurfacing:
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_failure_carries_worker_traceback(self, flaky_job, n_jobs):
+        # Two seeds so n_jobs=2 really exercises the pool branch (one
+        # pending shard short-circuits to the in-process path).
+        with pytest.raises(RuntimeError) as exc_info:
+            run_suite(flaky_job(seeds=(0, 1), always_fail=True),
+                      n_jobs=n_jobs)
+        message = str(exc_info.value)
+        # Which shard, how often it was tried, and the real traceback.
+        assert "FLAKY" in message and "seed 0" in message
+        assert "failed after 1 attempt" in message
+        assert "worker traceback follows" in message
+        assert "boom (permanent)" in message
+        assert "flaky_shard_mod" in message  # frames, not just the message
+
+    def test_no_retry_by_default(self, flaky_job):
+        with pytest.raises(RuntimeError, match="boom"):
+            run_suite(flaky_job(), n_jobs=1)
+
+
+class TestRetryRecovery:
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_transient_failure_recovers(self, flaky_job, n_jobs):
+        retry = RetryPolicy(max_attempts=2, backoff=0.0)
+        report = run_suite(flaky_job(seeds=(0, 1)), n_jobs=n_jobs,
+                           retry=retry)
+        assert report.executed_shards == 2
+        assert [row["seed"] for row in report.tables[0].rows] == [0.0, 1.0]
+
+    def test_attempts_exhausted_still_raises(self, flaky_job):
+        retry = RetryPolicy(max_attempts=3, backoff=0.0)
+        with pytest.raises(RuntimeError, match="failed after 3 attempt"):
+            run_suite(flaky_job(always_fail=True), n_jobs=1, retry=retry)
+
+
+class TestTimeout:
+    def test_hung_shard_times_out_in_pool(self, flaky_job):
+        # Two shards: a single pending shard would take the in-process
+        # path, where a hung shard cannot be pre-empted.
+        retry = RetryPolicy(max_attempts=1, backoff=0.0, timeout=0.5)
+        with pytest.raises(RuntimeError, match="timed out after 0.5s"):
+            run_suite(flaky_job(seeds=(0, 1), sleep=30.0), n_jobs=2,
+                      retry=retry)

@@ -1,0 +1,189 @@
+"""The degradation monitor: hysteresis plus the three fallback policies."""
+
+import math
+
+import pytest
+
+from repro.core.attention import FullAttention, SalienceAttention
+from repro.core.levels import CapabilityProfile, SelfAwarenessLevel
+from repro.faults.degrade import (CHEAPER_LEVEL, HOLD_LAST_GOOD,
+                                  WIDEN_ATTENTION, DegradationMonitor,
+                                  model_confidence)
+from repro.obs import TelemetrySession
+
+
+class _Model:
+    """Scriptable stand-in for a reasoner's action model."""
+
+    def __init__(self):
+        self.value = 1.0
+
+    def confidence(self, context, action):
+        return self.value
+
+
+class _Reasoner:
+    def __init__(self):
+        self.model = _Model()
+
+
+class _Node:
+    """The attribute surface the monitor touches on a SelfAwareNode."""
+
+    def __init__(self):
+        self.name = "n0"
+        self.reasoner = _Reasoner()
+        self.profile = CapabilityProfile.full_stack()
+        self.attention = SalienceAttention()
+        self.attention_budget = 2.0
+
+
+def _feed(monitor, node, confidences, actions=None, start=0.0):
+    applied = []
+    for i, confidence in enumerate(confidences):
+        node.reasoner.model.value = confidence
+        action = actions[i] if actions is not None else f"a{i}"
+        applied.append(monitor.filter_action(start + i, node, {}, action))
+    return applied
+
+
+class TestValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown degradation policy"):
+            DegradationMonitor(policy="panic")
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="window"):
+            DegradationMonitor(window=0)
+
+
+class TestHysteresis:
+    def test_enters_after_window_consecutive_lows(self):
+        monitor = DegradationMonitor(threshold=0.5, window=3)
+        node = _Node()
+        _feed(monitor, node, [0.9, 0.1, 0.1])
+        assert not monitor.degraded  # only two consecutive lows
+        _feed(monitor, node, [0.1], start=3.0)
+        assert monitor.degraded
+        assert len(monitor.episodes) == 1
+
+    def test_interrupted_run_does_not_enter(self):
+        monitor = DegradationMonitor(threshold=0.5, window=3)
+        node = _Node()
+        _feed(monitor, node, [0.1, 0.1, 0.6, 0.1, 0.1])
+        assert not monitor.degraded
+
+    def test_exits_after_window_consecutive_highs(self):
+        monitor = DegradationMonitor(threshold=0.5, window=2)
+        node = _Node()
+        _feed(monitor, node, [0.1, 0.1])
+        assert monitor.degraded
+        _feed(monitor, node, [0.9], start=2.0)
+        assert monitor.degraded  # one high is not enough
+        _feed(monitor, node, [0.9], start=3.0)
+        assert not monitor.degraded
+        assert monitor.episodes == [(1.0, 3.0)]
+
+    def test_wider_recover_threshold(self):
+        monitor = DegradationMonitor(threshold=0.3, recover_threshold=0.8,
+                                     window=2)
+        node = _Node()
+        _feed(monitor, node, [0.1, 0.1])
+        assert monitor.degraded
+        # 0.5 is above the entry threshold but below the recovery bar.
+        _feed(monitor, node, [0.5, 0.5, 0.5], start=2.0)
+        assert monitor.degraded
+        _feed(monitor, node, [0.9, 0.9], start=5.0)
+        assert not monitor.degraded
+
+    def test_no_model_passes_through(self):
+        monitor = DegradationMonitor(threshold=0.5, window=1)
+
+        class _Static:
+            pass
+
+        node = _Node()
+        node.reasoner = _Static()  # no .model attribute
+        assert model_confidence(node, {}, "a") is None
+        assert monitor.filter_action(0.0, node, {}, "a") == "a"
+        assert not monitor.degraded
+
+    def test_degraded_steps_accounting(self):
+        monitor = DegradationMonitor(threshold=0.5, window=1)
+        node = _Node()
+        _feed(monitor, node, [0.1, 0.1, 0.9, 0.9, 0.1])
+        # Episode 1: [0, 2); episode 2 still open at t=4.
+        assert monitor.degraded_steps() == pytest.approx(2.0)
+        assert monitor.degraded_steps(final_time=6.0) == pytest.approx(4.0)
+
+
+class TestHoldLastGood:
+    def test_repeats_last_healthy_action_while_degraded(self):
+        monitor = DegradationMonitor(policy=HOLD_LAST_GOOD, threshold=0.5,
+                                     window=2)
+        node = _Node()
+        applied = _feed(monitor, node, [0.9, 0.1, 0.1, 0.1],
+                        actions=["good", "x", "y", "z"])
+        # "Last good" means the last action chosen while *not degraded*:
+        # "x" was applied before the hysteresis window filled, so it is
+        # what gets held -- fresh low-confidence choices are not.
+        assert applied == ["good", "x", "x", "x"]
+
+    def test_releases_on_recovery(self):
+        monitor = DegradationMonitor(policy=HOLD_LAST_GOOD, threshold=0.5,
+                                     window=1)
+        node = _Node()
+        applied = _feed(monitor, node, [0.9, 0.1, 0.9],
+                        actions=["good", "x", "fresh"])
+        assert applied == ["good", "good", "fresh"]
+
+
+class TestCheaperLevel:
+    def test_sheds_meta_then_restores(self):
+        monitor = DegradationMonitor(policy=CHEAPER_LEVEL, threshold=0.5,
+                                     window=1)
+        node = _Node()
+        full = node.profile
+        assert full.has(SelfAwarenessLevel.META)
+        _feed(monitor, node, [0.1])
+        assert monitor.degraded
+        assert not node.profile.has(SelfAwarenessLevel.META)
+        assert node.profile.has(SelfAwarenessLevel.STIMULUS)
+        _feed(monitor, node, [0.9], start=1.0)
+        assert node.profile is full
+
+
+class TestWidenAttention:
+    def test_full_attention_and_budget_lift_then_restore(self):
+        monitor = DegradationMonitor(policy=WIDEN_ATTENTION, threshold=0.5,
+                                     window=1, budget_factor=4.0)
+        node = _Node()
+        narrow = node.attention
+        _feed(monitor, node, [0.1])
+        assert isinstance(node.attention, FullAttention)
+        assert node.attention_budget == pytest.approx(8.0)
+        _feed(monitor, node, [0.9], start=1.0)
+        assert node.attention is narrow
+        assert node.attention_budget == pytest.approx(2.0)
+
+    def test_unbounded_budget_stays_unbounded(self):
+        monitor = DegradationMonitor(policy=WIDEN_ATTENTION, threshold=0.5,
+                                     window=1)
+        node = _Node()
+        node.attention_budget = math.inf
+        _feed(monitor, node, [0.1])
+        assert math.isinf(node.attention_budget)
+
+
+class TestEvents:
+    def test_enter_and_exit_emitted(self):
+        with TelemetrySession() as session:
+            monitor = DegradationMonitor(threshold=0.5, window=1)
+            node = _Node()
+            _feed(monitor, node, [0.1, 0.9])
+            enters = session.bus.events("degrade.enter")
+            exits = session.bus.events("degrade.exit")
+        assert len(enters) == 1 and len(exits) == 1
+        assert enters[0].get("node") == "n0"
+        assert enters[0].get("policy") == HOLD_LAST_GOOD
+        assert exits[0].get("time") == 1.0

@@ -1,0 +1,79 @@
+"""The acceptance criterion: an all-zero-intensity plan changes nothing.
+
+Two layers of proof per substrate.  First, a zero-intensity
+:class:`FaultPlan` resolves to no injector at all, so the code path is
+*instruction*-identical to ``faults=None``.  Second, an injector whose
+windows never open (live intensities, but scheduled after the run ends)
+exercises every hook's identity short-circuit in situ -- the run must
+still be byte-identical.
+"""
+
+import pytest
+
+from repro.api import (CameraConfig, CameraSimulator, CloudConfig,
+                       CloudSimulator, CPNConfig, CPNSimulator,
+                       MulticoreConfig, MulticoreSimulator, SensornetConfig,
+                       SensornetSimulator, SwarmConfig, SwarmSimulator)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (CRASH, FAULT_KINDS, SENSOR_NOISE, FaultPlan,
+                               FaultSpec)
+
+#: Every kind at zero intensity, windows covering the whole run.
+ZERO_PLAN = FaultPlan(specs=tuple(
+    FaultSpec(kind=kind, start=0.0, end=1e9, intensity=0.0)
+    for kind in FAULT_KINDS), seed=13)
+
+#: Live intensities, but the windows open long after any test run ends.
+DORMANT_PLAN = FaultPlan(specs=(
+    FaultSpec(kind=CRASH, start=1e8, end=1e9, intensity=0.8),
+    FaultSpec(kind=SENSOR_NOISE, start=1e8, end=1e9, intensity=2.0),
+), seed=13)
+
+CASES = [
+    ("smartcamera", CameraSimulator,
+     CameraConfig(steps=40, n_objects=4, seed=1)),
+    ("cloud", CloudSimulator, CloudConfig(steps=60, seed=1)),
+    ("multicore", MulticoreSimulator, MulticoreConfig(steps=60, seed=1)),
+    ("cpn", CPNSimulator,
+     CPNConfig(steps=50, n_nodes=15, n_flows=3, seed=1)),
+    ("swarm", SwarmSimulator, SwarmConfig(steps=50, n_robots=5, seed=1)),
+    ("sensornet", SensornetSimulator,
+     SensornetConfig(steps=60, n_channels=4, seed=1)),
+]
+
+
+def _run(adapter_cls, config, faults):
+    sim = adapter_cls(config, faults=faults)
+    sim.run()
+    return sim.metrics(), sim.snapshot()
+
+
+@pytest.mark.parametrize("name,adapter_cls,config", CASES,
+                         ids=[c[0] for c in CASES])
+def test_zero_intensity_plan_is_byte_identical(name, adapter_cls, config):
+    clean_metrics, clean_snapshot = _run(adapter_cls, config, None)
+    zero_metrics, zero_snapshot = _run(adapter_cls, config, ZERO_PLAN)
+    assert zero_metrics == clean_metrics  # exact float equality
+    assert zero_snapshot == clean_snapshot
+
+
+@pytest.mark.parametrize("name,adapter_cls,config", CASES,
+                         ids=[c[0] for c in CASES])
+def test_dormant_injector_is_byte_identical(name, adapter_cls, config):
+    clean_metrics, clean_snapshot = _run(adapter_cls, config, None)
+    injector = FaultInjector(DORMANT_PLAN, run_seed=config.seed)
+    dormant_metrics, dormant_snapshot = _run(adapter_cls, config, injector)
+    assert dormant_metrics == clean_metrics
+    assert dormant_snapshot == clean_snapshot
+
+
+def test_nonzero_plan_actually_perturbs():
+    """The counter-check: the harness would catch a disconnected injector."""
+    plan = FaultPlan(specs=(
+        FaultSpec(kind=CRASH, start=15.0, end=45.0, intensity=0.6),
+        FaultSpec(kind=SENSOR_NOISE, start=15.0, end=45.0, intensity=5.0,
+                  target="demand"),), seed=13)
+    config = CloudConfig(steps=60, seed=1)
+    clean_metrics, _ = _run(CloudSimulator, config, None)
+    faulted_metrics, _ = _run(CloudSimulator, config, plan)
+    assert faulted_metrics != clean_metrics

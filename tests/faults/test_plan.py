@@ -1,0 +1,100 @@
+"""Fault plans are data: validated, hashable, round-trippable."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.faults.plan import (CRASH, FAULT_KINDS, LINK_DEGRADE, SENSOR_NOISE,
+                               WORKLOAD_SPIKE, FaultPlan, FaultSpec)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="gremlins", start=0.0, end=1.0, intensity=0.5)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError, match="end > start"):
+            FaultSpec(kind=CRASH, start=5.0, end=5.0, intensity=0.5)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultSpec(kind=CRASH, start=0.0, end=1.0, intensity=-0.1)
+
+    def test_active_is_half_open(self):
+        spec = FaultSpec(kind=SENSOR_NOISE, start=10.0, end=20.0,
+                         intensity=1.0)
+        assert not spec.active(9.999)
+        assert spec.active(10.0)
+        assert spec.active(19.999)
+        assert not spec.active(20.0)
+
+    def test_dict_roundtrip(self):
+        spec = FaultSpec(kind=LINK_DEGRADE, start=1.0, end=2.0,
+                         intensity=0.3, target=7)
+        assert FaultSpec.from_dict(spec.as_dict()) == spec
+
+    def test_all_kinds_constructible(self):
+        for kind in FAULT_KINDS:
+            FaultSpec(kind=kind, start=0.0, end=1.0, intensity=0.1)
+
+
+class TestFaultPlan:
+    def _plan(self):
+        return FaultPlan(specs=(
+            FaultSpec(kind=CRASH, start=10.0, end=20.0, intensity=0.4),
+            FaultSpec(kind=SENSOR_NOISE, start=15.0, end=30.0,
+                      intensity=0.0),
+            FaultSpec(kind=WORKLOAD_SPIKE, start=25.0, end=40.0,
+                      intensity=1.5),
+        ), seed=3)
+
+    def test_empty_plan_is_inert(self):
+        assert FaultPlan().is_inert()
+        assert len(FaultPlan()) == 0
+
+    def test_zero_intensity_plan_is_inert(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind=CRASH, start=0.0, end=9.0, intensity=0.0),))
+        assert plan.is_inert()
+        assert not self._plan().is_inert()
+
+    def test_active_skips_inert_specs(self):
+        plan = self._plan()
+        # t=16: crash active, the zero-intensity noise spec never is.
+        assert [s.kind for s in plan.active(16.0)] == [CRASH]
+        assert plan.active(16.0, kind=SENSOR_NOISE) == []
+        assert plan.active(5.0) == []
+
+    def test_scaled_preserves_windows(self):
+        plan = self._plan()
+        doubled = plan.scaled(2.0)
+        assert doubled.seed == plan.seed
+        assert [(s.start, s.end) for s in doubled] == \
+            [(s.start, s.end) for s in plan]
+        assert [s.intensity for s in doubled] == [0.8, 0.0, 3.0]
+        assert plan.scaled(0.0).is_inert()
+        with pytest.raises(ValueError):
+            plan.scaled(-1.0)
+
+    def test_window_spans_non_inert_specs(self):
+        plan = self._plan()
+        assert plan.window() == (10.0, 40.0)
+        assert plan.window(kind=CRASH) == (10.0, 20.0)
+        lo, hi = plan.window(kind=SENSOR_NOISE)  # only the inert spec
+        assert math.isnan(lo) and math.isnan(hi)
+
+    def test_dict_roundtrip(self):
+        plan = self._plan()
+        assert FaultPlan.from_dict(plan.as_dict()) == plan
+
+    def test_hashable_and_picklable(self):
+        plan = self._plan()
+        assert hash(plan) == hash(FaultPlan.from_dict(plan.as_dict()))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_list_specs_coerced_to_tuple(self):
+        plan = FaultPlan(specs=[
+            FaultSpec(kind=CRASH, start=0.0, end=1.0, intensity=0.5)])
+        assert isinstance(plan.specs, tuple)
