@@ -15,9 +15,9 @@ the deterministic fault injector (see :mod:`repro.faults`).
 
 from .adapters import (SIMULATORS, CameraSimulator, CloudSimulator,
                        CPNSimulator, MulticoreSimulator, SensornetSimulator,
-                       SwarmSimulator, make_simulator)
+                       ServeSimulator, SwarmSimulator, make_simulator)
 from .configs import (CameraConfig, CloudConfig, CPNConfig, MulticoreConfig,
-                      SensornetConfig, SwarmConfig)
+                      SensornetConfig, ServeConfig, SwarmConfig)
 from .protocol import Simulator
 
 __all__ = [
@@ -30,4 +30,5 @@ __all__ = [
     "CPNConfig", "CPNSimulator",
     "SwarmConfig", "SwarmSimulator",
     "SensornetConfig", "SensornetSimulator",
+    "ServeConfig", "ServeSimulator",
 ]

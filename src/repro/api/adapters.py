@@ -30,7 +30,7 @@ from ..faults.plan import FaultPlan
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
 from .configs import (CameraConfig, CloudConfig, CPNConfig, MulticoreConfig,
-                      SensornetConfig, SwarmConfig)
+                      SensornetConfig, ServeConfig, SwarmConfig)
 
 Faults = Union[FaultPlan, FaultInjector, None]
 
@@ -681,6 +681,56 @@ class SensornetSimulator:
         return self.result()
 
 
+# ---------------------------------------------------------------------------
+# Serving layer
+
+
+class ServeSimulator:
+    """The serving-layer control loop behind the protocol.
+
+    The one substrate that is *about* the reproduction itself: the
+    simulated system is the self-aware request-serving layer of
+    :mod:`repro.serve`, with the real governor and admission controller
+    in the control seat (see :mod:`repro.serve.simulation`).
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None, *,
+                 governor: Optional[Any] = None,
+                 faults: Faults = None) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self._governor_given = governor
+        self._faults = faults
+        self.reset(self.config.seed)
+
+    def reset(self, seed: Optional[int] = None) -> "ServeSimulator":
+        from ..serve.simulation import ServingSimulation
+        seed = self.config.seed if seed is None else seed
+        if self.config.seed == seed:
+            config = self.config
+        else:
+            import dataclasses
+            config = dataclasses.replace(self.config, seed=seed)
+        self._sim = ServingSimulation(
+            config, governor=self._governor_given,
+            faults=_resolve_injector(self._faults, seed))
+        return self
+
+    def step(self):
+        return self._sim.step()
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self._sim.snapshot()
+
+    def metrics(self) -> Dict[str, float]:
+        return self._sim.metrics()
+
+    def result(self):
+        return self._sim.records
+
+    def run(self):
+        return self._sim.run()
+
+
 #: Declarative registry: substrate name -> (config class, adapter class).
 SIMULATORS = {
     "smartcamera": (CameraConfig, CameraSimulator),
@@ -689,15 +739,22 @@ SIMULATORS = {
     "cpn": (CPNConfig, CPNSimulator),
     "swarm": (SwarmConfig, SwarmSimulator),
     "sensornet": (SensornetConfig, SensornetSimulator),
+    "serve": (ServeConfig, ServeSimulator),
 }
 
 
 def make_simulator(substrate: str, config: Optional[Any] = None,
                    **kwargs: Any):
-    """Build the adapter for ``substrate`` (see :data:`SIMULATORS`)."""
+    """Build the adapter for ``substrate`` (see :data:`SIMULATORS`).
+
+    Raises ``ValueError`` -- not a bare ``KeyError`` -- on an unknown
+    name, listing the registered substrates so the caller's typo is a
+    one-glance fix.
+    """
     try:
         _, adapter_cls = SIMULATORS[substrate]
     except KeyError:
         known = ", ".join(sorted(SIMULATORS))
-        raise KeyError(f"unknown substrate {substrate!r}; known: {known}")
+        raise ValueError(
+            f"unknown substrate {substrate!r}; known: {known}") from None
     return adapter_cls(config, **kwargs)

@@ -143,3 +143,42 @@ class SensornetConfig:
     #: ``"salience"``, ``"round_robin"``, ``"random"`` or ``"full"``.
     attention: str = "salience"
     staleness_scale: float = 1.0
+
+
+@dataclass(frozen=True, kw_only=True)
+class ServeConfig:
+    """Serving-layer control loop run (:mod:`repro.serve.simulation`):
+    Poisson request arrivals against an admission-gated worker pool,
+    governed by either the self-aware :class:`~repro.serve.governor.ServeGovernor`
+    or a static design-time configuration."""
+
+    steps: int = 400
+    seed: int = 0
+    #: Mean offered load in requests per tick (Poisson draws per tick).
+    offered_load: float = 12.0
+    #: Optional seasonal modulation of the offered load (0 disables).
+    spike_amplitude: float = 0.0
+    period: float = 200.0
+    #: Mean service demand per request, in abstract work units.
+    mean_service: float = 1.0
+    #: Work units one worker serves per tick.
+    per_worker_rate: float = 4.0
+    #: ``"self_aware"`` (ServeGovernor) or ``"static"``.
+    governor: str = "self_aware"
+    static_workers: int = 2
+    min_workers: int = 1
+    max_workers: int = 16
+    #: The p95-latency SLO, in ticks; also the goodput deadline.
+    slo_p95: float = 8.0
+    #: Governor cadence: one tick() every this many simulation ticks.
+    govern_every: int = 4
+    #: Scale-up lag: ordered workers come online this many ticks later.
+    boot_delay: int = 2
+    admit_headroom: float = 1.25
+    #: Ticks excluded from metrics() (the governor's learning ramp).
+    warmup: int = 80
+    #: Window (ticks) for the sensed arrival rate.
+    stats_window: int = 25
+    #: Window (completions) for the sensed p95 latency.
+    latency_window: int = 200
+    epsilon: float = 0.02

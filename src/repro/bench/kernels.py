@@ -306,6 +306,68 @@ def _emit_setup(enabled: bool) -> StepRunner:
     return run
 
 
+def _serve_dispatch_setup() -> StepRunner:
+    """Full in-process server round-trip per step: admission -> session
+    lookup -> batch queue -> dispatcher -> response.  Measures the
+    serving layer's overhead on top of a deliberately light substrate."""
+    import asyncio
+    import atexit
+
+    from ..serve.server import InProcessClient, SimulationServer
+
+    loop = asyncio.new_event_loop()
+    server = SimulationServer(workers=0, governor="self_aware",
+                              admission_rate=1e9, admission_burst=1e9,
+                              max_queue=1e9, govern_interval=3600.0)
+    loop.run_until_complete(server.start(listen=False))
+
+    def _cleanup() -> None:
+        if not loop.is_closed():
+            loop.run_until_complete(server.stop())
+            loop.close()
+
+    atexit.register(_cleanup)
+    client = InProcessClient(server)
+    created = loop.run_until_complete(
+        client.request({"op": "create", "substrate": "sensornet",
+                        "config": {"steps": 10, "n_channels": 4,
+                                   "seed": 0}}))
+    session = created["session"]
+
+    def run(n: int) -> None:
+        async def burst() -> None:
+            for _ in range(int(n)):
+                await client.step(session, n=1)
+        loop.run_until_complete(burst())
+
+    return run
+
+
+def _serve_batch_setup() -> StepRunner:
+    """Batch dispatcher throughput: 8 sessions stepped in coalesced
+    batches through the worker cache (one step counted per request)."""
+    from ..api.configs import SensornetConfig
+    from ..serve.batching import BatchDispatcher, StepRequest
+
+    n_sessions = 8
+    configs = [SensornetConfig(steps=10, n_channels=4, seed=i)
+               for i in range(n_sessions)]
+    bases = [0] * n_sessions
+    dispatcher = BatchDispatcher(workers=0, max_batch=n_sessions)
+
+    def run(n: int) -> None:
+        done = 0
+        while done < int(n):
+            take = min(n_sessions, int(n) - done)
+            requests = [StepRequest(f"bench{i}", "sensornet", configs[i],
+                                    bases[i], 1) for i in range(take)]
+            for i, result in enumerate(dispatcher.submit(requests)):
+                bases[i] = result["steps_taken"]
+            done += take
+
+    return run
+
+
 KERNELS: List[KernelSpec] = [
     KernelSpec(
         name="camera.step",
@@ -372,6 +434,18 @@ KERNELS: List[KernelSpec] = [
         steps=400, quick_steps=80,
         description="Cloud autoscaler step inside an open fault window "
                     "vs the clean run"),
+    KernelSpec(
+        name="serve.dispatch",
+        setup=_serve_dispatch_setup,
+        steps=400, quick_steps=80,
+        description="In-process server dispatch round-trip (admission, "
+                    "session table, batch queue, dispatcher)"),
+    KernelSpec(
+        name="serve.batch",
+        setup=_serve_batch_setup,
+        steps=800, quick_steps=160,
+        description="Batch dispatcher throughput over 8 cached sessions "
+                    "(coalesce + incremental worker-cache stepping)"),
     KernelSpec(
         name="obs.emit",
         setup=lambda: _emit_setup(True),

@@ -1,0 +1,127 @@
+"""E14 -- self-aware serving: a governor versus a design-time pool.
+
+PR 5's tentpole claim, made measurable.  The serving layer of
+:mod:`repro.serve` is driven through its deterministic discrete-time
+model (the ``serve`` substrate of the :mod:`repro.api` registry) across
+an offered-load sweep, comparing two control arms over identical request
+streams:
+
+``static``
+    A design-time configuration: a fixed worker pool (sized for the
+    *typical* load) with admission derived from its fixed capacity --
+    the conventional deployment the paper argues against.
+``governor``
+    The :class:`~repro.serve.governor.ServeGovernor`: stimulus/time/goal
+    awareness over queue depth, arrival rate and p95 latency, a learned
+    capacity self-model, and self-expression through pool size and
+    admission settings.
+
+Figures of merit per (load, arm) cell, scored post-warmup:
+
+``goodput``
+    Completions per tick that met the latency SLO.
+``p95_latency``
+    95th-percentile request latency in ticks (the SLO is
+    ``ServeConfig.slo_p95``).
+``shed_fraction``
+    Fraction of offered requests shed by admission control.
+``mean_pool``
+    Average provisioned workers (the cost side of the trade-off).
+
+The headline acceptance claim -- checked by ``tests/experiments/test_e14.py``
+-- is that at the highest offered load the governor sustains at least
+1.5x the static pool's goodput while keeping p95 latency within the SLO.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .harness import ExperimentTable
+
+ARMS = ("static", "governor")
+
+#: Full-size sweep defaults (the quick suite overrides via params).
+LOADS = (4.0, 8.0, 16.0, 28.0)
+STEPS = 600
+
+
+def run_shard(seed: int, steps: int = STEPS,
+              loads: Sequence[float] = LOADS
+              ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """One seed: arm -> offered load -> scored metrics (JSON-safe)."""
+    from ..api import ServeConfig, make_simulator
+    payload: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for arm in ARMS:
+        cells: Dict[str, Dict[str, float]] = {}
+        for load in loads:
+            config = ServeConfig(
+                steps=steps, seed=seed, offered_load=float(load),
+                governor="self_aware" if arm == "governor" else "static")
+            sim = make_simulator("serve", config)
+            sim.run()
+            metrics = sim.metrics()
+            cells[f"{load:g}"] = {key: float(metrics[key]) for key in
+                                  ("goodput", "p95_latency", "shed_fraction",
+                                   "mean_pool", "slo_attainment", "offered")}
+        payload[arm] = cells
+    return payload
+
+
+def _nanmean(values: List[float]) -> float:
+    finite = [v for v in values if not math.isnan(v)]
+    return float(np.mean(finite)) if finite else math.nan
+
+
+def reduce(shards: Sequence[Dict], seeds: Sequence[int] = (),
+           steps: int = STEPS,
+           loads: Sequence[float] = LOADS) -> ExperimentTable:
+    """Seed-average the serving sweep into the E14 table."""
+    table = ExperimentTable(
+        experiment_id="E14",
+        title="Self-aware serving: goodput, latency and shedding vs a "
+              "static pool across offered load",
+        columns=["offered_load", "arm", "goodput", "p95_latency",
+                 "shed_fraction", "mean_pool", "slo_attainment"],
+        notes=("serve substrate (repro.serve.simulation): Poisson "
+               "arrivals, admission-gated FIFO queue, worker pool with "
+               "boot delay; 'goodput' = SLO-met completions per tick "
+               "scored post-warmup; static arm = "
+               "design-time pool of ServeConfig.static_workers; governor "
+               "arm = ServeGovernor (learned capacity model + p95 SLO "
+               "constraint + degradation monitor)"))
+    for load in loads:
+        key = f"{load:g}"
+        for arm in ARMS:
+            cells = [shard[arm][key] for shard in shards]
+            table.add_row(
+                offered_load=float(load), arm=arm,
+                goodput=_nanmean([c["goodput"] for c in cells]),
+                p95_latency=_nanmean([c["p95_latency"] for c in cells]),
+                shed_fraction=_nanmean([c["shed_fraction"] for c in cells]),
+                mean_pool=_nanmean([c["mean_pool"] for c in cells]),
+                slo_attainment=_nanmean(
+                    [c["slo_attainment"] for c in cells]))
+    top = f"{max(loads):g}"
+    static_good = _nanmean([s["static"][top]["goodput"] for s in shards])
+    governor_good = _nanmean([s["governor"][top]["goodput"] for s in shards])
+    if static_good > 1e-9:
+        table.append_note(
+            f"at offered load {top}: governor goodput is "
+            f"{governor_good / static_good:.2f}x the static pool's")
+    return table
+
+
+def run(seeds: Sequence[int] = (0, 1, 2), steps: int = STEPS,
+        loads: Sequence[float] = LOADS) -> ExperimentTable:
+    """The full sweep, serial (the suite shards it by seed)."""
+    return reduce([run_shard(seed, steps=steps, loads=loads)
+                   for seed in seeds], seeds=seeds, steps=steps, loads=loads)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from .harness import print_tables
+    print_tables([run()])

@@ -85,6 +85,8 @@ def suite_jobs(quick: bool = False) -> List[SuiteJob]:
             _job("E12", "e12_swarm", (0,), steps=300, n_robots=9),
             _job("E13", "e13_resilience", (0,), steps=240,
                  intensities=(0.0, 0.5)),
+            _job("E14", "e14_serving", (0,), steps=300,
+                 loads=(4.0, 16.0)),
             _job("A1", "ablations", (0,), "run_aggregation_shard",
                  "reduce_aggregation", steps=700),
             _job("A2", "ablations", (0,), "run_forecasters_shard",
@@ -122,6 +124,8 @@ def suite_jobs(quick: bool = False) -> List[SuiteJob]:
         _job("E12", "e12_swarm", (0, 1, 2), steps=800, n_robots=9),
         _job("E13", "e13_resilience", (0, 1, 2), steps=500,
              intensities=(0.0, 0.3, 0.6)),
+        _job("E14", "e14_serving", (0, 1, 2), steps=600,
+             loads=(4.0, 8.0, 16.0, 28.0)),
         _job("A1", "ablations", (0, 1, 2, 3), "run_aggregation_shard",
              "reduce_aggregation", steps=1200),
         _job("A2", "ablations", (0, 1, 2), "run_forecasters_shard",
@@ -133,6 +137,23 @@ def suite_jobs(quick: bool = False) -> List[SuiteJob]:
              "reduce_knowledge_representation", steps=1200,
              granularities=(1, 3, 5, 11, 41)),
     ]
+
+
+def list_experiments() -> List[str]:
+    """One line per suite job: id, quick-suite membership, title.
+
+    Titles come from each experiment module's docstring (first line), so
+    the listing can never drift from the modules themselves.
+    """
+    import importlib
+    quick_ids = {job.name for job in suite_jobs(quick=True)}
+    lines = []
+    for job in suite_jobs(quick=False):
+        doc = importlib.import_module(job.module).__doc__ or ""
+        title = doc.strip().splitlines()[0] if doc.strip() else ""
+        suite = "quick+full" if job.name in quick_ids else "full only"
+        lines.append(f"{job.name:<10} {suite:<10} {title}")
+    return lines
 
 
 def collect_report(quick: bool = False,
@@ -169,6 +190,9 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="small seeds/steps for a smoke run")
+    parser.add_argument("--list", action="store_true",
+                        help="print experiment ids, titles and quick-suite "
+                             "membership, then exit")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes (default: all cores); "
                              "tables are identical at any value")
@@ -201,6 +225,10 @@ def main() -> None:
                         help="per-shard wall-clock deadline (worker pools "
                              "only; counts as a failure for --retries)")
     args = parser.parse_args()
+    if args.list:
+        for line in list_experiments():
+            print(line)
+        return
     retry = RetryPolicy(max_attempts=args.retries + 1, backoff=args.backoff,
                         timeout=args.shard_timeout)
     session = None

@@ -1,0 +1,43 @@
+"""``repro.serve`` -- a request-serving layer that is itself self-aware.
+
+The reproduction dogfooding its own framework: an asyncio server over
+the :mod:`repro.api` simulator registry whose *operational* decisions --
+worker-pool size, admission rate, queue bounds, degraded-mode behaviour
+-- are made by a :class:`~repro.serve.governor.ServeGovernor` assembled
+from the very ``core`` primitives the paper reproduction studies.
+
+Modules:
+
+- :mod:`~repro.serve.server` -- ``SimulationServer`` (JSON over asyncio
+  streams) + ``Client``/``InProcessClient``;
+- :mod:`~repro.serve.sessions` -- session table, TTL eviction,
+  rehydration from configs, LRU snapshot cache;
+- :mod:`~repro.serve.batching` -- per-substrate micro-batching onto a
+  bounded process pool, byte-identical to sequential stepping;
+- :mod:`~repro.serve.admission` -- token bucket + bounded queue with
+  load shedding;
+- :mod:`~repro.serve.governor` -- the self-aware control plane;
+- :mod:`~repro.serve.simulation` -- a deterministic discrete-time model
+  of the above, scored by experiment E14 (registered as the ``serve``
+  substrate in :data:`repro.api.SIMULATORS`).
+
+Run a server: ``python -m repro.serve --port 8642``.
+"""
+
+from .admission import ADMIT, SHED_QUEUE, SHED_RATE, AdmissionController, TokenBucket
+from .batching import BatchDispatcher, StepRequest, run_step_batch
+from .governor import (GovernorDecision, ServeGovernor, ServeSelfModel,
+                       StaticGovernor, make_serve_goal)
+from .server import Client, InProcessClient, SimulationServer
+from .sessions import Session, SessionTable, SnapshotCache, UnknownSession
+from .simulation import ServingSimulation
+
+__all__ = [
+    "ADMIT", "SHED_RATE", "SHED_QUEUE", "TokenBucket", "AdmissionController",
+    "BatchDispatcher", "StepRequest", "run_step_batch",
+    "GovernorDecision", "ServeGovernor", "ServeSelfModel", "StaticGovernor",
+    "make_serve_goal",
+    "SimulationServer", "Client", "InProcessClient",
+    "Session", "SessionTable", "SnapshotCache", "UnknownSession",
+    "ServingSimulation",
+]

@@ -1,0 +1,79 @@
+"""CLI: run a simulation server.
+
+::
+
+    PYTHONPATH=src python -m repro.serve --port 8642 --workers 2
+
+Then, from any client::
+
+    {"op": "create", "substrate": "sensornet", "config": {"steps": 200}}
+    {"op": "run", "session": "s000001"}
+
+``--trace PATH`` wraps the server in a telemetry session and writes a
+JSONL trace of serve.* events on exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import sys
+
+from ..obs import TelemetrySession
+from .server import SimulationServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve repro.api simulator sessions over JSON lines.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="listen port (0 picks a free one)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="process-pool size; 0 steps in-process")
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--governor", default="self_aware",
+                        choices=("self_aware", "static", "none"))
+    parser.add_argument("--max-workers", type=int, default=4,
+                        help="governor's pool-size ceiling")
+    parser.add_argument("--ttl", type=float, default=300.0,
+                        help="idle session eviction, seconds")
+    parser.add_argument("--slo", type=float, default=0.25,
+                        help="p95 request-latency SLO, seconds")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a JSONL telemetry trace")
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    server = SimulationServer(
+        host=args.host, port=args.port, workers=args.workers,
+        max_batch=args.max_batch, governor=args.governor,
+        max_workers=args.max_workers, ttl=args.ttl, slo_p95=args.slo)
+    await server.start()
+    print(f"serving on {server.host}:{server.port} "
+          f"(workers={args.workers}, governor={args.governor})",
+          flush=True)
+    try:
+        await asyncio.Event().wait()  # until interrupted
+    finally:
+        await server.stop()
+        print("server stopped;", server.stats(), flush=True)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    scope = (TelemetrySession(trace_path=args.trace, echo_summary=True)
+             if args.trace else contextlib.nullcontext())
+    with scope:
+        try:
+            asyncio.run(_serve(args))
+        except KeyboardInterrupt:
+            print("interrupted", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

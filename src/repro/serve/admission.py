@@ -1,0 +1,173 @@
+"""Admission control: token-bucket rate limiting plus a bounded queue.
+
+The serving layer's first line of self-protection.  Every request passes
+through an :class:`AdmissionController` before it may consume a worker:
+a token bucket throttles the *rate* of admitted work and a queue bound
+throttles the *amount* of admitted-but-unserved work.  Both knobs are
+runtime-tunable, which is how the :class:`~repro.serve.governor.ServeGovernor`
+expresses itself -- tightening admission is one of its two actuators.
+
+Everything here is sans-io: time enters only through explicit ``now``
+arguments, so the same controller runs unchanged under the asyncio
+server's wall clock and under the discrete-time serving simulation that
+experiment E14 scores.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ..obs import events as obs_events
+from ..obs import metrics as obs_metrics
+
+#: Admission verdicts.
+ADMIT = "admit"
+SHED_RATE = "shed_rate"     # token bucket empty: arrival rate too high
+SHED_QUEUE = "shed_queue"   # queue bound hit: backlog too deep
+
+
+class TokenBucket:
+    """A token bucket with lazy, clock-robust refill.
+
+    Tokens accrue continuously at ``rate`` per unit time up to
+    ``capacity``; each admitted request spends one (or ``cost``) tokens.
+    Refill is computed lazily from the elapsed time since the previous
+    observation, so the bucket needs no timer of its own.
+
+    Edge cases the tests pin down:
+
+    * a burst can never exceed ``capacity`` no matter how long the
+      bucket sat idle (the refill clamps, it does not accumulate);
+    * requesting more than ``capacity`` at once can never succeed;
+    * time moving backwards (clock skew) refills nothing and does not
+      corrupt the refill origin.
+    """
+
+    def __init__(self, rate: float, capacity: float, *,
+                 initial: Optional[float] = None) -> None:
+        if rate <= 0 or not math.isfinite(rate):
+            raise ValueError("rate must be positive and finite")
+        if capacity <= 0 or not math.isfinite(capacity):
+            raise ValueError("capacity must be positive and finite")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self._tokens = self.capacity if initial is None \
+            else min(float(initial), self.capacity)
+        self._last: Optional[float] = None
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available as of the last refill observation."""
+        return self._tokens
+
+    def refill(self, now: float) -> None:
+        """Accrue tokens for the time elapsed since the last call."""
+        if self._last is None:
+            self._last = now
+            return
+        elapsed = now - self._last
+        if elapsed <= 0.0:
+            return
+        self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+        self._last = now
+
+    def try_acquire(self, now: float, cost: float = 1.0) -> bool:
+        """Spend ``cost`` tokens if available; ``False`` means throttled."""
+        self.refill(now)
+        if self._tokens + 1e-12 < cost:
+            return False
+        self._tokens -= cost
+        return True
+
+    def configure(self, now: float, *, rate: Optional[float] = None,
+                  capacity: Optional[float] = None) -> None:
+        """Retune the bucket, crediting accrual so far at the *old* rate."""
+        self.refill(now)
+        if rate is not None:
+            if rate <= 0 or not math.isfinite(rate):
+                raise ValueError("rate must be positive and finite")
+            self.rate = float(rate)
+        if capacity is not None:
+            if capacity <= 0 or not math.isfinite(capacity):
+                raise ValueError("capacity must be positive and finite")
+            self.capacity = float(capacity)
+            self._tokens = min(self._tokens, self.capacity)
+
+
+class AdmissionController:
+    """Gate requests through a token bucket and a queue bound.
+
+    ``admit(now, queue_depth)`` returns one of :data:`ADMIT`,
+    :data:`SHED_QUEUE` (backlog already at the bound -- backpressure) or
+    :data:`SHED_RATE` (arrival rate above the sustainable rate).  The
+    queue check runs first: when the system is already drowning, shedding
+    must not depend on the bucket's state.
+
+    The governor retunes ``rate``/``burst``/``max_queue`` at run time via
+    :meth:`configure`; counters expose the realised shed fraction, which
+    is itself one of the governor's sensor readings (the system observing
+    the effect of its own self-expression).
+    """
+
+    def __init__(self, *, rate: float, burst: Optional[float] = None,
+                 max_queue: float = float("inf")) -> None:
+        self.bucket = TokenBucket(rate, burst if burst is not None else rate)
+        if max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        self.max_queue = float(max_queue)
+        self.admitted = 0
+        self.shed = {SHED_RATE: 0, SHED_QUEUE: 0}
+
+    @property
+    def rate(self) -> float:
+        return self.bucket.rate
+
+    def admit(self, now: float, queue_depth: float = 0.0,
+              cost: float = 1.0) -> str:
+        """One admission decision; updates counters and telemetry."""
+        if queue_depth >= self.max_queue:
+            verdict = SHED_QUEUE
+        elif not self.bucket.try_acquire(now, cost):
+            verdict = SHED_RATE
+        else:
+            verdict = ADMIT
+        if verdict is ADMIT:
+            self.admitted += 1
+        else:
+            self.shed[verdict] += 1
+            if obs_events.enabled():
+                obs_metrics.counter("serve.shed", reason=verdict).increment()
+                obs_events.emit("serve.shed", time=now, reason=verdict,
+                                queue_depth=queue_depth,
+                                tokens=self.bucket.tokens)
+        return verdict
+
+    def configure(self, now: float, *, rate: Optional[float] = None,
+                  burst: Optional[float] = None,
+                  max_queue: Optional[float] = None) -> None:
+        """Runtime retuning hook used by the governor."""
+        self.bucket.configure(now, rate=rate, capacity=burst)
+        if max_queue is not None:
+            if max_queue <= 0:
+                raise ValueError("max_queue must be positive")
+            self.max_queue = float(max_queue)
+
+    def total_shed(self) -> int:
+        return sum(self.shed.values())
+
+    def shed_fraction(self) -> float:
+        """Fraction of all decisions so far that shed the request."""
+        total = self.admitted + self.total_shed()
+        return 0.0 if total == 0 else self.total_shed() / total
+
+    def snapshot(self) -> Dict[str, float]:
+        """JSON-safe counter snapshot (for ``stats`` responses and traces)."""
+        return {"admitted": float(self.admitted),
+                "shed_rate": float(self.shed[SHED_RATE]),
+                "shed_queue": float(self.shed[SHED_QUEUE]),
+                "shed_fraction": self.shed_fraction(),
+                "rate": self.bucket.rate,
+                "burst": self.bucket.capacity,
+                "max_queue": self.max_queue,
+                "tokens": self.bucket.tokens}

@@ -1,0 +1,201 @@
+"""Micro-batching: coalesce step requests and execute them on a pool.
+
+The serving layer's throughput engine.  Step requests arriving close
+together are coalesced into per-substrate batches and executed by a
+picklable module-level worker function -- the same machinery shape the
+parallel experiment engine uses for its shards -- on a bounded
+``ProcessPoolExecutor``.
+
+Correctness rests entirely on the :mod:`repro.api` replay guarantee.  A
+work item is declarative: ``(substrate, config, base_steps, n_steps)``.
+Any worker can execute it from scratch by rehydrating the simulator from
+the config, replaying ``base_steps`` and stepping ``n_steps`` more.  As
+a fast path each worker process keeps a small cache of live simulators
+(keyed by session id) and steps them *incrementally* when the cached
+instance sits exactly at ``base_steps`` -- and because replay is
+byte-identical, the cached and from-scratch paths produce identical
+results, so batching, worker count and cache hits are all invisible in
+the output.  ``workers=0`` runs the very same worker function in-process
+(no pool), which is what the determinism tests compare against.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..api.adapters import make_simulator
+from ..obs import events as obs_events
+from ..obs import metrics as obs_metrics
+
+
+@dataclass(frozen=True)
+class StepRequest:
+    """One declarative unit of stepping work.
+
+    ``base_steps`` is the session's current position (steps already
+    taken); ``n_steps`` how many further steps to execute.  The pair
+    makes the item self-contained: no simulator state travels with it.
+    """
+
+    session_id: str
+    substrate: str
+    config: Any
+    base_steps: int
+    n_steps: int
+
+
+def _json_safe(value: Any) -> Any:
+    """Round-trip through JSON so results match the wire format exactly."""
+    try:
+        return json.loads(json.dumps(value))
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+#: Per-process simulator cache: session id -> (config, sim, steps_taken).
+#: Lives at module level so pool workers retain it across batches.
+_WORKER_CACHE: "OrderedDict[str, Tuple[Any, Any, int]]" = OrderedDict()
+_WORKER_CACHE_LIMIT = 64
+
+
+def _materialise(request: StepRequest) -> Any:
+    """A simulator positioned at ``base_steps``, via cache or replay."""
+    cached = _WORKER_CACHE.get(request.session_id)
+    if cached is not None:
+        config, sim, steps = cached
+        if config == request.config and steps == request.base_steps:
+            _WORKER_CACHE.move_to_end(request.session_id)
+            return sim
+        del _WORKER_CACHE[request.session_id]
+    sim = make_simulator(request.substrate, request.config)
+    sim.reset(int(getattr(request.config, "seed", 0)))
+    for _ in range(request.base_steps):
+        sim.step()
+    return sim
+
+
+def run_step_batch(requests: Sequence[StepRequest]) -> List[Dict[str, Any]]:
+    """Execute a batch of step requests; picklable pool entry point.
+
+    Returns one JSON-safe result per request, in order:
+    ``{"session", "steps_taken", "metrics", "snapshot"}``.
+    """
+    results: List[Dict[str, Any]] = []
+    for request in requests:
+        sim = _materialise(request)
+        for _ in range(request.n_steps):
+            sim.step()
+        steps_taken = request.base_steps + request.n_steps
+        _WORKER_CACHE[request.session_id] = (request.config, sim, steps_taken)
+        _WORKER_CACHE.move_to_end(request.session_id)
+        while len(_WORKER_CACHE) > _WORKER_CACHE_LIMIT:
+            _WORKER_CACHE.popitem(last=False)
+        results.append({
+            "session": request.session_id,
+            "steps_taken": steps_taken,
+            "metrics": _json_safe(sim.metrics()),
+            "snapshot": _json_safe(sim.snapshot()),
+        })
+    return results
+
+
+class BatchDispatcher:
+    """Coalesce step requests per substrate and run them on a bounded pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  ``0`` executes batches synchronously in-process --
+        the reference path determinism is measured against, and the
+        right choice for tests and single-core hosts.
+    max_batch:
+        Largest number of requests handed to one worker invocation.
+        Batches group by substrate first: simulator code and caches are
+        substrate-local, so mixed batches would thrash the workers.
+    """
+
+    def __init__(self, *, workers: int = 0, max_batch: int = 8) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._workers = workers
+        self.max_batch = max_batch
+        self._pool: ProcessPoolExecutor | None = None
+        self.batches_run = 0
+        self.requests_run = 0
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._workers)
+        return self._pool
+
+    def _plan(self, requests: Sequence[StepRequest]) \
+            -> List[List[Tuple[int, StepRequest]]]:
+        """Group by substrate, preserve order, cap at ``max_batch``."""
+        by_substrate: "OrderedDict[str, List[Tuple[int, StepRequest]]]" = OrderedDict()
+        for index, request in enumerate(requests):
+            by_substrate.setdefault(request.substrate, []).append((index, request))
+        batches: List[List[Tuple[int, StepRequest]]] = []
+        for items in by_substrate.values():
+            for at in range(0, len(items), self.max_batch):
+                batches.append(items[at:at + self.max_batch])
+        return batches
+
+    def submit(self, requests: Sequence[StepRequest]) -> List[Dict[str, Any]]:
+        """Execute ``requests``; results align with the input order."""
+        if not requests:
+            return []
+        batches = self._plan(requests)
+        results: List[Dict[str, Any]] = [None] * len(requests)  # type: ignore
+        if self._workers == 0:
+            outputs = [run_step_batch([r for _, r in batch])
+                       for batch in batches]
+        else:
+            pool = self._ensure_pool()
+            futures = [pool.submit(run_step_batch, [r for _, r in batch])
+                       for batch in batches]
+            outputs = [future.result() for future in futures]
+        for batch, output in zip(batches, outputs):
+            for (index, _), result in zip(batch, output):
+                results[index] = result
+        self.batches_run += len(batches)
+        self.requests_run += len(requests)
+        if obs_events.enabled():
+            obs_metrics.counter("serve.batches").increment(len(batches))
+            obs_events.emit("serve.batch", requests=len(requests),
+                            batches=len(batches),
+                            sizes=[len(b) for b in batches])
+        return results
+
+    def resize(self, workers: int) -> None:
+        """Change the pool size (the governor's other actuator).
+
+        The old pool is drained and discarded; worker caches go with it,
+        which is safe because every item is executable from scratch.
+        """
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if workers == self._workers:
+            return
+        self.close()
+        self._workers = workers
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "BatchDispatcher":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

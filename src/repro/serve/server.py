@@ -1,0 +1,469 @@
+"""The asyncio simulation server: JSON requests over streams.
+
+``SimulationServer`` exposes the whole :mod:`repro.api` registry as a
+service.  The protocol is newline-delimited JSON objects; every request
+carries an ``op`` and every response an ``ok`` flag::
+
+    {"op": "create", "substrate": "cloud", "config": {"steps": 200}}
+    {"ok": true, "session": "s000001", "substrate": "cloud"}
+
+    {"op": "step", "session": "s000001", "n": 50}
+    {"ok": true, "steps_taken": 50, "metrics": {...}, "snapshot": {...}}
+
+Ops: ``create``, ``step``, ``run`` (to the config's step budget),
+``snapshot``, ``metrics``, ``close``, ``stats``, ``explain``.
+
+Architecture -- each piece of the serving story lives in its module and
+meets here:
+
+* requests pass :class:`~repro.serve.admission.AdmissionController`
+  first (shed responses carry ``code: shed_rate | shed_queue``);
+* stepping work is coalesced by a single batch loop and executed through
+  :class:`~repro.serve.batching.BatchDispatcher` off the event loop;
+* session state lives in :class:`~repro.serve.sessions.SessionTable`
+  (TTL eviction runs as a background task);
+* a :class:`~repro.serve.governor.ServeGovernor` periodically senses
+  queue depth, arrival rate and request latency and re-expresses pool
+  size and admission settings; while degraded, ``snapshot`` serves
+  stale cached snapshots instead of touching simulators.
+
+For tests and embedding, :class:`InProcessClient` speaks the same
+protocol straight into :meth:`SimulationServer.dispatch` without a
+socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..api.adapters import SIMULATORS
+from ..obs import events as obs_events
+from ..obs import metrics as obs_metrics
+from .admission import ADMIT, AdmissionController
+from .batching import BatchDispatcher, StepRequest
+from .governor import ServeGovernor, StaticGovernor
+from .sessions import SessionTable, UnknownSession
+
+
+def _error(code: str, message: str) -> Dict[str, Any]:
+    return {"ok": False, "code": code, "error": message}
+
+
+class SimulationServer:
+    """Serve simulator sessions over asyncio streams.
+
+    Parameters
+    ----------
+    host, port:
+        Listen address; ``port=0`` picks a free port (read it back from
+        ``.port`` after :meth:`start`).
+    workers:
+        :class:`BatchDispatcher` pool size; ``0`` steps in-process.
+    governor:
+        ``"self_aware"``, ``"static"`` or ``"none"``.
+    slo_p95:
+        The latency SLO handed to the governor, in seconds.
+    service_rate_guess:
+        Initial belief about requests/second one worker sustains.
+    """
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
+                 workers: int = 0, max_batch: int = 8,
+                 governor: str = "self_aware",
+                 min_workers: int = 1, max_workers: int = 4,
+                 ttl: float = 300.0, max_sessions: int = 256,
+                 admission_rate: float = 200.0,
+                 admission_burst: float = 400.0,
+                 max_queue: float = 512.0,
+                 slo_p95: float = 0.25,
+                 service_rate_guess: float = 200.0,
+                 govern_interval: float = 1.0,
+                 seed: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self.sessions = SessionTable(ttl=ttl, max_sessions=max_sessions)
+        self.dispatcher = BatchDispatcher(workers=workers,
+                                          max_batch=max_batch)
+        self.admission = AdmissionController(rate=admission_rate,
+                                             burst=admission_burst,
+                                             max_queue=max_queue)
+        self.govern_interval = govern_interval
+        self.serve_stale = False
+        if governor == "self_aware":
+            self.governor: Optional[Any] = ServeGovernor(
+                slo_p95=slo_p95, min_workers=min_workers,
+                max_workers=max_workers,
+                service_rate_guess=service_rate_guess, seed=seed)
+        elif governor == "static":
+            self.governor = StaticGovernor(
+                pool_size=max(1, workers),
+                service_rate_guess=service_rate_guess, slo_p95=slo_p95)
+        elif governor == "none":
+            self.governor = None
+        else:
+            raise ValueError(f"unknown server governor {governor!r}")
+        self.requests_seen = 0
+        self.requests_completed = 0
+        self._window_requests = 0
+        self._window_completions = 0
+        self._latencies: Deque[float] = deque(maxlen=512)
+        self._queue: Optional[asyncio.Queue] = None
+        self._tasks: List[asyncio.Task] = []
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._clock = time.monotonic
+        self._handlers = {
+            "create": self._op_create, "step": self._op_step,
+            "run": self._op_run, "snapshot": self._op_snapshot,
+            "metrics": self._op_metrics, "close": self._op_close,
+            "stats": self._op_stats, "explain": self._op_explain,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, *, listen: bool = True) -> "SimulationServer":
+        """Start background loops and (optionally) the stream listener."""
+        self._queue = asyncio.Queue()
+        self._tasks = [asyncio.create_task(self._batch_loop()),
+                       asyncio.create_task(self._ttl_loop())]
+        if self.governor is not None:
+            self._tasks.append(asyncio.create_task(self._governor_loop()))
+        if listen:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port)
+            self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks = []
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.dispatcher.close()
+
+    # -- the wire ----------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as exc:
+                    response = _error("bad_request", f"unparseable: {exc}")
+                else:
+                    response = await self.dispatch(request)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Handle one request dict; the socket and in-process entry point."""
+        t0 = self._clock()
+        self.requests_seen += 1
+        self._window_requests += 1
+        op = request.get("op")
+        handler = self._handlers.get(op)
+        if handler is None:
+            return _error("bad_request",
+                          f"unknown op {op!r}; known: "
+                          f"{', '.join(sorted(self._handlers))}")
+        if op in ("step", "run"):
+            depth = self._queue.qsize() if self._queue is not None else 0
+            verdict = self.admission.admit(t0, depth)
+            if verdict is not ADMIT:
+                return _error(verdict,
+                              "overloaded, request shed; retry later")
+        try:
+            response = await handler(request, t0)
+        except UnknownSession as exc:
+            return _error("unknown_session", f"no session {exc.args[0]!r}")
+        except (TypeError, ValueError) as exc:
+            return _error("bad_request", str(exc))
+        elapsed = self._clock() - t0
+        self._latencies.append(elapsed)
+        self.requests_completed += 1
+        self._window_completions += 1
+        if obs_events.enabled():
+            obs_metrics.histogram("serve.request_seconds").observe(elapsed)
+            obs_events.emit("serve.request", op=op, seconds=elapsed,
+                            ok=bool(response.get("ok")))
+        return response
+
+    # -- ops ---------------------------------------------------------------
+
+    async def _op_create(self, request: Dict[str, Any],
+                         now: float) -> Dict[str, Any]:
+        substrate = request.get("substrate")
+        if substrate not in SIMULATORS:
+            return _error("bad_request",
+                          f"unknown substrate {substrate!r}; known: "
+                          f"{', '.join(sorted(SIMULATORS))}")
+        config_cls, _ = SIMULATORS[substrate]
+        payload = request.get("config") or {}
+        config = config_cls(**payload)  # TypeError -> bad_request above
+        session = self.sessions.create(now, substrate, config, hydrate=False)
+        return {"ok": True, "session": session.session_id,
+                "substrate": substrate}
+
+    async def _step_via_batch(self, session: Any,
+                              n_steps: int) -> Dict[str, Any]:
+        """Queue a step request for the batch loop and await its result."""
+        assert self._queue is not None, "server not started"
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        work = StepRequest(session_id=session.session_id,
+                           substrate=session.substrate,
+                           config=session.config,
+                           base_steps=session.steps_taken,
+                           n_steps=n_steps)
+        await self._queue.put((work, future))
+        result = await future
+        session.steps_taken = result["steps_taken"]
+        self.sessions.snapshots.put(session.session_id,
+                                    session.steps_taken,
+                                    result["snapshot"])
+        return result
+
+    async def _op_step(self, request: Dict[str, Any],
+                       now: float) -> Dict[str, Any]:
+        n = int(request.get("n", 1))
+        if n < 0:
+            return _error("bad_request", "n must be >= 0")
+        session = self.sessions.get(str(request.get("session")), now)
+        result = await self._step_via_batch(session, n)
+        return {"ok": True, "session": session.session_id,
+                "steps_taken": result["steps_taken"],
+                "metrics": result["metrics"],
+                "snapshot": result["snapshot"]}
+
+    async def _op_run(self, request: Dict[str, Any],
+                      now: float) -> Dict[str, Any]:
+        session = self.sessions.get(str(request.get("session")), now)
+        budget = int(getattr(session.config, "steps", 0))
+        remaining = max(0, budget - session.steps_taken)
+        result = await self._step_via_batch(session, remaining)
+        return {"ok": True, "session": session.session_id,
+                "steps_taken": result["steps_taken"],
+                "metrics": result["metrics"],
+                "snapshot": result["snapshot"]}
+
+    async def _op_snapshot(self, request: Dict[str, Any],
+                           now: float) -> Dict[str, Any]:
+        session = self.sessions.get(str(request.get("session")), now)
+        cached = self.sessions.snapshots.get(session.session_id,
+                                             session.steps_taken)
+        stale = False
+        if cached is None and self.serve_stale:
+            latest = self.sessions.snapshots.latest(session.session_id)
+            if latest is not None:
+                cached, stale = latest[1], True
+        if cached is None:
+            result = await self._step_via_batch(session, 0)
+            cached = result["snapshot"]
+        return {"ok": True, "session": session.session_id,
+                "snapshot": cached, "stale": stale}
+
+    async def _op_metrics(self, request: Dict[str, Any],
+                          now: float) -> Dict[str, Any]:
+        session = self.sessions.get(str(request.get("session")), now)
+        result = await self._step_via_batch(session, 0)
+        return {"ok": True, "session": session.session_id,
+                "metrics": result["metrics"]}
+
+    async def _op_close(self, request: Dict[str, Any],
+                        now: float) -> Dict[str, Any]:
+        session_id = str(request.get("session"))
+        self.sessions.close(session_id)
+        return {"ok": True, "session": session_id}
+
+    async def _op_stats(self, request: Dict[str, Any],
+                        now: float) -> Dict[str, Any]:
+        return {"ok": True, "stats": self.stats()}
+
+    async def _op_explain(self, request: Dict[str, Any],
+                          now: float) -> Dict[str, Any]:
+        explanation = ("No governor: static plumbing only."
+                       if self.governor is None else self.governor.explain())
+        return {"ok": True, "explanation": explanation}
+
+    # -- background loops --------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        """Drain the step queue, coalescing bursts into dispatcher batches."""
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            batch: List[Tuple[StepRequest, asyncio.Future]] = [
+                await self._queue.get()]
+            while len(batch) < self.dispatcher.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            requests = [work for work, _ in batch]
+            try:
+                results = await loop.run_in_executor(
+                    None, self.dispatcher.submit, requests)
+            except Exception as exc:  # surface to every waiter
+                for _, future in batch:
+                    if not future.done():
+                        future.set_exception(exc)
+                continue
+            for (_, future), result in zip(batch, results):
+                if not future.done():
+                    future.set_result(result)
+
+    async def _ttl_loop(self) -> None:
+        interval = max(0.05, self.sessions.ttl / 4.0)
+        while True:
+            await asyncio.sleep(interval)
+            self.sessions.evict_expired(self._clock())
+
+    async def _governor_loop(self) -> None:
+        assert self.governor is not None
+        loop = asyncio.get_running_loop()
+        pool = max(1, self.dispatcher.workers)
+        while True:
+            await asyncio.sleep(self.govern_interval)
+            now = self._clock()
+            interval = self.govern_interval
+            latencies = sorted(self._latencies)
+            p95 = (latencies[int(0.95 * (len(latencies) - 1))]
+                   if latencies else 0.0)
+            arrival = self._window_requests / interval
+            completion = self._window_completions / interval
+            service = getattr(getattr(self.governor, "model", None),
+                              "service_estimate", 1.0)
+            capacity = pool * max(1e-9, service)
+            decision = self.governor.tick(now, {
+                "queue_depth": float(self._queue.qsize()
+                                     if self._queue else 0),
+                "arrival_rate": arrival,
+                "p95_latency": p95,
+                "utilisation": min(1.0, arrival / capacity),
+                "shed_fraction": self.admission.shed_fraction(),
+                "pool_size": float(pool),
+                "completion_rate": completion,
+            })
+            self._window_requests = 0
+            self._window_completions = 0
+            self.serve_stale = decision.serve_stale
+            self.admission.configure(now, rate=decision.admission_rate,
+                                     burst=decision.admission_burst,
+                                     max_queue=decision.max_queue)
+            if (self.dispatcher.workers > 0
+                    and decision.pool_target != self.dispatcher.workers):
+                await loop.run_in_executor(
+                    None, self.dispatcher.resize, decision.pool_target)
+            pool = max(1, self.dispatcher.workers)
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        latencies = sorted(self._latencies)
+        p95 = (latencies[int(0.95 * (len(latencies) - 1))]
+               if latencies else 0.0)
+        return {
+            "sessions": len(self.sessions),
+            "evicted": self.sessions.evicted,
+            "requests_seen": self.requests_seen,
+            "requests_completed": self.requests_completed,
+            "p95_seconds": p95,
+            "workers": self.dispatcher.workers,
+            "batches_run": self.dispatcher.batches_run,
+            "degraded": (bool(self.governor.degraded)
+                         if self.governor is not None else False),
+            "serve_stale": self.serve_stale,
+            "admission": self.admission.snapshot(),
+            "snapshot_cache": {"entries": len(self.sessions.snapshots),
+                               "hits": self.sessions.snapshots.hits,
+                               "misses": self.sessions.snapshots.misses},
+        }
+
+
+class Client:
+    """Line-oriented JSON client over asyncio streams."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "Client":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self._writer.write(json.dumps(payload).encode() + b"\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+
+    # sugar, shared with InProcessClient via _ClientOps
+    async def create(self, substrate: str, **config: Any) -> Dict[str, Any]:
+        return await self.request({"op": "create", "substrate": substrate,
+                                   "config": config})
+
+    async def step(self, session: str, n: int = 1) -> Dict[str, Any]:
+        return await self.request({"op": "step", "session": session, "n": n})
+
+    async def run(self, session: str) -> Dict[str, Any]:
+        return await self.request({"op": "run", "session": session})
+
+    async def snapshot(self, session: str) -> Dict[str, Any]:
+        return await self.request({"op": "snapshot", "session": session})
+
+    async def metrics(self, session: str) -> Dict[str, Any]:
+        return await self.request({"op": "metrics", "session": session})
+
+    async def close_session(self, session: str) -> Dict[str, Any]:
+        return await self.request({"op": "close", "session": session})
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self.request({"op": "stats"})
+
+
+class InProcessClient(Client):
+    """The same client surface wired straight into ``dispatch`` -- no
+    socket, no serialisation beyond the JSON-safety the batch layer
+    already enforces.  The unit-test entry point."""
+
+    def __init__(self, server: SimulationServer) -> None:  # noqa: super
+        self._server = server
+
+    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return await self._server.dispatch(payload)
+
+    async def close(self) -> None:
+        return None

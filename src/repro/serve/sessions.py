@@ -1,0 +1,233 @@
+"""Session management: simulator instances behind declarative handles.
+
+A *session* is one client-owned simulation run.  Because every substrate
+sits behind the :mod:`repro.api` facade -- frozen ``*Config`` plus
+``reset(seed)`` with byte-identical replay -- a session's authoritative
+state is tiny and declarative: ``(substrate, config, seed, steps_taken)``.
+The live :class:`~repro.api.protocol.Simulator` object is merely a cache
+of that state, and :class:`SessionTable` exploits it twice over:
+
+* **TTL eviction** -- idle sessions are dropped wholesale after
+  ``ttl`` of inactivity, bounding memory under abandoning clients;
+* **hibernation** -- a session's simulator object can be discarded while
+  the handle survives; the next touch rehydrates it from the config and
+  replays to ``steps_taken``, reproducing the exact pre-hibernation
+  state (the replay guarantee doing production work).
+
+A small LRU :class:`SnapshotCache` keeps recent snapshots per session so
+that, when the governor has degraded the service, stale-but-instant
+snapshots can be served without touching a simulator at all.
+
+Sans-io: all methods take ``now`` explicitly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..api.adapters import make_simulator
+from ..obs import events as obs_events
+
+
+class UnknownSession(KeyError):
+    """Raised for operations on ids the table does not (or no longer) hold."""
+
+
+@dataclass
+class Session:
+    """One client simulation run: declarative core + cached live object."""
+
+    session_id: str
+    substrate: str
+    config: Any
+    seed: int
+    created: float
+    last_used: float
+    steps_taken: int = 0
+    simulator: Optional[Any] = field(default=None, repr=False)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe summary for ``stats`` responses."""
+        return {"session": self.session_id, "substrate": self.substrate,
+                "steps_taken": self.steps_taken,
+                "created": self.created, "last_used": self.last_used,
+                "hydrated": self.simulator is not None}
+
+
+class SnapshotCache:
+    """LRU cache of ``(session_id, step) -> snapshot`` with stale lookup.
+
+    ``latest(session_id)`` returns the most recent cached snapshot for a
+    session regardless of step -- the degraded-mode path ("serve stale
+    snapshots") -- tagged with the step it was taken at.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._cache: "OrderedDict[Tuple[str, int], Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def put(self, session_id: str, step: int, snapshot: Dict[str, Any]) -> None:
+        key = (session_id, step)
+        if key in self._cache:
+            self._cache.move_to_end(key)
+        self._cache[key] = snapshot
+        while len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+
+    def get(self, session_id: str, step: int) -> Optional[Dict[str, Any]]:
+        entry = self._cache.get((session_id, step))
+        if entry is None:
+            self.misses += 1
+            return None
+        self._cache.move_to_end((session_id, step))
+        self.hits += 1
+        return entry
+
+    def latest(self, session_id: str) -> Optional[Tuple[int, Dict[str, Any]]]:
+        """Most recent cached ``(step, snapshot)`` for the session, if any."""
+        best: Optional[Tuple[int, Dict[str, Any]]] = None
+        for (sid, step), snap in self._cache.items():
+            if sid == session_id and (best is None or step > best[0]):
+                best = (step, snap)
+        return best
+
+    def drop_session(self, session_id: str) -> None:
+        for key in [k for k in self._cache if k[0] == session_id]:
+            del self._cache[key]
+
+
+class SessionTable:
+    """The server's session registry: create, touch, evict, rehydrate.
+
+    Parameters
+    ----------
+    ttl:
+        Idle time after which :meth:`evict_expired` removes a session.
+    max_sessions:
+        Hard bound on live sessions; ``create`` beyond it raises.
+    snapshot_cache:
+        Capacity of the shared LRU snapshot cache.
+    """
+
+    def __init__(self, *, ttl: float = 300.0, max_sessions: int = 1024,
+                 snapshot_cache: int = 256) -> None:
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.ttl = float(ttl)
+        self.max_sessions = max_sessions
+        self.snapshots = SnapshotCache(snapshot_cache)
+        self._sessions: Dict[str, Session] = {}
+        self._next_id = 1
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def ids(self) -> List[str]:
+        return list(self._sessions)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def create(self, now: float, substrate: str, config: Any,
+               *, hydrate: bool = True) -> Session:
+        """Register a new session; optionally build its simulator eagerly."""
+        if len(self._sessions) >= self.max_sessions:
+            raise RuntimeError(
+                f"session table full ({self.max_sessions} sessions)")
+        session_id = f"s{self._next_id:06d}"
+        self._next_id += 1
+        seed = int(getattr(config, "seed", 0))
+        session = Session(session_id=session_id, substrate=substrate,
+                          config=config, seed=seed, created=now,
+                          last_used=now)
+        if hydrate:
+            session.simulator = make_simulator(substrate, config)
+        self._sessions[session_id] = session
+        if obs_events.enabled():
+            obs_events.emit("serve.session", time=now, session=session_id,
+                            substrate=substrate, action="create")
+        return session
+
+    def get(self, session_id: str, now: Optional[float] = None) -> Session:
+        """Look a session up, refreshing its idle clock when ``now`` given."""
+        try:
+            session = self._sessions[session_id]
+        except KeyError:
+            raise UnknownSession(session_id) from None
+        if now is not None:
+            session.last_used = now
+        return session
+
+    def close(self, session_id: str) -> None:
+        """Explicitly remove a session and its cached snapshots."""
+        if self._sessions.pop(session_id, None) is None:
+            raise UnknownSession(session_id)
+        self.snapshots.drop_session(session_id)
+
+    def evict_expired(self, now: float) -> List[str]:
+        """Drop every session idle for longer than ``ttl``; return its ids."""
+        expired = [sid for sid, s in self._sessions.items()
+                   if now - s.last_used > self.ttl]
+        for sid in expired:
+            del self._sessions[sid]
+            self.snapshots.drop_session(sid)
+            self.evicted += 1
+        if expired and obs_events.enabled():
+            obs_events.emit("serve.session", time=now, action="evict",
+                            sessions=list(expired))
+        return expired
+
+    # -- state materialisation --------------------------------------------
+
+    def simulator(self, session: Session) -> Any:
+        """The live simulator, rehydrating from the config if hibernated.
+
+        Rehydration rebuilds via :func:`~repro.api.adapters.make_simulator`
+        and replays ``steps_taken`` steps from ``reset(seed)`` -- by the
+        facade's replay guarantee this reproduces the exact state the
+        discarded instance held.
+        """
+        if session.simulator is None:
+            sim = make_simulator(session.substrate, session.config)
+            sim.reset(session.seed)
+            for _ in range(session.steps_taken):
+                sim.step()
+            session.simulator = sim
+        return session.simulator
+
+    def hibernate(self, session_id: str) -> None:
+        """Drop the live simulator, keeping the declarative handle."""
+        self.get(session_id).simulator = None
+
+    def snapshot(self, session: Session, *,
+                 stale_ok: bool = False) -> Tuple[Dict[str, Any], bool]:
+        """Return ``(snapshot, stale)`` for the session's current step.
+
+        With ``stale_ok`` (degraded mode) any cached snapshot is returned
+        immediately when the exact-step entry is missing, avoiding both
+        stepping and rehydration; ``stale`` marks that substitution.
+        """
+        cached = self.snapshots.get(session.session_id, session.steps_taken)
+        if cached is not None:
+            return cached, False
+        if stale_ok:
+            latest = self.snapshots.latest(session.session_id)
+            if latest is not None:
+                return latest[1], True
+        snapshot = dict(self.simulator(session).snapshot())
+        self.snapshots.put(session.session_id, session.steps_taken, snapshot)
+        return snapshot, False
+
+    def describe(self) -> List[Dict[str, Any]]:
+        return [s.describe() for s in self._sessions.values()]

@@ -7,8 +7,8 @@ import pytest
 from repro.api import (SIMULATORS, CameraConfig, CameraSimulator,
                        CloudConfig, CloudSimulator, CPNConfig, CPNSimulator,
                        MulticoreConfig, MulticoreSimulator, SensornetConfig,
-                       SensornetSimulator, Simulator, SwarmConfig,
-                       SwarmSimulator, make_simulator)
+                       SensornetSimulator, ServeConfig, Simulator,
+                       SwarmConfig, SwarmSimulator, make_simulator)
 
 SMALL = {
     "smartcamera": CameraConfig(steps=30, n_objects=4, seed=2),
@@ -17,11 +17,12 @@ SMALL = {
     "cpn": CPNConfig(steps=30, n_nodes=12, n_flows=2, seed=2),
     "swarm": SwarmConfig(steps=30, n_robots=4, seed=2),
     "sensornet": SensornetConfig(steps=40, n_channels=4, seed=2),
+    "serve": ServeConfig(steps=60, warmup=10, seed=2),
 }
 
 
 class TestRegistry:
-    def test_six_substrates_registered(self):
+    def test_seven_substrates_registered(self):
         assert set(SIMULATORS) == set(SMALL)
 
     def test_make_simulator_builds_the_right_adapter(self):
@@ -31,8 +32,11 @@ class TestRegistry:
             assert isinstance(sim, adapter_cls)
 
     def test_unknown_substrate_names_the_known_ones(self):
-        with pytest.raises(KeyError, match="cloud"):
+        with pytest.raises(ValueError, match="mainframe") as excinfo:
             make_simulator("mainframe")
+        # The message lists every registered substrate, sorted.
+        for substrate in SIMULATORS:
+            assert substrate in str(excinfo.value)
 
     def test_default_config_per_substrate(self):
         # No config at all must give a runnable simulator.

@@ -1,0 +1,84 @@
+"""E14: the serving sweep's scoring, acceptance claim and replay."""
+
+import json
+
+import pytest
+
+from repro.api import ServeConfig
+from repro.experiments import e14_serving as e14
+
+SHARD_KW = dict(steps=240, loads=(4.0, 16.0))
+
+
+@pytest.fixture(scope="module")
+def shard():
+    """One seed at smoke size, shared across tests."""
+    return e14.run_shard(0, **SHARD_KW)
+
+
+class TestShardScores:
+    def test_payload_shape(self, shard):
+        assert set(shard) == set(e14.ARMS)
+        for arm in e14.ARMS:
+            assert set(shard[arm]) == {"4", "16"}
+            for cell in shard[arm].values():
+                assert set(cell) == {"goodput", "p95_latency",
+                                     "shed_fraction", "mean_pool",
+                                     "slo_attainment", "offered"}
+
+    def test_shard_is_json_safe_and_deterministic(self):
+        again = e14.run_shard(0, **SHARD_KW)
+        first = e14.run_shard(0, **SHARD_KW)
+        assert json.dumps(first, sort_keys=True) \
+            == json.dumps(again, sort_keys=True)
+
+    def test_goodput_cannot_exceed_offered(self, shard):
+        for arm in e14.ARMS:
+            for cell in shard[arm].values():
+                assert cell["goodput"] <= cell["offered"] + 1e-9
+
+    def test_both_arms_serve_the_light_load(self, shard):
+        """At 4 req/tick either pool keeps up; the arms only separate
+        under pressure."""
+        for arm in e14.ARMS:
+            cell = shard[arm]["4"]
+            assert cell["goodput"] > 0.8 * 4.0
+            assert cell["shed_fraction"] < 0.2
+
+
+class TestHeadlineClaim:
+    """The PR's acceptance claim at full experiment size: at the highest
+    offered load the governor sustains at least 1.5x the static pool's
+    goodput while keeping p95 latency within the SLO."""
+
+    def test_governor_beats_static_within_slo_at_full_size(self):
+        top = max(e14.LOADS)
+        shard = e14.run_shard(0, steps=e14.STEPS, loads=(top,))
+        static = shard["static"][f"{top:g}"]
+        governor = shard["governor"][f"{top:g}"]
+        assert governor["goodput"] >= 1.5 * static["goodput"]
+        assert governor["p95_latency"] <= ServeConfig().slo_p95
+
+
+class TestReduce:
+    def test_table_shape_and_values(self, shard):
+        table = e14.reduce([shard], seeds=(0,), **SHARD_KW)
+        assert table.experiment_id == "E14"
+        assert len(table.rows) == len(SHARD_KW["loads"]) * len(e14.ARMS)
+        first = table.rows[0]
+        assert set(first) == {"offered_load", "arm", "goodput",
+                              "p95_latency", "shed_fraction", "mean_pool",
+                              "slo_attainment"}
+        arms_per_load = {row["offered_load"] for row in table.rows}
+        assert arms_per_load == {4.0, 16.0}
+
+    def test_ratio_note_lands_in_the_table(self, shard):
+        table = e14.reduce([shard], seeds=(0,), **SHARD_KW)
+        assert "governor goodput is" in table.notes
+
+    def test_seed_averaging(self, shard):
+        """Averaging a shard with itself changes nothing."""
+        once = e14.reduce([shard], seeds=(0,), **SHARD_KW)
+        twice = e14.reduce([shard, shard], seeds=(0, 1), **SHARD_KW)
+        for a, b in zip(once.rows, twice.rows):
+            assert a == b

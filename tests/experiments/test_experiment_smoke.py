@@ -122,3 +122,29 @@ class TestE1Environment:
                 assert name == "storm"
                 assert 0.0 <= value <= 1.0
             env.apply("lean", float(t))
+
+
+class TestSuiteListing:
+    """`run_all --list`: ids, suite membership and module-docstring titles."""
+
+    def test_every_full_suite_job_is_listed_once(self):
+        from repro.experiments.run_all import list_experiments, suite_jobs
+        lines = list_experiments()
+        jobs = suite_jobs(quick=False)
+        assert len(lines) == len(jobs)
+        assert [line.split()[0] for line in lines] \
+            == [job.name for job in jobs]
+
+    def test_membership_column_matches_the_quick_suite(self):
+        from repro.experiments.run_all import list_experiments, suite_jobs
+        quick = {job.name for job in suite_jobs(quick=True)}
+        for line in list_experiments():
+            name = line.split()[0]
+            expected = "quick+full" if name in quick else "full only"
+            assert expected in line
+
+    def test_titles_come_from_module_docstrings(self):
+        from repro.experiments.run_all import list_experiments
+        e14_line = next(line for line in list_experiments()
+                        if line.startswith("E14"))
+        assert "self-aware serving" in e14_line

@@ -1,0 +1,110 @@
+"""Admission control: token-bucket edges and the two shed verdicts."""
+
+import pytest
+
+from repro.serve import (ADMIT, SHED_QUEUE, SHED_RATE, AdmissionController,
+                         TokenBucket)
+
+
+class TestTokenBucketRefill:
+    def test_starts_full(self):
+        bucket = TokenBucket(rate=2.0, capacity=4.0)
+        assert bucket.tokens == 4.0
+
+    def test_refill_accrues_at_rate(self):
+        bucket = TokenBucket(rate=2.0, capacity=10.0, initial=0.0)
+        bucket.refill(0.0)   # establish the origin
+        bucket.refill(1.5)
+        assert bucket.tokens == pytest.approx(3.0)
+
+    def test_burst_clamps_at_capacity_however_long_idle(self):
+        """Idle time buys at most ``capacity`` tokens -- never more."""
+        bucket = TokenBucket(rate=5.0, capacity=3.0, initial=0.0)
+        bucket.refill(0.0)
+        bucket.refill(10_000.0)
+        assert bucket.tokens == 3.0
+
+    def test_request_above_capacity_never_succeeds(self):
+        bucket = TokenBucket(rate=5.0, capacity=3.0)
+        assert not bucket.try_acquire(1e9, cost=3.5)
+
+    def test_backwards_time_refills_nothing(self):
+        """Clock skew must neither mint tokens nor corrupt the origin."""
+        bucket = TokenBucket(rate=1.0, capacity=10.0, initial=0.0)
+        bucket.refill(10.0)
+        bucket.refill(4.0)       # skew: earlier than the origin
+        assert bucket.tokens == 0.0
+        bucket.refill(11.0)      # one second after the *original* origin
+        assert bucket.tokens == pytest.approx(1.0)
+
+    def test_exact_spend_and_throttle(self):
+        bucket = TokenBucket(rate=1.0, capacity=2.0)
+        assert bucket.try_acquire(0.0)
+        assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)  # empty now
+        assert bucket.try_acquire(1.0)      # one second buys one token
+
+    def test_configure_credits_accrual_at_the_old_rate(self):
+        bucket = TokenBucket(rate=10.0, capacity=100.0, initial=0.0)
+        bucket.refill(0.0)
+        bucket.configure(2.0, rate=1.0)   # 2s at the OLD rate -> 20 tokens
+        assert bucket.tokens == pytest.approx(20.0)
+        bucket.refill(3.0)                # 1s at the new rate
+        assert bucket.tokens == pytest.approx(21.0)
+
+    def test_configure_capacity_clips_tokens(self):
+        bucket = TokenBucket(rate=1.0, capacity=10.0)
+        bucket.configure(0.0, capacity=4.0)
+        assert bucket.tokens == 4.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan")])
+    def test_rejects_degenerate_parameters(self, bad):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=bad, capacity=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, capacity=bad)
+
+
+class TestAdmissionController:
+    def test_admits_until_bucket_empty(self):
+        ctl = AdmissionController(rate=1.0, burst=2.0)
+        assert ctl.admit(0.0) is ADMIT
+        assert ctl.admit(0.0) is ADMIT
+        assert ctl.admit(0.0) is SHED_RATE
+
+    def test_queue_bound_sheds_before_the_bucket_is_consulted(self):
+        """A drowning system must shed regardless of token balance."""
+        ctl = AdmissionController(rate=100.0, burst=100.0, max_queue=4.0)
+        assert ctl.admit(0.0, queue_depth=4.0) is SHED_QUEUE
+        assert ctl.bucket.tokens == 100.0  # untouched
+
+    def test_counters_and_shed_fraction(self):
+        ctl = AdmissionController(rate=1.0, burst=1.0, max_queue=2.0)
+        verdicts = [ctl.admit(0.0),                    # admit
+                    ctl.admit(0.0),                    # shed_rate
+                    ctl.admit(0.0, queue_depth=5.0)]   # shed_queue
+        assert verdicts == [ADMIT, SHED_RATE, SHED_QUEUE]
+        assert ctl.admitted == 1
+        assert ctl.shed == {SHED_RATE: 1, SHED_QUEUE: 1}
+        assert ctl.total_shed() == 2
+        assert ctl.shed_fraction() == pytest.approx(2.0 / 3.0)
+
+    def test_shed_fraction_with_no_traffic_is_zero(self):
+        assert AdmissionController(rate=1.0).shed_fraction() == 0.0
+
+    def test_configure_retunes_all_three_knobs(self):
+        ctl = AdmissionController(rate=1.0, burst=1.0, max_queue=2.0)
+        ctl.configure(0.0, rate=50.0, burst=10.0, max_queue=99.0)
+        assert ctl.rate == 50.0
+        assert ctl.bucket.capacity == 10.0
+        assert ctl.max_queue == 99.0
+
+    def test_snapshot_is_json_safe_and_complete(self):
+        import json
+        ctl = AdmissionController(rate=3.0, burst=6.0, max_queue=9.0)
+        ctl.admit(0.0)
+        snap = ctl.snapshot()
+        json.dumps(snap)
+        assert set(snap) == {"admitted", "shed_rate", "shed_queue",
+                             "shed_fraction", "rate", "burst", "max_queue",
+                             "tokens"}

@@ -1,0 +1,202 @@
+"""The asyncio server: protocol ops, error codes, shedding, eviction."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import Client, InProcessClient, SimulationServer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_server(**kwargs):
+    defaults = dict(workers=0, governor="none", admission_rate=1000.0,
+                    admission_burst=1000.0)
+    defaults.update(kwargs)
+    return SimulationServer(**defaults)
+
+
+async def with_server(body, **kwargs):
+    """Start an in-process (no socket) server, run ``body``, stop."""
+    server = make_server(**kwargs)
+    await server.start(listen=False)
+    try:
+        return await body(server, InProcessClient(server))
+    finally:
+        await server.stop()
+
+
+class TestOps:
+    def test_create_step_run_metrics_snapshot_close(self):
+        async def body(server, client):
+            created = await client.create("sensornet", steps=30,
+                                          n_channels=4, seed=1)
+            assert created["ok"] and created["substrate"] == "sensornet"
+            session = created["session"]
+
+            stepped = await client.step(session, n=5)
+            assert stepped["ok"] and stepped["steps_taken"] == 5
+            assert stepped["snapshot"]["steps_taken"] == 5
+
+            snap = await client.snapshot(session)
+            assert snap["ok"] and not snap["stale"]
+            assert snap["snapshot"] == stepped["snapshot"]  # cache hit
+
+            finished = await client.run(session)
+            assert finished["steps_taken"] == 30  # to the config budget
+
+            metrics = await client.metrics(session)
+            assert metrics["ok"] and metrics["metrics"]
+
+            closed = await client.close_session(session)
+            assert closed["ok"]
+            missing = await client.step(session)
+            assert missing["code"] == "unknown_session"
+
+        run(with_server(body))
+
+    def test_step_results_match_direct_simulation(self):
+        """What the server returns is exactly what the simulator does."""
+        async def body(server, client):
+            created = await client.create("sensornet", steps=30,
+                                          n_channels=4, seed=7)
+            return await client.step(created["session"], n=12)
+
+        from repro.api import SensornetConfig, make_simulator
+        response = run(with_server(body))
+        sim = make_simulator("sensornet",
+                             SensornetConfig(steps=30, n_channels=4, seed=7))
+        for _ in range(12):
+            sim.step()
+        direct = json.loads(json.dumps(
+            {"metrics": sim.metrics(), "snapshot": sim.snapshot()}))
+        assert response["metrics"] == direct["metrics"]
+        assert response["snapshot"] == direct["snapshot"]
+
+
+class TestErrors:
+    def test_unknown_op_unknown_substrate_bad_config(self):
+        async def body(server, client):
+            unknown_op = await client.request({"op": "launch"})
+            assert unknown_op["code"] == "bad_request"
+            assert "create" in unknown_op["error"]
+
+            bad_substrate = await client.request(
+                {"op": "create", "substrate": "mainframe"})
+            assert bad_substrate["code"] == "bad_request"
+            assert "sensornet" in bad_substrate["error"]
+
+            bad_config = await client.request(
+                {"op": "create", "substrate": "sensornet",
+                 "config": {"no_such_field": 1}})
+            assert bad_config["code"] == "bad_request"
+
+            negative = await client.request(
+                {"op": "create", "substrate": "sensornet",
+                 "config": {"steps": 10}})
+            bad_n = await client.request(
+                {"op": "step", "session": negative["session"], "n": -1})
+            assert bad_n["code"] == "bad_request"
+
+        run(with_server(body))
+
+
+class TestShedding:
+    def test_overload_sheds_with_a_shed_code(self):
+        async def body(server, client):
+            created = await client.create("sensornet", steps=1000,
+                                          n_channels=4)
+            session = created["session"]
+            verdicts = [await client.step(session) for _ in range(20)]
+            ok = [v for v in verdicts if v.get("ok")]
+            shed = [v for v in verdicts
+                    if str(v.get("code", "")).startswith("shed")]
+            assert ok, "everything shed: admission burst too tight"
+            assert shed, "nothing shed despite a ~zero admission rate"
+            assert len(ok) + len(shed) == 20
+            stats = (await client.stats())["stats"]
+            assert stats["admission"]["shed_rate"] == len(shed)
+
+        # ~3 tokens then a trickle: most of the burst must shed.
+        run(with_server(body, admission_rate=0.001, admission_burst=3.0))
+
+
+class TestBackgroundLoops:
+    def test_ttl_loop_evicts_idle_sessions(self):
+        async def body(server, client):
+            created = await client.create("sensornet", steps=30,
+                                          n_channels=4)
+            assert len(server.sessions) == 1
+            await asyncio.sleep(0.6)  # > ttl + sweep interval
+            assert len(server.sessions) == 0
+            gone = await client.snapshot(created["session"])
+            assert gone["code"] == "unknown_session"
+
+        run(with_server(body, ttl=0.2))
+
+    def test_governor_loop_ticks_and_explains(self):
+        async def body(server, client):
+            created = await client.create("sensornet", steps=200,
+                                          n_channels=4)
+            for _ in range(10):
+                await client.step(created["session"])
+            await asyncio.sleep(0.25)  # two governor intervals
+            explained = await client.request({"op": "explain"})
+            assert explained["ok"]
+            assert "Governor state" in explained["explanation"]
+            stats = (await client.stats())["stats"]
+            assert stats["requests_completed"] >= 11
+
+        run(with_server(body, governor="self_aware", govern_interval=0.1))
+
+
+class TestSocket:
+    def test_round_trip_over_a_real_socket(self):
+        async def body():
+            server = make_server(port=0)
+            await server.start()
+            try:
+                client = await Client.connect(server.host, server.port)
+                try:
+                    created = await client.create("sensornet", steps=30,
+                                                  n_channels=4, seed=1)
+                    assert created["ok"]
+                    stepped = await client.step(created["session"], n=3)
+                    assert stepped["steps_taken"] == 3
+                    stats = await client.stats()
+                    assert stats["stats"]["requests_completed"] >= 2
+                finally:
+                    await client.close()
+            finally:
+                await server.stop()
+
+        run(body())
+
+    def test_unparseable_line_gets_a_bad_request(self):
+        async def body():
+            server = make_server(port=0)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port)
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert response == {"ok": False, "code": "bad_request",
+                                    "error": response["error"]}
+                assert "unparseable" in response["error"]
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.stop()
+
+        run(body())
+
+
+class TestConstruction:
+    def test_unknown_governor_rejected(self):
+        with pytest.raises(ValueError, match="governor"):
+            SimulationServer(governor="vibes")

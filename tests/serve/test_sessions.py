@@ -1,0 +1,125 @@
+"""Sessions: TTL eviction, the LRU snapshot cache, and rehydration."""
+
+import pytest
+
+from repro.api import SensornetConfig
+from repro.serve import SessionTable, SnapshotCache, UnknownSession
+
+CONFIG = SensornetConfig(steps=60, n_channels=4, seed=3)
+
+
+class TestLifecycle:
+    def test_ids_are_sequential_and_stable(self):
+        table = SessionTable()
+        a = table.create(0.0, "sensornet", CONFIG, hydrate=False)
+        b = table.create(0.0, "sensornet", CONFIG, hydrate=False)
+        assert (a.session_id, b.session_id) == ("s000001", "s000002")
+        assert table.ids() == ["s000001", "s000002"]
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownSession):
+            SessionTable().get("s000404")
+
+    def test_close_removes_session_and_snapshots(self):
+        table = SessionTable()
+        session = table.create(0.0, "sensornet", CONFIG, hydrate=False)
+        table.snapshots.put(session.session_id, 0, {"x": 1})
+        table.close(session.session_id)
+        assert len(table) == 0
+        assert table.snapshots.latest(session.session_id) is None
+        with pytest.raises(UnknownSession):
+            table.close(session.session_id)
+
+    def test_max_sessions_is_a_hard_bound(self):
+        table = SessionTable(max_sessions=2)
+        table.create(0.0, "sensornet", CONFIG, hydrate=False)
+        table.create(0.0, "sensornet", CONFIG, hydrate=False)
+        with pytest.raises(RuntimeError, match="full"):
+            table.create(0.0, "sensornet", CONFIG, hydrate=False)
+
+
+class TestTTLEviction:
+    def test_idle_sessions_expire_active_ones_survive(self):
+        table = SessionTable(ttl=10.0)
+        idle = table.create(0.0, "sensornet", CONFIG, hydrate=False)
+        busy = table.create(0.0, "sensornet", CONFIG, hydrate=False)
+        table.get(busy.session_id, now=9.0)   # a touch resets the clock
+        evicted = table.evict_expired(15.0)
+        assert evicted == [idle.session_id]
+        assert table.ids() == [busy.session_id]
+        assert table.evicted == 1
+
+    def test_exactly_at_ttl_is_not_yet_expired(self):
+        table = SessionTable(ttl=10.0)
+        session = table.create(0.0, "sensornet", CONFIG, hydrate=False)
+        assert table.evict_expired(10.0) == []
+        assert table.evict_expired(10.0001) == [session.session_id]
+
+    def test_eviction_drops_cached_snapshots_too(self):
+        table = SessionTable(ttl=1.0)
+        session = table.create(0.0, "sensornet", CONFIG, hydrate=False)
+        table.snapshots.put(session.session_id, 3, {"t": 3})
+        table.evict_expired(5.0)
+        assert table.snapshots.latest(session.session_id) is None
+
+
+class TestSnapshotCache:
+    def test_lru_evicts_the_coldest_entry(self):
+        cache = SnapshotCache(max_entries=2)
+        cache.put("a", 1, {"s": 1})
+        cache.put("b", 1, {"s": 2})
+        cache.get("a", 1)            # refresh a; b is now coldest
+        cache.put("c", 1, {"s": 3})
+        assert cache.get("b", 1) is None
+        assert cache.get("a", 1) == {"s": 1}
+        assert cache.get("c", 1) == {"s": 3}
+
+    def test_hit_and_miss_counters(self):
+        cache = SnapshotCache()
+        cache.put("a", 1, {})
+        cache.get("a", 1)
+        cache.get("a", 2)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_latest_returns_highest_step(self):
+        cache = SnapshotCache()
+        cache.put("a", 5, {"t": 5})
+        cache.put("a", 9, {"t": 9})
+        cache.put("b", 99, {"t": 99})
+        assert cache.latest("a") == (9, {"t": 9})
+        assert cache.latest("nope") is None
+
+
+class TestRehydration:
+    def test_hibernate_then_rehydrate_reproduces_exact_state(self):
+        """The replay guarantee doing production work: dropping the live
+        simulator and rebuilding from (config, seed, steps_taken) must
+        land on a byte-identical snapshot."""
+        table = SessionTable()
+        session = table.create(0.0, "sensornet", CONFIG)
+        sim = table.simulator(session)
+        for _ in range(17):
+            sim.step()
+        session.steps_taken = 17
+        before = (dict(sim.snapshot()), dict(sim.metrics()))
+
+        table.hibernate(session.session_id)
+        assert session.simulator is None
+
+        rehydrated = table.simulator(session)
+        assert rehydrated is not sim
+        assert dict(rehydrated.snapshot()) == before[0]
+        assert dict(rehydrated.metrics()) == before[1]
+
+    def test_table_snapshot_uses_cache_then_stale_then_simulator(self):
+        table = SessionTable()
+        session = table.create(0.0, "sensornet", CONFIG, hydrate=False)
+        # Miss everywhere: falls through to the simulator, then caches.
+        snap, stale = table.snapshot(session)
+        assert not stale and snap["steps_taken"] == 0
+        assert table.snapshot(session) == (snap, False)  # exact-cache hit
+        # Advance the declarative position; the exact entry is now missing
+        # but the stale path may serve the old one.
+        session.steps_taken = 5
+        old, stale = table.snapshot(session, stale_ok=True)
+        assert stale and old == snap

@@ -1,0 +1,99 @@
+"""The discrete-time serving model: determinism, shapes, and the claim."""
+
+import json
+
+from repro.api import ServeConfig, make_simulator
+from repro.serve import ServingSimulation
+
+
+def small(**overrides):
+    base = dict(steps=240, seed=3, offered_load=16.0, warmup=60)
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+class TestDeterminism:
+    def test_same_config_replays_byte_identically(self):
+        a = ServingSimulation(small())
+        b = ServingSimulation(small())
+        a.run()
+        b.run()
+        assert json.dumps(a.records) == json.dumps(b.records)
+        assert json.dumps(a.metrics()) == json.dumps(b.metrics())
+
+    def test_reset_replays_in_place(self):
+        sim = ServingSimulation(small())
+        first = (json.dumps(sim.run()), json.dumps(sim.metrics()))
+        sim.reset(3)
+        second = (json.dumps(sim.run()), json.dumps(sim.metrics()))
+        assert first == second
+
+    def test_seeds_differ(self):
+        a = ServingSimulation(small(seed=1))
+        b = ServingSimulation(small(seed=2))
+        a.run()
+        b.run()
+        assert a.records != b.records
+
+
+class TestShapes:
+    def test_snapshot_shape(self):
+        sim = make_simulator("serve", small())
+        for _ in range(5):
+            sim.step()
+        snap = sim.snapshot()
+        assert snap["substrate"] == "serve"
+        assert snap["steps_taken"] == 5
+        assert {"queue_depth", "pool", "degraded"} <= set(snap)
+
+    def test_metrics_keys_and_bounds(self):
+        sim = ServingSimulation(small())
+        sim.run()
+        metrics = sim.metrics()
+        assert set(metrics) == {"goodput", "p95_latency", "shed_fraction",
+                                "mean_pool", "slo_attainment", "offered"}
+        assert 0.0 <= metrics["shed_fraction"] <= 1.0
+        assert 0.0 <= metrics["slo_attainment"] <= 1.0
+        assert metrics["goodput"] >= 0.0
+        assert metrics["mean_pool"] >= 1.0
+
+    def test_record_accounting_balances(self):
+        sim = ServingSimulation(small())
+        for record in sim.run():
+            assert record["offered"] == record["admitted"] + record["shed"]
+            assert record["good"] <= record["completions"]
+            assert record["effective"] <= record["pool"]
+
+
+class TestControl:
+    def test_governor_outserves_static_under_overload(self):
+        """The E14 direction at smoke size: at an offered load well above
+        the static pool's capacity, the self-aware arm completes more
+        SLO-met work per tick."""
+        results = {}
+        for arm in ("static", "self_aware"):
+            sim = ServingSimulation(small(governor=arm))
+            sim.run()
+            results[arm] = sim.metrics()
+        assert (results["self_aware"]["goodput"]
+                > 1.2 * results["static"]["goodput"])
+
+    def test_static_arm_never_scales(self):
+        sim = ServingSimulation(small(governor="static", static_workers=2))
+        assert all(r["pool"] == 2.0 for r in sim.run())
+
+    def test_boot_delay_defers_scale_up(self):
+        """Pool growth can only land ``boot_delay`` ticks after a
+        governor decision tick."""
+        cfg = small(boot_delay=5, govern_every=4)
+        sim = ServingSimulation(cfg)
+        grow_ticks = [r["time"] for i, r in enumerate(sim.run())
+                      if i and sim.records[i]["pool"]
+                      > sim.records[i - 1]["pool"]]
+        assert grow_ticks, "never scaled up under overload"
+        # A decision at tick t books capacity for t + boot_delay; growth
+        # therefore lands at least boot_delay after *some* decision tick.
+        for t in grow_ticks:
+            decision_ticks = [d for d in range(int(t) + 1)
+                              if d % cfg.govern_every == 0]
+            assert any(t >= d + cfg.boot_delay for d in decision_ticks)
