@@ -22,6 +22,7 @@ the output.  ``workers=0`` runs the very same worker function in-process
 from __future__ import annotations
 
 import json
+import threading
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -126,6 +127,12 @@ class BatchDispatcher:
         self._workers = workers
         self.max_batch = max_batch
         self._pool: ProcessPoolExecutor | None = None
+        # submit() and resize() arrive from different executor threads
+        # (the server's batch loop vs. its governor loop); without mutual
+        # exclusion a resize can shut the pool down under an in-flight
+        # submit, which then raises "cannot schedule new futures after
+        # shutdown".  Reentrant because resize() calls close().
+        self._lock = threading.RLock()
         self.batches_run = 0
         self.requests_run = 0
 
@@ -154,16 +161,17 @@ class BatchDispatcher:
         """Execute ``requests``; results align with the input order."""
         if not requests:
             return []
-        batches = self._plan(requests)
-        results: List[Dict[str, Any]] = [None] * len(requests)  # type: ignore
-        if self._workers == 0:
-            outputs = [run_step_batch([r for _, r in batch])
-                       for batch in batches]
-        else:
-            pool = self._ensure_pool()
-            futures = [pool.submit(run_step_batch, [r for _, r in batch])
-                       for batch in batches]
-            outputs = [future.result() for future in futures]
+        with self._lock:
+            batches = self._plan(requests)
+            results: List[Dict[str, Any]] = [None] * len(requests)  # type: ignore
+            if self._workers == 0:
+                outputs = [run_step_batch([r for _, r in batch])
+                           for batch in batches]
+            else:
+                pool = self._ensure_pool()
+                futures = [pool.submit(run_step_batch, [r for _, r in batch])
+                           for batch in batches]
+                outputs = [future.result() for future in futures]
         for batch, output in zip(batches, outputs):
             for (index, _), result in zip(batch, output):
                 results[index] = result
@@ -184,15 +192,17 @@ class BatchDispatcher:
         """
         if workers < 0:
             raise ValueError("workers must be >= 0")
-        if workers == self._workers:
-            return
-        self.close()
-        self._workers = workers
+        with self._lock:
+            if workers == self._workers:
+                return
+            self.close()
+            self._workers = workers
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
 
     def __enter__(self) -> "BatchDispatcher":
         return self

@@ -90,11 +90,15 @@ class ServeSelfModel(PredictiveModel):
     Holds two online estimates -- the offered arrival rate and the
     per-worker service rate -- and predicts, for a candidate pool size
     ``n``, the goodput and p95 latency the system would realise.  The
-    latency prediction is the M/M/1-flavoured ``1 / (1 - rho)`` blow-up
-    in ticks (clipped), with amortised backlog drain folded into the
-    offered work; it is deliberately coarse -- what matters is that it
-    is *monotone and learned*, so the reasoner's choices track reality
-    as the estimates converge.
+    latency prediction is the M/M/1-flavoured sojourn time
+    ``(1 / service_rate) / (1 - rho)`` (clipped), with amortised backlog
+    drain folded into the offered work.  Scaling the blow-up by the
+    learned mean service time keeps the prediction in whatever unit the
+    telemetry and ``slo_p95`` use -- ticks in the discrete simulation,
+    seconds on the live server -- so the SLO constraint stays feasible
+    and prediction error stays meaningful in both.  It is deliberately
+    coarse -- what matters is that it is *monotone and learned*, so the
+    reasoner's choices track reality as the estimates converge.
 
     Confidence is earned, not assumed: it grows with observation count
     and is discounted by the model's recent relative prediction error.
@@ -160,8 +164,13 @@ class ServeSelfModel(PredictiveModel):
         # over the drain horizon.
         offered = max(0.0, arrival) + queue / self._horizon
         rho = offered / capacity
+        # Mean service time carries the unit (ticks or seconds): the
+        # sojourn prediction must be commensurable with the measured
+        # p95 and the SLO, or the constraint can never be satisfied.
+        service_time = 1.0 / max(1e-9, self.service_estimate)
         if rho < 1.0:
-            latency = min(4.0 * self._slo, 1.0 / max(1e-9, 1.0 - rho))
+            latency = min(4.0 * self._slo,
+                          service_time / max(1e-9, 1.0 - rho))
         else:
             latency = 4.0 * self._slo
         goodput = min(offered, capacity)
@@ -336,7 +345,7 @@ class ServeGovernor:
                  if self.degraded else "healthy")
         return (f"{base} Governor state: {state}; pool target {self._pool}; "
                 f"learned service rate "
-                f"{self.model.service_estimate:.2f} req/worker/tick.")
+                f"{self.model.service_estimate:.2f} req/worker per unit time.")
 
 
 class StaticGovernor:

@@ -227,22 +227,34 @@ class SimulationServer:
         return {"ok": True, "session": session.session_id,
                 "substrate": substrate}
 
-    async def _step_via_batch(self, session: Any,
-                              n_steps: int) -> Dict[str, Any]:
-        """Queue a step request for the batch loop and await its result."""
+    async def _step_via_batch(self, session: Any, n_steps: int, *,
+                              to_budget: bool = False) -> Dict[str, Any]:
+        """Queue a step request for the batch loop and await its result.
+
+        The session's lock is held from reading ``steps_taken`` through
+        committing the result: concurrent step/run requests for the same
+        session serialise, so each executes from the position the
+        previous one left, instead of both capturing the same base and
+        one update being lost.  With ``to_budget`` the step count is the
+        distance to the config's budget, computed under the same lock.
+        """
         assert self._queue is not None, "server not started"
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        work = StepRequest(session_id=session.session_id,
-                           substrate=session.substrate,
-                           config=session.config,
-                           base_steps=session.steps_taken,
-                           n_steps=n_steps)
-        await self._queue.put((work, future))
-        result = await future
-        session.steps_taken = result["steps_taken"]
-        self.sessions.snapshots.put(session.session_id,
-                                    session.steps_taken,
-                                    result["snapshot"])
+        async with session.lock:
+            if to_budget:
+                budget = int(getattr(session.config, "steps", 0))
+                n_steps = max(0, budget - session.steps_taken)
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            work = StepRequest(session_id=session.session_id,
+                               substrate=session.substrate,
+                               config=session.config,
+                               base_steps=session.steps_taken,
+                               n_steps=n_steps)
+            await self._queue.put((work, future))
+            result = await future
+            session.steps_taken = result["steps_taken"]
+            self.sessions.snapshots.put(session.session_id,
+                                        session.steps_taken,
+                                        result["snapshot"])
         return result
 
     async def _op_step(self, request: Dict[str, Any],
@@ -260,9 +272,7 @@ class SimulationServer:
     async def _op_run(self, request: Dict[str, Any],
                       now: float) -> Dict[str, Any]:
         session = self.sessions.get(str(request.get("session")), now)
-        budget = int(getattr(session.config, "steps", 0))
-        remaining = max(0, budget - session.steps_taken)
-        result = await self._step_via_batch(session, remaining)
+        result = await self._step_via_batch(session, 0, to_budget=True)
         return {"ok": True, "session": session.session_id,
                 "steps_taken": result["steps_taken"],
                 "metrics": result["metrics"],

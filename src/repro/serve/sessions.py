@@ -23,6 +23,7 @@ Sans-io: all methods take ``now`` explicitly.
 
 from __future__ import annotations
 
+import asyncio
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -47,6 +48,11 @@ class Session:
     last_used: float
     steps_taken: int = 0
     simulator: Optional[Any] = field(default=None, repr=False)
+    #: Serialises stepping work: concurrent step/run requests for the
+    #: same session must observe each other's ``steps_taken`` updates,
+    #: or both execute from the same base and one is silently lost.
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock,
+                               repr=False, compare=False)
 
     def describe(self) -> Dict[str, Any]:
         """JSON-safe summary for ``stats`` responses."""

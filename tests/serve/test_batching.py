@@ -1,6 +1,7 @@
 """Batching: byte-identical to sequential stepping at any worker count."""
 
 import json
+import threading
 
 import pytest
 
@@ -103,6 +104,32 @@ class TestPlanning:
         assert dispatcher.workers == 3
         dispatcher.resize(0)
         assert dispatcher.workers == 0
+
+    def test_resize_during_submit_never_breaks_a_batch(self):
+        """The server calls submit() (batch loop) and resize() (governor
+        loop) from different executor threads; a resize shutting the
+        pool down under an in-flight submit must block, not raise
+        'cannot schedule new futures after shutdown'."""
+        dispatcher = BatchDispatcher(workers=1, max_batch=2)
+        failures = []
+
+        def stepper():
+            try:
+                for base in range(0, 8, 2):
+                    results = dispatcher.submit(
+                        _requests(2, base=base, steps=2))
+                    assert [r["steps_taken"] for r in results] == \
+                        [base + 2, base + 2]
+            except Exception as exc:  # noqa: BLE001 - recorded for the assert
+                failures.append(exc)
+
+        thread = threading.Thread(target=stepper)
+        thread.start()
+        for workers in (2, 1, 2):
+            dispatcher.resize(workers)
+        thread.join()
+        dispatcher.close()
+        assert not failures, f"submit raced resize: {failures[0]!r}"
 
     @pytest.mark.parametrize("kwargs", [dict(workers=-1), dict(max_batch=0)])
     def test_rejects_degenerate_parameters(self, kwargs):

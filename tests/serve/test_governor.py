@@ -103,6 +103,28 @@ class TestDegradation:
             decision = self._pressure(governor, t)
         assert not decision.degraded and not decision.serve_stale
 
+    def test_wall_clock_units_never_degrade_a_lightly_loaded_server(self):
+        """The server's default configuration: SLO and p95 in *seconds*,
+        service rate in requests/second.  The model's latency prediction
+        must live in the same unit, or the SLO is infeasible for every
+        pool size, prediction error explodes and the governor parks
+        itself in degraded mode on an otherwise healthy server."""
+        governor = ServeGovernor(slo_p95=0.25, min_workers=1, max_workers=4,
+                                 service_rate_guess=200.0, epsilon=0.0,
+                                 seed=0)
+        decision = None
+        for t in range(40):
+            decision = governor.tick(float(t), stats(
+                queue=0.0, arrival=20.0, p95=0.004, util=0.1,
+                pool=float(governor.pool_target), completions=20.0))
+        assert not decision.degraded and not decision.serve_stale
+        assert governor.monitor.last_confidence > governor.monitor.threshold
+        # The SLO constraint is satisfiable: a single worker's predicted
+        # sojourn at this load sits well inside a 250 ms budget.
+        predicted = governor.model.predict(
+            {"arrival_rate": 20.0, "queue_depth": 0.0}, 1)
+        assert predicted["latency"] < 0.25
+
 
 class TestSelfModel:
     def test_service_rate_is_learned_only_from_saturated_ticks(self):

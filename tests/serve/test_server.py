@@ -77,6 +77,53 @@ class TestOps:
         assert response["snapshot"] == direct["snapshot"]
 
 
+class TestConcurrency:
+    def test_concurrent_steps_on_one_session_all_land(self):
+        """Two connections stepping the same session must serialise:
+        without the per-session lock both capture the same base position
+        and one request's steps are silently lost."""
+        async def body(server, client):
+            created = await client.create("sensornet", steps=1000,
+                                          n_channels=4, seed=3)
+            session = created["session"]
+            responses = await asyncio.gather(
+                *(client.step(session, n=1) for _ in range(8)))
+            assert all(r["ok"] for r in responses)
+            assert sorted(r["steps_taken"] for r in responses) == \
+                list(range(1, 9))
+            assert server.sessions.get(session).steps_taken == 8
+            snap = await client.snapshot(session)
+            assert not snap["stale"]
+            return snap
+
+        from repro.api import SensornetConfig, make_simulator
+        snap = run(with_server(body))
+        sim = make_simulator("sensornet",
+                             SensornetConfig(steps=1000, n_channels=4,
+                                             seed=3))
+        for _ in range(8):
+            sim.step()
+        assert snap["snapshot"] == json.loads(json.dumps(sim.snapshot()))
+
+    def test_concurrent_run_and_step_respect_the_budget(self):
+        async def body(server, client):
+            created = await client.create("sensornet", steps=20,
+                                          n_channels=4, seed=5)
+            session = created["session"]
+            await asyncio.gather(client.step(session, n=6),
+                                 client.run(session))
+            assert server.sessions.get(session).steps_taken <= 20 + 6
+            finished = await client.run(session)
+            # run() computes the remaining budget under the session lock,
+            # so the final position is exactly the budget, never past it
+            # by a stale remainder.
+            assert finished["steps_taken"] in (20, 26)
+            again = await client.run(session)
+            assert again["steps_taken"] == finished["steps_taken"]
+
+        run(with_server(body))
+
+
 class TestErrors:
     def test_unknown_op_unknown_substrate_bad_config(self):
         async def body(server, client):
@@ -151,6 +198,32 @@ class TestBackgroundLoops:
             assert stats["requests_completed"] >= 11
 
         run(with_server(body, governor="self_aware", govern_interval=0.1))
+
+    def test_default_units_do_not_trip_degradation_under_light_load(self):
+        """The wall-clock governor with the server's default SLO and
+        service-rate units (seconds, requests/second) must judge a
+        lightly loaded server healthy: predicted latency lives in the
+        same unit as the measured p95, so confidence stays high and the
+        degradation monitor never trips."""
+        async def body(server, client):
+            created = await client.create("sensornet", steps=5000,
+                                          n_channels=4)
+            session = created["session"]
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + 0.7
+            while loop.time() < deadline:
+                response = await client.step(session)
+                assert response["ok"]
+                await asyncio.sleep(0.01)
+            assert server.governor.monitor.last_confidence is not None, \
+                "governor loop never ticked"
+            stats = (await client.stats())["stats"]
+            assert not stats["degraded"]
+            assert not stats["serve_stale"]
+
+        # Default slo_p95/service_rate_guess; only the cadence is sped
+        # up so a dozen governance cycles fit in the test budget.
+        run(with_server(body, governor="self_aware", govern_interval=0.05))
 
 
 class TestSocket:
