@@ -20,7 +20,8 @@ import numpy as np
 
 from repro.core import (CapabilityProfile, Goal, Objective, Sensor,
                         SensorSuite, build_node, private, run_control_loop)
-from repro.obs import emit, enabled, get_bus
+from repro.explain import ExplanationStore
+from repro.obs import causal_scope, emit, enabled, get_bus
 
 STEPS = 1000
 
@@ -68,11 +69,15 @@ def test_disabled_overhead_under_5_percent():
     loop_seconds = min(timeit.repeat(_run_loop, number=1, repeat=3))
 
     # Cost of the disabled primitives the loop pays per step: enabled()
-    # guards plus a worst-case no-op emit() (kwargs packing included).
+    # guards, a worst-case no-op emit() (kwargs packing included, causal
+    # provenance included) and the shared no-op causal scope.
     n = 200_000
     check_seconds = min(timeit.repeat(
-        "enabled(); emit('x', a=1.0, b=2.0)",
-        globals={"enabled": enabled, "emit": emit}, number=n, repeat=3)) / n
+        "enabled(); emit('x', a=1.0, b=2.0, causes=(1, 2))\n"
+        "with causal_scope():\n"
+        "    pass",
+        globals={"enabled": enabled, "emit": emit,
+                 "causal_scope": causal_scope}, number=n, repeat=3)) / n
 
     budget = CHECKS_PER_STEP * check_seconds * STEPS
     assert budget < 0.05 * loop_seconds, (
@@ -88,30 +93,40 @@ def test_disabled_fast_path_allocates_nothing():
 
     Substrates guard every emission with ``if enabled():`` so a disabled
     bus costs one attribute read -- no kwargs dict, no event record, no
-    deque growth.  Net allocations attributed to the guarded loop must
-    be zero.
+    deque growth.  The pattern now includes causal provenance (an
+    emit-with-``causes`` inside a ``causal_scope``) and an attached but
+    idle :class:`ExplanationStore`: a disabled bus never invokes
+    subscribers, so the store must see nothing and allocate nothing.
+    Net allocations attributed to the guarded loop must be zero.
     """
     assert not enabled(), "benchmark requires telemetry off"
+    store = ExplanationStore().attach(get_bus())
 
     def guarded(n):
         for _ in range(n):
-            if enabled():
-                emit("bench.alloc", value=1.0, phase="hot")
+            with causal_scope():
+                if enabled():
+                    emit("bench.alloc", value=1.0, phase="hot",
+                         causes=(1, 2))
 
-    guarded(1_000)  # settle any lazy interpreter state first
-    tracemalloc.start()
     try:
-        before = tracemalloc.take_snapshot()
-        guarded(10_000)
-        after = tracemalloc.take_snapshot()
+        guarded(1_000)  # settle any lazy interpreter state first
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot()
+            guarded(10_000)
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
     finally:
-        tracemalloc.stop()
+        store.detach()
     here = [tracemalloc.Filter(True, __file__)]
     stats = after.filter_traces(here).compare_to(
         before.filter_traces(here), "lineno")
     grown = [s for s in stats if s.size_diff > 0]
     assert not grown, f"disabled fast path allocated: {grown}"
     assert len(get_bus()) == 0
+    assert store.events_seen == 0, "idle store was invoked on a disabled bus"
 
 
 def test_disabled_guard_never_invokes_emit(monkeypatch):

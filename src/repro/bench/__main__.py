@@ -4,12 +4,12 @@ Examples
 --------
 Full run, canonical output::
 
-    python -m repro.bench --out BENCH_5.json
+    python -m repro.bench --out BENCH_6.json
 
 Quick CI pass with a regression gate against the committed baseline::
 
     python -m repro.bench --quick --out bench-ci.json \
-        --compare BENCH_5.json --max-regress 10% --skip-on-noise
+        --compare BENCH_6.json --max-regress 10% --skip-on-noise
 """
 
 from __future__ import annotations
@@ -30,8 +30,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Benchmark the per-step simulation kernels.")
     parser.add_argument("--quick", action="store_true",
                         help="fewer steps per repeat (CI mode)")
-    parser.add_argument("--out", default="BENCH_5.json",
-                        help="output JSON path (default: BENCH_5.json)")
+    parser.add_argument("--out", default="BENCH_6.json",
+                        help="output JSON path (default: BENCH_6.json)")
     parser.add_argument("--kernels", default=None,
                         help="comma-separated kernel subset")
     parser.add_argument("--steps", type=int, default=None,

@@ -306,6 +306,26 @@ def _emit_setup(enabled: bool) -> StepRunner:
     return run
 
 
+def _explain_ingest_setup() -> StepRunner:
+    """Explanation-store ingestion: governor-shaped causal chains
+    (telemetry -> prediction -> decision) folded into the bounded index
+    and rollups, one event per counted step."""
+    from ..experiments.e15_explain_scale import synthesize_stream
+    from ..explain import ExplanationStore
+
+    store = ExplanationStore()
+    shard = 0
+
+    def run(n: int) -> None:
+        nonlocal shard
+        # Vary the seed per burst so repeated timing runs do not replay
+        # byte-identical latencies into the P2 estimators.
+        synthesize_stream(store, int(n), seed=shard)
+        shard += 1
+
+    return run
+
+
 def _serve_dispatch_setup() -> StepRunner:
     """Full in-process server round-trip per step: admission -> session
     lookup -> batch queue -> dispatcher -> response.  Measures the
@@ -446,6 +466,12 @@ KERNELS: List[KernelSpec] = [
         steps=800, quick_steps=160,
         description="Batch dispatcher throughput over 8 cached sessions "
                     "(coalesce + incremental worker-cache stepping)"),
+    KernelSpec(
+        name="explain.ingest",
+        setup=_explain_ingest_setup,
+        steps=100_000, quick_steps=20_000,
+        description="Explanation-store streaming ingest (provenance "
+                    "index + cause-class rollups + P2 histograms)"),
     KernelSpec(
         name="obs.emit",
         setup=lambda: _emit_setup(True),

@@ -33,7 +33,7 @@ from .knowledge import Belief, History, KnowledgeBase, Observation
 from .levels import ALL_LEVELS, CapabilityProfile, SelfAwarenessLevel, ladder
 from .loop import (Environment, SimulationClock, Trace, TraceStep,
                    run_control_loop)
-from .meta import (MetaReasoner, StrategyStats, SwitchEvent,
+from .meta import (MetaReasoner, StrategyStats, SwitchEvent, SwitchHistory,
                    switches_from_events)
 from .models import (BlendedModel, ContextualActionModel, EmpiricalActionModel,
                      ModelQualityTracker, PredictiveModel, PriorModel)
@@ -59,7 +59,8 @@ __all__ = [
     "Belief", "History", "KnowledgeBase", "Observation",
     "ALL_LEVELS", "CapabilityProfile", "SelfAwarenessLevel", "ladder",
     "Environment", "SimulationClock", "Trace", "TraceStep", "run_control_loop",
-    "MetaReasoner", "StrategyStats", "SwitchEvent",
+    "MetaReasoner", "StrategyStats", "SwitchEvent", "SwitchHistory",
+    "switches_from_events",
     "BlendedModel", "ContextualActionModel", "EmpiricalActionModel",
     "ModelQualityTracker", "PredictiveModel", "PriorModel",
     "SelfAwareNode", "StepResult",

@@ -172,71 +172,89 @@ def run_control_loop(
         now = clock.tick()
         if faults is not None:
             faults.begin_step(now)
-        if reports_fn is not None:
-            for entity, name, value in reports_fn(now):
-                if faults is not None and faults.dropped(target=entity):
-                    continue
-                node.receive_report(entity, name, now, value)
-        actions = list(environment.candidate_actions(now))
-        if (faults is not None and last_applied is not None
-                and faults.is_crashed("node", ("node",))):
-            # Node down: the world advances under the last expressed
-            # action, but nothing is perceived and nothing is learned.
-            metrics = environment.apply(last_applied, now)
+        if obs_events.enabled():
+            # Everything this step decides and learns is downstream of
+            # the open fault windows, the current degradation episode
+            # and the meta level's last strategy switch: stamp them as
+            # ambient causes so every event emitted in the step body
+            # (loop.step, meta.utility, meta.switch, ...) is traceable
+            # back through them (see repro.explain).
+            step_causes: list = (list(faults.active_fault_seqs())
+                                 if faults is not None else [])
+            if degradation is not None:
+                step_causes.append(degradation.cause_seq)
+            step_causes.append(getattr(node.reasoner, "last_switch_seq", None))
+            step_scope = obs_events.causal_scope(*step_causes)
+        else:
+            step_scope = obs_events.causal_scope()  # shared no-op context
+        with step_scope:
+            if reports_fn is not None:
+                for entity, name, value in reports_fn(now):
+                    if faults is not None and faults.dropped(target=entity):
+                        continue
+                    node.receive_report(entity, name, now, value)
+            actions = list(environment.candidate_actions(now))
+            if (faults is not None and last_applied is not None
+                    and faults.is_crashed("node", ("node",))):
+                # Node down: the world advances under the last expressed
+                # action, but nothing is perceived and nothing is learned.
+                metrics = environment.apply(last_applied, now)
+                utility = goal.utility(metrics)
+                if obs_events.enabled():
+                    obs_metrics.counter("steps", sim="core",
+                                        node=node.name).increment()
+                    obs_events.emit("loop.step", node=node.name, time=now,
+                                    action=last_applied, utility=utility,
+                                    explored=False, sensing_cost=0.0,
+                                    crashed=True)
+                trace.append(TraceStep(
+                    time=now, action=last_applied, metrics=dict(metrics),
+                    utility=utility, explored=False, sensing_cost=0.0))
+                continue
+            node_now = (faults.perceived_time(now, target="node")
+                        if faults is not None else now)
+            result = node.step(node_now, actions)
+            applied = result.decision.action
+            if result.actuation is not None and not result.actuation.applied:
+                # A guard vetoed the choice: the node expresses inaction,
+                # which substrates model as repeating the previous action.
+                applied = (node.expression.current_action
+                           if node.expression is not None
+                           and node.expression.current_action is not None
+                           else applied)
+            if degradation is not None:
+                applied = degradation.filter_action(now, node, result.context,
+                                                    applied)
+            if obs_events.enabled():
+                # The environment transition is the loop's own phase: the
+                # node timed sense/model/reason/act inside ``step``.
+                with phase_timer("environment", node=node.name):
+                    metrics = environment.apply(applied, now)
+            else:
+                metrics = environment.apply(applied, now)
             utility = goal.utility(metrics)
+            sensed = metrics
+            if faults is not None:
+                # Corrupt what the node *learns from*, never what the goal
+                # scores: dropped metrics vanish, noisy ones are perturbed.
+                sensed = {}
+                for key, value in metrics.items():
+                    if faults.dropped(target=key):
+                        continue
+                    sensed[key] = faults.perturb(value, target=key)
+            node.feedback(sensed, utility=utility)
+            last_applied = applied
             if obs_events.enabled():
                 obs_metrics.counter("steps", sim="core",
                                     node=node.name).increment()
+                obs_metrics.histogram("loop.utility",
+                                      node=node.name).observe(utility)
                 obs_events.emit("loop.step", node=node.name, time=now,
-                                action=last_applied, utility=utility,
-                                explored=False, sensing_cost=0.0,
-                                crashed=True)
+                                action=applied, utility=utility,
+                                explored=result.decision.explored,
+                                sensing_cost=result.sensing_cost)
             trace.append(TraceStep(
-                time=now, action=last_applied, metrics=dict(metrics),
-                utility=utility, explored=False, sensing_cost=0.0))
-            continue
-        node_now = (faults.perceived_time(now, target="node")
-                    if faults is not None else now)
-        result = node.step(node_now, actions)
-        applied = result.decision.action
-        if result.actuation is not None and not result.actuation.applied:
-            # A guard vetoed the choice: the node expresses inaction, which
-            # substrates model as repeating the previous action.
-            applied = (node.expression.current_action
-                       if node.expression is not None
-                       and node.expression.current_action is not None
-                       else applied)
-        if degradation is not None:
-            applied = degradation.filter_action(now, node, result.context,
-                                                applied)
-        if obs_events.enabled():
-            # The environment transition is the loop's own phase: the
-            # node timed sense/model/reason/act inside ``step``.
-            with phase_timer("environment", node=node.name):
-                metrics = environment.apply(applied, now)
-        else:
-            metrics = environment.apply(applied, now)
-        utility = goal.utility(metrics)
-        sensed = metrics
-        if faults is not None:
-            # Corrupt what the node *learns from*, never what the goal
-            # scores: dropped metrics vanish, noisy ones are perturbed.
-            sensed = {}
-            for key, value in metrics.items():
-                if faults.dropped(target=key):
-                    continue
-                sensed[key] = faults.perturb(value, target=key)
-        node.feedback(sensed, utility=utility)
-        last_applied = applied
-        if obs_events.enabled():
-            obs_metrics.counter("steps", sim="core", node=node.name).increment()
-            obs_metrics.histogram("loop.utility", node=node.name).observe(utility)
-            obs_events.emit("loop.step", node=node.name, time=now,
-                            action=applied, utility=utility,
-                            explored=result.decision.explored,
-                            sensing_cost=result.sensing_cost)
-        trace.append(TraceStep(
-            time=now, action=applied, metrics=dict(metrics),
-            utility=utility, explored=result.decision.explored,
-            sensing_cost=result.sensing_cost))
+                time=now, action=applied, metrics=dict(metrics),
+                utility=utility, explored=result.decision.explored,
+                sensing_cost=result.sensing_cost))
     return trace

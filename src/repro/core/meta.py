@@ -118,6 +118,12 @@ class MetaReasoner(Reasoner):
         self._since_switch = 0
         self._probe_cursor = 0
         self._last_delegate: Optional[str] = None
+        # Provenance: seq ids of the recent ``meta.utility`` events --
+        # the evidence a switch decision is based on.  ``meta.switch``
+        # events cite them as causes, and the core loop cites the last
+        # switch itself (see ``last_switch_seq``).
+        self._utility_seqs: Deque[int] = deque(maxlen=8)
+        self.last_switch_seq: Optional[int] = None
 
     # -- awareness of own awareness ---------------------------------------
 
@@ -174,8 +180,11 @@ class MetaReasoner(Reasoner):
             # The meta level measures its own reasoners through the same
             # telemetry substrate everything else uses: one event per
             # observed utility, plus a per-strategy utility histogram.
-            obs_events.emit("meta.utility", time=time, strategy=credited,
-                            active=self.active, utility=utility)
+            observed = obs_events.emit(
+                "meta.utility", time=time, strategy=credited,
+                active=self.active, utility=utility)
+            if observed is not None:
+                self._utility_seqs.append(observed.seq)
             obs_metrics.histogram("meta.strategy_utility",
                                   strategy=credited).observe(utility)
 
@@ -221,29 +230,64 @@ class MetaReasoner(Reasoner):
         if self._detector_factory is not None:
             self._detector = self._detector_factory()
         if obs_events.enabled():
-            obs_events.emit("meta.switch", time=time,
-                            from_strategy=event.from_strategy,
-                            to_strategy=event.to_strategy,
-                            reason=event.reason)
+            # The switch decision cites the utility observations it was
+            # based on -- the causal chain the explanation store resolves.
+            emitted = obs_events.emit(
+                "meta.switch", time=time,
+                from_strategy=event.from_strategy,
+                to_strategy=event.to_strategy,
+                reason=event.reason,
+                causes=tuple(self._utility_seqs))
+            if emitted is not None:
+                self.last_switch_seq = emitted.seq
             obs_metrics.counter("meta.switches").increment()
         return event
 
 
-def switches_from_events(events) -> List[SwitchEvent]:
+class SwitchHistory(List[SwitchEvent]):
+    """A switch sequence that knows whether its source stream was complete.
+
+    Behaves exactly like the list :func:`switches_from_events` used to
+    return, plus a ``truncated`` flag: ``True`` when the stream showed
+    seq gaps (ring-buffer overflow, partial trace) or the caller passed
+    a non-zero drop count -- the reconstruction may then be missing
+    switches and must not be presented as the full history.
+    """
+
+    def __init__(self, switches: Sequence[SwitchEvent] = (),
+                 truncated: bool = False) -> None:
+        super().__init__(switches)
+        self.truncated = truncated
+
+
+def switches_from_events(events, dropped: int = 0) -> SwitchHistory:
     """Reconstruct the switch history from a telemetry event stream.
 
     Accepts any iterable of :class:`repro.obs.events.Event` (e.g.
     ``bus.events()`` or a parsed JSONL trace's event dicts) and returns
-    the :class:`SwitchEvent` sequence it encodes -- the meta level's
-    decisions are reproducible from telemetry alone, with no access to
-    the reasoner object.
+    the :class:`SwitchHistory` it encodes -- the meta level's decisions
+    are reproducible from telemetry alone, with no access to the
+    reasoner object.
+
+    Pass the *full* stream (``bus.events()`` with no name filter, or
+    every trace record): seq discontinuities are how a lossy stream is
+    detected, and any gap -- or a non-zero ``dropped`` count, e.g.
+    ``bus.dropped`` -- sets the result's ``truncated`` flag instead of
+    returning a silently incomplete history.
     """
-    switches: List[SwitchEvent] = []
+    switches = SwitchHistory(truncated=bool(dropped))
+    next_seq: Optional[int] = None
     for event in events:
         if isinstance(event, Mapping):
             name, fields = event.get("event"), event
+            seq = event.get("seq")
         else:
-            name, fields = event.name, event.fields
+            name, fields, seq = event.name, event.fields, event.seq
+        if seq is not None:
+            seq = int(seq)
+            if next_seq is not None and seq != next_seq:
+                switches.truncated = True
+            next_seq = seq + 1
         if name != "meta.switch":
             continue
         switches.append(SwitchEvent(

@@ -1,0 +1,215 @@
+"""E15 -- explanation at scale: causal queries over million-event streams.
+
+PR 6's tentpole claim, made measurable.  A self-aware system that can
+only explain its *last* decision has not solved self-explanation; the
+:class:`~repro.explain.ExplanationStore` claims to answer "why did
+decisions of kind K happen in window W" over arbitrarily long recorded
+streams in O(rollup) time with bounded memory.  This experiment drives a
+synthetic but structurally faithful decision stream -- the
+telemetry → prediction → scale-decision chains the serve governor emits,
+plus periodic meta switches -- through the store at increasing lengths
+and scores:
+
+``ingest_eps``
+    Streaming ingestion throughput (events per second).
+``query_seconds``
+    Mean wall time of a ``why_aggregate`` query (full-stream and
+    windowed, mixed).  The headline acceptance claim -- checked by
+    ``tests/experiments/test_e15.py`` -- is that this is *sublinear* in
+    stream length: queries run on rollups, never on the raw stream.
+``state_cells``
+    The store's total retained state (index slots + rollup cells +
+    time buckets): must stay bounded as the stream grows.
+``chain_complete``
+    Fraction of recently recorded decisions whose full causal chain
+    (decision → prediction → telemetry) resolves via ``why``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..explain import ExplanationStore
+from ..obs.events import Event
+from .harness import ExperimentTable
+
+#: Full-size sweep defaults (the quick suite overrides via params).
+LENGTHS = (100_000, 300_000, 1_000_000)
+
+#: ``why_aggregate`` invocations averaged per measurement.
+QUERIES = 24
+
+#: Recent decisions whose chains are checked for completeness.
+CHAIN_SAMPLE = 64
+
+
+def synthesize_stream(store: ExplanationStore, length: int,
+                      seed: int) -> int:
+    """Feed ``length`` events of governor-shaped traffic into ``store``.
+
+    Every cycle emits a telemetry event; every other cycle a prediction
+    (caused by the telemetry) and a scale decision (caused by both);
+    every ~200th cycle a ``meta.switch``.  Latencies are drawn from a
+    seeded generator so runs are reproducible.  Events are fed directly
+    (the store is stream-agnostic: a live bus and a replayed trace look
+    identical), which keeps the experiment about the store, not about
+    simulator speed.  Returns the number of decisions recorded.
+    """
+    rng = np.random.default_rng([0xE15, seed])
+    # Draw per-chunk to bound the experiment's own memory at any length.
+    chunk = 4096
+    seq = 0
+    decisions = 0
+    feed = store  # one attribute lookup, hot loop below
+    while seq < length:
+        latencies = rng.gamma(shape=2.0, scale=0.5,
+                              size=min(chunk, length - seq))
+        for latency in latencies:
+            t = float(seq) * 0.1
+            telemetry = Event("serve.telemetry", seq,
+                              {"time": t, "queue_depth": float(seq % 17)})
+            feed(telemetry)
+            seq += 1
+            if seq >= length:
+                break
+            predict = Event("serve.predict", seq,
+                            {"time": t, "latency": float(latency)},
+                            causes=(telemetry.seq,))
+            feed(predict)
+            seq += 1
+            if seq >= length:
+                break
+            name = "meta.switch" if decisions % 200 == 199 else "serve.scale"
+            decision = Event(name, seq,
+                             {"time": t, "pool": float(seq % 8 + 1),
+                              "latency": float(latency)},
+                             causes=(predict.seq, telemetry.seq))
+            feed(decision)
+            decisions += 1
+            seq += 1
+            if seq >= length:
+                break
+    return decisions
+
+
+def _time_queries(store: ExplanationStore, length: int,
+                  queries: int) -> float:
+    """Mean seconds per ``why_aggregate`` call, mixed full and windowed."""
+    t_hi = length * 0.1
+    total = 0.0
+    for q in range(queries):
+        if q % 3 == 0:
+            args = dict(kind=None, window=None)
+        elif q % 3 == 1:
+            args = dict(kind="serve.scale",
+                        window=(t_hi * 0.4, t_hi * 0.6), axis="time")
+        else:
+            args = dict(kind="meta.switch",
+                        window=(length // 4, length // 2), axis="seq")
+        t0 = time.perf_counter()
+        store.why_aggregate(**args)
+        total += time.perf_counter() - t0
+    return total / queries
+
+
+def _chain_completeness(store: ExplanationStore, sample: int) -> float:
+    """Fraction of the newest indexed decisions with fully resolved chains."""
+    decision_seqs: List[int] = []
+    for seq in reversed(store._index):
+        if store._index[seq].name in ("serve.scale", "meta.switch"):
+            decision_seqs.append(seq)
+            if len(decision_seqs) >= sample:
+                break
+    if not decision_seqs:
+        return 0.0
+    complete = 0
+    for seq in decision_seqs:
+        chain = store.why(seq)
+        causes = chain.get("causes", [])
+        if causes and all(not c["truncated"] for c in causes) and any(
+                c.get("causes") for c in causes):
+            complete += 1
+    return complete / len(decision_seqs)
+
+
+def run_shard(seed: int, lengths: Sequence[int] = LENGTHS,
+              queries: int = QUERIES
+              ) -> Dict[str, Dict[str, float]]:
+    """One seed: stream length -> scored metrics (JSON-safe)."""
+    payload: Dict[str, Dict[str, float]] = {}
+    for length in lengths:
+        store = ExplanationStore()
+        t0 = time.perf_counter()
+        decisions = synthesize_stream(store, int(length), seed)
+        ingest_seconds = time.perf_counter() - t0
+        stats = store.stats()
+        # Warm pass first: ingesting the stream just walked far more
+        # memory than the rollups occupy, so the first queries measure
+        # cache refill, not query cost.
+        _time_queries(store, int(length), queries=3)
+        payload[str(int(length))] = {
+            "ingest_eps": (stats["events_seen"] / ingest_seconds
+                           if ingest_seconds > 0 else 0.0),
+            "query_seconds": _time_queries(store, int(length), queries),
+            "state_cells": float(stats["indexed"] + stats["rollup_cells"]
+                                 + stats["buckets"]),
+            "chain_complete": _chain_completeness(store, CHAIN_SAMPLE),
+            "decisions": float(decisions),
+            "truncated": float(stats["truncated"]),
+        }
+    return payload
+
+
+def reduce(shards: Sequence[Dict], seeds: Sequence[int] = (),
+           lengths: Sequence[int] = LENGTHS,
+           queries: int = QUERIES) -> ExperimentTable:
+    """Seed-average the scaling sweep into the E15 table."""
+    table = ExperimentTable(
+        experiment_id="E15",
+        title="Explanation at scale: causal query cost and store memory "
+              "vs recorded stream length",
+        columns=["stream_length", "ingest_eps", "query_seconds",
+                 "state_cells", "chain_complete"],
+        notes=("governor-shaped synthetic stream (telemetry -> prediction "
+               "-> scale decision causal chains + periodic meta switches) "
+               "fed through repro.explain.ExplanationStore; query_seconds "
+               "= mean why_aggregate wall time over mixed full-stream and "
+               "windowed queries answered from rollups only; state_cells "
+               "= bounded index slots + rollup cells + time buckets"))
+    for length in lengths:
+        key = str(int(length))
+        cells = [shard[key] for shard in shards]
+        table.add_row(
+            stream_length=int(length),
+            ingest_eps=float(np.mean([c["ingest_eps"] for c in cells])),
+            query_seconds=float(np.mean([c["query_seconds"]
+                                         for c in cells])),
+            state_cells=float(np.mean([c["state_cells"] for c in cells])),
+            chain_complete=float(np.mean([c["chain_complete"]
+                                          for c in cells])))
+    if len(lengths) >= 2:
+        lo, hi = str(int(lengths[0])), str(int(lengths[-1]))
+        q_lo = float(np.mean([s[lo]["query_seconds"] for s in shards]))
+        q_hi = float(np.mean([s[hi]["query_seconds"] for s in shards]))
+        if q_lo > 0:
+            table.append_note(
+                f"stream grew {lengths[-1] / lengths[0]:.0f}x, query time "
+                f"grew {q_hi / q_lo:.2f}x (sublinear: rollup-resident "
+                f"queries never replay the stream)")
+    return table
+
+
+def run(seeds: Sequence[int] = (0,), lengths: Sequence[int] = LENGTHS,
+        queries: int = QUERIES) -> ExperimentTable:
+    """The full sweep, serial (the suite shards it by seed)."""
+    return reduce([run_shard(seed, lengths=lengths, queries=queries)
+                   for seed in seeds], seeds=seeds, lengths=lengths,
+                  queries=queries)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from .harness import print_tables
+    print_tables([run()])

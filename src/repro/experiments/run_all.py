@@ -87,6 +87,8 @@ def suite_jobs(quick: bool = False) -> List[SuiteJob]:
                  intensities=(0.0, 0.5)),
             _job("E14", "e14_serving", (0,), steps=300,
                  loads=(4.0, 16.0)),
+            _job("E15", "e15_explain_scale", (0,),
+                 lengths=(30_000, 120_000), queries=12),
             _job("A1", "ablations", (0,), "run_aggregation_shard",
                  "reduce_aggregation", steps=700),
             _job("A2", "ablations", (0,), "run_forecasters_shard",
@@ -126,6 +128,8 @@ def suite_jobs(quick: bool = False) -> List[SuiteJob]:
              intensities=(0.0, 0.3, 0.6)),
         _job("E14", "e14_serving", (0, 1, 2), steps=600,
              loads=(4.0, 8.0, 16.0, 28.0)),
+        _job("E15", "e15_explain_scale", (0, 1),
+             lengths=(100_000, 300_000, 1_000_000)),
         _job("A1", "ablations", (0, 1, 2, 3), "run_aggregation_shard",
              "reduce_aggregation", steps=1200),
         _job("A2", "ablations", (0, 1, 2), "run_forecasters_shard",

@@ -1,0 +1,29 @@
+"""Causal self-explanation at scale (``repro.explain``).
+
+The paper's self-explanation principle says a self-aware system should
+report *why* it acted; :mod:`repro.core.explanation` does that per step
+as prose.  This package makes explanations structured, causal and
+queryable: decision events on the :mod:`repro.obs` bus carry ``causes``
+(the seq ids of the telemetry, prediction and switch events they
+consumed -- see :func:`repro.obs.causal_scope`), and the
+:class:`ExplanationStore` indexes that stream so
+
+- :meth:`~ExplanationStore.why` answers "why did decision ``seq``
+  happen" with the full causal chain, and
+- :meth:`~ExplanationStore.why_aggregate` answers "what caused
+  decisions of kind K in window W" over millions of events in
+  O(rollup) time, never replaying the raw stream.
+
+Live systems attach the store to their bus; recorded JSONL traces (from
+``run_all --telemetry`` or the serve layer) are ingested offline with
+:meth:`~ExplanationStore.ingest_trace` or queried from the shell via
+``python -m repro.explain trace.jsonl --why-aggregate``.
+"""
+
+from .store import (DEFAULT_DECISION_EVENTS, NO_CAUSE, UNKNOWN_CAUSE,
+                    VALUE_FIELDS, ExplanationStore)
+
+__all__ = [
+    "DEFAULT_DECISION_EVENTS", "NO_CAUSE", "UNKNOWN_CAUSE", "VALUE_FIELDS",
+    "ExplanationStore",
+]

@@ -1,0 +1,126 @@
+"""Query recorded traces for causal explanations from the shell.
+
+Examples::
+
+    python -m repro.explain trace.jsonl --stats
+    python -m repro.explain trace.jsonl --why 1234
+    python -m repro.explain trace.jsonl --why-aggregate
+    python -m repro.explain trace.jsonl --why-aggregate meta.switch \\
+        --window 10 250 --axis time --json
+
+The trace is streamed line by line through an :class:`ExplanationStore`;
+memory stays bounded by the store's rollup caps regardless of file size,
+and aggregate queries run on the rollups, not the raw events.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import Any, Dict, List, Optional
+
+from .store import ExplanationStore
+
+
+def _render_chain(node: Dict[str, Any], indent: int = 0) -> List[str]:
+    pad = "  " * indent
+    if node.get("event") is None:
+        return [f"{pad}- seq {node['seq']}: (not retained; chain truncated)"]
+    fields = node.get("fields", {})
+    shown = ", ".join(f"{k}={v}" for k, v in list(fields.items())[:6])
+    lines = [f"{pad}- seq {node['seq']}: {node['event']}"
+             + (f" ({shown})" if shown else "")]
+    for cause in node.get("causes", ()):
+        lines.extend(_render_chain(cause, indent + 1))
+    if node.get("causes_elided"):
+        lines.append(f"{pad}  ... causes elided at depth limit: "
+                     f"{node['causes_elided']}")
+    return lines
+
+
+def _render_aggregate(answer: Dict[str, Any]) -> List[str]:
+    lines = [f"decisions: {answer['decisions']}"
+             + (" [TRUNCATED STREAM]" if answer["truncated"] else "")]
+    for kind in sorted(answer["kinds"]):
+        agg = answer["kinds"][kind]
+        mean = agg.get("mean_value", math.nan)
+        value_note = (f", mean {agg['value_field']}={mean:.4g}"
+                      if agg.get("value_field") and not math.isnan(mean)
+                      else "")
+        lines.append(f"  {kind}: {agg['decisions']} decision(s){value_note}")
+        for cause_class, count in sorted(
+                answer["causes"].get(kind, {}).items(),
+                key=lambda item: -item[1]):
+            lines.append(f"    caused by {cause_class}: {count}")
+        for cause_class, summary in sorted(
+                answer["distributions"].get(kind, {}).items()):
+            p95 = summary.get("p95", math.nan)
+            lines.append(
+                f"    {cause_class}: n={summary.get('count', 0):g} "
+                f"mean={summary.get('mean', math.nan):.4g} p95={p95:.4g}")
+    lines.append(f"  ({answer['buckets_scanned']} rollup bucket(s) scanned)")
+    return lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.explain",
+        description="Query a JSONL telemetry trace for causal explanations.")
+    parser.add_argument("trace", help="path to a trace.jsonl file")
+    parser.add_argument("--why", type=int, metavar="SEQ",
+                        help="print the causal chain behind event SEQ")
+    parser.add_argument("--why-aggregate", nargs="?", const="", default=None,
+                        metavar="KIND",
+                        help="aggregate causes (optionally for one decision "
+                             "kind, e.g. meta.switch)")
+    parser.add_argument("--window", nargs=2, type=float, metavar=("LO", "HI"),
+                        help="restrict --why-aggregate to this window")
+    parser.add_argument("--axis", choices=("time", "seq"), default="time",
+                        help="axis --window addresses (default: time)")
+    parser.add_argument("--depth", type=int, default=6,
+                        help="causal chain depth for --why (default: 6)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the store's own accounting")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
+    args = parser.parse_args(argv)
+
+    store = ExplanationStore()
+    ingested = store.ingest_trace(args.trace)
+
+    out: Dict[str, Any] = {}
+    lines: List[str] = []
+    if args.why is not None:
+        chain = store.why(args.why, depth=args.depth)
+        out["why"] = chain
+        lines.append(f"why seq {args.why}:"
+                     + (" [TRUNCATED STREAM]" if chain["store_truncated"]
+                        else ""))
+        lines.extend(_render_chain(chain, indent=1))
+    if args.why_aggregate is not None:
+        window = tuple(args.window) if args.window else None
+        answer = store.why_aggregate(
+            kind=args.why_aggregate or None, window=window, axis=args.axis)
+        out["why_aggregate"] = answer
+        kind_label = args.why_aggregate or "(all kinds)"
+        lines.append(f"why-aggregate {kind_label}:")
+        lines.extend("  " + line for line in _render_aggregate(answer))
+    if args.stats or (args.why is None and args.why_aggregate is None):
+        stats = store.stats()
+        out["stats"] = stats
+        lines.append(f"ingested {ingested} event(s) from {args.trace}")
+        for key, value in stats.items():
+            lines.append(f"  {key}: {value}")
+
+    if args.json:
+        json.dump(out, sys.stdout, indent=2, default=repr)
+        sys.stdout.write("\n")
+    else:
+        print("\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,439 @@
+"""The causal explanation store: a streaming index over decision events.
+
+Every decision event on the :mod:`repro.obs` bus carries ``causes`` --
+the seq ids of the telemetry, prediction and switch events it consumed
+(:func:`repro.obs.events.causal_scope`).  This module turns that stream
+into something queryable at million-event scale:
+
+- a **bounded seq index** of recent events (for resolving causal chains
+  -- causes always point backwards, and almost always recently);
+- **rollups** updated incrementally as events arrive: per-decision-kind
+  counters, cause-class breakdowns, P² value histograms keyed by
+  ``(decision kind, cause class)``, and self-coalescing time buckets --
+  so :meth:`ExplanationStore.why_aggregate` answers "what caused
+  decisions of kind K in window W" in O(rollup) time, never by
+  replaying raw events;
+- **stream-integrity tracking**: ring-buffer drops and seq gaps mark
+  the store (and every answer it gives) ``truncated`` instead of
+  silently reconstructing a wrong history.
+
+The store is a plain bus subscriber (:meth:`attach`) for live systems,
+and an offline ingester (:meth:`ingest_trace`) for the JSONL traces
+``run_all --telemetry`` and the serve layer already record.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import OrderedDict
+from typing import (Any, Dict, Iterable, List, Mapping, Optional, Sequence,
+                    Tuple)
+
+from ..obs.events import Event, EventBus, unescape_fields
+from ..obs.metrics import StreamingHistogram
+
+#: Event names treated as decisions (provenance + rollups) by default.
+#: Everything else is still indexed so chains can resolve through it.
+DEFAULT_DECISION_EVENTS = frozenset((
+    "loop.step", "meta.switch", "degrade.enter", "degrade.exit",
+    "serve.scale", "fault.start",
+))
+
+#: Per-decision value fields folded into the P² histograms, first match
+#: wins -- the latency/utility/regret axis of ``why_aggregate``.
+VALUE_FIELDS = ("utility", "latency", "p95_latency", "seconds",
+                "regret", "confidence", "intensity")
+
+#: Label for a decision with no recorded causes.
+NO_CAUSE = "(none)"
+
+#: Label substituted for a cause whose event left the index before the
+#: decision citing it arrived.
+UNKNOWN_CAUSE = "(unresolved)"
+
+
+class _TimeBuckets:
+    """Self-coalescing fixed-budget buckets over the decision stream.
+
+    Buckets are keyed on the bus ``seq`` axis (always present, strictly
+    monotone); each bucket also records the min/max of the decisions'
+    ``time`` fields so queries can address a window on either axis.
+    When the bucket count would exceed ``max_buckets`` the width doubles
+    and adjacent pairs merge -- memory stays bounded for any stream
+    length while the whole run remains covered.
+    """
+
+    __slots__ = ("width", "max_buckets", "buckets")
+
+    def __init__(self, width: int = 1024, max_buckets: int = 512) -> None:
+        if width < 1 or max_buckets < 2:
+            raise ValueError("need width >= 1 and max_buckets >= 2")
+        self.width = int(width)
+        self.max_buckets = int(max_buckets)
+        #: bucket start seq -> {"t_lo", "t_hi", "kinds": {kind: [count,
+        #: value_sum, value_count]}, "classes": {(kind, class): count}}
+        self.buckets: "OrderedDict[int, Dict[str, Any]]" = OrderedDict()
+
+    def observe(self, seq: int, time: float, kind: str, cause_class: str,
+                value: Optional[float]) -> None:
+        start = (seq // self.width) * self.width
+        bucket = self.buckets.get(start)
+        if bucket is None:
+            if len(self.buckets) >= self.max_buckets:
+                self._coalesce()
+                start = (seq // self.width) * self.width
+                bucket = self.buckets.get(start)
+            if bucket is None:
+                bucket = self.buckets[start] = {
+                    "t_lo": math.inf, "t_hi": -math.inf,
+                    "kinds": {}, "classes": {}}
+        if time < bucket["t_lo"]:
+            bucket["t_lo"] = time
+        if time > bucket["t_hi"]:
+            bucket["t_hi"] = time
+        cell = bucket["kinds"].get(kind)
+        if cell is None:
+            cell = bucket["kinds"][kind] = [0, 0.0, 0]
+        cell[0] += 1
+        if value is not None:
+            cell[1] += value
+            cell[2] += 1
+        key = (kind, cause_class)
+        bucket["classes"][key] = bucket["classes"].get(key, 0) + 1
+
+    def _coalesce(self) -> None:
+        """Double the width; merge buckets that now share a start."""
+        self.width *= 2
+        merged: "OrderedDict[int, Dict[str, Any]]" = OrderedDict()
+        for start, bucket in self.buckets.items():
+            new_start = (start // self.width) * self.width
+            target = merged.get(new_start)
+            if target is None:
+                merged[new_start] = bucket
+                continue
+            target["t_lo"] = min(target["t_lo"], bucket["t_lo"])
+            target["t_hi"] = max(target["t_hi"], bucket["t_hi"])
+            for kind, cell in bucket["kinds"].items():
+                into = target["kinds"].setdefault(kind, [0, 0.0, 0])
+                into[0] += cell[0]
+                into[1] += cell[1]
+                into[2] += cell[2]
+            for key, count in bucket["classes"].items():
+                target["classes"][key] = target["classes"].get(key, 0) + count
+        self.buckets = merged
+
+    def select(self, window: Optional[Tuple[float, float]],
+               axis: str) -> List[Tuple[int, Dict[str, Any]]]:
+        """Buckets overlapping ``window`` on ``axis`` ('seq' or 'time')."""
+        if window is None:
+            return list(self.buckets.items())
+        lo, hi = float(window[0]), float(window[1])
+        out = []
+        for start, bucket in self.buckets.items():
+            if axis == "seq":
+                b_lo, b_hi = float(start), float(start + self.width - 1)
+            else:
+                b_lo, b_hi = bucket["t_lo"], bucket["t_hi"]
+            if b_hi >= lo and b_lo <= hi:
+                out.append((start, bucket))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.buckets)
+
+
+class ExplanationStore:
+    """Streaming provenance index + rollups over an event stream.
+
+    Parameters
+    ----------
+    decision_names:
+        Event names treated as decisions.  ``None`` uses
+        :data:`DEFAULT_DECISION_EVENTS`.
+    index_size:
+        How many recent events stay resolvable by seq (the memory
+        bound on :meth:`why`); older ones are evicted oldest-first and
+        chains through them report ``truncated``.
+    bucket_width, max_buckets:
+        Initial seq width and hard count cap of the time buckets.
+    """
+
+    def __init__(self, decision_names: Optional[Iterable[str]] = None,
+                 *, index_size: int = 65536,
+                 bucket_width: int = 1024, max_buckets: int = 512) -> None:
+        if index_size < 1:
+            raise ValueError("index_size must be positive")
+        self.decision_names = frozenset(
+            DEFAULT_DECISION_EVENTS if decision_names is None
+            else decision_names)
+        self.index_size = int(index_size)
+        self._index: "OrderedDict[int, Event]" = OrderedDict()
+        self._buckets = _TimeBuckets(width=bucket_width,
+                                     max_buckets=max_buckets)
+        #: decision kind -> total count (whole stream, never evicted).
+        self.counts: Dict[str, int] = {}
+        #: decision kind -> cause class -> count.
+        self.cause_counts: Dict[str, Dict[str, int]] = {}
+        #: (decision kind, cause class) -> P² histogram of the value field.
+        self.value_hists: Dict[Tuple[str, str], StreamingHistogram] = {}
+        #: decision kind -> which VALUE_FIELDS member feeds its histograms.
+        self.value_field: Dict[str, str] = {}
+        #: decision kind -> seq of the most recent decision of that kind.
+        self._last_decision: Dict[str, int] = {}
+        self.events_seen = 0
+        self.decisions_seen = 0
+        #: Causes cited by decisions that the index could not resolve.
+        self.unresolved_causes = 0
+        #: Seq discontinuities observed in the stream (ring overflow,
+        #: partial trace).  Any gap marks the store truncated.
+        self.gaps = 0
+        self._next_seq: Optional[int] = None
+        self._bus: Optional[EventBus] = None
+
+    # -- integrity ---------------------------------------------------------
+
+    @property
+    def truncated(self) -> bool:
+        """Whether any part of the stream is known to be missing."""
+        if self.gaps:
+            return True
+        bus = self._bus
+        return bool(bus is not None and bus.dropped)
+
+    # -- ingestion ---------------------------------------------------------
+
+    def attach(self, bus: EventBus) -> "ExplanationStore":
+        """Subscribe to ``bus``; returns ``self``.  A disabled bus never
+        invokes subscribers, so an attached-but-idle store is free."""
+        bus.subscribe(self)
+        self._bus = bus
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe from the bus given to :meth:`attach` (no-op if none)."""
+        if self._bus is not None:
+            self._bus.unsubscribe(self)
+            self._bus = None
+
+    def __call__(self, event: Event) -> None:
+        """Subscriber interface: fold one event in (streaming, O(1))."""
+        seq = event.seq
+        if self._next_seq is not None and seq != self._next_seq:
+            self.gaps += 1
+        self._next_seq = seq + 1
+        self.events_seen += 1
+        index = self._index
+        index[seq] = event
+        if len(index) > self.index_size:
+            index.popitem(last=False)
+        if event.name in self.decision_names:
+            self._record_decision(event)
+
+    def ingest_events(self, events: Iterable[Event],
+                      dropped: int = 0) -> "ExplanationStore":
+        """Fold an in-memory event sequence in (e.g. ``bus.events()``).
+
+        ``dropped`` is the source ring's drop counter; a non-zero value
+        marks the store truncated even when the retained window itself
+        is contiguous.
+        """
+        if dropped:
+            self.gaps += 1
+        for event in events:
+            self(event)
+        return self
+
+    def ingest_record(self, record: Mapping[str, Any]) -> bool:
+        """Fold one JSONL trace record in; returns whether it was an event.
+
+        Records without a ``seq`` (e.g. the trailing ``metrics.snapshot``)
+        are skipped.  Reserved-key escapes are undone.
+        """
+        if "seq" not in record:
+            return False
+        fields = dict(record)
+        name = fields.pop("event", "event")
+        seq = int(fields.pop("seq"))
+        causes = tuple(int(c) for c in fields.pop("causes", ()) or ())
+        self(Event(name=name, seq=seq, fields=unescape_fields(fields),
+                   causes=causes))
+        return True
+
+    def ingest_trace(self, path: str) -> int:
+        """Stream a JSONL trace file in line by line; returns events read.
+
+        Memory stays bounded by the store's own caps however long the
+        file is -- nothing beyond the current line is retained raw.
+        """
+        ingested = 0
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line and self.ingest_record(json.loads(line)):
+                    ingested += 1
+        return ingested
+
+    # -- rollup maintenance ------------------------------------------------
+
+    def _cause_class(self, causes: Sequence[int]) -> str:
+        """The cause-class label: sorted distinct names of the cause events."""
+        if not causes:
+            return NO_CAUSE
+        names = set()
+        index = self._index
+        for cause_seq in causes:
+            cause = index.get(cause_seq)
+            if cause is None:
+                self.unresolved_causes += 1
+                names.add(UNKNOWN_CAUSE)
+            else:
+                names.add(cause.name)
+        return "+".join(sorted(names))
+
+    def _record_decision(self, event: Event) -> None:
+        self.decisions_seen += 1
+        kind = event.name
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self._last_decision[kind] = event.seq
+        cause_class = self._cause_class(event.causes)
+        per_kind = self.cause_counts.setdefault(kind, {})
+        per_kind[cause_class] = per_kind.get(cause_class, 0) + 1
+        value: Optional[float] = None
+        fields = event.fields
+        field_name = self.value_field.get(kind)
+        if field_name is None:
+            for candidate in VALUE_FIELDS:
+                raw = fields.get(candidate)
+                if isinstance(raw, (int, float)) and math.isfinite(raw):
+                    self.value_field[kind] = field_name = candidate
+                    break
+        if field_name is not None:
+            raw = fields.get(field_name)
+            if isinstance(raw, (int, float)) and math.isfinite(raw):
+                value = float(raw)
+                hist = self.value_hists.get((kind, cause_class))
+                if hist is None:
+                    hist = self.value_hists[(kind, cause_class)] = \
+                        StreamingHistogram()
+                hist.observe(value)
+        time = fields.get("time")
+        time = float(time) if isinstance(time, (int, float)) else float("nan")
+        self._buckets.observe(event.seq, time, kind, cause_class, value)
+
+    # -- queries -----------------------------------------------------------
+
+    def last_decision_seq(self, kind: Optional[str] = None) -> Optional[int]:
+        """Seq of the most recent decision (of ``kind``, or any kind)."""
+        if kind is not None:
+            return self._last_decision.get(kind)
+        if not self._last_decision:
+            return None
+        return max(self._last_decision.values())
+
+    def why(self, seq: int, depth: int = 6) -> Dict[str, Any]:
+        """The causal chain behind the event at ``seq``.
+
+        Returns a nested dict: the event's name, time, fields and -- to
+        ``depth`` levels -- the chains of its causes.  A cause that has
+        left the bounded index resolves to a stub with ``truncated``
+        set; the top level carries the store-wide ``truncated`` flag so
+        silently-incomplete answers are impossible.
+        """
+        chain = self._chain(int(seq), depth)
+        chain["store_truncated"] = self.truncated
+        return chain
+
+    def _chain(self, seq: int, depth: int) -> Dict[str, Any]:
+        event = self._index.get(seq)
+        if event is None:
+            return {"seq": seq, "event": None, "truncated": True}
+        node: Dict[str, Any] = {
+            "seq": seq, "event": event.name, "truncated": False,
+            "fields": dict(event.fields)}
+        if depth > 0 and event.causes:
+            # Guard against malformed forward references: causality only
+            # ever points to the past, so chains are finite.
+            node["causes"] = [self._chain(c, depth - 1)
+                              for c in event.causes if c < seq]
+        elif event.causes:
+            node["causes_elided"] = list(event.causes)
+        return node
+
+    def why_aggregate(self, kind: Optional[str] = None,
+                      window: Optional[Tuple[float, float]] = None,
+                      axis: str = "time") -> Dict[str, Any]:
+        """What caused decisions of ``kind`` in ``window`` -- from rollups.
+
+        ``kind=None`` aggregates every decision kind.  ``window`` is an
+        inclusive ``(lo, hi)`` range on ``axis`` (``"time"`` uses the
+        events' ``time`` field, ``"seq"`` the bus sequence axis); both
+        default to the whole stream.  The answer is assembled purely
+        from counters, bucket sums and P² summaries -- O(rollup size),
+        independent of how many events streamed through.
+        """
+        if axis not in ("time", "seq"):
+            raise ValueError(f"axis must be 'time' or 'seq', not {axis!r}")
+        selected = self._buckets.select(window, axis)
+        kinds: Dict[str, Dict[str, Any]] = {}
+        causes: Dict[str, Dict[str, int]] = {}
+        for _, bucket in selected:
+            for bucket_kind, cell in bucket["kinds"].items():
+                if kind is not None and bucket_kind != kind:
+                    continue
+                agg = kinds.setdefault(bucket_kind,
+                                       {"decisions": 0, "value_sum": 0.0,
+                                        "value_count": 0})
+                agg["decisions"] += cell[0]
+                agg["value_sum"] += cell[1]
+                agg["value_count"] += cell[2]
+            for (bucket_kind, cause_class), count in bucket["classes"].items():
+                if kind is not None and bucket_kind != kind:
+                    continue
+                per_kind = causes.setdefault(bucket_kind, {})
+                per_kind[cause_class] = per_kind.get(cause_class, 0) + count
+        for name, agg in kinds.items():
+            value_sum = agg.pop("value_sum")
+            value_count = agg.pop("value_count")
+            agg["mean_value"] = (value_sum / value_count if value_count
+                                 else math.nan)
+            agg["value_field"] = self.value_field.get(name)
+        # Whole-stream P² distributions per (kind, cause class) -- the
+        # latency/utility story behind each causal pattern.  (Windowed
+        # queries still get windowed counts/means from the buckets; the
+        # quantile sketches are stream-global by construction.)
+        distributions: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for (hist_kind, cause_class), hist in self.value_hists.items():
+            if kind is not None and hist_kind != kind:
+                continue
+            distributions.setdefault(hist_kind, {})[cause_class] = \
+                hist.summary()
+        return {
+            "kind": kind, "window": list(window) if window else None,
+            "axis": axis,
+            "decisions": sum(agg["decisions"] for agg in kinds.values()),
+            "kinds": kinds, "causes": causes,
+            "distributions": distributions,
+            "buckets_scanned": len(selected),
+            "truncated": self.truncated,
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """The store's own accounting (memory-boundedness made visible)."""
+        return {
+            "events_seen": self.events_seen,
+            "decisions_seen": self.decisions_seen,
+            "indexed": len(self._index),
+            "index_size": self.index_size,
+            "buckets": len(self._buckets),
+            "bucket_width": self._buckets.width,
+            "rollup_cells": (len(self.counts)
+                             + sum(len(v) for v in self.cause_counts.values())
+                             + len(self.value_hists)),
+            "unresolved_causes": self.unresolved_causes,
+            "gaps": self.gaps,
+            "truncated": self.truncated,
+        }
+
+    def __len__(self) -> int:
+        return len(self._index)

@@ -122,11 +122,24 @@ class DegradationMonitor:
         self._saved_attention: Any = None
         self._saved_budget: Optional[float] = None
         self._last_confidence: Optional[float] = None
+        self._enter_seq: Optional[int] = None
 
     @property
     def last_confidence(self) -> Optional[float]:
         """The confidence reading from the most recent ``filter_action``."""
         return self._last_confidence
+
+    @property
+    def cause_seq(self) -> Optional[int]:
+        """Seq of the current episode's ``degrade.enter`` event.
+
+        ``None`` while healthy (or when telemetry was off at entry).
+        While degraded, every action the fallback policy shapes is
+        causally downstream of this event; the control loop cites it in
+        the step's causal scope so explanations link fallback behaviour
+        to the degradation that provoked it.
+        """
+        return self._enter_seq if self.degraded else None
 
     # ------------------------------------------------------------------
 
@@ -191,9 +204,11 @@ class DegradationMonitor:
             if math.isfinite(node.attention_budget):
                 node.attention_budget = node.attention_budget * self.budget_factor
         if obs_events.enabled():
-            obs_events.emit("degrade.enter", node=node.name, time=now,
-                            policy=self.policy, confidence=confidence,
-                            threshold=self.threshold)
+            entered = obs_events.emit(
+                "degrade.enter", node=node.name, time=now,
+                policy=self.policy, confidence=confidence,
+                threshold=self.threshold)
+            self._enter_seq = entered.seq if entered is not None else None
 
     def _exit(self, now: float, node: Any, confidence: float) -> None:
         self.degraded = False
@@ -213,9 +228,12 @@ class DegradationMonitor:
                 node.attention_budget = self._saved_budget
                 self._saved_budget = None
         if obs_events.enabled():
+            # Leaving degradation is a consequence of having entered it.
             obs_events.emit("degrade.exit", node=node.name, time=now,
                             policy=self.policy, confidence=confidence,
-                            threshold=self.recover_threshold)
+                            threshold=self.recover_threshold,
+                            causes=(self._enter_seq,))
+        self._enter_seq = None
 
     def degraded_steps(self, final_time: Optional[float] = None) -> float:
         """Total simulated time spent degraded (open episodes use

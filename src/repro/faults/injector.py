@@ -59,6 +59,10 @@ class FaultInjector:
         #: (and across the whole window).
         self._crash_cohorts: Dict[int, Tuple[Any, ...]] = {}
         self.events_emitted = 0
+        #: Active spec -> seq of its ``fault.start`` event, so decisions
+        #: made under a fault can cite the fault as a cause and a
+        #: ``fault.end`` cites the window it closes.
+        self._fault_seqs: Dict[FaultSpec, int] = {}
 
     # ------------------------------------------------------------------
     # Stepping
@@ -72,17 +76,21 @@ class FaultInjector:
             if obs_events.enabled():
                 for spec in sorted(active_set - self._was_active,
                                    key=lambda s: (s.kind, s.start)):
-                    obs_events.emit("fault.start", time=t, kind=spec.kind,
-                                    intensity=spec.intensity,
-                                    start=spec.start, end=spec.end,
-                                    target=spec.target)
+                    started = obs_events.emit(
+                        "fault.start", time=t, kind=spec.kind,
+                        intensity=spec.intensity,
+                        start=spec.start, end=spec.end,
+                        target=spec.target)
+                    if started is not None:
+                        self._fault_seqs[spec] = started.seq
                     self.events_emitted += 1
                 for spec in sorted(self._was_active - active_set,
                                    key=lambda s: (s.kind, s.start)):
                     obs_events.emit("fault.end", time=t, kind=spec.kind,
                                     intensity=spec.intensity,
                                     start=spec.start, end=spec.end,
-                                    target=spec.target)
+                                    target=spec.target,
+                                    causes=(self._fault_seqs.pop(spec, None),))
                     self.events_emitted += 1
             self._started = {
                 spec.kind: True for spec in (active_set - self._was_active)}
@@ -105,6 +113,18 @@ class FaultInjector:
     def just_started(self, kind: str) -> bool:
         """Whether a window of ``kind`` opened on the current step."""
         return self._started.get(kind, False)
+
+    def active_fault_seqs(self) -> Tuple[int, ...]:
+        """Seq ids of the ``fault.start`` events of currently active specs.
+
+        The provenance hook hosts feed into their step's causal scope:
+        any decision made while these windows are open is (potentially)
+        downstream of them.  Empty when telemetry was off at the
+        transitions.
+        """
+        return tuple(sorted(
+            self._fault_seqs[spec] for spec in self._active
+            if spec in self._fault_seqs))
 
     # ------------------------------------------------------------------
     # Sensor hooks

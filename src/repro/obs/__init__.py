@@ -25,8 +25,9 @@ Instrumented hot paths guard on :func:`enabled` so the disabled cost is
 one attribute check (see ``benchmarks/test_obs_overhead.py``).
 """
 
-from .events import (Event, EventBus, emit, enabled, get_bus, set_bus,
-                     subscribe, unsubscribe)
+from .events import (ESCAPE_PREFIX, MAX_CAUSES, RESERVED_KEYS, Event,
+                     EventBus, causal_scope, emit, enabled, get_bus, set_bus,
+                     subscribe, unescape_fields, unsubscribe)
 from .export import (JsonlTraceWriter, TelemetrySession, cli_telemetry,
                      read_trace, render_summary, snapshot)
 from .metrics import (Counter, Gauge, MetricsRegistry, P2Quantile,
@@ -35,8 +36,9 @@ from .metrics import (Counter, Gauge, MetricsRegistry, P2Quantile,
 from .timers import PHASES, phase_timer
 
 __all__ = [
-    "Event", "EventBus", "emit", "enabled", "get_bus", "set_bus",
-    "subscribe", "unsubscribe",
+    "ESCAPE_PREFIX", "MAX_CAUSES", "RESERVED_KEYS",
+    "Event", "EventBus", "causal_scope", "emit", "enabled", "get_bus",
+    "set_bus", "subscribe", "unescape_fields", "unsubscribe",
     "JsonlTraceWriter", "TelemetrySession", "cli_telemetry", "read_trace",
     "render_summary", "snapshot",
     "Counter", "Gauge", "MetricsRegistry", "P2Quantile",

@@ -15,9 +15,37 @@ enforced by ``benchmarks/test_obs_overhead.py``.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from collections import deque
-from typing import Any, Callable, Deque, Dict, List, Optional
+from typing import (Any, Callable, ContextManager, Deque, Dict, List,
+                    Optional, Tuple, Union)
+
+#: Keys :meth:`Event.as_dict` reserves for the record envelope.  Caller
+#: fields with these names (or already starting with the escape prefix)
+#: are written prefix-escaped and restored on ingestion, so a field
+#: literally named ``"seq"`` can never clobber the envelope.
+RESERVED_KEYS = frozenset(("event", "seq", "causes"))
+
+#: Prefix used to escape colliding field names in the flat dict form.
+ESCAPE_PREFIX = "~"
+
+#: Hard cap on the number of cause references one event carries; keeps
+#: provenance records bounded however wide a causal scope gets.
+MAX_CAUSES = 16
+
+
+def unescape_fields(fields: Dict[str, Any]) -> Dict[str, Any]:
+    """Undo the reserved-key escaping of :meth:`Event.as_dict`.
+
+    Call on a record dict *after* popping the envelope keys; returns the
+    same dict (mutated) with one escape prefix stripped from every
+    escaped key.
+    """
+    escaped = [key for key in fields if key.startswith(ESCAPE_PREFIX)]
+    for key in escaped:
+        fields[key[len(ESCAPE_PREFIX):]] = fields.pop(key)
+    return fields
 
 
 @dataclass
@@ -25,22 +53,87 @@ class Event:
     """One structured telemetry event.
 
     ``seq`` is a bus-local monotonically increasing sequence number, so a
-    recorded stream can always be replayed in emission order.
+    recorded stream can always be replayed in emission order.  ``causes``
+    holds the seq ids of the earlier events this one was a consequence of
+    (the telemetry, predictions and switches a decision consumed) -- the
+    raw material of :mod:`repro.explain`.
     """
 
     name: str
     seq: int
     fields: Dict[str, Any] = field(default_factory=dict)
+    causes: Tuple[int, ...] = ()
 
     def get(self, key: str, default: Any = None) -> Any:
         """Field access with a default (sugar for ``event.fields.get``)."""
         return self.fields.get(key, default)
 
     def as_dict(self) -> Dict[str, Any]:
-        """Flat dict form used by the JSONL exporter."""
+        """Flat dict form used by the JSONL exporter.
+
+        Envelope keys are ``event``, ``seq`` and (when present)
+        ``causes``; caller fields colliding with those names are written
+        with :data:`ESCAPE_PREFIX` prepended so they survive the round
+        trip (see :func:`unescape_fields`).
+        """
         out: Dict[str, Any] = {"event": self.name, "seq": self.seq}
-        out.update(self.fields)
+        if self.causes:
+            out["causes"] = list(self.causes)
+        for key, value in self.fields.items():
+            if key in RESERVED_KEYS or key.startswith(ESCAPE_PREFIX):
+                key = ESCAPE_PREFIX + key
+            out[key] = value
         return out
+
+
+#: What callers may hand a causal scope or an explicit ``causes=``:
+#: events (their seq is taken), raw seq ids, or ``None`` placeholders
+#: (skipped, so disabled-bus ``emit`` returns compose cleanly).
+CauseLike = Union["Event", int, None]
+
+
+def _resolve_causes(causes) -> Tuple[int, ...]:
+    """Normalise a mix of events / seq ids / Nones into a seq tuple."""
+    out: List[int] = []
+    for cause in causes:
+        if cause is None:
+            continue
+        seq = cause.seq if isinstance(cause, Event) else int(cause)
+        if seq not in out:
+            out.append(seq)
+    return tuple(out[:MAX_CAUSES])
+
+
+class _CausalScope:
+    """Context manager pushing a cause tuple onto a bus's scope stack.
+
+    Only constructed for an enabled bus (:func:`causal_scope` returns a
+    shared null context otherwise); re-checks at entry so a bus disabled
+    between construction and use stays untouched.
+    """
+
+    __slots__ = ("_bus", "_causes", "_pushed")
+
+    def __init__(self, bus: "EventBus", causes: Tuple[int, ...]) -> None:
+        self._bus = bus
+        self._causes = causes
+        self._pushed = False
+
+    def __enter__(self) -> "_CausalScope":
+        if self._bus.enabled:
+            self._bus._scope.append(self._causes)
+            self._pushed = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._pushed:
+            self._bus._scope.pop()
+            self._pushed = False
+        return None
+
+
+#: Shared, stateless no-op scope handed out when the bus is disabled.
+_NULL_SCOPE = nullcontext()
 
 
 Subscriber = Callable[[Event], None]
@@ -66,6 +159,8 @@ class EventBus:
         self._subscribers: List[Subscriber] = []
         self._seq = 0
         self.dropped = 0  # events emitted after the ring was full
+        #: Stack of ambient cause tuples (see :meth:`causal_scope`).
+        self._scope: List[Tuple[int, ...]] = []
 
     # -- control ----------------------------------------------------------
 
@@ -84,11 +179,26 @@ class EventBus:
 
     # -- emission ----------------------------------------------------------
 
-    def emit(self, name: str, **fields: Any) -> Optional[Event]:
-        """Publish one event; returns it, or ``None`` when disabled."""
+    def emit(self, name: str, *, causes=None, **fields: Any) -> Optional[Event]:
+        """Publish one event; returns it, or ``None`` when disabled.
+
+        ``causes`` stamps the event with the seq ids of the events that
+        caused it (events, ints and ``None`` placeholders all accepted).
+        Explicit causes are unioned with the innermost ambient
+        :meth:`causal_scope`; with ``causes=None`` the ambient scope
+        alone applies.  Disabled buses return before touching any of it.
+        """
         if not self.enabled:
             return None
-        event = Event(name=name, seq=self._seq, fields=fields)
+        scope = self._scope
+        if causes is None:
+            effective = scope[-1] if scope else ()
+        else:
+            effective = _resolve_causes(causes)
+            if scope and scope[-1]:
+                effective = _resolve_causes(effective + scope[-1])
+        event = Event(name=name, seq=self._seq, fields=fields,
+                      causes=effective)
         self._seq += 1
         if len(self._ring) == self._ring.maxlen:
             self.dropped += 1
@@ -96,6 +206,25 @@ class EventBus:
         for subscriber in self._subscribers:
             subscriber(event)
         return event
+
+    def causal_scope(self, *causes: CauseLike) -> ContextManager:
+        """Declare the causes of everything emitted inside a ``with`` block.
+
+        Decision-making code wraps its deliberate-and-act phase in a
+        scope built from the events it consumed; every event emitted
+        inside (by any module) is stamped with those seq ids without
+        threading them through call signatures.  Scopes nest: the
+        innermost one applies; an event's explicit ``causes=`` are
+        unioned with it.  On a disabled bus this returns a shared no-op
+        context and costs nothing.
+        """
+        if not self.enabled:
+            return _NULL_SCOPE
+        return _CausalScope(self, _resolve_causes(causes))
+
+    def current_causes(self) -> Tuple[int, ...]:
+        """The innermost ambient cause tuple (empty outside any scope)."""
+        return self._scope[-1] if self._scope else ()
 
     # -- subscription ------------------------------------------------------
 
@@ -146,12 +275,17 @@ def enabled() -> bool:
     return _bus.enabled
 
 
-def emit(name: str, **fields: Any) -> Optional[Event]:
+def emit(name: str, *, causes=None, **fields: Any) -> Optional[Event]:
     """Emit on the default bus (no-op returning ``None`` when disabled)."""
     bus = _bus
     if not bus.enabled:
         return None
-    return bus.emit(name, **fields)
+    return bus.emit(name, causes=causes, **fields)
+
+
+def causal_scope(*causes: CauseLike) -> ContextManager:
+    """A causal scope on the default bus (no-op context when disabled)."""
+    return _bus.causal_scope(*causes)
 
 
 def subscribe(subscriber: Subscriber) -> Subscriber:

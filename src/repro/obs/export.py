@@ -23,7 +23,7 @@ from contextlib import nullcontext
 from typing import (Any, ContextManager, Dict, Iterable, List, Mapping,
                     Optional, TextIO)
 
-from .events import Event, EventBus, get_bus, set_bus
+from .events import Event, EventBus, get_bus, set_bus, unescape_fields
 from .metrics import MetricsRegistry, get_registry, set_registry
 
 
@@ -190,17 +190,30 @@ class TelemetrySession:
         re-emitted on the session bus (gaining a fresh parent-local
         ``seq``), so every subscriber -- including an attached JSONL
         trace writer -- sees them exactly as if they had happened here.
-        ``metrics`` is a registry snapshot, folded in via
+        ``causes`` references are remapped through the worker-seq to
+        parent-seq correspondence built as the buffer replays, so causal
+        chains survive the re-basing byte-identically at any worker
+        count; a cause whose event never reached the buffer (dropped
+        from the worker's ring) is unresolvable and is dropped here too.
+        Reserved-key escapes applied by :meth:`Event.as_dict` are
+        undone.  ``metrics`` is a registry snapshot, folded in via
         :meth:`MetricsRegistry.merge_snapshot`.  Call while the session
         is active; the parallel experiment engine absorbs shard results
         in deterministic (experiment, seed) order so traces stay
         reproducible.
         """
+        remap: Dict[int, int] = {}
         for record in events:
             fields = dict(record)
             name = fields.pop("event", "event")
-            fields.pop("seq", None)
-            self.bus.emit(name, **fields)
+            old_seq = fields.pop("seq", None)
+            causes = fields.pop("causes", None)
+            if causes:
+                causes = tuple(remap[c] for c in causes if c in remap)
+            emitted = self.bus.emit(name, causes=causes or (),
+                                    **unescape_fields(fields))
+            if old_seq is not None and emitted is not None:
+                remap[int(old_seq)] = emitted.seq
         if metrics is not None:
             self.registry.merge_snapshot(metrics)
 

@@ -269,6 +269,9 @@ class ServeGovernor:
         self._actions = tuple(range(min_workers, max_workers + 1))
         self._pool = min_workers
         self._decided_once = False
+        #: Seq of the most recent ``serve.scale`` event -- the handle the
+        #: server's ``explain`` op resolves into a causal chain.
+        self.last_decision_seq: Optional[int] = None
 
     def _reader(self, key: str):
         return lambda: self._stats[key]
@@ -289,53 +292,82 @@ class ServeGovernor:
             value = float(stats.get(key, 0.0))
             self._stats[key] = value if math.isfinite(value) else 0.0
 
-        # 1. Close the loop on the previous decision: what actually happened.
-        if self._decided_once:
-            self.node.feedback({
-                "goodput": self._stats["completion_rate"],
-                "latency": self._stats["p95_latency"],
-                "pool": float(self._pool)})
-
-        # 2. Refresh the self-model's online estimates.
-        self.model.observe(
-            arrival_rate=self._stats["arrival_rate"],
-            utilisation=self._stats["utilisation"],
-            completion_rate=self._stats["completion_rate"],
-            pool_size=self._stats["pool_size"])
-
-        # 3. Deliberate, then let the meta level veto a low-confidence choice.
-        result = self.node.step(now, self._actions)
-        self._decided_once = True
-        applied = self.monitor.filter_action(now, self.node, result.context,
-                                             result.decision.action)
-        pool = int(applied)
-        resized = pool != self._pool
-        self._pool = pool
-
-        # 4. Express: derive admission settings from the chosen capacity.
-        capacity = pool * self.model.service_estimate
-        admission_rate = capacity * self.admit_headroom
-        degraded = self.monitor.degraded
-        if degraded:
-            admission_rate *= self.degraded_admission
-        decision = GovernorDecision(
-            pool_target=pool,
-            admission_rate=max(1e-6, admission_rate),
-            admission_burst=max(1.0, capacity),
-            max_queue=max(1.0, math.ceil(capacity * self.queue_ticks)),
-            serve_stale=degraded,
-            degraded=degraded,
-            reason=result.decision.reason,
-        )
+        # The telemetry window this cycle deliberates over is itself an
+        # event; everything decided inside the scope below -- the node's
+        # step, any degradation transition, the scale decision -- is
+        # causally downstream of it (see repro.explain).
+        telemetry_event = None
         if obs_events.enabled():
-            obs_metrics.gauge("serve.pool_target").set(float(pool))
-            if resized:
-                obs_metrics.counter("serve.scale").increment()
-            obs_events.emit("serve.scale", time=now, pool=pool,
-                            resized=resized, degraded=degraded,
-                            admission_rate=decision.admission_rate,
-                            max_queue=decision.max_queue,
-                            confidence=self.monitor.last_confidence)
+            telemetry_event = obs_events.emit(
+                "serve.telemetry", time=now,
+                **{key: self._stats[key] for key in STAT_KEYS})
+        with obs_events.causal_scope(telemetry_event):
+            # 1. Close the loop on the previous decision: what actually
+            #    happened.
+            if self._decided_once:
+                self.node.feedback({
+                    "goodput": self._stats["completion_rate"],
+                    "latency": self._stats["p95_latency"],
+                    "pool": float(self._pool)})
+
+            # 2. Refresh the self-model's online estimates.
+            self.model.observe(
+                arrival_rate=self._stats["arrival_rate"],
+                utilisation=self._stats["utilisation"],
+                completion_rate=self._stats["completion_rate"],
+                pool_size=self._stats["pool_size"])
+
+            # 3. Deliberate, then let the meta level veto a low-confidence
+            #    choice.
+            result = self.node.step(now, self._actions)
+            self._decided_once = True
+            predict_event = None
+            if obs_events.enabled():
+                chosen = result.decision.action
+                predicted = self.model.predict(result.context, chosen)
+                predict_event = obs_events.emit(
+                    "serve.predict", time=now, pool=int(chosen),
+                    goodput=predicted["goodput"],
+                    latency=predicted["latency"],
+                    confidence=self.model.confidence(result.context, chosen))
+            applied = self.monitor.filter_action(
+                now, self.node, result.context, result.decision.action)
+            pool = int(applied)
+            resized = pool != self._pool
+            self._pool = pool
+
+            # 4. Express: derive admission settings from the chosen
+            #    capacity.
+            capacity = pool * self.model.service_estimate
+            admission_rate = capacity * self.admit_headroom
+            degraded = self.monitor.degraded
+            if degraded:
+                admission_rate *= self.degraded_admission
+            decision = GovernorDecision(
+                pool_target=pool,
+                admission_rate=max(1e-6, admission_rate),
+                admission_burst=max(1.0, capacity),
+                max_queue=max(1.0, math.ceil(capacity * self.queue_ticks)),
+                serve_stale=degraded,
+                degraded=degraded,
+                reason=result.decision.reason,
+            )
+            if obs_events.enabled():
+                obs_metrics.gauge("serve.pool_target").set(float(pool))
+                if resized:
+                    obs_metrics.counter("serve.scale").increment()
+                # The decision cites its evidence: the model's prediction
+                # and (via the scope) the telemetry window, plus the open
+                # degradation episode when the monitor shaped the choice.
+                scale_event = obs_events.emit(
+                    "serve.scale", time=now, pool=pool,
+                    resized=resized, degraded=degraded,
+                    admission_rate=decision.admission_rate,
+                    max_queue=decision.max_queue,
+                    confidence=self.monitor.last_confidence,
+                    causes=(predict_event, self.monitor.cause_seq))
+                if scale_event is not None:
+                    self.last_decision_seq = scale_event.seq
         return decision
 
     def explain(self) -> str:

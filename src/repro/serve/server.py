@@ -41,6 +41,7 @@ from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from ..api.adapters import SIMULATORS
+from ..explain import ExplanationStore
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
 from .admission import ADMIT, AdmissionController
@@ -51,6 +52,13 @@ from .sessions import SessionTable, UnknownSession
 
 def _error(code: str, message: str) -> Dict[str, Any]:
     return {"ok": False, "code": code, "error": message}
+
+
+def _json_safe(value: Any) -> Any:
+    """Causal chains carry raw event fields (actions may be arbitrary
+    hashables); rewrite anything non-JSON-native via ``repr`` so the
+    wire protocol's plain ``json.dumps`` never chokes."""
+    return json.loads(json.dumps(value, default=repr))
 
 
 class SimulationServer:
@@ -112,6 +120,7 @@ class SimulationServer:
         self._window_completions = 0
         self._latencies: Deque[float] = deque(maxlen=512)
         self._queue: Optional[asyncio.Queue] = None
+        self.explain_store: Optional[ExplanationStore] = None
         self._tasks: List[asyncio.Task] = []
         self._server: Optional[asyncio.AbstractServer] = None
         self._clock = time.monotonic
@@ -127,6 +136,10 @@ class SimulationServer:
     async def start(self, *, listen: bool = True) -> "SimulationServer":
         """Start background loops and (optionally) the stream listener."""
         self._queue = asyncio.Queue()
+        # The explanation store rides the server's bus for its lifetime;
+        # a disabled bus never invokes subscribers, so when telemetry is
+        # off the attachment is free (benchmarks pin this down).
+        self.explain_store = ExplanationStore().attach(obs_events.get_bus())
         self._tasks = [asyncio.create_task(self._batch_loop()),
                        asyncio.create_task(self._ttl_loop())]
         if self.governor is not None:
@@ -150,6 +163,8 @@ class SimulationServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.explain_store is not None:
+            self.explain_store.detach()
         self.dispatcher.close()
 
     # -- the wire ----------------------------------------------------------
@@ -313,9 +328,30 @@ class SimulationServer:
 
     async def _op_explain(self, request: Dict[str, Any],
                           now: float) -> Dict[str, Any]:
+        """Why the serving layer is doing what it is doing.
+
+        Besides the governor's prose self-explanation, when telemetry is
+        on the attached :class:`ExplanationStore` resolves a structured
+        causal chain: for ``seq`` when the request names one, else for
+        the governor's latest ``serve.scale`` decision -- linking it to
+        the prediction, telemetry-window and degradation events that
+        caused it.
+        """
         explanation = ("No governor: static plumbing only."
                        if self.governor is None else self.governor.explain())
-        return {"ok": True, "explanation": explanation}
+        response: Dict[str, Any] = {"ok": True, "explanation": explanation}
+        store = self.explain_store
+        if store is not None and store.events_seen:
+            seq = request.get("seq")
+            if seq is None:
+                seq = getattr(self.governor, "last_decision_seq", None)
+            if seq is None:
+                seq = store.last_decision_seq()
+            if seq is not None:
+                response["why"] = _json_safe(store.why(int(seq)))
+            response["decisions"] = dict(store.counts)
+            response["truncated"] = store.truncated
+        return response
 
     # -- background loops --------------------------------------------------
 

@@ -1,0 +1,1 @@
+"""Tests for repro.explain: the causal explanation store and its queries."""

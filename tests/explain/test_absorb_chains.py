@@ -1,0 +1,114 @@
+"""Causal chains survive the multiprocessing engine's seq re-basing.
+
+Worker shards run with their own buses; :meth:`TelemetrySession.absorb`
+replays their buffered events onto the parent session bus, re-basing
+every ``seq``.  ``causes`` references must be remapped through the same
+correspondence, or every chain shipped home would dangle.  The engine
+guarantee extends to provenance: explanation chains are byte-identical
+at any worker count.
+"""
+
+import json
+
+from repro.experiments.engine import SuiteJob, run_suite
+from repro.explain import ExplanationStore
+from repro.obs import TelemetrySession
+
+
+class TestAbsorbRemapsCauses:
+    def test_causes_follow_the_rebased_seqs(self):
+        session = TelemetrySession()
+        with session:
+            session.bus.emit("parent.warmup")  # offset the parent seq space
+            session.absorb([
+                {"event": "serve.telemetry", "seq": 10, "queue_depth": 2.0},
+                {"event": "serve.predict", "seq": 11, "latency": 1.0,
+                 "causes": [10]},
+                {"event": "serve.scale", "seq": 12, "pool": 2.0,
+                 "causes": [11, 10]},
+            ])
+            events = {e.name: e for e in session.bus.events()}
+        telemetry = events["serve.telemetry"]
+        predict = events["serve.predict"]
+        scale = events["serve.scale"]
+        assert telemetry.seq != 10  # re-based into the parent's space
+        assert predict.causes == (telemetry.seq,)
+        assert scale.causes == (predict.seq, telemetry.seq)
+
+    def test_unresolvable_causes_are_dropped_not_invented(self):
+        """A cause whose event never reached the worker's buffer (dropped
+        from its ring) cannot be remapped; absorb must drop the reference
+        rather than leave a worker-local seq dangling in parent space."""
+        session = TelemetrySession()
+        with session:
+            session.absorb([
+                {"event": "serve.predict", "seq": 50, "latency": 1.0},
+                {"event": "serve.scale", "seq": 51, "pool": 1.0,
+                 "causes": [49, 50]},  # 49 was lost upstream
+            ])
+            predict, scale = session.bus.events()
+        assert scale.causes == (predict.seq,)
+
+    def test_absorbed_chain_resolves_through_the_store(self):
+        session = TelemetrySession()
+        with session:
+            store = ExplanationStore().attach(session.bus)
+            session.absorb([
+                {"event": "serve.telemetry", "seq": 0, "queue_depth": 1.0},
+                {"event": "serve.predict", "seq": 1, "latency": 1.0,
+                 "causes": [0]},
+                {"event": "serve.scale", "seq": 2, "pool": 1.0,
+                 "causes": [1, 0]},
+            ])
+            chain = store.why(store.last_decision_seq())
+        assert chain["event"] == "serve.scale"
+        assert {c["event"] for c in chain["causes"]} == {
+            "serve.predict", "serve.telemetry"}
+
+
+class TestEngineByteIdentity:
+    def _e1_job(self):
+        """E1 at 1000 steps crosses its drift point: the meta arm's
+        ``meta.switch`` decisions carry utility-observation causes."""
+        return [SuiteJob(name="E1", module="repro.experiments.e1_levels",
+                         shard_fn="run_shard", reduce_fn="reduce",
+                         seeds=(0, 1), params={"steps": 1000})]
+
+    @staticmethod
+    def _canonical(bus):
+        """The event stream minus honestly wall-clock-derived fields
+        (``node.step`` phase timings sit outside the engine guarantee,
+        exactly as in the engine's own determinism tests)."""
+        timing = ("sense", "model", "reason", "act")
+        out = []
+        for e in bus.events():
+            fields = {k: v for k, v in e.fields.items() if k not in timing}
+            out.append((e.name, e.seq, e.causes, fields))
+        return out
+
+    def test_chains_identical_serial_vs_parallel(self):
+        with TelemetrySession() as s1:
+            run_suite(self._e1_job(), n_jobs=1, telemetry=s1)
+        with TelemetrySession() as s2:
+            run_suite(self._e1_job(), n_jobs=4, telemetry=s2)
+        assert self._canonical(s1.bus) == self._canonical(s2.bus)
+
+        # The run actually exercises provenance (not a vacuous pass) ...
+        caused = [e for e in s1.bus.events() if e.causes]
+        assert caused, "E1 run produced no causal events"
+        assert any(e.name == "meta.switch" for e in caused)
+
+        # ... and the resolved explanation chains are byte-identical too.
+        store1 = ExplanationStore({"meta.switch", "loop.step"})
+        store1.ingest_events(s1.bus.events(), dropped=s1.bus.dropped)
+        store2 = ExplanationStore({"meta.switch", "loop.step"})
+        store2.ingest_events(s2.bus.events(), dropped=s2.bus.dropped)
+        seq = store1.last_decision_seq("meta.switch")
+        assert seq is not None
+        assert seq == store2.last_decision_seq("meta.switch")
+        chain1, chain2 = store1.why(seq), store2.why(seq)
+        assert json.dumps(chain1, sort_keys=True, default=repr) == \
+            json.dumps(chain2, sort_keys=True, default=repr)
+        # A switch cites the utility observations it weighed (and, via
+        # the step's ambient scope, possibly the previous switch).
+        assert "meta.utility" in {c["event"] for c in chain1["causes"]}

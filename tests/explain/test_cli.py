@@ -1,0 +1,74 @@
+"""The ``python -m repro.explain`` trace query CLI."""
+
+import json
+
+import pytest
+
+from repro.explain.__main__ import main
+from repro.obs import TelemetrySession, emit
+
+
+@pytest.fixture()
+def trace(tmp_path):
+    """A small governor-shaped trace; returns (path, decision_seq)."""
+    path = str(tmp_path / "trace.jsonl")
+    with TelemetrySession(trace_path=path) as session:
+        for i in range(6):
+            telemetry = emit("serve.telemetry", time=float(i),
+                             queue_depth=float(i))
+            predict = emit("serve.predict", time=float(i), latency=1.0 + i,
+                           causes=(telemetry,))
+            emit("serve.scale", time=float(i), pool=2.0, latency=1.0 + i,
+                 causes=(predict, telemetry))
+        decision_seq = session.bus.events()[-1].seq
+    return path, decision_seq
+
+
+class TestCli:
+    def test_default_action_is_stats(self, trace, capsys):
+        path, _ = trace
+        assert main([path]) == 0
+        out = capsys.readouterr().out
+        assert "ingested 18 event(s)" in out
+        assert "decisions_seen: 6" in out
+
+    def test_why_renders_the_chain(self, trace, capsys):
+        path, decision_seq = trace
+        assert main([path, "--why", str(decision_seq)]) == 0
+        out = capsys.readouterr().out
+        assert f"why seq {decision_seq}:" in out
+        assert "serve.scale" in out
+        assert "serve.predict" in out
+        assert "serve.telemetry" in out
+        assert "TRUNCATED" not in out
+
+    def test_why_aggregate_all_kinds(self, trace, capsys):
+        path, _ = trace
+        assert main([path, "--why-aggregate"]) == 0
+        out = capsys.readouterr().out
+        assert "why-aggregate (all kinds):" in out
+        assert "serve.scale: 6 decision(s)" in out
+        assert "caused by serve.predict+serve.telemetry: 6" in out
+
+    def test_why_aggregate_kind_window_and_axis(self, trace, capsys):
+        path, _ = trace
+        assert main([path, "--why-aggregate", "serve.scale",
+                     "--window", "0", "3", "--axis", "time"]) == 0
+        out = capsys.readouterr().out
+        assert "why-aggregate serve.scale:" in out
+
+    def test_json_output_is_machine_readable(self, trace, capsys):
+        path, decision_seq = trace
+        assert main([path, "--why", str(decision_seq), "--why-aggregate",
+                     "--stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["why"]["event"] == "serve.scale"
+        assert payload["why"]["store_truncated"] is False
+        assert payload["why_aggregate"]["decisions"] == 6
+        assert payload["stats"]["events_seen"] == 18
+
+    def test_why_of_missing_seq_reports_truncation(self, trace, capsys):
+        path, _ = trace
+        assert main([path, "--why", "99999"]) == 0
+        out = capsys.readouterr().out
+        assert "not retained; chain truncated" in out

@@ -1,0 +1,259 @@
+"""ExplanationStore semantics: indexing, rollups, chains, aggregates."""
+
+import json
+import math
+
+import pytest
+
+from repro.explain import (DEFAULT_DECISION_EVENTS, NO_CAUSE, UNKNOWN_CAUSE,
+                           ExplanationStore)
+from repro.explain.store import _TimeBuckets
+from repro.obs import TelemetrySession, emit
+from repro.obs.events import Event
+
+
+def _event(name, seq, causes=(), **fields):
+    return Event(name=name, seq=seq, fields=fields, causes=tuple(causes))
+
+
+def _governor_chain(store, base=0, time=0.0):
+    """One telemetry -> predict -> scale chain; returns the decision seq."""
+    store(_event("serve.telemetry", base, time=time, queue_depth=3.0))
+    store(_event("serve.predict", base + 1, causes=(base,),
+                 time=time, latency=1.5))
+    store(_event("serve.scale", base + 2, causes=(base + 1, base),
+                 time=time, pool=4.0, latency=1.5))
+    return base + 2
+
+
+class TestIngestion:
+    def test_decisions_counted_others_only_indexed(self):
+        store = ExplanationStore()
+        _governor_chain(store)
+        assert store.events_seen == 3
+        assert store.decisions_seen == 1
+        assert store.counts == {"serve.scale": 1}
+        assert len(store) == 3  # every event resolvable for chains
+
+    def test_custom_decision_names(self):
+        store = ExplanationStore(decision_names={"custom.decide"})
+        store(_event("serve.scale", 0, pool=1.0))
+        store(_event("custom.decide", 1, causes=(0,)))
+        assert store.counts == {"custom.decide": 1}
+        assert "serve.scale" in DEFAULT_DECISION_EVENTS  # default untouched
+
+    def test_index_is_bounded_fifo(self):
+        store = ExplanationStore(index_size=4)
+        for seq in range(10):
+            store(_event("x", seq))
+        assert len(store) == 4
+        assert store.events_seen == 10
+        assert store.why(9)["truncated"] is False
+        assert store.why(0)["event"] is None  # evicted -> stub
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExplanationStore(index_size=0)
+        with pytest.raises(ValueError):
+            _TimeBuckets(width=0)
+        with pytest.raises(ValueError):
+            _TimeBuckets(max_buckets=1)
+        with pytest.raises(ValueError):
+            ExplanationStore().why_aggregate(axis="sideways")
+
+
+class TestCauseClasses:
+    def test_class_is_sorted_distinct_cause_names(self):
+        store = ExplanationStore()
+        _governor_chain(store)
+        assert store.cause_counts["serve.scale"] == {
+            "serve.predict+serve.telemetry": 1}
+
+    def test_no_causes_labelled(self):
+        store = ExplanationStore()
+        store(_event("serve.scale", 0, pool=1.0))
+        assert store.cause_counts["serve.scale"] == {NO_CAUSE: 1}
+
+    def test_evicted_cause_labelled_unresolved(self):
+        store = ExplanationStore(index_size=2)
+        store(_event("serve.telemetry", 0, queue_depth=1.0))
+        for seq in range(1, 4):  # push seq 0 out of the index
+            store(_event("filler", seq))
+        store(_event("serve.scale", 4, causes=(0,), pool=1.0))
+        assert store.cause_counts["serve.scale"] == {UNKNOWN_CAUSE: 1}
+        assert store.unresolved_causes == 1
+
+
+class TestWhy:
+    def test_chain_resolves_nested_causes(self):
+        store = ExplanationStore()
+        decision = _governor_chain(store)
+        chain = store.why(decision)
+        assert chain["event"] == "serve.scale"
+        assert chain["store_truncated"] is False
+        by_name = {c["event"]: c for c in chain["causes"]}
+        assert set(by_name) == {"serve.predict", "serve.telemetry"}
+        nested = by_name["serve.predict"]["causes"]
+        assert [c["event"] for c in nested] == ["serve.telemetry"]
+
+    def test_depth_limit_elides_not_lies(self):
+        store = ExplanationStore()
+        for seq in range(5):  # a linear chain 0 <- 1 <- ... <- 4
+            store(_event("step", seq, causes=(seq - 1,) if seq else ()))
+        shallow = store.why(4, depth=1)
+        (cause,) = shallow["causes"]
+        assert cause["causes_elided"] == [2]
+        assert "causes" not in cause
+
+    def test_forward_references_ignored(self):
+        store = ExplanationStore()
+        store(_event("a", 0))
+        store(_event("loop.step", 1, causes=(0, 5)))  # 5 is in the future
+        chain = store.why(1)
+        assert [c["seq"] for c in chain["causes"]] == [0]
+
+    def test_last_decision_seq(self):
+        store = ExplanationStore()
+        _governor_chain(store, base=0)
+        store(_event("meta.switch", 3, time=0.3,
+                     from_strategy="a", to_strategy="b", reason="r"))
+        assert store.last_decision_seq("serve.scale") == 2
+        assert store.last_decision_seq("meta.switch") == 3
+        assert store.last_decision_seq() == 3
+        assert store.last_decision_seq("degrade.enter") is None
+        assert ExplanationStore().last_decision_seq() is None
+
+
+class TestWhyAggregate:
+    def _filled(self, chains=30):
+        store = ExplanationStore(bucket_width=8)
+        for i in range(chains):
+            _governor_chain(store, base=3 * i, time=float(i))
+        return store
+
+    def test_counts_and_value_field_sniffed(self):
+        store = self._filled()
+        answer = store.why_aggregate()
+        assert answer["decisions"] == 30
+        agg = answer["kinds"]["serve.scale"]
+        assert agg["decisions"] == 30
+        assert agg["value_field"] == "latency"  # first VALUE_FIELDS match
+        assert agg["mean_value"] == pytest.approx(1.5)
+        assert answer["causes"]["serve.scale"] == {
+            "serve.predict+serve.telemetry": 30}
+        assert answer["truncated"] is False
+
+    def test_mean_is_nan_without_numeric_value(self):
+        store = ExplanationStore()
+        store(_event("serve.scale", 0, pool="big"))  # no VALUE_FIELDS member
+        agg = store.why_aggregate()["kinds"]["serve.scale"]
+        assert math.isnan(agg["mean_value"])
+        assert agg["value_field"] is None
+        assert "value_sum" not in agg  # internals must not leak
+
+    def test_kind_filter(self):
+        store = self._filled()
+        store(_event("meta.switch", 1000, time=99.0,
+                     from_strategy="a", to_strategy="b", reason="r"))
+        answer = store.why_aggregate(kind="meta.switch")
+        assert set(answer["kinds"]) == {"meta.switch"}
+        assert answer["decisions"] == 1
+
+    def test_windows_on_both_axes(self):
+        store = self._filled(chains=30)  # decision seqs 2, 5, ..., 89
+        by_seq = store.why_aggregate(kind="serve.scale", window=(0, 29),
+                                     axis="seq")
+        assert 0 < by_seq["decisions"] < 30
+        assert by_seq["buckets_scanned"] < len(store._buckets)
+        # Time-windowed answers are bucket-granular: every decision inside
+        # the window is counted, edges may pull in bucket neighbours.
+        by_time = store.why_aggregate(kind="serve.scale", window=(10.0, 19.0),
+                                      axis="time")
+        assert 10 <= by_time["decisions"] < 30
+        assert by_time["window"] == [10.0, 19.0]
+
+    def test_distributions_are_p2_summaries(self):
+        store = self._filled()
+        dists = store.why_aggregate()["distributions"]["serve.scale"]
+        summary = dists["serve.predict+serve.telemetry"]
+        assert summary["count"] == 30
+        assert summary["mean"] == pytest.approx(1.5)
+
+    def test_aggregate_cost_is_rollup_bound(self):
+        """The answer comes from rollups: bucket count stays capped, so
+        buckets_scanned cannot grow with stream length."""
+        store = ExplanationStore(bucket_width=4, max_buckets=8)
+        for i in range(2000):
+            _governor_chain(store, base=3 * i, time=float(i))
+        answer = store.why_aggregate()
+        assert answer["buckets_scanned"] <= 8
+        assert answer["decisions"] == 2000  # coverage survives coalescing
+
+
+class TestBucketCoalescing:
+    def test_width_doubles_and_counts_survive(self):
+        buckets = _TimeBuckets(width=1, max_buckets=4)
+        for seq in range(64):
+            buckets.observe(seq, float(seq), "k", "c", 1.0)
+        assert len(buckets) <= 4
+        assert buckets.width > 1
+        total = sum(bucket["kinds"]["k"][0]
+                    for _, bucket in buckets.select(None, "seq"))
+        assert total == 64
+
+    def test_time_ranges_merge(self):
+        buckets = _TimeBuckets(width=1, max_buckets=2)
+        for seq in range(8):
+            buckets.observe(seq, float(seq) * 10, "k", "c", None)
+        selected = buckets.select((0.0, 70.0), "time")
+        assert selected  # the whole run stays addressable by time
+        lows = [b["t_lo"] for _, b in selected]
+        highs = [b["t_hi"] for _, b in selected]
+        assert min(lows) == 0.0 and max(highs) == 70.0
+
+
+class TestTraceIngestion:
+    def test_ingest_record_skips_snapshot_and_unescapes(self):
+        store = ExplanationStore()
+        assert not store.ingest_record(
+            {"event": "metrics.snapshot", "metrics": {}})
+        assert store.ingest_record(
+            {"event": "loop.step", "seq": 0, "~seq": 17, "utility": 0.5})
+        assert store.events_seen == 1
+        assert store._index[0].fields == {"seq": 17, "utility": 0.5}
+
+    def test_trace_round_trip_preserves_chains(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with TelemetrySession(trace_path=path) as session:
+            telemetry = emit("serve.telemetry", time=0.0, queue_depth=2.0)
+            predict = emit("serve.predict", time=0.0, latency=1.0,
+                           causes=(telemetry,))
+            emit("serve.scale", time=0.0, pool=2.0, latency=1.0,
+                 causes=(predict, telemetry))
+            decision_seq = session.bus.events()[-1].seq
+        # The file ends with a seq-less metrics.snapshot record; ingestion
+        # must skip it without tripping the gap detector.
+        lines = [json.loads(line) for line in open(path)]
+        assert lines[-1]["event"] == "metrics.snapshot"
+
+        store = ExplanationStore()
+        assert store.ingest_trace(path) == 3
+        assert not store.truncated
+        chain = store.why(decision_seq)
+        assert chain["event"] == "serve.scale"
+        assert {c["event"] for c in chain["causes"]} == {
+            "serve.predict", "serve.telemetry"}
+
+
+class TestStats:
+    def test_stats_expose_bounded_state(self):
+        store = ExplanationStore(index_size=8, bucket_width=2, max_buckets=4)
+        for i in range(50):
+            _governor_chain(store, base=3 * i, time=float(i))
+        stats = store.stats()
+        assert stats["events_seen"] == 150
+        assert stats["decisions_seen"] == 50
+        assert stats["indexed"] <= 8
+        assert stats["buckets"] <= 4
+        assert stats["rollup_cells"] >= 3
+        assert stats["truncated"] is False

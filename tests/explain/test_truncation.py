@@ -1,0 +1,111 @@
+"""Lossy streams must be flagged, never silently reconstructed.
+
+Satellite of PR 6: ring-buffer overflow used to be invisible to
+consumers that rebuild state from the event stream.  Both reconstruction
+paths -- :func:`repro.core.switches_from_events` and the
+:class:`~repro.explain.ExplanationStore` -- now detect non-zero drop
+counts and seq gaps and mark their answers ``truncated``.
+"""
+
+from repro.core import SwitchHistory, switches_from_events
+from repro.explain import ExplanationStore
+from repro.obs.events import Event, EventBus
+
+
+def _switch_fields(i):
+    return {"time": float(i), "from_strategy": "a", "to_strategy": "b",
+            "reason": f"r{i}"}
+
+
+def _overflowed_bus(maxlen=4, emitted=12):
+    bus = EventBus(maxlen=maxlen, enabled=True)
+    for i in range(emitted):
+        bus.emit("meta.switch", **_switch_fields(i))
+    assert bus.dropped == emitted - maxlen
+    return bus
+
+
+class TestSwitchesFromEvents:
+    def test_tiny_ring_marks_history_truncated(self):
+        bus = _overflowed_bus()
+        history = switches_from_events(bus.events(), dropped=bus.dropped)
+        assert history.truncated
+        assert len(history) == 4  # what survived is still reconstructed
+
+    def test_seq_gap_detected_without_drop_count(self):
+        """A partial trace (lines lost mid-stream) shows seq gaps even when
+        nobody passes the ring's drop counter along."""
+        records = [{"event": "meta.switch", "seq": seq, **_switch_fields(seq)}
+                   for seq in (0, 1, 5, 6)]
+        gapped = switches_from_events(records)
+        assert gapped.truncated
+        assert len(gapped) == 4
+
+    def test_front_loss_alone_relies_on_drop_count(self):
+        """The retained window of an overflowed ring is itself contiguous:
+        only the ``dropped`` counter reveals the loss.  That is exactly why
+        both reconstruction paths take it as an argument."""
+        bus = _overflowed_bus()
+        assert not switches_from_events(bus.events()).truncated
+        assert switches_from_events(bus.events(),
+                                    dropped=bus.dropped).truncated
+
+    def test_contiguous_stream_is_not_truncated(self):
+        bus = EventBus(enabled=True)
+        bus.emit("meta.utility", time=0.0, utility=0.5)
+        bus.emit("meta.switch", **_switch_fields(1))
+        history = switches_from_events(bus.events(), dropped=bus.dropped)
+        assert not history.truncated
+        assert len(history) == 1
+
+    def test_history_still_equals_plain_list(self):
+        """Back-compat: existing callers compare against plain lists."""
+        bus = EventBus(enabled=True)
+        bus.emit("meta.switch", **_switch_fields(0))
+        history = switches_from_events(bus.events())
+        assert isinstance(history, SwitchHistory)
+        assert history == [history[0]]
+        assert switches_from_events([]) == []
+
+
+class TestStoreTruncation:
+    def test_ingest_events_with_drop_count(self):
+        bus = _overflowed_bus()
+        store = ExplanationStore().ingest_events(bus.events(),
+                                                 dropped=bus.dropped)
+        assert store.truncated
+        assert store.why(bus.events()[-1].seq)["store_truncated"] is True
+        assert store.why_aggregate()["truncated"] is True
+
+    def test_seq_gap_detected(self):
+        store = ExplanationStore()
+        store(Event("a", 0, {}))
+        store(Event("loop.step", 4, {"utility": 0.5}))
+        assert store.gaps == 1
+        assert store.truncated
+
+    def test_attached_bus_drop_counter_consulted_live(self):
+        bus = EventBus(maxlen=2, enabled=True)
+        store = ExplanationStore().attach(bus)
+        try:
+            bus.emit("loop.step", utility=0.1)
+            assert not store.truncated  # nothing lost yet
+            for _ in range(5):
+                bus.emit("loop.step", utility=0.2)
+            # The subscriber saw every event (no gaps) but the ring the
+            # answers would be checked against has lost history.
+            assert store.gaps == 0
+            assert bus.dropped > 0
+            assert store.truncated
+        finally:
+            store.detach()
+        assert store._bus is None
+
+    def test_clean_stream_is_not_truncated(self):
+        bus = EventBus(enabled=True)
+        for _ in range(5):
+            bus.emit("loop.step", utility=0.3)
+        store = ExplanationStore().ingest_events(bus.events(),
+                                                 dropped=bus.dropped)
+        assert not store.truncated
+        assert store.why_aggregate()["truncated"] is False

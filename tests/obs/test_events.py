@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.obs.events import (Event, EventBus, emit, enabled, get_bus,
-                              set_bus, subscribe, unsubscribe)
+from repro.obs.events import (ESCAPE_PREFIX, MAX_CAUSES, Event, EventBus,
+                              causal_scope, emit, enabled, get_bus, set_bus,
+                              subscribe, unescape_fields, unsubscribe)
 
 
 class TestEventBus:
@@ -85,6 +86,94 @@ class TestEventBus:
     def test_as_dict_flattens_fields(self):
         event = Event(name="n", seq=3, fields={"x": 1})
         assert event.as_dict() == {"event": "n", "seq": 3, "x": 1}
+
+    def test_as_dict_does_not_clobber_envelope_keys(self):
+        # Regression: a caller field literally named "event"/"seq" used
+        # to silently overwrite the envelope in the flat dict form.
+        event = Event(name="n", seq=3,
+                      fields={"event": "sneaky", "seq": 99, "causes": [7]})
+        record = event.as_dict()
+        assert record["event"] == "n"
+        assert record["seq"] == 3
+        assert "causes" not in record  # event has no real causes
+        assert record[ESCAPE_PREFIX + "event"] == "sneaky"
+        assert record[ESCAPE_PREFIX + "seq"] == 99
+        assert record[ESCAPE_PREFIX + "causes"] == [7]
+
+    def test_escaping_round_trips_through_unescape(self):
+        fields = {"event": "sneaky", "seq": 99,
+                  f"{ESCAPE_PREFIX}weird": 1, "plain": 2.0}
+        record = Event(name="n", seq=5, fields=dict(fields)).as_dict()
+        restored = dict(record)
+        assert restored.pop("event") == "n"
+        assert restored.pop("seq") == 5
+        assert unescape_fields(restored) == fields
+
+    def test_as_dict_includes_causes(self):
+        event = Event(name="n", seq=9, fields={}, causes=(2, 5))
+        assert event.as_dict() == {"event": "n", "seq": 9, "causes": [2, 5]}
+
+
+class TestCausalProvenance:
+    def test_explicit_causes_stamped_and_normalised(self):
+        bus = EventBus(enabled=True)
+        a = bus.emit("telemetry")
+        b = bus.emit("decision", causes=(a, a.seq, None))
+        assert b.causes == (a.seq,)  # events/ints/Nones dedup to seqs
+
+    def test_causes_capped_at_max(self):
+        bus = EventBus(enabled=True)
+        for _ in range(MAX_CAUSES + 5):
+            bus.emit("t")
+        big = bus.emit("decision", causes=tuple(range(MAX_CAUSES + 5)))
+        assert len(big.causes) == MAX_CAUSES
+
+    def test_causal_scope_stamps_ambient_causes(self):
+        bus = EventBus(enabled=True)
+        a = bus.emit("telemetry")
+        with bus.causal_scope(a):
+            inner = bus.emit("decision")
+            merged = bus.emit("decision", causes=(a.seq + 100,))
+        outside = bus.emit("other")
+        assert inner.causes == (a.seq,)
+        assert merged.causes == (a.seq + 100, a.seq)
+        assert outside.causes == ()
+
+    def test_causal_scopes_nest_innermost_wins(self):
+        bus = EventBus(enabled=True)
+        a = bus.emit("outer")
+        b = bus.emit("inner")
+        with bus.causal_scope(a):
+            with bus.causal_scope(b):
+                assert bus.current_causes() == (b.seq,)
+                assert bus.emit("e").causes == (b.seq,)
+            assert bus.emit("e").causes == (a.seq,)
+        assert bus.current_causes() == ()
+
+    def test_causal_scope_free_when_disabled(self):
+        bus = EventBus()
+        scope_a = bus.causal_scope(1, 2)
+        scope_b = bus.causal_scope()
+        assert scope_a is scope_b  # the shared no-op singleton
+        with scope_a:
+            assert bus.current_causes() == ()
+
+    def test_scope_entered_then_bus_disabled_mid_scope(self):
+        bus = EventBus(enabled=True)
+        scope = bus.causal_scope(1)
+        bus.disable()
+        with scope:  # re-checks at entry: nothing pushed
+            assert bus.current_causes() == ()
+
+    def test_module_level_causal_scope(self):
+        mine = EventBus(enabled=True)
+        previous = set_bus(mine)
+        try:
+            a = emit("t")
+            with causal_scope(a):
+                assert emit("d").causes == (a.seq,)
+        finally:
+            set_bus(previous)
 
 
 class TestModuleLevelBus:
