@@ -4,12 +4,13 @@ Examples
 --------
 Full run, canonical output::
 
-    python -m repro.bench --out BENCH_6.json
+    python -m repro.bench --out BENCH_7.json
 
 Quick CI pass with a regression gate against the committed baseline::
 
     python -m repro.bench --quick --out bench-ci.json \
-        --compare BENCH_6.json --max-regress 10% --skip-on-noise
+        --compare BENCH_7.json --max-regress 10% --skip-on-noise \
+        --summary-path "$GITHUB_STEP_SUMMARY"
 """
 
 from __future__ import annotations
@@ -30,8 +31,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Benchmark the per-step simulation kernels.")
     parser.add_argument("--quick", action="store_true",
                         help="fewer steps per repeat (CI mode)")
-    parser.add_argument("--out", default="BENCH_6.json",
-                        help="output JSON path (default: BENCH_6.json)")
+    parser.add_argument("--out", default="BENCH_7.json",
+                        help="output JSON path (default: BENCH_7.json)")
     parser.add_argument("--kernels", default=None,
                         help="comma-separated kernel subset")
     parser.add_argument("--steps", type=int, default=None,
@@ -48,6 +49,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="allowed median-rate loss (default: 10%%)")
     parser.add_argument("--skip-on-noise", action="store_true",
                         help="do not fail the gate on noisy kernels")
+    parser.add_argument("--summary-path", metavar="FILE", default=None,
+                        help="append a markdown report (and gate verdicts, "
+                             "including noise skips) to FILE -- pass "
+                             "$GITHUB_STEP_SUMMARY in CI")
     parser.add_argument("--list", action="store_true",
                         help="list kernels and exit")
     args = parser.parse_args(argv)
@@ -88,7 +93,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.compare:
         return main_compare(args.compare, report, max_regress,
-                            skip_on_noise=args.skip_on_noise)
+                            skip_on_noise=args.skip_on_noise,
+                            summary_path=args.summary_path)
+    if args.summary_path:
+        from .report import markdown_summary
+        with open(args.summary_path, "a", encoding="utf-8") as fh:
+            fh.write(markdown_summary(report))
     return 0
 
 

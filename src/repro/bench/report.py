@@ -124,7 +124,12 @@ def compare_reports(old: Dict, new: Dict, max_regress: float,
             f"{name}: {old_rate:.1f} -> {new_rate:.1f} steps/s "
             f"({change:+.1%}) {verdict}")
     for name in sorted(set(new_kernels) - set(old_kernels)):
-        lines.append(f"{name}: new kernel (no baseline to gate against)")
+        # A kernel the baseline has never seen must not slip through the
+        # gate silently: fail until the committed baseline is regenerated
+        # to cover it, so new kernels can't ship ungated.
+        lines.append(f"{name}: UNGATED new kernel missing from baseline "
+                     "(regenerate the committed baseline to cover it)")
+        ok = False
     return ok, lines
 
 
@@ -142,8 +147,46 @@ def summary_lines(report: Dict) -> List[str]:
     return lines
 
 
+def markdown_summary(report: Dict, gate: Tuple[bool, List[str]] = None,
+                     baseline_path: str = None,
+                     max_regress: float = None) -> str:
+    """Render the report (and optional gate verdicts) as markdown.
+
+    Written to ``$GITHUB_STEP_SUMMARY`` by CI so the per-kernel rates
+    and every gate verdict -- including ``--skip-on-noise`` skips,
+    otherwise invisible in a green build -- appear on the run page.
+    """
+    out: List[str] = ["## Benchmark report", ""]
+    out.append("| kernel | median steps/s | p10 | p90 | vs naive |")
+    out.append("|---|---:|---:|---:|---:|")
+    for name in sorted(report.get("kernels", {})):
+        entry = report["kernels"][name]
+        speedup = entry.get("speedup_vs_naive")
+        out.append(
+            f"| {name} | {entry['median_rate']:.1f} "
+            f"| {entry['p10_rate']:.1f} | {entry['p90_rate']:.1f} "
+            f"| {f'{speedup:.2f}x' if speedup is not None else '-'} |")
+    if gate is not None:
+        ok, lines = gate
+        out.append("")
+        out.append(f"### Gate vs `{baseline_path}` "
+                   f"(max regress {max_regress:.0%}): "
+                   f"{'PASS' if ok else 'FAIL'}")
+        out.append("")
+        for line in lines:
+            marker = ("⚠️ " if "SKIPPED" in line or "noisy" in line
+                      else "❌ " if ("REGRESSION" in line
+                                    or "MISSING" in line
+                                    or "UNGATED" in line)
+                      else "")
+            out.append(f"- {marker}{line}")
+    out.append("")
+    return "\n".join(out)
+
+
 def main_compare(old_path: str, new_report: Dict, max_regress: float,
-                 skip_on_noise: bool) -> int:
+                 skip_on_noise: bool,
+                 summary_path: str = None) -> int:
     """Load ``old_path``, compare, print verdicts; returns an exit code."""
     old = load_report(old_path)
     ok, lines = compare_reports(old, new_report, max_regress,
@@ -152,6 +195,11 @@ def main_compare(old_path: str, new_report: Dict, max_regress: float,
           f"{max_regress:.0%}):")
     for line in lines:
         print("  " + line)
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as fh:
+            fh.write(markdown_summary(new_report, gate=(ok, lines),
+                                      baseline_path=old_path,
+                                      max_regress=max_regress))
     if not ok:
         print("FAIL: benchmark regression detected", file=sys.stderr)
         return 1

@@ -13,9 +13,11 @@ from .robots import (RandomPatrol, Robot, SelfAwareSwarm, StaticFormation,
                      SwarmController, make_swarm)
 from .sim import (SwarmMission, SwarmMissionConfig, SwarmRunResult,
                   SwarmStepRecord, run_mission)
+from .soa import EventTable, IndexMemory, RobotArrays
 
 __all__ = [
     "Arena", "Event", "Hotspot",
+    "EventTable", "IndexMemory", "RobotArrays",
     "RandomPatrol", "Robot", "SelfAwareSwarm", "StaticFormation",
     "SwarmController", "make_swarm",
     "SwarmMission", "SwarmMissionConfig", "SwarmRunResult",

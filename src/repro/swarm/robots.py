@@ -26,7 +26,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import soa
 from .arena import Event
+
+#: Default for :class:`SelfAwareSwarm`'s ``fast`` parameter: run on the
+#: struct-of-arrays memory (vectorised when numpy is importable).  The
+#: naive object-graph reference path is retained under ``fast=False``
+#: as the byte-identity baseline; CI's ``perf-equivalence`` job flips
+#: this flag to prove the experiment tables match under both defaults.
+USE_FAST_SWARM = True
 
 
 @dataclass(slots=True)
@@ -156,30 +164,156 @@ class SelfAwareSwarm(SwarmController):
     min_separation:
         Distance below which live peers push apart.
     fast:
-        Use the optimised step internals (per-step nearest-robot memo,
-        gossip-neighbourhood caching, prefix pruning).  The naive
-        reference paths are retained under ``fast=False`` for the
-        equivalence tests and the ``repro.bench`` baselines; both
-        produce identical robot trajectories and memories.
+        Run on the struct-of-arrays memory (:mod:`repro.swarm.soa`):
+        event coordinates in flat columns, per-robot memories as index
+        buffers, batched distance math behind conservative brackets
+        with exact scalar fallbacks.  Defaults to the module flag
+        :data:`USE_FAST_SWARM`.  The naive object-graph reference path
+        is retained under ``fast=False`` for the equivalence tests and
+        the ``repro.bench`` baselines; both produce identical robot
+        trajectories and memories.
+    vectorized:
+        Within the fast path, use numpy batch kernels (default: numpy
+        availability).  ``vectorized=False`` forces the pure-python
+        scalar loops over the same flat buffers -- the zero-dependency
+        fallback, equally byte-identical.
     """
 
     def __init__(self, comm_radius: float = 0.35, memory: int = 120,
                  min_separation: float = 0.2,
                  rng: Optional[np.random.Generator] = None,
-                 fast: bool = True) -> None:
+                 fast: Optional[bool] = None,
+                 vectorized: Optional[bool] = None) -> None:
         if memory < 1:
             raise ValueError("memory must be at least 1")
         self.comm_radius = comm_radius
         self.memory = memory
         self.min_separation = min_separation
-        self.fast = fast
+        self.fast = USE_FAST_SWARM if fast is None else fast
+        self.vectorized = (soa.HAVE_NUMPY if vectorized is None
+                           else bool(vectorized) and soa.HAVE_NUMPY)
         self._rng = rng if rng is not None else np.random.default_rng()
+        # Naive-path memory: per robot, lists of Event objects.
         self._events: Dict[int, List[Event]] = {}
+        # Fast-path memory: one SoA table of event coordinates shared by
+        # all robots, plus per-robot index buffers into it.
+        self._table = soa.EventTable()
+        self._mem: Dict[int, soa.IndexMemory] = {}
+        self._arrays = soa.RobotArrays()
         self._patrol: Dict[int, Tuple[float, float]] = {}
 
     def known_events(self, robot_id: int) -> List[Event]:
         """The robot's current (pruned) event memory."""
+        if self.fast:
+            memory = self._mem.get(robot_id)
+            if memory is None:
+                return []
+            table = self._table
+            return [table.event(i) for i in memory.indices()]
         return list(self._events.get(robot_id, []))
+
+    # -- shared movement law (identical arithmetic on every path) ----------
+
+    def _patrol_target(self, robot: Robot) -> Tuple[float, float]:
+        target = self._patrol.get(robot.robot_id)
+        if target is None or robot.distance_to(*target) < robot.speed:
+            target = (float(self._rng.uniform(0, 1)),
+                      float(self._rng.uniform(0, 1)))
+            self._patrol[robot.robot_id] = target
+        return target
+
+    def _separation(self, robot: Robot,
+                    alive: Sequence[Robot]) -> Tuple[float, float]:
+        """Short-range separation from live peers only (reference scan)."""
+        sx = sy = 0.0
+        min_separation = self.min_separation
+        for peer in alive:
+            if peer.robot_id == robot.robot_id:
+                continue
+            dist = robot.distance_to(peer.x, peer.y)
+            if dist < min_separation:
+                push = (min_separation - dist) / min_separation
+                dx = robot.x - peer.x
+                dy = robot.y - peer.y
+                norm = max(dist, 1e-6)
+                sx += push * dx / norm * robot.speed
+                sy += push * dy / norm * robot.speed
+        return sx, sy
+
+    def _separation_candidates(self, alive: Sequence[Robot],
+                               px, py) -> List[List[int]]:
+        """Per-robot separation candidates from start-of-step positions.
+
+        Any peer currently within ``min_separation`` of a robot was,
+        at the start of the step, within ``min_separation`` plus two
+        maximal moves (both endpoints move at most ``speed``; the arena
+        clamp only shortens a move).  One inflated squared-distance
+        matrix over the start positions therefore yields a guaranteed
+        superset of every exact hit for the whole step, in (robot,
+        ascending-peer) order -- the order the reference scan visits.
+        """
+        np_ = soa._np
+        smax = max(r.speed for r in alive)
+        limit = soa.prefilter_limit_sq(self.min_separation + 2.0 * smax)
+        dx = px[:, None] - px[None, :]
+        dy = py[:, None] - py[None, :]
+        dx *= dx
+        dy *= dy
+        dx += dy
+        rows, cols = np_.nonzero(dx <= limit)
+        cols_list = cols.tolist()
+        starts = np_.searchsorted(rows, np_.arange(len(alive) + 1)).tolist()
+        return [cols_list[starts[i]:starts[i + 1]]
+                for i in range(len(alive))]
+
+    def _separation_from(self, robot: Robot, alive: Sequence[Robot],
+                         candidates: List[int]) -> Tuple[float, float]:
+        """The reference separation scan, restricted to candidates."""
+        sx = sy = 0.0
+        min_separation = self.min_separation
+        for j in candidates:
+            peer = alive[j]
+            if peer.robot_id == robot.robot_id:
+                continue
+            dist = robot.distance_to(peer.x, peer.y)
+            if dist < min_separation:
+                push = (min_separation - dist) / min_separation
+                dxs = robot.x - peer.x
+                dys = robot.y - peer.y
+                norm = max(dist, 1e-6)
+                sx += push * dxs / norm * robot.speed
+                sy += push * dys / norm * robot.speed
+        return sx, sy
+
+    def _move_one(self, robot: Robot, index: int, alive: Sequence[Robot],
+                  n_mine: int, sum_x: float, sum_y: float,
+                  sep_candidates: Optional[List[List[int]]] = None) -> None:
+        """Target selection + separation + move for one robot."""
+        if n_mine:
+            tx = sum_x / n_mine
+            ty = sum_y / n_mine
+            self._patrol.pop(robot.robot_id, None)
+        else:
+            tx, ty = self._patrol_target(robot)
+        if sep_candidates is not None:
+            sx, sy = self._separation_from(robot, alive,
+                                           sep_candidates[index])
+        else:
+            sx, sy = self._separation(robot, alive)
+        robot.move_toward(tx + sx, ty + sy)
+
+    @staticmethod
+    def _exact_peer_closer(robot: Robot, alive: Sequence[Robot],
+                           ex: float, ey: float) -> bool:
+        """The exact attribution predicate over *current* positions."""
+        d_self = robot.distance_to(ex, ey)
+        rid = robot.robot_id
+        for peer in alive:
+            if peer.robot_id != rid and peer.distance_to(ex, ey) < d_self:
+                return True
+        return False
+
+    # -- naive reference path (``fast=False``) ------------------------------
 
     def _share(self, robots: Sequence[Robot],
                witnessed: Sequence[Tuple[int, Event]]) -> None:
@@ -194,53 +328,10 @@ class SelfAwareSwarm(SwarmController):
                         <= self.comm_radius):
                     self._events.setdefault(peer.robot_id, []).append(event)
 
-    def _share_fast(self, robots: Sequence[Robot],
-                    witnessed: Sequence[Tuple[int, Event]]) -> None:
-        """Gossip with the witness's neighbourhood computed once.
-
-        Positions do not change while sharing, so a robot witnessing
-        several events this step reuses one in-range peer list; appends
-        happen in the same (witnessed-order, robots-order) sequence as
-        the naive path, so every memory list is identical.
-        """
-        by_robot = {r.robot_id: r for r in robots}
-        events = self._events
-        in_range: Dict[int, List[int]] = {}
-        for robot_id, event in witnessed:
-            peers = in_range.get(robot_id)
-            if peers is None:
-                witness = by_robot[robot_id]
-                comm = self.comm_radius
-                peers = [peer.robot_id for peer in robots
-                         if (peer.alive and peer.robot_id != robot_id
-                             and witness.distance_to(peer.x, peer.y) <= comm)]
-                in_range[robot_id] = peers
-            events.setdefault(robot_id, []).append(event)
-            for peer_id in peers:
-                events.setdefault(peer_id, []).append(event)
-
     def _prune(self, now: float) -> None:
         cutoff = now - self.memory
         for robot_id, events in self._events.items():
             self._events[robot_id] = [e for e in events if e.time >= cutoff]
-
-    def _prune_fast(self, now: float) -> None:
-        """Drop the expired prefix only.
-
-        Events are appended with non-decreasing timestamps, so expiry
-        removes a prefix; scanning just that prefix is O(expired) per
-        step instead of O(retained) and leaves the identical list.
-        """
-        cutoff = now - self.memory
-        events_by_robot = self._events
-        for robot_id, events in events_by_robot.items():
-            drop = 0
-            for event in events:
-                if event.time >= cutoff:
-                    break
-                drop += 1
-            if drop:
-                events_by_robot[robot_id] = events[drop:]
 
     def _attributed(self, robot: Robot,
                     alive: Sequence[Robot]) -> List[Event]:
@@ -256,112 +347,277 @@ class SelfAwareSwarm(SwarmController):
                 mine.append(event)
         return mine
 
-    def _attributed_fast(self, robot: Robot, index: int,
-                         alive: Sequence[Robot],
-                         nearest: Dict[int, Tuple[float, int, float]],
-                         snapshot: Sequence[Tuple[float, float]],
-                         band: float) -> List[Event]:
-        """Attribution pruned by a shared per-step nearest-distance memo.
+    def _step_naive(self, now: float, robots: Sequence[Robot],
+                    witnessed: Sequence[Tuple[int, Event]]) -> None:
+        self._share(robots, witnessed)
+        self._prune(now)
+        alive = [r for r in robots if r.alive]
+        for index, robot in enumerate(alive):
+            mine = self._attributed(robot, alive)
+            n_mine = len(mine)
+            sum_x = sum(e.x for e in mine)
+            sum_y = sum(e.y for e in mine)
+            self._move_one(robot, index, alive, n_mine, sum_x, sum_y)
 
-        Robots move *during* the attribution loop, so peer distances
-        drift as the loop proceeds -- but by at most one ``speed`` per
-        robot per step.  Per event object we memoise the two smallest
-        distances over the start-of-loop ``snapshot`` positions (and the
-        minimiser's index); each live *peer* distance then lies within
-        ``band`` of its snapshot value, so the smallest snapshot
-        distance among this robot's peers -- the runner-up when the
-        robot is itself the minimiser -- brackets the live peer minimum:
+    # -- struct-of-arrays fast path (``fast=True``) --------------------------
 
-        - ``d_self`` above the bracket: some peer is certainly strictly
-          closer -- not attributed;
-        - ``d_self`` below it: every peer is certainly farther --
-          attributed;
-        - inside the narrow ambiguity band (a genuine near-tie between
-          two robots): fall back to the exact naive scan over the
-          *current* positions.
+    def _mem_for(self, robot_id: int) -> soa.IndexMemory:
+        memory = self._mem.get(robot_id)
+        if memory is None:
+            memory = self._mem[robot_id] = soa.IndexMemory()
+        return memory
 
-        The answer matches :meth:`_attributed` exactly.
+    def _peers_in_range(self, witness: Robot, robot_id: int,
+                        robots: Sequence[Robot], arrays) -> List[int]:
+        """Live peers within gossip range of ``witness`` (robots order)."""
+        comm = self.comm_radius
+        if self.vectorized:
+            dx = arrays.x - witness.x
+            dy = arrays.y - witness.y
+            d2 = dx * dx + dy * dy
+            candidates = soa._np.nonzero(
+                d2 <= soa.prefilter_limit_sq(comm))[0]
+            peers = []
+            for i in candidates.tolist():
+                peer = robots[i]
+                if (peer.alive and peer.robot_id != robot_id
+                        and witness.distance_to(peer.x, peer.y) <= comm):
+                    peers.append(peer.robot_id)
+            return peers
+        return [peer.robot_id for peer in robots
+                if (peer.alive and peer.robot_id != robot_id
+                    and witness.distance_to(peer.x, peer.y) <= comm)]
+
+    def _share_soa(self, robots: Sequence[Robot],
+                   witnessed: Sequence[Tuple[int, Event]], arrays) -> None:
+        """Gossip onto the SoA table.
+
+        Events are interned into the table once per step; the witness's
+        in-range neighbourhood is computed once per witness (positions
+        do not change while sharing).  Index appends happen in the same
+        (witnessed-order, robots-order) sequence as the naive path, so
+        every memory window is identical.
         """
-        hypot = math.hypot
-        mine = []
-        for event in self._events.get(robot.robot_id, []):
-            ex, ey = event.x, event.y
-            d_self = robot.distance_to(ex, ey)
+        if not witnessed:
+            return
+        by_robot = {r.robot_id: r for r in robots}
+        table = self._table
+        interned: Dict[int, int] = {}
+        peers_of: Dict[int, List[int]] = {}
+        for robot_id, event in witnessed:
             key = id(event)
-            memo = nearest.get(key)
-            if memo is None:
-                best1 = best2 = math.inf
-                idx1 = -1
-                for i, (sx, sy) in enumerate(snapshot):
-                    d = hypot(sx - ex, sy - ey)
-                    if d < best1:
-                        best2 = best1
-                        best1 = d
-                        idx1 = i
-                    elif d < best2:
-                        best2 = d
-                memo = (best1, idx1, best2)
-                nearest[key] = memo
-            best1, idx1, best2 = memo
-            peer_min0 = best2 if idx1 == index else best1
-            if d_self > peer_min0 + band:
-                continue
-            if d_self < peer_min0 - band:
-                mine.append(event)
-                continue
-            closer = any(
-                peer.robot_id != robot.robot_id
-                and peer.distance_to(ex, ey) < d_self
-                for peer in alive)
-            if not closer:
-                mine.append(event)
-        return mine
+            index = interned.get(key)
+            if index is None:
+                index = table.add_event(event)
+                interned[key] = index
+            peers = peers_of.get(robot_id)
+            if peers is None:
+                peers = self._peers_in_range(by_robot[robot_id], robot_id,
+                                             robots, arrays)
+                peers_of[robot_id] = peers
+            self._mem_for(robot_id).append(index)
+            for peer_id in peers:
+                self._mem_for(peer_id).append(index)
+
+    def _prune_soa(self, now: float) -> None:
+        """Advance every memory past expired events; trim dead storage."""
+        cutoff = now - self.memory
+        table = self._table
+        lo = table.size
+        for memory in self._mem.values():
+            memory.prune_before(cutoff, table)
+            if memory:
+                first = memory.first()
+                if first < lo:
+                    lo = first
+        if lo - table.base > 4096:
+            table.trim(lo)
+
+    def _attribute_and_move_scalar(self, alive: Sequence[Robot],
+                                   band: float) -> None:
+        """Fallback attribution: scalar loops over the flat buffers.
+
+        Identical bracket logic to the vector path (and to the retired
+        object-graph implementation): per event we memoise the two
+        smallest distances over the start-of-loop snapshot positions;
+        the smallest snapshot distance among this robot's peers -- the
+        runner-up when the robot is itself the minimiser -- brackets
+        the live peer minimum to within ``band``.  Outside the band the
+        decision is certain; inside it (a genuine near-tie) we fall
+        back to the exact scan over current positions.
+        """
+        table = self._table
+        hypot = math.hypot
+        snapshot = [(r.x, r.y) for r in alive]
+        nearest: Dict[int, Tuple[float, int, float]] = {}
+        for index, robot in enumerate(alive):
+            memory = self._mem.get(robot.robot_id)
+            n_mine = 0
+            sum_x = sum_y = 0.0
+            if memory is not None and memory:
+                rx, ry = robot.x, robot.y
+                for ei in memory.indices():
+                    ex = table.x_at(ei)
+                    ey = table.y_at(ei)
+                    d_self = hypot(rx - ex, ry - ey)
+                    memo = nearest.get(ei)
+                    if memo is None:
+                        best1 = best2 = math.inf
+                        idx1 = -1
+                        for i, (sx_, sy_) in enumerate(snapshot):
+                            d = hypot(sx_ - ex, sy_ - ey)
+                            if d < best1:
+                                best2 = best1
+                                best1 = d
+                                idx1 = i
+                            elif d < best2:
+                                best2 = d
+                        memo = (best1, idx1, best2)
+                        nearest[ei] = memo
+                    best1, idx1, best2 = memo
+                    peer_min0 = best2 if idx1 == index else best1
+                    if d_self > peer_min0 + band:
+                        continue
+                    if not d_self < peer_min0 - band:
+                        if self._exact_peer_closer(robot, alive, ex, ey):
+                            continue
+                    n_mine += 1
+                    sum_x += ex
+                    sum_y += ey
+            self._move_one(robot, index, alive, n_mine, sum_x, sum_y)
+
+    def _attribute_and_move_exact(self, alive: Sequence[Robot]) -> None:
+        """Attribution by the exact scalar predicate, entry by entry.
+
+        Used when robot ids collide (the peer-exclusion shortcuts in
+        the batched paths identify *self* positionally, which is only
+        sound when ids are unique, as ``make_swarm`` guarantees).
+        """
+        table = self._table
+        for index, robot in enumerate(alive):
+            memory = self._mem.get(robot.robot_id)
+            n_mine = 0
+            sum_x = sum_y = 0.0
+            if memory is not None and memory:
+                for ei in memory.indices():
+                    ex = table.x_at(ei)
+                    ey = table.y_at(ei)
+                    if not self._exact_peer_closer(robot, alive, ex, ey):
+                        n_mine += 1
+                        sum_x += ex
+                        sum_y += ey
+            self._move_one(robot, index, alive, n_mine, sum_x, sum_y)
+
+    def _attribute_and_move_vector(self, alive: Sequence[Robot]) -> None:
+        """Batched attribution over the SoA window, exact at every step.
+
+        At robot ``i``'s turn the live peer positions are: robots after
+        ``i`` still at their start-of-step positions (they move later),
+        robots before ``i`` at their just-moved positions.  So the
+        current peer minimum decomposes into two batched pieces:
+
+        - a suffix minimum over the start-of-step squared-distance
+          matrix (rows strictly after ``i`` -- computed once up front),
+        - a running minimum ``moved_min`` folded in as each robot moves.
+
+        Squared distances are compared under :data:`soa.EXACT_REL`;
+        only genuine near-ties (ulp-scale, astronomically rare) fall
+        back to the exact scalar predicate.  The accepted entries and
+        their order therefore match the naive scan bit-for-bit.
+        """
+        np_ = soa._np
+        table = self._table
+        n = len(alive)
+        views = []
+        lo = table.size
+        for robot in alive:
+            memory = self._mem.get(robot.robot_id)
+            if memory is not None and memory:
+                view = memory.view()
+                first = int(view[0])
+                if first < lo:
+                    lo = first
+            else:
+                view = soa.EMPTY_INDICES
+            views.append(view)
+        px = np_.fromiter((r.x for r in alive), np_.float64, n)
+        py = np_.fromiter((r.y for r in alive), np_.float64, n)
+        sep_candidates = self._separation_candidates(alive, px, py)
+        m = table.size - lo
+        total = sum(len(v) for v in views)
+        if total:
+            exs, eys = table.columns(lo, table.size)
+            dx = px[:, None] - exs[None, :]
+            dy = py[:, None] - eys[None, :]
+            dx *= dx
+            dy *= dy
+            dx += dy
+            d2 = dx                      # (n, m) start-of-step squared dists
+            # suffix[i] = min over rows >= i; peers after robot i are
+            # suffix[i + 1] (none for the last robot).
+            suffix = np_.minimum.accumulate(d2[::-1], axis=0)[::-1]
+            moved_min = np_.full(m, np_.inf)
+            rel_lo = 1.0 - soa.EXACT_REL
+            rel_hi = 1.0 + soa.EXACT_REL
+        for index, robot in enumerate(alive):
+            view = views[index]
+            n_mine = 0
+            sum_x = sum_y = 0.0
+            if total and len(view):
+                idx = view - lo
+                d2_self = d2[index, idx]
+                if index + 1 < n:
+                    peer_min = np_.minimum(suffix[index + 1, idx],
+                                           moved_min[idx])
+                else:
+                    peer_min = moved_min[idx]
+                take = peer_min > d2_self * rel_hi
+                tie = ~take & (peer_min >= d2_self * rel_lo)
+                if tie.any():
+                    for j in np_.nonzero(tie)[0]:
+                        k = int(idx[j])
+                        if not self._exact_peer_closer(
+                                robot, alive, float(exs[k]), float(eys[k])):
+                            take[j] = True
+                if take.any():
+                    selected = idx[take]
+                    xs = exs[selected].tolist()
+                    ys = eys[selected].tolist()
+                    n_mine = len(xs)
+                    sum_x = sum(xs)
+                    sum_y = sum(ys)
+            self._move_one(robot, index, alive, n_mine, sum_x, sum_y,
+                           sep_candidates)
+            if total:
+                rdx = robot.x - exs
+                rdy = robot.y - eys
+                rdx *= rdx
+                rdy *= rdy
+                rdx += rdy
+                np_.minimum(moved_min, rdx, out=moved_min)
+
+    def _step_soa(self, now: float, robots: Sequence[Robot],
+                  witnessed: Sequence[Tuple[int, Event]]) -> None:
+        arrays = self._arrays
+        arrays.refresh(robots)
+        self._share_soa(robots, witnessed, arrays)
+        self._prune_soa(now)
+        alive = [r for r in robots if r.alive]
+        if not alive:
+            return
+        if len({r.robot_id for r in alive}) != len(alive):
+            self._attribute_and_move_exact(alive)
+        elif self.vectorized:
+            self._attribute_and_move_vector(alive)
+        else:
+            # Upper bound on any robot's displacement within this step,
+            # inflated to absorb float rounding in move_toward.
+            band = max(r.speed for r in alive) * 1.01 + 1e-12
+            self._attribute_and_move_scalar(alive, band)
 
     def step(self, now: float, robots: Sequence[Robot],
              witnessed: Sequence[Tuple[int, Event]]) -> None:
-        fast = self.fast
-        if fast:
-            self._share_fast(robots, witnessed)
-            self._prune_fast(now)
+        if self.fast:
+            self._step_soa(now, robots, witnessed)
         else:
-            self._share(robots, witnessed)
-            self._prune(now)
-        alive = [r for r in robots if r.alive]
-        if fast:
-            nearest: Dict[int, Tuple[float, int, float]] = {}
-            snapshot = [(r.x, r.y) for r in alive]
-            # Upper bound on any robot's displacement within this step,
-            # inflated to absorb float rounding in move_toward.
-            band = (max(r.speed for r in alive) * 1.01 + 1e-12
-                    if alive else 0.0)
-        for index, robot in enumerate(alive):
-            if fast:
-                mine = self._attributed_fast(robot, index, alive, nearest,
-                                             snapshot, band)
-            else:
-                mine = self._attributed(robot, alive)
-            if mine:
-                tx = sum(e.x for e in mine) / len(mine)
-                ty = sum(e.y for e in mine) / len(mine)
-                self._patrol.pop(robot.robot_id, None)
-            else:
-                target = self._patrol.get(robot.robot_id)
-                if target is None or robot.distance_to(*target) < robot.speed:
-                    target = (float(self._rng.uniform(0, 1)),
-                              float(self._rng.uniform(0, 1)))
-                    self._patrol[robot.robot_id] = target
-                tx, ty = target
-            # Short-range separation from live peers only.
-            sx = sy = 0.0
-            for peer in alive:
-                if peer.robot_id == robot.robot_id:
-                    continue
-                dist = robot.distance_to(peer.x, peer.y)
-                if dist < self.min_separation:
-                    push = (self.min_separation - dist) / self.min_separation
-                    dx = robot.x - peer.x
-                    dy = robot.y - peer.y
-                    norm = max(dist, 1e-6)
-                    sx += push * dx / norm * robot.speed
-                    sy += push * dy / norm * robot.speed
-            robot.move_toward(tx + sx, ty + sy)
+            self._step_naive(now, robots, witnessed)

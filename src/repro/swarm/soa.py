@@ -1,0 +1,340 @@
+"""Struct-of-arrays working set for the swarm substrate.
+
+The swarm hot loop used to walk Python object graphs: every robot a
+dataclass, every remembered event an ``Event`` instance, every distance
+a ``math.hypot`` call.  This module holds the same state in flat
+columns so the per-step kernels (witness scan, gossip neighbourhoods,
+Voronoi attribution) can run as a handful of array operations:
+
+- :class:`EventTable` -- the append-only store of event coordinates
+  (``times`` / ``xs`` / ``ys`` columns); robots remember *indices* into
+  it instead of object references, and a window ``trim`` keeps storage
+  bounded by the live memory horizon.
+- :class:`IndexMemory` -- one robot's event memory: a flat index buffer
+  with a head pointer, so pruning the expired prefix is pointer
+  arithmetic and the retained window is a zero-copy slice.
+- :class:`RobotArrays` -- per-step position / radius / liveness columns
+  refreshed from the ``Robot`` objects (which remain the mutable API
+  surface for controllers, fault hooks and tests).
+- :func:`nearest_two` -- the attribution memo: per event, the two
+  smallest snapshot distances and the first minimiser, in one batched
+  computation.
+
+Backends: numpy when importable, else the stdlib ``array`` module --
+the package keeps zero hard dependencies beyond what the repo already
+ships, and every consumer falls back to scalar loops over the same
+flat buffers when ``HAVE_NUMPY`` is false.
+
+Byte-identity discipline: array math never *decides* anything on its
+own.  Batched distances are used only (a) inside tolerance brackets
+whose ambiguity band absorbs both robot movement and float-evaluation
+differences (``sqrt(dx*dx+dy*dy)`` vs ``math.hypot``), or (b) as
+conservative candidate prefilters whose hits are re-checked with the
+exact scalar predicate.  The accepted sets, their order, and every
+downstream float operation match the naive reference paths exactly.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, List, Sequence, Tuple
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - the container always has numpy
+    _np = None
+    HAVE_NUMPY = False
+
+from .arena import Event
+
+#: Relative inflation applied to candidate-prefilter radii so that the
+#: squared-distance comparison is a guaranteed superset of the exact
+#: ``math.hypot(...) <= r`` predicate (hypot and sqrt-of-squares agree
+#: to a few ulp; 1e-9 is ~1e7 ulp of headroom on unit-square scales).
+PREFILTER_SLACK = 1e-9
+
+
+def prefilter_limit_sq(radius: float) -> float:
+    """Squared prefilter radius guaranteed to contain every exact hit."""
+    limit = radius * (1.0 + PREFILTER_SLACK)
+    return limit * limit
+
+
+#: Relative band within which two batched squared distances are treated
+#: as a potential tie and re-decided by the exact scalar predicate.
+#: Squared-distance expressions agree with ``math.hypot`` squared to a
+#: few ulp (~1e-15 relative); 1e-9 leaves ~6 orders of margin while
+#: making ties astronomically rare.
+EXACT_REL = 1e-9
+
+#: Shared empty index window, matching :meth:`IndexMemory.view`'s dtype.
+EMPTY_INDICES = _np.empty(0, dtype=_np.intp) if HAVE_NUMPY else array("q")
+
+
+class EventTable:
+    """Append-only SoA store of event coordinates.
+
+    Rows are addressed by a *global* index that never changes;
+    :meth:`trim` drops physical storage below the live window without
+    renumbering, so :class:`IndexMemory` contents stay valid.
+    """
+
+    __slots__ = ("size", "_base", "_times", "_xs", "_ys")
+
+    def __init__(self) -> None:
+        self.size = 0          # next global index
+        self._base = 0         # global index of physical row 0
+        if HAVE_NUMPY:
+            self._times = _np.empty(256, dtype=_np.float64)
+            self._xs = _np.empty(256, dtype=_np.float64)
+            self._ys = _np.empty(256, dtype=_np.float64)
+        else:
+            self._times = array("d")
+            self._xs = array("d")
+            self._ys = array("d")
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def base(self) -> int:
+        """Smallest global index still physically stored."""
+        return self._base
+
+    def add(self, time: float, x: float, y: float) -> int:
+        """Append one event; returns its global index."""
+        index = self.size
+        row = index - self._base
+        if HAVE_NUMPY:
+            if row >= len(self._times):
+                grow = max(256, 2 * len(self._times))
+                for name in ("_times", "_xs", "_ys"):
+                    old = getattr(self, name)
+                    new = _np.empty(grow, dtype=_np.float64)
+                    new[:row] = old[:row]
+                    setattr(self, name, new)
+            self._times[row] = time
+            self._xs[row] = x
+            self._ys[row] = y
+        else:
+            self._times.append(time)
+            self._xs.append(x)
+            self._ys.append(y)
+        self.size = index + 1
+        return index
+
+    def add_event(self, event: Event) -> int:
+        """Append an :class:`Event`'s coordinates."""
+        return self.add(event.time, event.x, event.y)
+
+    def time_at(self, index: int) -> float:
+        return float(self._times[index - self._base])
+
+    def x_at(self, index: int) -> float:
+        return float(self._xs[index - self._base])
+
+    def y_at(self, index: int) -> float:
+        return float(self._ys[index - self._base])
+
+    def event(self, index: int) -> Event:
+        """Materialise the row as an :class:`Event` (value-equal to the
+        original; the fast path does not retain object identity)."""
+        row = index - self._base
+        return Event(time=float(self._times[row]), x=float(self._xs[row]),
+                     y=float(self._ys[row]))
+
+    def columns(self, lo: int, hi: int):
+        """``(xs, ys)`` for global rows ``[lo, hi)`` -- zero-copy numpy
+        views, or ``array`` slices under the fallback backend."""
+        a, b = lo - self._base, hi - self._base
+        return self._xs[a:b], self._ys[a:b]
+
+    def xs_list(self, indices) -> List[float]:
+        """Gather x coordinates for ``indices`` as Python floats."""
+        if HAVE_NUMPY:
+            return self._xs[_np.asarray(indices) - self._base].tolist()
+        base = self._base
+        return [float(self._xs[i - base]) for i in indices]
+
+    def ys_list(self, indices) -> List[float]:
+        """Gather y coordinates for ``indices`` as Python floats."""
+        if HAVE_NUMPY:
+            return self._ys[_np.asarray(indices) - self._base].tolist()
+        base = self._base
+        return [float(self._ys[i - base]) for i in indices]
+
+    def trim(self, lo: int) -> None:
+        """Drop physical storage for rows below ``lo`` (global indices
+        are untouched; accessing a trimmed row is undefined)."""
+        if lo <= self._base:
+            return
+        lo = min(lo, self.size)
+        keep = self.size - lo
+        shift = lo - self._base
+        if HAVE_NUMPY:
+            for name in ("_times", "_xs", "_ys"):
+                buf = getattr(self, name)
+                buf[:keep] = buf[shift:shift + keep]
+        else:
+            del self._times[:shift]
+            del self._xs[:shift]
+            del self._ys[:shift]
+        self._base = lo
+
+
+class IndexMemory:
+    """One robot's event memory: global table indices, oldest first.
+
+    Indices are appended in non-decreasing event-time order, so expiry
+    removes a prefix; :meth:`prune_before` advances a head pointer and
+    compacts lazily.
+    """
+
+    __slots__ = ("_buf", "_head", "_tail")
+
+    def __init__(self) -> None:
+        if HAVE_NUMPY:
+            self._buf = _np.empty(64, dtype=_np.intp)
+        else:
+            self._buf = array("q", bytes(8 * 64))
+        self._head = 0
+        self._tail = 0
+
+    def __len__(self) -> int:
+        return self._tail - self._head
+
+    def __bool__(self) -> bool:
+        return self._tail > self._head
+
+    def append(self, index: int) -> None:
+        if self._tail >= len(self._buf):
+            self._compact_or_grow()
+        self._buf[self._tail] = index
+        self._tail += 1
+
+    def _compact_or_grow(self) -> None:
+        live = self._tail - self._head
+        # Enough dead prefix to slide down in place; otherwise double.
+        capacity = (len(self._buf) if self._head >= max(64, live)
+                    else max(64, 2 * len(self._buf)))
+        if HAVE_NUMPY:
+            if capacity == len(self._buf):
+                self._buf[:live] = self._buf[self._head:self._tail]
+            else:
+                new = _np.empty(capacity, dtype=_np.intp)
+                new[:live] = self._buf[self._head:self._tail]
+                self._buf = new
+        else:
+            new = array("q", self._buf[self._head:self._tail])
+            new.extend([0] * (capacity - live))
+            self._buf = new
+        self._tail = live
+        self._head = 0
+
+    def first(self) -> int:
+        """Oldest retained index (undefined when empty)."""
+        return int(self._buf[self._head])
+
+    def indices(self) -> Iterator[int]:
+        """Iterate the retained indices oldest-first, without copying."""
+        buf = self._buf
+        for k in range(self._head, self._tail):
+            yield int(buf[k])
+
+    def view(self):
+        """The retained window -- a zero-copy numpy view (numpy backend
+        only; fallback callers iterate :meth:`indices`)."""
+        return self._buf[self._head:self._tail]
+
+    def tolist(self) -> List[int]:
+        return [int(self._buf[k]) for k in range(self._head, self._tail)]
+
+    def prune_before(self, cutoff: float, table: EventTable) -> None:
+        """Advance past every index whose event time is ``< cutoff``."""
+        buf = self._buf
+        head, tail = self._head, self._tail
+        times = table._times
+        base = table._base
+        while head < tail and times[buf[head] - base] < cutoff:
+            head += 1
+        self._head = head
+        if head == tail:
+            self._head = self._tail = 0
+
+
+class RobotArrays:
+    """Flat per-robot columns, refreshed from the ``Robot`` objects.
+
+    ``Robot`` stays the mutable unit of the public API (controllers,
+    fault hooks and tests flip ``alive`` and move robots one at a
+    time); these columns are the batched read path.  ``refresh`` reuses
+    the allocated buffers whenever the population size is unchanged.
+    """
+
+    __slots__ = ("n", "x", "y", "radius", "alive")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.x = self.y = self.radius = self.alive = None
+
+    def refresh(self, robots: Sequence) -> None:
+        n = len(robots)
+        self.n = n
+        if HAVE_NUMPY:
+            self.x = _np.fromiter((r.x for r in robots), _np.float64, n)
+            self.y = _np.fromiter((r.y for r in robots), _np.float64, n)
+            self.radius = _np.fromiter((r.sensing_radius for r in robots),
+                                       _np.float64, n)
+            self.alive = _np.fromiter((r.alive for r in robots), bool, n)
+        else:
+            self.x = array("d", [r.x for r in robots])
+            self.y = array("d", [r.y for r in robots])
+            self.radius = array("d", [r.sensing_radius for r in robots])
+            self.alive = [r.alive for r in robots]
+
+
+def nearest_two(px, py, exs, eys) -> Tuple:
+    """Per event: the two smallest distances to the ``(px, py)`` points
+    and the index of the first minimiser.
+
+    Ties follow the scalar reference exactly: the first strict minimum
+    wins ``idx1``, and a duplicated minimum value also supplies
+    ``best2`` (``argmin`` / ``partition`` have the same convention).
+    Distances are ``sqrt(dx*dx + dy*dy)``; callers may only use them
+    inside tolerance brackets wide enough to absorb the few-ulp
+    disagreement with ``math.hypot``.
+    """
+    if HAVE_NUMPY:
+        dx = px[:, None] - exs[None, :]
+        dy = py[:, None] - eys[None, :]
+        d = _np.sqrt(dx * dx + dy * dy)
+        idx1 = d.argmin(axis=0)
+        if d.shape[0] >= 2:
+            part = _np.partition(d, 1, axis=0)
+            best1, best2 = part[0], part[1]
+        else:
+            best1 = d[0]
+            best2 = _np.full(d.shape[1], _np.inf)
+        return best1, idx1, best2
+    import math
+    m = len(exs)
+    best1 = array("d", bytes(8 * m))
+    best2 = array("d", bytes(8 * m))
+    idx1 = array("q", bytes(8 * m))
+    for j in range(m):
+        ex, ey = exs[j], eys[j]
+        b1 = b2 = math.inf
+        i1 = -1
+        for i in range(len(px)):
+            d = math.hypot(px[i] - ex, py[i] - ey)
+            if d < b1:
+                b2 = b1
+                b1 = d
+                i1 = i
+            elif d < b2:
+                b2 = d
+        best1[j] = b1
+        best2[j] = b2
+        idx1[j] = i1
+    return best1, idx1, best2

@@ -1,0 +1,26 @@
+"""Shared test configuration.
+
+``REPRO_FORCE_NAIVE=1`` flips every module-level fast-path default to
+the naive reference implementation before tests import anything.  CI's
+``perf-equivalence`` job runs the whole ``tests/perf`` suite under both
+settings, so the golden tables and equivalence fixtures are checked
+against the scalar paths too -- a vectorisation bug can never land as
+"tests passed on the fast path only".
+"""
+
+import os
+
+
+def _force_naive_paths() -> None:
+    from repro.core import knowledge
+    from repro.learning import bandits
+    from repro.swarm import robots, sim
+
+    sim.USE_WITNESS_GRID = False
+    robots.USE_FAST_SWARM = False
+    bandits.USE_FAST_BANDIT = False
+    knowledge.set_fast_window_stats(False)
+
+
+if os.environ.get("REPRO_FORCE_NAIVE") == "1":
+    _force_naive_paths()

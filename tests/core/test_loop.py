@@ -105,6 +105,56 @@ class TestRunControlLoop:
             run_control_loop(self._node(StaticPolicy("good")),
                              ToyEnvironment(), goal, steps=0)
 
+    def test_plain_loop_matches_general_loop_with_inert_injector(self):
+        """``faults=None`` dispatches the specialised plain loop; an
+        armed-but-dormant injector keeps the general loop.  Their traces
+        must be indistinguishable, RNG decisions included."""
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import CRASH, SENSOR_NOISE, FaultPlan, FaultSpec
+
+        dormant = FaultPlan(specs=(
+            FaultSpec(kind=CRASH, start=1e8, end=1e9, intensity=0.8),
+            FaultSpec(kind=SENSOR_NOISE, start=1e8, end=1e9, intensity=2.0),
+        ), seed=13)
+
+        def run(faults):
+            goal = Goal([Objective("perf")])
+            reasoner = UtilityReasoner(goal, EmpiricalActionModel(),
+                                       epsilon=0.2,
+                                       rng=np.random.default_rng(3))
+            return run_control_loop(self._node(reasoner), ToyEnvironment(),
+                                    goal, steps=60, faults=faults)
+
+        plain = run(None)
+        general = run(FaultInjector(dormant, run_seed=1))
+        assert ([(s.time, s.action, s.metrics, s.utility, s.explored,
+                  s.sensing_cost) for s in plain.steps]
+                == [(s.time, s.action, s.metrics, s.utility, s.explored,
+                     s.sensing_cost) for s in general.steps])
+
+    def test_plain_loop_emits_identical_telemetry(self):
+        from repro.obs.export import TelemetrySession
+
+        def run(steps):
+            goal = Goal([Objective("perf")])
+            reasoner = UtilityReasoner(goal, EmpiricalActionModel(),
+                                       epsilon=0.2,
+                                       rng=np.random.default_rng(3))
+            with TelemetrySession() as session:
+                trace = run_control_loop(self._node(reasoner),
+                                         ToyEnvironment(), goal, steps=steps)
+            events = [(e.name, e.fields) for e in session.bus.events()
+                      if e.name == "loop.step"]  # phase timings are wall clock
+            return trace, events, session.registry.snapshot()
+
+        trace, events, metrics = run(25)
+        assert len(trace) == 25
+        assert len(events) == 25
+        # Determinism of the telemetry-enabled plain path.
+        trace2, events2, metrics2 = run(25)
+        assert events == events2
+        assert metrics["counters"] == metrics2["counters"]
+
     def test_clock_is_respected(self):
         goal = Goal([Objective("perf")])
         clock = SimulationClock(start=100.0, dt=2.0)

@@ -132,11 +132,20 @@ class TestCompareReports:
         assert not ok
         assert any("MISSING" in line for line in lines)
 
-    def test_new_kernel_noted_not_failed(self):
+    def test_new_kernel_missing_from_baseline_fails(self):
+        # A kernel the committed baseline has never seen must fail the
+        # gate (not pass silently) until the baseline is regenerated.
         ok, lines = compare_reports(_report({"a": 1.0}),
                                     _report({"a": 1.0, "b": 1.0}), 0.10)
-        assert ok
-        assert any("new kernel" in line for line in lines)
+        assert not ok
+        assert any("b: UNGATED" in line and "baseline" in line
+                   for line in lines)
+        # ...and skip-on-noise must not rescue it: the kernel has no
+        # timing comparison to be noisy about.
+        ok, _ = compare_reports(_report({"a": 1.0}),
+                                _report({"a": 1.0, "b": 1.0}), 0.10,
+                                skip_on_noise=True)
+        assert not ok
 
     def test_improvement_passes(self):
         ok, _ = compare_reports(_report({"a": 100.0}),
@@ -168,6 +177,20 @@ class TestReportIO:
         assert len(lines) == 1
         assert "2.50x vs naive" in lines[0]
 
+    def test_markdown_summary_surfaces_noise_skips(self):
+        from repro.bench.report import markdown_summary
+
+        old = _report({"a": 100.0}, spreads={"a": 3.0})
+        new = _report({"a": 50.0})
+        new["kernels"]["a"].update(p10_rate=45.0, p90_rate=55.0)
+        gate = compare_reports(old, new, 0.10, skip_on_noise=True)
+        text = markdown_summary(new, gate=gate, baseline_path="OLD.json",
+                                max_regress=0.10)
+        assert "| a | 50.0 |" in text
+        assert "PASS" in text
+        # The skip -- invisible in a green terminal run -- is called out.
+        assert "SKIPPED (noisy runner)" in text
+
 
 class TestCLI:
     def test_list_and_tiny_run(self, tmp_path, capsys):
@@ -190,3 +213,24 @@ class TestCLI:
 
         assert main(["--kernels", "bogus"]) == 2
         assert main(["--max-regress", "200%", "--kernels", "obs.emit"]) == 2
+
+    def test_summary_path_writes_markdown(self, tmp_path):
+        from repro.bench.__main__ import main
+
+        out = tmp_path / "bench.json"
+        summary = tmp_path / "summary.md"
+        code = main(["--kernels", "obs.emit.disabled", "--steps", "2000",
+                     "--repeats", "2", "--warmup", "100",
+                     "--out", str(out), "--summary-path", str(summary)])
+        assert code == 0
+        text = summary.read_text()
+        assert "## Benchmark report" in text
+        assert "obs.emit.disabled" in text
+
+        # With --compare, the gate verdicts land in the summary too.
+        code = main(["--kernels", "obs.emit.disabled", "--steps", "2000",
+                     "--repeats", "2", "--warmup", "100",
+                     "--out", str(out), "--compare", str(out),
+                     "--skip-on-noise", "--summary-path", str(summary)])
+        assert code == 0
+        assert "### Gate vs" in summary.read_text()

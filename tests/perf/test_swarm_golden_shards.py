@@ -1,0 +1,89 @@
+"""Swarm shard payloads: byte-identical across jobs and across paths.
+
+The SoA swarm rewrite is only admissible if the E12 tables cannot tell
+it happened.  Two axes of identity, both at JSON-byte granularity:
+
+- **jobs-1 vs jobs-4** -- the engine's worker pool must not perturb a
+  single float (fork workers share the parent's flag state, so this
+  also holds on CI's forced-naive leg);
+- **fast vs naive** -- the struct-of-arrays controller and the
+  vectorised/gridded scans against the object-graph reference scans.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import e12_swarm
+from repro.experiments.engine import (SuiteJob, canonical_suite_text,
+                                      run_suite)
+from repro.swarm import robots, sim
+
+
+def _e12_job(seeds):
+    return [SuiteJob(name="E12", module="repro.experiments.e12_swarm",
+                     shard_fn="run_shard", reduce_fn="reduce",
+                     seeds=tuple(seeds),
+                     params={"steps": 120, "n_robots": 9})]
+
+
+@pytest.fixture
+def naive_flags():
+    """Flip the swarm fast-path defaults to naive for the duration."""
+    saved = (robots.USE_FAST_SWARM, sim.USE_WITNESS_GRID)
+    robots.USE_FAST_SWARM = False
+    sim.USE_WITNESS_GRID = False
+    try:
+        yield
+    finally:
+        robots.USE_FAST_SWARM, sim.USE_WITNESS_GRID = saved
+
+
+class TestSwarmShardsAcrossJobs:
+    def test_jobs_1_vs_4_payloads_identical(self):
+        seeds = (0, 1, 2, 3)
+        serial = [e12_swarm.run_shard(s, steps=120, n_robots=9)
+                  for s in seeds]
+        parallel = run_suite(_e12_job(seeds), n_jobs=4)
+        engine_serial = run_suite(_e12_job(seeds), n_jobs=1)
+        assert (canonical_suite_text(engine_serial.tables)
+                == canonical_suite_text(parallel.tables))
+        # The reduced table equals reducing the in-process payloads,
+        # so the worker-pool payloads were byte-identical too.
+        direct = e12_swarm.reduce(serial, seeds=seeds, steps=120,
+                                  n_robots=9)
+        assert (canonical_suite_text([direct])
+                == canonical_suite_text(parallel.tables))
+
+
+class TestSwarmShardsFastVsNaive:
+    def test_shard_payload_identical_fast_vs_naive(self, naive_flags):
+        naive = json.dumps(e12_swarm.run_shard(0, steps=120, n_robots=9),
+                           sort_keys=True)
+        robots.USE_FAST_SWARM = True
+        sim.USE_WITNESS_GRID = True
+        fast = json.dumps(e12_swarm.run_shard(0, steps=120, n_robots=9),
+                          sort_keys=True)
+        assert fast == naive
+
+    def test_scalar_soa_backend_identical_too(self, naive_flags):
+        """The non-numpy SoA fallback is held to the same standard."""
+        import numpy as np
+
+        from repro.swarm.sim import SwarmMission, SwarmMissionConfig
+
+        def mission(fast, vectorized):
+            config = SwarmMissionConfig(n_robots=9, steps=120,
+                                        events_per_step=4.0, seed=3)
+            controller = robots.SelfAwareSwarm(
+                rng=np.random.default_rng(11), fast=fast,
+                vectorized=vectorized)
+            run = SwarmMission(controller, config, use_grid=fast)
+            records = [run.step(float(t)) for t in range(120)]
+            return ([(r.time, r.events, r.witnessed, r.alive)
+                     for r in records],
+                    [(r.robot_id, r.x, r.y, r.alive) for r in run.robots])
+
+        reference = mission(fast=False, vectorized=None)
+        assert mission(fast=True, vectorized=True) == reference
+        assert mission(fast=True, vectorized=False) == reference
