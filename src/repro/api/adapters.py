@@ -651,12 +651,22 @@ class SensornetSimulator:
                                  budget=cfg.budget, rng=rng,
                                  faults=_resolve_injector(self._faults, seed))
         self.records: List[Any] = []
+        # Running sums so metrics() stays O(1) however long the session
+        # lives: a served session calls metrics() on every step request,
+        # and re-summing the whole history made the per-request cost
+        # grow linearly with session age.  Left-to-right accumulation in
+        # append order produces bit-identical floats to sum() over the
+        # records list, so payloads do not change.
+        self._error_sum = 0.0
+        self._energy_sum = 0.0
         self._t = 0.0
         return self
 
     def step(self):
         record = self._node.step(self._t)
         self.records.append(record)
+        self._error_sum += record.error
+        self._energy_sum += record.energy_spent
         self._t += 1.0
         return record
 
@@ -667,9 +677,13 @@ class SensornetSimulator:
                 "steps_taken": len(self.records)}
 
     def metrics(self) -> Dict[str, float]:
-        result = self.result()
-        return {"mean_error": result.mean_error(),
-                "mean_energy": result.mean_energy()}
+        n = len(self.records)
+        if n == 0:
+            result = self.result()
+            return {"mean_error": result.mean_error(),
+                    "mean_energy": result.mean_energy()}
+        return {"mean_error": self._error_sum / n,
+                "mean_energy": self._energy_sum / n}
 
     def result(self):
         from ..sensornet.node import SensingRunResult

@@ -4,13 +4,17 @@ Examples
 --------
 Full run, canonical output::
 
-    python -m repro.bench --out BENCH_7.json
+    python -m repro.bench --out BENCH_8.json
 
 Quick CI pass with a regression gate against the committed baseline::
 
     python -m repro.bench --quick --out bench-ci.json \
-        --compare BENCH_7.json --max-regress 10% --skip-on-noise \
+        --compare BENCH_8.json --max-regress 10% --skip-on-noise \
         --summary-path "$GITHUB_STEP_SUMMARY"
+
+Only the large-tier kernels (the ~10x-scale re-measurements)::
+
+    python -m repro.bench --size large --out bench-large.json
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .harness import run_spec
+from .harness import measure_calibration, run_spec
 from .kernels import get_kernels
 from .report import (build_report, main_compare, parse_percent,
                      summary_lines, write_report)
@@ -31,10 +35,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Benchmark the per-step simulation kernels.")
     parser.add_argument("--quick", action="store_true",
                         help="fewer steps per repeat (CI mode)")
-    parser.add_argument("--out", default="BENCH_7.json",
-                        help="output JSON path (default: BENCH_7.json)")
+    parser.add_argument("--out", default="BENCH_8.json",
+                        help="output JSON path (default: BENCH_8.json)")
     parser.add_argument("--kernels", default=None,
                         help="comma-separated kernel subset")
+    parser.add_argument("--size", default="all",
+                        choices=("default", "large", "all"),
+                        help="size tier to run (default: all); --kernels "
+                             "names bypass the filter")
     parser.add_argument("--steps", type=int, default=None,
                         help="override steps per repeat for every kernel")
     parser.add_argument("--repeats", type=int, default=5,
@@ -60,7 +68,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     names = ([n.strip() for n in args.kernels.split(",") if n.strip()]
              if args.kernels else None)
     try:
-        specs = get_kernels(names)
+        specs = get_kernels(names, size=args.size)
     except KeyError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -85,9 +93,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             spec, quick=args.quick, steps=args.steps,
             repeats=args.repeats, warmup=args.warmup,
             with_baseline=not args.no_baselines)
-    report = build_report(kernels, quick=args.quick, repeats=args.repeats)
+    calibration = measure_calibration(repeats=args.repeats)
+    report = build_report(kernels, quick=args.quick, repeats=args.repeats,
+                          calibration_rate=calibration)
     write_report(report, args.out)
-    print(f"\nwrote {args.out}")
+    print(f"\nwrote {args.out} "
+          f"(host calibration {calibration:.0f} loop-iters/s)")
     for line in summary_lines(report):
         print("  " + line)
 

@@ -39,6 +39,11 @@ class KernelSpec:
     steps: int = 400
     quick_steps: int = 80
     description: str = ""
+    #: Size tier: ``"default"`` kernels measure the everyday experiment
+    #: scale; ``"large"`` kernels re-measure the same hot path at ~10x
+    #: the work per step, where the asymptotic optimisation gap (index
+    #: vs scan, batch vs loop) actually opens up.  ``--size`` filters.
+    tier: str = "default"
 
 
 @dataclass
@@ -82,6 +87,38 @@ def percentile(sorted_vals: List[float], q: float) -> float:
     hi = min(lo + 1, len(sorted_vals) - 1)
     frac = pos - lo
     return sorted_vals[lo] * (1.0 - frac) + sorted_vals[hi] * frac
+
+
+#: Iterations of the fixed calibration loop per timed repeat -- sized
+#: for ~10-20ms windows, long enough to ride over scheduler ticks.
+CALIBRATION_ITERS = 200_000
+
+
+def _calibration_workload(n: int) -> int:
+    """A fixed, allocation-light, pure-Python integer loop.
+
+    Nothing in the repository's simulation code can change its speed:
+    it measures only how fast the interpreter runs on this host right
+    now.  The regression gate uses its rate to tell "the runner is
+    slow today" (calibration slows down with everything else) apart
+    from "the code got slower" (calibration is unmoved).
+    """
+    acc = 0
+    for i in range(n):
+        acc = (acc + i * i) & 0xFFFFFF
+    return acc
+
+
+def measure_calibration(repeats: int = 5) -> float:
+    """Median rate of the calibration loop, in iterations per second."""
+    _calibration_workload(CALIBRATION_ITERS // 4)  # warm the code object
+    rates: List[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        _calibration_workload(CALIBRATION_ITERS)
+        rates.append(CALIBRATION_ITERS / (time.perf_counter() - t0))
+    rates.sort()
+    return rates[len(rates) // 2]
 
 
 def _measure(setup: Setup, steps: int, repeats: int,
@@ -128,4 +165,11 @@ def run_spec(spec: KernelSpec, quick: bool = False,
         if base_median > 0:
             entry["speedup_vs_naive"] = round(
                 entry["median_rate"] / base_median, 3)
+    # Host-speed sample adjacent in time to this kernel's windows:
+    # co-tenant noise storms last seconds, long enough to slow every
+    # repeat of one kernel while leaving the rest of the run (and a
+    # single end-of-run calibration) untouched.  The gate compares this
+    # per-kernel sample against the baseline's to tell such storms
+    # apart from real code regressions.
+    entry["calibration_rate"] = round(measure_calibration(repeats=3), 1)
     return entry

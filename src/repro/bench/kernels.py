@@ -16,15 +16,20 @@ import numpy as np
 from .harness import KernelSpec, StepRunner
 
 
-def _camera_setup(optimised: bool) -> StepRunner:
+def _camera_setup(optimised: bool, rows: int = 7, cols: int = 7,
+                  radius: float = 0.28, n_objects: int = 48) -> StepRunner:
     from ..learning import bandits
     from ..smartcamera.controller import SelfAwareStrategyController
     from ..smartcamera.sim import CameraSimConfig, CameraSimulation
 
-    # A larger deployment than the E2 table (49 cameras, 48 objects):
-    # the index-vs-scan gap is an asymptotic one, so the kernel measures
-    # it at the scale where camera networks actually hurt.
-    config = CameraSimConfig(rows=7, cols=7, n_objects=48,
+    # A larger deployment than the E2 table (49 cameras, 48 objects at
+    # the default tier): the index-vs-scan gap is an asymptotic one, so
+    # the kernel measures it at the scale where camera networks actually
+    # hurt.  The large tier scales the radius with the grid pitch so the
+    # coverage *density* stays constant -- otherwise every camera sees
+    # every point and the candidate index has nothing to prune.
+    config = CameraSimConfig(rows=rows, cols=cols, radius=radius,
+                             n_objects=n_objects,
                              object_speed=0.035, detection_rate=0.08,
                              random_placement=True, seed=0)
     # Bandits capture the fast/numpy flag at construction; pin it so the
@@ -35,14 +40,16 @@ def _camera_setup(optimised: bool) -> StepRunner:
         sim = CameraSimulation(
             config,
             controller_factory=lambda cid, rng: SelfAwareStrategyController(
-                cid, epsilon=0.05, rng=rng))
+                cid, epsilon=0.05, rng=rng),
+            fast=optimised)
     finally:
         bandits.USE_FAST_BANDIT = prev
     if not optimised:
-        # Rebuild the network's index-free variant over the same cameras.
+        # Rebuild the network's index-free, columns-free variant over
+        # the same cameras.
         from ..smartcamera.network import CameraNetwork
         sim.network = CameraNetwork(list(sim.network.cameras.values()),
-                                    use_grid=False)
+                                    use_grid=False, fast=False)
     t = 0.0
 
     def run(n: int) -> None:
@@ -59,10 +66,10 @@ def _observers_setup(optimised: bool) -> StepRunner:
     from ..smartcamera.objects import ObjectPopulation
 
     # The pure observer sweep: who sees each object right now?  This is
-    # the O(cameras x objects) visibility scan the spatial grid replaces,
+    # the O(cameras x objects) visibility scan the indexed scans replace,
     # measured without the auction/learning machinery around it.
     network = CameraNetwork.random(64, radius=0.2, seed=11,
-                                   use_grid=optimised)
+                                   use_grid=optimised, fast=optimised)
     population = ObjectPopulation(48, speed=0.02,
                                   rng=np.random.default_rng(11))
     observers = network.observers
@@ -76,7 +83,8 @@ def _observers_setup(optimised: bool) -> StepRunner:
     return run
 
 
-def _swarm_setup(fast: bool) -> StepRunner:
+def _swarm_setup(fast: bool, n_robots: int = 32,
+                 events_per_step: float = 8.0) -> StepRunner:
     from ..swarm.robots import SelfAwareSwarm
     from ..swarm.sim import SwarmMission, SwarmMissionConfig
 
@@ -84,8 +92,8 @@ def _swarm_setup(fast: bool) -> StepRunner:
     # O(robots x memory x alive) attribution cost is the dominant term,
     # as it is on long real missions.
     controller = SelfAwareSwarm(rng=np.random.default_rng(7), fast=fast)
-    config = SwarmMissionConfig(n_robots=32, steps=300,
-                                events_per_step=8.0, seed=0)
+    config = SwarmMissionConfig(n_robots=n_robots, steps=300,
+                                events_per_step=events_per_step, seed=0)
     mission = SwarmMission(controller, config, use_grid=fast)
     t = 0.0
 
@@ -98,13 +106,21 @@ def _swarm_setup(fast: bool) -> StepRunner:
     return run
 
 
-def _cpn_setup(gated: bool) -> StepRunner:
+def _cpn_setup(gated: bool, n: int = 30) -> StepRunner:
     from ..cpn.routing import OracleRouter
     from ..cpn.sim import default_flows, routing_step
     from ..cpn.topology import CPNetwork
 
-    network = CPNetwork.random_geometric(n=30, seed=3)
+    network = CPNetwork.random_geometric(n=n, seed=3)
     network.schedule_random_disturbances(horizon=10_000.0, count=12)
+    # Keep the disturbance *population* (the router still scans the
+    # schedule every step) but displace every window far past the timed
+    # run: each step then takes the same code path -- the change-gated
+    # fast path vs the unconditional re-route -- instead of mixing
+    # cheap quiet steps with expensive in-window ones, which made the
+    # kernel's measured spread ~1.9x and impossible to gate on.
+    for disturbance in network.disturbances:
+        disturbance.start += 1e9
     router = OracleRouter(network, gated=gated)
     flows = default_flows(network, n_flows=6, seed=3)
     t = 0.0
@@ -142,16 +158,19 @@ def _multicore_setup() -> StepRunner:
     return run
 
 
-def _cloud_setup() -> StepRunner:
+def _cloud_setup(base_rate: float = 60.0, max_servers: int = 40,
+                 initial_servers: int = 4) -> StepRunner:
     from ..cloud.autoscaler import SelfAwareScaler, make_cloud_goal
     from ..cloud.cluster import ServiceCluster
     from ..envgen.workloads import RequestRateWorkload
 
     goal = make_cloud_goal()
-    scaler = SelfAwareScaler(goal, boot_delay=5, max_servers=40)
+    scaler = SelfAwareScaler(goal, boot_delay=5, max_servers=max_servers)
     cluster = ServiceCluster(capacity_per_server=10.0, boot_delay=5,
-                             max_servers=40, initial_servers=4)
-    workload = RequestRateWorkload(base_rate=60.0, seasonal_amplitude=0.5,
+                             max_servers=max_servers,
+                             initial_servers=initial_servers)
+    workload = RequestRateWorkload(base_rate=base_rate,
+                                   seasonal_amplitude=0.5,
                                    period=200.0, noise_std=0.05,
                                    rng=np.random.default_rng(6))
     metrics = None
@@ -168,15 +187,17 @@ def _cloud_setup() -> StepRunner:
     return run
 
 
-def _sensornet_setup() -> StepRunner:
+def _sensornet_setup(fast: bool = True, n_channels: int = 8,
+                     budget: float = 3.0) -> StepRunner:
     from ..core.attention import SalienceAttention
     from ..sensornet.field import ChannelField, mixed_channel_specs
     from ..sensornet.node import SensingNode
 
-    field = ChannelField(mixed_channel_specs(8, seed=5),
-                         rng=np.random.default_rng(5))
+    field = ChannelField(mixed_channel_specs(n_channels, seed=5),
+                         rng=np.random.default_rng(5), fast=fast)
     node = SensingNode(field, SalienceAttention(staleness_scale=1.0),
-                       budget=3.0, rng=np.random.default_rng(15))
+                       budget=budget, rng=np.random.default_rng(15),
+                       fast=fast)
     t = 0.0
 
     def run(n: int) -> None:
@@ -231,10 +252,14 @@ def _fault_hooks_setup(active: bool) -> StepRunner:
                                SENSOR_DROPOUT, SENSOR_NOISE, WORKLOAD_SPIKE,
                                FaultPlan, FaultSpec)
 
-    # One spec of every kind.  The ``active`` variant keeps every window
-    # open for the whole run; the baseline schedules them after the run
-    # ends, so each hook takes its identity short-circuit -- the price
-    # substrates pay on every step of an unfaulted window.
+    # One spec of every kind.  The *optimised* leg (``active=False``)
+    # schedules every window after the run ends, so each hook takes its
+    # identity short-circuit -- the retained fast path substrates pay on
+    # every step of an unfaulted window, which is what the dormant-hook
+    # optimisation bought.  The *baseline* keeps every window open for
+    # the whole run: the full per-kind sampling cost the short-circuit
+    # avoids.  (Earlier reports had this pairing inverted, reporting the
+    # intended relationship as a 0.24x "slowdown".)
     start = 0.0 if active else 1e9
     plan = FaultPlan(specs=tuple(
         FaultSpec(kind=kind, start=start, end=start + 1e9, intensity=0.3)
@@ -256,6 +281,9 @@ def _fault_hooks_setup(active: bool) -> StepRunner:
             injector.perceived_time(t)
             t += 1.0
 
+    # Exposed for the pairing test: which leg really holds the dormant
+    # (optimised) injector is structural, not a timing accident.
+    run.injector = injector
     return run
 
 
@@ -393,9 +421,12 @@ KERNELS: List[KernelSpec] = [
         name="camera.step",
         setup=lambda: _camera_setup(True),
         baseline_setup=lambda: _camera_setup(False),
-        steps=300, quick_steps=60,
-        description="Smart-camera network step (spatial grid vs "
-                    "all-cameras visibility scan)"),
+        # Longer windows than most kernels: per-step cost rides the
+        # auction/handover waves (+-10% over ~100-step stretches), so
+        # short windows sample the waves instead of averaging them.
+        steps=600, quick_steps=120,
+        description="Smart-camera network step (struct-of-arrays "
+                    "auction and observer scans vs object-graph walk)"),
     KernelSpec(
         name="camera.observers",
         setup=lambda: _observers_setup(True),
@@ -414,7 +445,7 @@ KERNELS: List[KernelSpec] = [
         name="cpn.step",
         setup=lambda: _cpn_setup(True),
         baseline_setup=lambda: _cpn_setup(False),
-        steps=200, quick_steps=40,
+        steps=600, quick_steps=120,
         description="CPN routing step under the oracle router "
                     "(change-gated vs per-step Dijkstra)"),
     KernelSpec(
@@ -430,9 +461,11 @@ KERNELS: List[KernelSpec] = [
         description="Cloud autoscaler step (decide / scale / serve)"),
     KernelSpec(
         name="sensornet.step",
-        setup=_sensornet_setup,
+        setup=lambda: _sensornet_setup(True),
+        baseline_setup=lambda: _sensornet_setup(False),
         steps=600, quick_steps=120,
-        description="Sensing node step (attention + sampling + scoring)"),
+        description="Sensing node step (batched field + column salience "
+                    "vs per-scope dict walks)"),
     KernelSpec(
         name="node.step",
         setup=lambda: _node_setup(True),
@@ -442,11 +475,11 @@ KERNELS: List[KernelSpec] = [
                     "(memoised vs full-copy window statistics)"),
     KernelSpec(
         name="faults.hooks",
-        setup=lambda: _fault_hooks_setup(True),
-        baseline_setup=lambda: _fault_hooks_setup(False),
+        setup=lambda: _fault_hooks_setup(False),
+        baseline_setup=lambda: _fault_hooks_setup(True),
         steps=20_000, quick_steps=4_000,
-        description="Injector hook battery, every kind active vs the "
-                    "dormant identity short-circuits"),
+        description="Injector hook battery, dormant identity "
+                    "short-circuits vs every kind active"),
     KernelSpec(
         name="faults.cloud.step",
         setup=lambda: _fault_cloud_setup(True),
@@ -457,7 +490,7 @@ KERNELS: List[KernelSpec] = [
     KernelSpec(
         name="serve.dispatch",
         setup=_serve_dispatch_setup,
-        steps=400, quick_steps=80,
+        steps=1_600, quick_steps=320,
         description="In-process server dispatch round-trip (admission, "
                     "session table, batch queue, dispatcher)"),
     KernelSpec(
@@ -483,13 +516,60 @@ KERNELS: List[KernelSpec] = [
         steps=1_000_000, quick_steps=200_000,
         description="Guarded emit fast path on a disabled bus "
                     "(the zero-allocation hot path)"),
+    # -- large tier: the same kernels at ~10x the work per step, where
+    # the index-vs-scan asymptotics actually separate the paths.  Step
+    # counts shrink to keep per-repeat wall time comparable.
+    KernelSpec(
+        name="camera.step.large",
+        setup=lambda: _camera_setup(True, rows=14, cols=14, radius=0.14,
+                                    n_objects=120),
+        baseline_setup=lambda: _camera_setup(False, rows=14, cols=14,
+                                             radius=0.14, n_objects=120),
+        steps=120, quick_steps=24, tier="large",
+        description="Smart-camera step at 196 cameras x 120 objects "
+                    "(constant coverage density: radius 0.14)"),
+    KernelSpec(
+        name="sensornet.step.large",
+        setup=lambda: _sensornet_setup(True, n_channels=64, budget=24.0),
+        baseline_setup=lambda: _sensornet_setup(False, n_channels=64,
+                                                budget=24.0),
+        steps=300, quick_steps=60, tier="large",
+        description="Sensing node step at 64 channels, budget 24"),
+    KernelSpec(
+        name="swarm.step.large",
+        setup=lambda: _swarm_setup(True, n_robots=64, events_per_step=12.0),
+        baseline_setup=lambda: _swarm_setup(False, n_robots=64,
+                                            events_per_step=12.0),
+        steps=60, quick_steps=12, tier="large",
+        description="Swarm coverage step at 64 robots, 12 events/step"),
+    KernelSpec(
+        name="cpn.step.large",
+        setup=lambda: _cpn_setup(True, n=120),
+        baseline_setup=lambda: _cpn_setup(False, n=120),
+        steps=60, quick_steps=12, tier="large",
+        description="CPN routing step on a 120-node geometric network"),
+    KernelSpec(
+        name="cloud.step.large",
+        setup=lambda: _cloud_setup(base_rate=600.0, max_servers=400,
+                                   initial_servers=40),
+        steps=400, quick_steps=80, tier="large",
+        description="Cloud autoscaler step at 10x demand and fleet size"),
 ]
 
 
-def get_kernels(names: Optional[List[str]] = None) -> List[KernelSpec]:
-    """All kernels, or the named subset (order preserved, names checked)."""
+def get_kernels(names: Optional[List[str]] = None,
+                size: str = "all") -> List[KernelSpec]:
+    """Kernels by name and/or size tier (order preserved, names checked).
+
+    ``size`` keeps every kernel (``"all"``) or only one tier
+    (``"default"`` / ``"large"``); an explicit name list bypasses the
+    tier filter for the named kernels.
+    """
+    if size not in ("all", "default", "large"):
+        raise KeyError(f"unknown size tier: {size!r}; "
+                       "known: all, default, large")
     if names is None:
-        return list(KERNELS)
+        return [k for k in KERNELS if size == "all" or k.tier == size]
     by_name: Dict[str, KernelSpec] = {k.name: k for k in KERNELS}
     missing = [n for n in names if n not in by_name]
     if missing:

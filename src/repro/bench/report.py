@@ -8,12 +8,17 @@ Report layout::
       "python": "3.12.3",
       "platform": "Linux-...",
       "params": {"repeats": 5},
+      "calibration_rate": ...,   # fixed pure-Python loop, iters/s
+                                 # (host-speed reference for the gate)
       "kernels": {
         "camera.step": {
           "steps": 300, "repeats": 5, "warmup": 75,
           "seconds": [...],
           "median_rate": ..., "p10_rate": ..., "p90_rate": ...,
           "median_ms_per_step": ..., "spread": ...,
+          "calibration_rate": ...,  # host-speed sample taken next to
+                                    # this kernel's timed windows
+
           "baseline": { ...same rate fields for the naive path... },
           "speedup_vs_naive": ...
         }, ...
@@ -40,9 +45,10 @@ NOISE_SPREAD = 1.5
 
 
 def build_report(kernels: Dict[str, Dict], quick: bool,
-                 repeats: int) -> Dict:
+                 repeats: int,
+                 calibration_rate: float = None) -> Dict:
     """Assemble the full report document."""
-    return {
+    report = {
         "schema": SCHEMA,
         "quick": quick,
         "python": platform_mod.python_version(),
@@ -50,6 +56,9 @@ def build_report(kernels: Dict[str, Dict], quick: bool,
         "params": {"repeats": repeats},
         "kernels": kernels,
     }
+    if calibration_rate is not None:
+        report["calibration_rate"] = round(calibration_rate, 1)
+    return report
 
 
 def write_report(report: Dict, path: str) -> None:
@@ -92,11 +101,32 @@ def compare_reports(old: Dict, new: Dict, max_regress: float,
     (in either report) exceeds :data:`NOISE_SPREAD` are reported but do
     not fail the gate -- a noisy runner must not turn timing jitter into
     a red build.
+
+    When both reports carry ``calibration_rate`` samples (the fixed
+    pure-Python loop :func:`~repro.bench.harness.measure_calibration`
+    times next to every kernel and once per run), regression thresholds
+    are scaled by the measured host slowdown: a co-tenant runner that
+    drags the calibration loop down 15% is allowed to drag a kernel
+    down the same 15% without going red, because no code change can
+    slow the calibration loop.  Per-kernel samples are preferred over
+    the run-level one -- noise storms last seconds, long enough to slow
+    one kernel's every repeat while leaving the rest of the run calm.
+    A *faster* host never relaxes the gate (factors clamp at 1.0).
     """
     ok = True
     lines: List[str] = []
     old_kernels = old.get("kernels", {})
     new_kernels = new.get("kernels", {})
+    cal_old = old.get("calibration_rate")
+    cal_new = new.get("calibration_rate")
+    host_scale = 1.0
+    if cal_old and cal_new:
+        host_scale = min(1.0, cal_new / cal_old)
+        if host_scale < 1.0:
+            lines.append(
+                f"host calibration: {cal_old:.0f} -> {cal_new:.0f} "
+                f"loop-iters/s ({cal_new / cal_old:.2f}x) -- "
+                f"regression thresholds scaled to match")
     for name in sorted(old_kernels):
         if name not in new_kernels:
             lines.append(f"{name}: MISSING from new run")
@@ -108,10 +138,15 @@ def compare_reports(old: Dict, new: Dict, max_regress: float,
             lines.append(f"{name}: no comparable median_rate, skipped")
             continue
         change = new_rate / old_rate - 1.0
+        cal_o = old_kernels[name].get("calibration_rate") or cal_old
+        cal_n = new_kernels[name].get("calibration_rate") or cal_new
+        scale = (min(1.0, cal_n / cal_o) if cal_o and cal_n
+                 else host_scale)
+        adjusted = new_rate / (old_rate * scale) - 1.0
         noisy = any(
             (entry.get("spread") or 0.0) > NOISE_SPREAD
             for entry in (old_kernels[name], new_kernels[name]))
-        regressed = change < -max_regress
+        regressed = adjusted < -max_regress
         verdict = "ok"
         if regressed and noisy and skip_on_noise:
             verdict = "SKIPPED (noisy runner)"
@@ -120,6 +155,8 @@ def compare_reports(old: Dict, new: Dict, max_regress: float,
             ok = False
         elif noisy:
             verdict = "ok (noisy)"
+        elif change < -max_regress:
+            verdict = f"ok (host-adjusted {adjusted:+.1%})"
         lines.append(
             f"{name}: {old_rate:.1f} -> {new_rate:.1f} steps/s "
             f"({change:+.1%}) {verdict}")
@@ -174,7 +211,8 @@ def markdown_summary(report: Dict, gate: Tuple[bool, List[str]] = None,
                    f"{'PASS' if ok else 'FAIL'}")
         out.append("")
         for line in lines:
-            marker = ("⚠️ " if "SKIPPED" in line or "noisy" in line
+            marker = ("⚠️ " if ("SKIPPED" in line or "noisy" in line
+                               or "host" in line)
                       else "❌ " if ("REGRESSION" in line
                                     or "MISSING" in line
                                     or "UNGATED" in line)

@@ -16,6 +16,15 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..envgen.processes import BoundedRandomWalk
+from ..geom.exact import HAVE_NUMPY
+
+#: Default for the batched channel stepping (see
+#: :func:`repro.sensornet.soa.step_walks_batched`).  The per-walk scalar
+#: loop is retained as the reference; the batched draw consumes the
+#: shared generator bit-identically, so both paths produce the same
+#: signals and leave the RNG in the same state.  Forced off by
+#: ``REPRO_FORCE_NAIVE=1`` in the test harness.
+USE_FAST_FIELD = True
 
 
 @dataclass(frozen=True)
@@ -66,7 +75,8 @@ class ChannelField:
     """The evolving hidden truth behind every channel."""
 
     def __init__(self, specs: Sequence[ChannelSpec],
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 fast: Optional[bool] = None) -> None:
         if not specs:
             raise ValueError("need at least one channel")
         names = [s.name for s in specs]
@@ -80,6 +90,12 @@ class ChannelField:
                 lo=0.0, hi=1.0, start=float(self._rng.uniform(0.2, 0.8)),
                 rng=self._rng)
             for s in specs}
+        # Every walk draws from the shared generator (by construction
+        # just above), which is what lets one batched draw replace the
+        # per-walk scalar draws bit-identically.
+        self._walks = list(self._signals.values())
+        self._fast = ((fast if fast is not None else USE_FAST_FIELD)
+                      and HAVE_NUMPY)
 
     def names(self) -> List[str]:
         """Channel names, in spec order."""
@@ -87,6 +103,10 @@ class ChannelField:
 
     def step(self) -> None:
         """Advance every hidden signal one step."""
+        if self._fast:
+            from .soa import step_walks_batched
+            step_walks_batched(self._walks, self._rng)
+            return
         for signal in self._signals.values():
             signal.step()
 

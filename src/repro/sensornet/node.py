@@ -22,11 +22,23 @@ import numpy as np
 
 from ..core.attention import AttentionPolicy, SalienceAttention
 from ..core.knowledge import KnowledgeBase
+from ..geom.exact import HAVE_NUMPY
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
 from ..core.sensors import Sensor, SensorSuite
 from ..core.spans import public
 from .field import ChannelField
+from .soa import NodeColumns
+
+#: Default for the struct-of-arrays node step (see
+#: :mod:`repro.sensornet.soa`).  The scalar step is retained verbatim as
+#: :meth:`SensingNode._step_naive` -- the reference for the equivalence
+#: tests and the ``repro.bench`` baseline, and the only path taken under
+#: fault injection, for attention policies the columns don't model, or
+#: without numpy.  Both paths produce byte-identical records and leave
+#: every RNG in the same stream position.  Forced off by
+#: ``REPRO_FORCE_NAIVE=1`` in the test harness.
+USE_FAST_SENSORNET = True
 
 
 @dataclass(slots=True)
@@ -65,13 +77,21 @@ class SensingNode:
     def __init__(self, field: ChannelField, attention: AttentionPolicy,
                  budget: float,
                  rng: Optional[np.random.Generator] = None,
-                 faults: Optional["FaultInjector"] = None) -> None:
+                 faults: Optional["FaultInjector"] = None,
+                 fast: Optional[bool] = None) -> None:
         if budget <= 0:
             raise ValueError("budget must be positive")
         self.field = field
         self.attention = attention
         self.budget = budget
         self.faults = faults
+        # The fast step models exactly SalienceAttention's scoring (a
+        # subclass could override salience(), so `type is` not
+        # isinstance); anything else keeps the naive path.
+        self._fast = ((fast if fast is not None else USE_FAST_SENSORNET)
+                      and HAVE_NUMPY
+                      and type(attention) is SalienceAttention)
+        self._cols: Optional[NodeColumns] = None
         self.knowledge = KnowledgeBase()
         rng = rng if rng is not None else np.random.default_rng()
         self.suite = SensorSuite()
@@ -104,6 +124,18 @@ class SensingNode:
         policy sees (staleness misjudged) and drop selected samples
         before they are taken (the channel read fails this step).
         """
+        if self._fast and self.faults is None:
+            return self._step_fast(t)
+        return self._step_naive(t)
+
+    def _step_naive(self, t: float) -> SensingStepRecord:
+        """The retained scalar step (reference path).
+
+        This is the original implementation, the semantics the fast
+        path must reproduce byte-for-byte; it also remains the only
+        path that understands fault injection and non-salience
+        attention policies.
+        """
         self.field.step()
         faults = self.faults
         attend_t = t
@@ -118,16 +150,105 @@ class SensingNode:
         spent = sum(self.suite.sensor(r.scope).cost for r in readings)
         self.total_energy += spent
         error = self.field.weighted_error(self.beliefs())
+        return self._finish_step(t, error, spent, len(readings))
+
+    def _finish_step(self, t: float, error: float, spent: float,
+                     n_readings: int) -> SensingStepRecord:
+        """Shared step tail: observability and the step record."""
         if obs_events.enabled():
             obs_metrics.counter("steps", sim="sensornet").increment()
             obs_metrics.counter("sensornet.energy_spent").increment(spent)
-            obs_metrics.counter("sensornet.samples").increment(len(readings))
+            obs_metrics.counter("sensornet.samples").increment(n_readings)
             obs_metrics.histogram("sensornet.error").observe(error)
             obs_events.emit("sensornet.step", time=t, error=error,
                             energy_spent=spent,
-                            channels_sampled=len(readings))
+                            channels_sampled=n_readings)
         return SensingStepRecord(time=t, error=error, energy_spent=spent,
-                                 channels_sampled=len(readings))
+                                 channels_sampled=n_readings)
+
+    def _step_fast(self, t: float) -> SensingStepRecord:
+        """Struct-of-arrays step, byte-identical to :meth:`_step_naive`.
+
+        Taken only for a plain :class:`SalienceAttention` with no fault
+        injector.  Salience scoring, budget fitting and error scoring
+        run over pre-resolved per-channel columns (no ``Scope`` hashing
+        in the per-channel loops); the chosen sensors are still sampled
+        one by one through :meth:`~repro.core.sensors.Sensor.sample`
+        (each owns its RNG stream) and recorded through the shared
+        knowledge base, so all visible state -- beliefs, histories,
+        sensor counters, RNG positions -- matches the naive path
+        exactly.
+        """
+        cols = self._cols
+        if cols is None:
+            cols = self._cols = NodeColumns(self)
+        self.field.step()
+        att = self.attention
+        kb = self.knowledge
+        k = cols.k
+        scope_list = cols.scopes
+        histories = cols.histories
+        kb_histories = kb._histories
+        rel_get = att.relevance.get
+        novelty = att.novelty_bonus
+        min_history = att.min_history
+        window = att.volatility_window
+        scale = att.staleness_scale
+        costs = cols.costs
+
+        # Salience per scope, inlined from SalienceAttention.salience
+        # (same branches, same float expressions), then value density.
+        density: List[float] = [0.0] * k
+        for i in range(k):
+            scope = scope_list[i]
+            rel = rel_get(scope, 1.0)
+            hist = histories[i]
+            if hist is None:
+                hist = kb_histories.get(scope)
+                histories[i] = hist
+            if hist is None or not hist:
+                sal = rel * novelty
+            elif len(hist) < min_history:
+                sal = rel * novelty
+            else:
+                vol = hist.std(window)
+                if math.isnan(vol):
+                    vol = 0.0
+                stale = max(0.0, t - hist.latest.time)
+                sal = rel * (vol + 1e-3) * math.sqrt(stale / scale)
+            cost = costs[i]
+            density[i] = sal / cost if cost > 0 else math.inf
+        # Stable descending sort over scope order == the naive
+        # sorted(scopes, key=value_density, reverse=True).
+        order = sorted(range(k), key=density.__getitem__, reverse=True)
+
+        # Greedy budget fit (_fit_budget), on the precomputed costs.
+        budget = self.budget
+        chosen: List[int] = []
+        fit_spent = 0.0
+        for i in order:
+            cost = costs[i]
+            if cost == 0.0 or fit_spent + cost <= budget + 1e-12:
+                chosen.append(i)
+                fit_spent += cost
+        # Sample the chosen sensors in selection order, recording valid
+        # readings exactly like SensorSuite.sample_into.
+        sensors = cols.sensors
+        spec_of = cols.spec_of
+        belief_vals = cols.belief_vals
+        spent = 0.0
+        for i in chosen:
+            sensor = sensors[i]
+            reading = sensor.sample(t)
+            if reading.is_valid():
+                kb.observe(sensor.scope, t, reading.value)
+                if histories[i] is None:
+                    histories[i] = kb_histories[sensor.scope]
+                belief_vals[spec_of[i]] = reading.value
+            spent += sensor.cost
+        self.total_energy += spent
+        error = cols.weighted_error()
+        return self._finish_step(t, error, spent, len(chosen))
 
 
 def run_sensing(field: ChannelField, attention: AttentionPolicy,

@@ -369,8 +369,16 @@ class SimulationServer:
                     break
             requests = [work for work, _ in batch]
             try:
-                results = await loop.run_in_executor(
-                    None, self.dispatcher.submit, requests)
+                # With no worker pool submit() is a synchronous
+                # in-process call; bouncing it through the default
+                # thread executor buys no parallelism and costs two
+                # context switches per batch (checked per-batch: the
+                # governor may resize the pool at runtime).
+                if self.dispatcher.workers == 0:
+                    results = self.dispatcher.submit(requests)
+                else:
+                    results = await loop.run_in_executor(
+                        None, self.dispatcher.submit, requests)
             except Exception as exc:  # surface to every waiter
                 for _, future in batch:
                     if not future.done():

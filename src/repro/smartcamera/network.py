@@ -17,13 +17,24 @@ import networkx as nx
 import numpy as np
 
 from ..geom import SpatialGrid
+from ..geom.exact import HAVE_NUMPY
 from .objects import MovingObject
+from .soa import best_observer_row_scalar, seeing_ids_scalar
 
 #: Default for :class:`CameraNetwork`'s spatial index.  The naive scans
 #: are retained (``use_grid=False``) as the reference implementation for
 #: the equivalence tests and the ``repro.bench`` baselines; both paths
 #: apply the same exact predicates, so results are identical either way.
 USE_SPATIAL_GRID = True
+
+#: Default for the struct-of-arrays observer scans (see
+#: :mod:`repro.smartcamera.soa`).  The scalar per-candidate loops are
+#: retained as the reference; the batched scans prefilter with banded
+#: squared distances and re-decide every ambiguous candidate with the
+#: exact scalar predicate, so both paths return identical results.
+#: Forced off (with the other fast paths) by ``REPRO_FORCE_NAIVE=1`` in
+#: the test harness.
+USE_FAST_SCANS = True
 
 
 @dataclass(frozen=True)
@@ -70,10 +81,15 @@ class CameraNetwork:
         Spatial index for the observer queries; ``None`` follows the
         module default :data:`USE_SPATIAL_GRID`.  Results are identical
         either way (the grid only prunes non-matching candidates).
+    fast:
+        Struct-of-arrays observer scans; ``None`` follows the module
+        default :data:`USE_FAST_SCANS` (and stays off without numpy).
+        Results are identical either way.
     """
 
     def __init__(self, cameras: List[Camera],
-                 use_grid: Optional[bool] = None) -> None:
+                 use_grid: Optional[bool] = None,
+                 fast: Optional[bool] = None) -> None:
         if not cameras:
             raise ValueError("need at least one camera")
         ids = [c.cam_id for c in cameras]
@@ -95,10 +111,27 @@ class CameraNetwork:
             for cam in cameras:
                 self._grid.insert_disc(cam.cam_id, cam.x, cam.y, cam.radius)
             self._grid.finalise()
+        self._fast = ((fast if fast is not None else USE_FAST_SCANS)
+                      and HAVE_NUMPY)
+        self._columns = None  # built lazily on first fast query
+
+    @property
+    def fast(self) -> bool:
+        """Whether the struct-of-arrays scans are enabled."""
+        return self._fast
+
+    def columns(self):
+        """The :class:`~repro.smartcamera.soa.CameraColumns` for this
+        network, built lazily (the camera set is immutable)."""
+        if self._columns is None:
+            from .soa import CameraColumns
+            self._columns = CameraColumns(self)
+        return self._columns
 
     @classmethod
     def grid(cls, rows: int, cols: int, radius: float = 0.25,
-             use_grid: Optional[bool] = None) -> "CameraNetwork":
+             use_grid: Optional[bool] = None,
+             fast: Optional[bool] = None) -> "CameraNetwork":
         """Regular rows x cols grid covering the unit square."""
         if rows <= 0 or cols <= 0:
             raise ValueError("rows and cols must be positive")
@@ -110,17 +143,18 @@ class CameraNetwork:
                 y = (r + 0.5) / rows
                 cameras.append(Camera(cam_id=cam_id, x=x, y=y, radius=radius))
                 cam_id += 1
-        return cls(cameras, use_grid=use_grid)
+        return cls(cameras, use_grid=use_grid, fast=fast)
 
     @classmethod
     def random(cls, n: int, radius: float = 0.25, seed: int = 0,
-               use_grid: Optional[bool] = None) -> "CameraNetwork":
+               use_grid: Optional[bool] = None,
+               fast: Optional[bool] = None) -> "CameraNetwork":
         """Uniformly random placement of ``n`` cameras."""
         rng = np.random.default_rng(seed)
         cameras = [Camera(cam_id=i, x=float(rng.uniform(0, 1)),
                           y=float(rng.uniform(0, 1)), radius=radius)
                    for i in range(n)]
-        return cls(cameras, use_grid=use_grid)
+        return cls(cameras, use_grid=use_grid, fast=fast)
 
     def __len__(self) -> int:
         return len(self.cameras)
@@ -148,6 +182,8 @@ class CameraNetwork:
 
     def observers(self, obj: MovingObject) -> List[int]:
         """Ids of all cameras currently seeing ``obj``."""
+        if self._fast:
+            return seeing_ids_scalar(self.columns(), obj.x, obj.y)
         grid = self._grid
         if grid is None:
             return [cid for cid, cam in sorted(self.cameras.items())
@@ -158,6 +194,10 @@ class CameraNetwork:
 
     def best_observer(self, obj: MovingObject) -> Optional[int]:
         """Camera with the highest visibility of ``obj`` (None if unseen)."""
+        if self._fast:
+            cols = self.columns()
+            row = best_observer_row_scalar(cols, obj.x, obj.y)
+            return None if row < 0 else cols.id_list[row]
         grid = self._grid
         if grid is None:
             candidates = sorted(self.cameras.items())

@@ -31,6 +31,7 @@ if TYPE_CHECKING:
 
 import numpy as np
 
+from ..geom.exact import HAVE_NUMPY
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
 from .controller import (CameraController, FixedStrategyController,
@@ -38,7 +39,18 @@ from .controller import (CameraController, FixedStrategyController,
 from .market import Bid, HandoverMarket
 from .network import CameraNetwork
 from .objects import ObjectPopulation
+from .soa import best_observer_row_scalar, possible_rows
 from .strategies import Strategy, advertisement_targets, should_auction
+
+#: Default for the struct-of-arrays step (see
+#: :mod:`repro.smartcamera.soa`).  The scalar object-graph step is
+#: retained verbatim as :meth:`CameraSimulation._step_naive` -- it is
+#: the reference for the equivalence tests and the ``repro.bench``
+#: baselines, and the only path taken under fault injection or without
+#: numpy.  Both paths produce byte-identical records and leave the
+#: simulation RNG in the same stream position.  Forced off by
+#: ``REPRO_FORCE_NAIVE=1`` in the test harness.
+USE_FAST_CAMERA = True
 
 
 @dataclass
@@ -159,9 +171,12 @@ class CameraSimulation:
         config: CameraSimConfig,
         controller_factory: Callable[[int, np.random.Generator], CameraController],
         faults: Optional["FaultInjector"] = None,
+        fast: Optional[bool] = None,
     ) -> None:
         self.config = config
         self.faults = faults
+        self._fast = ((fast if fast is not None else USE_FAST_CAMERA)
+                      and HAVE_NUMPY)
         self._rng = np.random.default_rng(config.seed)
         if config.random_placement:
             self.network = CameraNetwork.random(
@@ -204,6 +219,18 @@ class CameraSimulation:
 
     def step(self, t: float) -> CameraStepRecord:
         """Run one simulation step; returns the step record."""
+        if self._fast and self.faults is None:
+            return self._step_fast(t)
+        return self._step_naive(t)
+
+    def _step_naive(self, t: float) -> CameraStepRecord:
+        """The retained scalar object-graph step (reference path).
+
+        This is the original implementation, byte-for-byte the semantics
+        the fast path must reproduce; it also remains the only path that
+        understands fault injection (crashes, dropped replies, perturbed
+        bids).
+        """
         ownership = self.ownership
         cameras = self.network.cameras
         faults = self.faults
@@ -290,6 +317,12 @@ class CameraSimulation:
                 ownership[obj.object_id] = outcome.winner
                 handovers += 1
 
+        return self._finish_step(t, down, utility_by_camera,
+                                 messages_by_camera, total_utility, handovers)
+
+    def _finish_step(self, t, down, utility_by_camera, messages_by_camera,
+                     total_utility, handovers) -> CameraStepRecord:
+        """Shared step tail: reward feedback, record, observability."""
         # Local reward feedback: own utility minus own communication cost,
         # at the price currently in force (goal-awareness of re-pricing).
         comm_weight = self.config.comm_weight_at(t)
@@ -319,6 +352,165 @@ class CameraSimulation:
                             handovers=handovers, owned=owned,
                             lost=record.lost_objects)
         return record
+
+    def _step_fast(self, t: float) -> CameraStepRecord:
+        """Struct-of-arrays step, byte-identical to :meth:`_step_naive`.
+
+        Taken only when ``fast`` is enabled, numpy is importable and no
+        fault injector is attached.  The discipline (see
+        :mod:`repro.smartcamera.soa`): batched squared distances decide
+        only the *certain* cases of each disc predicate; rim-band
+        candidates and every escaping float (visibilities, bids,
+        utilities) are produced by the exact scalar ``math.hypot``
+        expressions of the naive path, in the same order.  The one RNG
+        consumer in the step, the re-detection gate, draws its
+        per-unowned-object uniforms as one batch -- numpy's Generator
+        yields bit-identical values for ``random(k)`` and ``k``
+        successive ``random()`` calls, so the stream position and every
+        downstream draw match the naive path exactly.
+        """
+        ownership = self.ownership
+        config = self.config
+        cols = self.network.columns()
+        churned = self.population.step()
+        for object_id in churned:
+            ownership.pop(object_id, None)
+
+        objs = self.population.objects
+        m = len(objs)
+        x_list = [o.x for o in objs]
+        y_list = [o.y for o in objs]
+        obj_ids = [o.object_id for o in objs]
+        xs = np.asarray(x_list)
+        ys = np.asarray(y_list)
+        row_of = cols.row_of
+        cxl, cyl, crl = cols.x_list, cols.y_list, cols.radius_list
+        id_list = cols.id_list
+
+        # Drop ownership of objects the owner can no longer see: one
+        # batched gather of owner-object squared distances, with the
+        # rim band re-decided by the exact predicate.
+        owned_idx: List[int] = []
+        owned_rows: List[int] = []
+        for j, oid in enumerate(obj_ids):
+            owner = ownership.get(oid)
+            if owner is not None:
+                owned_idx.append(j)
+                owned_rows.append(row_of[owner])
+        if owned_idx:
+            oi = np.asarray(owned_idx, dtype=np.intp)
+            orows = np.asarray(owned_rows, dtype=np.intp)
+            dx = cols.xs[orows] - xs[oi]
+            dy = cols.ys[orows] - ys[oi]
+            d2 = dx * dx + dy * dy
+            drop = d2 > cols.hi_sq[orows]
+            rim = (~drop) & (d2 > cols.lo_sq[orows])
+            for k in np.nonzero(rim)[0].tolist():
+                j, r = owned_idx[k], owned_rows[k]
+                if math.hypot(x_list[j] - cxl[r],
+                              y_list[j] - cyl[r]) > crl[r]:
+                    drop[k] = True
+            for k in np.nonzero(drop)[0].tolist():
+                del ownership[obj_ids[owned_idx[k]]]
+
+        # Re-detection of unowned objects: batch the per-object uniform
+        # draws (bit-identical to the naive one-at-a-time stream), then
+        # resolve the rare hits with the scalar best-observer scan (one
+        # object at a time is the small-candidate regime where batching
+        # loses).
+        unowned = [j for j in range(m) if obj_ids[j] not in ownership]
+        if unowned:
+            draws = self._rng.random(len(unowned)).tolist()
+            detection_rate = config.detection_rate
+            for k, j in enumerate(unowned):
+                if draws[k] >= detection_rate:
+                    continue
+                row = best_observer_row_scalar(cols, x_list[j], y_list[j])
+                if row >= 0:
+                    ownership[obj_ids[j]] = id_list[row]
+
+        # Strategy choice (no crashes on this path: faults is None),
+        # unpacked once per camera into row-indexed initiative/audience
+        # flags so the per-object auction loop needs no enum dispatch.
+        # The naive path chooses strategies *between* the utility and
+        # auction loops, but choose() reads neither, so hoisting it
+        # changes nothing.
+        n = cols.n
+        is_active = [False] * n
+        is_broadcast = [False] * n
+        for cid, controller in self.controllers.items():
+            strategy = controller.choose(t)
+            controller.record_usage(strategy)
+            r = row_of[cid]
+            is_active[r] = strategy.is_active
+            is_broadcast[r] = strategy.is_broadcast
+
+        # Tracking utility and handover auctions in one pass.  The naive
+        # path runs two loops, but an auction only ever reassigns the
+        # auctioned object's *own* ownership entry, so later objects see
+        # exactly the ownership the naive utility loop saw, and every
+        # accumulation (utilities, message counts, market volume)
+        # happens in the same population order.  The auction itself is
+        # the market's Vickrey rule inlined as a running top-two scan
+        # over the ascending-id bids -- same floats, same tie-break
+        # (first strict max = lowest camera id), same market statistics
+        # -- without materialising Bid lists per auction.
+        utility_by_camera: Dict[int, float] = dict.fromkeys(self._cam_ids, 0.0)
+        messages_by_camera: Dict[int, int] = dict.fromkeys(self._cam_ids, 0)
+        total_utility = 0.0
+        handovers = 0
+        market = self.market
+        auction_threshold = config.auction_threshold
+        neighbour_rows = cols.neighbour_rows
+        neighbour_masks = cols.neighbour_masks
+        for j in range(m):
+            oid = obj_ids[j]
+            owner = ownership.get(oid)
+            if owner is None:
+                continue
+            orow = row_of[owner]
+            x, y = x_list[j], y_list[j]
+            dist = math.hypot(x - cxl[orow], y - cyl[orow])
+            own_vis = 0.0 if dist > crl[orow] else 1.0 - dist / crl[orow]
+            utility_by_camera[owner] += own_vis
+            total_utility += own_vis
+            if not (is_active[orow] or own_vis < auction_threshold):
+                continue
+            near = possible_rows(cols, x, y)
+            if is_broadcast[orow]:
+                messages_by_camera[owner] += n - 1
+                near = near[near != orow]
+            else:
+                messages_by_camera[owner] += len(neighbour_rows[orow])
+                near = near[neighbour_masks[orow][near]]
+            best_amt = second_amt = -1.0
+            best_row = -1
+            for r in near.tolist():
+                dist = math.hypot(x - cxl[r], y - cyl[r])
+                if dist > crl[r]:
+                    continue  # zero visibility: no bid reply either way
+                bid_vis = 1.0 - dist / crl[r]
+                if bid_vis > 0.0:
+                    messages_by_camera[id_list[r]] += 1  # the bid reply
+                    if bid_vis >= own_vis:  # reserve filter
+                        if bid_vis > best_amt:
+                            second_amt = best_amt
+                            best_amt = bid_vis
+                            best_row = r
+                        elif bid_vis > second_amt:
+                            second_amt = bid_vis
+            market.auctions_run += 1
+            if best_row < 0:
+                continue  # no valid bid: unsold
+            second = second_amt if second_amt >= 0.0 else own_vis
+            price = second if second > own_vis else own_vis
+            market.trades += 1
+            market.volume += price
+            ownership[oid] = id_list[best_row]
+            handovers += 1
+
+        return self._finish_step(t, (), utility_by_camera,
+                                 messages_by_camera, total_utility, handovers)
 
     def run(self) -> CameraSimResult:
         """Run the configured number of steps and return the result."""

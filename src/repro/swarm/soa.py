@@ -39,34 +39,13 @@ from __future__ import annotations
 from array import array
 from typing import Iterator, List, Sequence, Tuple
 
-try:  # pragma: no cover - exercised implicitly by every import
-    import numpy as _np
-    HAVE_NUMPY = True
-except ImportError:  # pragma: no cover - the container always has numpy
-    _np = None
-    HAVE_NUMPY = False
-
+# The tolerance bands and the numpy gate are shared by every SoA core
+# (swarm, smart-camera, sensornet); re-exported here because this module
+# defined them first and downstream code imports them from both places.
+from ..geom.exact import (EXACT_REL, HAVE_NUMPY,  # noqa: F401
+                          PREFILTER_SLACK, prefilter_limit_sq)
+from ..geom.exact import _np
 from .arena import Event
-
-#: Relative inflation applied to candidate-prefilter radii so that the
-#: squared-distance comparison is a guaranteed superset of the exact
-#: ``math.hypot(...) <= r`` predicate (hypot and sqrt-of-squares agree
-#: to a few ulp; 1e-9 is ~1e7 ulp of headroom on unit-square scales).
-PREFILTER_SLACK = 1e-9
-
-
-def prefilter_limit_sq(radius: float) -> float:
-    """Squared prefilter radius guaranteed to contain every exact hit."""
-    limit = radius * (1.0 + PREFILTER_SLACK)
-    return limit * limit
-
-
-#: Relative band within which two batched squared distances are treated
-#: as a potential tie and re-decided by the exact scalar predicate.
-#: Squared-distance expressions agree with ``math.hypot`` squared to a
-#: few ulp (~1e-15 relative); 1e-9 leaves ~6 orders of margin while
-#: making ties astronomically rare.
-EXACT_REL = 1e-9
 
 #: Shared empty index window, matching :meth:`IndexMemory.view`'s dtype.
 EMPTY_INDICES = _np.empty(0, dtype=_np.intp) if HAVE_NUMPY else array("q")

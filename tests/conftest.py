@@ -14,12 +14,20 @@ import os
 def _force_naive_paths() -> None:
     from repro.core import knowledge
     from repro.learning import bandits
+    from repro.sensornet import field, node
+    from repro.smartcamera import network
+    from repro.smartcamera import sim as camera_sim
     from repro.swarm import robots, sim
 
     sim.USE_WITNESS_GRID = False
     robots.USE_FAST_SWARM = False
     bandits.USE_FAST_BANDIT = False
     knowledge.set_fast_window_stats(False)
+    network.USE_SPATIAL_GRID = False
+    network.USE_FAST_SCANS = False
+    camera_sim.USE_FAST_CAMERA = False
+    field.USE_FAST_FIELD = False
+    node.USE_FAST_SENSORNET = False
 
 
 if os.environ.get("REPRO_FORCE_NAIVE") == "1":

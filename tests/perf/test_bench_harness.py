@@ -82,6 +82,34 @@ class TestKernelRegistry:
         with pytest.raises(KeyError):
             get_kernels(["nope.step"])
 
+    def test_size_tiers_partition_the_registry(self):
+        default = get_kernels(size="default")
+        large = get_kernels(size="large")
+        everything = get_kernels(size="all")
+        assert {k.name for k in default} | {k.name for k in large} \
+            == {k.name for k in everything}
+        assert all(k.tier == "large" for k in large)
+        assert all(k.name.endswith(".large") for k in large)
+        assert {"camera.step.large", "sensornet.step.large",
+                "swarm.step.large", "cpn.step.large",
+                "cloud.step.large"} <= {k.name for k in large}
+        # Each paired large kernel keeps a naive baseline, like its
+        # default-tier counterpart.
+        by_name = {k.name: k for k in everything}
+        for name in ("camera.step.large", "sensornet.step.large",
+                     "swarm.step.large", "cpn.step.large"):
+            assert by_name[name].baseline_setup is not None
+
+    def test_unknown_size_raises(self):
+        with pytest.raises(KeyError):
+            get_kernels(size="xl")
+
+    def test_names_bypass_the_size_filter(self):
+        subset = get_kernels(["camera.step.large", "cpn.step"],
+                             size="default")
+        assert [s.name for s in subset] == ["camera.step.large",
+                                            "cpn.step"]
+
 
 class TestParsePercent:
     def test_percent_and_fraction(self):
@@ -95,13 +123,14 @@ class TestParsePercent:
             parse_percent(bad)
 
 
-def _report(rates, spreads=None):
+def _report(rates, spreads=None, calibration=None):
     spreads = spreads or {}
     kernels = {
         name: {"median_rate": rate, "spread": spreads.get(name, 1.0)}
         for name, rate in rates.items()
     }
-    return build_report(kernels, quick=True, repeats=3)
+    return build_report(kernels, quick=True, repeats=3,
+                        calibration_rate=calibration)
 
 
 class TestCompareReports:
@@ -151,6 +180,63 @@ class TestCompareReports:
         ok, _ = compare_reports(_report({"a": 100.0}),
                                 _report({"a": 250.0}), 0.10)
         assert ok
+
+
+class TestHostCalibration:
+    def test_slow_host_forgives_matching_slowdown(self):
+        # Host ran the fixed loop 20% slower; a kernel down 15% is the
+        # host's fault, not the code's, and must not go red.
+        old = _report({"a": 100.0}, calibration=1000.0)
+        new = _report({"a": 85.0}, calibration=800.0)
+        ok, lines = compare_reports(old, new, 0.10)
+        assert ok
+        assert any("host calibration" in line for line in lines)
+        assert any("host-adjusted" in line for line in lines)
+
+    def test_slow_host_still_catches_real_regressions(self):
+        # Down 40% on a host that is only 20% slower: still a
+        # regression after scaling.
+        old = _report({"a": 100.0}, calibration=1000.0)
+        new = _report({"a": 60.0}, calibration=800.0)
+        ok, lines = compare_reports(old, new, 0.10)
+        assert not ok
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_fast_host_never_relaxes_the_gate(self):
+        # The clamp: a faster host must not hide a real 12% loss.
+        old = _report({"a": 100.0}, calibration=1000.0)
+        new = _report({"a": 88.0}, calibration=1300.0)
+        ok, _ = compare_reports(old, new, 0.10)
+        assert not ok
+
+    def test_per_kernel_sample_beats_run_level(self):
+        # The run-level samples agree (no global slowdown) but the
+        # kernel's own adjacent sample caught a noise storm: the
+        # per-kernel factor must win and forgive the dip.
+        old = _report({"a": 100.0}, calibration=1000.0)
+        new = _report({"a": 85.0}, calibration=1000.0)
+        old["kernels"]["a"]["calibration_rate"] = 1000.0
+        new["kernels"]["a"]["calibration_rate"] = 820.0
+        ok, lines = compare_reports(old, new, 0.10)
+        assert ok
+        assert any("host-adjusted" in line for line in lines)
+
+    def test_missing_calibration_means_no_scaling(self):
+        # Old reports (pre-calibration schema) gate exactly as before.
+        ok, lines = compare_reports(_report({"a": 100.0}),
+                                    _report({"a": 85.0},
+                                            calibration=800.0), 0.10)
+        assert not ok
+        assert not any("host" in line for line in lines)
+
+    def test_measure_calibration_is_positive_and_repeatable(self):
+        from repro.bench.harness import measure_calibration
+        rate = measure_calibration(repeats=3)
+        assert rate > 0
+        again = measure_calibration(repeats=3)
+        # Same host moments apart: within a generous 3x band -- this
+        # guards units (iters/s, not seconds), not timing precision.
+        assert rate / 3 < again < rate * 3
 
 
 class TestReportIO:

@@ -1,0 +1,80 @@
+"""Camera shard payloads: byte-identical across jobs and across paths.
+
+The struct-of-arrays camera rewrite is only admissible if the E2 tables
+cannot tell it happened.  Two axes of identity, both at JSON-byte
+granularity:
+
+- **jobs-1 vs jobs-4** -- the engine's worker pool must not perturb a
+  single float (fork workers share the parent's flag state, so this
+  also holds on CI's forced-naive leg);
+- **fast vs naive** -- the columnised observer/best-observer scans and
+  the merged utility+auction step against the object-graph reference,
+  with and without the spatial grid.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import e2_camera
+from repro.experiments.engine import (SuiteJob, canonical_suite_text,
+                                      run_suite)
+from repro.smartcamera import network
+from repro.smartcamera import sim as camera_sim
+
+
+def _e2_job(seeds):
+    return [SuiteJob(name="E2", module="repro.experiments.e2_camera",
+                     shard_fn="run_shard", reduce_fn="reduce",
+                     seeds=tuple(seeds), params={"steps": 120})]
+
+
+@pytest.fixture
+def naive_flags():
+    """Flip the camera fast-path defaults to naive for the duration."""
+    saved = (camera_sim.USE_FAST_CAMERA, network.USE_FAST_SCANS,
+             network.USE_SPATIAL_GRID)
+    camera_sim.USE_FAST_CAMERA = False
+    network.USE_FAST_SCANS = False
+    network.USE_SPATIAL_GRID = False
+    try:
+        yield
+    finally:
+        (camera_sim.USE_FAST_CAMERA, network.USE_FAST_SCANS,
+         network.USE_SPATIAL_GRID) = saved
+
+
+class TestCameraShardsAcrossJobs:
+    def test_jobs_1_vs_4_payloads_identical(self):
+        seeds = (0, 1, 2, 3)
+        serial = [e2_camera.run_shard(s, steps=120) for s in seeds]
+        parallel = run_suite(_e2_job(seeds), n_jobs=4)
+        engine_serial = run_suite(_e2_job(seeds), n_jobs=1)
+        assert (canonical_suite_text(engine_serial.tables)
+                == canonical_suite_text(parallel.tables))
+        # The reduced table equals reducing the in-process payloads,
+        # so the worker-pool payloads were byte-identical too.
+        direct = e2_camera.reduce(serial, seeds=seeds, steps=120)
+        assert (canonical_suite_text([direct])
+                == canonical_suite_text(parallel.tables))
+
+
+class TestCameraShardsFastVsNaive:
+    def test_shard_payload_identical_fast_vs_naive(self, naive_flags):
+        naive = json.dumps(e2_camera.run_shard(0, steps=120),
+                           sort_keys=True)
+        camera_sim.USE_FAST_CAMERA = True
+        network.USE_FAST_SCANS = True
+        network.USE_SPATIAL_GRID = True
+        fast = json.dumps(e2_camera.run_shard(0, steps=120),
+                          sort_keys=True)
+        assert fast == naive
+
+    def test_grid_alone_identical_too(self, naive_flags):
+        """The naive-with-grid middle path matches the no-grid one."""
+        naive = json.dumps(e2_camera.run_shard(1, steps=120),
+                           sort_keys=True)
+        network.USE_SPATIAL_GRID = True
+        gridded = json.dumps(e2_camera.run_shard(1, steps=120),
+                             sort_keys=True)
+        assert gridded == naive

@@ -1,0 +1,55 @@
+"""The ``faults.hooks`` kernel must pair its legs the right way round.
+
+The optimisation being measured is the *dormant* identity short-circuit:
+the price substrates pay per step of an unfaulted window.  An earlier
+report inverted the pairing (optimised leg = every fault active) and
+published the intended relationship as a 0.24x "slowdown"; these tests
+pin the pairing structurally and behaviourally so a swap cannot recur
+as a plausible-looking number.
+"""
+
+from repro.bench.kernels import get_kernels
+
+#: Any time inside the kernel's timed window (t starts at 0 and
+#: advances by 1 per step; runs are tens of thousands of steps).
+T = 1000.0
+
+
+def _injectors():
+    spec = get_kernels(["faults.hooks"])[0]
+    fast_run = spec.setup()
+    naive_run = spec.baseline_setup()
+    return spec, fast_run.injector, naive_run.injector
+
+
+class TestFaultHooksPairing:
+    def test_setup_is_dormant_baseline_is_active(self):
+        spec, fast_inj, naive_inj = _injectors()
+        assert spec.baseline_setup is not None
+        # Structural: the optimised leg's windows all open after the
+        # run; the baseline's are all open during it.
+        assert list(fast_inj.plan.active(T)) == []
+        assert len(list(naive_inj.plan.active(T))) == \
+            len(naive_inj.plan.specs)
+
+    def test_dormant_hooks_are_identities(self):
+        _, fast_inj, naive_inj = _injectors()
+        fast_inj.begin_step(T)
+        naive_inj.begin_step(T)
+        population = tuple(range(16))
+        # The optimised leg takes every identity short-circuit...
+        assert fast_inj.perturb(1.0, target="qos") == 1.0
+        assert fast_inj.dropped(target="qos") is False
+        assert fast_inj.crashed_targets(population) == frozenset()
+        assert fast_inj.link_factor() == 1.0
+        assert fast_inj.demand_factor() == 1.0
+        assert fast_inj.perceived_time(T) == T
+        # ...while the baseline's open windows actually do work.
+        assert naive_inj.crashed_targets(population) != frozenset()
+        assert naive_inj.link_factor() != 1.0
+        assert naive_inj.perceived_time(T) != T
+
+    def test_description_names_the_relationship(self):
+        spec, _, _ = _injectors()
+        assert spec.description.index("dormant") < \
+            spec.description.index("active")

@@ -45,6 +45,45 @@ class TestBatchedDrawBitIdentity:
                 == int(scalar_rng.integers(1000)))
 
 
+class TestCameraClaimDraws:
+    """The camera fast step batches the per-unowned-object detection
+    draws (``rng.random(k)``) the naive claim loop makes one at a time."""
+
+    def test_random_batch_matches_k_scalar_draws(self):
+        batched_rng, scalar_rng = _pair(31)
+        for k in (0, 1, 2, 7, 48):
+            draws = batched_rng.random(k).tolist()
+            assert draws == [scalar_rng.random() for _ in range(k)]
+        # Stream positions stay aligned for the later best-observer work.
+        assert batched_rng.random() == scalar_rng.random()
+
+
+class TestSigmaVectorNormals:
+    """The channel field batches per-walk ``normal(0.0, sigma_i)`` draws
+    into one ``normal(0.0, sigma_vector)`` call."""
+
+    def test_normal_with_sigma_vector_matches_scalar_sequence(self):
+        sigmas = [0.002, 0.002, 0.02, 0.08, 0.5, 0.0]
+        batched_rng, scalar_rng = _pair(17)
+        for _ in range(50):
+            draws = batched_rng.normal(0.0, np.asarray(sigmas)).tolist()
+            assert draws == [scalar_rng.normal(0.0, s) for s in sigmas]
+        assert batched_rng.random() == scalar_rng.random()
+
+    def test_elementwise_walk_update_matches_scalar_expression(self):
+        """clip(cur + rev*(mean-cur) + z, lo, hi) elementwise equals the
+        per-walk scalar expression, float for float."""
+        rng = np.random.default_rng(23)
+        cur = rng.uniform(0.2, 0.8, 16)
+        z = rng.normal(0.0, 0.08, 16)
+        batched = np.clip(cur + 0.02 * (0.5 - cur) + z, 0.0, 1.0).tolist()
+        # The exact scalar expression BoundedRandomWalk.step evaluates.
+        scalar = [float(np.clip(float(c) + 0.02 * (0.5 - float(c))
+                                + float(e), 0.0, 1.0))
+                  for c, e in zip(cur, z)]
+        assert batched == scalar
+
+
 class TestHotspotSample:
     def test_sample_equals_scalar_reference(self):
         hotspot = Hotspot(x=0.3, y=0.9, spread=0.08)

@@ -1,0 +1,78 @@
+"""Sensornet shard payloads: byte-identical across jobs and across paths.
+
+The batched channel field and column-resolved sensing step are only
+admissible if the E7 tables cannot tell they happened.  Same two axes
+as the swarm and camera suites: jobs-1 vs jobs-4 through the engine's
+worker pool, and fast vs naive at JSON-byte granularity.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import e7_attention
+from repro.experiments.engine import (SuiteJob, canonical_suite_text,
+                                      run_suite)
+from repro.sensornet import field as field_mod
+from repro.sensornet import node as node_mod
+
+BUDGETS = (2.0, 4.0)
+
+
+def _e7_job(seeds):
+    return [SuiteJob(name="E7", module="repro.experiments.e7_attention",
+                     shard_fn="run_shard", reduce_fn="reduce",
+                     seeds=tuple(seeds),
+                     params={"budgets": BUDGETS, "steps": 120})]
+
+
+@pytest.fixture
+def naive_flags():
+    """Flip the sensornet fast-path defaults to naive for the duration."""
+    saved = (field_mod.USE_FAST_FIELD, node_mod.USE_FAST_SENSORNET)
+    field_mod.USE_FAST_FIELD = False
+    node_mod.USE_FAST_SENSORNET = False
+    try:
+        yield
+    finally:
+        (field_mod.USE_FAST_FIELD,
+         node_mod.USE_FAST_SENSORNET) = saved
+
+
+class TestSensornetShardsAcrossJobs:
+    def test_jobs_1_vs_4_payloads_identical(self):
+        seeds = (0, 1, 2, 3)
+        serial = [e7_attention.run_shard(s, budgets=BUDGETS, steps=120)
+                  for s in seeds]
+        parallel = run_suite(_e7_job(seeds), n_jobs=4)
+        engine_serial = run_suite(_e7_job(seeds), n_jobs=1)
+        assert (canonical_suite_text(engine_serial.tables)
+                == canonical_suite_text(parallel.tables))
+        direct = e7_attention.reduce(serial, seeds=seeds, budgets=BUDGETS,
+                                     steps=120)
+        assert (canonical_suite_text([direct])
+                == canonical_suite_text(parallel.tables))
+
+
+class TestSensornetShardsFastVsNaive:
+    def test_shard_payload_identical_fast_vs_naive(self, naive_flags):
+        naive = json.dumps(
+            e7_attention.run_shard(0, budgets=BUDGETS, steps=120),
+            sort_keys=True)
+        field_mod.USE_FAST_FIELD = True
+        node_mod.USE_FAST_SENSORNET = True
+        fast = json.dumps(
+            e7_attention.run_shard(0, budgets=BUDGETS, steps=120),
+            sort_keys=True)
+        assert fast == naive
+
+    def test_batched_field_alone_identical_too(self, naive_flags):
+        """The batched walks under a naive node still match exactly."""
+        naive = json.dumps(
+            e7_attention.run_shard(1, budgets=BUDGETS, steps=120),
+            sort_keys=True)
+        field_mod.USE_FAST_FIELD = True
+        mixed = json.dumps(
+            e7_attention.run_shard(1, budgets=BUDGETS, steps=120),
+            sort_keys=True)
+        assert mixed == naive
