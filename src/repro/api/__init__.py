@@ -14,10 +14,12 @@ the deterministic fault injector (see :mod:`repro.faults`).
 """
 
 from .adapters import (SIMULATORS, CameraSimulator, CloudSimulator,
-                       CPNSimulator, MulticoreSimulator, SensornetSimulator,
-                       ServeSimulator, SwarmSimulator, make_simulator)
-from .configs import (CameraConfig, CloudConfig, CPNConfig, MulticoreConfig,
-                      SensornetConfig, ServeConfig, SwarmConfig)
+                       ClusterSimulator, CPNSimulator, MulticoreSimulator,
+                       SensornetSimulator, ServeSimulator, SwarmSimulator,
+                       make_simulator)
+from .configs import (CameraConfig, CloudConfig, ClusterConfig, CPNConfig,
+                      MulticoreConfig, SensornetConfig, ServeConfig,
+                      SwarmConfig)
 from .protocol import Simulator
 
 __all__ = [
@@ -31,4 +33,5 @@ __all__ = [
     "SwarmConfig", "SwarmSimulator",
     "SensornetConfig", "SensornetSimulator",
     "ServeConfig", "ServeSimulator",
+    "ClusterConfig", "ClusterSimulator",
 ]

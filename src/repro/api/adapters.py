@@ -29,8 +29,9 @@ from ..faults.injector import FaultInjector, make_injector
 from ..faults.plan import FaultPlan
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
-from .configs import (CameraConfig, CloudConfig, CPNConfig, MulticoreConfig,
-                      SensornetConfig, ServeConfig, SwarmConfig)
+from .configs import (CameraConfig, CloudConfig, ClusterConfig, CPNConfig,
+                      MulticoreConfig, SensornetConfig, ServeConfig,
+                      SwarmConfig)
 
 Faults = Union[FaultPlan, FaultInjector, None]
 
@@ -745,6 +746,50 @@ class ServeSimulator:
         return self._sim.run()
 
 
+class ClusterSimulator:
+    """The sharded serving cluster behind the protocol.
+
+    Deterministic discrete-time model of N cooperating serving nodes
+    splitting one worker budget -- collectively (gossiped self-models),
+    per-node, or statically (see :mod:`repro.serve.cluster`).
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None, *,
+                 faults: Faults = None) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        if faults is not None:
+            raise ValueError(
+                "the cluster substrate does not take fault plans yet; "
+                "model node failure as gossip staleness instead")
+        self.reset(self.config.seed)
+
+    def reset(self, seed: Optional[int] = None) -> "ClusterSimulator":
+        from ..serve.cluster import ClusterSimulation
+        seed = self.config.seed if seed is None else seed
+        if self.config.seed == seed:
+            config = self.config
+        else:
+            import dataclasses
+            config = dataclasses.replace(self.config, seed=seed)
+        self._sim = ClusterSimulation(config)
+        return self
+
+    def step(self):
+        return self._sim.step()
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self._sim.snapshot()
+
+    def metrics(self) -> Dict[str, float]:
+        return self._sim.metrics()
+
+    def result(self):
+        return self._sim.records
+
+    def run(self):
+        return self._sim.run()
+
+
 #: Declarative registry: substrate name -> (config class, adapter class).
 SIMULATORS = {
     "smartcamera": (CameraConfig, CameraSimulator),
@@ -754,6 +799,7 @@ SIMULATORS = {
     "swarm": (SwarmConfig, SwarmSimulator),
     "sensornet": (SensornetConfig, SensornetSimulator),
     "serve": (ServeConfig, ServeSimulator),
+    "cluster": (ClusterConfig, ClusterSimulator),
 }
 
 

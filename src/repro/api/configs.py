@@ -182,3 +182,64 @@ class ServeConfig:
     #: Window (completions) for the sensed p95 latency.
     latency_window: int = 200
     epsilon: float = 0.02
+
+
+@dataclass(frozen=True, kw_only=True)
+class ClusterConfig:
+    """Sharded serving cluster run (:mod:`repro.serve.cluster`): ``nodes``
+    cooperating serving nodes behind a consistent-hash ring, sharing a
+    cluster-wide worker budget.  The ``governor`` arm selects how that
+    budget is governed: ``"collective"`` gossips each node's learned
+    self-model and splits the budget by believed load (the paper's
+    collective self-awareness level), ``"per_node"`` gives each node an
+    isolated self-aware governor capped at its fair share, ``"static"``
+    fixes every pool at design time."""
+
+    steps: int = 400
+    seed: int = 0
+    nodes: int = 4
+    #: Client sessions, placed on the ring by id.
+    sessions: int = 16
+    #: Total offered load across the cluster, requests per tick.
+    offered_load: float = 40.0
+    #: ``"skewed"`` (Zipf session popularity), ``"flash"`` (uniform with
+    #: a flash crowd on a few sessions) or ``"uniform"``.
+    traffic: str = "skewed"
+    #: Zipf exponent for the skewed tier (rank-j weight ~ 1/(j+1)^s).
+    zipf_s: float = 1.6
+    #: Flash-crowd window: at ``flash_at`` the ``flash_sessions``
+    #: hottest sessions multiply their weight by ``flash_factor``
+    #: for ``flash_len`` ticks.
+    flash_at: int = 160
+    flash_len: int = 120
+    flash_factor: float = 8.0
+    flash_sessions: int = 2
+    mean_service: float = 1.0
+    per_worker_rate: float = 4.0
+    #: ``"collective"``, ``"per_node"`` or ``"static"``.
+    governor: str = "collective"
+    #: Cluster-wide worker budget the arms split.
+    worker_budget: int = 12
+    min_workers: int = 1
+    slo_p95: float = 8.0
+    govern_every: int = 4
+    boot_delay: int = 2
+    admit_headroom: float = 1.25
+    #: Gossip staleness bound (ticks); views older than this are ignored
+    #: and the collective arm falls back to its fair-share cap.
+    gossip_ttl: float = 12.0
+    #: Session rebalancing (collective arm only): every
+    #: ``rebalance_every`` ticks a node whose believed load exceeds
+    #: ``hot_utilisation`` x capacity sheds its second-hottest session
+    #: to the node with most headroom; the moving session's arrivals
+    #: are dropped for ``migration_freeze`` ticks (the migration cost).
+    rebalance: bool = True
+    rebalance_every: int = 8
+    hot_utilisation: float = 1.05
+    migration_freeze: int = 2
+    #: Virtual-node points per node on the placement ring.
+    ring_replicas: int = 64
+    warmup: int = 80
+    stats_window: int = 25
+    latency_window: int = 200
+    epsilon: float = 0.02

@@ -334,6 +334,81 @@ def _emit_setup(enabled: bool) -> StepRunner:
     return run
 
 
+def _cluster_route_setup(n_nodes: int = 3, n_sessions: int = 9) -> StepRunner:
+    """Cluster-client round-trip per step: version check -> placement
+    cache / ring guess -> moved-redirect handling -> node dispatch.
+    Measures the sharding layer's overhead over plain serve.dispatch."""
+    import asyncio
+    import atexit
+
+    from ..serve.cluster import ServeCluster
+    from ..serve.config import ServerConfig
+
+    loop = asyncio.new_event_loop()
+    cluster = ServeCluster(
+        nodes=n_nodes, governor="none",
+        base=ServerConfig(workers=0, governor="none", admission_rate=1e9,
+                          admission_burst=1e9, max_queue=10 ** 9,
+                          govern_interval=3600.0))
+    loop.run_until_complete(cluster.start(listen=False))
+
+    def _cleanup() -> None:
+        if not loop.is_closed():
+            loop.run_until_complete(cluster.stop())
+            loop.close()
+
+    atexit.register(_cleanup)
+    client = cluster.cluster_client()
+
+    async def _seed_sessions() -> List[str]:
+        sessions = []
+        for i in range(n_sessions):
+            created = await client.create(
+                "sensornet", steps=10, n_channels=4, seed=i)
+            sessions.append(created["session"])
+        return sessions
+
+    sessions = loop.run_until_complete(_seed_sessions())
+
+    def run(n: int) -> None:
+        async def burst() -> None:
+            for i in range(int(n)):
+                await client.step(sessions[i % n_sessions], n=1)
+        loop.run_until_complete(burst())
+
+    return run
+
+
+def _cluster_gossip_setup(n_nodes: int = 8) -> StepRunner:
+    """The collective-governance hot loop, one node's tick per step:
+    publish the local self-view, read the fresh board, recompute the
+    cluster-wide budget split.  Pure gossip arithmetic, no serving."""
+    from ..serve.gossip import GossipBoard, NodeSelfView, budget_shares
+
+    board = GossipBoard(ttl=1e9)
+    for i in range(n_nodes):
+        board.publish(NodeSelfView(
+            node=f"n{i}", time=0.0, arrival_rate=5.0 + 3.0 * i,
+            service_rate=4.0, pool=2, queue_depth=float(i),
+            utilisation=0.6, confidence=0.9, degraded=False, sessions=4))
+    t = 0.0
+
+    def run(n: int) -> None:
+        nonlocal t
+        for i in range(int(n)):
+            t += 1.0
+            node = f"n{i % n_nodes}"
+            board.publish(NodeSelfView(
+                node=node, time=t, arrival_rate=5.0 + (i % 17),
+                service_rate=4.0, pool=2, queue_depth=float(i % 5),
+                utilisation=0.6, confidence=0.9, degraded=False,
+                sessions=4))
+            views = board.fresh(t)
+            budget_shares(views, budget=4 * n_nodes, min_workers=1)
+
+    return run
+
+
 def _explain_ingest_setup() -> StepRunner:
     """Explanation-store ingestion: governor-shaped causal chains
     (telemetry -> prediction -> decision) folded into the bounded index
@@ -361,12 +436,13 @@ def _serve_dispatch_setup() -> StepRunner:
     import asyncio
     import atexit
 
+    from ..serve.config import ServerConfig
     from ..serve.server import InProcessClient, SimulationServer
 
     loop = asyncio.new_event_loop()
-    server = SimulationServer(workers=0, governor="self_aware",
-                              admission_rate=1e9, admission_burst=1e9,
-                              max_queue=1e9, govern_interval=3600.0)
+    server = SimulationServer(ServerConfig(
+        workers=0, governor="self_aware", admission_rate=1e9,
+        admission_burst=1e9, max_queue=10 ** 9, govern_interval=3600.0))
     loop.run_until_complete(server.start(listen=False))
 
     def _cleanup() -> None:
@@ -499,6 +575,18 @@ KERNELS: List[KernelSpec] = [
         steps=800, quick_steps=160,
         description="Batch dispatcher throughput over 8 cached sessions "
                     "(coalesce + incremental worker-cache stepping)"),
+    KernelSpec(
+        name="cluster.route",
+        setup=_cluster_route_setup,
+        steps=1_200, quick_steps=240,
+        description="Cluster-client dispatch round-trip over 3 nodes "
+                    "(placement cache, ring, versioned envelopes)"),
+    KernelSpec(
+        name="cluster.gossip",
+        setup=_cluster_gossip_setup,
+        steps=50_000, quick_steps=10_000,
+        description="Gossip tick: publish self-view, read fresh board, "
+                    "recompute the 8-node budget split"),
     KernelSpec(
         name="explain.ingest",
         setup=_explain_ingest_setup,

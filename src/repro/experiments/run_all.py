@@ -89,6 +89,8 @@ def suite_jobs(quick: bool = False) -> List[SuiteJob]:
                  loads=(4.0, 16.0)),
             _job("E15", "e15_explain_scale", (0,),
                  lengths=(30_000, 120_000), queries=12),
+            _job("E16", "e16_cluster", (0,), steps=250,
+                 tiers=("skewed", "flash")),
             _job("A1", "ablations", (0,), "run_aggregation_shard",
                  "reduce_aggregation", steps=700),
             _job("A2", "ablations", (0,), "run_forecasters_shard",
@@ -130,6 +132,8 @@ def suite_jobs(quick: bool = False) -> List[SuiteJob]:
              loads=(4.0, 8.0, 16.0, 28.0)),
         _job("E15", "e15_explain_scale", (0, 1),
              lengths=(100_000, 300_000, 1_000_000)),
+        _job("E16", "e16_cluster", (0, 1, 2), steps=400,
+             tiers=("skewed", "flash", "uniform")),
         _job("A1", "ablations", (0, 1, 2, 3), "run_aggregation_shard",
              "reduce_aggregation", steps=1200),
         _job("A2", "ablations", (0, 1, 2), "run_forecasters_shard",

@@ -1,0 +1,603 @@
+"""The sharded serving cluster: collective self-awareness over N nodes.
+
+One :class:`~repro.serve.server.SimulationServer` is a self-aware
+system; this module scales it out and closes the paper's *collective*
+level over the result.  Three pieces:
+
+* :class:`ServeCluster` -- N in-process servers sharing a consistent-
+  hash ring (:mod:`repro.serve.ring`), an authoritative session
+  placement map and a gossip board (:mod:`repro.serve.gossip`).  Each
+  node's governor is wrapped in a
+  :class:`~repro.serve.governor.CollectiveGovernor`, so pool sizing and
+  admission become collective decisions computed decentrally from
+  gossiped self-models.  Sessions migrate between nodes through their
+  declarative handles: the byte-identical hibernate/rehydrate replay
+  path *is* the migration transport.
+
+* :class:`ClusterClient` -- the cluster-aware client facade.  It routes
+  session ops by cached placement (ring guess first), follows the
+  protocol's retryable ``moved`` redirects, and spreads ``create``
+  calls over the ring; capability mismatch raises the same
+  :class:`~repro.serve.protocol.CapabilityError` as the per-node
+  clients.
+
+* :class:`ClusterSimulation` -- the deterministic discrete-time model
+  experiment E16 scores: Zipf-skewed or flash-crowd traffic over ring-
+  placed sessions, per-node queues and admission, and the three
+  governor arms (``collective`` / ``per_node`` / ``static``) splitting
+  one cluster-wide worker budget.  Registered as the ``"cluster"``
+  substrate of :mod:`repro.api`.
+
+Determinism: all simulation randomness flows from
+``default_rng([0xC105, seed])`` plus each governor's own seeded stream,
+so a given ``(config, seed)`` replays byte-identically.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+import numpy as np
+
+from ..api.configs import ClusterConfig
+from ..obs import events as obs_events
+from .admission import ADMIT, AdmissionController
+from .config import ServerConfig
+from .gossip import GossipBoard
+from .governor import CollectiveGovernor, ServeGovernor, StaticGovernor
+from .protocol import ErrorCode, error_code
+from .ring import HashRing
+from .server import Client, InProcessClient, SimulationServer
+
+
+# ---------------------------------------------------------------------------
+# The live cluster
+# ---------------------------------------------------------------------------
+
+
+class ServeCluster:
+    """N cooperating :class:`SimulationServer` nodes in one process.
+
+    The nodes share three objects -- the ring, the placement map and the
+    gossip board -- which is exactly the state a networked deployment
+    would replicate; everything else stays per-node.  ``governor``
+    selects the control arm: ``"collective"`` wraps each node's
+    self-aware governor with gossip-driven budget sharing,
+    ``"per_node"`` runs isolated self-aware governors capped at the
+    fair share, ``"static"`` fixes every pool at design time.
+    """
+
+    def __init__(self, *, nodes: int = 3,
+                 base: Optional[ServerConfig] = None,
+                 governor: str = "collective",
+                 worker_budget: Optional[int] = None,
+                 gossip_ttl: float = 10.0,
+                 replicas: int = 64) -> None:
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        base = base if base is not None else ServerConfig()
+        self.node_ids = [f"n{i}" for i in range(nodes)]
+        self.ring = HashRing(self.node_ids, replicas=replicas)
+        self.placements: Dict[str, str] = {}
+        self.board = GossipBoard(ttl=gossip_ttl)
+        budget = (worker_budget if worker_budget is not None
+                  else max(nodes, base.max_workers * nodes))
+        fair = max(base.min_workers, budget // nodes)
+        self.worker_budget = budget
+        self.servers: Dict[str, SimulationServer] = {}
+        import dataclasses
+        for i, node_id in enumerate(self.node_ids):
+            cfg = dataclasses.replace(base, node_id=node_id, port=0,
+                                      seed=base.seed + i)
+            gov: Optional[Any]
+            if governor == "collective":
+                gov = CollectiveGovernor(
+                    ServeGovernor(slo_p95=cfg.slo_p95,
+                                  min_workers=cfg.min_workers,
+                                  max_workers=budget,
+                                  service_rate_guess=cfg.service_rate_guess,
+                                  seed=cfg.seed),
+                    node_id=node_id, board=self.board,
+                    worker_budget=budget, fallback_share=fair,
+                    min_workers=cfg.min_workers)
+            elif governor == "per_node":
+                gov = ServeGovernor(slo_p95=cfg.slo_p95,
+                                    min_workers=cfg.min_workers,
+                                    max_workers=fair,
+                                    service_rate_guess=cfg.service_rate_guess,
+                                    seed=cfg.seed)
+            elif governor == "static":
+                gov = StaticGovernor(pool_size=fair,
+                                     service_rate_guess=cfg.service_rate_guess,
+                                     slo_p95=cfg.slo_p95)
+            elif governor == "none":
+                gov = None
+            else:
+                raise ValueError(f"unknown cluster governor {governor!r}")
+            self.servers[node_id] = SimulationServer(
+                cfg, ring=self.ring, placements=self.placements,
+                board=self.board, governor=gov)
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    async def start(self, *, listen: bool = False) -> "ServeCluster":
+        for server in self.servers.values():
+            await server.start(listen=listen)
+        return self
+
+    async def stop(self) -> None:
+        for server in self.servers.values():
+            await server.stop()
+
+    def client(self, node: Optional[str] = None) -> InProcessClient:
+        """A plain per-node client (moved errors surface to the caller)."""
+        node = node if node is not None else self.node_ids[0]
+        return InProcessClient(self.servers[node])
+
+    def cluster_client(self) -> "ClusterClient":
+        """The routing facade over every node."""
+        return ClusterClient({n: InProcessClient(s)
+                              for n, s in self.servers.items()},
+                             ring=self.ring)
+
+    async def migrate(self, session_id: str, dst: str) -> Dict[str, Any]:
+        """Move a session to ``dst`` via its declarative handle.
+
+        Placement flips *first*, so new traffic for the session bounces
+        off both nodes with retryable ``moved`` errors for the duration
+        of the hand-off instead of racing the hand-off itself; the
+        export runs under the session lock on the old owner, so any
+        in-flight step commits into the handle.
+        """
+        if dst not in self.servers:
+            raise ValueError(f"unknown node {dst!r}")
+        src = self.placements.get(session_id)
+        if src is None:
+            raise KeyError(f"no placement for session {session_id!r}")
+        if src == dst:
+            return {"session": session_id, "node": dst, "moved": False}
+        self.placements[session_id] = dst
+        out = await self.servers[src].dispatch(
+            {"op": "migrate_out", "session": session_id})
+        if not out.get("ok"):
+            self.placements[session_id] = src  # roll back
+            raise RuntimeError(f"migrate_out failed: {error_code(out)}")
+        res = await self.servers[dst].dispatch(
+            {"op": "migrate_in", "handle": out["handle"]})
+        if not res.get("ok"):
+            self.placements[session_id] = src
+            raise RuntimeError(f"migrate_in failed: {error_code(res)}")
+        return {"session": session_id, "node": dst, "moved": True,
+                "steps_taken": res["steps_taken"]}
+
+
+class ClusterClient(Client):
+    """Cluster-aware client: placement-cached routing with ``moved``
+    redirect following.
+
+    The ring gives the *guess* (it is how creates are spread and how an
+    unknown session is first routed); the cluster's ``moved`` errors
+    give the *truth*, which the client caches.  A redirect chain longer
+    than ``max_redirects`` raises rather than looping -- placement
+    churn that fast means the cluster is reconfiguring under the
+    caller's feet and deserves loudness.
+    """
+
+    def __init__(self, clients: Dict[str, Client], *,
+                 ring: Optional[HashRing] = None,
+                 max_redirects: int = 4) -> None:  # noqa: super
+        if not clients:
+            raise ValueError("need at least one node client")
+        self._clients = dict(clients)
+        self._ring = ring if ring is not None else HashRing(sorted(clients))
+        self._placements: Dict[str, str] = {}
+        self.max_redirects = max_redirects
+        self._created = 0
+        self.redirects_followed = 0
+
+    def _pick_node(self, payload: Dict[str, Any]) -> str:
+        session = payload.get("session")
+        if session is not None:
+            sid = str(session)
+            cached = self._placements.get(sid)
+            if cached is not None:
+                return cached
+            guess = self._ring.owner(sid)
+            return guess if guess in self._clients else next(iter(self._clients))
+        if payload.get("op") == "create":
+            # Spread creates over the ring deterministically.
+            self._created += 1
+            owner = self._ring.owner(f"create-{self._created}")
+            return owner if owner in self._clients else next(iter(self._clients))
+        return next(iter(self._clients))
+
+    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        node = self._pick_node(payload)
+        for _ in range(self.max_redirects + 1):
+            response = await self._clients[node].request(dict(payload))
+            if error_code(response) == ErrorCode.MOVED.value:
+                owner = response["error"].get("node")
+                if owner is None or owner not in self._clients:
+                    return response
+                session = payload.get("session")
+                if session is not None:
+                    self._placements[str(session)] = owner
+                node = owner
+                self.redirects_followed += 1
+                continue
+            session = response.get("session")
+            if response.get("ok") and session is not None:
+                self._placements[str(session)] = response.get("node", node)
+            return response
+        raise RuntimeError(
+            f"placement for {payload.get('session')!r} still moving after "
+            f"{self.max_redirects} redirects")
+
+    async def close(self) -> None:
+        for client in self._clients.values():
+            await client.close()
+
+
+# ---------------------------------------------------------------------------
+# The deterministic cluster simulation (substrate "cluster", experiment E16)
+# ---------------------------------------------------------------------------
+
+
+class _SimNode:
+    """Per-node queueing state inside :class:`ClusterSimulation`."""
+
+    def __init__(self, node_id: str, governor: Any, pool: int,
+                 config: ClusterConfig) -> None:
+        self.node_id = node_id
+        self.governor = governor
+        self.pool = pool
+        capacity = max(1e-6, pool * config.per_worker_rate)
+        self.admission = AdmissionController(
+            rate=capacity * config.admit_headroom,
+            burst=max(1.0, capacity),
+            max_queue=max(1.0, math.ceil(
+                capacity * max(1.0, config.slo_p95 - 2.0))))
+        #: FIFO queue of [arrival_tick, remaining_demand].
+        self.queue: "deque[List[float]]" = deque()
+        self.pending_boots: List[List[float]] = []  # [ready_tick, count]
+        self.recent_arrivals: "deque[int]" = deque(maxlen=config.stats_window)
+        self.recent_latencies: "deque[float]" = deque(
+            maxlen=config.latency_window)
+        self.completions = 0
+        self.good = 0
+        self.utilisation = 0.0
+
+
+class ClusterSimulation:
+    """Cluster goodput under skewed and flash-crowd traffic.
+
+    ``sessions`` client sessions are placed on the ring by id; traffic
+    splits over them by a popularity profile (Zipf for the skewed tier,
+    a flash-crowd window for the flash tier), so node load is as uneven
+    as real placement makes it.  Each node runs the real
+    :class:`~repro.serve.admission.AdmissionController` and one of the
+    three governor arms over a shared cluster-wide worker budget; the
+    collective arm additionally rebalances sessions -- the simulated
+    counterpart of handle migration -- using its *measured* per-session
+    arrival estimates, never the generator's true weights.
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        if self.config.governor not in ("collective", "per_node", "static"):
+            raise ValueError(
+                f"unknown cluster governor {self.config.governor!r}")
+        if self.config.traffic not in ("skewed", "flash", "uniform"):
+            raise ValueError(f"unknown traffic tier {self.config.traffic!r}")
+        if self.config.worker_budget < self.config.nodes:
+            raise ValueError("worker_budget must cover >= 1 worker per node")
+        self.reset(self.config.seed)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _fair_share(self) -> int:
+        cfg = self.config
+        return max(cfg.min_workers, cfg.worker_budget // cfg.nodes)
+
+    def _make_governor(self, node_id: str, seed: int) -> Any:
+        cfg = self.config
+        fair = self._fair_share()
+        if cfg.governor == "static":
+            return StaticGovernor(pool_size=fair,
+                                  service_rate_guess=cfg.per_worker_rate,
+                                  admit_headroom=cfg.admit_headroom,
+                                  slo_p95=cfg.slo_p95)
+        base_max = cfg.worker_budget if cfg.governor == "collective" else fair
+        base = ServeGovernor(slo_p95=cfg.slo_p95,
+                             min_workers=cfg.min_workers,
+                             max_workers=base_max,
+                             service_rate_guess=cfg.per_worker_rate,
+                             admit_headroom=cfg.admit_headroom,
+                             epsilon=cfg.epsilon, seed=seed)
+        if cfg.governor == "per_node":
+            return base
+        return CollectiveGovernor(
+            base, node_id=node_id, board=self.board,
+            worker_budget=cfg.worker_budget, fallback_share=fair,
+            min_workers=cfg.min_workers,
+            sessions_fn=lambda n=node_id: sum(
+                1 for owner in self.placements.values() if owner == n))
+
+    def reset(self, seed: Optional[int] = None) -> "ClusterSimulation":
+        cfg = self.config
+        seed = cfg.seed if seed is None else seed
+        self._seed = seed
+        self.rng = np.random.default_rng([0xC105, seed])
+        self.node_ids = [f"n{i}" for i in range(cfg.nodes)]
+        self.ring = HashRing(self.node_ids, replicas=cfg.ring_replicas)
+        self.session_ids = [f"sess{j:03d}" for j in range(cfg.sessions)]
+        self.placements: Dict[str, str] = {
+            sid: self.ring.owner(sid) for sid in self.session_ids}
+        self.board = GossipBoard(ttl=cfg.gossip_ttl)
+        fair = self._fair_share()
+        self.nodes: Dict[str, _SimNode] = {}
+        for i, node_id in enumerate(self.node_ids):
+            governor = self._make_governor(node_id, seed * 31 + i)
+            self.nodes[node_id] = _SimNode(node_id, governor, fair, cfg)
+        #: Measured per-session arrival EWMA (requests/tick) -- what the
+        #: rebalancer acts on; the generator's true weights stay hidden.
+        self._sess_rate: Dict[str, float] = {
+            sid: 0.0 for sid in self.session_ids}
+        #: Sessions whose arrivals are dropped until the noted tick
+        #: (in-flight migration).
+        self._frozen: Dict[str, float] = {}
+        self._all_latencies: List[List[float]] = []
+        self.records: List[Dict[str, float]] = []
+        self.migrations = 0
+        self._govern_ticks = 0
+        self._collective_ticks = 0
+        self._t = 0.0
+        return self
+
+    # -- traffic -----------------------------------------------------------
+
+    def _weights(self, t: float) -> np.ndarray:
+        cfg = self.config
+        n = cfg.sessions
+        if cfg.traffic == "skewed":
+            weights = 1.0 / np.power(np.arange(1, n + 1, dtype=float),
+                                     cfg.zipf_s)
+        else:
+            weights = np.ones(n, dtype=float)
+            if (cfg.traffic == "flash"
+                    and cfg.flash_at <= t < cfg.flash_at + cfg.flash_len):
+                weights[:cfg.flash_sessions] *= cfg.flash_factor
+        return weights / weights.sum()
+
+    # -- one tick ----------------------------------------------------------
+
+    def step(self) -> Dict[str, float]:
+        cfg = self.config
+        t = self._t
+
+        # Ordered scale-ups come online (global budget enforced).
+        total_pool = sum(node.pool for node in self.nodes.values())
+        for node_id in self.node_ids:
+            node = self.nodes[node_id]
+            for boot in [b for b in node.pending_boots if b[0] <= t]:
+                grant = int(boot[1])
+                if cfg.governor == "collective":
+                    grant = min(grant, cfg.worker_budget - total_pool)
+                if grant > 0:
+                    node.pool += grant
+                    total_pool += grant
+                node.pending_boots.remove(boot)
+
+        # Arrivals: one Poisson draw split over sessions by popularity,
+        # routed to each session's placed node through its admission.
+        offered_total = int(self.rng.poisson(cfg.offered_load))
+        counts = self.rng.multinomial(offered_total, self._weights(t))
+        admitted_total = 0
+        offered_at: Dict[str, int] = {n: 0 for n in self.node_ids}
+        for j, sid in enumerate(self.session_ids):
+            arrivals = int(counts[j])
+            rate = self._sess_rate[sid]
+            self._sess_rate[sid] = 0.8 * rate + 0.2 * arrivals
+            if arrivals == 0:
+                continue
+            if self._frozen.get(sid, -1.0) > t:
+                continue  # migration freeze: dropped, counted as shed
+            node = self.nodes[self.placements[sid]]
+            offered_at[node.node_id] += arrivals
+            for _ in range(arrivals):
+                if node.admission.admit(t, len(node.queue)) is ADMIT:
+                    node.queue.append(
+                        [t, float(self.rng.exponential(cfg.mean_service))])
+                    admitted_total += 1
+        shed_total = offered_total - admitted_total
+
+        # Service: each pool drains its work budget FIFO.
+        completions_total = 0
+        good_total = 0
+        queue_total = 0
+        for node_id in self.node_ids:
+            node = self.nodes[node_id]
+            node.recent_arrivals.append(offered_at[node_id])
+            budget = node.pool * cfg.per_worker_rate
+            capacity = max(1e-9, budget)
+            served = 0.0
+            node.completions = node.good = 0
+            while node.queue and budget > 1e-12:
+                head = node.queue[0]
+                take = min(budget, head[1])
+                head[1] -= take
+                budget -= take
+                served += take
+                if head[1] <= 1e-12:
+                    node.queue.popleft()
+                    latency = t - head[0] + 1.0
+                    node.recent_latencies.append(latency)
+                    self._all_latencies.append([t, latency])
+                    node.completions += 1
+                    if latency <= cfg.slo_p95:
+                        node.good += 1
+            node.utilisation = served / capacity
+            completions_total += node.completions
+            good_total += node.good
+            queue_total += len(node.queue)
+
+        # Governance: each node senses itself and decides; the
+        # collective arm also gossips and splits the budget.
+        if int(t) % cfg.govern_every == 0:
+            for node_id in self.node_ids:
+                node = self.nodes[node_id]
+                p95 = (float(np.percentile(node.recent_latencies, 95.0))
+                       if node.recent_latencies else 0.0)
+                arrival = (sum(node.recent_arrivals)
+                           / max(1, len(node.recent_arrivals)))
+                decision = node.governor.tick(t, {
+                    "queue_depth": float(len(node.queue)),
+                    "arrival_rate": float(arrival),
+                    "p95_latency": p95,
+                    "utilisation": min(1.0, node.utilisation),
+                    "shed_fraction": node.admission.shed_fraction(),
+                    "pool_size": float(node.pool),
+                    "completion_rate": float(node.completions),
+                })
+                self._apply(t, node, decision)
+                self._govern_ticks += 1
+                if getattr(node.governor, "collective", False):
+                    self._collective_ticks += 1
+
+        # Rebalance: migrate a session off a hot node (collective only).
+        if (cfg.governor == "collective" and cfg.rebalance and t > 0
+                and int(t) % cfg.rebalance_every == 0):
+            self._rebalance(t)
+
+        record = {"time": t, "offered": float(offered_total),
+                  "admitted": float(admitted_total),
+                  "shed": float(shed_total),
+                  "completions": float(completions_total),
+                  "good": float(good_total),
+                  "queue_depth": float(queue_total),
+                  "pool": float(sum(n.pool for n in self.nodes.values()))}
+        self.records.append(record)
+        if obs_events.enabled():
+            obs_events.emit("cluster.tick", time=t, offered=offered_total,
+                            admitted=admitted_total, shed=shed_total,
+                            completions=completions_total,
+                            queue=queue_total, pool=record["pool"])
+        self._t += 1.0
+        return record
+
+    def _apply(self, t: float, node: _SimNode, decision: Any) -> None:
+        cfg = self.config
+        target = int(decision.pool_target)
+        booked = node.pool + sum(int(b[1]) for b in node.pending_boots)
+        if target > booked:
+            node.pending_boots.append([t + cfg.boot_delay, target - booked])
+        elif target < booked:
+            shrink = booked - target
+            for boot in list(reversed(node.pending_boots)):
+                if shrink <= 0:
+                    break
+                cancel = min(shrink, int(boot[1]))
+                boot[1] -= cancel
+                shrink -= cancel
+                if boot[1] <= 0:
+                    node.pending_boots.remove(boot)
+            if shrink > 0:
+                node.pool = max(cfg.min_workers, node.pool - shrink)
+        node.admission.configure(t, rate=decision.admission_rate,
+                                 burst=decision.admission_burst,
+                                 max_queue=decision.max_queue)
+
+    def _rebalance(self, t: float) -> None:
+        """Move one session off the most overloaded node, if any.
+
+        Decisions run on *believed* state: gossiped pools and measured
+        per-session arrival estimates.  The hottest session stays put
+        (it defines the node's load; moving it just relocates the
+        hotspot) -- the second-hottest moves, which is exactly the
+        co-located flash-crowd case migration exists for.  Headroom at
+        the destination is judged against fair-share *potential*
+        capacity: under collective budgeting a cold node can grow to at
+        least its fair share once load arrives.
+        """
+        cfg = self.config
+        fair = self._fair_share()
+        load = {n: 0.0 for n in self.node_ids}
+        by_node: Dict[str, List[str]] = {n: [] for n in self.node_ids}
+        for sid, owner in self.placements.items():
+            load[owner] += self._sess_rate[sid]
+            by_node[owner].append(sid)
+        hot = max(self.node_ids,
+                  key=lambda n: load[n] - cfg.hot_utilisation
+                  * self.nodes[n].pool * cfg.per_worker_rate)
+        overload = (load[hot] - cfg.hot_utilisation
+                    * self.nodes[hot].pool * cfg.per_worker_rate)
+        candidates = sorted(by_node[hot],
+                            key=lambda s: (-self._sess_rate[s], s))
+        if overload <= 0.0 or len(candidates) < 2:
+            return
+        moving = candidates[1]
+        headroom = {
+            n: max(self.nodes[n].pool, fair) * cfg.per_worker_rate - load[n]
+            for n in self.node_ids if n != hot}
+        dst = max(sorted(headroom), key=lambda n: headroom[n])
+        if headroom[dst] <= 0.0:
+            return
+        self.placements[moving] = dst
+        self._frozen[moving] = t + cfg.migration_freeze
+        self.migrations += 1
+        if obs_events.enabled():
+            obs_events.emit("cluster.rebalance", time=t, session=moving,
+                            src=hot, dst=dst,
+                            rate=self._sess_rate[moving],
+                            overload=overload)
+
+    # -- protocol ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"substrate": "cluster", "time": self._t,
+                "pools": {n: self.nodes[n].pool for n in self.node_ids},
+                "queues": {n: len(self.nodes[n].queue)
+                           for n in self.node_ids},
+                "placements": {
+                    n: sum(1 for o in self.placements.values() if o == n)
+                    for n in self.node_ids},
+                "migrations": self.migrations,
+                "steps_taken": len(self.records)}
+
+    def metrics(self) -> Dict[str, float]:
+        """Scored over the post-warmup window, like the E14 substrate."""
+        cfg = self.config
+        warmup = min(cfg.warmup, max(0, len(self.records) - 1))
+        window = self.records[warmup:]
+        if not window:
+            return {"goodput": 0.0, "p95_latency": float("nan"),
+                    "shed_fraction": 0.0, "mean_pool": 0.0,
+                    "slo_attainment": 0.0, "offered": 0.0,
+                    "migrations": 0.0, "collective_fraction": 0.0}
+        ticks = float(len(window))
+        offered = sum(r["offered"] for r in window)
+        shed = sum(r["shed"] for r in window)
+        completions = sum(r["completions"] for r in window)
+        good = sum(r["good"] for r in window)
+        latencies = [lat for tick, lat in self._all_latencies
+                     if tick >= warmup]
+        return {
+            "goodput": good / ticks,
+            "p95_latency": (float(np.percentile(latencies, 95.0))
+                            if latencies else float("nan")),
+            "shed_fraction": shed / offered if offered else 0.0,
+            "mean_pool": sum(r["pool"] for r in window) / ticks,
+            "slo_attainment": good / completions if completions else 0.0,
+            "offered": offered / ticks,
+            "migrations": float(self.migrations),
+            "collective_fraction": (self._collective_ticks
+                                    / max(1, self._govern_ticks)),
+        }
+
+    def run(self) -> List[Dict[str, float]]:
+        for _ in range(self.config.steps):
+            self.step()
+        return self.records

@@ -1,0 +1,166 @@
+"""Gossiped self-models: the cluster's collective self-awareness substrate.
+
+Each serving node runs a :class:`~repro.serve.governor.ServeGovernor`
+whose self-model *learns* the node's load and capacity from telemetry.
+Collective self-awareness -- the paper's last level -- is those learned
+self-models shared: every node periodically publishes a compact
+:class:`NodeSelfView` of what it currently believes about itself, and
+every node reads the others' views back, so cluster-wide decisions
+(worker-budget split, admission headroom, session rebalancing) can be
+taken *decentrally*, each node computing the same answer from the same
+gossiped state.
+
+The sharing idiom follows the swarm substrate
+(:mod:`repro.swarm.robots`): peers exchange small observations, each
+keeps a bounded, staleness-pruned memory of what it heard, and every
+consumer falls back to purely local behaviour when its view of a peer
+has gone stale -- gossip improves decisions, it must never become a
+correctness dependency.  :meth:`GossipBoard.fresh` is that staleness
+gate, and :func:`budget_shares` the collective decision the governors
+derive from it.
+
+Sans-io and deterministic: views are plain frozen data, the board is a
+dict, and all iteration orders are fixed by node name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Mapping, Optional
+
+from ..obs import events as obs_events
+
+#: Gossip-era schema version, carried by every view (envelope parity
+#: with the wire protocol's ``"v"``).
+GOSSIP_VERSION = 1
+
+
+@dataclass(frozen=True)
+class NodeSelfView:
+    """One node's published self-model summary.
+
+    All fields are *learned or measured by the node about itself* --
+    this is a self-model travelling the wire, not a spec sheet: the
+    arrival and per-worker service rates come from the governor's
+    :class:`~repro.serve.governor.ServeSelfModel` online estimates, and
+    ``confidence`` is that model's earned prediction accuracy.
+    """
+
+    node: str
+    time: float
+    #: Learned offered load at this node (requests per unit time).
+    arrival_rate: float
+    #: Learned per-worker service rate (requests per unit time).
+    service_rate: float
+    #: Current worker pool size.
+    pool: int
+    queue_depth: float
+    utilisation: float
+    #: Self-model confidence in [0, 1] (earned, never assumed).
+    confidence: float
+    degraded: bool
+    #: Sessions currently placed on this node (migration bookkeeping).
+    sessions: int = 0
+    v: int = GOSSIP_VERSION
+
+    @property
+    def capacity(self) -> float:
+        """Believed service capacity: pool x learned per-worker rate."""
+        return self.pool * max(1e-9, self.service_rate)
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+class GossipBoard:
+    """The cluster's shared gossip state: latest view per node.
+
+    In-process transport (the cluster's nodes share an event loop /
+    simulation step); the board still models the *distributed* failure
+    mode that matters -- staleness: a node that stops publishing simply
+    ages out of :meth:`fresh` and collective decisions degrade to the
+    per-node fallback.  ``ttl`` is the staleness bound in whatever time
+    unit the callers use (ticks in the simulation, seconds live).
+    """
+
+    def __init__(self, *, ttl: float = 10.0) -> None:
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.ttl = float(ttl)
+        self._views: Dict[str, NodeSelfView] = {}
+        self.published = 0
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def publish(self, view: NodeSelfView) -> None:
+        """Post a node's current self-view (latest wins)."""
+        self._views[view.node] = view
+        self.published += 1
+        if obs_events.enabled():
+            obs_events.emit("cluster.gossip", time=view.time, node=view.node,
+                            arrival_rate=view.arrival_rate,
+                            service_rate=view.service_rate, pool=view.pool,
+                            queue_depth=view.queue_depth,
+                            confidence=view.confidence,
+                            degraded=view.degraded)
+
+    def view_of(self, node: str) -> Optional[NodeSelfView]:
+        return self._views.get(node)
+
+    def fresh(self, now: float,
+              ttl: Optional[float] = None) -> Dict[str, NodeSelfView]:
+        """Views no older than the staleness bound, keyed and ordered by
+        node name (deterministic consumers need a fixed order)."""
+        bound = self.ttl if ttl is None else ttl
+        return {node: view
+                for node, view in sorted(self._views.items())
+                if now - view.time <= bound}
+
+    def drop(self, node: str) -> None:
+        self._views.pop(node, None)
+
+
+def cluster_load(views: Mapping[str, NodeSelfView]) -> float:
+    """Total believed offered load across the gossiped views."""
+    return sum(max(0.0, v.arrival_rate) for v in views.values())
+
+
+def budget_shares(views: Mapping[str, NodeSelfView], *, budget: int,
+                  min_workers: int = 1) -> Dict[str, int]:
+    """Split a cluster-wide worker budget by gossiped load share.
+
+    The collective pool-sizing decision: every node computes this from
+    the same board state and takes its own entry, so no coordinator is
+    needed and the split always sums to ``budget`` (largest-remainder
+    apportionment after a ``min_workers`` floor, ties broken by node
+    name).  With one view -- gossip entirely stale -- the caller's own
+    node simply receives the whole budget it can see, which collapses
+    to per-node behaviour.
+    """
+    if budget < 1:
+        raise ValueError("budget must be >= 1")
+    if not views:
+        return {}
+    nodes = sorted(views)
+    floor_total = min_workers * len(nodes)
+    if floor_total >= budget:
+        # Budget cannot honour the floor for everyone: even split.
+        shares = {node: budget // len(nodes) for node in nodes}
+        for node in nodes[: budget % len(nodes)]:
+            shares[node] += 1
+        return shares
+    load = cluster_load(views)
+    flexible = budget - floor_total
+    if load <= 1e-12:
+        quotas = {node: flexible / len(nodes) for node in nodes}
+    else:
+        quotas = {node: flexible * max(0.0, views[node].arrival_rate) / load
+                  for node in nodes}
+    shares = {node: min_workers + int(quotas[node]) for node in nodes}
+    remainder = budget - sum(shares.values())
+    # Largest fractional remainders first; node name breaks ties.
+    order = sorted(nodes, key=lambda n: (-(quotas[n] - int(quotas[n])), n))
+    for node in order[:remainder]:
+        shares[node] += 1
+    return shares

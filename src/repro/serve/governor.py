@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, Mapping, Optional
+from typing import Callable, Dict, Hashable, Mapping, Optional
 
 import numpy as np
 
@@ -53,6 +53,7 @@ from ..core.spans import private
 from ..faults.degrade import HOLD_LAST_GOOD, DegradationMonitor
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
+from .gossip import GossipBoard, NodeSelfView, budget_shares
 
 #: The telemetry phenomena the governor senses each tick.
 STAT_KEYS = ("queue_depth", "arrival_rate", "p95_latency", "utilisation",
@@ -379,6 +380,29 @@ class ServeGovernor:
                 f"learned service rate "
                 f"{self.model.service_estimate:.2f} req/worker per unit time.")
 
+    def self_view(self, now: float, node_id: str, *,
+                  sessions: int = 0) -> NodeSelfView:
+        """This governor's learned self-model, packaged for gossip.
+
+        Every number is learned or sensed -- the arrival and service
+        rates are the :class:`ServeSelfModel` online estimates, the
+        confidence is its earned prediction accuracy -- so what peers
+        receive is genuinely this node's *model of itself*.
+        """
+        arrival = (self.model.arrival_estimate
+                   if self.model.arrival_estimate is not None
+                   else self._stats["arrival_rate"])
+        return NodeSelfView(
+            node=node_id, time=now,
+            arrival_rate=float(max(0.0, arrival)),
+            service_rate=float(self.model.service_estimate),
+            pool=int(self._pool),
+            queue_depth=float(self._stats["queue_depth"]),
+            utilisation=float(self._stats["utilisation"]),
+            confidence=float(self.model.confidence(self._stats, self._pool)),
+            degraded=bool(self.degraded),
+            sessions=int(sessions))
+
 
 class StaticGovernor:
     """Design-time baseline: fixed pool, fixed admission, never degrades.
@@ -402,6 +426,8 @@ class StaticGovernor:
             serve_stale=False, degraded=False,
             reason="static design-time configuration")
         self._pool = pool_size
+        self._service_rate_guess = service_rate_guess
+        self._last_stats: Dict[str, float] = {}
 
     @property
     def pool_target(self) -> int:
@@ -412,8 +438,138 @@ class StaticGovernor:
         return False
 
     def tick(self, now: float, stats: Mapping[str, float]) -> GovernorDecision:
+        self._last_stats = dict(stats)
         return self._decision
 
     def explain(self) -> str:
         return (f"Static governor: pool fixed at {self._pool} at design "
                 f"time; telemetry is collected but never consulted.")
+
+    def self_view(self, now: float, node_id: str, *,
+                  sessions: int = 0) -> NodeSelfView:
+        """A design-time self-view: measured stats, spec-sheet capacity."""
+        stats = getattr(self, "_last_stats", {})
+        return NodeSelfView(
+            node=node_id, time=now,
+            arrival_rate=float(stats.get("arrival_rate", 0.0)),
+            service_rate=float(self._service_rate_guess),
+            pool=int(self._pool),
+            queue_depth=float(stats.get("queue_depth", 0.0)),
+            utilisation=float(stats.get("utilisation", 0.0)),
+            confidence=1.0, degraded=False, sessions=int(sessions))
+
+
+class CollectiveGovernor:
+    """A per-node governor made collectively self-aware through gossip.
+
+    Wraps a :class:`ServeGovernor` (the node's learned self-model and
+    deliberation stay untouched) and closes the paper's collective
+    level over it:
+
+    * after every base tick, the node's *learned* self-view is
+      published to the cluster's :class:`~repro.serve.gossip.GossipBoard`;
+    * the cluster-wide worker budget is split by gossiped load share
+      (:func:`~repro.serve.gossip.budget_shares` -- every node computes
+      the same split from the same board, no coordinator), and this
+      node's pool choice is clamped to its share;
+    * admission rate, burst and queue bound are re-derived from the
+      clamped capacity, so admission thresholds follow the collective
+      decision too;
+    * **fallback**: when gossip is stale (fewer than two fresh views on
+      the board), the node caps itself at ``fallback_share`` -- the
+      fair static split -- i.e. exactly the per-node behaviour.  Gossip
+      sharpens decisions; it is never a correctness dependency.
+    """
+
+    def __init__(self, base: ServeGovernor, *, node_id: str,
+                 board: GossipBoard, worker_budget: int,
+                 fallback_share: int, min_workers: int = 1,
+                 sessions_fn: Optional[Callable[[], int]] = None) -> None:
+        if worker_budget < 1:
+            raise ValueError("worker_budget must be >= 1")
+        if not 1 <= min_workers <= fallback_share <= worker_budget:
+            raise ValueError(
+                "need 1 <= min_workers <= fallback_share <= worker_budget")
+        self.base = base
+        self.node_id = node_id
+        self.board = board
+        self.worker_budget = worker_budget
+        self.fallback_share = fallback_share
+        self.min_workers = min_workers
+        self._sessions_fn = sessions_fn
+        #: Whether the last tick ran on fresh gossip (False = fallback).
+        self.collective = False
+        #: This node's last budget share.
+        self.share = fallback_share
+
+    @property
+    def pool_target(self) -> int:
+        return self.base.pool_target
+
+    @property
+    def degraded(self) -> bool:
+        return self.base.degraded
+
+    @property
+    def model(self) -> ServeSelfModel:
+        return self.base.model
+
+    @property
+    def monitor(self) -> DegradationMonitor:
+        return self.base.monitor
+
+    @property
+    def last_decision_seq(self) -> Optional[int]:
+        return self.base.last_decision_seq
+
+    def tick(self, now: float, stats: Mapping[str, float]) -> GovernorDecision:
+        decision = self.base.tick(now, stats)
+        sessions = self._sessions_fn() if self._sessions_fn is not None else 0
+        self.board.publish(
+            self.base.self_view(now, self.node_id, sessions=sessions))
+        views = self.board.fresh(now)
+        if len(views) >= 2 and self.node_id in views:
+            shares = budget_shares(views, budget=self.worker_budget,
+                                   min_workers=self.min_workers)
+            share = shares[self.node_id]
+            self.collective = True
+        else:
+            share = self.fallback_share
+            self.collective = False
+        self.share = share
+        pool = max(self.min_workers, min(decision.pool_target, share))
+        capacity = pool * self.base.model.service_estimate
+        rate = capacity * self.base.admit_headroom
+        if decision.degraded:
+            rate *= self.base.degraded_admission
+        clamped = GovernorDecision(
+            pool_target=pool,
+            admission_rate=max(1e-6, rate),
+            admission_burst=max(1.0, capacity),
+            max_queue=max(1.0, math.ceil(capacity * self.base.queue_ticks)),
+            serve_stale=decision.serve_stale,
+            degraded=decision.degraded,
+            reason=(f"{decision.reason}; collective budget share {share}"
+                    f"/{self.worker_budget}"
+                    if self.collective else
+                    f"{decision.reason}; gossip stale, per-node fallback "
+                    f"cap {share}"))
+        self.base._pool = pool  # the clamp is the pool the node realises
+        if obs_events.enabled():
+            obs_events.emit("cluster.share", time=now, node=self.node_id,
+                            share=share, pool=pool,
+                            collective=self.collective,
+                            budget=self.worker_budget)
+        return clamped
+
+    def self_view(self, now: float, node_id: Optional[str] = None, *,
+                  sessions: int = 0) -> NodeSelfView:
+        return self.base.self_view(now, node_id or self.node_id,
+                                   sessions=sessions)
+
+    def explain(self) -> str:
+        mode = (f"collective: budget share {self.share}/{self.worker_budget} "
+                f"from {len(self.board)} gossiped self-models"
+                if self.collective else
+                f"fallback: gossip stale, per-node cap {self.fallback_share}")
+        return f"{self.base.explain()} Cluster state: {mode}."

@@ -1,0 +1,130 @@
+"""Consistent-hash session placement: the cluster's shared ring.
+
+Placement must be a *pure function of the key and the membership* --
+every node (and every client) computes the same owner without talking to
+anyone -- and stable under membership change: adding or removing one
+node moves only ~1/N of the keyspace.  The classic construction does
+both: each node is hashed onto a circle at ``replicas`` points (virtual
+nodes, which smooth the load split), and a key belongs to the first
+node point at or after its own hash, wrapping around.
+
+Hashes come from ``blake2b`` rather than Python's ``hash()``: placement
+decisions must agree across processes and interpreter runs, and
+``hash()`` is salted per process.
+
+The ring carries a monotonically increasing ``version`` so routing
+layers can cheaply detect membership change and re-derive placements;
+``spread()`` reports how evenly a key population lands, which the ring
+unit tests bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, List, Sequence, Tuple
+
+
+def stable_hash(key: str) -> int:
+    """A process-independent 64-bit hash of ``key``."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent-hash ring over named nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Initial membership (order-independent: positions depend only on
+        the node names).
+    replicas:
+        Virtual-node points per node.  More points, smoother key split;
+        64 keeps the max/mean node share within ~1.3x for realistic
+        populations (pinned by the unit tests).
+    """
+
+    def __init__(self, nodes: Sequence[str] = (), *,
+                 replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self.version = 0
+        self._points: List[Tuple[int, str]] = []
+        self._hashes: List[int] = []
+        self._nodes: Dict[str, None] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def nodes(self) -> List[str]:
+        """Current membership, in insertion order."""
+        return list(self._nodes)
+
+    def _rebuild(self) -> None:
+        self._points.sort()
+        self._hashes = [h for h, _ in self._points]
+        self.version += 1
+
+    def add_node(self, node: str) -> None:
+        if not node:
+            raise ValueError("node name must be non-empty")
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes[node] = None
+        self._points.extend(
+            (stable_hash(f"{node}#{i}"), node) for i in range(self.replicas))
+        self._rebuild()
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} not on the ring")
+        del self._nodes[node]
+        self._points = [(h, n) for h, n in self._points if n != node]
+        self._rebuild()
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key``: first ring point at or after its hash."""
+        if not self._points:
+            raise ValueError("ring has no nodes")
+        index = bisect_right(self._hashes, stable_hash(key))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def preference(self, key: str, n: int = 2) -> List[str]:
+        """The first ``n`` *distinct* nodes clockwise from ``key``.
+
+        Position 0 is the owner; the rest are the natural fallbacks
+        (used by migration to pick a deterministic destination order).
+        """
+        if not self._points:
+            raise ValueError("ring has no nodes")
+        n = min(n, len(self._nodes))
+        start = bisect_right(self._hashes, stable_hash(key))
+        chosen: List[str] = []
+        for offset in range(len(self._points)):
+            node = self._points[(start + offset) % len(self._points)][1]
+            if node not in chosen:
+                chosen.append(node)
+                if len(chosen) == n:
+                    break
+        return chosen
+
+    def spread(self, keys: Sequence[str]) -> Dict[str, int]:
+        """How many of ``keys`` each node owns (all nodes listed)."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe summary for ``hello``/``stats`` responses."""
+        return {"nodes": self.nodes(), "replicas": self.replicas,
+                "version": self.version}

@@ -1,23 +1,33 @@
-"""The asyncio simulation server: JSON requests over streams.
+"""The asyncio simulation server: versioned JSON requests over streams.
 
 ``SimulationServer`` exposes the whole :mod:`repro.api` registry as a
 service.  The protocol is newline-delimited JSON objects; every request
-carries an ``op`` and every response an ``ok`` flag::
+and response carries the protocol version ``"v"``
+(:data:`~repro.serve.protocol.PROTOCOL_VERSION`), every request an
+``op`` and every response an ``ok`` flag::
 
-    {"op": "create", "substrate": "cloud", "config": {"steps": 200}}
-    {"ok": true, "session": "s000001", "substrate": "cloud"}
+    {"op": "create", "v": 1, "substrate": "cloud", "config": {"steps": 200}}
+    {"ok": true, "v": 1, "session": "s000001", "substrate": "cloud"}
 
-    {"op": "step", "session": "s000001", "n": 50}
-    {"ok": true, "steps_taken": 50, "metrics": {...}, "snapshot": {...}}
+    {"op": "step", "v": 1, "session": "s000001", "n": 50}
+    {"ok": true, "v": 1, "steps_taken": 50, "metrics": {...}, ...}
 
-Ops: ``create``, ``step``, ``run`` (to the config's step budget),
-``snapshot``, ``metrics``, ``close``, ``stats``, ``explain``.
+Failures are structured: ``{"ok": false, "v": 1, "error": {"code",
+"message", "retryable", ...}}`` with codes from the single
+:class:`~repro.serve.protocol.ErrorCode` enum (a deprecated top-level
+``code`` mirror keeps v0 readers alive).  Requests carrying an
+unsupported ``v`` are answered with ``unsupported_version`` and never
+reach a handler.
+
+Ops: ``hello``, ``create``, ``step``, ``run`` (to the config's step
+budget), ``snapshot``, ``metrics``, ``close``, ``stats``, ``explain``,
+plus the cluster pair ``migrate_out`` / ``migrate_in``.
 
 Architecture -- each piece of the serving story lives in its module and
 meets here:
 
 * requests pass :class:`~repro.serve.admission.AdmissionController`
-  first (shed responses carry ``code: shed_rate | shed_queue``);
+  first (shed responses carry ``error.code: shed_rate | shed_queue``);
 * stepping work is coalesced by a single batch loop and executed through
   :class:`~repro.serve.batching.BatchDispatcher` off the event loop;
 * session state lives in :class:`~repro.serve.sessions.SessionTable`
@@ -25,10 +35,16 @@ meets here:
 * a :class:`~repro.serve.governor.ServeGovernor` periodically senses
   queue depth, arrival rate and request latency and re-expresses pool
   size and admission settings; while degraded, ``snapshot`` serves
-  stale cached snapshots instead of touching simulators.
+  stale cached snapshots instead of touching simulators;
+* when wired into a cluster (shared ring / placement map / gossip
+  board from :mod:`repro.serve.cluster`), session ops owned elsewhere
+  are refused with a retryable ``moved`` error naming the owner, and
+  migration moves sessions between nodes via their declarative handles.
 
-For tests and embedding, :class:`InProcessClient` speaks the same
-protocol straight into :meth:`SimulationServer.dispatch` without a
+Configuration is a frozen :class:`~repro.serve.config.ServerConfig`;
+the former bare-keyword constructor still works through a deprecation
+shim.  For tests and embedding, :class:`InProcessClient` speaks the
+same protocol straight into :meth:`SimulationServer.dispatch` without a
 socket.
 """
 
@@ -46,12 +62,19 @@ from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
 from .admission import ADMIT, AdmissionController
 from .batching import BatchDispatcher, StepRequest
+from .config import ServerConfig, coerce_server_config
+from .gossip import GossipBoard
 from .governor import ServeGovernor, StaticGovernor
+from .protocol import (PROTOCOL_VERSION, CapabilityError, ErrorCode,
+                       check_version, error_code, error_response, ok_response)
+from .ring import HashRing
 from .sessions import SessionTable, UnknownSession
 
-
-def _error(code: str, message: str) -> Dict[str, Any]:
-    return {"ok": False, "code": code, "error": message}
+#: Ops that name an existing session and are therefore subject to the
+#: cluster placement ("moved") guard.  The migration pair is exempt:
+#: ``migrate_out`` runs on the old owner *after* placement has flipped
+#: to the destination, and ``migrate_in`` does its own ownership check.
+_PLACED_OPS = frozenset({"step", "run", "snapshot", "metrics", "close"})
 
 
 def _json_safe(value: Any) -> Any:
@@ -66,54 +89,67 @@ class SimulationServer:
 
     Parameters
     ----------
-    host, port:
-        Listen address; ``port=0`` picks a free port (read it back from
-        ``.port`` after :meth:`start`).
-    workers:
-        :class:`BatchDispatcher` pool size; ``0`` steps in-process.
-    governor:
-        ``"self_aware"``, ``"static"`` or ``"none"``.
-    slo_p95:
-        The latency SLO handed to the governor, in seconds.
-    service_rate_guess:
-        Initial belief about requests/second one worker sustains.
+    config:
+        A :class:`~repro.serve.config.ServerConfig`.  Bare keyword
+        arguments (``SimulationServer(workers=2)``) still work through
+        a deprecation shim.  The legacy ``governor`` keyword also
+        accepts a prebuilt governor object (anything with ``tick`` /
+        ``explain``), which the cluster fabric uses to inject
+        :class:`~repro.serve.governor.CollectiveGovernor` instances.
+    ring, placements, board:
+        Cluster wiring (all-or-nothing, injected by
+        :class:`~repro.serve.cluster.ServeCluster`): the shared
+        consistent-hash ring, the authoritative session->node placement
+        map, and the gossip board.  Single servers leave them ``None``.
     """
 
-    def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
-                 workers: int = 0, max_batch: int = 8,
-                 governor: str = "self_aware",
-                 min_workers: int = 1, max_workers: int = 4,
-                 ttl: float = 300.0, max_sessions: int = 256,
-                 admission_rate: float = 200.0,
-                 admission_burst: float = 400.0,
-                 max_queue: float = 512.0,
-                 slo_p95: float = 0.25,
-                 service_rate_guess: float = 200.0,
-                 govern_interval: float = 1.0,
-                 seed: int = 0) -> None:
-        self.host = host
-        self.port = port
-        self.sessions = SessionTable(ttl=ttl, max_sessions=max_sessions)
-        self.dispatcher = BatchDispatcher(workers=workers,
-                                          max_batch=max_batch)
-        self.admission = AdmissionController(rate=admission_rate,
-                                             burst=admission_burst,
-                                             max_queue=max_queue)
-        self.govern_interval = govern_interval
+    def __init__(self, config: Optional[ServerConfig] = None, *,
+                 ring: Optional[HashRing] = None,
+                 placements: Optional[Dict[str, str]] = None,
+                 board: Optional[GossipBoard] = None,
+                 **legacy_kwargs: Any) -> None:
+        governor_override = False
+        prebuilt_governor: Optional[Any] = None
+        if "governor" in legacy_kwargs and not isinstance(
+                legacy_kwargs["governor"], str):
+            # A prebuilt governor object (or explicit None) is wiring,
+            # not configuration: it bypasses the deprecation shim.
+            prebuilt_governor = legacy_kwargs.pop("governor")
+            governor_override = True
+        self.config = cfg = coerce_server_config(config, legacy_kwargs)
+        self.host = cfg.host
+        self.port = cfg.port
+        self.node_id = cfg.node_id
+        self.ring = ring
+        self.placements = placements
+        self.board = board
+        prefix = f"{cfg.node_id}-" if placements is not None else ""
+        self.sessions = SessionTable(ttl=cfg.ttl,
+                                     max_sessions=cfg.max_sessions,
+                                     id_prefix=prefix)
+        self.dispatcher = BatchDispatcher(workers=cfg.workers,
+                                          max_batch=cfg.max_batch)
+        self.admission = AdmissionController(rate=cfg.admission_rate,
+                                             burst=cfg.admission_burst,
+                                             max_queue=cfg.max_queue)
+        self.govern_interval = cfg.govern_interval
         self.serve_stale = False
-        if governor == "self_aware":
-            self.governor: Optional[Any] = ServeGovernor(
-                slo_p95=slo_p95, min_workers=min_workers,
-                max_workers=max_workers,
-                service_rate_guess=service_rate_guess, seed=seed)
-        elif governor == "static":
+        if governor_override:
+            self.governor: Optional[Any] = prebuilt_governor
+        elif cfg.governor == "self_aware":
+            self.governor = ServeGovernor(
+                slo_p95=cfg.slo_p95, min_workers=cfg.min_workers,
+                max_workers=cfg.max_workers,
+                service_rate_guess=cfg.service_rate_guess, seed=cfg.seed)
+        elif cfg.governor == "static":
             self.governor = StaticGovernor(
-                pool_size=max(1, workers),
-                service_rate_guess=service_rate_guess, slo_p95=slo_p95)
-        elif governor == "none":
+                pool_size=max(1, cfg.workers),
+                service_rate_guess=cfg.service_rate_guess,
+                slo_p95=cfg.slo_p95)
+        elif cfg.governor == "none":
             self.governor = None
         else:
-            raise ValueError(f"unknown server governor {governor!r}")
+            raise ValueError(f"unknown server governor {cfg.governor!r}")
         self.requests_seen = 0
         self.requests_completed = 0
         self._window_requests = 0
@@ -125,10 +161,13 @@ class SimulationServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._clock = time.monotonic
         self._handlers = {
+            "hello": self._op_hello,
             "create": self._op_create, "step": self._op_step,
             "run": self._op_run, "snapshot": self._op_snapshot,
             "metrics": self._op_metrics, "close": self._op_close,
             "stats": self._op_stats, "explain": self._op_explain,
+            "migrate_out": self._op_migrate_out,
+            "migrate_in": self._op_migrate_in,
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -181,7 +220,8 @@ class SimulationServer:
                     if not isinstance(request, dict):
                         raise ValueError("request must be a JSON object")
                 except ValueError as exc:
-                    response = _error("bad_request", f"unparseable: {exc}")
+                    response = error_response(ErrorCode.BAD_REQUEST,
+                                              f"unparseable: {exc}")
                 else:
                     response = await self.dispatch(request)
                 writer.write(json.dumps(response).encode() + b"\n")
@@ -198,24 +238,37 @@ class SimulationServer:
         t0 = self._clock()
         self.requests_seen += 1
         self._window_requests += 1
+        version_error = check_version(request)
+        if version_error is not None:
+            return version_error
         op = request.get("op")
         handler = self._handlers.get(op)
         if handler is None:
-            return _error("bad_request",
-                          f"unknown op {op!r}; known: "
-                          f"{', '.join(sorted(self._handlers))}")
+            return error_response(
+                ErrorCode.BAD_REQUEST,
+                f"unknown op {op!r}; known: "
+                f"{', '.join(sorted(self._handlers))}")
+        if op in _PLACED_OPS and self.placements is not None:
+            owner = self.placements.get(str(request.get("session")))
+            if owner is not None and owner != self.node_id:
+                return error_response(
+                    ErrorCode.MOVED,
+                    f"session owned by node {owner!r}", node=owner)
         if op in ("step", "run"):
             depth = self._queue.qsize() if self._queue is not None else 0
             verdict = self.admission.admit(t0, depth)
             if verdict is not ADMIT:
-                return _error(verdict,
-                              "overloaded, request shed; retry later")
+                return error_response(ErrorCode(verdict),
+                                      "overloaded, request shed; retry later")
         try:
             response = await handler(request, t0)
         except UnknownSession as exc:
-            return _error("unknown_session", f"no session {exc.args[0]!r}")
+            return error_response(ErrorCode.UNKNOWN_SESSION,
+                                  f"no session {exc.args[0]!r}")
         except (TypeError, ValueError) as exc:
-            return _error("bad_request", str(exc))
+            return error_response(ErrorCode.BAD_REQUEST, str(exc))
+        if response.get("ok") is not False:
+            response = ok_response(response)
         elapsed = self._clock() - t0
         self._latencies.append(elapsed)
         self.requests_completed += 1
@@ -228,19 +281,35 @@ class SimulationServer:
 
     # -- ops ---------------------------------------------------------------
 
+    async def _op_hello(self, request: Dict[str, Any],
+                        now: float) -> Dict[str, Any]:
+        """Capability negotiation: who am I, what do I speak."""
+        payload: Dict[str, Any] = {
+            "node": self.node_id,
+            "protocol": PROTOCOL_VERSION,
+            "ops": sorted(self._handlers),
+            "substrates": sorted(SIMULATORS),
+        }
+        if self.ring is not None:
+            payload["ring"] = self.ring.describe()
+        return payload
+
     async def _op_create(self, request: Dict[str, Any],
                          now: float) -> Dict[str, Any]:
         substrate = request.get("substrate")
         if substrate not in SIMULATORS:
-            return _error("bad_request",
-                          f"unknown substrate {substrate!r}; known: "
-                          f"{', '.join(sorted(SIMULATORS))}")
+            return error_response(
+                ErrorCode.BAD_REQUEST,
+                f"unknown substrate {substrate!r}; known: "
+                f"{', '.join(sorted(SIMULATORS))}")
         config_cls, _ = SIMULATORS[substrate]
         payload = request.get("config") or {}
         config = config_cls(**payload)  # TypeError -> bad_request above
         session = self.sessions.create(now, substrate, config, hydrate=False)
-        return {"ok": True, "session": session.session_id,
-                "substrate": substrate}
+        if self.placements is not None:
+            self.placements[session.session_id] = self.node_id
+        return {"session": session.session_id, "substrate": substrate,
+                "node": self.node_id}
 
     async def _step_via_batch(self, session: Any, n_steps: int, *,
                               to_budget: bool = False) -> Dict[str, Any]:
@@ -252,6 +321,8 @@ class SimulationServer:
         previous one left, instead of both capturing the same base and
         one update being lost.  With ``to_budget`` the step count is the
         distance to the config's budget, computed under the same lock.
+        (Migration takes the same lock, so an in-flight step commits
+        before the session's handle is exported.)
         """
         assert self._queue is not None, "server not started"
         async with session.lock:
@@ -276,10 +347,10 @@ class SimulationServer:
                        now: float) -> Dict[str, Any]:
         n = int(request.get("n", 1))
         if n < 0:
-            return _error("bad_request", "n must be >= 0")
+            return error_response(ErrorCode.BAD_REQUEST, "n must be >= 0")
         session = self.sessions.get(str(request.get("session")), now)
         result = await self._step_via_batch(session, n)
-        return {"ok": True, "session": session.session_id,
+        return {"session": session.session_id,
                 "steps_taken": result["steps_taken"],
                 "metrics": result["metrics"],
                 "snapshot": result["snapshot"]}
@@ -288,7 +359,7 @@ class SimulationServer:
                       now: float) -> Dict[str, Any]:
         session = self.sessions.get(str(request.get("session")), now)
         result = await self._step_via_batch(session, 0, to_budget=True)
-        return {"ok": True, "session": session.session_id,
+        return {"session": session.session_id,
                 "steps_taken": result["steps_taken"],
                 "metrics": result["metrics"],
                 "snapshot": result["snapshot"]}
@@ -306,25 +377,27 @@ class SimulationServer:
         if cached is None:
             result = await self._step_via_batch(session, 0)
             cached = result["snapshot"]
-        return {"ok": True, "session": session.session_id,
+        return {"session": session.session_id,
                 "snapshot": cached, "stale": stale}
 
     async def _op_metrics(self, request: Dict[str, Any],
                           now: float) -> Dict[str, Any]:
         session = self.sessions.get(str(request.get("session")), now)
         result = await self._step_via_batch(session, 0)
-        return {"ok": True, "session": session.session_id,
+        return {"session": session.session_id,
                 "metrics": result["metrics"]}
 
     async def _op_close(self, request: Dict[str, Any],
                         now: float) -> Dict[str, Any]:
         session_id = str(request.get("session"))
         self.sessions.close(session_id)
-        return {"ok": True, "session": session_id}
+        if self.placements is not None:
+            self.placements.pop(session_id, None)
+        return {"session": session_id}
 
     async def _op_stats(self, request: Dict[str, Any],
                         now: float) -> Dict[str, Any]:
-        return {"ok": True, "stats": self.stats()}
+        return {"stats": self.stats()}
 
     async def _op_explain(self, request: Dict[str, Any],
                           now: float) -> Dict[str, Any]:
@@ -339,7 +412,7 @@ class SimulationServer:
         """
         explanation = ("No governor: static plumbing only."
                        if self.governor is None else self.governor.explain())
-        response: Dict[str, Any] = {"ok": True, "explanation": explanation}
+        response: Dict[str, Any] = {"explanation": explanation}
         store = self.explain_store
         if store is not None and store.events_seen:
             seq = request.get("seq")
@@ -352,6 +425,54 @@ class SimulationServer:
             response["decisions"] = dict(store.counts)
             response["truncated"] = store.truncated
         return response
+
+    # -- migration ---------------------------------------------------------
+
+    async def _op_migrate_out(self, request: Dict[str, Any],
+                              now: float) -> Dict[str, Any]:
+        """Export a session's declarative handle and drop it here.
+
+        Taken under the session lock, so an in-flight step/run commits
+        its ``steps_taken`` update before the handle is cut -- the
+        handle always describes a consistent replay point.
+        """
+        session = self.sessions.get(str(request.get("session")))
+        async with session.lock:
+            handle = self.sessions.export_handle(session.session_id)
+            self.sessions.close(session.session_id)
+        if obs_events.enabled():
+            obs_events.emit("cluster.migrate", time=now, phase="out",
+                            session=handle["session"], node=self.node_id,
+                            steps_taken=handle["steps_taken"])
+        return {"handle": handle}
+
+    async def _op_migrate_in(self, request: Dict[str, Any],
+                             now: float) -> Dict[str, Any]:
+        """Adopt a migrated session from its handle (owner-checked)."""
+        if self.placements is None:
+            return error_response(
+                ErrorCode.BAD_REQUEST,
+                "migrate_in requires cluster wiring; this server is "
+                "not part of a cluster")
+        handle = request.get("handle")
+        if not isinstance(handle, dict) or "session" not in handle:
+            return error_response(ErrorCode.BAD_REQUEST,
+                                  "migrate_in needs a handle object")
+        session_id = str(handle["session"])
+        owner = self.placements.get(session_id)
+        if owner != self.node_id:
+            return error_response(
+                ErrorCode.WRONG_NODE,
+                f"session {session_id!r} is placed on {owner!r}, "
+                f"not {self.node_id!r}; refusing to adopt",
+                node=owner)
+        session = self.sessions.adopt(now, handle)
+        if obs_events.enabled():
+            obs_events.emit("cluster.migrate", time=now, phase="in",
+                            session=session_id, node=self.node_id,
+                            steps_taken=session.steps_taken)
+        return {"session": session_id,
+                "steps_taken": session.steps_taken}
 
     # -- background loops --------------------------------------------------
 
@@ -392,7 +513,11 @@ class SimulationServer:
         interval = max(0.05, self.sessions.ttl / 4.0)
         while True:
             await asyncio.sleep(interval)
-            self.sessions.evict_expired(self._clock())
+            expired = self.sessions.evict_expired(self._clock())
+            if self.placements is not None:
+                for sid in expired:
+                    if self.placements.get(sid) == self.node_id:
+                        self.placements.pop(sid, None)
 
     async def _governor_loop(self) -> None:
         assert self.governor is not None
@@ -438,7 +563,8 @@ class SimulationServer:
         latencies = sorted(self._latencies)
         p95 = (latencies[int(0.95 * (len(latencies) - 1))]
                if latencies else 0.0)
-        return {
+        stats = {
+            "node": self.node_id,
             "sessions": len(self.sessions),
             "evicted": self.sessions.evicted,
             "requests_seen": self.requests_seen,
@@ -454,10 +580,20 @@ class SimulationServer:
                                "hits": self.sessions.snapshots.hits,
                                "misses": self.sessions.snapshots.misses},
         }
+        if self.ring is not None:
+            stats["ring"] = self.ring.describe()
+        return stats
 
 
 class Client:
-    """Line-oriented JSON client over asyncio streams."""
+    """Line-oriented JSON client over asyncio streams.
+
+    Every request is stamped with the client's protocol version; a
+    response reporting ``unsupported_version`` -- or carrying a newer
+    ``v`` than this client speaks -- raises
+    :class:`~repro.serve.protocol.CapabilityError` instead of being
+    returned, so version skew fails loudly at the call site.
+    """
 
     def __init__(self, reader: asyncio.StreamReader,
                  writer: asyncio.StreamWriter) -> None:
@@ -469,13 +605,31 @@ class Client:
         reader, writer = await asyncio.open_connection(host, port)
         return cls(reader, writer)
 
+    @staticmethod
+    def _check_capability(response: Dict[str, Any]) -> Dict[str, Any]:
+        if error_code(response) == ErrorCode.UNSUPPORTED_VERSION.value:
+            error = response.get("error")
+            detail = (error.get("message", "")
+                      if isinstance(error, dict) else str(error))
+            raise CapabilityError(
+                f"server rejected protocol version: {detail}",
+                server_version=(error or {}).get("supported")
+                if isinstance(error, dict) else None)
+        version = response.get("v", PROTOCOL_VERSION)
+        if isinstance(version, int) and version > PROTOCOL_VERSION:
+            raise CapabilityError(
+                f"server speaks protocol v{version}, this client "
+                f"speaks v{PROTOCOL_VERSION}", server_version=version)
+        return response
+
     async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        payload.setdefault("v", PROTOCOL_VERSION)
         self._writer.write(json.dumps(payload).encode() + b"\n")
         await self._writer.drain()
         line = await self._reader.readline()
         if not line:
             raise ConnectionError("server closed the connection")
-        return json.loads(line)
+        return self._check_capability(json.loads(line))
 
     async def close(self) -> None:
         self._writer.close()
@@ -484,7 +638,10 @@ class Client:
         except Exception:
             pass
 
-    # sugar, shared with InProcessClient via _ClientOps
+    # sugar, shared with InProcessClient / ClusterClient
+    async def hello(self) -> Dict[str, Any]:
+        return await self.request({"op": "hello"})
+
     async def create(self, substrate: str, **config: Any) -> Dict[str, Any]:
         return await self.request({"op": "create", "substrate": substrate,
                                    "config": config})
@@ -517,7 +674,8 @@ class InProcessClient(Client):
         self._server = server
 
     async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        return await self._server.dispatch(payload)
+        payload.setdefault("v", PROTOCOL_VERSION)
+        return self._check_capability(await self._server.dispatch(payload))
 
     async def close(self) -> None:
         return None

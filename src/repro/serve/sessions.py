@@ -24,6 +24,7 @@ Sans-io: all methods take ``now`` explicitly.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -122,16 +123,21 @@ class SessionTable:
         Hard bound on live sessions; ``create`` beyond it raises.
     snapshot_cache:
         Capacity of the shared LRU snapshot cache.
+    id_prefix:
+        Prepended to minted session ids.  A cluster node passes
+        ``f"{node_id}-"`` so ids are unique cluster-wide and carry their
+        birthplace; the default keeps single-server ids unchanged.
     """
 
     def __init__(self, *, ttl: float = 300.0, max_sessions: int = 1024,
-                 snapshot_cache: int = 256) -> None:
+                 snapshot_cache: int = 256, id_prefix: str = "") -> None:
         if ttl <= 0:
             raise ValueError("ttl must be positive")
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
         self.ttl = float(ttl)
         self.max_sessions = max_sessions
+        self.id_prefix = id_prefix
         self.snapshots = SnapshotCache(snapshot_cache)
         self._sessions: Dict[str, Session] = {}
         self._next_id = 1
@@ -151,7 +157,7 @@ class SessionTable:
         if len(self._sessions) >= self.max_sessions:
             raise RuntimeError(
                 f"session table full ({self.max_sessions} sessions)")
-        session_id = f"s{self._next_id:06d}"
+        session_id = f"{self.id_prefix}s{self._next_id:06d}"
         self._next_id += 1
         seed = int(getattr(config, "seed", 0))
         session = Session(session_id=session_id, substrate=substrate,
@@ -215,6 +221,59 @@ class SessionTable:
     def hibernate(self, session_id: str) -> None:
         """Drop the live simulator, keeping the declarative handle."""
         self.get(session_id).simulator = None
+
+    # -- migration ---------------------------------------------------------
+
+    def export_handle(self, session_id: str) -> Dict[str, Any]:
+        """The session's declarative core as a JSON-safe migration handle.
+
+        Exactly the state hibernation keeps: ``(substrate, config, seed,
+        steps_taken)`` plus identity and timestamps.  Because rehydration
+        replays byte-identically from this handle, shipping it to another
+        node *is* a session migration -- no simulator state crosses the
+        wire.
+        """
+        session = self.get(session_id)
+        config = session.config
+        if dataclasses.is_dataclass(config) and not isinstance(config, type):
+            config = dataclasses.asdict(config)
+        return {"session": session.session_id,
+                "substrate": session.substrate,
+                "config": config,
+                "seed": session.seed,
+                "steps_taken": session.steps_taken,
+                "created": session.created,
+                "v": 1}
+
+    def adopt(self, now: float, handle: Dict[str, Any]) -> Session:
+        """Import a migrated session from an :meth:`export_handle` dict.
+
+        The session arrives hibernated (``simulator=None``); the first
+        touch rehydrates it by replay.  The originating node's id is
+        kept -- migration moves a session, it does not rename it.
+        """
+        if len(self._sessions) >= self.max_sessions:
+            raise RuntimeError(
+                f"session table full ({self.max_sessions} sessions)")
+        session_id = str(handle["session"])
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id!r} already present")
+        substrate = str(handle["substrate"])
+        config = handle["config"]
+        if isinstance(config, dict):
+            from ..api.adapters import SIMULATORS
+            config_cls = SIMULATORS[substrate][0]
+            config = config_cls(**config)
+        session = Session(session_id=session_id, substrate=substrate,
+                          config=config, seed=int(handle["seed"]),
+                          created=float(handle.get("created", now)),
+                          last_used=now,
+                          steps_taken=int(handle["steps_taken"]))
+        self._sessions[session_id] = session
+        if obs_events.enabled():
+            obs_events.emit("serve.session", time=now, session=session_id,
+                            substrate=substrate, action="adopt")
+        return session
 
     def snapshot(self, session: Session, *,
                  stale_ok: bool = False) -> Tuple[Dict[str, Any], bool]:

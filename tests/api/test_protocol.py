@@ -5,8 +5,9 @@ import dataclasses
 import pytest
 
 from repro.api import (SIMULATORS, CameraConfig, CameraSimulator,
-                       CloudConfig, CloudSimulator, CPNConfig, CPNSimulator,
-                       MulticoreConfig, MulticoreSimulator, SensornetConfig,
+                       CloudConfig, CloudSimulator, ClusterConfig,
+                       CPNConfig, CPNSimulator, MulticoreConfig,
+                       MulticoreSimulator, SensornetConfig,
                        SensornetSimulator, ServeConfig, Simulator,
                        SwarmConfig, SwarmSimulator, make_simulator)
 
@@ -18,11 +19,13 @@ SMALL = {
     "swarm": SwarmConfig(steps=30, n_robots=4, seed=2),
     "sensornet": SensornetConfig(steps=40, n_channels=4, seed=2),
     "serve": ServeConfig(steps=60, warmup=10, seed=2),
+    "cluster": ClusterConfig(steps=60, warmup=10, nodes=2, sessions=6,
+                             worker_budget=4, offered_load=10.0, seed=2),
 }
 
 
 class TestRegistry:
-    def test_seven_substrates_registered(self):
+    def test_every_substrate_registered(self):
         assert set(SIMULATORS) == set(SMALL)
 
     def test_make_simulator_builds_the_right_adapter(self):

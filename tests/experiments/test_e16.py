@@ -1,0 +1,81 @@
+"""E16: the cluster sweep's scoring, acceptance claim and replay."""
+
+import json
+
+import pytest
+
+from repro.experiments import e16_cluster as e16
+
+SHARD_KW = dict(steps=250, tiers=("skewed", "flash"))
+
+
+@pytest.fixture(scope="module")
+def shard():
+    """One seed at smoke size, shared across tests."""
+    return e16.run_shard(0, **SHARD_KW)
+
+
+class TestShardScores:
+    def test_payload_shape(self, shard):
+        assert set(shard) == set(e16.ARMS)
+        for arm in e16.ARMS:
+            assert set(shard[arm]) == set(SHARD_KW["tiers"])
+            for cell in shard[arm].values():
+                assert set(cell) == set(e16.METRIC_KEYS)
+
+    def test_shard_is_json_safe_and_deterministic(self):
+        first = e16.run_shard(0, **SHARD_KW)
+        again = e16.run_shard(0, **SHARD_KW)
+        assert json.dumps(first, sort_keys=True) \
+            == json.dumps(again, sort_keys=True)
+
+    def test_goodput_cannot_exceed_offered(self, shard):
+        for arm in e16.ARMS:
+            for cell in shard[arm].values():
+                assert cell["goodput"] <= cell["offered"] + 1e-9
+
+    def test_only_the_collective_arm_gossips_or_migrates(self, shard):
+        for tier in SHARD_KW["tiers"]:
+            assert shard["collective"][tier]["collective_fraction"] > 0.9
+            for arm in ("per_node", "static"):
+                assert shard[arm][tier]["collective_fraction"] == 0.0
+                assert shard[arm][tier]["migrations"] == 0.0
+
+
+class TestHeadlineClaim:
+    """The PR's acceptance claim: under skewed traffic the collective
+    arm sustains at least 1.3x the per-node arm's goodput from the same
+    cluster-wide worker budget."""
+
+    def test_collective_beats_per_node_under_skew_at_full_size(self):
+        shard = e16.run_shard(0, steps=e16.STEPS, tiers=("skewed",))
+        per_node = shard["per_node"]["skewed"]["goodput"]
+        collective = shard["collective"]["skewed"]["goodput"]
+        assert collective >= 1.3 * per_node
+
+    def test_collective_beats_per_node_under_flash(self, shard):
+        flash = shard["collective"]["flash"]["goodput"]
+        per_node = shard["per_node"]["flash"]["goodput"]
+        assert flash > per_node
+
+
+class TestReduce:
+    def test_table_shape_and_values(self, shard):
+        table = e16.reduce([shard], seeds=(0,), **SHARD_KW)
+        assert table.experiment_id == "E16"
+        assert len(table.rows) == len(SHARD_KW["tiers"]) * len(e16.ARMS)
+        first = table.rows[0]
+        assert set(first) == {"traffic", "arm", "goodput", "p95_latency",
+                              "shed_fraction", "mean_pool", "migrations",
+                              "collective_fraction"}
+
+    def test_ratio_note_lands_in_the_table(self, shard):
+        table = e16.reduce([shard], seeds=(0,), **SHARD_KW)
+        assert "collective goodput is" in table.notes
+
+    def test_seed_averaging(self, shard):
+        """Averaging a shard with itself changes nothing."""
+        once = e16.reduce([shard], seeds=(0,), **SHARD_KW)
+        twice = e16.reduce([shard, shard], seeds=(0, 1), **SHARD_KW)
+        for a, b in zip(once.rows, twice.rows):
+            assert a == b

@@ -1,0 +1,78 @@
+"""Gossiped self-models: staleness gating and the collective budget split."""
+
+import pytest
+
+from repro.serve.gossip import (GossipBoard, NodeSelfView, budget_shares,
+                                cluster_load)
+
+
+def view(node, time=0.0, arrival=10.0, service=4.0, pool=2, **kw):
+    return NodeSelfView(node=node, time=time, arrival_rate=arrival,
+                        service_rate=service, pool=pool,
+                        queue_depth=kw.get("queue_depth", 0.0),
+                        utilisation=kw.get("utilisation", 0.5),
+                        confidence=kw.get("confidence", 0.9),
+                        degraded=kw.get("degraded", False),
+                        sessions=kw.get("sessions", 0))
+
+
+class TestBoard:
+    def test_latest_view_wins_and_staleness_gates(self):
+        board = GossipBoard(ttl=5.0)
+        board.publish(view("a", time=0.0, arrival=1.0))
+        board.publish(view("a", time=3.0, arrival=7.0))
+        board.publish(view("b", time=0.0))
+        assert board.view_of("a").arrival_rate == 7.0
+        fresh = board.fresh(now=6.0)
+        assert list(fresh) == ["a"]  # b aged out, order by node name
+        assert board.fresh(now=100.0) == {}
+        assert len(board) == 2  # staleness filters reads, not storage
+
+    def test_capacity_is_pool_times_learned_rate(self):
+        assert view("a", service=4.0, pool=3).capacity == pytest.approx(12.0)
+
+    def test_cluster_load_ignores_negative_estimates(self):
+        views = {"a": view("a", arrival=10.0), "b": view("b", arrival=-3.0)}
+        assert cluster_load(views) == pytest.approx(10.0)
+
+
+class TestBudgetShares:
+    def test_split_follows_load_and_sums_to_budget(self):
+        views = {"a": view("a", arrival=30.0), "b": view("b", arrival=10.0),
+                 "c": view("c", arrival=0.0)}
+        shares = budget_shares(views, budget=12, min_workers=1)
+        assert sum(shares.values()) == 12
+        assert shares["a"] > shares["b"] > shares["c"] >= 1
+
+    def test_every_node_computes_the_same_split(self):
+        # The decentralisation property: the split is a pure function of
+        # the views, so no coordinator is needed.
+        views = {"a": view("a", arrival=13.0), "b": view("b", arrival=29.0)}
+        assert budget_shares(views, budget=7) == \
+            budget_shares(dict(reversed(list(views.items()))), budget=7)
+
+    def test_min_workers_floor_respected(self):
+        views = {n: view(n, arrival=100.0 if n == "a" else 0.0)
+                 for n in "abcd"}
+        shares = budget_shares(views, budget=10, min_workers=2)
+        assert all(s >= 2 for s in shares.values())
+        # Floor takes 8 of 10; the whole flexible remainder goes to a.
+        assert shares["a"] == 4
+
+    def test_budget_below_floor_splits_evenly(self):
+        views = {n: view(n) for n in "abcd"}
+        shares = budget_shares(views, budget=3, min_workers=1)
+        assert sum(shares.values()) == 3
+        assert max(shares.values()) - min(shares.values()) <= 1
+
+    def test_zero_load_splits_evenly(self):
+        views = {n: view(n, arrival=0.0) for n in "ab"}
+        assert budget_shares(views, budget=8) == {"a": 4, "b": 4}
+
+    def test_single_view_takes_the_whole_budget(self):
+        assert budget_shares({"a": view("a")}, budget=9) == {"a": 9}
+
+    def test_empty_views_and_bad_budget(self):
+        assert budget_shares({}, budget=4) == {}
+        with pytest.raises(ValueError, match="budget"):
+            budget_shares({"a": view("a")}, budget=0)

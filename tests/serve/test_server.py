@@ -5,7 +5,8 @@ import json
 
 import pytest
 
-from repro.serve import Client, InProcessClient, SimulationServer
+from repro.serve import (Client, InProcessClient, ServerConfig,
+                         SimulationServer)
 
 
 def run(coro):
@@ -16,7 +17,7 @@ def make_server(**kwargs):
     defaults = dict(workers=0, governor="none", admission_rate=1000.0,
                     admission_burst=1000.0)
     defaults.update(kwargs)
-    return SimulationServer(**defaults)
+    return SimulationServer(ServerConfig(**defaults))
 
 
 async def with_server(body, **kwargs):
@@ -35,6 +36,7 @@ class TestOps:
             created = await client.create("sensornet", steps=30,
                                           n_channels=4, seed=1)
             assert created["ok"] and created["substrate"] == "sensornet"
+            assert created["v"] == 1
             session = created["session"]
 
             stepped = await client.step(session, n=5)
@@ -54,7 +56,20 @@ class TestOps:
             closed = await client.close_session(session)
             assert closed["ok"]
             missing = await client.step(session)
-            assert missing["code"] == "unknown_session"
+            assert missing["error"]["code"] == "unknown_session"
+            assert missing["error"]["retryable"] is False
+            assert missing["code"] == "unknown_session"  # v0 mirror
+
+        run(with_server(body))
+
+    def test_hello_reports_capabilities(self):
+        async def body(server, client):
+            hello = await client.hello()
+            assert hello["ok"] and hello["protocol"] == 1
+            assert hello["node"] == "n0"
+            assert "create" in hello["ops"]
+            assert "migrate_in" in hello["ops"]
+            assert "sensornet" in hello["substrates"]
 
         run(with_server(body))
 
@@ -128,25 +143,38 @@ class TestErrors:
     def test_unknown_op_unknown_substrate_bad_config(self):
         async def body(server, client):
             unknown_op = await client.request({"op": "launch"})
-            assert unknown_op["code"] == "bad_request"
-            assert "create" in unknown_op["error"]
+            assert unknown_op["error"]["code"] == "bad_request"
+            assert "create" in unknown_op["error"]["message"]
 
             bad_substrate = await client.request(
                 {"op": "create", "substrate": "mainframe"})
-            assert bad_substrate["code"] == "bad_request"
-            assert "sensornet" in bad_substrate["error"]
+            assert bad_substrate["error"]["code"] == "bad_request"
+            assert "sensornet" in bad_substrate["error"]["message"]
 
             bad_config = await client.request(
                 {"op": "create", "substrate": "sensornet",
                  "config": {"no_such_field": 1}})
-            assert bad_config["code"] == "bad_request"
+            assert bad_config["error"]["code"] == "bad_request"
 
             negative = await client.request(
                 {"op": "create", "substrate": "sensornet",
                  "config": {"steps": 10}})
             bad_n = await client.request(
                 {"op": "step", "session": negative["session"], "n": -1})
-            assert bad_n["code"] == "bad_request"
+            assert bad_n["error"]["code"] == "bad_request"
+
+        run(with_server(body))
+
+    def test_error_envelope_shape(self):
+        """Every error is the one structured object: code, message,
+        retryable, plus the versioned envelope and the v0 mirror."""
+        async def body(server, client):
+            response = await client.request({"op": "step", "session": "sX"})
+            assert response["ok"] is False
+            assert response["v"] == 1
+            error = response["error"]
+            assert set(error) >= {"code", "message", "retryable"}
+            assert response["code"] == error["code"]  # deprecated mirror
 
         run(with_server(body))
 
@@ -160,9 +188,11 @@ class TestShedding:
             verdicts = [await client.step(session) for _ in range(20)]
             ok = [v for v in verdicts if v.get("ok")]
             shed = [v for v in verdicts
-                    if str(v.get("code", "")).startswith("shed")]
+                    if str(v.get("error", {}).get("code", "")).startswith(
+                        "shed")]
             assert ok, "everything shed: admission burst too tight"
             assert shed, "nothing shed despite a ~zero admission rate"
+            assert all(v["error"]["retryable"] for v in shed)
             assert len(ok) + len(shed) == 20
             stats = (await client.stats())["stats"]
             assert stats["admission"]["shed_rate"] == len(shed)
@@ -180,7 +210,7 @@ class TestBackgroundLoops:
             await asyncio.sleep(0.6)  # > ttl + sweep interval
             assert len(server.sessions) == 0
             gone = await client.snapshot(created["session"])
-            assert gone["code"] == "unknown_session"
+            assert gone["error"]["code"] == "unknown_session"
 
         run(with_server(body, ttl=0.2))
 
@@ -236,7 +266,7 @@ class TestSocket:
                 try:
                     created = await client.create("sensornet", steps=30,
                                                   n_channels=4, seed=1)
-                    assert created["ok"]
+                    assert created["ok"] and created["v"] == 1
                     stepped = await client.step(created["session"], n=3)
                     assert stepped["steps_taken"] == 3
                     stats = await client.stats()
@@ -258,9 +288,11 @@ class TestSocket:
                 writer.write(b"this is not json\n")
                 await writer.drain()
                 response = json.loads(await reader.readline())
-                assert response == {"ok": False, "code": "bad_request",
+                assert response == {"ok": False, "v": 1,
+                                    "code": "bad_request",
                                     "error": response["error"]}
-                assert "unparseable" in response["error"]
+                assert response["error"]["code"] == "bad_request"
+                assert "unparseable" in response["error"]["message"]
                 writer.close()
                 await writer.wait_closed()
             finally:
@@ -272,4 +304,19 @@ class TestSocket:
 class TestConstruction:
     def test_unknown_governor_rejected(self):
         with pytest.raises(ValueError, match="governor"):
-            SimulationServer(governor="vibes")
+            SimulationServer(ServerConfig(governor="vibes"))
+
+    def test_legacy_kwargs_warn_and_map(self):
+        with pytest.warns(DeprecationWarning, match="ServerConfig"):
+            server = SimulationServer(workers=0, governor="static", ttl=7.0)
+        assert server.config.ttl == 7.0
+        assert server.config.governor == "static"
+
+    def test_config_and_legacy_kwargs_cannot_mix(self):
+        with pytest.raises(TypeError, match="not both"):
+            SimulationServer(ServerConfig(), ttl=7.0)
+
+    def test_unknown_legacy_kwarg_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="unknown server option"):
+                SimulationServer(threads=3)
