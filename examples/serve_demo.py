@@ -17,6 +17,9 @@ stats block and the governor's natural-language ``explain()``.
 Run:  python examples/serve_demo.py
 Longer, with a telemetry trace of serve.* events:
       python examples/serve_demo.py --seconds 10 --trace serve.jsonl
+Record a replayable repro.twin/v1 arrival trace of the episode:
+      python examples/serve_demo.py --record demo_trace.jsonl
+      python -m repro.twin demo_trace.jsonl
 """
 
 import argparse
@@ -58,7 +61,7 @@ async def drive_client(name: str, host: str, port: int,
     return tally
 
 
-async def demo(seconds: float, clients: int, workers: int) -> None:
+async def demo(seconds: float, clients: int, workers: int) -> dict:
     server = SimulationServer(
         port=0, workers=workers, governor="self_aware",
         min_workers=1, max_workers=4, slo_p95=0.05,
@@ -100,6 +103,7 @@ async def demo(seconds: float, clients: int, workers: int) -> None:
           f"snapshot_cache={stats['snapshot_cache']}")
     print("\nthe governor, in its own words:")
     print(explained["explanation"])
+    return {"ok": total_ok, "shed": total_shed, "errors": total_err}
 
 
 def main(argv=None) -> int:
@@ -113,11 +117,33 @@ def main(argv=None) -> int:
                              "(default: 0)")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="write a JSONL telemetry trace")
+    parser.add_argument("--record", default=None, metavar="PATH",
+                        help="write a repro.twin/v1 arrival trace "
+                             "(replay: python -m repro.twin PATH)")
+    parser.add_argument("--record-tick", type=float, default=0.2,
+                        metavar="SECONDS",
+                        help="tick width for --record bucketing "
+                             "(default: 0.2)")
     args = parser.parse_args(argv)
     scope = (TelemetrySession(trace_path=args.trace, echo_summary=True)
-             if args.trace else contextlib.nullcontext())
-    with scope:
-        asyncio.run(demo(args.seconds, args.clients, args.workers))
+             if args.trace or args.record else contextlib.nullcontext())
+    recorder = None
+    with scope as session:
+        if args.record:
+            from repro.twin import TraceRecorder
+            recorder = TraceRecorder(source="examples/serve_demo.py",
+                                     tick_seconds=args.record_tick,
+                                     substrate="serve")
+            recorder.attach(session.bus)
+        try:
+            asyncio.run(demo(args.seconds, args.clients, args.workers))
+        finally:
+            if recorder is not None:
+                recorder.detach()
+                written = recorder.write(args.record)
+                print(f"\nrecorded {written} ticks "
+                      f"({recorder.total_offered} requests, "
+                      f"{recorder.total_ok} ok) -> {args.record}")
     return 0
 
 

@@ -210,6 +210,10 @@ class CloudSimulator:
             base_rate=cfg.base_rate,
             seasonal_amplitude=cfg.seasonal_amplitude, period=cfg.period,
             noise_std=cfg.noise_std, rng=np.random.default_rng(seed))
+        if cfg.scenario:
+            from ..envgen.scenario import make_scenario
+            track = make_scenario(cfg.scenario).render(cfg.steps, seed=seed)
+            return lambda t: workload.rate(t) * track.rate_at(t)
         return workload.rate
 
     def reset(self, seed: Optional[int] = None) -> "CloudSimulator":
@@ -711,9 +715,13 @@ class ServeSimulator:
 
     def __init__(self, config: Optional[ServeConfig] = None, *,
                  governor: Optional[Any] = None,
+                 workload: Optional[Any] = None,
                  faults: Faults = None) -> None:
         self.config = config if config is not None else ServeConfig()
         self._governor_given = governor
+        #: Twin replay source (:class:`repro.twin.TraceWorkload`); a live
+        #: object, so it rides the expert path rather than the config.
+        self._workload_given = workload
         self._faults = faults
         self.reset(self.config.seed)
 
@@ -727,6 +735,7 @@ class ServeSimulator:
             config = dataclasses.replace(self.config, seed=seed)
         self._sim = ServingSimulation(
             config, governor=self._governor_given,
+            workload=self._workload_given,
             faults=_resolve_injector(self._faults, seed))
         return self
 
@@ -755,12 +764,15 @@ class ClusterSimulator:
     """
 
     def __init__(self, config: Optional[ClusterConfig] = None, *,
+                 workload: Optional[Any] = None,
                  faults: Faults = None) -> None:
         self.config = config if config is not None else ClusterConfig()
         if faults is not None:
             raise ValueError(
                 "the cluster substrate does not take fault plans yet; "
                 "model node failure as gossip staleness instead")
+        #: Twin replay source (:class:`repro.twin.TraceWorkload`).
+        self._workload_given = workload
         self.reset(self.config.seed)
 
     def reset(self, seed: Optional[int] = None) -> "ClusterSimulator":
@@ -771,7 +783,7 @@ class ClusterSimulator:
         else:
             import dataclasses
             config = dataclasses.replace(self.config, seed=seed)
-        self._sim = ClusterSimulation(config)
+        self._sim = ClusterSimulation(config, workload=self._workload_given)
         return self
 
     def step(self):

@@ -77,6 +77,10 @@ class CloudConfig:
     seasonal_amplitude: float = 0.5
     period: float = 200.0
     noise_std: float = 0.05
+    #: Named adversarial scenario (:data:`repro.envgen.SCENARIOS`)
+    #: multiplying the demand rate; ``""`` keeps the legacy seasonal
+    #: demand untouched.
+    scenario: str = ""
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -182,6 +186,11 @@ class ServeConfig:
     #: Window (completions) for the sensed p95 latency.
     latency_window: int = 200
     epsilon: float = 0.02
+    #: Named adversarial scenario (:data:`repro.envgen.SCENARIOS`)
+    #: multiplying the offered load per tick; a correlated-failure
+    #: scenario also arms its fault plan (unless explicit faults were
+    #: passed to the simulation).  ``""`` keeps legacy traffic untouched.
+    scenario: str = ""
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -243,3 +252,8 @@ class ClusterConfig:
     stats_window: int = 25
     latency_window: int = 200
     epsilon: float = 0.02
+    #: Named adversarial scenario (:data:`repro.envgen.SCENARIOS`)
+    #: multiplying the cluster-wide offered load per tick; its session
+    #: mix, when it defines one, overrides the ``traffic`` tier's.
+    #: ``""`` keeps the legacy tiers byte-identical.
+    scenario: str = ""

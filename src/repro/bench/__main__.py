@@ -4,12 +4,12 @@ Examples
 --------
 Full run, canonical output::
 
-    python -m repro.bench --out BENCH_9.json
+    python -m repro.bench --out BENCH_10.json
 
 Quick CI pass with a regression gate against the committed baseline::
 
     python -m repro.bench --quick --out bench-ci.json \
-        --compare BENCH_9.json --max-regress 10% --skip-on-noise \
+        --compare BENCH_10.json --max-regress 10% --skip-on-noise \
         --summary-path "$GITHUB_STEP_SUMMARY"
 
 Only the large-tier kernels (the ~10x-scale re-measurements)::
@@ -35,8 +35,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Benchmark the per-step simulation kernels.")
     parser.add_argument("--quick", action="store_true",
                         help="fewer steps per repeat (CI mode)")
-    parser.add_argument("--out", default="BENCH_9.json",
-                        help="output JSON path (default: BENCH_9.json)")
+    parser.add_argument("--out", default="BENCH_10.json",
+                        help="output JSON path (default: BENCH_10.json)")
     parser.add_argument("--kernels", default=None,
                         help="comma-separated kernel subset")
     parser.add_argument("--size", default="all",

@@ -492,6 +492,57 @@ def _serve_batch_setup() -> StepRunner:
     return run
 
 
+def _scenario_render_setup(chunk: int = 256) -> StepRunner:
+    """Scenario-algebra rendering: one composite-tree render of ``chunk``
+    ticks per counted step.  The composite exercises every node kind the
+    presets use -- superposition, modulation, the per-node rng spawning
+    -- so the kernel tracks the cost of arming a simulation with a
+    scenario, not one primitive in isolation."""
+    from ..envgen.scenario import Diurnal, HeavyTail, MarkovChurn
+
+    scenario = (HeavyTail() + Diurnal()) * MarkovChurn()
+    burst = 0
+
+    def run(n: int) -> None:
+        nonlocal burst
+        for _ in range(int(n)):
+            # A fresh seed per render: repeated timing runs must not
+            # hand the rng a warmed allocation pattern.
+            scenario.render(chunk, seed=burst, sessions=8)
+            burst += 1
+
+    return run
+
+
+def _twin_replay_setup(ticks: int = 65_536) -> StepRunner:
+    """Digital-twin replay: one ServingSimulation tick per counted step,
+    arrivals drawn from an in-memory synthetic trace instead of the
+    Poisson stream.  Measures the full replay path -- workload lookup,
+    admission, queue drain, governor -- i.e. what ``twin evaluate`` pays
+    per candidate per tick."""
+    from ..api.configs import ServeConfig
+    from ..serve.simulation import ServingSimulation
+    from ..twin import SCHEMA, TraceWorkload
+
+    rng = np.random.default_rng([0x7717, 0])
+    offered = rng.poisson(9.0, size=ticks)
+    header = {"schema": SCHEMA, "substrate": "serve", "source": "bench",
+              "tick_seconds": 1.0, "ticks": ticks,
+              "total_offered": int(offered.sum()), "total_ok": 0}
+    records = [{"t": t, "offered": int(offered[t])} for t in range(ticks)]
+    workload = TraceWorkload(header, records)
+    sim = ServingSimulation(ServeConfig(steps=ticks, seed=0),
+                            workload=workload)
+
+    def run(n: int) -> None:
+        for _ in range(int(n)):
+            if sim._t >= ticks:  # trace exhausted: rewind, keep timing
+                sim.reset(0)
+            sim.step()
+
+    return run
+
+
 KERNELS: List[KernelSpec] = [
     KernelSpec(
         name="camera.step",
@@ -604,6 +655,18 @@ KERNELS: List[KernelSpec] = [
         steps=1_000_000, quick_steps=200_000,
         description="Guarded emit fast path on a disabled bus "
                     "(the zero-allocation hot path)"),
+    KernelSpec(
+        name="envgen.scenario",
+        setup=_scenario_render_setup,
+        steps=150, quick_steps=30,
+        description="Scenario-algebra render of a 256-tick composite "
+                    "((heavy_tail + diurnal) * markov_churn) per step"),
+    KernelSpec(
+        name="twin.replay",
+        setup=_twin_replay_setup,
+        steps=2_000, quick_steps=400,
+        description="Digital-twin serve tick replaying a recorded trace "
+                    "(workload lookup, admission, drain, governor)"),
     # -- large tier: the same kernels at ~10x the work per step, where
     # the index-vs-scan asymptotics actually separate the paths.  Step
     # counts shrink to keep per-repeat wall time comparable.

@@ -8,6 +8,10 @@ sequences, drift), and exogenous shocks.
 from .driftgen import DriftingBandit, DriftingRegression
 from .processes import (BoundedRandomWalk, MarkovModulatedProcess,
                         RegimeSequence, SeasonalProcess, Shock, ShockSchedule)
+from .scenario import (SCENARIOS, Concat, Constant, CorrelatedFailure,
+                       Diurnal, FlashCrowd, FlashMix, HeavyTail, MarkovChurn,
+                       Modulate, Scenario, ScenarioTrack, SessionMix,
+                       Superpose, UniformMix, ZipfMix, make_scenario)
 from .workloads import (RequestRateWorkload, Task, TaskClass,
                         TaskStreamWorkload)
 
@@ -16,4 +20,8 @@ __all__ = [
     "BoundedRandomWalk", "MarkovModulatedProcess", "RegimeSequence",
     "SeasonalProcess", "Shock", "ShockSchedule",
     "RequestRateWorkload", "Task", "TaskClass", "TaskStreamWorkload",
+    "SCENARIOS", "Scenario", "ScenarioTrack", "make_scenario",
+    "Constant", "Diurnal", "HeavyTail", "FlashCrowd", "MarkovChurn",
+    "CorrelatedFailure", "Superpose", "Modulate", "Concat",
+    "SessionMix", "UniformMix", "ZipfMix", "FlashMix",
 ]

@@ -91,6 +91,8 @@ def suite_jobs(quick: bool = False) -> List[SuiteJob]:
                  lengths=(30_000, 120_000), queries=12),
             _job("E16", "e16_cluster", (0,), steps=250,
                  tiers=("skewed", "flash")),
+            _job("E18", "e18_twin", (0,), steps=300,
+                 scenario="flash_crowd"),
             _job("A1", "ablations", (0,), "run_aggregation_shard",
                  "reduce_aggregation", steps=700),
             _job("A2", "ablations", (0,), "run_forecasters_shard",
@@ -134,6 +136,8 @@ def suite_jobs(quick: bool = False) -> List[SuiteJob]:
              lengths=(100_000, 300_000, 1_000_000)),
         _job("E16", "e16_cluster", (0, 1, 2), steps=400,
              tiers=("skewed", "flash", "uniform")),
+        _job("E18", "e18_twin", (0, 1, 2), steps=400,
+             scenario="flash_crowd"),
         _job("A1", "ablations", (0, 1, 2, 3), "run_aggregation_shard",
              "reduce_aggregation", steps=1200),
         _job("A2", "ablations", (0, 1, 2), "run_forecasters_shard",

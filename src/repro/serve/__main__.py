@@ -10,7 +10,10 @@ Then, from any client::
     {"op": "run", "session": "s000001"}
 
 ``--trace PATH`` wraps the server in a telemetry session and writes a
-JSONL trace of serve.* events on exit.
+JSONL trace of serve.* events on exit.  ``--record PATH`` additionally
+arms a :class:`repro.twin.TraceRecorder` on the same event stream and
+writes a ``repro.twin/v1`` arrival trace on exit, replayable offline
+via ``python -m repro.twin PATH``.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ import contextlib
 import sys
 
 from ..obs import TelemetrySession
+from .config import ServerConfig
 from .server import SimulationServer
 
 
@@ -44,14 +48,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="p95 request-latency SLO, seconds")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="write a JSONL telemetry trace")
+    parser.add_argument("--record", default=None, metavar="PATH",
+                        help="write a repro.twin/v1 arrival trace on exit "
+                             "(replay: python -m repro.twin PATH)")
+    parser.add_argument("--record-tick", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="tick width for --record bucketing")
     return parser
 
 
 async def _serve(args: argparse.Namespace) -> None:
-    server = SimulationServer(
+    server = SimulationServer(ServerConfig(
         host=args.host, port=args.port, workers=args.workers,
         max_batch=args.max_batch, governor=args.governor,
-        max_workers=args.max_workers, ttl=args.ttl, slo_p95=args.slo)
+        max_workers=args.max_workers, ttl=args.ttl, slo_p95=args.slo))
     await server.start()
     print(f"serving on {server.host}:{server.port} "
           f"(workers={args.workers}, governor={args.governor})",
@@ -65,13 +75,29 @@ async def _serve(args: argparse.Namespace) -> None:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    # --record needs an enabled event bus; a TelemetrySession provides
+    # one whether or not a telemetry trace is also being written.
     scope = (TelemetrySession(trace_path=args.trace, echo_summary=True)
-             if args.trace else contextlib.nullcontext())
-    with scope:
+             if args.trace or args.record else contextlib.nullcontext())
+    recorder = None
+    with scope as session:
+        if args.record:
+            from ..twin import TraceRecorder
+            recorder = TraceRecorder(source="python -m repro.serve",
+                                     tick_seconds=args.record_tick,
+                                     substrate="serve")
+            recorder.attach(session.bus)
         try:
             asyncio.run(_serve(args))
         except KeyboardInterrupt:
             print("interrupted", file=sys.stderr)
+        finally:
+            if recorder is not None:
+                recorder.detach()
+                written = recorder.write(args.record)
+                print(f"recorded {written} ticks "
+                      f"({recorder.total_offered} requests) -> "
+                      f"{args.record}", flush=True)
     return 0
 
 

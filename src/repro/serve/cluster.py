@@ -42,6 +42,7 @@ from typing import Any, Deque, Dict, List, Optional
 import numpy as np
 
 from ..api.configs import ClusterConfig
+from ..envgen.scenario import FlashMix, UniformMix, ZipfMix
 from ..obs import events as obs_events
 from .admission import ADMIT, AdmissionController
 from .config import ServerConfig
@@ -285,8 +286,12 @@ class ClusterSimulation:
     arrival estimates, never the generator's true weights.
     """
 
-    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+    def __init__(self, config: Optional[ClusterConfig] = None, *,
+                 workload: Optional[Any] = None) -> None:
         self.config = config if config is not None else ClusterConfig()
+        #: Replay source (:class:`repro.twin.TraceWorkload`): recorded
+        #: per-session counts replace the Poisson/multinomial draws.
+        self.workload = workload
         if self.config.governor not in ("collective", "per_node", "static"):
             raise ValueError(
                 f"unknown cluster governor {self.config.governor!r}")
@@ -331,6 +336,26 @@ class ClusterSimulation:
         seed = cfg.seed if seed is None else seed
         self._seed = seed
         self.rng = np.random.default_rng([0xC105, seed])
+        # Traffic tiers are Scenario session mixes; the expressions are
+        # byte-identical to the generators this class used to inline
+        # (pinned by tests/serve/test_traffic_identity.py).
+        if cfg.traffic == "skewed":
+            self._mix: Any = ZipfMix(s=cfg.zipf_s)
+        elif cfg.traffic == "flash":
+            self._mix = FlashMix(at=float(cfg.flash_at),
+                                 length=float(cfg.flash_len),
+                                 factor=cfg.flash_factor,
+                                 sessions=cfg.flash_sessions)
+        else:
+            self._mix = UniformMix()
+        self._scenario_track = None
+        if cfg.scenario:
+            from ..envgen.scenario import make_scenario
+            scenario = make_scenario(cfg.scenario)
+            self._scenario_track = scenario.render(cfg.steps, seed=seed)
+            mix = scenario.session_mix()
+            if mix is not None:
+                self._mix = mix
         self.node_ids = [f"n{i}" for i in range(cfg.nodes)]
         self.ring = HashRing(self.node_ids, replicas=cfg.ring_replicas)
         self.session_ids = [f"sess{j:03d}" for j in range(cfg.sessions)]
@@ -360,17 +385,7 @@ class ClusterSimulation:
     # -- traffic -----------------------------------------------------------
 
     def _weights(self, t: float) -> np.ndarray:
-        cfg = self.config
-        n = cfg.sessions
-        if cfg.traffic == "skewed":
-            weights = 1.0 / np.power(np.arange(1, n + 1, dtype=float),
-                                     cfg.zipf_s)
-        else:
-            weights = np.ones(n, dtype=float)
-            if (cfg.traffic == "flash"
-                    and cfg.flash_at <= t < cfg.flash_at + cfg.flash_len):
-                weights[:cfg.flash_sessions] *= cfg.flash_factor
-        return weights / weights.sum()
+        return self._mix.weights(t, self.config.sessions)
 
     # -- one tick ----------------------------------------------------------
 
@@ -393,8 +408,18 @@ class ClusterSimulation:
 
         # Arrivals: one Poisson draw split over sessions by popularity,
         # routed to each session's placed node through its admission.
-        offered_total = int(self.rng.poisson(cfg.offered_load))
-        counts = self.rng.multinomial(offered_total, self._weights(t))
+        if self.workload is not None:
+            # Twin replay: recorded totals and per-session counts stand
+            # in for both draws, keeping the rng stream aligned across
+            # candidates replaying the same trace.
+            offered_total = self.workload.offered(t)
+            counts = self.workload.session_counts(t, cfg.sessions)
+        else:
+            rate = cfg.offered_load
+            if self._scenario_track is not None:
+                rate *= self._scenario_track.rate_at(t)
+            offered_total = int(self.rng.poisson(rate))
+            counts = self.rng.multinomial(offered_total, self._weights(t))
         admitted_total = 0
         offered_at: Dict[str, int] = {n: 0 for n in self.node_ids}
         for j, sid in enumerate(self.session_ids):
@@ -481,10 +506,14 @@ class ClusterSimulation:
                   "pool": float(sum(n.pool for n in self.nodes.values()))}
         self.records.append(record)
         if obs_events.enabled():
+            by_session = {sid: int(counts[j])
+                          for j, sid in enumerate(self.session_ids)
+                          if counts[j]}
             obs_events.emit("cluster.tick", time=t, offered=offered_total,
                             admitted=admitted_total, shed=shed_total,
                             completions=completions_total,
-                            queue=queue_total, pool=record["pool"])
+                            queue=queue_total, pool=record["pool"],
+                            by_session=by_session)
         self._t += 1.0
         return record
 

@@ -276,7 +276,8 @@ class SimulationServer:
         if obs_events.enabled():
             obs_metrics.histogram("serve.request_seconds").observe(elapsed)
             obs_events.emit("serve.request", op=op, seconds=elapsed,
-                            ok=bool(response.get("ok")))
+                            ok=bool(response.get("ok")), t=t0,
+                            session=request.get("session"))
         return response
 
     # -- ops ---------------------------------------------------------------

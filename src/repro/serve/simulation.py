@@ -28,7 +28,7 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from ..api.configs import ServeConfig
-from ..faults.injector import FaultInjector
+from ..faults.injector import FaultInjector, make_injector
 from ..faults.plan import CRASH
 from ..obs import events as obs_events
 from ..obs import metrics as obs_metrics
@@ -50,10 +50,15 @@ class ServingSimulation:
 
     def __init__(self, config: Optional[ServeConfig] = None, *,
                  governor: Optional[Any] = None,
-                 faults: Optional[FaultInjector] = None) -> None:
+                 faults: Optional[FaultInjector] = None,
+                 workload: Optional[Any] = None) -> None:
         self.config = config if config is not None else ServeConfig()
         self._governor_given = governor  # expert path: reused across resets
-        self.faults = faults
+        #: Explicit faults always win over a scenario-armed plan.
+        self._faults_given = faults
+        #: Replay source (:class:`repro.twin.TraceWorkload`): recorded
+        #: arrival counts replace the Poisson draws tick-for-tick.
+        self.workload = workload
         self.reset(self.config.seed)
 
     # -- lifecycle ---------------------------------------------------------
@@ -81,6 +86,14 @@ class ServingSimulation:
         seed = cfg.seed if seed is None else seed
         self._seed = seed
         self.rng = np.random.default_rng([0x5E4E, seed])
+        self.faults = self._faults_given
+        self._scenario_track = None
+        if cfg.scenario:
+            from ..envgen.scenario import make_scenario
+            track = make_scenario(cfg.scenario).render(cfg.steps, seed=seed)
+            self._scenario_track = track
+            if track.plan is not None and self._faults_given is None:
+                self.faults = make_injector(track.plan, run_seed=seed)
         self.governor = self._make_governor(seed)
         self._pool = self.governor.pool_target
         capacity = max(1e-6, self._pool * cfg.per_worker_rate)
@@ -132,9 +145,17 @@ class ServingSimulation:
 
         # Arrivals through admission.
         rate = _offered(cfg, t)
+        if self._scenario_track is not None:
+            rate *= self._scenario_track.rate_at(t)
         if self.faults is not None:
             rate *= self.faults.demand_factor()
-        offered = int(self.rng.poisson(rate))
+        if self.workload is not None:
+            # Twin replay: the recorded arrival count stands in for the
+            # Poisson draw (and skips it, keeping the rng stream aligned
+            # across candidates replaying the same trace).
+            offered = self.workload.offered(t)
+        else:
+            offered = int(self.rng.poisson(rate))
         admitted = 0
         for _ in range(offered):
             if self.admission.admit(t, len(self._queue)) is ADMIT:

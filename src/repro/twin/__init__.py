@@ -1,0 +1,23 @@
+"""Digital twin: record live traffic, replay it deterministically.
+
+The twin closes the paper's sense-model-act loop at the system level:
+:class:`TraceRecorder` captures what the environment actually offered a
+running serve/cluster substrate (via the :mod:`repro.obs` event stream),
+and :class:`TraceWorkload` replays that trace tick-for-tick inside the
+deterministic simulations, so governor candidates can be scored against
+yesterday's real traffic before any of them reaches production.
+
+``python -m repro.twin TRACE`` evaluates a candidate slate against a
+recorded trace and reports goodput/p95/regret per candidate.
+"""
+
+from .evaluate import (DEFAULT_CANDIDATES, CandidateResult,
+                       evaluate_candidates, parse_candidate, rank_candidates,
+                       render_table)
+from .trace import SCHEMA, TraceRecorder, TraceSchemaError, TraceWorkload
+
+__all__ = [
+    "SCHEMA", "TraceRecorder", "TraceSchemaError", "TraceWorkload",
+    "CandidateResult", "DEFAULT_CANDIDATES", "evaluate_candidates",
+    "parse_candidate", "rank_candidates", "render_table",
+]

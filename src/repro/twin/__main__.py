@@ -1,0 +1,80 @@
+"""``python -m repro.twin`` -- evaluate governor candidates on a trace.
+
+Examples::
+
+    python -m repro.twin trace.jsonl
+    python -m repro.twin trace.jsonl --candidates self_aware,static:2,static:6
+    python -m repro.twin trace.jsonl --json > report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .evaluate import (DEFAULT_CANDIDATES, evaluate_candidates,
+                       rank_candidates, render_table)
+from .trace import TraceSchemaError, TraceWorkload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.twin",
+        description="Replay a recorded trace against governor candidates "
+                    "and rank them by goodput.")
+    parser.add_argument("trace", help="path to a repro.twin/v1 JSONL trace")
+    parser.add_argument("--candidates", default=None,
+                        help="comma-separated candidate specs (default "
+                             "depends on the trace's substrate: "
+                             f"serve={','.join(DEFAULT_CANDIDATES['serve'])}; "
+                             "cluster="
+                             f"{','.join(DEFAULT_CANDIDATES['cluster'])})")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="replay seed (default 0)")
+    parser.add_argument("--steps", type=int, default=None,
+                        help="replay steps (default: trace length)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON report")
+    args = parser.parse_args(argv)
+
+    try:
+        workload = TraceWorkload.load(args.trace)
+    except TraceSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    candidates = None
+    if args.candidates:
+        candidates = [c for c in args.candidates.split(",") if c.strip()]
+    try:
+        results = evaluate_candidates(workload, candidates, seed=args.seed,
+                                      steps=args.steps)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    ranking = rank_candidates(results)
+
+    if args.json:
+        report = {"trace": args.trace,
+                  "header": workload.header,
+                  "seed": args.seed,
+                  "ranking": ranking,
+                  "winner": ranking[0],
+                  "candidates": [r.as_dict() for r in results]}
+        print(json.dumps(report, sort_keys=True))
+        return 0
+
+    header = workload.header
+    print(f"trace    {args.trace}")
+    print(f"schema   {header.get('schema')}  substrate "
+          f"{workload.substrate}  ticks {workload.ticks}  "
+          f"offered {workload.total_offered}")
+    print()
+    print(render_table(results))
+    print()
+    print(f"winner: {ranking[0]}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,154 @@
+"""Scenario algebra: presets, determinism, composition, registry."""
+
+import numpy as np
+import pytest
+
+from repro.envgen.scenario import (SCENARIOS, Concat, Constant,
+                                   CorrelatedFailure, Diurnal, FlashCrowd,
+                                   FlashMix, HeavyTail, MarkovChurn, Modulate,
+                                   Superpose, UniformMix, ZipfMix,
+                                   make_scenario)
+from repro.faults.plan import CRASH, WORKLOAD_SPIKE
+
+
+class TestRegistry:
+    def test_every_preset_is_registered(self):
+        assert set(SCENARIOS) == {"steady", "diurnal", "heavy_tail",
+                                  "flash_crowd", "correlated_failure",
+                                  "markov_churn"}
+
+    def test_make_scenario_builds_each_preset(self):
+        for name in SCENARIOS:
+            scenario = make_scenario(name)
+            track = scenario.render(50, seed=0)
+            assert track.ticks == 50
+            assert np.all(track.rates >= 0.0)
+
+    def test_make_scenario_accepts_overrides(self):
+        scenario = make_scenario("diurnal", amplitude=0.9, period=40.0)
+        assert scenario.amplitude == 0.9
+        assert scenario.period == 40.0
+
+    def test_unknown_name_lists_the_registry(self):
+        with pytest.raises(ValueError, match="unknown scenario 'nope'"):
+            make_scenario("nope")
+        with pytest.raises(ValueError, match="diurnal"):
+            make_scenario("nope")
+
+
+class TestSeedDeterminism:
+    """Same spec + seed -> identical rate vectors, for every preset."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_preset_renders_identically(self, name):
+        a = make_scenario(name).render(200, seed=7)
+        b = make_scenario(name).render(200, seed=7)
+        np.testing.assert_array_equal(a.rates, b.rates)
+
+    @pytest.mark.parametrize("name", ("heavy_tail", "markov_churn"))
+    def test_stochastic_presets_vary_with_seed(self, name):
+        a = make_scenario(name).render(300, seed=0)
+        b = make_scenario(name).render(300, seed=1)
+        assert not np.array_equal(a.rates, b.rates)
+
+    def test_composition_is_seed_deterministic(self):
+        def build():
+            return (HeavyTail() + Diurnal()) * MarkovChurn()
+        np.testing.assert_array_equal(build().render(150, seed=3).rates,
+                                      build().render(150, seed=3).rates)
+
+
+class TestAlgebra:
+    def test_superpose_adds_rates(self):
+        track = (Constant(level=2.0) + Constant(level=3.0)).render(10, seed=0)
+        np.testing.assert_allclose(track.rates, 5.0)
+
+    def test_modulate_multiplies_rates(self):
+        track = (Constant(level=2.0) * Constant(level=3.0)).render(10, seed=0)
+        np.testing.assert_allclose(track.rates, 6.0)
+
+    def test_operator_sugar_matches_explicit_combinators(self):
+        sugar = (Diurnal() + Constant()) * Constant(level=0.5)
+        explicit = Modulate(
+            base=Superpose(parts=(Diurnal(), Constant())),
+            envelope=Constant(level=0.5))
+        np.testing.assert_array_equal(sugar.render(80, seed=1).rates,
+                                      explicit.render(80, seed=1).rates)
+
+    def test_then_switches_at_the_breakpoint(self):
+        track = Constant(level=1.0).then(Constant(level=9.0),
+                                         at=20).render(40, seed=0)
+        assert isinstance(Constant().then(Constant(), at=5), Concat)
+        np.testing.assert_allclose(track.rates[:20], 1.0)
+        np.testing.assert_allclose(track.rates[20:], 9.0)
+
+    def test_rate_at_clamps_to_the_last_tick(self):
+        track = Constant(level=4.0).render(10, seed=0)
+        assert track.rate_at(9.0) == 4.0
+        assert track.rate_at(99.0) == 4.0
+
+
+class TestPresets:
+    def test_diurnal_oscillates_around_base(self):
+        track = Diurnal(base=1.0, amplitude=0.5, period=100.0).render(
+            200, seed=0)
+        assert track.rates.max() > 1.3
+        assert track.rates.min() < 0.7
+
+    def test_flash_crowd_window_multiplies_the_rate(self):
+        track = FlashCrowd(at=30.0, length=20.0, factor=8.0).render(
+            100, seed=0)
+        np.testing.assert_allclose(track.rates[:30], 1.0)
+        np.testing.assert_allclose(track.rates[30:50], 8.0)
+        np.testing.assert_allclose(track.rates[50:], 1.0)
+
+    def test_flash_crowd_defines_a_session_mix(self):
+        mix = FlashCrowd(at=10.0, length=5.0, sessions=2).session_mix()
+        assert isinstance(mix, FlashMix)
+        inside = mix.weights(12.0, 8)
+        outside = mix.weights(50.0, 8)
+        assert inside[0] > outside[0]
+
+    def test_heavy_tail_bursts_above_base(self):
+        track = HeavyTail().render(400, seed=2)
+        assert track.rates.max() > 2.0
+
+    def test_markov_churn_occupies_both_regimes(self):
+        track = MarkovChurn(low=0.5, high=2.0, stay=0.9).render(500, seed=0)
+        assert (np.isclose(track.rates, 0.5).any()
+                and np.isclose(track.rates, 2.0).any())
+
+    def test_correlated_failure_arms_a_fault_plan(self):
+        scenario = CorrelatedFailure(at=50.0, length=30.0, intensity=0.4)
+        track = scenario.render(200, seed=5)
+        assert track.plan is not None
+        kinds = sorted(spec.kind for spec in track.plan.specs)
+        assert kinds == sorted((CRASH, WORKLOAD_SPIKE))
+        for spec in track.plan.specs:
+            assert spec.start == 50.0 and spec.end == 80.0
+            assert spec.intensity == 0.4
+
+    def test_fault_windows_clip_to_the_horizon(self):
+        track = CorrelatedFailure(at=50.0, length=100.0).render(80, seed=0)
+        assert all(spec.end == 80.0 for spec in track.plan.specs)
+
+    def test_benign_presets_carry_no_plan(self):
+        for name in ("steady", "diurnal", "flash_crowd"):
+            assert make_scenario(name).render(50, seed=0).plan is None
+
+
+class TestSessionMixes:
+    def test_zipf_mix_matches_the_legacy_cluster_expression(self):
+        n, s = 16, 1.6
+        legacy = 1.0 / np.power(np.arange(1, n + 1, dtype=float), s)
+        legacy = legacy / legacy.sum()
+        np.testing.assert_array_equal(ZipfMix(s=s).weights(0.0, n), legacy)
+
+    def test_uniform_mix_is_flat(self):
+        np.testing.assert_allclose(UniformMix().weights(3.0, 8), 1.0 / 8)
+
+    def test_mixes_render_alongside_rates(self):
+        track = FlashCrowd(at=5.0, length=5.0).render(20, seed=0, sessions=4)
+        assert track.mixes is not None
+        assert track.mixes.shape == (20, 4)
+        np.testing.assert_allclose(track.mixes.sum(axis=1), 1.0)
